@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation B: initial partition size ("Ground Zero", paper section 3.4).
+ *
+ * The paper observes that starting partitions very small forces frequent
+ * early repartitioning, and settles on half a tile per partition.  This
+ * bench compares Small (2 molecules), HalfTile and FullTile starts on the
+ * SPEC workload, reporting both the final deviation and how much resize
+ * work was performed.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+#include "util/string_utils.hpp"
+#include "util/units.hpp"
+#include "workload/profiles.hpp"
+
+using namespace molcache;
+
+namespace {
+
+struct Outcome
+{
+    double deviation;
+    u64 granted;
+    u64 withdrawn;
+};
+
+Outcome
+runInitial(u64 size, InitialAllocation initial, u64 refs, u64 seed)
+{
+    MolecularCacheParams p =
+        fig5MolecularParams(size, PlacementPolicy::Randy, seed);
+    p.initialAllocation = initial;
+    MolecularCache cache(p);
+    for (u32 i = 0; i < 4; ++i)
+        cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+    const GoalSet goals = GoalSet::uniform(0.1, 4);
+    const double dev = runWorkload(spec4Names(), cache, goals, refs, seed)
+                           .qos.averageDeviation;
+    return {dev, cache.resizer().granted(), cache.resizer().withdrawn()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("ablate_initial",
+                  "Ablation: initial partition allocation policy");
+    bench::addCommonOptions(cli, kPaperTraceLength);
+    cli.addOption("size", "4M", "total molecular cache size");
+    cli.parse(argc, argv);
+    const u64 refs = static_cast<u64>(cli.integer("refs"));
+    const u64 seed = static_cast<u64>(cli.integer("seed"));
+    const u64 size = cli.size("size");
+
+    bench::banner("Initial-allocation ablation (" + formatSize(size) +
+                  " molecular cache, SPEC 4-app workload, goal 10%)");
+
+    TablePrinter table({"initial allocation", "avg deviation",
+                        "molecules granted", "molecules withdrawn"});
+    const struct
+    {
+        InitialAllocation kind;
+        const char *label;
+    } rows[] = {
+        {InitialAllocation::Small, "small (2 molecules)"},
+        {InitialAllocation::HalfTile, "half tile (paper default)"},
+        {InitialAllocation::FullTile, "full tile"},
+    };
+    for (const auto &r : rows) {
+        const Outcome o = runInitial(size, r.kind, refs, seed);
+        table.row({r.label, formatDouble(o.deviation, 4),
+                   std::to_string(o.granted), std::to_string(o.withdrawn)});
+    }
+    if (cli.flag("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

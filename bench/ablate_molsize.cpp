@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation D: molecule size (the paper motivates 8-32KB molecules from
+ * Mamidipaka & Dutt's small-cache energy data).
+ *
+ * Sweeping the molecule size at a fixed 4MiB total capacity trades
+ * allocation granularity (small molecules resize precisely) against
+ * per-probe energy and lookup fan-out.  Reports deviation, measured
+ * energy per access, and the worst-case access energy.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+#include "util/string_utils.hpp"
+#include "util/units.hpp"
+#include "workload/profiles.hpp"
+
+using namespace molcache;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("ablate_molsize", "Ablation: molecule size sweep");
+    bench::addCommonOptions(cli, kPaperTraceLength);
+    cli.parse(argc, argv);
+    const u64 refs = static_cast<u64>(cli.integer("refs"));
+    const u64 seed = static_cast<u64>(cli.integer("seed"));
+
+    bench::banner("Molecule-size ablation: 4MiB molecular cache, SPEC "
+                  "4-app workload, goal 10%");
+
+    TablePrinter table({"molecule", "mols/tile", "avg deviation",
+                        "avg energy/access (nJ)", "worst case (nJ)"});
+    for (const u64 mol_size : {8_KiB, 16_KiB, 32_KiB}) {
+        MolecularCacheParams p;
+        p.moleculeSize = mol_size;
+        p.tilesPerCluster = 4;
+        p.clusters = 1;
+        p.moleculesPerTile = static_cast<u32>(1_MiB / mol_size);
+        p.placement = PlacementPolicy::Randy;
+        p.seed = seed;
+        MolecularCache cache(p);
+        for (u32 i = 0; i < 4; ++i)
+            cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+        const GoalSet goals = GoalSet::uniform(0.1, 4);
+        const double dev = runWorkload(spec4Names(), cache, goals, refs,
+                                       seed)
+                               .qos.averageDeviation;
+
+        table.row({formatSize(mol_size),
+                   std::to_string(p.moleculesPerTile),
+                   formatDouble(dev, 4),
+                   formatDouble(cache.averageAccessEnergyNj(), 3),
+                   formatDouble(cache.worstCaseAccessEnergyNj(), 3)});
+    }
+    if (cli.flag("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation F: molecule placement policies — Random vs Randy vs the
+ * paper's future-work LRU-Direct scheme (section 5: "A different scheme
+ * for replacements such as an LRU-Direct scheme needs to be evaluated").
+ *
+ * LRU-Direct picks the region's least-recently-touched slot at the
+ * address's index: the quality ceiling for molecule selection, at the
+ * hardware cost of global recency state.  This bench quantifies how much
+ * of that ceiling the implementable Random/Randy schemes reach, on both
+ * the SPEC 4-app workload (goal 10%) and the 12-app mix (goal 25%).
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+#include "util/string_utils.hpp"
+#include "util/units.hpp"
+#include "workload/profiles.hpp"
+
+using namespace molcache;
+
+namespace {
+
+struct Outcome
+{
+    double deviation;
+    double globalMissRate;
+    u32 molecules;
+};
+
+Outcome
+runSpec4(PlacementPolicy placement, u64 refs, u64 seed)
+{
+    MolecularCache cache(fig5MolecularParams(4_MiB, placement, seed));
+    for (u32 i = 0; i < 4; ++i)
+        cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+    const GoalSet goals = GoalSet::uniform(0.1, 4);
+    const double dev = runWorkload(spec4Names(), cache, goals, refs, seed)
+                           .qos.averageDeviation;
+    u32 mols = 0;
+    for (u32 i = 0; i < 4; ++i)
+        mols += cache.region(static_cast<Asid>(i)).size();
+    return {dev, cache.stats().global().missRate(), mols};
+}
+
+Outcome
+runMixed(PlacementPolicy placement, u64 refs, u64 seed)
+{
+    MolecularCache cache(table2MolecularParams(placement, seed));
+    registerApplications(cache, 12, 0.25);
+    const GoalSet goals = GoalSet::uniform(0.25, 12);
+    const double dev = runWorkload(mixed12Names(), cache, goals, refs, seed)
+                           .qos.averageDeviation;
+    u32 mols = 0;
+    for (u32 i = 0; i < 12; ++i)
+        mols += cache.region(static_cast<Asid>(i)).size();
+    return {dev, cache.stats().global().missRate(), mols};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("ablate_placement",
+                  "Ablation: Random vs Randy vs LRU-Direct placement");
+    bench::addCommonOptions(cli, kPaperTraceLength);
+    cli.parse(argc, argv);
+    const u64 refs = static_cast<u64>(cli.integer("refs"));
+    const u64 seed = static_cast<u64>(cli.integer("seed"));
+
+    const PlacementPolicy policies[] = {PlacementPolicy::Random,
+                                        PlacementPolicy::Randy,
+                                        PlacementPolicy::LruDirect};
+
+    bench::banner("Placement ablation A: SPEC 4-app, 4MiB molecular, "
+                  "goal 10%");
+    TablePrinter spec({"placement", "avg deviation", "global miss rate",
+                       "molecules held"});
+    for (const auto p : policies) {
+        const Outcome o = runSpec4(p, refs, seed);
+        spec.row({placementPolicyName(p), formatDouble(o.deviation, 4),
+                  formatDouble(o.globalMissRate, 4),
+                  std::to_string(o.molecules)});
+    }
+    if (cli.flag("csv"))
+        spec.printCsv(std::cout);
+    else
+        spec.print(std::cout);
+
+    bench::banner("Placement ablation B: 12-app mix, 6MiB molecular, "
+                  "goal 25%");
+    TablePrinter mixed({"placement", "avg deviation", "global miss rate",
+                        "molecules held"});
+    for (const auto p : policies) {
+        const Outcome o = runMixed(p, refs, seed);
+        mixed.row({placementPolicyName(p), formatDouble(o.deviation, 4),
+                   formatDouble(o.globalMissRate, 4),
+                   std::to_string(o.molecules)});
+    }
+    if (cli.flag("csv"))
+        mixed.printCsv(std::cout);
+    else
+        mixed.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation A: resize scheduling schemes (paper section 3.4, "When to
+ * add?").
+ *
+ * The paper claims: constant address-count resizing "does not aid in
+ * bringing down the miss rate"; adaptive schemes do better; the global
+ * adaptive scheme suits small tiles while the per-application scheme
+ * works better with larger tiles (>= 2MB).  This bench sweeps the three
+ * schemes over cache sizes on the 4-app SPEC workload.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+#include "util/units.hpp"
+#include "workload/profiles.hpp"
+
+using namespace molcache;
+
+namespace {
+
+double
+runScheme(u64 size, ResizeScheme scheme, u64 refs, u64 seed)
+{
+    MolecularCacheParams p =
+        fig5MolecularParams(size, PlacementPolicy::Randy, seed);
+    p.resizeScheme = scheme;
+    MolecularCache cache(p);
+    for (u32 i = 0; i < 4; ++i)
+        cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+    const GoalSet goals = GoalSet::uniform(0.1, 4);
+    return runWorkload(spec4Names(), cache, goals, refs, seed)
+        .qos.averageDeviation;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("ablate_resize",
+                  "Ablation: constant vs global-adaptive vs per-app "
+                  "adaptive resize scheduling");
+    bench::addCommonOptions(cli, kPaperTraceLength);
+    cli.parse(argc, argv);
+    const u64 refs = static_cast<u64>(cli.integer("refs"));
+    const u64 seed = static_cast<u64>(cli.integer("seed"));
+
+    bench::banner("Resize-scheme ablation: average deviation, SPEC 4-app "
+                  "workload, goal 10% (tile size = cache/4)");
+
+    TablePrinter table(
+        {"cache size", "tile size", "constant", "global", "perapp"});
+    for (const u64 size : {1_MiB, 2_MiB, 4_MiB, 8_MiB}) {
+        const size_t row = table.addRow();
+        table.cell(row, 0, formatSize(size));
+        table.cell(row, 1, formatSize(size / 4));
+        table.cell(row, 2,
+                   runScheme(size, ResizeScheme::Constant, refs, seed), 4);
+        table.cell(row, 3,
+                   runScheme(size, ResizeScheme::GlobalAdaptive, refs, seed),
+                   4);
+        table.cell(row, 4,
+                   runScheme(size, ResizeScheme::PerAppAdaptive, refs, seed),
+                   4);
+    }
+    if (cli.flag("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

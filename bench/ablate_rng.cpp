@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation E: random-number-generator entropy (paper section 3.3: "The
+ * ability of the random replacement algorithm to distribute the load
+ * equally across all molecules is highly dependent on the entropy of the
+ * random number generator implemented in hardware").
+ *
+ * Compares PCG32 (ideal software RNG), xorshift64* (cheap), and a 16-bit
+ * Galois LFSR (a realistic minimal hardware RNG with a short period and
+ * correlated bits) as the molecule selector, for both Random and Randy.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+#include "util/string_utils.hpp"
+#include "util/units.hpp"
+#include "workload/profiles.hpp"
+
+using namespace molcache;
+
+namespace {
+
+double
+runRng(PlacementPolicy placement, RngKind rng, u64 refs, u64 seed)
+{
+    MolecularCacheParams p = fig5MolecularParams(4_MiB, placement, seed);
+    p.rngKind = rng;
+    MolecularCache cache(p);
+    for (u32 i = 0; i < 4; ++i)
+        cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+    const GoalSet goals = GoalSet::uniform(0.1, 4);
+    return runWorkload(spec4Names(), cache, goals, refs, seed)
+        .qos.averageDeviation;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("ablate_rng",
+                  "Ablation: RNG entropy for molecule selection");
+    bench::addCommonOptions(cli, kPaperTraceLength);
+    cli.parse(argc, argv);
+    const u64 refs = static_cast<u64>(cli.integer("refs"));
+    const u64 seed = static_cast<u64>(cli.integer("seed"));
+
+    bench::banner("RNG-entropy ablation: 4MiB molecular cache, SPEC 4-app "
+                  "workload, goal 10%");
+
+    TablePrinter table({"placement", "pcg32", "xorshift64*", "lfsr16"});
+    for (const auto placement :
+         {PlacementPolicy::Random, PlacementPolicy::Randy}) {
+        const size_t row = table.addRow();
+        table.cell(row, 0, placementPolicyName(placement));
+        table.cell(row, 1,
+                   runRng(placement, RngKind::Pcg32, refs, seed), 4);
+        table.cell(row, 2,
+                   runRng(placement, RngKind::XorShift, refs, seed), 4);
+        table.cell(row, 3,
+                   runRng(placement, RngKind::Lfsr16, refs, seed), 4);
+    }
+    if (cli.flag("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation H: tile size and cluster shape at fixed total capacity.
+ *
+ * The paper prescribes 32-256 molecules per tile and 4-8 tiles per
+ * cluster, and claims the resize-scheme choice depends on tile size
+ * (section 3.4).  This bench fixes a 4 MiB molecular cache and sweeps
+ * the tile/cluster shape, reporting deviation, worst-case access energy
+ * (which grows with molecules per tile: every molecule performs the ASID
+ * compare) and remote-hit share (which grows as tiles shrink: regions
+ * overflow their home tile sooner).
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+#include "util/string_utils.hpp"
+#include "util/units.hpp"
+#include "workload/profiles.hpp"
+
+using namespace molcache;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("ablate_tilesize",
+                  "Ablation: tile/cluster shape at fixed 4MiB capacity");
+    bench::addCommonOptions(cli, kPaperTraceLength);
+    cli.parse(argc, argv);
+    const u64 refs = static_cast<u64>(cli.integer("refs"));
+    const u64 seed = static_cast<u64>(cli.integer("seed"));
+
+    bench::banner("Tile-size ablation: 4MiB molecular cache, SPEC 4-app "
+                  "workload, goal 10%, Randy");
+
+    // clusters x tiles x molecules-per-tile, all 4 MiB of 8 KiB molecules.
+    const struct
+    {
+        u32 clusters, tiles, perTile;
+    } shapes[] = {
+        {1, 4, 128}, // 1MiB tiles (the fig-5 shape at 4MiB)
+        {1, 8, 64},  // 512KiB tiles
+        {2, 4, 64},  // 512KiB tiles, two clusters
+        {2, 8, 32},  // 256KiB tiles, two clusters
+        {4, 4, 32},  // 256KiB tiles, four clusters
+    };
+
+    TablePrinter table({"shape (cl x tiles x mols)", "tile size",
+                        "avg deviation", "worst E/access (nJ)",
+                        "avg E/access (nJ)", "remote hit share"});
+    for (const auto &s : shapes) {
+        MolecularCacheParams p;
+        p.moleculeSize = 8_KiB;
+        p.clusters = s.clusters;
+        p.tilesPerCluster = s.tiles;
+        p.moleculesPerTile = s.perTile;
+        p.placement = PlacementPolicy::Randy;
+        p.seed = seed;
+        MolecularCache cache(p);
+        const u32 per_cluster = (4 + s.clusters - 1) / s.clusters;
+        for (u32 i = 0; i < 4; ++i)
+            cache.registerApplication(static_cast<Asid>(i),
+                                      0.1, i / per_cluster,
+                                      (i % per_cluster) % s.tiles, 1);
+        const GoalSet goals = GoalSet::uniform(0.1, 4);
+        const SimResult r =
+            runWorkload(spec4Names(), cache, goals, refs, seed);
+        const double hits =
+            static_cast<double>(r.localHits + r.remoteHits);
+
+        table.row({std::to_string(s.clusters) + " x " +
+                       std::to_string(s.tiles) + " x " +
+                       std::to_string(s.perTile),
+                   formatSize(p.tileSizeBytes()),
+                   formatDouble(r.qos.averageDeviation, 4),
+                   formatDouble(cache.worstCaseAccessEnergyNj(), 2),
+                   formatDouble(cache.averageAccessEnergyNj(), 2),
+                   hits > 0 ? formatDouble(r.remoteHits / hits, 3)
+                            : "0"});
+    }
+    if (cli.flag("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

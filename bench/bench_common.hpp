@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries.
+ */
+
+#ifndef MOLCACHE_BENCH_COMMON_HPP
+#define MOLCACHE_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+
+namespace molcache::bench {
+
+/** Standard options every reproduction binary accepts. */
+inline void
+addCommonOptions(CliParser &cli, u64 defaultRefs)
+{
+    cli.addOption("refs", std::to_string(defaultRefs),
+                  "merged references per run");
+    cli.addOption("seed", "1", "base RNG seed");
+    cli.addFlag("csv", "emit CSV instead of an aligned table");
+}
+
+inline void
+banner(const std::string &title)
+{
+    std::printf("== %s ==\n", title.c_str());
+}
+
+} // namespace molcache::bench
+
+#endif // MOLCACHE_BENCH_COMMON_HPP

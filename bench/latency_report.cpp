@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Latency report: average memory access time (AMAT) for the traditional,
+ * way-partitioned and molecular caches on the SPEC workload.
+ *
+ * The paper flags two latency costs of the molecular design without
+ * quantifying them: the extra ASID-comparison pipeline stage on every
+ * access (section 3.1) and the hierarchical multi-tile search on a tile
+ * miss (section 3.3).  This report measures what those cost against what
+ * the partitioning buys back in hit rate, per application.
+ *
+ * Latency model (cache cycles): traditional hit 1, miss +200; molecular
+ * local hit = ASID stage (1) + molecule access (1), each remote tile
+ * visited +4 (Ulmo hop) +2, miss +200.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cache/way_partitioned.hpp"
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+#include "util/string_utils.hpp"
+#include "util/units.hpp"
+#include "workload/profiles.hpp"
+
+using namespace molcache;
+
+namespace {
+
+struct Run
+{
+    std::string label;
+    QosSummary qos;
+    double localShare = 0.0; // hits serviced on the entry tile
+};
+
+Run
+runTraditional(u64 size, u32 assoc, const GoalSet &goals, u64 refs,
+               u64 seed)
+{
+    SetAssocCache cache(traditionalParams(size, assoc, seed));
+    const SimResult r = runWorkload(spec4Names(), cache, goals, refs, seed);
+    return {cache.name() + " (shared)", r.qos, 1.0};
+}
+
+Run
+runWayPart(u64 size, u32 assoc, const GoalSet &goals, u64 refs, u64 seed)
+{
+    WayPartitionedParams p;
+    p.sizeBytes = size;
+    p.associativity = assoc;
+    WayPartitionedCache cache(p);
+    for (u32 i = 0; i < 4; ++i)
+        cache.registerApplication(static_cast<Asid>(i), 0.1);
+    const SimResult r = runWorkload(spec4Names(), cache, goals, refs, seed);
+    return {cache.name(), r.qos, 1.0};
+}
+
+Run
+runMolecular(u64 size, const GoalSet &goals, u64 refs, u64 seed)
+{
+    MolecularCache cache(
+        fig5MolecularParams(size, PlacementPolicy::Randy, seed));
+    for (u32 i = 0; i < 4; ++i)
+        cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+    const SimResult r = runWorkload(spec4Names(), cache, goals, refs, seed);
+    const double hits =
+        static_cast<double>(r.localHits + r.remoteHits);
+    return {cache.name(), r.qos,
+            hits > 0 ? static_cast<double>(r.localHits) / hits : 0.0};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("latency_report",
+                  "AMAT: the cost of the ASID stage and hierarchical "
+                  "lookup vs what partitioning buys back");
+    bench::addCommonOptions(cli, 2'000'000);
+    cli.addOption("size", "4M", "cache size for all schemes");
+    cli.parse(argc, argv);
+    const u64 refs = static_cast<u64>(cli.integer("refs"));
+    const u64 seed = static_cast<u64>(cli.integer("seed"));
+    const u64 size = cli.size("size");
+
+    const GoalSet goals = GoalSet::uniform(0.1, 4);
+
+    bench::banner("AMAT (cache cycles), SPEC 4-app workload, " +
+                  formatSize(size) + " caches");
+
+    const Run runs[] = {
+        runTraditional(size, 8, goals, refs, seed),
+        runWayPart(size, 8, goals, refs, seed),
+        runMolecular(size, goals, refs, seed),
+    };
+
+    std::vector<std::string> header = {"scheme"};
+    for (const auto &app : spec4Names())
+        header.push_back(app);
+    header.push_back("overall note");
+    TablePrinter table(header);
+    for (const Run &run : runs) {
+        std::vector<std::string> row = {run.label};
+        for (u32 i = 0; i < 4; ++i)
+            row.push_back(
+                formatDouble(run.qos.byAsid(static_cast<Asid>(i)).amat, 1));
+        row.push_back(run.localShare < 1.0
+                          ? formatDouble(100.0 * run.localShare, 1) +
+                                "% hits on entry tile"
+                          : "single-structure lookup");
+        table.row(row);
+    }
+    if (cli.flag("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    std::printf("\nmolecular hits pay the ASID stage (+1 cycle) and remote "
+                "hits pay Ulmo hops;\nthe miss-rate changes from "
+                "partitioning dominate AMAT when they exceed ~0.5%%.\n"
+                "note: overachievers (ammp) show HIGHER molecular AMAT by "
+                "design — Algorithm 1\nsteers their miss rate UP to the "
+                "goal to free molecules; the molecular cache\noptimizes "
+                "goal deviation and power, not raw latency.\n");
+    return 0;
+}

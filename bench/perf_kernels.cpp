@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark micro-kernels for the simulator itself: access-path
+ * throughput of the traditional and molecular models, trace generation,
+ * and the power-model organization search.  These guard against
+ * performance regressions in the hot loops the reproduction experiments
+ * depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/set_assoc.hpp"
+#include "core/molecular_cache.hpp"
+#include "power/cacti.hpp"
+#include "sim/experiment.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+using namespace molcache;
+
+namespace {
+
+std::vector<MemAccess>
+sampleTrace(u64 n)
+{
+    static std::vector<MemAccess> trace;
+    if (trace.size() < n) {
+        auto src = makeMultiProgramSource(spec4Names(), n,
+                                          MixPolicy::RoundRobin, 7);
+        trace.clear();
+        trace.reserve(n);
+        while (auto a = src->next())
+            trace.push_back(*a);
+    }
+    return {trace.begin(), trace.begin() + n};
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto &profile = profileByName("parser");
+    for (auto _ : state) {
+        TraceGenerator gen(profile, 0, static_cast<u64>(state.range(0)), 3);
+        u64 sum = 0;
+        while (auto a = gen.next())
+            sum += a->addr;
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10000);
+
+void
+BM_SetAssocAccess(benchmark::State &state)
+{
+    SetAssocCache cache(
+        traditionalParams(1_MiB, static_cast<u32>(state.range(0))));
+    const auto trace = sampleTrace(100000);
+    size_t i = 0;
+    for (auto _ : state) {
+        cache.access(trace[i]);
+        i = (i + 1) % trace.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SetAssocAccess)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_MolecularAccess(benchmark::State &state)
+{
+    MolecularCacheParams p = fig5MolecularParams(
+        2_MiB, state.range(0) ? PlacementPolicy::Randy
+                              : PlacementPolicy::Random);
+    MolecularCache cache(p);
+    for (u32 a = 0; a < 4; ++a)
+        cache.registerApplication(a, 0.1, 0, a, 1);
+    const auto trace = sampleTrace(100000);
+    size_t i = 0;
+    for (auto _ : state) {
+        cache.access(trace[i]);
+        i = (i + 1) % trace.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MolecularAccess)->Arg(0)->Arg(1);
+
+void
+BM_CactiEvaluate(benchmark::State &state)
+{
+    const CactiModel model(TechNode::Nm70);
+    CacheGeometry g;
+    g.sizeBytes = static_cast<u64>(state.range(0)) << 20;
+    g.associativity = 4;
+    g.ports = 4;
+    for (auto _ : state) {
+        auto pt = model.evaluate(g);
+        benchmark::DoNotOptimize(pt.readEnergyNj);
+    }
+}
+BENCHMARK(BM_CactiEvaluate)->Arg(1)->Arg(8);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    ZipfSampler zipf(static_cast<u32>(state.range(0)), 0.8);
+    Pcg32 rng(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(1024)->Arg(65536);
+
+} // namespace
+
+// main() comes from benchmark::benchmark_main.

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Config-driven experiment runner: describe a cache, a workload mix and
+ * per-application goals in a key=value file (or as CLI key=value
+ * overrides), run, and get a table plus optional JSON.
+ *
+ * Example configuration:
+ *
+ *     # experiment.cfg
+ *     model          = molecular        # molecular | setassoc | waypart
+ *     size           = 2M
+ *     placement      = randy
+ *     tiles          = 4
+ *     clusters       = 1
+ *     refs           = 2000000
+ *     profiles       = ammp,parser,gcc,twolf
+ *     goal           = 0.1
+ *     goal.0         = 0.05             # per-ASID override
+ *     seed           = 1
+ *
+ * Run with:
+ *
+ *     experiment_runner experiment.cfg [extra=overrides ...] [--json out]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "cache/set_assoc.hpp"
+#include "cache/way_partitioned.hpp"
+#include "core/molecular_cache.hpp"
+#include "sim/experiment.hpp"
+#include "stats/json.hpp"
+#include "stats/table.hpp"
+#include "util/config.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+#include "util/units.hpp"
+#include "workload/profiles.hpp"
+
+using namespace molcache;
+
+namespace {
+
+GoalSet
+goalsFrom(const Config &cfg, size_t apps)
+{
+    GoalSet goals;
+    const double common = cfg.getDouble("goal", 0.1);
+    for (size_t i = 0; i < apps; ++i) {
+        goals.set(static_cast<Asid>(i),
+                  cfg.getDouble("goal." + std::to_string(i), common));
+    }
+    return goals;
+}
+
+std::unique_ptr<CacheModel>
+buildModel(const Config &cfg, const GoalSet &goals, size_t apps)
+{
+    const std::string model = cfg.getString("model", "molecular");
+    const u64 size = cfg.getSize("size", 2_MiB);
+    const u64 seed = static_cast<u64>(cfg.getInt("seed", 1));
+
+    if (model == "setassoc") {
+        SetAssocParams p;
+        p.sizeBytes = size;
+        p.associativity = static_cast<u32>(cfg.getInt("assoc", 8));
+        p.replacement =
+            parseReplPolicy(cfg.getString("replacement", "lru"));
+        p.seed = seed;
+        return std::make_unique<SetAssocCache>(p);
+    }
+    if (model == "waypart") {
+        WayPartitionedParams p;
+        p.sizeBytes = size;
+        p.associativity = static_cast<u32>(cfg.getInt("assoc", 8));
+        auto cache = std::make_unique<WayPartitionedCache>(p);
+        for (size_t i = 0; i < apps; ++i)
+            cache->registerApplication(static_cast<Asid>(i),
+                                       *goals.goal(static_cast<Asid>(i)));
+        return cache;
+    }
+    if (model == "molecular") {
+        MolecularCacheParams p;
+        p.moleculeSize = cfg.getSize("molecule", 8_KiB);
+        p.tilesPerCluster = static_cast<u32>(cfg.getInt("tiles", 4));
+        p.clusters = static_cast<u32>(cfg.getInt("clusters", 1));
+        const u64 tile_bytes =
+            size / (static_cast<u64>(p.tilesPerCluster) * p.clusters);
+        if (tile_bytes == 0 || tile_bytes % p.moleculeSize != 0)
+            fatal("size does not divide into tiles of whole molecules");
+        p.moleculesPerTile =
+            static_cast<u32>(tile_bytes / p.moleculeSize);
+        p.placement =
+            parsePlacementPolicy(cfg.getString("placement", "randy"));
+        p.resizeScheme =
+            parseResizeScheme(cfg.getString("resize", "global"));
+        p.seed = seed;
+        auto cache = std::make_unique<MolecularCache>(p);
+        for (size_t i = 0; i < apps; ++i)
+            cache->registerApplication(static_cast<Asid>(i),
+                                       *goals.goal(static_cast<Asid>(i)));
+        return cache;
+    }
+    fatal("unknown model '", model,
+          "' (expected molecular|setassoc|waypart)");
+}
+
+void
+writeJson(const std::string &path, const SimResult &result)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '", path, "' for writing");
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("cache");
+    json.value(result.cacheName);
+    json.key("accesses");
+    json.value(result.accesses);
+    json.key("global_miss_rate");
+    json.value(result.qos.globalMissRate);
+    json.key("average_deviation");
+    json.value(result.qos.averageDeviation);
+    json.key("total_energy_nj");
+    json.value(result.totalEnergyNj);
+    json.key("apps");
+    json.beginArray();
+    for (const AppSummary &app : result.qos.apps) {
+        json.beginObject();
+        json.key("asid");
+        json.value(static_cast<u64>(app.asid));
+        json.key("label");
+        json.value(app.label);
+        json.key("accesses");
+        json.value(app.accesses);
+        json.key("miss_rate");
+        json.value(app.missRate);
+        json.key("amat_cycles");
+        json.value(app.amat);
+        if (app.goal) {
+            json.key("goal");
+            json.value(*app.goal);
+            json.key("deviation");
+            json.value(*app.deviation);
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    out << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Hand-rolled argument handling: positional config file, key=value
+    // overrides, optional --json FILE.
+    Config cfg;
+    std::string json_out;
+    std::vector<std::string> overrides;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            if (i + 1 >= argc)
+                fatal("--json needs a file");
+            json_out = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: experiment_runner [config.cfg] "
+                        "[key=value ...] [--json out.json]\n");
+            return 0;
+        } else if (arg.find('=') != std::string::npos) {
+            overrides.push_back(arg);
+        } else {
+            cfg.merge(Config::fromFile(arg));
+        }
+    }
+    cfg.merge(Config::fromTokens(overrides));
+
+    const auto profiles = split(
+        cfg.getString("profiles", "ammp,parser,gcc,twolf"), ',');
+    for (const auto &name : profiles)
+        if (!hasProfile(name))
+            fatal("unknown profile '", name, "'");
+
+    const GoalSet goals = goalsFrom(cfg, profiles.size());
+    auto model = buildModel(cfg, goals, profiles.size());
+    const u64 refs =
+        static_cast<u64>(cfg.getInt("refs", 2'000'000));
+    const u64 seed = static_cast<u64>(cfg.getInt("seed", 1));
+
+    const SimResult result =
+        runWorkload(profiles, *model, goals, refs, seed);
+
+    std::printf("%s | %llu refs\n", result.cacheName.c_str(),
+                static_cast<unsigned long long>(result.accesses));
+    TablePrinter table(
+        {"app", "miss rate", "goal", "deviation", "AMAT (cyc)"});
+    for (const AppSummary &app : result.qos.apps) {
+        table.row({app.label, formatDouble(app.missRate, 4),
+                   app.goal ? formatDouble(*app.goal, 2) : "-",
+                   app.deviation ? formatDouble(*app.deviation, 4) : "-",
+                   formatDouble(app.amat, 1)});
+    }
+    table.print(std::cout);
+    std::printf("average deviation %.4f | global miss rate %.4f | "
+                "energy %.3f mJ\n",
+                result.qos.averageDeviation, result.qos.globalMissRate,
+                result.totalEnergyNj * 1e-6);
+
+    if (!json_out.empty()) {
+        writeJson(json_out, result);
+        std::printf("wrote %s\n", json_out.c_str());
+    }
+    return 0;
+}

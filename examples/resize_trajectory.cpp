@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Resize trajectory: watch Algorithm 1 work in real time.
+ *
+ * Drives the SPEC 4-app workload through a molecular cache and samples
+ * each application's region size and interval miss rate every N
+ * accesses, emitting a CSV time series (stdout or --out FILE) ready for
+ * plotting.  This is the picture behind Figure 5: ammp shrinking to its
+ * goal, parser growing, mcf being capped by the thrash clause.
+ *
+ * Usage: resize_trajectory [--size 4M] [--refs 2000000]
+ *                          [--sample 50000] [--goal 0.1] [--out FILE]
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "core/molecular_cache.hpp"
+#include "sim/experiment.hpp"
+#include "stats/timeseries.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+using namespace molcache;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("resize_trajectory",
+                  "CSV time series of region sizes and miss rates under "
+                  "Algorithm 1");
+    cli.addOption("size", "4M", "total molecular cache size");
+    cli.addOption("refs", "2000000", "merged references");
+    cli.addOption("sample", "50000", "accesses between samples");
+    cli.addOption("goal", "0.1", "per-application miss-rate goal");
+    cli.addOption("placement", "randy", "random | randy | lrudirect");
+    cli.addOption("out", "", "output file (default: stdout)");
+    cli.parse(argc, argv);
+
+    const u64 refs = static_cast<u64>(cli.integer("refs"));
+    const u64 sample_every = static_cast<u64>(cli.integer("sample"));
+    const double goal = cli.real("goal");
+
+    MolecularCache cache(fig5MolecularParams(
+        cli.size("size"), parsePlacementPolicy(cli.str("placement"))));
+    const auto apps = spec4Names();
+    for (u32 i = 0; i < apps.size(); ++i)
+        cache.registerApplication(static_cast<Asid>(i), goal, 0, i, 1);
+
+    std::vector<std::string> columns;
+    for (const auto &app : apps) {
+        columns.push_back(app + "_molecules");
+        columns.push_back(app + "_missrate");
+    }
+    columns.push_back("free_molecules");
+    TimeSeries series(columns);
+
+    // Interval miss rates between samples, per app.
+    std::vector<u64> last_accesses(apps.size(), 0);
+    std::vector<u64> last_misses(apps.size(), 0);
+
+    auto source = makeMultiProgramSource(apps, refs);
+    u64 done = 0;
+    auto take_sample = [&] {
+        std::vector<double> row;
+        for (u32 i = 0; i < apps.size(); ++i) {
+            const auto &c = cache.stats().forAsid(static_cast<Asid>(i));
+            const u64 da = c.accesses - last_accesses[i];
+            const u64 dm = c.misses - last_misses[i];
+            last_accesses[i] = c.accesses;
+            last_misses[i] = c.misses;
+            row.push_back(cache.region(static_cast<Asid>(i)).size());
+            row.push_back(da ? static_cast<double>(dm) /
+                                   static_cast<double>(da)
+                             : 0.0);
+        }
+        row.push_back(cache.freeMolecules());
+        series.sample(done, row);
+    };
+
+    while (auto access = source->next()) {
+        cache.access(*access);
+        if (++done % sample_every == 0)
+            take_sample();
+    }
+    if (done % sample_every != 0)
+        take_sample();
+
+    const std::string out = cli.str("out");
+    if (out.empty()) {
+        series.writeCsv(std::cout);
+    } else {
+        std::ofstream f(out);
+        if (!f)
+            fatal("cannot open '", out, "' for writing");
+        series.writeCsv(f);
+        std::fprintf(stderr, "wrote %zu samples to %s\n", series.samples(),
+                     out.c_str());
+    }
+    return 0;
+}

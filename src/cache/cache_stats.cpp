@@ -1,0 +1,53 @@
+#include "cache/cache_stats.hpp"
+
+namespace molcache {
+
+void
+CacheStats::record(Asid asid, bool hit, bool isWrite, u32 latencyCycles)
+{
+    auto bump = [&](AccessCounters &c) {
+        ++c.accesses;
+        if (hit)
+            ++c.hits;
+        else
+            ++c.misses;
+        if (isWrite)
+            ++c.writes;
+        c.latencyCycles += latencyCycles;
+    };
+    bump(global_);
+    bump(perAsid_[asid]);
+}
+
+void
+CacheStats::recordWriteback(Asid asid)
+{
+    ++global_.writebacks;
+    ++perAsid_[asid].writebacks;
+}
+
+const AccessCounters &
+CacheStats::forAsid(Asid asid) const
+{
+    static const AccessCounters kZero{};
+    const auto it = perAsid_.find(asid);
+    return it == perAsid_.end() ? kZero : it->second;
+}
+
+std::map<Asid, double>
+CacheStats::missRates() const
+{
+    std::map<Asid, double> out;
+    for (const auto &[asid, c] : perAsid_)
+        out[asid] = c.missRate();
+    return out;
+}
+
+void
+CacheStats::reset()
+{
+    global_ = AccessCounters{};
+    perAsid_.clear();
+}
+
+} // namespace molcache

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-application and global cache statistics.
+ *
+ * Every cache model tracks hits/misses both globally and per ASID; the
+ * paper's evaluation is entirely in terms of per-application miss rates
+ * (Table 1, Figure 5, Table 2) so per-ASID resolution is first class.
+ */
+
+#ifndef MOLCACHE_CACHE_CACHE_STATS_HPP
+#define MOLCACHE_CACHE_CACHE_STATS_HPP
+
+#include <map>
+
+#include "stats/counter.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+
+/** Counter block kept once globally and once per ASID. */
+struct AccessCounters
+{
+    u64 accesses = 0;
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 writes = 0;
+    u64 writebacks = 0;
+    /** Sum of per-access latencies (cache cycles). */
+    u64 latencyCycles = 0;
+
+    double missRate() const { return ratio(misses, accesses); }
+    double hitRate() const { return ratio(hits, accesses); }
+    /** Average memory access time, in cache cycles. */
+    double amat() const
+    {
+        return accesses == 0 ? 0.0
+                             : static_cast<double>(latencyCycles) /
+                                   static_cast<double>(accesses);
+    }
+};
+
+class CacheStats
+{
+  public:
+    /** Record one access outcome. */
+    void record(Asid asid, bool hit, bool isWrite, u32 latencyCycles = 0);
+
+    /** Record a dirty-line eviction. */
+    void recordWriteback(Asid asid);
+
+    const AccessCounters &global() const { return global_; }
+
+    /** Counters for @p asid (zeros if never seen). */
+    const AccessCounters &forAsid(Asid asid) const;
+
+    /** Per-ASID observed miss rates (only ASIDs actually seen). */
+    std::map<Asid, double> missRates() const;
+
+    /** All per-ASID counters. */
+    const std::map<Asid, AccessCounters> &perAsid() const { return perAsid_; }
+
+    void reset();
+
+  private:
+    AccessCounters global_;
+    std::map<Asid, AccessCounters> perAsid_;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_CACHE_CACHE_STATS_HPP

@@ -1,0 +1,228 @@
+#include "cache/replacement.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace molcache {
+
+namespace {
+
+/** True LRU via per-way age stamps (small associativities only). */
+class LruState final : public ReplacementState
+{
+  public:
+    LruState(u32 sets, u32 ways)
+        : ways_(ways), stamps_(static_cast<size_t>(sets) * ways, 0),
+          clock_(0)
+    {
+    }
+
+    void
+    touch(u32 set, u32 way) override
+    {
+        stamps_[idx(set, way)] = ++clock_;
+    }
+
+    void
+    insert(u32 set, u32 way) override
+    {
+        touch(set, way);
+    }
+
+    u32
+    victim(u32 set) override
+    {
+        u32 best = 0;
+        u64 oldest = stamps_[idx(set, 0)];
+        for (u32 w = 1; w < ways_; ++w) {
+            const u64 s = stamps_[idx(set, w)];
+            if (s < oldest) {
+                oldest = s;
+                best = w;
+            }
+        }
+        return best;
+    }
+
+    std::string name() const override { return "lru"; }
+
+  private:
+    size_t
+    idx(u32 set, u32 way) const
+    {
+        return static_cast<size_t>(set) * ways_ + way;
+    }
+
+    u32 ways_;
+    std::vector<u64> stamps_;
+    u64 clock_;
+};
+
+/** FIFO: evict in insertion order, ignoring hits. */
+class FifoState final : public ReplacementState
+{
+  public:
+    FifoState(u32 sets, u32 ways)
+        : ways_(ways), next_(sets, 0)
+    {
+    }
+
+    void touch(u32, u32) override {}
+
+    void
+    insert(u32 set, u32 way) override
+    {
+        // Track the rotation implicitly: inserting at the victim slot
+        // advances the pointer.
+        if (way == next_[set])
+            next_[set] = (next_[set] + 1) % ways_;
+    }
+
+    u32
+    victim(u32 set) override
+    {
+        return next_[set];
+    }
+
+    std::string name() const override { return "fifo"; }
+
+  private:
+    u32 ways_;
+    std::vector<u32> next_;
+};
+
+/** Uniform random victim. */
+class RandomState final : public ReplacementState
+{
+  public:
+    RandomState(u32 ways, u64 seed)
+        : ways_(ways), rng_(seed)
+    {
+    }
+
+    void touch(u32, u32) override {}
+    void insert(u32, u32) override {}
+
+    u32
+    victim(u32) override
+    {
+        return rng_.below(ways_);
+    }
+
+    std::string name() const override { return "random"; }
+
+  private:
+    u32 ways_;
+    Pcg32 rng_;
+};
+
+/** Tree pseudo-LRU (power-of-two associativities). */
+class TreePlruState final : public ReplacementState
+{
+  public:
+    TreePlruState(u32 sets, u32 ways)
+        : ways_(ways), bits_(static_cast<size_t>(sets) * (ways - 1), false)
+    {
+        MOLCACHE_ASSERT(isPowerOfTwo(ways), "tree-PLRU needs 2^k ways");
+    }
+
+    void
+    touch(u32 set, u32 way) override
+    {
+        // Walk root->leaf, pointing each node away from the touched way.
+        u32 node = 0;
+        u32 lo = 0, hi = ways_;
+        while (hi - lo > 1) {
+            const u32 mid = (lo + hi) / 2;
+            const bool right = way >= mid;
+            bit(set, node) = !right; // point away
+            node = 2 * node + (right ? 2 : 1);
+            (right ? lo : hi) = mid;
+        }
+    }
+
+    void
+    insert(u32 set, u32 way) override
+    {
+        touch(set, way);
+    }
+
+    u32
+    victim(u32 set) override
+    {
+        u32 node = 0;
+        u32 lo = 0, hi = ways_;
+        while (hi - lo > 1) {
+            const u32 mid = (lo + hi) / 2;
+            const bool right = bit(set, node);
+            node = 2 * node + (right ? 2 : 1);
+            (right ? lo : hi) = mid;
+        }
+        return lo;
+    }
+
+    std::string name() const override { return "plru"; }
+
+  private:
+    std::vector<bool>::reference
+    bit(u32 set, u32 node)
+    {
+        return bits_[static_cast<size_t>(set) * (ways_ - 1) + node];
+    }
+
+    u32 ways_;
+    std::vector<bool> bits_;
+};
+
+} // namespace
+
+ReplPolicy
+parseReplPolicy(const std::string &text)
+{
+    if (text == "lru")
+        return ReplPolicy::Lru;
+    if (text == "fifo")
+        return ReplPolicy::Fifo;
+    if (text == "random")
+        return ReplPolicy::Random;
+    if (text == "plru")
+        return ReplPolicy::TreePlru;
+    fatal("unknown replacement policy '", text, "'");
+}
+
+std::string
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::Lru:
+        return "lru";
+      case ReplPolicy::Fifo:
+        return "fifo";
+      case ReplPolicy::Random:
+        return "random";
+      case ReplPolicy::TreePlru:
+        return "plru";
+    }
+    panic("unknown ReplPolicy");
+}
+
+std::unique_ptr<ReplacementState>
+makeReplacementState(ReplPolicy policy, u32 sets, u32 ways, u64 seed)
+{
+    MOLCACHE_ASSERT(sets > 0 && ways > 0, "degenerate cache geometry");
+    switch (policy) {
+      case ReplPolicy::Lru:
+        return std::make_unique<LruState>(sets, ways);
+      case ReplPolicy::Fifo:
+        return std::make_unique<FifoState>(sets, ways);
+      case ReplPolicy::Random:
+        return std::make_unique<RandomState>(ways, seed);
+      case ReplPolicy::TreePlru:
+        return std::make_unique<TreePlruState>(sets, ways);
+    }
+    panic("unknown ReplPolicy");
+}
+
+} // namespace molcache

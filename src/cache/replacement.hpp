@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-set replacement policies for the traditional cache model.
+ *
+ * The paper's baselines are standard LRU set-associative caches; FIFO,
+ * Random and tree-PLRU are provided for completeness (section 3.3 opens
+ * with the FIFO/Random/LRU comparison).
+ */
+
+#ifndef MOLCACHE_CACHE_REPLACEMENT_HPP
+#define MOLCACHE_CACHE_REPLACEMENT_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+
+/** Policy selector. */
+enum class ReplPolicy { Lru, Fifo, Random, TreePlru };
+
+/** Parse "lru" / "fifo" / "random" / "plru". */
+ReplPolicy parseReplPolicy(const std::string &text);
+
+/** Printable name. */
+std::string replPolicyName(ReplPolicy p);
+
+/**
+ * Replacement state for all sets of one cache.  The cache calls touch()
+ * on hits, insert() on fills, and victim() when it needs to evict from a
+ * full set.
+ */
+class ReplacementState
+{
+  public:
+    virtual ~ReplacementState() = default;
+
+    virtual void touch(u32 set, u32 way) = 0;
+    virtual void insert(u32 set, u32 way) = 0;
+    /** Pick the way to evict in a full set. */
+    virtual u32 victim(u32 set) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Factory. @p seed feeds the Random policy. */
+std::unique_ptr<ReplacementState> makeReplacementState(ReplPolicy policy,
+                                                       u32 sets, u32 ways,
+                                                       u64 seed = 1);
+
+} // namespace molcache
+
+#endif // MOLCACHE_CACHE_REPLACEMENT_HPP

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Traditional set-associative cache model (the Dinero role).
+ *
+ * This is the paper's baseline: a monolithic, shared, set-associative
+ * cache with a common line size and associativity for all applications.
+ * It is trace driven and tracks per-ASID statistics so the interference
+ * experiment (Table 1) and the deviation baselines (Figure 5, Table 2)
+ * fall out directly.
+ */
+
+#ifndef MOLCACHE_CACHE_SET_ASSOC_HPP
+#define MOLCACHE_CACHE_SET_ASSOC_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/replacement.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+
+/** Geometry and policy of a traditional cache. */
+struct SetAssocParams
+{
+    u64 sizeBytes = 1ull << 20;
+    u32 associativity = 4;
+    u32 lineSize = 64;
+    ReplPolicy replacement = ReplPolicy::Lru;
+    /** Read/write ports; only power reporting cares. */
+    u32 ports = 1;
+    /** Dynamic energy per access (nJ); 0 disables energy accounting. */
+    double energyPerAccessNj = 0.0;
+    /** Hit latency in cache cycles. */
+    u32 hitLatencyCycles = 1;
+    /** Additional cycles a miss pays for the memory round trip. */
+    u32 missPenaltyCycles = 200;
+    u64 seed = 1;
+
+    u32 numSets() const;
+    u32 numLines() const;
+
+    /** fatal() unless sizes/associativity are coherent powers of two. */
+    void validate() const;
+};
+
+class SetAssocCache final : public CacheModel
+{
+  public:
+    explicit SetAssocCache(const SetAssocParams &params);
+
+    AccessResult access(const MemAccess &access) override;
+    const CacheStats &stats() const override { return stats_; }
+    std::string name() const override;
+    void resetStats() override;
+    double totalEnergyNj() const override { return energyNj_; }
+
+    const SetAssocParams &params() const { return params_; }
+
+    /** True if @p addr is currently cached (no state change). */
+    bool probe(Addr addr) const;
+
+    /** Number of valid lines currently held by @p asid. */
+    u32 occupancy(Asid asid) const;
+
+    /** Invalidate everything (keeps stats). */
+    void flush();
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        Asid asid = kInvalidAsid;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    u32 setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Line &lineAt(u32 set, u32 way);
+    const Line &lineAt(u32 set, u32 way) const;
+
+    SetAssocParams params_;
+    u32 sets_;
+    std::vector<Line> lines_;
+    std::unique_ptr<ReplacementState> repl_;
+    CacheStats stats_;
+    double energyNj_ = 0.0;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_CACHE_SET_ASSOC_HPP

@@ -1,0 +1,246 @@
+#include "cache/way_partitioned.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stats/counter.hpp"
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace molcache {
+
+u32
+WayPartitionedParams::numSets() const
+{
+    return static_cast<u32>(sizeBytes / (static_cast<u64>(associativity) *
+                                         lineSize));
+}
+
+void
+WayPartitionedParams::validate() const
+{
+    if (lineSize == 0 || !isPowerOfTwo(lineSize))
+        fatal("line size must be a power of two");
+    if (associativity == 0)
+        fatal("associativity must be >= 1");
+    if (sizeBytes % (static_cast<u64>(associativity) * lineSize) != 0 ||
+        !isPowerOfTwo(numSets()))
+        fatal("way-partitioned geometry must give 2^k sets");
+}
+
+WayPartitionedCache::WayPartitionedCache(const WayPartitionedParams &params)
+    : params_(params)
+{
+    params_.validate();
+    sets_ = params_.numSets();
+    lines_.resize(static_cast<size_t>(sets_) * params_.associativity);
+    nextRepartition_ = params_.repartitionPeriod;
+}
+
+WayPartitionedCache::Line &
+WayPartitionedCache::lineAt(u32 set, u32 way)
+{
+    return lines_[static_cast<size_t>(set) * params_.associativity + way];
+}
+
+u32
+WayPartitionedCache::setIndex(Addr addr) const
+{
+    return static_cast<u32>((addr / params_.lineSize) & (sets_ - 1));
+}
+
+Addr
+WayPartitionedCache::tagOf(Addr addr) const
+{
+    return addr / params_.lineSize / sets_;
+}
+
+void
+WayPartitionedCache::registerApplication(Asid asid, double missRateGoal)
+{
+    if (asid == kInvalidAsid)
+        fatal("cannot register the invalid ASID");
+    if (apps_.count(asid))
+        fatal("ASID ", asid, " is already registered");
+    if (apps_.size() >= params_.associativity)
+        fatal("way partitioning supports at most associativity (",
+              params_.associativity, ") applications");
+    if (missRateGoal <= 0.0 || missRateGoal > 1.0)
+        fatal("miss-rate goal out of (0,1]");
+    apps_[asid].goal = missRateGoal;
+    rebalanceEvenly();
+}
+
+bool
+WayPartitionedCache::hasApplication(Asid asid) const
+{
+    return apps_.count(asid) != 0;
+}
+
+u32
+WayPartitionedCache::waysOf(Asid asid) const
+{
+    const auto it = apps_.find(asid);
+    return it == apps_.end() ? 0
+                             : static_cast<u32>(it->second.ways.size());
+}
+
+WayPartitionedCache::App &
+WayPartitionedCache::appFor(Asid asid)
+{
+    const auto it = apps_.find(asid);
+    if (it != apps_.end())
+        return it->second;
+    registerApplication(asid, 0.1);
+    return apps_.at(asid);
+}
+
+void
+WayPartitionedCache::rebalanceEvenly()
+{
+    const u32 n = static_cast<u32>(apps_.size());
+    const u32 base = params_.associativity / n;
+    u32 extra = params_.associativity % n;
+    u32 next_way = 0;
+    for (auto &[asid, app] : apps_) {
+        app.ways.clear();
+        u32 quota = base + (extra > 0 ? 1 : 0);
+        if (extra > 0)
+            --extra;
+        while (quota-- > 0)
+            app.ways.push_back(next_way++);
+    }
+    MOLCACHE_ASSERT(next_way == params_.associativity,
+                    "way distribution bookkeeping is off");
+}
+
+void
+WayPartitionedCache::maybeRepartition()
+{
+    if (params_.repartitionPeriod == 0 || tick_ < nextRepartition_)
+        return;
+    nextRepartition_ = tick_ + params_.repartitionPeriod;
+
+    // Marginal reallocation in the spirit of Suh's allocator: move one
+    // way per period from the most under-goal donor with ways to spare
+    // to the most over-goal receiver.
+    App *donor = nullptr;
+    App *receiver = nullptr;
+    double donor_slack = 0.0;
+    double receiver_need = 0.0;
+    for (auto &[asid, app] : apps_) {
+        if (app.intervalAccesses < 500)
+            continue;
+        const double mr = ratio(app.intervalMisses, app.intervalAccesses);
+        const double delta = mr - app.goal;
+        if (delta < 0 && app.ways.size() > 1 && -delta > donor_slack) {
+            donor_slack = -delta;
+            donor = &app;
+        }
+        if (delta > 0 && delta > receiver_need) {
+            receiver_need = delta;
+            receiver = &app;
+        }
+    }
+    if (donor != nullptr && receiver != nullptr && donor != receiver) {
+        const u32 way = donor->ways.back();
+        donor->ways.pop_back();
+        receiver->ways.push_back(way);
+        ++repartitions_;
+        // Lines in the moved column stay until naturally displaced —
+        // lookups still find them (column caching restricts placement,
+        // not lookup).
+    }
+    for (auto &[asid, app] : apps_) {
+        app.intervalAccesses = 0;
+        app.intervalMisses = 0;
+    }
+}
+
+AccessResult
+WayPartitionedCache::access(const MemAccess &access)
+{
+    App &app = appFor(access.asid);
+    ++tick_;
+    ++clock_;
+    ++app.intervalAccesses;
+
+    AccessResult result;
+    result.energyNj = params_.energyPerAccessNj;
+    energyNj_ += params_.energyPerAccessNj;
+
+    const u32 set = setIndex(access.addr);
+    const Addr tag = tagOf(access.addr);
+
+    // Lookup over every way: hits outside the own columns are legal.
+    for (u32 w = 0; w < params_.associativity; ++w) {
+        Line &line = lineAt(set, w);
+        if (line.valid && line.tag == tag) {
+            line.lru = clock_;
+            if (access.isWrite())
+                line.dirty = true;
+            result.latencyCycles = params_.hitLatencyCycles;
+            stats_.record(access.asid, true, access.isWrite(),
+                          result.latencyCycles);
+            result.hit = true;
+            maybeRepartition();
+            return result;
+        }
+    }
+
+    // Miss: place within the requestor's columns only (invalid first,
+    // else LRU among them).
+    ++app.intervalMisses;
+    MOLCACHE_ASSERT(!app.ways.empty(), "application with no columns");
+    u32 victim = app.ways.front();
+    u64 oldest = ~0ull;
+    for (const u32 w : app.ways) {
+        Line &line = lineAt(set, w);
+        if (!line.valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (line.lru < oldest) {
+            oldest = line.lru;
+            victim = w;
+        }
+    }
+
+    Line &line = lineAt(set, victim);
+    if (line.valid && line.dirty)
+        stats_.recordWriteback(line.asid);
+    line.valid = true;
+    line.tag = tag;
+    line.asid = access.asid;
+    line.dirty = access.isWrite();
+    line.lru = clock_;
+
+    result.latencyCycles =
+        params_.hitLatencyCycles + params_.missPenaltyCycles;
+    stats_.record(access.asid, false, access.isWrite(),
+                  result.latencyCycles);
+    result.hit = false;
+    result.level = 2;
+    maybeRepartition();
+    return result;
+}
+
+std::string
+WayPartitionedCache::name() const
+{
+    std::ostringstream os;
+    os << formatSize(params_.sizeBytes) << " " << params_.associativity
+       << "-way column-partitioned";
+    return os.str();
+}
+
+void
+WayPartitionedCache::resetStats()
+{
+    stats_.reset();
+    energyNj_ = 0.0;
+}
+
+} // namespace molcache

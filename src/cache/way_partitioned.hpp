@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Way-partitioned (column-caching) baseline — Suh, Rudolph & Devadas'
+ * "Dynamic partitioning of shared cache memory" scheme, the closest
+ * prior art the paper argues against (section 2): each application is
+ * restricted to a subset of the ways ("columns") of a conventional
+ * set-associative cache.
+ *
+ * The paper's critique, which this model lets you measure directly:
+ * partition granularity is a whole way (size/associativity bytes), the
+ * number of partitions is bounded by the associativity, and reaching
+ * fine granularity requires high associativity — which costs superlinear
+ * power (see power/cacti.hpp).  Contrast with molecules: 8 KB granules,
+ * hundreds of partitions, direct-mapped building blocks.
+ *
+ * Implementation notes:
+ *  - lookup searches ALL ways (hits in another application's column are
+ *    legal — restriction applies to *placement*, as in column caching);
+ *  - on a miss the victim is chosen by LRU among the requestor's
+ *    assigned columns only;
+ *  - a lightweight goal-driven reassigner (in the spirit of Suh's
+ *    marginal-gain allocator) periodically moves columns from
+ *    under-goal to over-goal applications.
+ */
+
+#ifndef MOLCACHE_CACHE_WAY_PARTITIONED_HPP
+#define MOLCACHE_CACHE_WAY_PARTITIONED_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+
+struct WayPartitionedParams
+{
+    u64 sizeBytes = 2ull << 20;
+    u32 associativity = 8;
+    u32 lineSize = 64;
+    /** Reassignment period in accesses (0 disables dynamic repartition). */
+    u64 repartitionPeriod = 25000;
+    /** Dynamic energy per access (nJ); 0 disables energy accounting. */
+    double energyPerAccessNj = 0.0;
+    /** Hit latency in cache cycles. */
+    u32 hitLatencyCycles = 1;
+    /** Additional cycles a miss pays for the memory round trip. */
+    u32 missPenaltyCycles = 200;
+
+    u32 numSets() const;
+    void validate() const;
+};
+
+class WayPartitionedCache final : public CacheModel
+{
+  public:
+    explicit WayPartitionedCache(const WayPartitionedParams &params);
+
+    /**
+     * Assign an application and its miss-rate goal.  Ways are
+     * (re)divided evenly among registered applications, remainder to the
+     * earliest; at least one way each — registration beyond
+     * `associativity` applications is fatal.
+     */
+    void registerApplication(Asid asid, double missRateGoal);
+    bool hasApplication(Asid asid) const;
+
+    /** Ways currently assigned to @p asid. */
+    u32 waysOf(Asid asid) const;
+
+    // CacheModel ------------------------------------------------------
+    AccessResult access(const MemAccess &access) override;
+    const CacheStats &stats() const override { return stats_; }
+    std::string name() const override;
+    void resetStats() override;
+    double totalEnergyNj() const override { return energyNj_; }
+
+    u64 repartitions() const { return repartitions_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        Asid asid = kInvalidAsid;
+        u64 lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    struct App
+    {
+        double goal = 0.1;
+        std::vector<u32> ways;
+        u64 intervalAccesses = 0;
+        u64 intervalMisses = 0;
+    };
+
+    Line &lineAt(u32 set, u32 way);
+    u32 setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    App &appFor(Asid asid);
+    void rebalanceEvenly();
+    void maybeRepartition();
+
+    WayPartitionedParams params_;
+    u32 sets_;
+    std::vector<Line> lines_;
+    std::map<Asid, App> apps_;
+    CacheStats stats_;
+    u64 clock_ = 0;
+    Tick tick_ = 0;
+    Tick nextRepartition_ = 0;
+    u64 repartitions_ = 0;
+    double energyNj_ = 0.0;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_CACHE_WAY_PARTITIONED_HPP

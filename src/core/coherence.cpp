@@ -1,0 +1,108 @@
+#include "core/coherence.hpp"
+
+#include "util/logging.hpp"
+
+namespace molcache {
+
+CoherenceDirectory::CoherenceDirectory(u32 numClusters)
+    : numClusters_(numClusters)
+{
+    MOLCACHE_ASSERT(numClusters >= 1 && numClusters <= 32,
+                    "directory supports 1..32 clusters");
+}
+
+std::vector<u32>
+CoherenceDirectory::othersOf(const Entry &e, u32 cluster) const
+{
+    std::vector<u32> out;
+    for (u32 c = 0; c < numClusters_; ++c)
+        if (c != cluster && (e.holders & (1u << c)))
+            out.push_back(c);
+    return out;
+}
+
+std::vector<u32>
+CoherenceDirectory::noteFill(Addr lineAddr, u32 cluster, bool exclusive)
+{
+    MOLCACHE_ASSERT(cluster < numClusters_, "cluster out of range");
+    ++stats_.fills;
+    Entry &e = map_[lineAddr];
+
+    std::vector<u32> invalidate;
+    if (exclusive) {
+        invalidate = othersOf(e, cluster);
+        stats_.invalidationsSent += invalidate.size();
+        e.holders = 1u << cluster;
+        e.modified = true;
+        e.owner = cluster;
+        return invalidate;
+    }
+
+    // Read fill: a remote modified copy is downgraded to shared (its data
+    // is assumed written back), everyone keeps a copy.
+    if (e.modified && e.owner != cluster) {
+        e.modified = false;
+        ++stats_.downgrades;
+    }
+    e.holders |= 1u << cluster;
+    return invalidate;
+}
+
+std::vector<u32>
+CoherenceDirectory::noteWrite(Addr lineAddr, u32 cluster)
+{
+    MOLCACHE_ASSERT(cluster < numClusters_, "cluster out of range");
+    ++stats_.writes;
+    Entry &e = map_[lineAddr];
+    std::vector<u32> invalidate = othersOf(e, cluster);
+    stats_.invalidationsSent += invalidate.size();
+    e.holders = 1u << cluster;
+    e.modified = true;
+    e.owner = cluster;
+    return invalidate;
+}
+
+void
+CoherenceDirectory::noteEviction(Addr lineAddr, u32 cluster)
+{
+    MOLCACHE_ASSERT(cluster < numClusters_, "cluster out of range");
+    const auto it = map_.find(lineAddr);
+    if (it == map_.end())
+        return;
+    ++stats_.evictions;
+    Entry &e = it->second;
+    e.holders &= ~(1u << cluster);
+    if (e.modified && e.owner == cluster)
+        e.modified = false;
+    if (e.holders == 0)
+        map_.erase(it);
+}
+
+bool
+CoherenceDirectory::isHeld(Addr lineAddr, u32 cluster) const
+{
+    const auto it = map_.find(lineAddr);
+    return it != map_.end() && (it->second.holders & (1u << cluster));
+}
+
+u32
+CoherenceDirectory::holderCount(Addr lineAddr) const
+{
+    const auto it = map_.find(lineAddr);
+    if (it == map_.end())
+        return 0;
+    u32 n = 0;
+    for (u32 c = 0; c < numClusters_; ++c)
+        if (it->second.holders & (1u << c))
+            ++n;
+    return n;
+}
+
+bool
+CoherenceDirectory::isModified(Addr lineAddr) const
+{
+    const auto it = map_.find(lineAddr);
+    return it != map_.end() && it->second.modified;
+}
+
+} // namespace molcache

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Inter-cluster coherence directory.
+ *
+ * Paper section 3: "Ulmo handles tile-misses and the coherence traffic
+ * between the tile clusters".  molcache models that traffic with a
+ * duplicate-tag style directory shared by all Ulmos: each resident line
+ * address maps to the set of clusters holding a copy and an MSI-ish
+ * state.  Fills add holders; writes invalidate remote holders; evictions
+ * remove them.  With the disjoint per-application address windows of the
+ * paper's workloads no invalidations occur (the directory just tracks);
+ * shared-address-space workloads (e.g. threads of one application pinned
+ * to different clusters) exercise the invalidate path — see
+ * tests/core/coherence_test.cpp and examples.
+ */
+
+#ifndef MOLCACHE_CORE_COHERENCE_HPP
+#define MOLCACHE_CORE_COHERENCE_HPP
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+/** Directory statistics. */
+struct CoherenceStats
+{
+    u64 fills = 0;
+    u64 writes = 0;
+    u64 evictions = 0;
+    u64 invalidationsSent = 0;
+    u64 downgrades = 0;
+};
+
+class CoherenceDirectory
+{
+  public:
+    /** @param numClusters at most 32 clusters (holder bitmask width). */
+    explicit CoherenceDirectory(u32 numClusters);
+
+    /**
+     * A line was filled into @p cluster.
+     * @param exclusive true when the fill is for a write (M state)
+     * @return clusters whose copies must be invalidated (empty for reads;
+     *         reads of a remotely-modified line downgrade instead)
+     */
+    std::vector<u32> noteFill(Addr lineAddr, u32 cluster, bool exclusive);
+
+    /**
+     * A write hit in @p cluster.
+     * @return clusters whose copies must be invalidated
+     */
+    std::vector<u32> noteWrite(Addr lineAddr, u32 cluster);
+
+    /** @p cluster no longer holds the line. */
+    void noteEviction(Addr lineAddr, u32 cluster);
+
+    /** True if @p cluster currently holds @p lineAddr. */
+    bool isHeld(Addr lineAddr, u32 cluster) const;
+
+    /** Number of clusters holding @p lineAddr. */
+    u32 holderCount(Addr lineAddr) const;
+
+    /** True if some cluster holds the line modified. */
+    bool isModified(Addr lineAddr) const;
+
+    const CoherenceStats &stats() const { return stats_; }
+
+    /** Tracked line count (size of the directory). */
+    size_t entries() const { return map_.size(); }
+
+  private:
+    struct Entry
+    {
+        u32 holders = 0; // bitmask over clusters
+        bool modified = false;
+        u32 owner = 0; // valid when modified
+    };
+
+    std::vector<u32> othersOf(const Entry &e, u32 cluster) const;
+
+    u32 numClusters_;
+    std::unordered_map<Addr, Entry> map_;
+    CoherenceStats stats_;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_CORE_COHERENCE_HPP

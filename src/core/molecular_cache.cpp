@@ -1,0 +1,643 @@
+#include "core/molecular_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "power/report.hpp"
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace molcache {
+
+MolecularCache::MolecularCache(const MolecularCacheParams &params)
+    : params_(params), directory_(params.clusters),
+      noc_(params.clusters, params.noc), resizer_(params)
+{
+    params_.validate();
+
+    const u32 total_tiles = params_.totalTiles();
+    tiles_.reserve(total_tiles);
+    for (u32 t = 0; t < total_tiles; ++t) {
+        tiles_.emplace_back(t, t / params_.tilesPerCluster,
+                            t * params_.moleculesPerTile,
+                            params_.moleculesPerTile,
+                            params_.linesPerMolecule(), params_.lineSize);
+    }
+
+    ulmos_.reserve(params_.clusters);
+    for (u32 c = 0; c < params_.clusters; ++c) {
+        std::vector<u32> cluster_tiles;
+        for (u32 i = 0; i < params_.tilesPerCluster; ++i)
+            cluster_tiles.push_back(c * params_.tilesPerCluster + i);
+        ulmos_.emplace_back(c, std::move(cluster_tiles), directory_);
+    }
+
+    appsPerCluster_.assign(params_.clusters, 0);
+    rng_ = makeRandomSource(params_.rngKind, params_.seed);
+
+    globalResizePeriod_ = params_.resizePeriod;
+    nextGlobalResize_ = params_.resizePeriod;
+
+    if (params_.enableEnergy) {
+        const CactiModel model(params_.techNode);
+        CacheGeometry mol;
+        mol.sizeBytes = params_.moleculeSize;
+        mol.associativity = 1;
+        mol.lineSize = params_.lineSize;
+        mol.ports = 1;
+        mol.extraTagBits = 17; // 16-bit ASID + shared bit
+        molProbeNj_ = molecularPerProbeEnergyNj(model, mol,
+                                                params_.moleculesPerTile);
+        molFillNj_ = model.evaluate(mol).writeEnergyNj;
+        tileFixedNj_ = molecularTileFixedEnergyNj(model, mol,
+                                                  params_.moleculesPerTile);
+        // Ulmo hop: request + line flight across the cluster's footprint.
+        const double mol_area = model.evaluate(mol).areaMm2;
+        const double cluster_area = mol_area * params_.moleculesPerTile *
+                                    params_.tilesPerCluster;
+        const double flight_mm = 2.0 * std::sqrt(cluster_area);
+        const u64 bus_bits = mol.addrBits +
+                             static_cast<u64>(params_.lineSize) * 8;
+        ulmoHopNj_ = static_cast<double>(bus_bits) * flight_mm *
+                     model.tech().wireCapFfPerMm * model.tech().vdd *
+                     model.tech().vdd * 1e-6;
+    }
+}
+
+void
+MolecularCache::registerApplication(Asid asid, double resizeGoal)
+{
+    const u32 cluster = asid % params_.clusters;
+    const u32 tile = appsPerCluster_[cluster] % params_.tilesPerCluster;
+    registerApplication(asid, resizeGoal, cluster, tile,
+                        params_.defaultLineMultiple);
+}
+
+void
+MolecularCache::registerApplication(Asid asid, double resizeGoal,
+                                    u32 cluster, u32 tile, u32 lineMultiple)
+{
+    if (asid == kInvalidAsid)
+        fatal("cannot register the invalid ASID");
+    if (hasApplication(asid))
+        fatal("ASID ", asid, " is already registered");
+    if (cluster >= params_.clusters)
+        fatal("cluster ", cluster, " out of range");
+    if (tile >= params_.tilesPerCluster)
+        fatal("tile ", tile, " out of cluster range");
+    if (lineMultiple == 0 || !isPowerOfTwo(lineMultiple) ||
+        lineMultiple > params_.linesPerMolecule())
+        fatal("bad region line multiple ", lineMultiple);
+    if (resizeGoal <= 0.0 || resizeGoal > 1.0)
+        fatal("miss-rate goal out of (0,1]");
+
+    const u32 home_tile = cluster * params_.tilesPerCluster + tile;
+    auto [it, inserted] = regions_.emplace(
+        std::piecewise_construct, std::forward_as_tuple(asid),
+        std::forward_as_tuple(asid, params_.placement, lineMultiple,
+                              home_tile, cluster, params_.moleculeSize,
+                              params_.initialRowMax));
+    MOLCACHE_ASSERT(inserted, "region emplace failed");
+    Region &region = it->second;
+    region.resizeGoal = resizeGoal;
+    region.maxAllocation = params_.maxAllocationChunk;
+    region.resizePeriod = params_.resizePeriod;
+    region.nextResizeTick = params_.resizePeriod;
+    ++appsPerCluster_[cluster];
+
+    // Ground Zero (section 3.4): the initial grant comes from the home
+    // tile; if it is exhausted we fall back to the cluster so the region
+    // is never created empty while molecules remain.
+    u32 want = 0;
+    switch (params_.initialAllocation) {
+      case InitialAllocation::Small:
+        want = params_.initialMolecules;
+        break;
+      case InitialAllocation::HalfTile:
+        want = params_.moleculesPerTile / 2;
+        break;
+      case InitialAllocation::FullTile:
+        want = params_.moleculesPerTile;
+        break;
+    }
+    want = std::max<u32>(want, 1);
+
+    u32 got = 0;
+    Tile &home = tiles_[home_tile];
+    while (got < want) {
+        const MoleculeId id = home.allocate(asid);
+        if (id == kInvalidMolecule)
+            break;
+        region.addMolecule(id, home_tile, /*initial=*/true);
+        ++got;
+    }
+    if (got == 0)
+        got = grant(region, 1);
+    if (got == 0)
+        warn("region for ASID ", asid, " created without molecules");
+    // The initial allocation counts as the last grant; a shortfall here
+    // already signals pool pressure to the thrash clause.
+    region.lastGrant = got;
+    region.lastGrantShort = got < want;
+}
+
+bool
+MolecularCache::hasApplication(Asid asid) const
+{
+    return regions_.count(asid) != 0;
+}
+
+void
+MolecularCache::unregisterApplication(Asid asid)
+{
+    const auto it = regions_.find(asid);
+    if (it == regions_.end())
+        fatal("ASID ", asid, " is not registered");
+    Region &region = it->second;
+
+    std::vector<MoleculeId> mols;
+    for (const auto &[tile, ids] : region.byTile())
+        mols.insert(mols.end(), ids.begin(), ids.end());
+    for (const MoleculeId id : mols) {
+        Molecule &m = molecule(id);
+        for (const Addr la : m.residentLines())
+            directory_.noteEviction(la, region.homeCluster());
+        const u32 dirty = tiles_[m.tile()].release(id);
+        for (u32 i = 0; i < dirty; ++i)
+            stats_.recordWriteback(asid);
+        region.removeMolecule(id);
+    }
+    MOLCACHE_ASSERT(appsPerCluster_[region.homeCluster()] > 0,
+                    "cluster app count underflow");
+    --appsPerCluster_[region.homeCluster()];
+    regions_.erase(it);
+}
+
+void
+MolecularCache::migrateApplication(Asid asid, u32 cluster, u32 tile)
+{
+    const auto it = regions_.find(asid);
+    if (it == regions_.end())
+        fatal("ASID ", asid, " is not registered");
+    if (cluster >= params_.clusters)
+        fatal("cluster ", cluster, " out of range");
+    if (tile >= params_.tilesPerCluster)
+        fatal("tile ", tile, " out of cluster range");
+
+    Region &region = it->second;
+    const u32 global_tile = cluster * params_.tilesPerCluster + tile;
+    if (cluster == region.homeCluster()) {
+        region.rehome(global_tile);
+        return;
+    }
+
+    // Cross-cluster: rebuild the partition at the destination.
+    const double goal = region.resizeGoal;
+    const u32 line_multiple = region.lineMultiple();
+    unregisterApplication(asid);
+    registerApplication(asid, goal, cluster, tile, line_multiple);
+}
+
+Region &
+MolecularCache::regionFor(Asid asid)
+{
+    const auto it = regions_.find(asid);
+    if (it != regions_.end())
+        return it->second;
+    registerApplication(asid, params_.defaultMissRateGoal);
+    return regions_.at(asid);
+}
+
+const Region &
+MolecularCache::region(Asid asid) const
+{
+    const auto it = regions_.find(asid);
+    if (it == regions_.end())
+        fatal("ASID ", asid, " is not registered");
+    return it->second;
+}
+
+Molecule &
+MolecularCache::molecule(MoleculeId id)
+{
+    const u32 tile = id / params_.moleculesPerTile;
+    MOLCACHE_ASSERT(tile < tiles_.size(), "molecule id out of range");
+    return tiles_[tile].molecule(id);
+}
+
+const Molecule &
+MolecularCache::molecule(MoleculeId id) const
+{
+    const u32 tile = id / params_.moleculesPerTile;
+    MOLCACHE_ASSERT(tile < tiles_.size(), "molecule id out of range");
+    return tiles_[tile].molecule(id);
+}
+
+u32
+MolecularCache::freeMolecules() const
+{
+    u32 n = 0;
+    for (const Tile &t : tiles_)
+        n += t.freeCount();
+    return n;
+}
+
+u32
+MolecularCache::freeMoleculesInCluster(u32 cluster) const
+{
+    MOLCACHE_ASSERT(cluster < params_.clusters, "cluster out of range");
+    u32 n = 0;
+    for (const u32 t : ulmos_[cluster].tiles())
+        n += tiles_[t].freeCount();
+    return n;
+}
+
+void
+MolecularCache::setSharedMolecule(MoleculeId id, bool shared)
+{
+    Molecule &m = molecule(id);
+    auto &list = sharedByTile_[m.tile()];
+    const auto it = std::find(list.begin(), list.end(), id);
+    if (shared) {
+        if (m.isFree())
+            fatal("shared bit on an unassigned molecule");
+        m.setSharedBit(true);
+        if (it == list.end())
+            list.push_back(id);
+    } else {
+        m.setSharedBit(false);
+        if (it != list.end())
+            list.erase(it);
+    }
+}
+
+Molecule *
+MolecularCache::probeTile(u32 tile, const std::vector<MoleculeId> &mols,
+                          Addr addr)
+{
+    for (const MoleculeId id : mols) {
+        Molecule &m = tiles_[tile].molecule(id);
+        if (m.lookup(addr))
+            return &m;
+    }
+    return nullptr;
+}
+
+double
+MolecularCache::tileAccessEnergyNj(u32 probes) const
+{
+    return tileFixedNj_ + probes * molProbeNj_;
+}
+
+AccessResult
+MolecularCache::access(const MemAccess &a)
+{
+    if (a.asid == kInvalidAsid)
+        fatal("access with the invalid ASID");
+    Region &region = regionFor(a.asid);
+    ++tick_;
+    Tile &home = tiles_[region.homeTile()];
+    home.notePortAccess();
+
+    LookupPlan plan = planLookup(region, region.homeTile(), a.addr,
+                                 params_.rowRestrictedLookup);
+
+    // Shared-bit molecules on the entry tile answer every request.
+    const auto shared_it = sharedByTile_.find(region.homeTile());
+    if (shared_it != sharedByTile_.end()) {
+        for (const MoleculeId id : shared_it->second)
+            if (!region.contains(id))
+                plan.home.molecules.push_back(id);
+    }
+
+    u32 probes = static_cast<u32>(plan.home.molecules.size());
+    double energy = tileAccessEnergyNj(probes);
+    // The ASID stage gates every tile visit; matching molecules of a
+    // tile are probed in parallel behind the single port.
+    u32 latency = params_.asidStageCycles + params_.moleculeAccessCycles;
+    u8 level = 0;
+
+    Molecule *hit_mol = probeTile(region.homeTile(), plan.home.molecules,
+                                  a.addr);
+
+    if (hit_mol == nullptr && !plan.remote.empty()) {
+        // Tile miss: Ulmo forwards to the region's other tiles.
+        Ulmo &ulmo = ulmos_[region.homeCluster()];
+        ulmo.noteTileMiss();
+        for (const TileProbes &tp : plan.remote) {
+            const u32 n = static_cast<u32>(tp.molecules.size());
+            energy += ulmoHopNj_ + tileAccessEnergyNj(n);
+            latency += params_.ulmoHopCycles + params_.asidStageCycles +
+                       params_.moleculeAccessCycles;
+            probes += n;
+            tiles_[tp.tile].notePortAccess();
+            ulmo.noteRemoteProbes(n);
+            hit_mol = probeTile(tp.tile, tp.molecules, a.addr);
+            if (hit_mol != nullptr) {
+                ulmo.noteRemoteHit();
+                level = 1;
+                break;
+            }
+        }
+    }
+
+    const bool hit = hit_mol != nullptr;
+    if (hit) {
+        if (params_.placement == PlacementPolicy::LruDirect)
+            hit_mol->noteTouch(a.addr, tick_);
+        if (a.isWrite()) {
+            hit_mol->markDirty(a.addr);
+            const Addr line = alignDown(a.addr, params_.lineSize);
+            applyInvalidations(
+                directory_.noteWrite(line, region.homeCluster()), line,
+                a.asid, region.homeCluster());
+        }
+    } else {
+        level = 2;
+        latency += params_.missPenaltyCycles;
+        energy += handleMiss(region, a);
+    }
+
+    region.noteAccess(hit);
+    stats_.record(a.asid, hit, a.isWrite(), latency);
+    intervalAccesses_.increment();
+    if (!hit)
+        intervalMisses_.increment();
+    probesTotal_ += probes;
+    enabledIntegral_ += region.size();
+    if (params_.enableEnergy)
+        energyNj_ += energy;
+
+    maybeResize(region);
+
+    AccessResult result;
+    result.hit = hit;
+    result.energyNj = params_.enableEnergy ? energy : 0.0;
+    result.latencyCycles = latency;
+    result.level = level;
+    return result;
+}
+
+double
+MolecularCache::handleMiss(Region &region, const MemAccess &a)
+{
+    if (region.empty()) {
+        // A region can be starved when its cluster was exhausted at
+        // registration time; retry on every miss so it recovers as soon
+        // as molecules free up.
+        if (grant(region, 1) == 0)
+            return 0.0; // uncacheable this access
+    }
+
+    const u64 unit = static_cast<u64>(region.lineMultiple()) *
+                     params_.lineSize;
+    const Addr base = alignDown(a.addr, unit);
+    const Addr accessed_line = alignDown(a.addr, params_.lineSize);
+
+    const MoleculeId mol_id =
+        params_.placement == PlacementPolicy::LruDirect
+            ? chooseLruDirectMolecule(region, a.addr)
+            : region.chooseFillMolecule(a.addr, *rng_);
+    Molecule &mol = molecule(mol_id);
+
+    bool replaced = false;
+    for (u32 i = 0; i < region.lineMultiple(); ++i) {
+        const Addr la = base + static_cast<u64>(i) * params_.lineSize;
+        const bool dirty = a.isWrite() && la == accessed_line;
+        if (const auto ev = mol.fill(la, dirty, tick_)) {
+            replaced = true;
+            if (ev->dirty)
+                stats_.recordWriteback(a.asid);
+            directory_.noteEviction(ev->addr, region.homeCluster());
+        }
+        applyInvalidations(
+            directory_.noteFill(la, region.homeCluster(), dirty), la,
+            a.asid, region.homeCluster());
+    }
+
+    if (replaced) {
+        // The paper's resize counters record misses that lead to line
+        // replacements (section 3.4, "Where to add?").
+        mol.noteMiss();
+        region.noteReplacement(mol_id, a.addr);
+    }
+    // The fill writes lineMultiple lines into the chosen molecule.
+    return static_cast<double>(region.lineMultiple()) * molFillNj_;
+}
+
+MoleculeId
+MolecularCache::chooseLruDirectMolecule(const Region &region, Addr addr)
+{
+    MOLCACHE_ASSERT(!region.empty(), "LRU-Direct fill into empty region");
+    MoleculeId best = kInvalidMolecule;
+    u64 best_tick = ~0ull;
+    for (const auto &[tile, mols] : region.byTile()) {
+        for (const MoleculeId id : mols) {
+            const auto tick = molecule(id).slotTouchTick(addr);
+            if (!tick)
+                return id; // invalid slot: take it immediately
+            if (*tick < best_tick) {
+                best_tick = *tick;
+                best = id;
+            }
+        }
+    }
+    MOLCACHE_ASSERT(best != kInvalidMolecule, "no LRU-Direct candidate");
+    return best;
+}
+
+void
+MolecularCache::applyInvalidations(const std::vector<u32> &clusters,
+                                   Addr lineAddr, Asid except, u32 origin)
+{
+    for (const u32 c : clusters) {
+        // One invalidation message from the writing cluster to each
+        // victim over the inter-cluster interconnect.
+        noc_.sendMessage(origin, c);
+        ulmos_[c].noteInvalidation();
+        for (auto &[asid, region] : regions_) {
+            if (region.homeCluster() != c || asid == except)
+                continue;
+            for (const auto &[tile, mols] : region.byTile()) {
+                for (const MoleculeId id : mols) {
+                    if (molecule(id).invalidate(lineAddr))
+                        stats_.recordWriteback(asid);
+                }
+            }
+        }
+        // Shared-bit molecules on the cluster's tiles.
+        for (const u32 t : ulmos_[c].tiles()) {
+            const auto it = sharedByTile_.find(t);
+            if (it == sharedByTile_.end())
+                continue;
+            for (const MoleculeId id : it->second) {
+                Molecule &m = molecule(id);
+                if (m.invalidate(lineAddr))
+                    stats_.recordWriteback(m.configuredAsid());
+            }
+        }
+    }
+}
+
+void
+MolecularCache::maybeResize(Region &region)
+{
+    switch (params_.resizeScheme) {
+      case ResizeScheme::Constant:
+        if (tick_ >= nextGlobalResize_) {
+            runGlobalResizeCycle();
+            intervalAccesses_.takeInterval();
+            intervalMisses_.takeInterval();
+            nextGlobalResize_ = tick_ + globalResizePeriod_;
+        }
+        break;
+      case ResizeScheme::GlobalAdaptive:
+        if (tick_ >= nextGlobalResize_) {
+            runGlobalResizeCycle();
+            const u64 acc = intervalAccesses_.takeInterval();
+            const u64 miss = intervalMisses_.takeInterval();
+            double mean_goal = 0.0;
+            for (const auto &[asid, r] : regions_)
+                mean_goal += r.resizeGoal;
+            mean_goal /= regions_.empty() ? 1.0
+                                          : static_cast<double>(
+                                                regions_.size());
+            globalResizePeriod_ = resizer_.adaptPeriod(
+                globalResizePeriod_, ratio(miss, acc), mean_goal);
+            nextGlobalResize_ = tick_ + globalResizePeriod_;
+        }
+        break;
+      case ResizeScheme::PerAppAdaptive:
+        if (region.accesses() >= region.nextResizeTick) {
+            const RegionResize rr =
+                resizer_.resizeRegion(region, region.resizeGoal, *this);
+            ++resizeCycles_;
+            if (rr.evaluated) {
+                region.resizePeriod = resizer_.adaptPeriod(
+                    region.resizePeriod, rr.missRate, region.resizeGoal);
+            }
+            region.nextResizeTick = region.accesses() + region.resizePeriod;
+        }
+        break;
+    }
+}
+
+void
+MolecularCache::runGlobalResizeCycle()
+{
+    ++resizeCycles_;
+    for (auto &[asid, region] : regions_)
+        resizer_.resizeRegion(region, region.resizeGoal, *this);
+}
+
+u32
+MolecularCache::grant(Region &region, u32 count)
+{
+    if (count == 0)
+        return 0;
+    u32 got = 0;
+
+    auto take_from = [&](u32 tile_index) {
+        Tile &tile = tiles_[tile_index];
+        while (got < count) {
+            const MoleculeId id = tile.allocate(region.asid());
+            if (id == kInvalidMolecule)
+                break;
+            region.addMolecule(id, tile_index, /*initial=*/false);
+            ++got;
+        }
+    };
+
+    take_from(region.homeTile());
+
+    Ulmo &ulmo = ulmos_[region.homeCluster()];
+    for (const u32 t : ulmo.tiles()) {
+        if (t == region.homeTile() || got >= count)
+            continue;
+        const u32 before = got;
+        take_from(t);
+        if (got > before)
+            ulmo.noteDonation();
+    }
+    return got;
+}
+
+u32
+MolecularCache::withdraw(Region &region, u32 count)
+{
+    u32 got = 0;
+    while (got < count && region.size() > 1) {
+        const MoleculeId id = region.pickWithdrawal();
+        if (id == kInvalidMolecule)
+            break;
+        Molecule &m = molecule(id);
+        for (const Addr la : m.residentLines())
+            directory_.noteEviction(la, region.homeCluster());
+        const u32 dirty = tiles_[m.tile()].release(id);
+        for (u32 i = 0; i < dirty; ++i)
+            stats_.recordWriteback(region.asid());
+        region.removeMolecule(id);
+        ++got;
+    }
+    return got;
+}
+
+std::string
+MolecularCache::name() const
+{
+    std::ostringstream os;
+    os << "molecular " << formatSize(params_.totalSizeBytes()) << " ("
+       << placementPolicyName(params_.placement) << ", " << params_.clusters
+       << "x" << params_.tilesPerCluster << " tiles, "
+       << formatSize(params_.moleculeSize) << " molecules)";
+    return os.str();
+}
+
+void
+MolecularCache::resetStats()
+{
+    stats_.reset();
+    energyNj_ = 0.0;
+    probesTotal_ = 0;
+    enabledIntegral_ = 0;
+}
+
+double
+MolecularCache::worstCaseAccessEnergyNj() const
+{
+    return tileFixedNj_ + params_.moleculesPerTile * molProbeNj_;
+}
+
+double
+MolecularCache::averageAccessEnergyNj() const
+{
+    const u64 acc = stats_.global().accesses;
+    return acc == 0 ? 0.0 : energyNj_ / static_cast<double>(acc);
+}
+
+double
+MolecularCache::averageProbesPerAccess() const
+{
+    return ratio(probesTotal_, stats_.global().accesses);
+}
+
+double
+MolecularCache::averageEnabledMolecules() const
+{
+    return ratio(enabledIntegral_, stats_.global().accesses);
+}
+
+double
+MolecularCache::hitPerMoleculeOf(Asid asid) const
+{
+    const Region &r = region(asid);
+    if (r.size() == 0 || r.accesses() == 0)
+        return 0.0;
+    return (static_cast<double>(r.hits()) /
+            static_cast<double>(r.accesses())) /
+           static_cast<double>(r.size());
+}
+
+} // namespace molcache

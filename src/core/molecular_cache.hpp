@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The molecular cache: the paper's primary contribution, behind the
+ * common CacheModel interface.
+ *
+ * Composition (paper figures 1-2): clusters of tiles of molecules, one
+ * Ulmo per cluster, a shared inter-cluster coherence directory, one
+ * Region (partition) per registered application, and a Resizer running
+ * Algorithm 1 on the configured schedule.
+ *
+ * Access path (sections 3.1-3.3):
+ *   1. the request enters through the owning application's home tile;
+ *      every molecule on the tile performs the ASID comparison, and the
+ *      region's molecules on that tile are probed (level 0);
+ *   2. on a tile miss, Ulmo probes only the other tiles of the cluster
+ *      that contribute molecules to the region (level 1);
+ *   3. on a global miss the line (or the region's line-multiple group of
+ *      lines) is fetched and placed into a molecule chosen by the
+ *      region's placement policy — Random or Randy (level 2).
+ *
+ * Dynamic energy is accounted per probe using the CACTI-flavoured model:
+ * tile wire flight + all-tile ASID comparators + per-molecule array
+ * reads, plus an Ulmo hop for escalated lookups.
+ */
+
+#ifndef MOLCACHE_CORE_MOLECULAR_CACHE_HPP
+#define MOLCACHE_CORE_MOLECULAR_CACHE_HPP
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "core/coherence.hpp"
+#include "core/params.hpp"
+#include "core/placement.hpp"
+#include "core/region.hpp"
+#include "core/resizer.hpp"
+#include "core/tile.hpp"
+#include "core/ulmo.hpp"
+#include "noc/topology.hpp"
+#include "power/cacti.hpp"
+
+namespace molcache {
+
+class MolecularCache final : public CacheModel, private MoleculeBroker
+{
+  public:
+    explicit MolecularCache(const MolecularCacheParams &params);
+
+    /**
+     * Create a partition for @p asid with the default placement (cluster
+     * = asid mod clusters, tiles round-robin within the cluster).
+     * @param resizeGoal the miss-rate goal Algorithm 1 steers towards
+     */
+    void registerApplication(Asid asid, double resizeGoal);
+
+    /** Explicit placement variant. */
+    void registerApplication(Asid asid, double resizeGoal, u32 cluster,
+                             u32 tile, u32 lineMultiple);
+
+    bool hasApplication(Asid asid) const;
+
+    /** Remove the partition and free its molecules. */
+    void unregisterApplication(Asid asid);
+
+    /**
+     * Move an application's entry point to another tile (the paper's
+     * non-static processor-tile mapping, changed on a context switch).
+     * Within the same cluster the region's molecules stay in place (they
+     * become remote probes served via Ulmo and are re-acquired by the
+     * new home tile through normal resizing).  Across clusters the
+     * partition is rebuilt at the destination — regions are confined to
+     * one tile cluster, Ulmo's search domain — so cached contents are
+     * dropped (dirty lines written back).
+     *
+     * @param cluster destination cluster
+     * @param tile    destination tile, cluster-local index
+     */
+    void migrateApplication(Asid asid, u32 cluster, u32 tile);
+
+    // CacheModel interface -------------------------------------------------
+    AccessResult access(const MemAccess &access) override;
+    const CacheStats &stats() const override { return stats_; }
+    std::string name() const override;
+    void resetStats() override;
+    double totalEnergyNj() const override { return energyNj_; }
+
+    // Introspection --------------------------------------------------------
+    const MolecularCacheParams &params() const { return params_; }
+    const Region &region(Asid asid) const;
+    const Tile &tile(u32 index) const { return tiles_.at(index); }
+    const Ulmo &ulmo(u32 cluster) const { return ulmos_.at(cluster); }
+    const CoherenceDirectory &directory() const { return directory_; }
+    /** Inter-cluster interconnect stats (coherence traffic). */
+    const NocModel &noc() const { return noc_; }
+    const Resizer &resizer() const { return resizer_; }
+    Molecule &molecule(MoleculeId id);
+    const Molecule &molecule(MoleculeId id) const;
+
+    /** Free molecules across the whole cache / one cluster. */
+    u32 freeMolecules() const;
+    u32 freeMoleculesInCluster(u32 cluster) const;
+
+    /** Configure a molecule's shared bit (it is probed by every request
+     * entering its tile, regardless of ASID — paper figure 3). */
+    void setSharedMolecule(MoleculeId id, bool shared);
+
+    /** @{ Energy/probe reporting (Table 4 inputs). */
+    /** All molecules of a tile enabled — the paper's worst case. */
+    double worstCaseAccessEnergyNj() const;
+    /** Measured mean energy per access so far. */
+    double averageAccessEnergyNj() const;
+    /** Measured mean molecules probed per access. */
+    double averageProbesPerAccess() const;
+    /** Measured mean region size (enabled molecules) over accesses. */
+    double averageEnabledMolecules() const;
+    /** @} */
+
+    /** Lifetime hits of @p asid per currently-held molecule (Figure 6). */
+    double hitPerMoleculeOf(Asid asid) const;
+
+    /** Resize activity. */
+    u64 resizeCycles() const { return resizeCycles_; }
+
+  private:
+    // MoleculeBroker -------------------------------------------------------
+    u32 grant(Region &region, u32 count) override;
+    u32 withdraw(Region &region, u32 count) override;
+
+    Region &regionFor(Asid asid);
+    Tile &tileAt(u32 index) { return tiles_[index]; }
+
+    /** Probe @p mols on @p tile; @return the hit molecule or nullptr. */
+    Molecule *probeTile(u32 tile, const std::vector<MoleculeId> &mols,
+                        Addr addr);
+
+    /** Fill the miss (line-multiple aware) into the region.
+     * @return dynamic energy of the line fills (nJ). */
+    double handleMiss(Region &region, const MemAccess &access);
+
+    /** LRU-Direct victim: the region's least-recently-touched slot at
+     * the address's molecule index (invalid slots win outright). */
+    MoleculeId chooseLruDirectMolecule(const Region &region, Addr addr);
+
+    /** Apply directory-mandated invalidations for @p lineAddr, routing
+     * one message per victim cluster from @p origin over the NoC. */
+    void applyInvalidations(const std::vector<u32> &clusters, Addr lineAddr,
+                            Asid except, u32 origin);
+
+    /** Run resize scheduling after an access by @p region. */
+    void maybeResize(Region &region);
+    void runGlobalResizeCycle();
+
+    double tileAccessEnergyNj(u32 probes) const;
+
+    MolecularCacheParams params_;
+    std::vector<Tile> tiles_;
+    CoherenceDirectory directory_;
+    NocModel noc_;
+    std::vector<Ulmo> ulmos_;
+    std::map<Asid, Region> regions_;
+    Resizer resizer_;
+    std::unique_ptr<RandomSource> rng_;
+
+    CacheStats stats_;
+    Tick tick_ = 0;
+
+    // Resize scheduling state.
+    u64 globalResizePeriod_;
+    Tick nextGlobalResize_;
+    u64 resizeCycles_ = 0;
+    Counter intervalAccesses_;
+    Counter intervalMisses_;
+
+    // Per-cluster app counter for default tile placement.
+    std::vector<u32> appsPerCluster_;
+
+    // Precomputed energy constants (nJ).
+    double molProbeNj_ = 0.0;
+    double molFillNj_ = 0.0;
+    double tileFixedNj_ = 0.0;
+    double ulmoHopNj_ = 0.0;
+    double energyNj_ = 0.0;
+    u64 probesTotal_ = 0;
+    u64 enabledIntegral_ = 0;
+
+    // Shared-bit molecules per tile (probed by every request).
+    std::map<u32, std::vector<MoleculeId>> sharedByTile_;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_CORE_MOLECULAR_CACHE_HPP

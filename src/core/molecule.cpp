@@ -1,0 +1,141 @@
+#include "core/molecule.hpp"
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace molcache {
+
+Molecule::Molecule(MoleculeId id, u32 tile, u32 numLines, u32 lineSize)
+    : id_(id), tile_(tile), numLines_(numLines), lineSize_(lineSize),
+      lines_(numLines)
+{
+    MOLCACHE_ASSERT(numLines > 0 && isPowerOfTwo(numLines),
+                    "molecule lines must be a power of two");
+    MOLCACHE_ASSERT(isPowerOfTwo(lineSize), "line size must be 2^k");
+}
+
+u32
+Molecule::indexOf(Addr addr) const
+{
+    return static_cast<u32>((addr / lineSize_) & (numLines_ - 1));
+}
+
+Addr
+Molecule::tagOf(Addr addr) const
+{
+    return addr / lineSize_ / numLines_;
+}
+
+void
+Molecule::assignTo(Asid asid)
+{
+    MOLCACHE_ASSERT(asid != kInvalidAsid, "assigning invalid ASID");
+    // Reconfiguration invalidates contents: region data must not leak
+    // between applications.
+    for (Line &l : lines_)
+        l = Line{};
+    valid_ = 0;
+    asid_ = asid;
+    missCount_ = 0;
+}
+
+u32
+Molecule::release()
+{
+    u32 dirty = 0;
+    for (Line &l : lines_) {
+        if (l.valid && l.dirty)
+            ++dirty;
+        l = Line{};
+    }
+    valid_ = 0;
+    asid_ = kInvalidAsid;
+    shared_ = false;
+    missCount_ = 0;
+    return dirty;
+}
+
+bool
+Molecule::lookup(Addr addr) const
+{
+    const Line &l = lines_[indexOf(addr)];
+    return l.valid && l.tag == tagOf(addr);
+}
+
+void
+Molecule::markDirty(Addr addr)
+{
+    Line &l = lines_[indexOf(addr)];
+    MOLCACHE_ASSERT(l.valid && l.tag == tagOf(addr),
+                    "markDirty on non-resident line");
+    l.dirty = true;
+}
+
+std::optional<Eviction>
+Molecule::fill(Addr addr, bool dirty, u64 tick)
+{
+    Line &l = lines_[indexOf(addr)];
+    std::optional<Eviction> evicted;
+    if (l.valid) {
+        if (l.tag == tagOf(addr)) {
+            // Refill of a resident line: just merge the dirty bit.
+            l.dirty = l.dirty || dirty;
+            l.touched = tick;
+            return std::nullopt;
+        }
+        // Reconstruct the displaced address from tag+index.
+        const Addr old = (l.tag * numLines_ + indexOf(addr)) * lineSize_;
+        evicted = Eviction{old, l.dirty};
+    } else {
+        ++valid_;
+    }
+    l.valid = true;
+    l.tag = tagOf(addr);
+    l.dirty = dirty;
+    l.touched = tick;
+    return evicted;
+}
+
+void
+Molecule::noteTouch(Addr addr, u64 tick)
+{
+    Line &l = lines_[indexOf(addr)];
+    MOLCACHE_ASSERT(l.valid && l.tag == tagOf(addr),
+                    "noteTouch on non-resident line");
+    l.touched = tick;
+}
+
+std::optional<u64>
+Molecule::slotTouchTick(Addr addr) const
+{
+    const Line &l = lines_[indexOf(addr)];
+    if (!l.valid)
+        return std::nullopt;
+    return l.touched;
+}
+
+std::vector<Addr>
+Molecule::residentLines() const
+{
+    std::vector<Addr> out;
+    out.reserve(valid_);
+    for (u32 i = 0; i < numLines_; ++i) {
+        if (lines_[i].valid)
+            out.push_back((lines_[i].tag * numLines_ + i) * lineSize_);
+    }
+    return out;
+}
+
+bool
+Molecule::invalidate(Addr addr)
+{
+    Line &l = lines_[indexOf(addr)];
+    if (!l.valid || l.tag != tagOf(addr))
+        return false;
+    const bool was_dirty = l.dirty;
+    l = Line{};
+    --valid_;
+    return was_dirty;
+}
+
+} // namespace molcache

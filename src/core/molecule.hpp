@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The molecule: a small direct-mapped caching unit.
+ *
+ * Molecules are the homogeneous building blocks of the molecular cache
+ * (paper section 3).  Each is direct mapped with 64 B lines and is gated
+ * by an ASID comparator: a molecule only participates in lookups whose
+ * requestor ASID matches its configured ASID, unless its shared bit is
+ * set (figure 3 of the paper).
+ */
+
+#ifndef MOLCACHE_CORE_MOLECULE_HPP
+#define MOLCACHE_CORE_MOLECULE_HPP
+
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+/** Dense molecule identifier, unique across the whole molecular cache. */
+using MoleculeId = u32;
+inline constexpr MoleculeId kInvalidMolecule = ~0u;
+
+/** What fill() displaced (for writeback accounting). */
+struct Eviction
+{
+    Addr addr = 0;
+    bool dirty = false;
+};
+
+class Molecule
+{
+  public:
+    /**
+     * @param id       global molecule id
+     * @param tile     owning tile index
+     * @param numLines capacity in lines
+     * @param lineSize line size in bytes
+     */
+    Molecule(MoleculeId id, u32 tile, u32 numLines, u32 lineSize);
+
+    MoleculeId id() const { return id_; }
+    u32 tile() const { return tile_; }
+    u32 numLines() const { return numLines_; }
+    u32 lineSize() const { return lineSize_; }
+
+    /** ASID gate (paper figure 3). */
+    Asid configuredAsid() const { return asid_; }
+    bool isFree() const { return asid_ == kInvalidAsid; }
+    bool sharedBit() const { return shared_; }
+    void setSharedBit(bool shared) { shared_ = shared; }
+
+    /** True if a request from @p requestor may proceed past the gate. */
+    bool
+    admits(Asid requestor) const
+    {
+        return shared_ || asid_ == requestor;
+    }
+
+    /** Configure the molecule into an application's region (invalidates
+     * contents: the previous owner's lines must not leak). */
+    void assignTo(Asid asid);
+
+    /** Return to the free pool; returns dirty lines dropped (writebacks). */
+    u32 release();
+
+    /**
+     * Probe for @p addr.  Direct mapped: one index, one tag compare.
+     * @return true on hit; marks dirty on write hits via markDirty().
+     */
+    bool lookup(Addr addr) const;
+
+    /** Set the dirty bit of a resident line (write hit). */
+    void markDirty(Addr addr);
+
+    /**
+     * Install the line holding @p addr, displacing whatever occupies the
+     * slot.  @return the eviction if a valid line was displaced.
+     * @param tick recency stamp for the LRU-Direct scheme (0 = untracked)
+     */
+    std::optional<Eviction> fill(Addr addr, bool dirty, u64 tick = 0);
+
+    /** Stamp the recency of a resident line (hit path, LRU-Direct). */
+    void noteTouch(Addr addr, u64 tick);
+
+    /**
+     * Recency stamp of the slot @p addr maps to, regardless of which tag
+     * occupies it; nullopt when the slot is invalid (an invalid slot is
+     * always the preferred LRU-Direct victim).
+     */
+    std::optional<u64> slotTouchTick(Addr addr) const;
+
+    /** Drop the line holding @p addr if resident; true if it was dirty. */
+    bool invalidate(Addr addr);
+
+    /** Replacement-miss counter (resize guidance, section 3.4). */
+    u64 missCount() const { return missCount_; }
+    void noteMiss() { ++missCount_; }
+    void resetMissCount() { missCount_ = 0; }
+
+    /** Valid lines currently held. */
+    u32 validLines() const { return valid_; }
+
+    /** Addresses of all resident lines (coherence bookkeeping on
+     * withdrawal/reassignment). */
+    std::vector<Addr> residentLines() const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        u64 touched = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    u32 indexOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    MoleculeId id_;
+    u32 tile_;
+    u32 numLines_;
+    u32 lineSize_;
+    Asid asid_ = kInvalidAsid;
+    bool shared_ = false;
+    std::vector<Line> lines_;
+    u64 missCount_ = 0;
+    u32 valid_ = 0;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_CORE_MOLECULE_HPP

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Configuration of a molecular cache instance.
+ *
+ * Terminology (paper section 3):
+ *  - molecule: small direct-mapped caching unit (8-32 KB, 64 B lines);
+ *  - tile: 32-256 molecules behind one read/write port; each processor is
+ *    assigned to a tile;
+ *  - tile cluster: 4-8 tiles managed by one controller (Ulmo) that handles
+ *    tile misses and inter-cluster coherence;
+ *  - region/partition: the set of molecules configured with one
+ *    application's ASID.
+ */
+
+#ifndef MOLCACHE_CORE_PARAMS_HPP
+#define MOLCACHE_CORE_PARAMS_HPP
+
+#include <string>
+
+#include "noc/topology.hpp"
+#include "power/tech.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace molcache {
+
+/** Molecule-selection policy on replacement (paper section 3.3). */
+enum class PlacementPolicy
+{
+    /** Any molecule of the region, uniformly at random. */
+    Random,
+    /**
+     * Randy: the replacement view's row is fixed by the address
+     * (row = (addr / moleculeSize) mod rowMax), and a random molecule of
+     * that row is chosen; rows can have different widths (variable way
+     * size / adaptive associativity).
+     */
+    Randy,
+    /**
+     * LRU-Direct (the paper's future-work scheme, section 5): the region
+     * acts as one associative set per molecule index — the displaced
+     * slot is the least-recently-touched one among the region's
+     * molecules at the address's index (direct-mapped within a molecule,
+     * LRU across molecules).  Costly in hardware (global recency state);
+     * included to evaluate what Random/Randy give up.
+     */
+    LruDirect,
+};
+
+/** When the resize daemon runs (paper section 3.4, "When to add?"). */
+enum class ResizeScheme
+{
+    /** Fixed address count between resizes. */
+    Constant,
+    /**
+     * One global period adapted from the overall cache miss rate:
+     * under goal => period doubles, over => period drops to 10 %.
+     */
+    GlobalAdaptive,
+    /** Per-application periods adapted from each application's miss rate. */
+    PerAppAdaptive,
+};
+
+/** Initial partition size ("Ground Zero" in section 3.4). */
+enum class InitialAllocation
+{
+    /** A very small start (params.initialMolecules, default 2). */
+    Small,
+    /** Half the molecules of the home tile (the paper's default). */
+    HalfTile,
+    /** Everything free on the home tile. */
+    FullTile,
+};
+
+PlacementPolicy parsePlacementPolicy(const std::string &text);
+std::string placementPolicyName(PlacementPolicy p);
+ResizeScheme parseResizeScheme(const std::string &text);
+std::string resizeSchemeName(ResizeScheme s);
+
+struct MolecularCacheParams
+{
+    /** Molecule capacity in bytes (paper: 8-32 KB). */
+    u64 moleculeSize = 8_KiB;
+    /** Molecule line size in bytes (paper: 64). */
+    u32 lineSize = 64;
+    /** Molecules per tile (paper: 32-256). */
+    u32 moleculesPerTile = 64;
+    /** Tiles per cluster (paper: 4-8). */
+    u32 tilesPerCluster = 4;
+    /** Number of tile clusters. */
+    u32 clusters = 1;
+
+    PlacementPolicy placement = PlacementPolicy::Randy;
+    ResizeScheme resizeScheme = ResizeScheme::GlobalAdaptive;
+
+    /** Initial resize period, in addresses serviced (paper: ~25000). */
+    u64 resizePeriod = 25000;
+    /** Clamp for the adaptive period. */
+    u64 minResizePeriod = 2500;
+    u64 maxResizePeriod = 800000;
+
+    /** Largest molecule grant in one resize step ("How much to add?"). */
+    u32 maxAllocationChunk = 32;
+    /**
+     * Minimum references a partition must have seen before a resize
+     * decision is taken on it; below this the interval keeps
+     * accumulating.  Guards the adaptive schemes (whose period can drop
+     * to 10%) against deciding on statistically meaningless samples.
+     */
+    u64 minIntervalSample = 2000;
+    /** Miss rate above which a partition is considered thrashing. */
+    double thrashThreshold = 0.5;
+    /**
+     * Relative improvement over the previous interval required for the
+     * grow branch ("miss rate < last miss rate") to keep growing; filters
+     * interval-to-interval noise that would otherwise random-walk a
+     * partition upward at its miss-rate floor.
+     */
+    double improvementEpsilon = 0.05;
+
+    InitialAllocation initialAllocation = InitialAllocation::HalfTile;
+    /** Molecules for InitialAllocation::Small. */
+    u32 initialMolecules = 2;
+    /**
+     * Randy: number of replacement-view rows opened by the initial
+     * allocation (initial molecules are dealt round-robin across them, so
+     * each row starts with width ~= initial/rows).  The paper's figure 4
+     * sketches few rows of width 1-2; too many width-1 rows make the
+     * region behave direct-mapped.
+     */
+    u32 initialRowMax = 8;
+
+    /** Default region line-size multiple (1 => 64 B, 2 => 128 B, ...). */
+    u32 defaultLineMultiple = 1;
+
+    /** Miss-rate goal for applications that were never registered
+     * explicitly (the paper uses default goals when none is provided). */
+    double defaultMissRateGoal = 0.1;
+
+    /** RNG used for molecule selection (hardware-RNG ablation). */
+    RngKind rngKind = RngKind::Pcg32;
+    u64 seed = 1;
+
+    /**
+     * Ablation: with Randy placement, restrict lookup to the molecules of
+     * the address's replacement row instead of the whole region.  Unsafe
+     * across rowMax changes (stale rows), so default off as in the paper.
+     */
+    bool rowRestrictedLookup = false;
+
+    /** Grow a partition even when its miss rate did not improve (the
+     * paper's Algorithm 1 grows only while improving; see DESIGN.md). */
+    bool growWhenNotImproving = false;
+
+    /** Technology node for energy accounting. */
+    TechNode techNode = TechNode::Nm70;
+    /** Account dynamic energy per access (small runtime cost). */
+    bool enableEnergy = true;
+
+    /** @{ Latency model, in cache cycles.  The ASID comparison adds one
+     * pipeline stage to every molecule access (paper section 3.1); tile
+     * misses pay an Ulmo hop per remote tile visited (section 3.3). */
+    u32 asidStageCycles = 1;
+    u32 moleculeAccessCycles = 1;
+    u32 ulmoHopCycles = 4;
+    u32 missPenaltyCycles = 200;
+    /** @} */
+
+    /** Inter-cluster interconnect carrying coherence traffic (the
+     * paper's topology-agnostic "cloud" between tile clusters). */
+    NocParams noc;
+
+    u32 totalTiles() const { return clusters * tilesPerCluster; }
+    u32 totalMolecules() const { return totalTiles() * moleculesPerTile; }
+    u64 tileSizeBytes() const { return moleculeSize * moleculesPerTile; }
+    u64 clusterSizeBytes() const { return tileSizeBytes() * tilesPerCluster; }
+    u64 totalSizeBytes() const { return clusterSizeBytes() * clusters; }
+    u32 linesPerMolecule() const
+    {
+        return static_cast<u32>(moleculeSize / lineSize);
+    }
+
+    /** fatal() on incoherent geometry. */
+    void validate() const;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_CORE_PARAMS_HPP

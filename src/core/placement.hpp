@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Hierarchical lookup planning (paper section 3.3, "Replacement and
+ * Lookup").
+ *
+ * Because a region's data may live in any of its molecules, a lookup must
+ * in principle probe them all.  To bound the energy, the search is
+ * hierarchical: the requestor's tile is probed first, and only on a tile
+ * miss does Ulmo forward the request to the other tiles of the cluster
+ * that contribute molecules to the region.  The LookupPlan captures that
+ * order; MolecularCache executes it and charges energy per probe.
+ */
+
+#ifndef MOLCACHE_CORE_PLACEMENT_HPP
+#define MOLCACHE_CORE_PLACEMENT_HPP
+
+#include <vector>
+
+#include "core/region.hpp"
+
+namespace molcache {
+
+/** Probes for one tile. */
+struct TileProbes
+{
+    u32 tile = 0;
+    std::vector<MoleculeId> molecules;
+};
+
+/** Ordered probe schedule for one access. */
+struct LookupPlan
+{
+    /** Molecules to probe on the requestor's tile (may be empty). */
+    TileProbes home;
+    /** Remote tiles, in ascending tile order, probed via Ulmo. */
+    std::vector<TileProbes> remote;
+
+    u32
+    totalProbes() const
+    {
+        u32 n = static_cast<u32>(home.molecules.size());
+        for (const auto &t : remote)
+            n += static_cast<u32>(t.molecules.size());
+        return n;
+    }
+};
+
+/**
+ * Build the probe schedule for @p addr issued from @p requestorTile.
+ *
+ * @param region         the requestor's cache region
+ * @param requestorTile  tile the request enters through
+ * @param addr           the referenced address
+ * @param rowRestricted  Randy-only ablation: probe only the molecules of
+ *                       the address's replacement row
+ */
+LookupPlan planLookup(const Region &region, u32 requestorTile, Addr addr,
+                      bool rowRestricted);
+
+} // namespace molcache
+
+#endif // MOLCACHE_CORE_PLACEMENT_HPP

@@ -1,0 +1,218 @@
+#include "core/region.hpp"
+
+#include <algorithm>
+
+#include "stats/counter.hpp"
+#include "util/logging.hpp"
+
+namespace molcache {
+
+Region::Region(Asid asid, PlacementPolicy policy, u32 lineMultiple,
+               u32 homeTile, u32 homeCluster, u64 moleculeSize,
+               u32 initialRowMax)
+    : asid_(asid), policy_(policy), lineMultiple_(lineMultiple),
+      homeTile_(homeTile), homeCluster_(homeCluster),
+      moleculeSize_(moleculeSize), initialRowMax_(initialRowMax)
+{
+    MOLCACHE_ASSERT(lineMultiple_ >= 1, "line multiple must be >= 1");
+    MOLCACHE_ASSERT(moleculeSize_ > 0, "molecule size must be > 0");
+    MOLCACHE_ASSERT(initialRowMax_ >= 1, "initialRowMax must be >= 1");
+}
+
+void
+Region::addMolecule(MoleculeId mol, u32 tile, bool initial)
+{
+    MOLCACHE_ASSERT(!contains(mol), "molecule already in region");
+
+    u32 row;
+    if (policy_ != PlacementPolicy::Randy) {
+        // Random / LRU-Direct: single-row view — every addition just
+        // increases associativity.
+        if (rows_.empty()) {
+            rows_.emplace_back();
+            rowMiss_.push_back(0);
+        }
+        row = 0;
+    } else if (rows_.empty() || (initial && rowMax() < initialRowMax_)) {
+        // Initial allocation: open rows up to initialRowMax first ...
+        rows_.emplace_back();
+        rowMiss_.push_back(0);
+        row = rowMax() - 1;
+    } else if (initial) {
+        // ... then deal the rest round-robin (widen the narrowest row),
+        // so every row starts with the same associativity.
+        row = 0;
+        for (u32 r = 1; r < rowMax(); ++r)
+            if (rows_[r].size() < rows_[row].size())
+                row = r;
+    } else {
+        // Growth: widen the rows with the highest replacement activity —
+        // rows taking more misses need more associativity.  Heat is
+        // normalized per way so a multi-molecule grant spreads across
+        // the hot rows instead of piling onto one.
+        row = 0;
+        double best = -1.0;
+        for (u32 r = 0; r < rowMax(); ++r) {
+            const double heat = static_cast<double>(rowMiss_[r]) /
+                                static_cast<double>(rows_[r].size());
+            if (heat > best) {
+                best = heat;
+                row = r;
+            }
+        }
+    }
+
+    rows_[row].push_back(mol);
+    molRow_[mol] = row;
+    molTile_[mol] = tile;
+    molMiss_[mol] = 0;
+    byTile_[tile].push_back(mol);
+    ++size_;
+}
+
+void
+Region::removeMolecule(MoleculeId mol)
+{
+    const auto rowIt = molRow_.find(mol);
+    MOLCACHE_ASSERT(rowIt != molRow_.end(), "molecule not in region");
+    const u32 row = rowIt->second;
+
+    auto &rowVec = rows_[row];
+    rowVec.erase(std::find(rowVec.begin(), rowVec.end(), mol));
+    if (rowVec.empty()) {
+        // Delete the emptied row; later rows shift down one index, which
+        // remaps addresses — harmless, since lookup probes the whole
+        // region and stale lines age out through replacement.
+        rows_.erase(rows_.begin() + row);
+        rowMiss_.erase(rowMiss_.begin() + row);
+        for (auto &[m, r] : molRow_)
+            if (r > row)
+                --r;
+    }
+
+    const u32 tile = molTile_.at(mol);
+    auto &tileVec = byTile_.at(tile);
+    tileVec.erase(std::find(tileVec.begin(), tileVec.end(), mol));
+    if (tileVec.empty())
+        byTile_.erase(tile);
+
+    molRow_.erase(mol);
+    molTile_.erase(mol);
+    molMiss_.erase(mol);
+    --size_;
+}
+
+u32
+Region::rowOf(Addr addr) const
+{
+    MOLCACHE_ASSERT(!rows_.empty(), "rowOf on empty region");
+    return static_cast<u32>((addr / moleculeSize_) % rowMax());
+}
+
+MoleculeId
+Region::chooseFillMolecule(Addr addr, RandomSource &rng) const
+{
+    MOLCACHE_ASSERT(size_ > 0, "fill into empty region");
+    if (policy_ == PlacementPolicy::Randy) {
+        const auto &row = rows_[rowOf(addr)];
+        return row[rng.below(static_cast<u32>(row.size()))];
+    }
+    // Random: uniform over every molecule of the region.
+    u32 pick = rng.below(size_);
+    for (const auto &row : rows_) {
+        if (pick < row.size())
+            return row[pick];
+        pick -= static_cast<u32>(row.size());
+    }
+    panic("region size bookkeeping is inconsistent");
+}
+
+MoleculeId
+Region::pickWithdrawal() const
+{
+    if (size_ == 0)
+        return kInvalidMolecule;
+
+    if (policy_ == PlacementPolicy::Randy) {
+        // Coldest row first, then the coldest molecule within it.  Rows
+        // of width 1 are spared while any wider row exists: emptying a
+        // row shrinks rowMax and remaps every address to a new row,
+        // which costs a storm of stale-line replacements.
+        bool wide_exists = false;
+        for (const auto &row : rows_)
+            if (row.size() > 1)
+                wide_exists = true;
+
+        i64 coldRow = -1;
+        for (u32 r = 0; r < rowMax(); ++r) {
+            if (wide_exists && rows_[r].size() < 2)
+                continue;
+            if (coldRow < 0 ||
+                rowMiss_[r] < rowMiss_[static_cast<size_t>(coldRow)]) {
+                coldRow = r;
+            }
+        }
+        MOLCACHE_ASSERT(coldRow >= 0, "no withdrawable row found");
+        const auto &row = rows_[static_cast<size_t>(coldRow)];
+        MoleculeId best = row.front();
+        for (const MoleculeId m : row)
+            if (molMiss_.at(m) < molMiss_.at(best))
+                best = m;
+        return best;
+    }
+
+    MoleculeId best = kInvalidMolecule;
+    for (const auto &[mol, misses] : molMiss_)
+        if (best == kInvalidMolecule || misses < molMiss_.at(best))
+            best = mol;
+    return best;
+}
+
+void
+Region::noteReplacement(MoleculeId mol, Addr addr)
+{
+    const auto it = molRow_.find(mol);
+    MOLCACHE_ASSERT(it != molRow_.end(), "replacement in foreign molecule");
+    ++rowMiss_[it->second];
+    ++molMiss_[mol];
+    ++intervalReplacements_;
+    (void)addr;
+}
+
+void
+Region::noteAccess(bool hit)
+{
+    ++accesses_;
+    ++intervalAccesses_;
+    if (hit) {
+        ++hits_;
+    } else {
+        ++intervalMisses_;
+    }
+}
+
+double
+Region::intervalMissRate() const
+{
+    return ratio(intervalMisses_, intervalAccesses_);
+}
+
+double
+Region::intervalReplacementRate() const
+{
+    return ratio(intervalReplacements_, intervalAccesses_);
+}
+
+void
+Region::closeInterval()
+{
+    intervalAccesses_ = 0;
+    intervalMisses_ = 0;
+    intervalReplacements_ = 0;
+    for (auto &v : rowMiss_)
+        v = 0;
+    for (auto &[m, v] : molMiss_)
+        v = 0;
+}
+
+} // namespace molcache

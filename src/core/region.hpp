@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A cache region (partition): the set of molecules owned by one
+ * application, plus its *replacement view*.
+ *
+ * The replacement view (paper figure 4) arranges the region's molecules
+ * as a 2-D sparse matrix.  Rows partition the address space
+ * (row = (addr / moleculeSize) mod rowMax) and each row's width is that
+ * row's associativity — rows may have different widths, which is how the
+ * molecular cache realizes per-line adaptive associativity.  The physical
+ * placement of molecules (which tile they sit on) has no bearing on the
+ * view.
+ *
+ * With the Random placement policy the view degenerates to a single row
+ * containing every molecule.
+ */
+
+#ifndef MOLCACHE_CORE_REGION_HPP
+#define MOLCACHE_CORE_REGION_HPP
+
+#include <map>
+#include <vector>
+
+#include "core/molecule.hpp"
+#include "core/params.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+
+class Region
+{
+  public:
+    /**
+     * @param asid         owning application
+     * @param policy       Random or Randy placement
+     * @param lineMultiple region line size in molecule lines (paper 3.2)
+     * @param homeTile     tile of the owning processor
+     * @param homeCluster  cluster of the home tile
+     * @param moleculeSize molecule capacity (bytes), fixes the row hash
+     */
+    Region(Asid asid, PlacementPolicy policy, u32 lineMultiple, u32 homeTile,
+           u32 homeCluster, u64 moleculeSize, u32 initialRowMax = 8);
+
+    Asid asid() const { return asid_; }
+    u32 homeTile() const { return homeTile_; }
+    u32 homeCluster() const { return homeCluster_; }
+
+    /** Re-home the region onto another tile of the SAME cluster (the
+     * paper's non-static processor-tile mapping on context switch);
+     * molecules stay where they are and become remote probes. */
+    void rehome(u32 tile) { homeTile_ = tile; }
+    u32 lineMultiple() const { return lineMultiple_; }
+    PlacementPolicy policy() const { return policy_; }
+
+    bool empty() const { return size_ == 0; }
+    u32 size() const { return size_; }
+    u32 rowMax() const { return static_cast<u32>(rows_.size()); }
+    const std::vector<std::vector<MoleculeId>> &rows() const { return rows_; }
+
+    /** Molecules per hosting tile; iteration starts at the home tile. */
+    const std::map<u32, std::vector<MoleculeId>> &byTile() const
+    {
+        return byTile_;
+    }
+
+    /** True if @p mol belongs to this region. */
+    bool contains(MoleculeId mol) const { return molRow_.count(mol) != 0; }
+
+    /**
+     * Add @p mol (hosted on @p tile) to the region.
+     * During initial allocation (@p initial true) each molecule opens its
+     * own row, establishing rowMax; later grants widen the row with the
+     * highest replacement-miss count ("Where to add?", section 3.4).
+     */
+    void addMolecule(MoleculeId mol, u32 tile, bool initial);
+
+    /** Remove @p mol from the view; empty rows are deleted (rowMax may
+     * shrink — lookups stay correct because the whole region is probed). */
+    void removeMolecule(MoleculeId mol);
+
+    /** Replacement-view row of @p addr (Randy hash). */
+    u32 rowOf(Addr addr) const;
+
+    /**
+     * Choose the molecule that receives a fill for @p addr:
+     * Random — uniform over the region; Randy — uniform over the
+     * molecules of the address's row.
+     */
+    MoleculeId chooseFillMolecule(Addr addr, RandomSource &rng) const;
+
+    /**
+     * Withdrawal candidate: the molecule holding the least replacement
+     * activity this interval — per-molecule counters under Random,
+     * per-row counters under Randy (section 3.4, "Where to add?").
+     * @return kInvalidMolecule if the region is empty.
+     */
+    MoleculeId pickWithdrawal() const;
+
+    /** Account a replacement performed into @p mol for @p addr. */
+    void noteReplacement(MoleculeId mol, Addr addr);
+
+    /** Per-access accounting (drives the resizer and HPM). */
+    void noteAccess(bool hit);
+
+    /** @{ Interval statistics consumed by the resizer. */
+    u64 intervalAccesses() const { return intervalAccesses_; }
+    u64 intervalMisses() const { return intervalMisses_; }
+    double intervalMissRate() const;
+    /**
+     * Cold-miss-compensated rate: only misses that displaced a line count
+     * (compulsory fills into empty slots do not indicate thrashing).  The
+     * paper suggests exactly this refinement ("counters with cold miss
+     * compensation", section 3.4).
+     */
+    double intervalReplacementRate() const;
+    /** Close the interval: zero interval and per-molecule/row counters. */
+    void closeInterval();
+    /** @} */
+
+    /** @{ Lifetime statistics. */
+    u64 accesses() const { return accesses_; }
+    u64 hits() const { return hits_; }
+    /** @} */
+
+    /** @{ Resizer per-region state (Algorithm 1). */
+    double resizeGoal = 0.1;   // miss-rate goal Algorithm 1 steers towards
+    double lastMissRate = 2.0; // "+inf": first interval always improves
+    u32 maxAllocation = 0;     // chunk cap; clamped by the thrash clause
+    u32 lastGrant = 0;         // molecules granted by the last grow
+    bool lastGrantShort = false; // last grow delivered less than wanted
+    u64 nextResizeTick = 0;    // per-app adaptive scheme deadline
+    u64 resizePeriod = 0;      // per-app adaptive scheme period
+    u32 thrashStreak = 0;      // consecutive intervals above the threshold
+    /** @} */
+
+  private:
+    Asid asid_;
+    PlacementPolicy policy_;
+    u32 lineMultiple_;
+    u32 homeTile_;
+    u32 homeCluster_;
+    u64 moleculeSize_;
+    u32 initialRowMax_;
+
+    std::vector<std::vector<MoleculeId>> rows_;
+    std::vector<u64> rowMiss_;
+    std::map<MoleculeId, u64> molMiss_;
+    std::map<MoleculeId, u32> molRow_;
+    std::map<MoleculeId, u32> molTile_;
+    std::map<u32, std::vector<MoleculeId>> byTile_;
+    u32 size_ = 0;
+
+    u64 intervalAccesses_ = 0;
+    u64 intervalMisses_ = 0;
+    u64 intervalReplacements_ = 0;
+    u64 accesses_ = 0;
+    u64 hits_ = 0;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_CORE_REGION_HPP

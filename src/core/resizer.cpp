@@ -1,0 +1,132 @@
+#include "core/resizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace molcache {
+
+Resizer::Resizer(const MolecularCacheParams &params)
+    : params_(params)
+{
+}
+
+RegionResize
+Resizer::resizeRegion(Region &region, double goal,
+                      MoleculeBroker &broker) const
+{
+    RegionResize out;
+    if (region.intervalAccesses() == 0)
+        return out; // idle partition: nothing to learn from
+    if (region.intervalAccesses() < params_.minIntervalSample)
+        return out; // too few samples: keep accumulating the interval
+
+    ++runs_;
+    out.evaluated = true;
+    const double mr = region.intervalMissRate();
+    out.missRate = mr;
+
+    if (region.maxAllocation == 0)
+        region.maxAllocation = params_.maxAllocationChunk;
+
+    if (region.lastMissRate > 1.0) {
+        // First evaluation: the interval is dominated by compulsory
+        // (cold) misses, which say nothing about the partition's steady
+        // state.  Observe only; decisions start next cycle.
+        region.lastMissRate = mr;
+        region.closeInterval();
+        return out;
+    }
+
+    // Thrash detection is cold-miss compensated: compulsory fills into
+    // empty slots (region still warming, or freshly grown) do not count.
+    // A single noisy interval must not cap a partition, so the clause
+    // fires only on the second consecutive thrashing interval.
+    const double replacement_rate = region.intervalReplacementRate();
+    if (replacement_rate > params_.thrashThreshold)
+        ++region.thrashStreak;
+    else
+        region.thrashStreak = 0;
+
+    if (region.thrashStreak >= 2) {
+        // Thrashing: growth does not help a partition missing more than
+        // half its accesses (working set far beyond reach), so the
+        // partition is resized *to* the allocation cap (maxAllocation),
+        // freeing molecules for applications that can convert them into
+        // hits.  Below the cap it may still grow toward it — but not
+        // while the pool is under pressure (the last grant fell short),
+        // so a hopeless application cannot churn a scarce pool.
+        if (region.size() > region.maxAllocation) {
+            const u32 got =
+                broker.withdraw(region, region.size() - region.maxAllocation);
+            withdrawn_ += got;
+            out.delta = -static_cast<i32>(got);
+        } else if (region.size() < region.maxAllocation &&
+                   !region.lastGrantShort) {
+            const u32 want = region.maxAllocation - region.size();
+            const u32 got = broker.grant(region, want);
+            region.lastGrant = got;
+            region.lastGrantShort = got < want;
+            granted_ += got;
+            out.delta = static_cast<i32>(got);
+        }
+    } else if (mr < goal) {
+        // Not thrashing: the allocation cap recovers so a partition that
+        // was once squeezed can grow normally again.
+        region.maxAllocation = params_.maxAllocationChunk;
+        // Overachieving: shrink, conservatively (sqrt of the linear
+        // target keeps withdrawals slower than additions).
+        const double t =
+            std::sqrt(static_cast<double>(region.size()) * mr / goal);
+        // The sqrt law yields zero for a region missing (almost) never,
+        // which would pin an over-provisioned partition forever; release
+        // at least one molecule per cycle so it drifts toward its goal.
+        u32 want = std::max<u32>(1, static_cast<u32>(std::lround(t)));
+        if (region.size() > 0)
+            want = std::min(want, region.size() - 1); // keep >= 1 molecule
+        const u32 got = broker.withdraw(region, want);
+        withdrawn_ += got;
+        out.delta = -static_cast<i32>(got);
+    } else if (mr < region.lastMissRate * (1.0 - params_.improvementEpsilon) ||
+               params_.growWhenNotImproving) {
+        region.maxAllocation = params_.maxAllocationChunk;
+        // Above goal but improving: linear cache-size <-> miss-rate model
+        // says we need size * mr / goal molecules in total.
+        const double target =
+            static_cast<double>(region.size()) * mr / goal;
+        u32 want = 0;
+        if (target > region.size()) {
+            want = static_cast<u32>(std::ceil(target)) - region.size();
+            want = std::min(want, region.maxAllocation);
+        }
+        const u32 got = broker.grant(region, want);
+        if (want > 0) {
+            region.lastGrant = got;
+            region.lastGrantShort = got < want;
+        }
+        granted_ += got;
+        out.delta = static_cast<i32>(got);
+    }
+    // else: above goal and not improving — growth is not paying off; hold.
+
+    region.lastMissRate = mr;
+    region.closeInterval();
+    return out;
+}
+
+u64
+Resizer::adaptPeriod(u64 period, double missRate, double goal) const
+{
+    u64 next;
+    if (missRate < goal) {
+        next = period * 2;
+    } else {
+        next = static_cast<u64>(
+            std::max(1.0, 0.1 * static_cast<double>(period)));
+    }
+    return std::clamp(next, params_.minResizePeriod,
+                      params_.maxResizePeriod);
+}
+
+} // namespace molcache

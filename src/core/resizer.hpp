@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Dynamic partition resizing — the paper's Algorithm 1 (section 3.4).
+ *
+ * Per resize cycle, for every application partition:
+ *
+ *   if replacementRate > 50% twice in a row: (thrashing: growth won't help)
+ *       resize the partition TO maxAllocation molecules
+ *       (the paper's resize(max_allocation): a partition replacing in
+ *        more than half its accesses is capped, freeing molecules for
+ *        applications that can use them; growth back toward the cap
+ *        pauses while the pool is under pressure)
+ *   else if missRate < goal:                (overachieving: give back)
+ *       withdraw sqrt(size * missRate / goal) molecules
+ *                                            ("withdraw more slowly than
+ *                                             you add — conservative")
+ *   else if missRate < lastMissRate:        (growth is helping: continue)
+ *       target = size * missRate / goal     (linear size<->miss model)
+ *       grow by min(target - size, maxAllocation)
+ *   else:                                    (not improving: hold)
+ *
+ * Afterwards the resize period adapts: below goal it doubles, above goal
+ * it drops to 10% (clamped to [minResizePeriod, maxResizePeriod]).
+ *
+ * Molecules granted come from the region's home tile first, then from the
+ * other tiles of its cluster (via Ulmo); withdrawn molecules return to
+ * their owning tile's free pool.  The MoleculeBroker interface decouples
+ * this policy logic from MolecularCache's bookkeeping.
+ */
+
+#ifndef MOLCACHE_CORE_RESIZER_HPP
+#define MOLCACHE_CORE_RESIZER_HPP
+
+#include "core/params.hpp"
+#include "core/region.hpp"
+
+namespace molcache {
+
+/** Grants/retrieves molecules on behalf of the resizer. */
+class MoleculeBroker
+{
+  public:
+    virtual ~MoleculeBroker() = default;
+
+    /**
+     * Try to add @p count molecules to @p region (home tile first, then
+     * cluster).  @return molecules actually granted.
+     */
+    virtual u32 grant(Region &region, u32 count) = 0;
+
+    /**
+     * Withdraw up to @p count molecules chosen by the region's
+     * least-activity rule; never drops the region below one molecule.
+     * @return molecules actually withdrawn.
+     */
+    virtual u32 withdraw(Region &region, u32 count) = 0;
+};
+
+/** Outcome of one region's resize evaluation. */
+struct RegionResize
+{
+    /** Interval miss rate the decision was based on. */
+    double missRate = 0.0;
+    /** Molecules granted (positive) or withdrawn (negative). */
+    i32 delta = 0;
+    /** True if the interval had traffic and a decision was evaluated. */
+    bool evaluated = false;
+};
+
+class Resizer
+{
+  public:
+    explicit Resizer(const MolecularCacheParams &params);
+
+    /**
+     * Run Algorithm 1 for one region and close its interval.
+     * @param region the partition
+     * @param goal   the partition's miss-rate goal
+     * @param broker molecule source/sink
+     */
+    RegionResize resizeRegion(Region &region, double goal,
+                              MoleculeBroker &broker) const;
+
+    /**
+     * Adapt a resize period from an observed miss rate (global or
+     * per-application scheme).
+     */
+    u64 adaptPeriod(u64 period, double missRate, double goal) const;
+
+    /** @{ Lifetime counters. */
+    u64 runs() const { return runs_; }
+    u64 granted() const { return granted_; }
+    u64 withdrawn() const { return withdrawn_; }
+    /** @} */
+
+  private:
+    MolecularCacheParams params_;
+    mutable u64 runs_ = 0;
+    mutable u64 granted_ = 0;
+    mutable u64 withdrawn_ = 0;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_CORE_RESIZER_HPP

@@ -1,0 +1,56 @@
+#include "core/tile.hpp"
+
+#include "util/logging.hpp"
+
+namespace molcache {
+
+Tile::Tile(u32 id, u32 cluster, MoleculeId firstMolecule, u32 numMolecules,
+           u32 linesPerMol, u32 lineSize)
+    : id_(id), cluster_(cluster), first_(firstMolecule), free_(numMolecules)
+{
+    MOLCACHE_ASSERT(numMolecules > 0, "tile with no molecules");
+    molecules_.reserve(numMolecules);
+    for (u32 i = 0; i < numMolecules; ++i)
+        molecules_.emplace_back(firstMolecule + i, id, linesPerMol, lineSize);
+}
+
+Molecule &
+Tile::molecule(MoleculeId mol)
+{
+    MOLCACHE_ASSERT(owns(mol), "molecule ", mol, " not on tile ", id_);
+    return molecules_[mol - first_];
+}
+
+const Molecule &
+Tile::molecule(MoleculeId mol) const
+{
+    MOLCACHE_ASSERT(owns(mol), "molecule ", mol, " not on tile ", id_);
+    return molecules_[mol - first_];
+}
+
+MoleculeId
+Tile::allocate(Asid asid)
+{
+    if (free_ == 0)
+        return kInvalidMolecule;
+    for (Molecule &m : molecules_) {
+        if (m.isFree()) {
+            m.assignTo(asid);
+            --free_;
+            return m.id();
+        }
+    }
+    panic("tile free count ", free_, " but no free molecule found");
+}
+
+u32
+Tile::release(MoleculeId mol)
+{
+    Molecule &m = molecule(mol);
+    MOLCACHE_ASSERT(!m.isFree(), "releasing an already-free molecule");
+    const u32 dirty = m.release();
+    ++free_;
+    return dirty;
+}
+
+} // namespace molcache

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A tile: 32-256 molecules behind a single read/write port.
+ *
+ * Tiles are the physical aggregation level (paper figure 2): every
+ * processor is statically assigned to a tile and all its requests enter
+ * the molecular cache there.  The tile also owns the free pool that the
+ * resizer draws molecules from.
+ */
+
+#ifndef MOLCACHE_CORE_TILE_HPP
+#define MOLCACHE_CORE_TILE_HPP
+
+#include <vector>
+
+#include "core/molecule.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+
+class Tile
+{
+  public:
+    /**
+     * @param id            global tile index
+     * @param cluster       owning tile-cluster index
+     * @param firstMolecule global id of this tile's first molecule
+     * @param numMolecules  molecules on the tile
+     * @param linesPerMol   lines per molecule
+     * @param lineSize      line size (bytes)
+     */
+    Tile(u32 id, u32 cluster, MoleculeId firstMolecule, u32 numMolecules,
+         u32 linesPerMol, u32 lineSize);
+
+    u32 id() const { return id_; }
+    u32 cluster() const { return cluster_; }
+    u32 numMolecules() const
+    {
+        return static_cast<u32>(molecules_.size());
+    }
+    MoleculeId firstMolecule() const { return first_; }
+
+    /** True if @p mol lives on this tile. */
+    bool owns(MoleculeId mol) const
+    {
+        return mol >= first_ && mol < first_ + numMolecules();
+    }
+
+    Molecule &molecule(MoleculeId mol);
+    const Molecule &molecule(MoleculeId mol) const;
+
+    /** Molecules currently unassigned. */
+    u32 freeCount() const { return free_; }
+
+    /**
+     * Take one free molecule and configure it for @p asid.
+     * @return its id, or kInvalidMolecule if the tile is exhausted.
+     */
+    MoleculeId allocate(Asid asid);
+
+    /** Return @p mol to the free pool; @return dirty lines dropped. */
+    u32 release(MoleculeId mol);
+
+    /** Port-pressure accounting: one request entered this tile. */
+    void notePortAccess() { ++portAccesses_; }
+    u64 portAccesses() const { return portAccesses_; }
+
+  private:
+    u32 id_;
+    u32 cluster_;
+    MoleculeId first_;
+    std::vector<Molecule> molecules_;
+    u32 free_;
+    u64 portAccesses_ = 0;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_CORE_TILE_HPP

@@ -1,0 +1,21 @@
+#include "core/ulmo.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace molcache {
+
+Ulmo::Ulmo(u32 cluster, std::vector<u32> tiles, CoherenceDirectory &directory)
+    : cluster_(cluster), tiles_(std::move(tiles)), directory_(directory)
+{
+    MOLCACHE_ASSERT(!tiles_.empty(), "Ulmo with no tiles");
+}
+
+bool
+Ulmo::managesTile(u32 tile) const
+{
+    return std::find(tiles_.begin(), tiles_.end(), tile) != tiles_.end();
+}
+
+} // namespace molcache

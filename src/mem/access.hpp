@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The unit of work for every cache model: one memory reference.
+ *
+ * Molecular-cache simulation in the paper is trace driven: SESC produced
+ * L1-D miss traces that were replayed into a modified Dinero.  molcache's
+ * equivalent is a stream of MemAccess records, each tagged with the ASID
+ * of the application that issued it.
+ */
+
+#ifndef MOLCACHE_MEM_ACCESS_HPP
+#define MOLCACHE_MEM_ACCESS_HPP
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+/** Reference kind; trace-driven models mostly care about read vs write. */
+enum class AccessType : u8 { Read = 0, Write = 1 };
+
+/** One memory reference presented to a cache model. */
+struct MemAccess
+{
+    Addr addr = 0;
+    Asid asid = 0;
+    AccessType type = AccessType::Read;
+
+    bool isWrite() const { return type == AccessType::Write; }
+};
+
+inline bool
+operator==(const MemAccess &a, const MemAccess &b)
+{
+    return a.addr == b.addr && a.asid == b.asid && a.type == b.type;
+}
+
+/** Outcome of presenting a MemAccess to a cache model. */
+struct AccessResult
+{
+    bool hit = false;
+    /** Dynamic energy consumed by this access, in nanojoules. */
+    double energyNj = 0.0;
+    /** Access latency in cache cycles (model-specific costs). */
+    u32 latencyCycles = 0;
+    /**
+     * Lookup level that serviced the access: 0 = local structure
+     * (set/tile), 1 = remote tiles via Ulmo, 2 = memory (miss).
+     */
+    u8 level = 0;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_MEM_ACCESS_HPP

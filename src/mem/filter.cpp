@@ -1,0 +1,175 @@
+#include "mem/filter.hpp"
+
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace molcache {
+
+/**
+ * Minimal private LRU set-associative L1.  (cache/SetAssocCache is not
+ * reused here to keep mem/ free of a dependency on cache/ — the layering
+ * is mem -> cache, not the reverse.)
+ */
+struct L1FilterSource::L1Cache
+{
+    struct Line
+    {
+        Addr tag = 0;
+        u64 lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    L1Cache(const L1Params &p)
+        : params(p),
+          sets(static_cast<u32>(p.sizeBytes /
+                                (static_cast<u64>(p.associativity) *
+                                 p.lineSize))),
+          lines(static_cast<size_t>(sets) * p.associativity)
+    {
+        MOLCACHE_ASSERT(sets > 0 && isPowerOfTwo(sets),
+                        "L1 sets must be a power of two");
+    }
+
+    Line &
+    at(u32 set, u32 way)
+    {
+        return lines[static_cast<size_t>(set) * params.associativity + way];
+    }
+
+    u32
+    setOf(Addr addr) const
+    {
+        return static_cast<u32>((addr / params.lineSize) & (sets - 1));
+    }
+
+    Addr
+    tagOf(Addr addr) const
+    {
+        return addr / params.lineSize / sets;
+    }
+
+    /**
+     * One reference.  @return {hit, writebackAddr}: writebackAddr is set
+     * when a dirty line was displaced.
+     */
+    std::pair<bool, std::optional<Addr>>
+    access(Addr addr, bool write)
+    {
+        const u32 set = setOf(addr);
+        const Addr tag = tagOf(addr);
+        ++clock;
+
+        for (u32 w = 0; w < params.associativity; ++w) {
+            Line &l = at(set, w);
+            if (l.valid && l.tag == tag) {
+                l.lru = clock;
+                l.dirty = l.dirty || write;
+                ++hits;
+                ++accesses;
+                return {true, std::nullopt};
+            }
+        }
+
+        ++accesses;
+        u32 victim = 0;
+        u64 oldest = ~0ull;
+        for (u32 w = 0; w < params.associativity; ++w) {
+            Line &l = at(set, w);
+            if (!l.valid) {
+                victim = w;
+                oldest = 0;
+                break;
+            }
+            if (l.lru < oldest) {
+                oldest = l.lru;
+                victim = w;
+            }
+        }
+
+        Line &l = at(set, victim);
+        std::optional<Addr> writeback;
+        if (l.valid && l.dirty)
+            writeback = (l.tag * sets + set) * params.lineSize;
+        l.valid = true;
+        l.tag = tag;
+        l.dirty = write;
+        l.lru = clock;
+        return {false, writeback};
+    }
+
+    L1Params params;
+    u32 sets;
+    std::vector<Line> lines;
+    u64 clock = 0;
+    u64 hits = 0;
+    u64 accesses = 0;
+};
+
+L1FilterSource::L1FilterSource(std::unique_ptr<AccessSource> upstream,
+                               const L1Params &params)
+    : upstream_(std::move(upstream)), params_(params)
+{
+    MOLCACHE_ASSERT(upstream_ != nullptr, "filter needs an upstream");
+    if (!isPowerOfTwo(params_.lineSize))
+        fatal("L1 line size must be a power of two");
+}
+
+L1FilterSource::~L1FilterSource() = default;
+
+L1FilterSource::L1Cache &
+L1FilterSource::cacheFor(Asid asid)
+{
+    auto it = caches_.find(asid);
+    if (it == caches_.end()) {
+        it = caches_.emplace(asid, std::make_unique<L1Cache>(params_))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::optional<MemAccess>
+L1FilterSource::next()
+{
+    if (pending_) {
+        const MemAccess out = *pending_;
+        pending_.reset();
+        return out;
+    }
+
+    while (auto raw = upstream_->next()) {
+        ++consumed_;
+        L1Cache &l1 = cacheFor(raw->asid);
+        const auto [hit, writeback] = l1.access(raw->addr, raw->isWrite());
+        if (hit)
+            continue;
+        ++forwarded_;
+        if (writeback) {
+            // The displaced dirty line reaches L2 as a write after the
+            // demand miss.
+            ++writebacks_;
+            pending_ = MemAccess{*writeback, raw->asid, AccessType::Write};
+        }
+        // The demand miss itself arrives as a read (allocate) — write
+        // misses are write-allocate, so the L2 sees the fill request.
+        return MemAccess{raw->addr, raw->asid, AccessType::Read};
+    }
+    return std::nullopt;
+}
+
+double
+L1FilterSource::l1MissRate() const
+{
+    u64 acc = 0, hits = 0;
+    for (const auto &[asid, l1] : caches_) {
+        acc += l1->accesses;
+        hits += l1->hits;
+    }
+    return acc == 0 ? 0.0
+                    : static_cast<double>(acc - hits) /
+                          static_cast<double>(acc);
+}
+
+} // namespace molcache

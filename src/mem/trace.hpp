@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Trace file I/O.
+ *
+ * Two on-disk formats:
+ *  - binary: fixed 11-byte little-endian records under a small header
+ *    (magic, version, record count) — compact for multi-million reference
+ *    traces;
+ *  - text: "R|W <hex-addr> <asid>" per line — greppable, diff-friendly.
+ *
+ * Readers validate headers and call fatal() on corruption (user error).
+ */
+
+#ifndef MOLCACHE_MEM_TRACE_HPP
+#define MOLCACHE_MEM_TRACE_HPP
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/access.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+
+/** On-disk encoding selector. */
+enum class TraceFormat { Binary, Text };
+
+/** Streaming trace writer. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    TraceWriter(const std::string &path, TraceFormat format);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void append(const MemAccess &access);
+
+    /** Flush and finalize the header; called by the destructor too. */
+    void close();
+
+    u64 recordsWritten() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    TraceFormat format_;
+    u64 count_ = 0;
+    bool closed_ = false;
+};
+
+/** Streaming trace reader. */
+class TraceReader
+{
+  public:
+    /** Open @p path; auto-detects format from the magic; fatal() on error. */
+    explicit TraceReader(const std::string &path);
+
+    /** Next record, or nullopt at end of trace. */
+    std::optional<MemAccess> next();
+
+    /** Records the header claims (binary only; 0 for text). */
+    u64 declaredRecords() const { return declared_; }
+
+    TraceFormat format() const { return format_; }
+
+  private:
+    std::ifstream in_;
+    TraceFormat format_ = TraceFormat::Binary;
+    u64 declared_ = 0;
+    std::string path_;
+};
+
+/** Convenience: read a whole trace into memory. */
+std::vector<MemAccess> readTrace(const std::string &path);
+
+/** Convenience: write a whole trace. */
+void writeTrace(const std::string &path, const std::vector<MemAccess> &trace,
+                TraceFormat format);
+
+} // namespace molcache
+
+#endif // MOLCACHE_MEM_TRACE_HPP

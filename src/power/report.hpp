@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Helpers turning model outputs into the paper's power-report rows.
+ */
+
+#ifndef MOLCACHE_POWER_REPORT_HPP
+#define MOLCACHE_POWER_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "power/cacti.hpp"
+
+namespace molcache {
+
+/** One row of a Table-4-style power report. */
+struct PowerRow
+{
+    std::string label;
+    double frequencyMhz = 0.0;
+    double powerWatts = 0.0;
+    double energyNj = 0.0;
+    double cycleNs = 0.0;
+    double areaMm2 = 0.0;
+};
+
+/** Evaluate a traditional cache geometry into a report row. */
+PowerRow traditionalPowerRow(const CactiModel &model,
+                             const CacheGeometry &geometry,
+                             const std::string &label);
+
+/**
+ * Energy of one molecule probe, including the molecule's array access and
+ * its line/tag flight over the tile-local interconnect to the tile port.
+ */
+double molecularPerProbeEnergyNj(const CactiModel &model,
+                                 const CacheGeometry &moleculeGeometry,
+                                 u32 moleculesPerTile);
+
+/**
+ * Per-access fixed tile cost: request flight over the tile plus the ASID
+ * comparison every molecule on the tile performs (paper figure 3).
+ */
+double molecularTileFixedEnergyNj(const CactiModel &model,
+                                  const CacheGeometry &moleculeGeometry,
+                                  u32 moleculesPerTile);
+
+/**
+ * Energy per molecular-cache access when @p probedMolecules molecules are
+ * probed: fixed tile cost plus per-probe costs.
+ *
+ * @param model            power model
+ * @param moleculeGeometry geometry of a single molecule (DM, 64 B lines)
+ * @param moleculesPerTile molecules physically on the tile
+ * @param probedMolecules  molecules actually activated by this access
+ */
+double molecularAccessEnergyNj(const CactiModel &model,
+                               const CacheGeometry &moleculeGeometry,
+                               u32 moleculesPerTile, double probedMolecules);
+
+} // namespace molcache
+
+#endif // MOLCACHE_POWER_REPORT_HPP

@@ -1,0 +1,105 @@
+#include "power/tech.hpp"
+
+#include "util/logging.hpp"
+
+namespace molcache {
+
+namespace {
+
+// Constants are in the units documented in tech.hpp.  The 70 nm node is
+// the calibration anchor (see power/cacti.cpp and bench/table4_power);
+// 130/100 nm scale capacitance and delay up with feature size, voltage
+// too, roughly following the ITRS trend the original CACTI tables encode.
+
+const TechnologyParams kNm130 = {
+    .name = "130nm",
+    .vdd = 1.5,
+    .bitlineSwing = 0.25,
+    .bitcellCapFf = 3.2,
+    .wordlineCapFf = 2.4,
+    .senseAmpFj = 28.0,
+    .decodeFjPerBit = 160.0,
+    .compareFjPerBit = 42.0,
+    .wireCapFfPerMm = 420.0,
+    .wireNsPerMm = 0.090,
+    .cellAreaUm2 = 2.45,
+    .senseDelayNs = 0.30,
+    .decodeNsPerBit = 0.055,
+    .bitlineNsPerRow = 0.0021,
+    .outputFjPerBit = 45.0,
+    .portEnergyFactor = 0.70,
+    .portDelayFactor = 0.15,
+    .portAreaFactor = 0.45,
+};
+
+const TechnologyParams kNm100 = {
+    .name = "100nm",
+    .vdd = 1.2,
+    .bitlineSwing = 0.25,
+    .bitcellCapFf = 2.4,
+    .wordlineCapFf = 1.8,
+    .senseAmpFj = 20.0,
+    .decodeFjPerBit = 120.0,
+    .compareFjPerBit = 30.0,
+    .wireCapFfPerMm = 360.0,
+    .wireNsPerMm = 0.075,
+    .cellAreaUm2 = 1.45,
+    .senseDelayNs = 0.25,
+    .decodeNsPerBit = 0.048,
+    .bitlineNsPerRow = 0.0018,
+    .outputFjPerBit = 32.0,
+    .portEnergyFactor = 0.70,
+    .portDelayFactor = 0.15,
+    .portAreaFactor = 0.45,
+};
+
+const TechnologyParams kNm70 = {
+    .name = "70nm",
+    .vdd = 1.1,
+    .bitlineSwing = 0.25,
+    .bitcellCapFf = 1.8,
+    .wordlineCapFf = 1.4,
+    .senseAmpFj = 16.0,
+    .decodeFjPerBit = 95.0,
+    .compareFjPerBit = 24.0,
+    .wireCapFfPerMm = 310.0,
+    .wireNsPerMm = 0.062,
+    .cellAreaUm2 = 0.70,
+    .senseDelayNs = 0.22,
+    .decodeNsPerBit = 0.042,
+    .bitlineNsPerRow = 0.0015,
+    .outputFjPerBit = 24.0,
+    .portEnergyFactor = 0.70,
+    .portDelayFactor = 0.15,
+    .portAreaFactor = 0.45,
+};
+
+} // namespace
+
+TechNode
+parseTechNode(const std::string &text)
+{
+    if (text == "130" || text == "130nm")
+        return TechNode::Nm130;
+    if (text == "100" || text == "100nm")
+        return TechNode::Nm100;
+    if (text == "70" || text == "70nm" || text == "0.07")
+        return TechNode::Nm70;
+    fatal("unknown technology node '", text, "' (expected 130|100|70)");
+}
+
+const TechnologyParams &
+technology(TechNode node)
+{
+    switch (node) {
+      case TechNode::Nm130:
+        return kNm130;
+      case TechNode::Nm100:
+        return kNm100;
+      case TechNode::Nm70:
+        return kNm70;
+    }
+    panic("unknown TechNode");
+}
+
+} // namespace molcache

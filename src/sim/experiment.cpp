@@ -1,0 +1,99 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/units.hpp"
+#include "workload/profiles.hpp"
+
+namespace molcache {
+
+SetAssocParams
+traditionalParams(u64 sizeBytes, u32 associativity, u64 seed)
+{
+    SetAssocParams p;
+    p.sizeBytes = sizeBytes;
+    p.associativity = associativity;
+    p.lineSize = 64;
+    p.replacement = ReplPolicy::Lru;
+    p.ports = 4; // the paper's traditional comparison point (Table 3)
+    p.seed = seed;
+    return p;
+}
+
+MolecularCacheParams
+fig5MolecularParams(u64 totalSizeBytes, PlacementPolicy placement, u64 seed)
+{
+    MolecularCacheParams p;
+    p.moleculeSize = 8_KiB;
+    p.lineSize = 64;
+    p.tilesPerCluster = 4;
+    p.clusters = 1;
+    const u64 tile_bytes = totalSizeBytes / 4;
+    if (tile_bytes % p.moleculeSize != 0)
+        fatal("figure-5 size ", totalSizeBytes,
+              " not divisible into 4 tiles of 8KiB molecules");
+    p.moleculesPerTile = static_cast<u32>(tile_bytes / p.moleculeSize);
+    p.placement = placement;
+    p.seed = seed;
+    return p;
+}
+
+MolecularCacheParams
+table2MolecularParams(PlacementPolicy placement, u64 seed)
+{
+    MolecularCacheParams p;
+    p.moleculeSize = 8_KiB;
+    p.lineSize = 64;
+    p.tilesPerCluster = 4;
+    p.clusters = 3;
+    p.moleculesPerTile = 64; // 512 KiB tiles -> 2 MiB clusters, 6 MiB total
+    p.placement = placement;
+    p.seed = seed;
+    return p;
+}
+
+void
+registerApplications(MolecularCache &cache, u32 count, double resizeGoal)
+{
+    const u32 clusters = cache.params().clusters;
+    const u32 per_cluster = (count + clusters - 1) / clusters;
+    for (u32 i = 0; i < count; ++i) {
+        const u32 cluster = i / per_cluster;
+        const u32 tile = (i % per_cluster) % cache.params().tilesPerCluster;
+        cache.registerApplication(static_cast<Asid>(i), resizeGoal, cluster,
+                                  tile, cache.params().defaultLineMultiple);
+    }
+}
+
+SimResult
+runWorkload(const std::vector<std::string> &profiles, CacheModel &model,
+            const GoalSet &goals, u64 totalReferences, u64 seed)
+{
+    auto source = makeMultiProgramSource(profiles, totalReferences,
+                                         MixPolicy::RoundRobin, seed);
+    return Simulator::run(*source, model, goals, labelMap(profiles));
+}
+
+GoalSet
+deriveGoalsFromSolo(const std::vector<std::string> &profiles,
+                    const SetAssocParams &reference, double slackFactor,
+                    double minGoal, u64 refsPerApp, u64 seed)
+{
+    if (slackFactor < 1.0)
+        fatal("goal slack factor must be >= 1");
+    GoalSet goals;
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        SetAssocCache solo(reference);
+        TraceGenerator gen(profileByName(profiles[i]), 0, refsPerApp, seed);
+        while (auto a = gen.next())
+            solo.access(*a);
+        const double mr = solo.stats().global().missRate();
+        const double goal =
+            std::clamp(mr * slackFactor, minGoal, 1.0);
+        goals.set(static_cast<Asid>(i), goal);
+    }
+    return goals;
+}
+
+} // namespace molcache

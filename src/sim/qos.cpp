@@ -1,0 +1,47 @@
+#include "sim/qos.hpp"
+
+#include "util/logging.hpp"
+
+namespace molcache {
+
+const AppSummary &
+QosSummary::byAsid(Asid asid) const
+{
+    for (const auto &a : apps)
+        if (a.asid == asid)
+            return a;
+    panic("no summary for ASID ", asid);
+}
+
+QosSummary
+summarize(const CacheModel &model, const GoalSet &goals,
+          const std::map<Asid, std::string> &labels)
+{
+    QosSummary out;
+    const CacheStats &stats = model.stats();
+    out.globalMissRate = stats.global().missRate();
+    out.totalAccesses = stats.global().accesses;
+
+    for (const auto &[asid, counters] : stats.perAsid()) {
+        AppSummary app;
+        app.asid = asid;
+        const auto label_it = labels.find(asid);
+        app.label = label_it != labels.end()
+                        ? label_it->second
+                        : "asid" + std::to_string(asid);
+        app.accesses = counters.accesses;
+        app.hits = counters.hits;
+        app.missRate = counters.missRate();
+        app.amat = counters.amat();
+        if (const auto g = goals.goal(asid)) {
+            app.goal = *g;
+            app.deviation = deviationFromGoal(app.missRate, *g);
+        }
+        out.apps.push_back(std::move(app));
+    }
+
+    out.averageDeviation = averageDeviation(stats.missRates(), goals);
+    return out;
+}
+
+} // namespace molcache

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * QoS summaries of a simulation run: per-application miss rates versus
+ * goals, deviations, and the paper's derived metrics.
+ */
+
+#ifndef MOLCACHE_SIM_QOS_HPP
+#define MOLCACHE_SIM_QOS_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "stats/metrics.hpp"
+
+namespace molcache {
+
+/** Per-application slice of a run summary. */
+struct AppSummary
+{
+    Asid asid = 0;
+    std::string label;
+    u64 accesses = 0;
+    u64 hits = 0;
+    double missRate = 0.0;
+    /** Average memory access time in cache cycles. */
+    double amat = 0.0;
+    std::optional<double> goal;
+    /** |missRate - goal| when a goal exists. */
+    std::optional<double> deviation;
+};
+
+/** Whole-run QoS summary. */
+struct QosSummary
+{
+    std::vector<AppSummary> apps;
+    double averageDeviation = 0.0;
+    double globalMissRate = 0.0;
+    u64 totalAccesses = 0;
+
+    const AppSummary &byAsid(Asid asid) const;
+};
+
+/**
+ * Build the summary from a model's statistics.
+ * @param labels optional per-ASID display names (benchmark names)
+ */
+QosSummary summarize(const CacheModel &model, const GoalSet &goals,
+                     const std::map<Asid, std::string> &labels = {});
+
+} // namespace molcache
+
+#endif // MOLCACHE_SIM_QOS_HPP

@@ -1,0 +1,58 @@
+#include "sim/simulator.hpp"
+
+#include "stats/counter.hpp"
+
+namespace molcache {
+
+SimResult
+Simulator::run(AccessSource &source, CacheModel &model, const GoalSet &goals,
+               const std::map<Asid, std::string> &labels, u64 warmup,
+               const Progress &progress)
+{
+    u64 done = 0;
+    u64 local_hits = 0;
+    u64 remote_hits = 0;
+
+    while (auto access = source.next()) {
+        const AccessResult r = model.access(*access);
+        ++done;
+        if (warmup != 0 && done == warmup) {
+            model.resetStats();
+            local_hits = 0;
+            remote_hits = 0;
+        }
+        if (r.hit) {
+            if (r.level == 0)
+                ++local_hits;
+            else
+                ++remote_hits;
+        }
+        if (progress && (done & 0xfffff) == 0)
+            progress(done);
+    }
+
+    SimResult out;
+    out.cacheName = model.name();
+    out.qos = summarize(model, goals, labels);
+    out.accesses = model.stats().global().accesses;
+    out.hits = model.stats().global().hits;
+    out.misses = model.stats().global().misses;
+    out.totalEnergyNj = model.totalEnergyNj();
+    out.avgEnergyPerAccessNj =
+        out.accesses ? out.totalEnergyNj / static_cast<double>(out.accesses)
+                     : 0.0;
+    out.localHits = local_hits;
+    out.remoteHits = remote_hits;
+    return out;
+}
+
+std::map<Asid, std::string>
+labelMap(const std::vector<std::string> &names)
+{
+    std::map<Asid, std::string> out;
+    for (size_t i = 0; i < names.size(); ++i)
+        out[static_cast<Asid>(i)] = names[i];
+    return out;
+}
+
+} // namespace molcache

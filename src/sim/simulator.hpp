@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The trace-driven simulation loop: pull references from an AccessSource,
+ * feed them to a CacheModel, summarize.
+ */
+
+#ifndef MOLCACHE_SIM_SIMULATOR_HPP
+#define MOLCACHE_SIM_SIMULATOR_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "cache/cache_model.hpp"
+#include "mem/interleave.hpp"
+#include "sim/qos.hpp"
+
+namespace molcache {
+
+/** Aggregate outcome of one run. */
+struct SimResult
+{
+    std::string cacheName;
+    QosSummary qos;
+    u64 accesses = 0;
+    u64 hits = 0;
+    u64 misses = 0;
+    double totalEnergyNj = 0.0;
+    double avgEnergyPerAccessNj = 0.0;
+    /** Hits broken down by lookup level (0 local, 1 remote tile). */
+    u64 localHits = 0;
+    u64 remoteHits = 0;
+};
+
+class Simulator
+{
+  public:
+    /** Optional progress callback: (accessesDone). */
+    using Progress = std::function<void(u64)>;
+
+    /**
+     * Drain @p source through @p model.
+     * @param goals       per-ASID miss-rate goals for the QoS summary
+     * @param labels      per-ASID display names
+     * @param warmup      references run before statistics are reset
+     *                    (0 = no warmup phase)
+     */
+    static SimResult run(AccessSource &source, CacheModel &model,
+                         const GoalSet &goals,
+                         const std::map<Asid, std::string> &labels = {},
+                         u64 warmup = 0, const Progress &progress = {});
+};
+
+/** Display-label map (ASID i -> names[i]). */
+std::map<Asid, std::string>
+labelMap(const std::vector<std::string> &names);
+
+} // namespace molcache
+
+#endif // MOLCACHE_SIM_SIMULATOR_HPP

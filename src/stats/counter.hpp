@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Simple event counters and derived ratios.
+ */
+
+#ifndef MOLCACHE_STATS_COUNTER_HPP
+#define MOLCACHE_STATS_COUNTER_HPP
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+/** Monotonic event counter with interval snapshots. */
+class Counter
+{
+  public:
+    void increment(u64 by = 1) { value_ += by; }
+    u64 value() const { return value_; }
+
+    /** Value accumulated since the last takeInterval(). */
+    u64 intervalValue() const { return value_ - lastSnapshot_; }
+
+    /** Close the current interval and return its count. */
+    u64
+    takeInterval()
+    {
+        const u64 delta = value_ - lastSnapshot_;
+        lastSnapshot_ = value_;
+        return delta;
+    }
+
+    void
+    reset()
+    {
+        value_ = 0;
+        lastSnapshot_ = 0;
+    }
+
+  private:
+    u64 value_ = 0;
+    u64 lastSnapshot_ = 0;
+};
+
+/** numerator/denominator with divide-by-zero yielding 0. */
+inline double
+ratio(u64 num, u64 den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+} // namespace molcache
+
+#endif // MOLCACHE_STATS_COUNTER_HPP

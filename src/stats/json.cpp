@@ -1,0 +1,183 @@
+#include "stats/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace molcache {
+
+JsonWriter::JsonWriter(std::ostream &os)
+    : os_(os)
+{
+    stack_.push_back(Ctx::Top);
+    first_.push_back(true);
+}
+
+JsonWriter::~JsonWriter()
+{
+    // Don't throw from a destructor; unbalanced writers are a bug but we
+    // only warn here to keep stack unwinding safe.
+    if (stack_.size() != 1)
+        warn("JsonWriter destroyed with unclosed containers");
+}
+
+void
+JsonWriter::preValue()
+{
+    if (stack_.back() == Ctx::Object && !pendingKey_)
+        panic("JSON value in object without a key");
+    if (stack_.back() == Ctx::Array || stack_.back() == Ctx::Top) {
+        if (!first_.back())
+            os_ << ",";
+        if (stack_.back() == Ctx::Array) {
+            os_ << "\n";
+            indent();
+        }
+    }
+    first_.back() = false;
+    pendingKey_ = false;
+}
+
+void
+JsonWriter::indent()
+{
+    for (size_t i = 1; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::beginObject()
+{
+    preValue();
+    os_ << "{";
+    stack_.push_back(Ctx::Object);
+    first_.push_back(true);
+}
+
+void
+JsonWriter::endObject()
+{
+    MOLCACHE_ASSERT(stack_.back() == Ctx::Object, "endObject outside object");
+    MOLCACHE_ASSERT(!pendingKey_, "dangling JSON key");
+    stack_.pop_back();
+    const bool empty = first_.back();
+    first_.pop_back();
+    if (!empty) {
+        os_ << "\n";
+        indent();
+    }
+    os_ << "}";
+}
+
+void
+JsonWriter::beginArray()
+{
+    preValue();
+    os_ << "[";
+    stack_.push_back(Ctx::Array);
+    first_.push_back(true);
+}
+
+void
+JsonWriter::endArray()
+{
+    MOLCACHE_ASSERT(stack_.back() == Ctx::Array, "endArray outside array");
+    stack_.pop_back();
+    const bool empty = first_.back();
+    first_.pop_back();
+    if (!empty) {
+        os_ << "\n";
+        indent();
+    }
+    os_ << "]";
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    MOLCACHE_ASSERT(stack_.back() == Ctx::Object, "JSON key outside object");
+    MOLCACHE_ASSERT(!pendingKey_, "two JSON keys in a row");
+    if (!first_.back())
+        os_ << ",";
+    os_ << "\n";
+    indent();
+    os_ << "\"" << escape(name) << "\": ";
+    first_.back() = false;
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    preValue();
+    os_ << "\"" << escape(v) << "\"";
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    preValue();
+    if (std::isnan(v) || std::isinf(v)) {
+        os_ << "null";
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os_ << buf;
+}
+
+void
+JsonWriter::value(u64 v)
+{
+    preValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(i64 v)
+{
+    preValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    preValue();
+    os_ << (v ? "true" : "false");
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace molcache

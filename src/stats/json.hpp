@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal streaming JSON writer so benches can emit machine-readable
+ * results alongside the human-readable tables.  Only what the harness
+ * needs: objects, arrays, strings, numbers, booleans.
+ */
+
+#ifndef MOLCACHE_STATS_JSON_HPP
+#define MOLCACHE_STATS_JSON_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Key inside an object; must be followed by a value or container. */
+    void key(const std::string &name);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(u64 v);
+    void value(i64 v);
+    void value(bool v);
+
+  private:
+    enum class Ctx { Top, Object, Array };
+
+    void preValue();
+    void indent();
+    static std::string escape(const std::string &s);
+
+    std::ostream &os_;
+    std::vector<Ctx> stack_;
+    std::vector<bool> first_;
+    bool pendingKey_ = false;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_STATS_JSON_HPP

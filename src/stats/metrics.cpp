@@ -1,0 +1,70 @@
+#include "stats/metrics.hpp"
+
+#include <cmath>
+
+#include "stats/counter.hpp"
+#include "util/logging.hpp"
+
+namespace molcache {
+
+GoalSet
+GoalSet::uniform(double goal, u32 count)
+{
+    GoalSet out;
+    for (u32 i = 0; i < count; ++i)
+        out.set(static_cast<Asid>(i), goal);
+    return out;
+}
+
+void
+GoalSet::set(Asid asid, double goal)
+{
+    MOLCACHE_ASSERT(goal >= 0.0 && goal <= 1.0, "goal out of [0,1]");
+    goals_[asid] = goal;
+}
+
+std::optional<double>
+GoalSet::goal(Asid asid) const
+{
+    const auto it = goals_.find(asid);
+    if (it == goals_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+double
+deviationFromGoal(double missRate, double goal)
+{
+    return std::fabs(missRate - goal);
+}
+
+double
+averageDeviation(const std::map<Asid, double> &missRates, const GoalSet &goals)
+{
+    double sum = 0.0;
+    u32 n = 0;
+    for (const auto &[asid, goal] : goals.all()) {
+        const auto it = missRates.find(asid);
+        if (it == missRates.end())
+            continue;
+        sum += deviationFromGoal(it->second, goal);
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+double
+hitPerMolecule(u64 hits, u64 accesses, u32 molecules)
+{
+    if (molecules == 0)
+        return 0.0;
+    return ratio(hits, accesses) / molecules;
+}
+
+double
+powerDeviationProduct(double powerWatts, double avgDeviation)
+{
+    return powerWatts * avgDeviation;
+}
+
+} // namespace molcache

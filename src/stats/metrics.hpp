@@ -1,0 +1,66 @@
+/**
+ * @file
+ * QoS metrics from the paper's evaluation (section 4).
+ *
+ *  - average deviation from the miss-rate goal (Figure 5, Table 2);
+ *  - hit-per-molecule, HPM (Figure 6);
+ *  - power-deviation product (Table 5).
+ *
+ * Deviation is |missRate - goal|, averaged over the applications that have
+ * a goal (see DESIGN.md "Interpretation notes").
+ */
+
+#ifndef MOLCACHE_STATS_METRICS_HPP
+#define MOLCACHE_STATS_METRICS_HPP
+
+#include <map>
+#include <optional>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+/** Per-application miss-rate goals; apps absent from the map have none. */
+class GoalSet
+{
+  public:
+    GoalSet() = default;
+
+    /** Assign the same goal to every ASID in [0, count). */
+    static GoalSet uniform(double goal, u32 count);
+
+    void set(Asid asid, double goal);
+    std::optional<double> goal(Asid asid) const;
+    bool hasGoal(Asid asid) const { return goals_.count(asid) != 0; }
+    size_t size() const { return goals_.size(); }
+
+    const std::map<Asid, double> &all() const { return goals_; }
+
+  private:
+    std::map<Asid, double> goals_;
+};
+
+/** |missRate - goal| for one application. */
+double deviationFromGoal(double missRate, double goal);
+
+/**
+ * Mean deviation over applications that have goals.
+ * @param missRates  per-ASID observed miss rates
+ * @param goals      per-ASID goals; ASIDs without goals are skipped
+ */
+double averageDeviation(const std::map<Asid, double> &missRates,
+                        const GoalSet &goals);
+
+/**
+ * Hit rate contribution per molecule: the application's hit rate divided
+ * by the number of molecules its region occupies (Figure 6 metric).
+ * Returns 0 when no molecules are assigned.
+ */
+double hitPerMolecule(u64 hits, u64 accesses, u32 molecules);
+
+/** Power-deviation product (Table 5 metric). */
+double powerDeviationProduct(double powerWatts, double avgDeviation);
+
+} // namespace molcache
+
+#endif // MOLCACHE_STATS_METRICS_HPP

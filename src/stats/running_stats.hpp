@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Streaming mean / variance / extrema (Welford's algorithm).
+ */
+
+#ifndef MOLCACHE_STATS_RUNNING_STATS_HPP
+#define MOLCACHE_STATS_RUNNING_STATS_HPP
+
+#include <cmath>
+#include <limits>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+class RunningStats
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+        sum_ += x;
+    }
+
+    u64 count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    void
+    reset()
+    {
+        *this = RunningStats();
+    }
+
+  private:
+    u64 n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_STATS_RUNNING_STATS_HPP

@@ -1,0 +1,97 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace molcache {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    MOLCACHE_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+size_t
+TablePrinter::addRow()
+{
+    rows_.emplace_back(header_.size());
+    return rows_.size() - 1;
+}
+
+void
+TablePrinter::cell(size_t row, size_t col, const std::string &text)
+{
+    MOLCACHE_ASSERT(row < rows_.size() && col < header_.size(),
+                    "table cell out of range");
+    rows_[row][col] = text;
+}
+
+void
+TablePrinter::cell(size_t row, size_t col, double value, int precision)
+{
+    cell(row, col, formatDouble(value, precision));
+}
+
+void
+TablePrinter::cell(size_t row, size_t col, u64 value)
+{
+    cell(row, col, std::to_string(value));
+}
+
+void
+TablePrinter::row(const std::vector<std::string> &cells)
+{
+    MOLCACHE_ASSERT(cells.size() == header_.size(),
+                    "row width does not match header");
+    rows_.push_back(cells);
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &r : rows_)
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &r) {
+        os << "|";
+        for (size_t c = 0; c < r.size(); ++c)
+            os << " " << std::setw(static_cast<int>(width[c])) << std::left
+               << r[c] << " |";
+        os << "\n";
+    };
+    auto print_rule = [&]() {
+        os << "+";
+        for (size_t c = 0; c < width.size(); ++c)
+            os << std::string(width[c] + 2, '-') << "+";
+        os << "\n";
+    };
+
+    print_rule();
+    print_row(header_);
+    print_rule();
+    for (const auto &r : rows_)
+        print_row(r);
+    print_rule();
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < r.size(); ++c)
+            os << (c ? "," : "") << r[c];
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+} // namespace molcache

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the benchmark harness to print
+ * paper-style tables.
+ */
+
+#ifndef MOLCACHE_STATS_TABLE_HPP
+#define MOLCACHE_STATS_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+/**
+ * Column-aligned text table.  Collect rows of strings, then print().
+ * Numeric convenience setters format with fixed precision.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Begin a new row; returns the row index. */
+    size_t addRow();
+
+    /** Set cell (row, col) to text / formatted number. */
+    void cell(size_t row, size_t col, const std::string &text);
+    void cell(size_t row, size_t col, double value, int precision = 4);
+    void cell(size_t row, size_t col, u64 value);
+
+    /** Shortcut: append a full row at once. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Render with column alignment to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    size_t rows() const { return rows_.size(); }
+    size_t columns() const { return header_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_STATS_TABLE_HPP

@@ -1,0 +1,54 @@
+#include "stats/timeseries.hpp"
+
+#include "util/logging.hpp"
+
+namespace molcache {
+
+TimeSeries::TimeSeries(std::vector<std::string> columns)
+    : columns_(std::move(columns))
+{
+    MOLCACHE_ASSERT(!columns_.empty(), "time series needs columns");
+}
+
+void
+TimeSeries::sample(Tick tick, const std::vector<double> &values)
+{
+    MOLCACHE_ASSERT(values.size() == columns_.size(),
+                    "sample width does not match columns");
+    MOLCACHE_ASSERT(ticks_.empty() || tick >= ticks_.back(),
+                    "samples must be in non-decreasing tick order");
+    ticks_.push_back(tick);
+    values_.insert(values_.end(), values.begin(), values.end());
+}
+
+double
+TimeSeries::valueAt(size_t row, size_t column) const
+{
+    MOLCACHE_ASSERT(row < ticks_.size() && column < columns_.size(),
+                    "time-series index out of range");
+    return values_[row * columns_.size() + column];
+}
+
+double
+TimeSeries::latest(size_t column) const
+{
+    MOLCACHE_ASSERT(!ticks_.empty(), "latest() on empty series");
+    return valueAt(ticks_.size() - 1, column);
+}
+
+void
+TimeSeries::writeCsv(std::ostream &os) const
+{
+    os << "tick";
+    for (const auto &c : columns_)
+        os << "," << c;
+    os << "\n";
+    for (size_t r = 0; r < ticks_.size(); ++r) {
+        os << ticks_[r];
+        for (size_t c = 0; c < columns_.size(); ++c)
+            os << "," << valueAt(r, c);
+        os << "\n";
+    }
+}
+
+} // namespace molcache

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sampled time series of named quantities — the workhorse behind the
+ * resize-trajectory outputs (region sizes and miss rates over simulated
+ * time, CSV for plotting).
+ */
+
+#ifndef MOLCACHE_STATS_TIMESERIES_HPP
+#define MOLCACHE_STATS_TIMESERIES_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+class TimeSeries
+{
+  public:
+    /** @param columns value names (the tick column is implicit). */
+    explicit TimeSeries(std::vector<std::string> columns);
+
+    /** Append one sample; @p values must match the column count. */
+    void sample(Tick tick, const std::vector<double> &values);
+
+    size_t samples() const { return ticks_.size(); }
+    size_t columns() const { return columns_.size(); }
+    const std::vector<std::string> &columnNames() const { return columns_; }
+
+    Tick tickAt(size_t row) const { return ticks_.at(row); }
+    double valueAt(size_t row, size_t column) const;
+
+    /** Last sampled value of @p column. */
+    double latest(size_t column) const;
+
+    /** Emit as CSV: header `tick,<columns...>` then one row per sample. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> columns_;
+    std::vector<Tick> ticks_;
+    std::vector<double> values_; // row-major, samples x columns
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_STATS_TIMESERIES_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by cache indexing logic.
+ */
+
+#ifndef MOLCACHE_UTIL_BITS_HPP
+#define MOLCACHE_UTIL_BITS_HPP
+
+#include <bit>
+#include <cassert>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+/** True iff @p v is a power of two (zero is not). */
+inline constexpr bool
+isPowerOfTwo(u64 v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be non-zero. */
+inline constexpr u32
+floorLog2(u64 v)
+{
+    assert(v != 0);
+    return 63u - static_cast<u32>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); @p v must be non-zero. */
+inline constexpr u32
+ceilLog2(u64 v)
+{
+    assert(v != 0);
+    return v == 1 ? 0u : floorLog2(v - 1) + 1;
+}
+
+/** Round @p v down to a multiple of power-of-two @p align. */
+inline constexpr u64
+alignDown(u64 v, u64 align)
+{
+    assert(isPowerOfTwo(align));
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of power-of-two @p align. */
+inline constexpr u64
+alignUp(u64 v, u64 align)
+{
+    assert(isPowerOfTwo(align));
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [lo, hi] (inclusive) of @p v, right-aligned. */
+inline constexpr u64
+bitsOf(u64 v, u32 hi, u32 lo)
+{
+    assert(hi >= lo && hi < 64);
+    const u64 width = hi - lo + 1;
+    const u64 mask = width >= 64 ? ~0ull : ((1ull << width) - 1);
+    return (v >> lo) & mask;
+}
+
+} // namespace molcache
+
+#endif // MOLCACHE_UTIL_BITS_HPP

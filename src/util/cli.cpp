@@ -1,0 +1,127 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace molcache {
+
+CliParser::CliParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary))
+{
+}
+
+void
+CliParser::addOption(const std::string &name, const std::string &defaultValue,
+                     const std::string &help)
+{
+    options_[name] = Option{defaultValue, help, false, false};
+}
+
+void
+CliParser::addFlag(const std::string &name, const std::string &help)
+{
+    options_[name] = Option{"0", help, true, false};
+}
+
+void
+CliParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            printHelpAndExit();
+        if (!startsWith(arg, "--")) {
+            positional_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        std::string value;
+        bool have_value = false;
+        if (const auto eq = arg.find('='); eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            have_value = true;
+        }
+        auto it = options_.find(arg);
+        if (it == options_.end())
+            fatal("unknown option '--", arg, "' (try --help)");
+        Option &opt = it->second;
+        if (opt.isFlag) {
+            opt.value = have_value ? value : "1";
+        } else if (have_value) {
+            opt.value = value;
+        } else {
+            if (i + 1 >= argc)
+                fatal("option '--", arg, "' needs a value");
+            opt.value = argv[++i];
+        }
+        opt.seen = true;
+    }
+}
+
+const CliParser::Option &
+CliParser::find(const std::string &name) const
+{
+    const auto it = options_.find(name);
+    if (it == options_.end())
+        panic("query of unregistered option '", name, "'");
+    return it->second;
+}
+
+bool
+CliParser::flag(const std::string &name) const
+{
+    return parseBool(find(name).value);
+}
+
+std::string
+CliParser::str(const std::string &name) const
+{
+    return find(name).value;
+}
+
+i64
+CliParser::integer(const std::string &name) const
+{
+    const std::string v = find(name).value;
+    i64 out = 0;
+    auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc() || p != v.data() + v.size())
+        fatal("option '--", name, "' has non-integer value '", v, "'");
+    return out;
+}
+
+double
+CliParser::real(const std::string &name) const
+{
+    const std::string v = find(name).value;
+    try {
+        return std::stod(v);
+    } catch (const std::exception &) {
+        fatal("option '--", name, "' has non-numeric value '", v, "'");
+    }
+}
+
+u64
+CliParser::size(const std::string &name) const
+{
+    return parseSize(find(name).value);
+}
+
+void
+CliParser::printHelpAndExit() const
+{
+    std::printf("%s — %s\n\noptions:\n", program_.c_str(), summary_.c_str());
+    for (const auto &[name, opt] : options_) {
+        std::printf("  --%-22s %s%s\n", name.c_str(), opt.help.c_str(),
+                    opt.isFlag ? " (flag)"
+                               : (" [default: " + opt.value + "]").c_str());
+    }
+    std::exit(0);
+}
+
+} // namespace molcache

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tiny command-line parser used by benches and examples.
+ *
+ * Supported forms: `--flag`, `--key value`, `--key=value` and positional
+ * arguments.  Unknown options fail loudly; `--help` prints registered
+ * options and exits.
+ */
+
+#ifndef MOLCACHE_UTIL_CLI_HPP
+#define MOLCACHE_UTIL_CLI_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+class CliParser
+{
+  public:
+    /** @param program  name shown in --help
+     *  @param summary  one-line description shown in --help */
+    CliParser(std::string program, std::string summary);
+
+    /** Register a value option with a default. */
+    void addOption(const std::string &name, const std::string &defaultValue,
+                   const std::string &help);
+
+    /** Register a boolean flag (defaults to false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /** Parse argv; calls fatal() on unknown options, exits on --help. */
+    void parse(int argc, const char *const *argv);
+
+    bool flag(const std::string &name) const;
+    std::string str(const std::string &name) const;
+    i64 integer(const std::string &name) const;
+    double real(const std::string &name) const;
+    u64 size(const std::string &name) const;
+
+    const std::vector<std::string> &positional() const { return positional_; }
+
+  private:
+    struct Option
+    {
+        std::string value;
+        std::string help;
+        bool isFlag = false;
+        bool seen = false;
+    };
+
+    const Option &find(const std::string &name) const;
+    void printHelpAndExit() const;
+
+    std::string program_;
+    std::string summary_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_UTIL_CLI_HPP

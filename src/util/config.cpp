@@ -1,0 +1,168 @@
+#include "util/config.hpp"
+
+#include <charconv>
+#include <fstream>
+
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace molcache {
+
+namespace {
+
+void
+parseLineInto(Config &cfg, const std::string &line, const char *where)
+{
+    const std::string stripped = trim(line.substr(0, line.find('#')));
+    if (stripped.empty())
+        return;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos)
+        fatal("malformed config entry '", stripped, "' in ", where);
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    if (key.empty())
+        fatal("empty config key in ", where);
+    cfg.set(key, value);
+}
+
+} // namespace
+
+Config
+Config::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file '", path, "'");
+    Config cfg;
+    std::string line;
+    while (std::getline(in, line))
+        parseLineInto(cfg, line, path.c_str());
+    return cfg;
+}
+
+Config
+Config::fromTokens(const std::vector<std::string> &tokens)
+{
+    Config cfg;
+    for (const auto &tok : tokens)
+        parseLineInto(cfg, tok, "command line");
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &[k, v] : other.values_)
+        values_[k] = v;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::optional<std::string>
+Config::lookup(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key) const
+{
+    const auto v = lookup(key);
+    if (!v)
+        fatal("missing required config key '", key, "'");
+    return *v;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    return lookup(key).value_or(fallback);
+}
+
+i64
+Config::getInt(const std::string &key) const
+{
+    const std::string v = getString(key);
+    i64 out = 0;
+    auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc() || p != v.data() + v.size())
+        fatal("config key '", key, "' has non-integer value '", v, "'");
+    return out;
+}
+
+i64
+Config::getInt(const std::string &key, i64 fallback) const
+{
+    return has(key) ? getInt(key) : fallback;
+}
+
+double
+Config::getDouble(const std::string &key) const
+{
+    const std::string v = getString(key);
+    try {
+        size_t used = 0;
+        const double out = std::stod(v, &used);
+        if (used != v.size())
+            fatal("config key '", key, "' has non-numeric value '", v, "'");
+        return out;
+    } catch (const std::exception &) {
+        fatal("config key '", key, "' has non-numeric value '", v, "'");
+    }
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    return has(key) ? getDouble(key) : fallback;
+}
+
+bool
+Config::getBool(const std::string &key) const
+{
+    return parseBool(getString(key));
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    return has(key) ? getBool(key) : fallback;
+}
+
+u64
+Config::getSize(const std::string &key) const
+{
+    return parseSize(getString(key));
+}
+
+u64
+Config::getSize(const std::string &key, u64 fallback) const
+{
+    return has(key) ? getSize(key) : fallback;
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[k, v] : values_)
+        out.push_back(k);
+    return out;
+}
+
+} // namespace molcache

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal key=value configuration store.
+ *
+ * Experiments and example binaries accept overrides either from a file
+ * (one `key = value` per line, '#' comments) or from CLI tokens of the
+ * form `key=value`.  Typed getters convert on access and fatal() on
+ * malformed values so misconfiguration fails loudly.
+ */
+
+#ifndef MOLCACHE_UTIL_CONFIG_HPP
+#define MOLCACHE_UTIL_CONFIG_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse a config file; fatal() if unreadable. */
+    static Config fromFile(const std::string &path);
+
+    /** Parse `key=value` tokens (e.g. remaining CLI args). */
+    static Config fromTokens(const std::vector<std::string> &tokens);
+
+    /** Set/overwrite a key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Merge @p other into this, overwriting duplicates. */
+    void merge(const Config &other);
+
+    bool has(const std::string &key) const;
+
+    /** Raw string value; fatal() if missing. */
+    std::string getString(const std::string &key) const;
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    i64 getInt(const std::string &key) const;
+    i64 getInt(const std::string &key, i64 fallback) const;
+
+    double getDouble(const std::string &key) const;
+    double getDouble(const std::string &key, double fallback) const;
+
+    bool getBool(const std::string &key) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Size with K/M/G suffix support. */
+    u64 getSize(const std::string &key) const;
+    u64 getSize(const std::string &key, u64 fallback) const;
+
+    /** All keys in sorted order (for dumping). */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::optional<std::string> lookup(const std::string &key) const;
+
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_UTIL_CONFIG_HPP

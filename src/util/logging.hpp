@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Status / error reporting in the gem5 style.
+ *
+ * Two classes of terminating reports are distinguished (see the gem5 coding
+ * style): panic() is for conditions that indicate a bug in molcache itself
+ * and aborts; fatal() is for user errors (bad configuration, malformed
+ * input) and exits cleanly with a non-zero status.  inform() and warn()
+ * never stop the simulation.
+ */
+
+#ifndef MOLCACHE_UTIL_LOGGING_HPP
+#define MOLCACHE_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace molcache {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel { Quiet, Warn, Info, Debug };
+
+/** Set the global verbosity; messages below the level are suppressed. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+/** Emit one formatted line to stderr with the given tag. */
+void emit(const char *tag, const std::string &msg);
+[[noreturn]] void emitFatal(const std::string &msg);
+[[noreturn]] void emitPanic(const std::string &msg);
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+} // namespace detail
+
+/** Normal operating message; no connotation of incorrect behaviour. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Something might be off; simulation continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Developer-level trace message. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emit("debug", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * The simulation cannot continue due to a user error (bad configuration,
+ * invalid arguments).  Exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitFatal(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Something happened that should never happen regardless of user input —
+ * i.e. a molcache bug.  Aborts (may dump core).
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitPanic(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() if @p cond is false; used for internal invariants. */
+#define MOLCACHE_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::molcache::panic("assertion '", #cond, "' failed at ",         \
+                              __FILE__, ":", __LINE__, " ", ##__VA_ARGS__); \
+        }                                                                   \
+    } while (0)
+
+} // namespace molcache
+
+#endif // MOLCACHE_UTIL_LOGGING_HPP

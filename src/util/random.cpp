@@ -1,0 +1,139 @@
+#include "util/random.hpp"
+
+#include "util/logging.hpp"
+
+namespace molcache {
+
+u32
+RandomSource::below(u32 bound)
+{
+    MOLCACHE_ASSERT(bound != 0, "below() with zero bound");
+    // Debiased modulo via rejection sampling (Lemire-style threshold).
+    const u32 threshold = (-bound) % bound;
+    for (;;) {
+        const u32 r = next32();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+u32
+RandomSource::between(u32 lo, u32 hi)
+{
+    MOLCACHE_ASSERT(lo <= hi, "between() with lo > hi");
+    const u32 span = hi - lo;
+    if (span == 0xffffffffu)
+        return next32();
+    return lo + below(span + 1);
+}
+
+double
+RandomSource::unitReal()
+{
+    // 32 uniform bits scaled into [0,1).
+    return next32() * (1.0 / 4294967296.0);
+}
+
+bool
+RandomSource::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return unitReal() < p;
+}
+
+u64
+RandomSource::next64()
+{
+    return (static_cast<u64>(next32()) << 32) | next32();
+}
+
+Pcg32::Pcg32(u64 seed, u64 stream)
+    : state_(0), inc_((stream << 1) | 1u)
+{
+    // Standard PCG seeding sequence.
+    next32();
+    state_ += seed;
+    next32();
+}
+
+u32
+Pcg32::next32()
+{
+    const u64 old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    const u32 xorshifted = static_cast<u32>(((old >> 18) ^ old) >> 27);
+    const u32 rot = static_cast<u32>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+}
+
+XorShift64Star::XorShift64Star(u64 seed)
+    : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+{
+}
+
+u32
+XorShift64Star::next32()
+{
+    u64 x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return static_cast<u32>((x * 0x2545f4914f6cdd1dull) >> 32);
+}
+
+GaloisLfsr16::GaloisLfsr16(u16 seed)
+    : state_(seed ? seed : 0xACE1u)
+{
+}
+
+u16
+GaloisLfsr16::step()
+{
+    const u16 lsb = state_ & 1u;
+    state_ >>= 1;
+    if (lsb)
+        state_ ^= 0xB400u; // taps 16,14,13,11
+    return state_;
+}
+
+u32
+GaloisLfsr16::next32()
+{
+    // Two steps give 32 bits, but the halves are strongly correlated —
+    // that weakness is intentional (hardware-RNG model).
+    const u32 hi = step();
+    const u32 lo = step();
+    return (hi << 16) | lo;
+}
+
+std::unique_ptr<RandomSource>
+makeRandomSource(RngKind kind, u64 seed)
+{
+    switch (kind) {
+      case RngKind::Pcg32:
+        return std::make_unique<Pcg32>(seed);
+      case RngKind::XorShift:
+        return std::make_unique<XorShift64Star>(seed);
+      case RngKind::Lfsr16:
+        return std::make_unique<GaloisLfsr16>(static_cast<u16>(seed));
+    }
+    panic("unknown RngKind");
+}
+
+RngKind
+parseRngKind(const std::string &text)
+{
+    if (text == "pcg32")
+        return RngKind::Pcg32;
+    if (text == "xorshift")
+        return RngKind::XorShift;
+    if (text == "lfsr16")
+        return RngKind::Lfsr16;
+    fatal("unknown RNG kind '", text, "' (expected pcg32|xorshift|lfsr16)");
+}
+
+} // namespace molcache

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic, seedable random number sources.
+ *
+ * The molecular cache's Random and Randy replacement schemes pick victim
+ * molecules at random; the paper notes that the load-spreading quality of
+ * Random replacement "is highly dependent on the entropy of the random
+ * number generator implemented in hardware" (section 3.3).  To study that,
+ * molcache provides several sources behind one interface:
+ *
+ *  - Pcg32          — high quality software PRNG (simulation default);
+ *  - XorShift64Star — mid quality, very cheap;
+ *  - GaloisLfsr16   — a 16-bit LFSR modelling the kind of shift-register
+ *                     RNG that is realistic to build in cache hardware
+ *                     (short period, correlated low bits).
+ *
+ * All sources are deterministic given a seed so experiments reproduce
+ * bit-for-bit.
+ */
+
+#ifndef MOLCACHE_UTIL_RANDOM_HPP
+#define MOLCACHE_UTIL_RANDOM_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+/** Abstract stream of uniform 32-bit random values. */
+class RandomSource
+{
+  public:
+    virtual ~RandomSource() = default;
+
+    /** Next uniform 32-bit value. */
+    virtual u32 next32() = 0;
+
+    /** Human-readable generator name (for reports). */
+    virtual std::string name() const = 0;
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    u32 below(u32 bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    u32 between(u32 lo, u32 hi);
+
+    /** Uniform double in [0, 1). */
+    double unitReal();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+    /** Uniform 64-bit value. */
+    u64 next64();
+};
+
+/** PCG-XSH-RR 64/32 (O'Neill 2014); molcache's default generator. */
+class Pcg32 final : public RandomSource
+{
+  public:
+    explicit Pcg32(u64 seed = 0x853c49e6748fea9bull,
+                   u64 stream = 0xda3e39cb94b95bdbull);
+
+    u32 next32() override;
+    std::string name() const override { return "pcg32"; }
+
+  private:
+    u64 state_;
+    u64 inc_;
+};
+
+/** xorshift64* — cheap, decent quality. */
+class XorShift64Star final : public RandomSource
+{
+  public:
+    explicit XorShift64Star(u64 seed = 0x9e3779b97f4a7c15ull);
+
+    u32 next32() override;
+    std::string name() const override { return "xorshift64star"; }
+
+  private:
+    u64 state_;
+};
+
+/**
+ * 16-bit Galois LFSR (taps 16,14,13,11 — maximal length, period 65535).
+ * Models a minimal hardware RNG; its short period and bit correlation make
+ * it a deliberately weak source for the RNG-entropy ablation.
+ */
+class GaloisLfsr16 final : public RandomSource
+{
+  public:
+    explicit GaloisLfsr16(u16 seed = 0xACE1u);
+
+    u32 next32() override;
+    std::string name() const override { return "lfsr16"; }
+
+    /** Advance one LFSR step and return the 16-bit state. */
+    u16 step();
+
+  private:
+    u16 state_;
+};
+
+/** Kind selector used by configuration code. */
+enum class RngKind { Pcg32, XorShift, Lfsr16 };
+
+/** Factory: build a generator of @p kind with the given seed. */
+std::unique_ptr<RandomSource> makeRandomSource(RngKind kind, u64 seed);
+
+/** Parse "pcg32" / "xorshift" / "lfsr16" into an RngKind. */
+RngKind parseRngKind(const std::string &text);
+
+} // namespace molcache
+
+#endif // MOLCACHE_UTIL_RANDOM_HPP

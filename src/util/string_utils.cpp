@@ -1,0 +1,100 @@
+#include "util/string_utils.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace molcache {
+
+std::string
+trim(std::string_view s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string>
+split(std::string_view s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.push_back(trim(s.substr(start, i - start)));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+u64
+parseSize(std::string_view raw)
+{
+    const std::string s = trim(raw);
+    if (s.empty())
+        fatal("empty size string");
+
+    size_t pos = 0;
+    while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos])))
+        ++pos;
+    if (pos == 0)
+        fatal("malformed size '", s, "'");
+
+    u64 value = 0;
+    auto [p, ec] = std::from_chars(s.data(), s.data() + pos, value);
+    if (ec != std::errc())
+        fatal("malformed size '", s, "'");
+
+    const std::string suffix = toLower(trim(s.substr(pos)));
+    if (suffix.empty() || suffix == "b")
+        return value;
+    if (suffix == "k" || suffix == "kb" || suffix == "kib")
+        return value << 10;
+    if (suffix == "m" || suffix == "mb" || suffix == "mib")
+        return value << 20;
+    if (suffix == "g" || suffix == "gb" || suffix == "gib")
+        return value << 30;
+    fatal("unknown size suffix '", suffix, "' in '", s, "'");
+}
+
+bool
+parseBool(std::string_view raw)
+{
+    const std::string s = toLower(trim(raw));
+    if (s == "1" || s == "true" || s == "yes" || s == "on")
+        return true;
+    if (s == "0" || s == "false" || s == "no" || s == "off")
+        return false;
+    fatal("malformed boolean '", s, "'");
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace molcache

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small string helpers shared by the config and CLI parsers.
+ */
+
+#ifndef MOLCACHE_UTIL_STRING_UTILS_HPP
+#define MOLCACHE_UTIL_STRING_UTILS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+/** Strip leading and trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Split @p s on @p sep, trimming each piece; empty pieces are kept. */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** ASCII lower-case copy. */
+std::string toLower(std::string_view s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/**
+ * Parse a size with optional binary suffix: "8K"/"8KiB"/"8KB" = 8192,
+ * "1M" = 1 MiB, plain digits = bytes.  Calls fatal() on malformed input.
+ */
+u64 parseSize(std::string_view s);
+
+/** Parse a boolean from "1/0/true/false/yes/no/on/off". */
+bool parseBool(std::string_view s);
+
+/** printf-style double with fixed precision. */
+std::string formatDouble(double v, int precision);
+
+} // namespace molcache
+
+#endif // MOLCACHE_UTIL_STRING_UTILS_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout molcache.
+ *
+ * The simulator follows the gem5 convention of short fixed-width aliases
+ * plus a handful of domain types (addresses, application-space identifiers,
+ * simulated time).  Keeping these in one header ensures every module agrees
+ * on widths and avoids accidental narrowing.
+ */
+
+#ifndef MOLCACHE_UTIL_TYPES_HPP
+#define MOLCACHE_UTIL_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace molcache {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Physical (or trace) byte address. */
+using Addr = u64;
+
+/**
+ * Application Space Identifier.  Every running application owning a cache
+ * region is tagged with a unique ASID; molecules are configured with the
+ * ASID of the region they belong to (paper section 3.1).
+ */
+using Asid = u16;
+
+/** Sentinel ASID meaning "no application / unconfigured". */
+inline constexpr Asid kInvalidAsid = std::numeric_limits<Asid>::max();
+
+/** Simulated time expressed in cache accesses serviced. */
+using Tick = u64;
+
+/** Invalid/sentinel address. */
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+} // namespace molcache
+
+#endif // MOLCACHE_UTIL_TYPES_HPP

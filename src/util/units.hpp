@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Size literals and human-readable size formatting.
+ */
+
+#ifndef MOLCACHE_UTIL_UNITS_HPP
+#define MOLCACHE_UTIL_UNITS_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+inline constexpr u64 operator""_KiB(unsigned long long v) { return v << 10; }
+inline constexpr u64 operator""_MiB(unsigned long long v) { return v << 20; }
+inline constexpr u64 operator""_GiB(unsigned long long v) { return v << 30; }
+
+/** Format a byte count as e.g. "512KiB", "6MiB", "768B". */
+inline std::string
+formatSize(u64 bytes)
+{
+    if (bytes >= 1_GiB && bytes % 1_GiB == 0)
+        return std::to_string(bytes >> 30) + "GiB";
+    if (bytes >= 1_MiB && bytes % 1_MiB == 0)
+        return std::to_string(bytes >> 20) + "MiB";
+    if (bytes >= 1_KiB && bytes % 1_KiB == 0)
+        return std::to_string(bytes >> 10) + "KiB";
+    return std::to_string(bytes) + "B";
+}
+
+} // namespace molcache
+
+#endif // MOLCACHE_UTIL_UNITS_HPP

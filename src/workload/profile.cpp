@@ -1,0 +1,67 @@
+#include "workload/profile.hpp"
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace molcache {
+
+namespace {
+
+std::unique_ptr<AddressStream>
+buildComponent(const StreamSpec &spec, Addr base)
+{
+    switch (spec.kind) {
+      case StreamSpec::Kind::Sequential:
+        return std::make_unique<SequentialStream>(base, spec.footprint,
+                                                  spec.stride);
+      case StreamSpec::Kind::Strided: {
+        // Walkers are packed back to back; the component's total extent is
+        // walkers * footprint.
+        return std::make_unique<StridedStream>(base, spec.walkers,
+                                               spec.footprint, spec.stride,
+                                               spec.footprint);
+      }
+      case StreamSpec::Kind::PointerChase:
+        return std::make_unique<PointerChaseStream>(base, spec.footprint);
+      case StreamSpec::Kind::WorkingSet:
+        return std::make_unique<WorkingSetStream>(base, spec.footprint,
+                                                  spec.alpha);
+    }
+    panic("unknown StreamSpec kind");
+}
+
+u64
+componentExtent(const StreamSpec &spec)
+{
+    if (spec.kind == StreamSpec::Kind::Strided)
+        return static_cast<u64>(spec.walkers) * spec.footprint;
+    return spec.footprint;
+}
+
+} // namespace
+
+std::unique_ptr<AddressStream>
+buildStream(const BenchmarkProfile &profile, Addr base)
+{
+    MOLCACHE_ASSERT(!profile.components.empty(),
+                    "profile '", profile.name, "' has no components");
+    std::vector<MixtureStream::Component> parts;
+    Addr cursor = base;
+    for (const auto &spec : profile.components) {
+        parts.push_back({buildComponent(spec, cursor), spec.weight});
+        // 1 MiB guard gap between components, aligned for tidy indexing.
+        cursor = alignUp(cursor + componentExtent(spec) + 1_MiB, 1_MiB);
+    }
+    if (parts.size() == 1)
+        return std::move(parts.front().stream);
+    return std::make_unique<MixtureStream>(std::move(parts));
+}
+
+Addr
+applicationBase(Asid asid)
+{
+    return (static_cast<Addr>(asid) + 1) << 34; // disjoint 16 GiB windows
+}
+
+} // namespace molcache

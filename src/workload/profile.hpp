@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Declarative benchmark profiles.
+ *
+ * A BenchmarkProfile is a recipe for a synthetic address stream that
+ * mimics the cache-visible behaviour of one benchmark: a weighted mixture
+ * of stream primitives plus a write fraction.  Profiles are pure data so
+ * the full set (src/workload/profiles.cpp) reads like a calibration
+ * table.
+ */
+
+#ifndef MOLCACHE_WORKLOAD_PROFILE_HPP
+#define MOLCACHE_WORKLOAD_PROFILE_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/streams.hpp"
+
+namespace molcache {
+
+/** One mixture component of a profile. */
+struct StreamSpec
+{
+    enum class Kind { Sequential, Strided, PointerChase, WorkingSet };
+
+    Kind kind = Kind::WorkingSet;
+    /** Mixture weight (relative; normalized at build time). */
+    double weight = 1.0;
+    /** Footprint in bytes (per walker for Strided). */
+    u64 footprint = 64 * 1024;
+    /** Zipf skew (WorkingSet only). */
+    double alpha = 0.8;
+    /** Advance per touch (Sequential / Strided). */
+    u64 stride = 64;
+    /** Number of concurrent walkers (Strided only). */
+    u32 walkers = 1;
+};
+
+/** Full recipe for one application's reference stream. */
+struct BenchmarkProfile
+{
+    std::string name;
+    /** What real behaviour this models (for reports / docs). */
+    std::string description;
+    std::vector<StreamSpec> components;
+    /** Fraction of references that are writes. */
+    double writeFraction = 0.25;
+};
+
+/**
+ * Materialize the profile's address stream.
+ * Components are laid out side by side starting at @p base with
+ * non-overlapping sub-regions.
+ */
+std::unique_ptr<AddressStream> buildStream(const BenchmarkProfile &profile,
+                                           Addr base);
+
+/**
+ * Base address for an application: ASIDs get disjoint 16 GiB windows so
+ * distinct applications never alias in a shared cache by accident.
+ */
+Addr applicationBase(Asid asid);
+
+} // namespace molcache
+
+#endif // MOLCACHE_WORKLOAD_PROFILE_HPP

@@ -1,0 +1,225 @@
+#include "workload/profiles.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace molcache {
+
+namespace {
+
+using Kind = StreamSpec::Kind;
+
+StreamSpec
+ws(double weight, u64 footprint, double alpha)
+{
+    StreamSpec s;
+    s.kind = Kind::WorkingSet;
+    s.weight = weight;
+    s.footprint = footprint;
+    s.alpha = alpha;
+    return s;
+}
+
+StreamSpec
+seq(double weight, u64 footprint, u64 stride = 64)
+{
+    StreamSpec s;
+    s.kind = Kind::Sequential;
+    s.weight = weight;
+    s.footprint = footprint;
+    s.stride = stride;
+    return s;
+}
+
+StreamSpec
+chase(double weight, u64 footprint)
+{
+    StreamSpec s;
+    s.kind = Kind::PointerChase;
+    s.weight = weight;
+    s.footprint = footprint;
+    return s;
+}
+
+StreamSpec
+strided(double weight, u32 walkers, u64 footprint, u64 stride = 64)
+{
+    StreamSpec s;
+    s.kind = Kind::Strided;
+    s.weight = weight;
+    s.walkers = walkers;
+    s.footprint = footprint;
+    s.stride = stride;
+    return s;
+}
+
+/*
+ * Calibration notes
+ * -----------------
+ * Standalone targets on a 1 MB 4-way 64 B LRU L2 (paper Table 1):
+ *   art 0.064 | ammp 0.008 | mcf 0.668 | parser 0.086
+ * The interference behaviour then has to *emerge*: ammp stays low under
+ * any mix, parser collapses when sharing (WS slightly below cache size),
+ * mcf stays high, art collapses only under the 4-way mix.
+ *
+ * The mixed-workload twelve have no standalone numbers in the paper;
+ * their profiles span streaming (CRC, decode), spatial/strided (CJPEG,
+ * epic, DRR) and temporal (crafty, twolf, NAT) behaviour so the 25 %
+ * goal of Table 2 is hard for some and trivial for others, as in the
+ * paper's setup.
+ */
+std::map<std::string, BenchmarkProfile>
+buildRegistry()
+{
+    std::map<std::string, BenchmarkProfile> reg;
+
+    auto add = [&reg](BenchmarkProfile p) {
+        const std::string key = p.name;
+        reg.emplace(key, std::move(p));
+    };
+
+    // ---- SPEC CPU2000 (Table 1 / Figure 5 set) --------------------------
+    add({"art",
+         "neural-net simulator: cyclic sweep over the weight arrays (an "
+         "LRU cliff: all hits while the sweep fits, none once co-runners "
+         "stretch its reuse distance past capacity) plus a hot core and a "
+         "cold streaming component",
+         {seq(0.62, 256_KiB), ws(0.33, 192_KiB, 1.30), seq(0.05, 8_MiB)},
+         0.30});
+
+    add({"ammp",
+         "molecular dynamics: very hot small working set, almost no "
+         "streaming; insensitive to co-runners",
+         {ws(0.995, 24_KiB, 1.30), seq(0.005, 1_MiB)},
+         0.20});
+
+    add({"mcf",
+         "single-depot vehicle scheduling: pointer chasing over a multi-MB "
+         "graph; misses dominated by capacity regardless of partner",
+         {chase(0.70, 32_MiB), ws(0.30, 64_KiB, 1.20)},
+         0.25});
+
+    add({"parser",
+         "dictionary parser: working set just under the shared cache; "
+         "fits alone, degrades gradually under sharing",
+         {ws(0.91, 576_KiB, 0.80), chase(0.09, 2_MiB)},
+         0.20});
+
+    // ---- additional SPEC for the mixed workload -------------------------
+    add({"crafty",
+         "chess: small hot hash/board state, light streaming",
+         {ws(0.97, 256_KiB, 0.80), seq(0.03, 1_MiB)},
+         0.15});
+
+    add({"gap",
+         "group theory interpreter: medium working set with GC sweeps",
+         {ws(0.88, 384_KiB, 0.70), seq(0.12, 4_MiB)},
+         0.30});
+
+    add({"gcc",
+         "compiler: medium working set plus pointer-heavy IR walks",
+         {ws(0.84, 512_KiB, 0.60), chase(0.16, 1536_KiB)},
+         0.25});
+
+    add({"gzip",
+         "compression: cyclic pass over the input window plus a hot "
+         "dictionary",
+         {ws(0.62, 256_KiB, 0.90), seq(0.38, 448_KiB)},
+         0.30});
+
+    add({"twolf",
+         "place & route: compact netlist structures, high temporal reuse",
+         {ws(0.96, 192_KiB, 0.75), chase(0.04, 512_KiB)},
+         0.20});
+
+    // ---- NetBench --------------------------------------------------------
+    add({"CRC",
+         "checksum over packet payloads: nearly pure streaming, tiny state",
+         {seq(0.95, 16_MiB), ws(0.05, 16_KiB, 1.00)},
+         0.05});
+
+    add({"DRR",
+         "deficit round robin scheduler: several active packet queues "
+         "walked in turn plus scheduler state",
+         {strided(0.72, 8, 16_KiB, 64), ws(0.28, 96_KiB, 0.90)},
+         0.35});
+
+    add({"NAT",
+         "address translation: hot flow table with random probes into a "
+         "large connection table",
+         {ws(0.78, 64_KiB, 1.10), chase(0.22, 4_MiB)},
+         0.30});
+
+    // ---- MediaBench ------------------------------------------------------
+    add({"CJPEG",
+         "JPEG encode: macroblock walkers over one image plus quant "
+         "tables",
+         {strided(0.74, 4, 32_KiB, 64), ws(0.26, 96_KiB, 0.90)},
+         0.30});
+
+    add({"decode",
+         "video decode: cyclic reference-frame traffic too large to "
+         "capture, with hot decode state",
+         {seq(0.56, 3_MiB), ws(0.44, 128_KiB, 0.90)},
+         0.35});
+
+    add({"epic",
+         "image pyramid codec: two strided planes with a small transform "
+         "working set",
+         {strided(0.60, 2, 160_KiB, 128), ws(0.40, 64_KiB, 0.85)},
+         0.25});
+
+    return reg;
+}
+
+const std::map<std::string, BenchmarkProfile> &
+registry()
+{
+    static const std::map<std::string, BenchmarkProfile> reg = buildRegistry();
+    return reg;
+}
+
+} // namespace
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    const auto &reg = registry();
+    const auto it = reg.find(name);
+    if (it == reg.end())
+        fatal("unknown benchmark profile '", name, "'");
+    return it->second;
+}
+
+bool
+hasProfile(const std::string &name)
+{
+    return registry().count(name) != 0;
+}
+
+std::vector<std::string>
+profileNames()
+{
+    std::vector<std::string> out;
+    for (const auto &[name, p] : registry())
+        out.push_back(name);
+    return out;
+}
+
+std::vector<std::string>
+spec4Names()
+{
+    return {"art", "ammp", "parser", "mcf"};
+}
+
+std::vector<std::string>
+mixed12Names()
+{
+    return {"crafty", "gap", "gcc",   "gzip",   "parser", "twolf",
+            "CRC",    "DRR", "NAT",   "CJPEG",  "decode", "epic"};
+}
+
+} // namespace molcache

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Registry of calibrated benchmark profiles.
+ *
+ * Fifteen profiles named after the benchmarks used in the paper:
+ *
+ *  SPEC CPU2000:  art, ammp, mcf, parser, crafty, gap, gcc, gzip, twolf
+ *  NetBench:      CRC, DRR, NAT
+ *  MediaBench:    CJPEG, decode, epic
+ *
+ * Each profile's mixture parameters were calibrated so its standalone
+ * miss rate on a 1 MB 4-way 64 B-line LRU L2 approximates the paper's
+ * Table 1 (for the four SPEC programs) or a plausible value for the
+ * mixed-workload programs.  See src/workload/profiles.cpp for the
+ * per-profile commentary and bench/table1_interference for validation.
+ */
+
+#ifndef MOLCACHE_WORKLOAD_PROFILES_HPP
+#define MOLCACHE_WORKLOAD_PROFILES_HPP
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.hpp"
+
+namespace molcache {
+
+/** Look up a profile by name; fatal() on unknown names. */
+const BenchmarkProfile &profileByName(const std::string &name);
+
+/** True if a profile with this name exists. */
+bool hasProfile(const std::string &name);
+
+/** All registered profile names (sorted). */
+std::vector<std::string> profileNames();
+
+/** The four SPEC benchmarks of Table 1 / Figure 5, in paper order. */
+std::vector<std::string> spec4Names();
+
+/** The twelve mixed-workload benchmarks of Table 2 / Figure 6. */
+std::vector<std::string> mixed12Names();
+
+} // namespace molcache
+
+#endif // MOLCACHE_WORKLOAD_PROFILES_HPP

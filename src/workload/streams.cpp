@@ -1,0 +1,130 @@
+#include "workload/streams.hpp"
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace molcache {
+
+namespace {
+/** Odd multiplier scatters rank order across the footprint. */
+constexpr u64 kScatterPrime = 0x9E3779B97F4A7C15ull | 1ull;
+} // namespace
+
+SequentialStream::SequentialStream(Addr base, u64 footprint, u64 stride)
+    : base_(base), footprint_(footprint), stride_(stride)
+{
+    MOLCACHE_ASSERT(footprint >= stride && stride > 0,
+                    "sequential stream footprint smaller than stride");
+}
+
+Addr
+SequentialStream::next(RandomSource &)
+{
+    const Addr a = base_ + offset_;
+    offset_ += stride_;
+    if (offset_ >= footprint_)
+        offset_ = 0;
+    return a;
+}
+
+StridedStream::StridedStream(Addr base, u32 streams, u64 streamFootprint,
+                             u64 stride, u64 streamGap)
+    : base_(base), streams_(streams), footprint_(streamFootprint),
+      stride_(stride), gap_(streamGap), offsets_(streams, 0)
+{
+    MOLCACHE_ASSERT(streams > 0, "strided stream with zero walkers");
+    MOLCACHE_ASSERT(stride > 0 && streamFootprint >= stride,
+                    "bad strided stream geometry");
+    MOLCACHE_ASSERT(streamGap >= streamFootprint,
+                    "walkers overlap: gap < footprint");
+}
+
+Addr
+StridedStream::next(RandomSource &)
+{
+    const u32 w = turn_;
+    turn_ = (turn_ + 1) % streams_;
+    const Addr a = base_ + static_cast<u64>(w) * gap_ + offsets_[w];
+    offsets_[w] += stride_;
+    if (offsets_[w] >= footprint_)
+        offsets_[w] = 0;
+    return a;
+}
+
+PointerChaseStream::PointerChaseStream(Addr base, u64 footprint, u64 lineSize)
+    : base_(base), lines_(footprint / lineSize), lineSize_(lineSize)
+{
+    MOLCACHE_ASSERT(lines_ > 0, "pointer chase footprint below one line");
+}
+
+Addr
+PointerChaseStream::next(RandomSource &rng)
+{
+    const u64 line = rng.next64() % lines_;
+    return base_ + line * lineSize_;
+}
+
+WorkingSetStream::WorkingSetStream(Addr base, u64 footprint, double alpha,
+                                   u64 lineSize)
+    : base_(base), lines_(footprint / lineSize), lineSize_(lineSize),
+      zipf_(static_cast<u32>(footprint / lineSize), alpha)
+{
+    MOLCACHE_ASSERT(lines_ > 0, "working set below one line");
+}
+
+Addr
+WorkingSetStream::next(RandomSource &rng)
+{
+    const u64 rank = zipf_.sample(rng);
+    // Scatter rank -> line so the popular head is spread over cache sets.
+    const u64 line = (rank * kScatterPrime) % lines_;
+    return base_ + line * lineSize_;
+}
+
+MixtureStream::MixtureStream(std::vector<Component> components)
+    : components_(std::move(components))
+{
+    MOLCACHE_ASSERT(!components_.empty(), "empty mixture");
+    double total = 0.0;
+    for (const auto &c : components_) {
+        MOLCACHE_ASSERT(c.weight > 0.0, "non-positive mixture weight");
+        total += c.weight;
+    }
+    double acc = 0.0;
+    cdf_.reserve(components_.size());
+    for (const auto &c : components_) {
+        acc += c.weight / total;
+        cdf_.push_back(acc);
+    }
+    cdf_.back() = 1.0;
+}
+
+Addr
+MixtureStream::next(RandomSource &rng)
+{
+    const double u = rng.unitReal();
+    for (size_t i = 0; i < cdf_.size(); ++i)
+        if (u < cdf_[i])
+            return components_[i].stream->next(rng);
+    return components_.back().stream->next(rng);
+}
+
+PhaseStream::PhaseStream(std::vector<std::unique_ptr<AddressStream>> phases,
+                         u64 phaseLength)
+    : phases_(std::move(phases)), phaseLength_(phaseLength)
+{
+    MOLCACHE_ASSERT(!phases_.empty() && phaseLength > 0, "degenerate phases");
+}
+
+Addr
+PhaseStream::next(RandomSource &rng)
+{
+    if (count_ == phaseLength_) {
+        count_ = 0;
+        current_ = (current_ + 1) % phases_.size();
+    }
+    ++count_;
+    return phases_[current_]->next(rng);
+}
+
+} // namespace molcache

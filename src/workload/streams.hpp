@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Address-stream primitives for the synthetic workload generator.
+ *
+ * The paper drove its molecular-cache model with SESC-captured L1-D miss
+ * traces of SPEC / NetBench / MediaBench applications.  molcache
+ * synthesizes statistically similar streams from four primitives:
+ *
+ *  - SequentialStream:   linear sweep over a footprint (streaming kernels,
+ *                        compulsory/capacity miss generators);
+ *  - StridedStream:      several concurrent array walkers with a fixed
+ *                        stride (regular loop nests, media macroblocks);
+ *  - PointerChaseStream: uniform random line touches over a footprint
+ *                        (mcf-style graph/pointer codes);
+ *  - WorkingSetStream:   zipf-weighted reuse over a fixed set of lines
+ *                        (hot data structures, temporal locality).
+ *
+ * A MixtureStream composes primitives with given probabilities and a
+ * PhaseStream switches compositions over time.  All streams are
+ * deterministic given the RandomSource passed to next().
+ */
+
+#ifndef MOLCACHE_WORKLOAD_STREAMS_HPP
+#define MOLCACHE_WORKLOAD_STREAMS_HPP
+
+#include <memory>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/types.hpp"
+#include "workload/zipf.hpp"
+
+namespace molcache {
+
+/** Generator of an infinite address sequence. */
+class AddressStream
+{
+  public:
+    virtual ~AddressStream() = default;
+
+    /** Produce the next byte address. */
+    virtual Addr next(RandomSource &rng) = 0;
+};
+
+/** Linear sweep: base, base+stride, ... wrapping at base+footprint. */
+class SequentialStream final : public AddressStream
+{
+  public:
+    SequentialStream(Addr base, u64 footprint, u64 stride = 64);
+
+    Addr next(RandomSource &rng) override;
+
+  private:
+    Addr base_;
+    u64 footprint_;
+    u64 stride_;
+    u64 offset_ = 0;
+};
+
+/** N concurrent walkers advancing round-robin with a fixed stride. */
+class StridedStream final : public AddressStream
+{
+  public:
+    /**
+     * @param base            first walker's base address
+     * @param streams         number of concurrent walkers
+     * @param streamFootprint bytes each walker covers before wrapping
+     * @param stride          walker advance per touch
+     * @param streamGap       address distance between walker bases
+     */
+    StridedStream(Addr base, u32 streams, u64 streamFootprint, u64 stride,
+                  u64 streamGap);
+
+    Addr next(RandomSource &rng) override;
+
+  private:
+    Addr base_;
+    u32 streams_;
+    u64 footprint_;
+    u64 stride_;
+    u64 gap_;
+    std::vector<u64> offsets_;
+    u32 turn_ = 0;
+};
+
+/** Uniform random line touches over a footprint. */
+class PointerChaseStream final : public AddressStream
+{
+  public:
+    PointerChaseStream(Addr base, u64 footprint, u64 lineSize = 64);
+
+    Addr next(RandomSource &rng) override;
+
+  private:
+    Addr base_;
+    u64 lines_;
+    u64 lineSize_;
+};
+
+/**
+ * Zipf-weighted reuse over a fixed working set of lines.  Ranks are
+ * scattered over the footprint with a multiplicative hash so popularity
+ * does not correlate with address order (which would privilege a few
+ * cache sets).
+ */
+class WorkingSetStream final : public AddressStream
+{
+  public:
+    /**
+     * @param base      region base address
+     * @param footprint working-set size in bytes
+     * @param alpha     zipf skew (larger = hotter head)
+     * @param lineSize  reuse granularity
+     */
+    WorkingSetStream(Addr base, u64 footprint, double alpha,
+                     u64 lineSize = 64);
+
+    Addr next(RandomSource &rng) override;
+
+  private:
+    Addr base_;
+    u64 lines_;
+    u64 lineSize_;
+    ZipfSampler zipf_;
+};
+
+/** Weighted random composition of child streams. */
+class MixtureStream final : public AddressStream
+{
+  public:
+    struct Component
+    {
+        std::unique_ptr<AddressStream> stream;
+        double weight;
+    };
+
+    explicit MixtureStream(std::vector<Component> components);
+
+    Addr next(RandomSource &rng) override;
+
+  private:
+    std::vector<Component> components_;
+    std::vector<double> cdf_;
+};
+
+/** Cycle through child streams, each active for a fixed phase length. */
+class PhaseStream final : public AddressStream
+{
+  public:
+    /**
+     * @param phases      child streams, visited in order, cyclically
+     * @param phaseLength accesses per phase
+     */
+    PhaseStream(std::vector<std::unique_ptr<AddressStream>> phases,
+                u64 phaseLength);
+
+    Addr next(RandomSource &rng) override;
+
+  private:
+    std::vector<std::unique_ptr<AddressStream>> phases_;
+    u64 phaseLength_;
+    u64 count_ = 0;
+    size_t current_ = 0;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_WORKLOAD_STREAMS_HPP

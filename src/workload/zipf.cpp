@@ -1,0 +1,42 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace molcache {
+
+ZipfSampler::ZipfSampler(u32 n, double alpha)
+    : n_(n), alpha_(alpha)
+{
+    MOLCACHE_ASSERT(n > 0, "zipf over zero ranks");
+    MOLCACHE_ASSERT(alpha >= 0.0, "negative zipf alpha");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (u32 r = 0; r < n; ++r) {
+        acc += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+        cdf_[r] = acc;
+    }
+    const double total = acc;
+    for (double &v : cdf_)
+        v /= total;
+    cdf_.back() = 1.0; // guard against rounding
+}
+
+u32
+ZipfSampler::sample(RandomSource &rng) const
+{
+    const double u = rng.unitReal();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<u32>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::probability(u32 r) const
+{
+    MOLCACHE_ASSERT(r < n_, "rank out of range");
+    return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+} // namespace molcache

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Zipf-distributed rank sampler.
+ *
+ * Temporal locality in real reference streams is well approximated by a
+ * Zipf popularity law over cache lines; the workload generator uses this
+ * to model working-set reuse.  The sampler precomputes the CDF once and
+ * draws ranks by binary search, so sampling is O(log N).
+ */
+
+#ifndef MOLCACHE_WORKLOAD_ZIPF_HPP
+#define MOLCACHE_WORKLOAD_ZIPF_HPP
+
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n      number of ranks (> 0)
+     * @param alpha  skew; 0 = uniform, ~1 = classic zipf, larger = hotter
+     */
+    ZipfSampler(u32 n, double alpha);
+
+    /** Draw a rank in [0, n); rank 0 is the most popular. */
+    u32 sample(RandomSource &rng) const;
+
+    u32 ranks() const { return n_; }
+    double alpha() const { return alpha_; }
+
+    /** Probability mass of rank @p r. */
+    double probability(u32 r) const;
+
+  private:
+    u32 n_;
+    double alpha_;
+    std::vector<double> cdf_;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_WORKLOAD_ZIPF_HPP

@@ -1,0 +1,125 @@
+#include "cache/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace molcache {
+namespace {
+
+TEST(Replacement, ParseAndName)
+{
+    EXPECT_EQ(parseReplPolicy("lru"), ReplPolicy::Lru);
+    EXPECT_EQ(parseReplPolicy("fifo"), ReplPolicy::Fifo);
+    EXPECT_EQ(parseReplPolicy("random"), ReplPolicy::Random);
+    EXPECT_EQ(parseReplPolicy("plru"), ReplPolicy::TreePlru);
+    EXPECT_EQ(replPolicyName(ReplPolicy::Lru), "lru");
+    EXPECT_EQ(replPolicyName(ReplPolicy::TreePlru), "plru");
+}
+
+TEST(Replacement, LruEvictsOldest)
+{
+    auto lru = makeReplacementState(ReplPolicy::Lru, 1, 4);
+    for (u32 w = 0; w < 4; ++w)
+        lru->insert(0, w);
+    EXPECT_EQ(lru->victim(0), 0u); // way 0 inserted first
+    lru->touch(0, 0);              // refresh way 0
+    EXPECT_EQ(lru->victim(0), 1u); // now way 1 is oldest
+}
+
+TEST(Replacement, LruPerSetIndependent)
+{
+    auto lru = makeReplacementState(ReplPolicy::Lru, 2, 2);
+    lru->insert(0, 0);
+    lru->insert(1, 1);
+    lru->insert(0, 1);
+    lru->insert(1, 0);
+    EXPECT_EQ(lru->victim(0), 0u);
+    EXPECT_EQ(lru->victim(1), 1u);
+}
+
+TEST(Replacement, FifoIgnoresTouches)
+{
+    auto fifo = makeReplacementState(ReplPolicy::Fifo, 1, 4);
+    for (u32 w = 0; w < 4; ++w)
+        fifo->insert(0, w);
+    fifo->touch(0, 0); // FIFO must not care
+    const u32 v = fifo->victim(0);
+    EXPECT_EQ(v, 0u);
+    fifo->insert(0, v);
+    EXPECT_EQ(fifo->victim(0), 1u); // rotation advances
+}
+
+TEST(Replacement, RandomCoversAllWays)
+{
+    auto rnd = makeReplacementState(ReplPolicy::Random, 1, 8, 3);
+    std::set<u32> seen;
+    for (int i = 0; i < 500; ++i) {
+        const u32 v = rnd->victim(0);
+        EXPECT_LT(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Replacement, TreePlruApproximatesLru)
+{
+    auto plru = makeReplacementState(ReplPolicy::TreePlru, 1, 4);
+    for (u32 w = 0; w < 4; ++w)
+        plru->insert(0, w);
+    // After touching 0,1,2 in order, the victim must be 3's sibling
+    // region — specifically not the most recently touched way.
+    plru->touch(0, 3);
+    plru->touch(0, 2);
+    EXPECT_NE(plru->victim(0), 2u);
+    plru->touch(0, 0);
+    EXPECT_NE(plru->victim(0), 0u);
+}
+
+TEST(Replacement, TreePlruVictimNeverMru)
+{
+    auto plru = makeReplacementState(ReplPolicy::TreePlru, 4, 8);
+    Pcg32 rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const u32 set = rng.below(4);
+        const u32 way = rng.below(8);
+        plru->touch(set, way);
+        EXPECT_NE(plru->victim(set), way);
+    }
+}
+
+TEST(ReplacementDeath, UnknownPolicyName)
+{
+    EXPECT_EXIT(parseReplPolicy("mru"), ::testing::ExitedWithCode(1),
+                "unknown replacement policy");
+}
+
+/** Property across all policies: victims are always legal ways. */
+class VictimRange
+    : public ::testing::TestWithParam<std::tuple<ReplPolicy, u32>>
+{
+};
+
+TEST_P(VictimRange, AlwaysInBounds)
+{
+    const auto [policy, ways] = GetParam();
+    auto state = makeReplacementState(policy, 8, ways, 11);
+    Pcg32 rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const u32 set = rng.below(8);
+        const u32 way = rng.below(ways);
+        state->insert(set, way);
+        state->touch(set, rng.below(ways));
+        EXPECT_LT(state->victim(set), ways);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, VictimRange,
+    ::testing::Combine(::testing::Values(ReplPolicy::Lru, ReplPolicy::Fifo,
+                                         ReplPolicy::Random,
+                                         ReplPolicy::TreePlru),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u)));
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,128 @@
+#include "core/coherence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace molcache {
+namespace {
+
+TEST(Coherence, ReadFillsShareFreely)
+{
+    CoherenceDirectory dir(4);
+    EXPECT_TRUE(dir.noteFill(0x1000, 0, false).empty());
+    EXPECT_TRUE(dir.noteFill(0x1000, 1, false).empty());
+    EXPECT_TRUE(dir.noteFill(0x1000, 2, false).empty());
+    EXPECT_EQ(dir.holderCount(0x1000), 3u);
+    EXPECT_TRUE(dir.isHeld(0x1000, 0));
+    EXPECT_TRUE(dir.isHeld(0x1000, 2));
+    EXPECT_FALSE(dir.isHeld(0x1000, 3));
+    EXPECT_FALSE(dir.isModified(0x1000));
+}
+
+TEST(Coherence, WriteInvalidatesOtherHolders)
+{
+    CoherenceDirectory dir(4);
+    dir.noteFill(0x2000, 0, false);
+    dir.noteFill(0x2000, 1, false);
+    dir.noteFill(0x2000, 3, false);
+    const auto inv = dir.noteWrite(0x2000, 1);
+    ASSERT_EQ(inv.size(), 2u);
+    EXPECT_EQ(inv[0], 0u);
+    EXPECT_EQ(inv[1], 3u);
+    EXPECT_EQ(dir.holderCount(0x2000), 1u);
+    EXPECT_TRUE(dir.isHeld(0x2000, 1));
+    EXPECT_TRUE(dir.isModified(0x2000));
+    EXPECT_EQ(dir.stats().invalidationsSent, 2u);
+}
+
+TEST(Coherence, ExclusiveFillInvalidates)
+{
+    CoherenceDirectory dir(2);
+    dir.noteFill(0x3000, 0, false);
+    const auto inv = dir.noteFill(0x3000, 1, /*exclusive=*/true);
+    ASSERT_EQ(inv.size(), 1u);
+    EXPECT_EQ(inv[0], 0u);
+    EXPECT_TRUE(dir.isModified(0x3000));
+    EXPECT_TRUE(dir.isHeld(0x3000, 1));
+    EXPECT_FALSE(dir.isHeld(0x3000, 0));
+}
+
+TEST(Coherence, ReadOfModifiedLineDowngrades)
+{
+    CoherenceDirectory dir(2);
+    dir.noteWrite(0x4000, 0);
+    EXPECT_TRUE(dir.isModified(0x4000));
+    EXPECT_TRUE(dir.noteFill(0x4000, 1, false).empty());
+    EXPECT_FALSE(dir.isModified(0x4000)); // downgraded to shared
+    EXPECT_EQ(dir.holderCount(0x4000), 2u);
+    EXPECT_EQ(dir.stats().downgrades, 1u);
+}
+
+TEST(Coherence, EvictionRemovesHolderAndEntry)
+{
+    CoherenceDirectory dir(2);
+    dir.noteFill(0x5000, 0, false);
+    dir.noteFill(0x5000, 1, false);
+    EXPECT_EQ(dir.entries(), 1u);
+    dir.noteEviction(0x5000, 0);
+    EXPECT_FALSE(dir.isHeld(0x5000, 0));
+    EXPECT_TRUE(dir.isHeld(0x5000, 1));
+    dir.noteEviction(0x5000, 1);
+    EXPECT_EQ(dir.entries(), 0u); // last holder gone: entry reclaimed
+}
+
+TEST(Coherence, EvictionOfUnknownLineIsNoop)
+{
+    CoherenceDirectory dir(2);
+    dir.noteEviction(0xdead, 0);
+    EXPECT_EQ(dir.entries(), 0u);
+    EXPECT_EQ(dir.stats().evictions, 0u);
+}
+
+TEST(Coherence, ModifiedOwnerEvictionClearsState)
+{
+    CoherenceDirectory dir(2);
+    dir.noteWrite(0x6000, 0);
+    dir.noteEviction(0x6000, 0);
+    EXPECT_FALSE(dir.isModified(0x6000));
+    EXPECT_EQ(dir.holderCount(0x6000), 0u);
+}
+
+TEST(Coherence, WriteByOnlyHolderInvalidatesNothing)
+{
+    CoherenceDirectory dir(4);
+    dir.noteFill(0x7000, 2, false);
+    EXPECT_TRUE(dir.noteWrite(0x7000, 2).empty());
+    EXPECT_EQ(dir.stats().invalidationsSent, 0u);
+}
+
+TEST(Coherence, DistinctLinesIndependent)
+{
+    CoherenceDirectory dir(2);
+    dir.noteWrite(0x8000, 0);
+    dir.noteWrite(0x8040, 1);
+    EXPECT_TRUE(dir.isHeld(0x8000, 0));
+    EXPECT_TRUE(dir.isHeld(0x8040, 1));
+    EXPECT_FALSE(dir.isHeld(0x8000, 1));
+    EXPECT_EQ(dir.entries(), 2u);
+}
+
+TEST(Coherence, StatsAccumulate)
+{
+    CoherenceDirectory dir(2);
+    dir.noteFill(0x1, 0, false);
+    dir.noteFill(0x1, 1, false);
+    dir.noteWrite(0x1, 0);
+    dir.noteEviction(0x1, 0);
+    EXPECT_EQ(dir.stats().fills, 2u);
+    EXPECT_EQ(dir.stats().writes, 1u);
+    EXPECT_EQ(dir.stats().evictions, 1u);
+    EXPECT_EQ(dir.stats().invalidationsSent, 1u);
+}
+
+TEST(CoherenceDeath, TooManyClusters)
+{
+    EXPECT_DEATH(CoherenceDirectory dir(33), "1..32");
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,57 @@
+#include "core/ulmo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace molcache {
+namespace {
+
+TEST(Ulmo, Construction)
+{
+    CoherenceDirectory dir(2);
+    Ulmo ulmo(1, {4, 5, 6, 7}, dir);
+    EXPECT_EQ(ulmo.cluster(), 1u);
+    EXPECT_EQ(ulmo.tiles().size(), 4u);
+    EXPECT_TRUE(ulmo.managesTile(4));
+    EXPECT_TRUE(ulmo.managesTile(7));
+    EXPECT_FALSE(ulmo.managesTile(3));
+    EXPECT_FALSE(ulmo.managesTile(8));
+}
+
+TEST(Ulmo, SharedDirectoryReference)
+{
+    CoherenceDirectory dir(2);
+    Ulmo a(0, {0, 1}, dir);
+    Ulmo b(1, {2, 3}, dir);
+    // Both Ulmos front the same directory: a fill seen through one is
+    // visible through the other.
+    a.directory().noteFill(0x1000, 0, false);
+    EXPECT_TRUE(b.directory().isHeld(0x1000, 0));
+    EXPECT_EQ(&a.directory(), &b.directory());
+}
+
+TEST(Ulmo, StatCounters)
+{
+    CoherenceDirectory dir(1);
+    Ulmo ulmo(0, {0}, dir);
+    ulmo.noteTileMiss();
+    ulmo.noteTileMiss();
+    ulmo.noteRemoteProbes(5);
+    ulmo.noteRemoteProbes(3);
+    ulmo.noteRemoteHit();
+    ulmo.noteDonation();
+    ulmo.noteInvalidation();
+    EXPECT_EQ(ulmo.tileMisses(), 2u);
+    EXPECT_EQ(ulmo.remoteProbes(), 8u);
+    EXPECT_EQ(ulmo.remoteHits(), 1u);
+    EXPECT_EQ(ulmo.donations(), 1u);
+    EXPECT_EQ(ulmo.invalidationsApplied(), 1u);
+}
+
+TEST(UlmoDeath, NoTiles)
+{
+    CoherenceDirectory dir(1);
+    EXPECT_DEATH(Ulmo(0, {}, dir), "no tiles");
+}
+
+} // namespace
+} // namespace molcache

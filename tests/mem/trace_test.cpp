@@ -1,0 +1,171 @@
+#include "mem/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace molcache {
+namespace {
+
+std::vector<MemAccess>
+sample()
+{
+    return {
+        {0x1000, 0, AccessType::Read},
+        {0xdeadbeef000, 3, AccessType::Write},
+        {0xffffffffffff, 65534, AccessType::Read},
+        {0, 1, AccessType::Write},
+    };
+}
+
+class TraceRoundTrip : public ::testing::TestWithParam<TraceFormat>
+{
+  protected:
+    std::string
+    path() const
+    {
+        return ::testing::TempDir() + "/molcache_trace_" +
+               (GetParam() == TraceFormat::Binary ? "bin" : "txt") + ".trc";
+    }
+
+    void TearDown() override { std::remove(path().c_str()); }
+};
+
+TEST_P(TraceRoundTrip, PreservesRecords)
+{
+    const auto trace = sample();
+    writeTrace(path(), trace, GetParam());
+    const auto back = readTrace(path());
+    ASSERT_EQ(back.size(), trace.size());
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(back[i], trace[i]) << "record " << i;
+}
+
+TEST_P(TraceRoundTrip, StreamingReaderMatches)
+{
+    const auto trace = sample();
+    writeTrace(path(), trace, GetParam());
+    TraceReader reader(path());
+    EXPECT_EQ(reader.format(), GetParam());
+    size_t i = 0;
+    while (auto a = reader.next()) {
+        ASSERT_LT(i, trace.size());
+        EXPECT_EQ(*a, trace[i]);
+        ++i;
+    }
+    EXPECT_EQ(i, trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFormats, TraceRoundTrip,
+                         ::testing::Values(TraceFormat::Binary,
+                                           TraceFormat::Text));
+
+TEST(Trace, BinaryHeaderCount)
+{
+    const std::string path = ::testing::TempDir() + "/molcache_hdr.trc";
+    writeTrace(path, sample(), TraceFormat::Binary);
+    TraceReader reader(path);
+    EXPECT_EQ(reader.declaredRecords(), sample().size());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, EmptyTrace)
+{
+    const std::string path = ::testing::TempDir() + "/molcache_empty.trc";
+    writeTrace(path, {}, TraceFormat::Binary);
+    const auto back = readTrace(path);
+    EXPECT_TRUE(back.empty());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, TextCommentsSkipped)
+{
+    const std::string path = ::testing::TempDir() + "/molcache_cmt.trc";
+    {
+        std::ofstream out(path);
+        out << "# header comment\n"
+            << "R 1000 2\n"
+            << "\n"
+            << "W ff 3\n";
+    }
+    const auto back = readTrace(path);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].addr, 0x1000u);
+    EXPECT_EQ(back[0].asid, 2u);
+    EXPECT_FALSE(back[0].isWrite());
+    EXPECT_EQ(back[1].addr, 0xffu);
+    EXPECT_TRUE(back[1].isWrite());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ClassicDineroFormatAccepted)
+{
+    // "din" lines: <label> <hexaddr>, label 0=read 1=write 2=ifetch.
+    const std::string path = ::testing::TempDir() + "/molcache_din.trc";
+    {
+        std::ofstream out(path);
+        out << "0 1000\n"
+            << "1 2abc\n"
+            << "2 4000\n";
+    }
+    const auto back = readTrace(path);
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[0].addr, 0x1000u);
+    EXPECT_FALSE(back[0].isWrite());
+    EXPECT_EQ(back[1].addr, 0x2abcu);
+    EXPECT_TRUE(back[1].isWrite());
+    EXPECT_EQ(back[2].addr, 0x4000u);
+    EXPECT_FALSE(back[2].isWrite()); // ifetch arrives as a read
+    for (const auto &a : back)
+        EXPECT_EQ(a.asid, 0u); // din carries no process id
+    std::remove(path.c_str());
+}
+
+TEST(Trace, MixedNativeAndDineroLines)
+{
+    const std::string path = ::testing::TempDir() + "/molcache_mix.trc";
+    {
+        std::ofstream out(path);
+        out << "R 1000 5\n"
+            << "1 2000\n";
+    }
+    const auto back = readTrace(path);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].asid, 5u);
+    EXPECT_EQ(back[1].asid, 0u);
+    EXPECT_TRUE(back[1].isWrite());
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceReader("/nonexistent/nope.trc"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceDeath, MalformedTextIsFatal)
+{
+    const std::string path = ::testing::TempDir() + "/molcache_bad.trc";
+    {
+        std::ofstream out(path);
+        out << "garbage line without structure\n";
+    }
+    TraceReader reader(path);
+    EXPECT_EXIT(reader.next(), ::testing::ExitedWithCode(1), "malformed");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, WriterCountsRecords)
+{
+    const std::string path = ::testing::TempDir() + "/molcache_cnt.trc";
+    {
+        TraceWriter writer(path, TraceFormat::Binary);
+        for (const auto &a : sample())
+            writer.append(a);
+        EXPECT_EQ(writer.recordsWritten(), sample().size());
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace molcache

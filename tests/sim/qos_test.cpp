@@ -1,0 +1,65 @@
+#include "sim/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc.hpp"
+#include "util/units.hpp"
+
+namespace molcache {
+namespace {
+
+TEST(Qos, SummarizeFromCacheStats)
+{
+    SetAssocParams p;
+    p.sizeBytes = 8_KiB;
+    p.associativity = 2;
+    SetAssocCache cache(p);
+    // asid 0: 1 miss + 1 hit; asid 1: 1 miss.
+    cache.access({0x100, 0, AccessType::Read});
+    cache.access({0x100, 0, AccessType::Read});
+    cache.access({0x9000, 1, AccessType::Read});
+
+    GoalSet goals;
+    goals.set(0, 0.25);
+
+    const QosSummary s =
+        summarize(cache, goals, {{0, "alpha"}, {1, "beta"}});
+    ASSERT_EQ(s.apps.size(), 2u);
+    EXPECT_EQ(s.totalAccesses, 3u);
+    EXPECT_NEAR(s.globalMissRate, 2.0 / 3.0, 1e-12);
+
+    const AppSummary &alpha = s.byAsid(0);
+    EXPECT_EQ(alpha.label, "alpha");
+    EXPECT_EQ(alpha.accesses, 2u);
+    EXPECT_DOUBLE_EQ(alpha.missRate, 0.5);
+    ASSERT_TRUE(alpha.deviation.has_value());
+    EXPECT_DOUBLE_EQ(*alpha.deviation, 0.25);
+
+    const AppSummary &beta = s.byAsid(1);
+    EXPECT_EQ(beta.label, "beta");
+    EXPECT_FALSE(beta.goal.has_value());
+    EXPECT_FALSE(beta.deviation.has_value());
+
+    // Only alpha has a goal: the average is alpha's deviation alone.
+    EXPECT_DOUBLE_EQ(s.averageDeviation, 0.25);
+}
+
+TEST(Qos, DefaultLabels)
+{
+    SetAssocParams p;
+    p.sizeBytes = 8_KiB;
+    p.associativity = 1;
+    SetAssocCache cache(p);
+    cache.access({0x0, 3, AccessType::Read});
+    const QosSummary s = summarize(cache, GoalSet{});
+    EXPECT_EQ(s.byAsid(3).label, "asid3");
+}
+
+TEST(QosDeath, ByAsidUnknown)
+{
+    QosSummary s;
+    EXPECT_DEATH(s.byAsid(1), "no summary");
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,48 @@
+#include "stats/counter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace molcache {
+namespace {
+
+TEST(Counter, BasicIncrement)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    c.increment(4);
+    EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Counter, Intervals)
+{
+    Counter c;
+    c.increment(10);
+    EXPECT_EQ(c.intervalValue(), 10u);
+    EXPECT_EQ(c.takeInterval(), 10u);
+    EXPECT_EQ(c.intervalValue(), 0u);
+    c.increment(3);
+    EXPECT_EQ(c.intervalValue(), 3u);
+    EXPECT_EQ(c.takeInterval(), 3u);
+    EXPECT_EQ(c.value(), 13u); // lifetime value unaffected by intervals
+}
+
+TEST(Counter, Reset)
+{
+    Counter c;
+    c.increment(7);
+    c.takeInterval();
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(c.intervalValue(), 0u);
+}
+
+TEST(Ratio, Basics)
+{
+    EXPECT_DOUBLE_EQ(ratio(1, 2), 0.5);
+    EXPECT_DOUBLE_EQ(ratio(0, 5), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(5, 0), 0.0); // divide-by-zero yields 0
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,127 @@
+#include "stats/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace molcache {
+namespace {
+
+TEST(Json, EmptyObject)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.endObject();
+    }
+    EXPECT_EQ(os.str(), "{}");
+}
+
+TEST(Json, ObjectWithValues)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.key("name");
+        w.value("molcache");
+        w.key("count");
+        w.value(static_cast<u64>(3));
+        w.key("rate");
+        w.value(0.5);
+        w.key("ok");
+        w.value(true);
+        w.endObject();
+    }
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"name\": \"molcache\""), std::string::npos);
+    EXPECT_NE(s.find("\"count\": 3"), std::string::npos);
+    EXPECT_NE(s.find("\"rate\": 0.5"), std::string::npos);
+    EXPECT_NE(s.find("\"ok\": true"), std::string::npos);
+}
+
+TEST(Json, NestedArray)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.key("xs");
+        w.beginArray();
+        w.value(static_cast<i64>(1));
+        w.value(static_cast<i64>(2));
+        w.endArray();
+        w.endObject();
+    }
+    const std::string s = os.str();
+    EXPECT_NE(s.find('['), std::string::npos);
+    EXPECT_NE(s.find(']'), std::string::npos);
+    // Both elements present, comma separated.
+    EXPECT_NE(s.find('1'), std::string::npos);
+    EXPECT_NE(s.find('2'), std::string::npos);
+    EXPECT_NE(s.find(','), std::string::npos);
+}
+
+TEST(Json, StringEscaping)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.value(std::string("a\"b\\c\nd"));
+    }
+    EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginArray();
+        w.value(std::numeric_limits<double>::quiet_NaN());
+        w.value(std::numeric_limits<double>::infinity());
+        w.endArray();
+    }
+    const std::string s = os.str();
+    EXPECT_NE(s.find("null"), std::string::npos);
+    EXPECT_EQ(s.find("nan"), std::string::npos);
+    EXPECT_EQ(s.find("inf"), std::string::npos);
+}
+
+TEST(Json, ParsesBackWithNaiveCheck)
+{
+    // Round-trip smoke: balanced braces/brackets and quote count even.
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.key("arr");
+        w.beginArray();
+        for (int i = 0; i < 3; ++i) {
+            w.beginObject();
+            w.key("i");
+            w.value(static_cast<i64>(i));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    const std::string s = os.str();
+    int depth = 0;
+    int quotes = 0;
+    for (const char c : s) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        if (c == '"')
+            ++quotes;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(quotes % 2, 0);
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,80 @@
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace molcache {
+namespace {
+
+TEST(GoalSet, UniformAndLookup)
+{
+    const GoalSet g = GoalSet::uniform(0.25, 3);
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_TRUE(g.hasGoal(0));
+    EXPECT_TRUE(g.hasGoal(2));
+    EXPECT_FALSE(g.hasGoal(3));
+    EXPECT_DOUBLE_EQ(*g.goal(1), 0.25);
+    EXPECT_FALSE(g.goal(9).has_value());
+}
+
+TEST(GoalSet, PerAsidOverride)
+{
+    GoalSet g;
+    g.set(5, 0.1);
+    g.set(5, 0.2); // overwrite
+    EXPECT_DOUBLE_EQ(*g.goal(5), 0.2);
+}
+
+TEST(Metrics, DeviationIsAbsolute)
+{
+    EXPECT_DOUBLE_EQ(deviationFromGoal(0.3, 0.1), 0.2);
+    EXPECT_DOUBLE_EQ(deviationFromGoal(0.05, 0.1), 0.05);
+    EXPECT_DOUBLE_EQ(deviationFromGoal(0.1, 0.1), 0.0);
+}
+
+TEST(Metrics, AverageDeviationSkipsGoallessApps)
+{
+    GoalSet g;
+    g.set(0, 0.1);
+    g.set(1, 0.1);
+    // ASID 2 has a miss rate but no goal: must not enter the average.
+    const std::map<Asid, double> rates = {{0, 0.2}, {1, 0.1}, {2, 0.9}};
+    EXPECT_DOUBLE_EQ(averageDeviation(rates, g), (0.1 + 0.0) / 2);
+}
+
+TEST(Metrics, AverageDeviationSkipsUnseenApps)
+{
+    GoalSet g;
+    g.set(0, 0.1);
+    g.set(7, 0.1); // never ran: no miss rate recorded
+    const std::map<Asid, double> rates = {{0, 0.3}};
+    EXPECT_DOUBLE_EQ(averageDeviation(rates, g), 0.2);
+}
+
+TEST(Metrics, AverageDeviationEmpty)
+{
+    EXPECT_DOUBLE_EQ(averageDeviation({}, GoalSet{}), 0.0);
+}
+
+TEST(Metrics, HitPerMolecule)
+{
+    EXPECT_DOUBLE_EQ(hitPerMolecule(50, 100, 10), 0.05);
+    EXPECT_DOUBLE_EQ(hitPerMolecule(0, 100, 10), 0.0);
+    EXPECT_DOUBLE_EQ(hitPerMolecule(50, 100, 0), 0.0); // no molecules
+    EXPECT_DOUBLE_EQ(hitPerMolecule(50, 0, 10), 0.0);  // no accesses
+}
+
+TEST(Metrics, PowerDeviationProduct)
+{
+    // Table 5 sanity: 7.66 W x 0.2468 deviation ~= the paper's 1.89.
+    EXPECT_NEAR(powerDeviationProduct(7.66, 0.246843), 1.89, 0.01);
+    EXPECT_DOUBLE_EQ(powerDeviationProduct(0.0, 0.5), 0.0);
+}
+
+TEST(GoalSetDeath, GoalOutOfRange)
+{
+    GoalSet g;
+    EXPECT_DEATH(g.set(0, 1.5), "goal out of");
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,79 @@
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace molcache {
+namespace {
+
+TEST(Table, CellsAndDimensions)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_EQ(t.columns(), 2u);
+    EXPECT_EQ(t.rows(), 0u);
+    const size_t r = t.addRow();
+    t.cell(r, 0, "x");
+    t.cell(r, 1, 3.14159, 2);
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, PrintAligned)
+{
+    TablePrinter t({"name", "value"});
+    t.row({"long-name-here", "1"});
+    t.row({"x", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("| name"), std::string::npos);
+    EXPECT_NE(s.find("long-name-here"), std::string::npos);
+    // Rules above and below the header plus trailing rule.
+    size_t rules = 0;
+    for (size_t pos = s.find("+-"); pos != std::string::npos;
+         pos = s.find("+-", pos + 1))
+        ++rules;
+    EXPECT_GE(rules, 3u);
+}
+
+TEST(Table, PrintCsv)
+{
+    TablePrinter t({"h1", "h2"});
+    t.row({"a", "b"});
+    t.row({"c", "d"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "h1,h2\na,b\nc,d\n");
+}
+
+TEST(Table, NumericFormatting)
+{
+    TablePrinter t({"v"});
+    const size_t r = t.addRow();
+    t.cell(r, 0, 0.123456, 3);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("0.123"), std::string::npos);
+
+    TablePrinter t2({"n"});
+    const size_t r2 = t2.addRow();
+    t2.cell(r2, 0, static_cast<u64>(42));
+    std::ostringstream os2;
+    t2.printCsv(os2);
+    EXPECT_NE(os2.str().find("42"), std::string::npos);
+}
+
+TEST(TableDeath, WrongRowWidth)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_DEATH(t.row({"only-one"}), "row width");
+}
+
+TEST(TableDeath, CellOutOfRange)
+{
+    TablePrinter t({"a"});
+    EXPECT_DEATH(t.cell(0, 0, "no row yet"), "out of range");
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,66 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace molcache {
+namespace {
+
+TEST(TimeSeries, SamplesAndAccess)
+{
+    TimeSeries ts({"a", "b"});
+    EXPECT_EQ(ts.samples(), 0u);
+    EXPECT_EQ(ts.columns(), 2u);
+    ts.sample(10, {1.0, 2.0});
+    ts.sample(20, {3.0, 4.0});
+    EXPECT_EQ(ts.samples(), 2u);
+    EXPECT_EQ(ts.tickAt(0), 10u);
+    EXPECT_EQ(ts.tickAt(1), 20u);
+    EXPECT_DOUBLE_EQ(ts.valueAt(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(ts.valueAt(1, 1), 4.0);
+    EXPECT_DOUBLE_EQ(ts.latest(0), 3.0);
+    EXPECT_DOUBLE_EQ(ts.latest(1), 4.0);
+}
+
+TEST(TimeSeries, CsvFormat)
+{
+    TimeSeries ts({"x"});
+    ts.sample(0, {0.5});
+    ts.sample(100, {1.5});
+    std::ostringstream os;
+    ts.writeCsv(os);
+    EXPECT_EQ(os.str(), "tick,x\n0,0.5\n100,1.5\n");
+}
+
+TEST(TimeSeries, EqualTicksAllowed)
+{
+    TimeSeries ts({"x"});
+    ts.sample(5, {1.0});
+    ts.sample(5, {2.0});
+    EXPECT_EQ(ts.samples(), 2u);
+}
+
+TEST(TimeSeriesDeath, WrongWidth)
+{
+    TimeSeries ts({"a", "b"});
+    EXPECT_DEATH(ts.sample(0, {1.0}), "width");
+}
+
+TEST(TimeSeriesDeath, DecreasingTick)
+{
+    TimeSeries ts({"a"});
+    ts.sample(10, {1.0});
+    EXPECT_DEATH(ts.sample(5, {2.0}), "non-decreasing");
+}
+
+TEST(TimeSeriesDeath, OutOfRange)
+{
+    TimeSeries ts({"a"});
+    ts.sample(0, {1.0});
+    EXPECT_DEATH(ts.valueAt(0, 1), "out of range");
+    EXPECT_DEATH(ts.valueAt(1, 0), "out of range");
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,86 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace molcache {
+namespace {
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 63) + 1));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~0ull), 63u);
+}
+
+TEST(Bits, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bits, AlignDown)
+{
+    EXPECT_EQ(alignDown(0, 64), 0u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+    EXPECT_EQ(alignDown(64, 64), 64u);
+    EXPECT_EQ(alignDown(130, 64), 128u);
+}
+
+TEST(Bits, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignUp(65, 64), 128u);
+}
+
+TEST(Bits, BitsOf)
+{
+    EXPECT_EQ(bitsOf(0xABCD, 7, 0), 0xCDu);
+    EXPECT_EQ(bitsOf(0xABCD, 15, 8), 0xABu);
+    EXPECT_EQ(bitsOf(0xABCD, 3, 0), 0xDu);
+    EXPECT_EQ(bitsOf(~0ull, 63, 0), ~0ull);
+}
+
+/** Property: floorLog2/ceilLog2 agree exactly on powers of two. */
+class Log2Property : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(Log2Property, FloorEqualsCeilOnPow2)
+{
+    const u64 v = 1ull << GetParam();
+    EXPECT_EQ(floorLog2(v), GetParam());
+    EXPECT_EQ(ceilLog2(v), GetParam());
+    if (GetParam() > 1) {
+        EXPECT_EQ(floorLog2(v - 1), GetParam() - 1);
+        EXPECT_EQ(ceilLog2(v - 1), GetParam());
+        EXPECT_EQ(ceilLog2(v + 1), GetParam() + 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShifts, Log2Property,
+                         ::testing::Values(1u, 2u, 5u, 10u, 20u, 32u, 40u,
+                                           62u));
+
+} // namespace
+} // namespace molcache

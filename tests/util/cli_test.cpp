@@ -1,0 +1,91 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace molcache {
+namespace {
+
+CliParser
+makeParser()
+{
+    CliParser cli("test", "test parser");
+    cli.addOption("refs", "1000", "reference count");
+    cli.addOption("name", "dflt", "a name");
+    cli.addOption("rate", "0.5", "a rate");
+    cli.addOption("size", "1M", "a size");
+    cli.addFlag("verbose", "chatty output");
+    return cli;
+}
+
+void
+parse(CliParser &cli, std::vector<const char *> args)
+{
+    args.insert(args.begin(), "prog");
+    cli.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, Defaults)
+{
+    CliParser cli = makeParser();
+    parse(cli, {});
+    EXPECT_EQ(cli.integer("refs"), 1000);
+    EXPECT_EQ(cli.str("name"), "dflt");
+    EXPECT_DOUBLE_EQ(cli.real("rate"), 0.5);
+    EXPECT_EQ(cli.size("size"), 1u << 20);
+    EXPECT_FALSE(cli.flag("verbose"));
+}
+
+TEST(Cli, SeparateValueForm)
+{
+    CliParser cli = makeParser();
+    parse(cli, {"--refs", "42", "--name", "abc"});
+    EXPECT_EQ(cli.integer("refs"), 42);
+    EXPECT_EQ(cli.str("name"), "abc");
+}
+
+TEST(Cli, EqualsForm)
+{
+    CliParser cli = makeParser();
+    parse(cli, {"--refs=7", "--rate=0.25", "--size=8K"});
+    EXPECT_EQ(cli.integer("refs"), 7);
+    EXPECT_DOUBLE_EQ(cli.real("rate"), 0.25);
+    EXPECT_EQ(cli.size("size"), 8192u);
+}
+
+TEST(Cli, FlagForm)
+{
+    CliParser cli = makeParser();
+    parse(cli, {"--verbose"});
+    EXPECT_TRUE(cli.flag("verbose"));
+}
+
+TEST(Cli, Positional)
+{
+    CliParser cli = makeParser();
+    parse(cli, {"gen", "--refs", "5", "file.trc"});
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "gen");
+    EXPECT_EQ(cli.positional()[1], "file.trc");
+    EXPECT_EQ(cli.integer("refs"), 5);
+}
+
+TEST(CliDeath, UnknownOption)
+{
+    CliParser cli = makeParser();
+    std::vector<const char *> args = {"prog", "--bogus"};
+    EXPECT_EXIT(cli.parse(2, args.data()), ::testing::ExitedWithCode(1),
+                "unknown option");
+}
+
+TEST(CliDeath, MissingValue)
+{
+    CliParser cli = makeParser();
+    std::vector<const char *> args = {"prog", "--refs"};
+    EXPECT_EXIT(cli.parse(2, args.data()), ::testing::ExitedWithCode(1),
+                "needs a value");
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,104 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace molcache {
+namespace {
+
+TEST(Config, FromTokens)
+{
+    const Config cfg = Config::fromTokens({"a=1", "b = hello", "c=2.5"});
+    EXPECT_EQ(cfg.getInt("a"), 1);
+    EXPECT_EQ(cfg.getString("b"), "hello");
+    EXPECT_DOUBLE_EQ(cfg.getDouble("c"), 2.5);
+}
+
+TEST(Config, Defaults)
+{
+    const Config cfg = Config::fromTokens({"x=5"});
+    EXPECT_EQ(cfg.getInt("x", 9), 5);
+    EXPECT_EQ(cfg.getInt("missing", 9), 9);
+    EXPECT_EQ(cfg.getString("missing", "dflt"), "dflt");
+    EXPECT_DOUBLE_EQ(cfg.getDouble("missing", 0.5), 0.5);
+    EXPECT_TRUE(cfg.getBool("missing", true));
+    EXPECT_EQ(cfg.getSize("missing", 1024), 1024u);
+}
+
+TEST(Config, BoolValues)
+{
+    const Config cfg =
+        Config::fromTokens({"t1=true", "t2=1", "t3=yes", "t4=on",
+                            "f1=false", "f2=0", "f3=no", "f4=off"});
+    for (const char *k : {"t1", "t2", "t3", "t4"})
+        EXPECT_TRUE(cfg.getBool(k)) << k;
+    for (const char *k : {"f1", "f2", "f3", "f4"})
+        EXPECT_FALSE(cfg.getBool(k)) << k;
+}
+
+TEST(Config, SizeSuffixes)
+{
+    const Config cfg = Config::fromTokens(
+        {"a=512", "b=8K", "c=2M", "d=1G", "e=64KiB", "f=3MB"});
+    EXPECT_EQ(cfg.getSize("a"), 512u);
+    EXPECT_EQ(cfg.getSize("b"), 8192u);
+    EXPECT_EQ(cfg.getSize("c"), 2u << 20);
+    EXPECT_EQ(cfg.getSize("d"), 1ull << 30);
+    EXPECT_EQ(cfg.getSize("e"), 64u << 10);
+    EXPECT_EQ(cfg.getSize("f"), 3u << 20);
+}
+
+TEST(Config, MergeOverwrites)
+{
+    Config base = Config::fromTokens({"a=1", "b=2"});
+    const Config over = Config::fromTokens({"b=3", "c=4"});
+    base.merge(over);
+    EXPECT_EQ(base.getInt("a"), 1);
+    EXPECT_EQ(base.getInt("b"), 3);
+    EXPECT_EQ(base.getInt("c"), 4);
+}
+
+TEST(Config, FileWithCommentsAndBlanks)
+{
+    const std::string path = ::testing::TempDir() + "/molcache_cfg_test.cfg";
+    {
+        std::ofstream out(path);
+        out << "# a comment\n"
+            << "\n"
+            << "alpha = 10\n"
+            << "beta = text value # trailing comment\n";
+    }
+    const Config cfg = Config::fromFile(path);
+    EXPECT_EQ(cfg.getInt("alpha"), 10);
+    EXPECT_EQ(cfg.getString("beta"), "text value");
+    std::remove(path.c_str());
+}
+
+TEST(Config, KeysSorted)
+{
+    const Config cfg = Config::fromTokens({"z=1", "a=2", "m=3"});
+    const auto keys = cfg.keys();
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0], "a");
+    EXPECT_EQ(keys[1], "m");
+    EXPECT_EQ(keys[2], "z");
+}
+
+TEST(ConfigDeath, MissingRequiredKeyIsFatal)
+{
+    const Config cfg;
+    EXPECT_EXIT(cfg.getString("nope"), ::testing::ExitedWithCode(1),
+                "missing required config key");
+}
+
+TEST(ConfigDeath, MalformedIntIsFatal)
+{
+    const Config cfg = Config::fromTokens({"a=12x"});
+    EXPECT_EXIT(cfg.getInt("a"), ::testing::ExitedWithCode(1),
+                "non-integer");
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,134 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace molcache {
+namespace {
+
+TEST(Random, Pcg32Deterministic)
+{
+    Pcg32 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Random, Pcg32SeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 16 && !differ; ++i)
+        differ = a.next32() != b.next32();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Random, BelowRespectsBound)
+{
+    Pcg32 rng(7);
+    for (u32 bound : {1u, 2u, 3u, 17u, 1000u}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Random, BelowOneIsZero)
+{
+    Pcg32 rng(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Random, BetweenInclusive)
+{
+    Pcg32 rng(9);
+    std::set<u32> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const u32 v = rng.between(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values occur
+}
+
+TEST(Random, UnitRealInHalfOpenInterval)
+{
+    Pcg32 rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.unitReal();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Pcg32 rng(13);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Random, Lfsr16Period)
+{
+    // Maximal-length 16-bit LFSR: state returns to seed after 65535 steps
+    // and never hits zero.
+    GaloisLfsr16 lfsr(0xACE1);
+    std::set<u16> seen;
+    u16 s = 0;
+    for (u32 i = 0; i < 65535; ++i) {
+        s = lfsr.step();
+        EXPECT_NE(s, 0u);
+        seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 65535u);
+    EXPECT_EQ(s, 0xACE1); // back to the seed
+}
+
+TEST(Random, LfsrZeroSeedRecovers)
+{
+    GaloisLfsr16 lfsr(0);
+    EXPECT_NE(lfsr.step(), 0u); // zero seed must not lock up
+}
+
+TEST(Random, FactoryAndParse)
+{
+    EXPECT_EQ(parseRngKind("pcg32"), RngKind::Pcg32);
+    EXPECT_EQ(parseRngKind("xorshift"), RngKind::XorShift);
+    EXPECT_EQ(parseRngKind("lfsr16"), RngKind::Lfsr16);
+    EXPECT_EQ(makeRandomSource(RngKind::Pcg32, 1)->name(), "pcg32");
+    EXPECT_EQ(makeRandomSource(RngKind::XorShift, 1)->name(),
+              "xorshift64star");
+    EXPECT_EQ(makeRandomSource(RngKind::Lfsr16, 1)->name(), "lfsr16");
+}
+
+/** Property: below(n) is roughly uniform for the quality generators. */
+class UniformityProperty : public ::testing::TestWithParam<RngKind>
+{
+};
+
+TEST_P(UniformityProperty, RoughlyUniform)
+{
+    auto rng = makeRandomSource(GetParam(), 123);
+    constexpr u32 kBuckets = 8;
+    constexpr u32 kDraws = 80000;
+    std::map<u32, u32> counts;
+    for (u32 i = 0; i < kDraws; ++i)
+        ++counts[rng->below(kBuckets)];
+    for (u32 b = 0; b < kBuckets; ++b) {
+        // Expected 10000 per bucket; allow 15% slack (LFSR16 is known-weak
+        // but still roughly balanced on 3-bit buckets).
+        EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.15)
+            << "bucket " << b << " for " << rng->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, UniformityProperty,
+                         ::testing::Values(RngKind::Pcg32, RngKind::XorShift,
+                                           RngKind::Lfsr16));
+
+} // namespace
+} // namespace molcache

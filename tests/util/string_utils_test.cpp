@@ -1,0 +1,74 @@
+#include "util/string_utils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace molcache {
+namespace {
+
+TEST(StringUtils, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtils, Split)
+{
+    const auto parts = split("a, b ,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtils, SplitKeepsEmptyPieces)
+{
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtils, SplitSingle)
+{
+    const auto parts = split("solo", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "solo");
+}
+
+TEST(StringUtils, ToLowerAndStartsWith)
+{
+    EXPECT_EQ(toLower("AbC123"), "abc123");
+    EXPECT_TRUE(startsWith("--flag", "--"));
+    EXPECT_FALSE(startsWith("-", "--"));
+}
+
+TEST(StringUtils, ParseSize)
+{
+    EXPECT_EQ(parseSize("0"), 0u);
+    EXPECT_EQ(parseSize("123"), 123u);
+    EXPECT_EQ(parseSize("8k"), 8192u);
+    EXPECT_EQ(parseSize("8K"), 8192u);
+    EXPECT_EQ(parseSize("8KB"), 8192u);
+    EXPECT_EQ(parseSize("8KiB"), 8192u);
+    EXPECT_EQ(parseSize(" 2M "), 2u << 20);
+    EXPECT_EQ(parseSize("1G"), 1ull << 30);
+    EXPECT_EQ(parseSize("512B"), 512u);
+}
+
+TEST(StringUtilsDeath, ParseSizeMalformed)
+{
+    EXPECT_EXIT(parseSize("abc"), ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(parseSize("12Q"), ::testing::ExitedWithCode(1), "suffix");
+    EXPECT_EXIT(parseSize(""), ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(StringUtils, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatDouble(1.0, 4), "1.0000");
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,85 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/profiles.hpp"
+
+namespace molcache {
+namespace {
+
+TEST(Generator, ProducesExactlyLimit)
+{
+    TraceGenerator gen(profileByName("ammp"), 0, 1000, 1);
+    u64 n = 0;
+    while (gen.next())
+        ++n;
+    EXPECT_EQ(n, 1000u);
+    EXPECT_EQ(gen.produced(), 1000u);
+}
+
+TEST(Generator, StampsAsid)
+{
+    TraceGenerator gen(profileByName("art"), 7, 100, 1);
+    while (auto a = gen.next())
+        EXPECT_EQ(a->asid, 7u);
+}
+
+TEST(Generator, DeterministicPerSeed)
+{
+    const auto a = generateTrace(profileByName("parser"), 0, 500, 42);
+    const auto b = generateTrace(profileByName("parser"), 0, 500, 42);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    const auto a = generateTrace(profileByName("parser"), 0, 500, 1);
+    const auto b = generateTrace(profileByName("parser"), 0, 500, 2);
+    EXPECT_NE(a, b);
+}
+
+TEST(Generator, DifferentAsidsUseDifferentWindows)
+{
+    const auto a = generateTrace(profileByName("ammp"), 0, 200, 1);
+    const auto b = generateTrace(profileByName("ammp"), 1, 200, 1);
+    for (const auto &acc : a)
+        EXPECT_LT(acc.addr, applicationBase(1));
+    for (const auto &acc : b)
+        EXPECT_GE(acc.addr, applicationBase(1));
+}
+
+TEST(Generator, WriteFractionApproximatelyHonoured)
+{
+    const auto &profile = profileByName("mcf"); // writeFraction 0.25
+    const auto trace = generateTrace(profile, 0, 50000, 3);
+    u64 writes = 0;
+    for (const auto &a : trace)
+        writes += a.isWrite() ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(writes) / trace.size(),
+                profile.writeFraction, 0.02);
+}
+
+TEST(MultiProgram, InterleavesAllApps)
+{
+    auto src = makeMultiProgramSource({"art", "ammp"}, 1000);
+    std::map<Asid, u64> counts;
+    while (auto a = src->next())
+        ++counts[a->asid];
+    EXPECT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0], 500u);
+    EXPECT_EQ(counts[1], 500u);
+}
+
+TEST(MultiProgram, TotalReferenceBudget)
+{
+    auto src = makeMultiProgramSource(spec4Names(), 4004);
+    u64 n = 0;
+    while (src->next())
+        ++n;
+    EXPECT_EQ(n, 4004u);
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,102 @@
+#include "workload/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/profiles.hpp"
+
+namespace molcache {
+namespace {
+
+TEST(Profile, ApplicationWindowsDisjoint)
+{
+    // 16 GiB windows: consecutive ASIDs must never overlap even with
+    // multi-MiB component layouts.
+    for (Asid a = 0; a < 16; ++a)
+        EXPECT_GE(applicationBase(a + 1) - applicationBase(a), 1ull << 34);
+}
+
+TEST(Profile, BuildStreamSingleComponent)
+{
+    BenchmarkProfile p;
+    p.name = "single";
+    StreamSpec spec;
+    spec.kind = StreamSpec::Kind::Sequential;
+    spec.footprint = 1024;
+    spec.stride = 64;
+    p.components = {spec};
+    auto stream = buildStream(p, 0x1000);
+    Pcg32 rng(1);
+    EXPECT_EQ(stream->next(rng), 0x1000u);
+}
+
+TEST(Profile, ComponentsDoNotOverlap)
+{
+    BenchmarkProfile p;
+    p.name = "two";
+    StreamSpec a;
+    a.kind = StreamSpec::Kind::Sequential;
+    a.footprint = 1 << 20;
+    StreamSpec b;
+    b.kind = StreamSpec::Kind::Sequential;
+    b.footprint = 1 << 20;
+    p.components = {a, b};
+    auto stream = buildStream(p, 0);
+    Pcg32 rng(1);
+    // Drain a while: addresses must fall in two disjoint megabyte bands.
+    Addr max_low = 0, min_high = kInvalidAddr;
+    for (int i = 0; i < 1000; ++i) {
+        const Addr addr = stream->next(rng);
+        if (addr < (1u << 20))
+            max_low = std::max(max_low, addr);
+        else
+            min_high = std::min(min_high, addr);
+    }
+    EXPECT_LT(max_low, 1u << 20);
+    EXPECT_GE(min_high, 2u << 20); // 1 MiB guard gap honoured
+}
+
+TEST(Profiles, RegistryComplete)
+{
+    const auto names = profileNames();
+    EXPECT_EQ(names.size(), 15u);
+    for (const auto &n : spec4Names())
+        EXPECT_TRUE(hasProfile(n)) << n;
+    for (const auto &n : mixed12Names())
+        EXPECT_TRUE(hasProfile(n)) << n;
+}
+
+TEST(Profiles, Spec4AndMixed12Sizes)
+{
+    EXPECT_EQ(spec4Names().size(), 4u);
+    EXPECT_EQ(mixed12Names().size(), 12u);
+}
+
+TEST(Profiles, AllProfilesWellFormed)
+{
+    for (const auto &name : profileNames()) {
+        const BenchmarkProfile &p = profileByName(name);
+        EXPECT_EQ(p.name, name);
+        EXPECT_FALSE(p.components.empty()) << name;
+        EXPECT_FALSE(p.description.empty()) << name;
+        EXPECT_GE(p.writeFraction, 0.0) << name;
+        EXPECT_LE(p.writeFraction, 1.0) << name;
+        for (const auto &c : p.components) {
+            EXPECT_GT(c.weight, 0.0) << name;
+            EXPECT_GE(c.footprint, 64u) << name;
+        }
+        // Every profile must build into a usable stream.
+        auto stream = buildStream(p, applicationBase(0));
+        Pcg32 rng(1);
+        for (int i = 0; i < 100; ++i)
+            EXPECT_GE(stream->next(rng), applicationBase(0)) << name;
+    }
+}
+
+TEST(ProfilesDeath, UnknownProfileIsFatal)
+{
+    EXPECT_EXIT(profileByName("not-a-benchmark"),
+                ::testing::ExitedWithCode(1), "unknown benchmark profile");
+}
+
+} // namespace
+} // namespace molcache

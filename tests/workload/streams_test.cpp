@@ -1,0 +1,123 @@
+#include "workload/streams.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace molcache {
+namespace {
+
+TEST(SequentialStream, WrapsAtFootprint)
+{
+    SequentialStream s(0x1000, 256, 64);
+    Pcg32 rng(1);
+    EXPECT_EQ(s.next(rng), 0x1000u);
+    EXPECT_EQ(s.next(rng), 0x1040u);
+    EXPECT_EQ(s.next(rng), 0x1080u);
+    EXPECT_EQ(s.next(rng), 0x10c0u);
+    EXPECT_EQ(s.next(rng), 0x1000u); // wrapped
+}
+
+TEST(StridedStream, WalkersInterleave)
+{
+    // 2 walkers, 128B each, stride 64, gap 128.
+    StridedStream s(0, 2, 128, 64, 128);
+    Pcg32 rng(1);
+    EXPECT_EQ(s.next(rng), 0u);    // walker 0
+    EXPECT_EQ(s.next(rng), 128u);  // walker 1
+    EXPECT_EQ(s.next(rng), 64u);   // walker 0 advanced
+    EXPECT_EQ(s.next(rng), 192u);  // walker 1 advanced
+    EXPECT_EQ(s.next(rng), 0u);    // walker 0 wrapped
+}
+
+TEST(PointerChaseStream, StaysInFootprint)
+{
+    PointerChaseStream s(0x10000, 4096, 64);
+    Pcg32 rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = s.next(rng);
+        EXPECT_GE(a, 0x10000u);
+        EXPECT_LT(a, 0x10000u + 4096u);
+        EXPECT_EQ(a % 64, 0u); // line aligned
+    }
+}
+
+TEST(PointerChaseStream, CoversManyLines)
+{
+    PointerChaseStream s(0, 64 * 64, 64);
+    Pcg32 rng(5);
+    std::set<Addr> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(s.next(rng));
+    EXPECT_GT(seen.size(), 55u); // nearly all 64 lines touched
+}
+
+TEST(WorkingSetStream, StaysInFootprintAndAligned)
+{
+    WorkingSetStream s(0x100000, 64 * 1024, 0.8, 64);
+    Pcg32 rng(9);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = s.next(rng);
+        EXPECT_GE(a, 0x100000u);
+        EXPECT_LT(a, 0x100000u + 64 * 1024u);
+        EXPECT_EQ(a % 64, 0u);
+    }
+}
+
+TEST(WorkingSetStream, SkewConcentratesTraffic)
+{
+    WorkingSetStream s(0, 1024 * 64, 1.2, 64);
+    Pcg32 rng(11);
+    std::map<Addr, u64> counts;
+    for (int i = 0; i < 50000; ++i)
+        ++counts[s.next(rng)];
+    // The most popular line should see far more than the mean (≈48).
+    u64 max_count = 0;
+    for (const auto &[a, c] : counts)
+        max_count = std::max(max_count, c);
+    EXPECT_GT(max_count, 2000u);
+}
+
+TEST(MixtureStream, RespectsWeights)
+{
+    std::vector<MixtureStream::Component> parts;
+    parts.push_back({std::make_unique<SequentialStream>(0, 1024, 64), 9.0});
+    parts.push_back(
+        {std::make_unique<SequentialStream>(1 << 20, 1024, 64), 1.0});
+    MixtureStream mix(std::move(parts));
+    Pcg32 rng(13);
+    u64 low = 0, high = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (mix.next(rng) < (1u << 20))
+            ++low;
+        else
+            ++high;
+    }
+    EXPECT_NEAR(static_cast<double>(low), 18000.0, 400.0);
+    EXPECT_NEAR(static_cast<double>(high), 2000.0, 400.0);
+}
+
+TEST(PhaseStream, CyclesThroughPhases)
+{
+    std::vector<std::unique_ptr<AddressStream>> phases;
+    phases.push_back(std::make_unique<SequentialStream>(0, 1024, 64));
+    phases.push_back(std::make_unique<SequentialStream>(1 << 20, 1024, 64));
+    PhaseStream s(std::move(phases), 3);
+    Pcg32 rng(1);
+    // 3 from phase 0, 3 from phase 1, back to phase 0.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_LT(s.next(rng), 1u << 20);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_GE(s.next(rng), 1u << 20);
+    EXPECT_LT(s.next(rng), 1u << 20);
+}
+
+TEST(StreamsDeath, BadGeometry)
+{
+    EXPECT_DEATH(SequentialStream(0, 32, 64), "footprint");
+    EXPECT_DEATH(StridedStream(0, 2, 256, 64, 128), "overlap");
+    EXPECT_DEATH(PointerChaseStream(0, 32, 64), "below one line");
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,76 @@
+#include "workload/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace molcache {
+namespace {
+
+TEST(Zipf, UniformWhenAlphaZero)
+{
+    ZipfSampler zipf(4, 0.0);
+    for (u32 r = 0; r < 4; ++r)
+        EXPECT_NEAR(zipf.probability(r), 0.25, 1e-12);
+}
+
+TEST(Zipf, ProbabilitiesSumToOne)
+{
+    ZipfSampler zipf(1000, 0.8);
+    double sum = 0.0;
+    for (u32 r = 0; r < zipf.ranks(); ++r)
+        sum += zipf.probability(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, MonotoneDecreasing)
+{
+    ZipfSampler zipf(100, 1.0);
+    for (u32 r = 1; r < 100; ++r)
+        EXPECT_GE(zipf.probability(r - 1), zipf.probability(r));
+}
+
+TEST(Zipf, ClassicRatios)
+{
+    // alpha=1: p(rank0)/p(rank1) == 2, p(rank0)/p(rank3) == 4.
+    ZipfSampler zipf(100, 1.0);
+    EXPECT_NEAR(zipf.probability(0) / zipf.probability(1), 2.0, 1e-9);
+    EXPECT_NEAR(zipf.probability(0) / zipf.probability(3), 4.0, 1e-9);
+}
+
+TEST(Zipf, SampleMatchesDistribution)
+{
+    ZipfSampler zipf(16, 1.2);
+    Pcg32 rng(77);
+    std::vector<u64> counts(16, 0);
+    constexpr u64 kDraws = 200000;
+    for (u64 i = 0; i < kDraws; ++i)
+        ++counts[zipf.sample(rng)];
+    for (u32 r = 0; r < 16; ++r) {
+        const double expected = zipf.probability(r) * kDraws;
+        EXPECT_NEAR(static_cast<double>(counts[r]), expected,
+                    5 * std::sqrt(expected) + 30)
+            << "rank " << r;
+    }
+}
+
+TEST(Zipf, SingleRank)
+{
+    ZipfSampler zipf(1, 2.0);
+    Pcg32 rng(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+    EXPECT_DOUBLE_EQ(zipf.probability(0), 1.0);
+}
+
+TEST(Zipf, SamplesAlwaysInRange)
+{
+    ZipfSampler zipf(37, 0.6);
+    Pcg32 rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf.sample(rng), 37u);
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_initial.dir/ablate_initial.cpp.o"
+  "CMakeFiles/ablate_initial.dir/ablate_initial.cpp.o.d"
+  "ablate_initial"
+  "ablate_initial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_initial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

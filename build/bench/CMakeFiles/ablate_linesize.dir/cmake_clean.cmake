@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_linesize.dir/ablate_linesize.cpp.o"
+  "CMakeFiles/ablate_linesize.dir/ablate_linesize.cpp.o.d"
+  "ablate_linesize"
+  "ablate_linesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_linesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

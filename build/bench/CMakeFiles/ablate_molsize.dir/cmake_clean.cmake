@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_molsize.dir/ablate_molsize.cpp.o"
+  "CMakeFiles/ablate_molsize.dir/ablate_molsize.cpp.o.d"
+  "ablate_molsize"
+  "ablate_molsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_molsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

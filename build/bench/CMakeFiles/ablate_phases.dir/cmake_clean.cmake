@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_phases.dir/ablate_phases.cpp.o"
+  "CMakeFiles/ablate_phases.dir/ablate_phases.cpp.o.d"
+  "ablate_phases"
+  "ablate_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

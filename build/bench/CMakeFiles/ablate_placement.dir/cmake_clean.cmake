@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_placement.dir/ablate_placement.cpp.o"
+  "CMakeFiles/ablate_placement.dir/ablate_placement.cpp.o.d"
+  "ablate_placement"
+  "ablate_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

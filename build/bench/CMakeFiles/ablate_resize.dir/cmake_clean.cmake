@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_resize.dir/ablate_resize.cpp.o"
+  "CMakeFiles/ablate_resize.dir/ablate_resize.cpp.o.d"
+  "ablate_resize"
+  "ablate_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

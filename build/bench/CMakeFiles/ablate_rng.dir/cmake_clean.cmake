@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rng.dir/ablate_rng.cpp.o"
+  "CMakeFiles/ablate_rng.dir/ablate_rng.cpp.o.d"
+  "ablate_rng"
+  "ablate_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_tilesize.dir/ablate_tilesize.cpp.o"
+  "CMakeFiles/ablate_tilesize.dir/ablate_tilesize.cpp.o.d"
+  "ablate_tilesize"
+  "ablate_tilesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_tilesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

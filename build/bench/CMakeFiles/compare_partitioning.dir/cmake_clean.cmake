@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_partitioning.dir/compare_partitioning.cpp.o"
+  "CMakeFiles/compare_partitioning.dir/compare_partitioning.cpp.o.d"
+  "compare_partitioning"
+  "compare_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_deviation.dir/fig5_deviation.cpp.o"
+  "CMakeFiles/fig5_deviation.dir/fig5_deviation.cpp.o.d"
+  "fig5_deviation"
+  "fig5_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hpm.dir/fig6_hpm.cpp.o"
+  "CMakeFiles/fig6_hpm.dir/fig6_hpm.cpp.o.d"
+  "fig6_hpm"
+  "fig6_hpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

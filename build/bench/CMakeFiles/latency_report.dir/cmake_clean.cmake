@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_report.dir/latency_report.cpp.o"
+  "CMakeFiles/latency_report.dir/latency_report.cpp.o.d"
+  "latency_report"
+  "latency_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_interference.dir/table1_interference.cpp.o"
+  "CMakeFiles/table1_interference.dir/table1_interference.cpp.o.d"
+  "table1_interference"
+  "table1_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

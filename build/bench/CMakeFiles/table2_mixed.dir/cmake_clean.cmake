@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_mixed.dir/table2_mixed.cpp.o"
+  "CMakeFiles/table2_mixed.dir/table2_mixed.cpp.o.d"
+  "table2_mixed"
+  "table2_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_power.dir/table4_power.cpp.o"
+  "CMakeFiles/table4_power.dir/table4_power.cpp.o.d"
+  "table4_power"
+  "table4_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_pdp.dir/table5_pdp.cpp.o"
+  "CMakeFiles/table5_pdp.dir/table5_pdp.cpp.o.d"
+  "table5_pdp"
+  "table5_pdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_pdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

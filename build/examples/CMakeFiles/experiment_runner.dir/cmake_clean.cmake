@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_runner.dir/experiment_runner.cpp.o"
+  "CMakeFiles/experiment_runner.dir/experiment_runner.cpp.o.d"
+  "experiment_runner"
+  "experiment_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

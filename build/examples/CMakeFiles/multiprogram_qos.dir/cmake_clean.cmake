@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprogram_qos.dir/multiprogram_qos.cpp.o"
+  "CMakeFiles/multiprogram_qos.dir/multiprogram_qos.cpp.o.d"
+  "multiprogram_qos"
+  "multiprogram_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogram_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resize_trajectory.dir/resize_trajectory.cpp.o"
+  "CMakeFiles/resize_trajectory.dir/resize_trajectory.cpp.o.d"
+  "resize_trajectory"
+  "resize_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resize_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for resize_trajectory.
+# This may be replaced when dependencies are built.

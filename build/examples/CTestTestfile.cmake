@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multiprogram_qos "/root/repo/build/examples/multiprogram_qos" "--refs" "200000")
+set_tests_properties(example_multiprogram_qos PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_power_explorer "/root/repo/build/examples/power_explorer")
+set_tests_properties(example_power_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_resize_trajectory "/root/repo/build/examples/resize_trajectory" "--refs" "200000" "--sample" "50000")
+set_tests_properties(example_resize_trajectory PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_experiment_runner "/root/repo/build/examples/experiment_runner" "/root/repo/examples/experiment.cfg" "refs=100000")
+set_tests_properties(example_experiment_runner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tool "sh" "-c" "./trace_tool gen --profiles ammp,gcc --refs 20000 --out tt.mct           && ./trace_tool info tt.mct           && ./trace_tool convert tt.mct tt.txt           && ./trace_tool replay tt.txt --model molecular --size 2M           && rm -f tt.mct tt.txt")
+set_tests_properties(example_trace_tool PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_stats.cpp" "src/CMakeFiles/molcache_cache.dir/cache/cache_stats.cpp.o" "gcc" "src/CMakeFiles/molcache_cache.dir/cache/cache_stats.cpp.o.d"
+  "/root/repo/src/cache/replacement.cpp" "src/CMakeFiles/molcache_cache.dir/cache/replacement.cpp.o" "gcc" "src/CMakeFiles/molcache_cache.dir/cache/replacement.cpp.o.d"
+  "/root/repo/src/cache/set_assoc.cpp" "src/CMakeFiles/molcache_cache.dir/cache/set_assoc.cpp.o" "gcc" "src/CMakeFiles/molcache_cache.dir/cache/set_assoc.cpp.o.d"
+  "/root/repo/src/cache/way_partitioned.cpp" "src/CMakeFiles/molcache_cache.dir/cache/way_partitioned.cpp.o" "gcc" "src/CMakeFiles/molcache_cache.dir/cache/way_partitioned.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/molcache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molcache_cache.dir/cache/cache_stats.cpp.o"
+  "CMakeFiles/molcache_cache.dir/cache/cache_stats.cpp.o.d"
+  "CMakeFiles/molcache_cache.dir/cache/replacement.cpp.o"
+  "CMakeFiles/molcache_cache.dir/cache/replacement.cpp.o.d"
+  "CMakeFiles/molcache_cache.dir/cache/set_assoc.cpp.o"
+  "CMakeFiles/molcache_cache.dir/cache/set_assoc.cpp.o.d"
+  "CMakeFiles/molcache_cache.dir/cache/way_partitioned.cpp.o"
+  "CMakeFiles/molcache_cache.dir/cache/way_partitioned.cpp.o.d"
+  "libmolcache_cache.a"
+  "libmolcache_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molcache_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coherence.cpp" "src/CMakeFiles/molcache_core.dir/core/coherence.cpp.o" "gcc" "src/CMakeFiles/molcache_core.dir/core/coherence.cpp.o.d"
+  "/root/repo/src/core/molecular_cache.cpp" "src/CMakeFiles/molcache_core.dir/core/molecular_cache.cpp.o" "gcc" "src/CMakeFiles/molcache_core.dir/core/molecular_cache.cpp.o.d"
+  "/root/repo/src/core/molecule.cpp" "src/CMakeFiles/molcache_core.dir/core/molecule.cpp.o" "gcc" "src/CMakeFiles/molcache_core.dir/core/molecule.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/molcache_core.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/molcache_core.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/CMakeFiles/molcache_core.dir/core/placement.cpp.o" "gcc" "src/CMakeFiles/molcache_core.dir/core/placement.cpp.o.d"
+  "/root/repo/src/core/region.cpp" "src/CMakeFiles/molcache_core.dir/core/region.cpp.o" "gcc" "src/CMakeFiles/molcache_core.dir/core/region.cpp.o.d"
+  "/root/repo/src/core/resizer.cpp" "src/CMakeFiles/molcache_core.dir/core/resizer.cpp.o" "gcc" "src/CMakeFiles/molcache_core.dir/core/resizer.cpp.o.d"
+  "/root/repo/src/core/tile.cpp" "src/CMakeFiles/molcache_core.dir/core/tile.cpp.o" "gcc" "src/CMakeFiles/molcache_core.dir/core/tile.cpp.o.d"
+  "/root/repo/src/core/ulmo.cpp" "src/CMakeFiles/molcache_core.dir/core/ulmo.cpp.o" "gcc" "src/CMakeFiles/molcache_core.dir/core/ulmo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/molcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molcache_core.dir/core/coherence.cpp.o"
+  "CMakeFiles/molcache_core.dir/core/coherence.cpp.o.d"
+  "CMakeFiles/molcache_core.dir/core/molecular_cache.cpp.o"
+  "CMakeFiles/molcache_core.dir/core/molecular_cache.cpp.o.d"
+  "CMakeFiles/molcache_core.dir/core/molecule.cpp.o"
+  "CMakeFiles/molcache_core.dir/core/molecule.cpp.o.d"
+  "CMakeFiles/molcache_core.dir/core/params.cpp.o"
+  "CMakeFiles/molcache_core.dir/core/params.cpp.o.d"
+  "CMakeFiles/molcache_core.dir/core/placement.cpp.o"
+  "CMakeFiles/molcache_core.dir/core/placement.cpp.o.d"
+  "CMakeFiles/molcache_core.dir/core/region.cpp.o"
+  "CMakeFiles/molcache_core.dir/core/region.cpp.o.d"
+  "CMakeFiles/molcache_core.dir/core/resizer.cpp.o"
+  "CMakeFiles/molcache_core.dir/core/resizer.cpp.o.d"
+  "CMakeFiles/molcache_core.dir/core/tile.cpp.o"
+  "CMakeFiles/molcache_core.dir/core/tile.cpp.o.d"
+  "CMakeFiles/molcache_core.dir/core/ulmo.cpp.o"
+  "CMakeFiles/molcache_core.dir/core/ulmo.cpp.o.d"
+  "libmolcache_core.a"
+  "libmolcache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molcache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmolcache_core.a"
+)

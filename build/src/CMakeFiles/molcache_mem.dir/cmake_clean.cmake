@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molcache_mem.dir/mem/filter.cpp.o"
+  "CMakeFiles/molcache_mem.dir/mem/filter.cpp.o.d"
+  "CMakeFiles/molcache_mem.dir/mem/interleave.cpp.o"
+  "CMakeFiles/molcache_mem.dir/mem/interleave.cpp.o.d"
+  "CMakeFiles/molcache_mem.dir/mem/trace.cpp.o"
+  "CMakeFiles/molcache_mem.dir/mem/trace.cpp.o.d"
+  "libmolcache_mem.a"
+  "libmolcache_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molcache_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

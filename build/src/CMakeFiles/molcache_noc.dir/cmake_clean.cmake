@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molcache_noc.dir/noc/topology.cpp.o"
+  "CMakeFiles/molcache_noc.dir/noc/topology.cpp.o.d"
+  "libmolcache_noc.a"
+  "libmolcache_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molcache_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

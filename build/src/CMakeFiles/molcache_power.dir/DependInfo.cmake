@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/cacti.cpp" "src/CMakeFiles/molcache_power.dir/power/cacti.cpp.o" "gcc" "src/CMakeFiles/molcache_power.dir/power/cacti.cpp.o.d"
+  "/root/repo/src/power/report.cpp" "src/CMakeFiles/molcache_power.dir/power/report.cpp.o" "gcc" "src/CMakeFiles/molcache_power.dir/power/report.cpp.o.d"
+  "/root/repo/src/power/tech.cpp" "src/CMakeFiles/molcache_power.dir/power/tech.cpp.o" "gcc" "src/CMakeFiles/molcache_power.dir/power/tech.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/molcache_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

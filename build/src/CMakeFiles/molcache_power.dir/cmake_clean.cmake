@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molcache_power.dir/power/cacti.cpp.o"
+  "CMakeFiles/molcache_power.dir/power/cacti.cpp.o.d"
+  "CMakeFiles/molcache_power.dir/power/report.cpp.o"
+  "CMakeFiles/molcache_power.dir/power/report.cpp.o.d"
+  "CMakeFiles/molcache_power.dir/power/tech.cpp.o"
+  "CMakeFiles/molcache_power.dir/power/tech.cpp.o.d"
+  "libmolcache_power.a"
+  "libmolcache_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molcache_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molcache_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/molcache_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/molcache_sim.dir/sim/qos.cpp.o"
+  "CMakeFiles/molcache_sim.dir/sim/qos.cpp.o.d"
+  "CMakeFiles/molcache_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/molcache_sim.dir/sim/simulator.cpp.o.d"
+  "libmolcache_sim.a"
+  "libmolcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/molcache_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/molcache_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/json.cpp" "src/CMakeFiles/molcache_stats.dir/stats/json.cpp.o" "gcc" "src/CMakeFiles/molcache_stats.dir/stats/json.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/CMakeFiles/molcache_stats.dir/stats/metrics.cpp.o" "gcc" "src/CMakeFiles/molcache_stats.dir/stats/metrics.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/molcache_stats.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/molcache_stats.dir/stats/table.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/CMakeFiles/molcache_stats.dir/stats/timeseries.cpp.o" "gcc" "src/CMakeFiles/molcache_stats.dir/stats/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/molcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

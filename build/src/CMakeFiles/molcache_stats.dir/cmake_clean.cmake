@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molcache_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/molcache_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/molcache_stats.dir/stats/json.cpp.o"
+  "CMakeFiles/molcache_stats.dir/stats/json.cpp.o.d"
+  "CMakeFiles/molcache_stats.dir/stats/metrics.cpp.o"
+  "CMakeFiles/molcache_stats.dir/stats/metrics.cpp.o.d"
+  "CMakeFiles/molcache_stats.dir/stats/table.cpp.o"
+  "CMakeFiles/molcache_stats.dir/stats/table.cpp.o.d"
+  "CMakeFiles/molcache_stats.dir/stats/timeseries.cpp.o"
+  "CMakeFiles/molcache_stats.dir/stats/timeseries.cpp.o.d"
+  "libmolcache_stats.a"
+  "libmolcache_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molcache_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

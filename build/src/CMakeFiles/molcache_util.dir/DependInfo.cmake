@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/molcache_util.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/molcache_util.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/molcache_util.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/molcache_util.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/molcache_util.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/molcache_util.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/molcache_util.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/molcache_util.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/string_utils.cpp" "src/CMakeFiles/molcache_util.dir/util/string_utils.cpp.o" "gcc" "src/CMakeFiles/molcache_util.dir/util/string_utils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

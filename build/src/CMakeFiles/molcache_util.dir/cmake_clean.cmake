@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molcache_util.dir/util/cli.cpp.o"
+  "CMakeFiles/molcache_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/molcache_util.dir/util/config.cpp.o"
+  "CMakeFiles/molcache_util.dir/util/config.cpp.o.d"
+  "CMakeFiles/molcache_util.dir/util/logging.cpp.o"
+  "CMakeFiles/molcache_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/molcache_util.dir/util/random.cpp.o"
+  "CMakeFiles/molcache_util.dir/util/random.cpp.o.d"
+  "CMakeFiles/molcache_util.dir/util/string_utils.cpp.o"
+  "CMakeFiles/molcache_util.dir/util/string_utils.cpp.o.d"
+  "libmolcache_util.a"
+  "libmolcache_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molcache_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

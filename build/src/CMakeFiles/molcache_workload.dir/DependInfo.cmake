@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/molcache_workload.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/molcache_workload.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/CMakeFiles/molcache_workload.dir/workload/profile.cpp.o" "gcc" "src/CMakeFiles/molcache_workload.dir/workload/profile.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/CMakeFiles/molcache_workload.dir/workload/profiles.cpp.o" "gcc" "src/CMakeFiles/molcache_workload.dir/workload/profiles.cpp.o.d"
+  "/root/repo/src/workload/streams.cpp" "src/CMakeFiles/molcache_workload.dir/workload/streams.cpp.o" "gcc" "src/CMakeFiles/molcache_workload.dir/workload/streams.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/CMakeFiles/molcache_workload.dir/workload/zipf.cpp.o" "gcc" "src/CMakeFiles/molcache_workload.dir/workload/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/molcache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molcache_workload.dir/workload/generator.cpp.o"
+  "CMakeFiles/molcache_workload.dir/workload/generator.cpp.o.d"
+  "CMakeFiles/molcache_workload.dir/workload/profile.cpp.o"
+  "CMakeFiles/molcache_workload.dir/workload/profile.cpp.o.d"
+  "CMakeFiles/molcache_workload.dir/workload/profiles.cpp.o"
+  "CMakeFiles/molcache_workload.dir/workload/profiles.cpp.o.d"
+  "CMakeFiles/molcache_workload.dir/workload/streams.cpp.o"
+  "CMakeFiles/molcache_workload.dir/workload/streams.cpp.o.d"
+  "CMakeFiles/molcache_workload.dir/workload/zipf.cpp.o"
+  "CMakeFiles/molcache_workload.dir/workload/zipf.cpp.o.d"
+  "libmolcache_workload.a"
+  "libmolcache_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molcache_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

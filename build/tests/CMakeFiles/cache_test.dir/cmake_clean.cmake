@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_test.dir/cache/cache_stats_test.cpp.o"
+  "CMakeFiles/cache_test.dir/cache/cache_stats_test.cpp.o.d"
+  "CMakeFiles/cache_test.dir/cache/replacement_test.cpp.o"
+  "CMakeFiles/cache_test.dir/cache/replacement_test.cpp.o.d"
+  "CMakeFiles/cache_test.dir/cache/set_assoc_test.cpp.o"
+  "CMakeFiles/cache_test.dir/cache/set_assoc_test.cpp.o.d"
+  "CMakeFiles/cache_test.dir/cache/way_partitioned_test.cpp.o"
+  "CMakeFiles/cache_test.dir/cache/way_partitioned_test.cpp.o.d"
+  "cache_test"
+  "cache_test.pdb"
+  "cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

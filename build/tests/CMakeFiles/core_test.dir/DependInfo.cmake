@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/coherence_test.cpp" "tests/CMakeFiles/core_test.dir/core/coherence_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/coherence_test.cpp.o.d"
+  "/root/repo/tests/core/invariant_fuzz_test.cpp" "tests/CMakeFiles/core_test.dir/core/invariant_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/invariant_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/lru_direct_test.cpp" "tests/CMakeFiles/core_test.dir/core/lru_direct_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/lru_direct_test.cpp.o.d"
+  "/root/repo/tests/core/migration_test.cpp" "tests/CMakeFiles/core_test.dir/core/migration_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/migration_test.cpp.o.d"
+  "/root/repo/tests/core/molecular_cache_test.cpp" "tests/CMakeFiles/core_test.dir/core/molecular_cache_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/molecular_cache_test.cpp.o.d"
+  "/root/repo/tests/core/molecule_test.cpp" "tests/CMakeFiles/core_test.dir/core/molecule_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/molecule_test.cpp.o.d"
+  "/root/repo/tests/core/placement_test.cpp" "tests/CMakeFiles/core_test.dir/core/placement_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/placement_test.cpp.o.d"
+  "/root/repo/tests/core/region_test.cpp" "tests/CMakeFiles/core_test.dir/core/region_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/region_test.cpp.o.d"
+  "/root/repo/tests/core/resizer_test.cpp" "tests/CMakeFiles/core_test.dir/core/resizer_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/resizer_test.cpp.o.d"
+  "/root/repo/tests/core/tile_test.cpp" "tests/CMakeFiles/core_test.dir/core/tile_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tile_test.cpp.o.d"
+  "/root/repo/tests/core/ulmo_test.cpp" "tests/CMakeFiles/core_test.dir/core/ulmo_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ulmo_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/molcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/coherence_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/coherence_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/invariant_fuzz_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/invariant_fuzz_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/lru_direct_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/lru_direct_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/migration_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/migration_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/molecular_cache_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/molecular_cache_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/molecule_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/molecule_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/placement_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/placement_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/region_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/region_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/resizer_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/resizer_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/tile_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/tile_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ulmo_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ulmo_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/experiment_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/experiment_test.cpp.o.d"
+  "/root/repo/tests/sim/qos_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/qos_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/qos_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/simulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/molcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/molcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

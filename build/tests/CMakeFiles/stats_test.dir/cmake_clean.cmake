@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test.dir/stats/counter_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/counter_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/histogram_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/histogram_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/json_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/json_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/metrics_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/metrics_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/running_stats_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/running_stats_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/table_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/table_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/timeseries_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/timeseries_test.cpp.o.d"
+  "stats_test"
+  "stats_test.pdb"
+  "stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

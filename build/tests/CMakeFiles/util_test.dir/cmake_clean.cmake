@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/bits_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/bits_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/cli_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/cli_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/config_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/config_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/random_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/random_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/string_utils_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/string_utils_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/units_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/units_test.cpp.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Graceful-degradation curve: QoS vs. molecule fault rate.
+ *
+ * The molecular structure's reliability story (docs/fault_model.md):
+ * hard faults fence off individual molecules, the resizer re-acquires
+ * capacity for the wounded regions, and the miss-rate-goal machinery
+ * re-converges.  This bench sweeps the fraction of hard-faulted
+ * molecules from 0% to 25% (faults land in the middle half of the run)
+ * on the 4-app SPEC workload and reports the achieved average deviation
+ * from the miss-rate goals, molecules lost, recovery grants and the
+ * worst re-convergence time — the degradation should be graceful
+ * (deviation creeping up with the fault rate), not a cliff.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/molecular_cache.hpp"
+#include "fault/fault_injector.hpp"
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+#include "util/string_utils.hpp"
+#include "util/units.hpp"
+#include "workload/profiles.hpp"
+
+using namespace molcache;
+
+namespace {
+
+SimResult
+runAtFaultRate(double hardFraction, u64 size, u64 refs, u64 seed)
+{
+    const MolecularCacheParams p =
+        fig5MolecularParams(size, PlacementPolicy::Randy, seed);
+    MolecularCache cache(p);
+    for (u32 i = 0; i < 4; ++i)
+        cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+
+    if (hardFraction > 0.0) {
+        FaultScheduleSpec spec;
+        spec.seed = seed;
+        spec.hardFraction = hardFraction;
+        // Faults land in the middle half: the cache warms first and has
+        // the back half of the run to re-converge.
+        spec.windowStart = refs / 4;
+        spec.windowEnd = refs / 4 * 3;
+        cache.setFaultInjector(FaultInjector::fromSpec(
+            spec, p.totalMolecules(), p.moleculesPerTile,
+            p.linesPerMolecule()));
+    }
+
+    const GoalSet goals = GoalSet::uniform(0.1, 4);
+    return runWorkload(spec4Names(), cache, goals, refs, seed);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("degradation_curve",
+                  "Graceful degradation: average goal deviation vs. "
+                  "fraction of hard-faulted molecules");
+    bench::addCommonOptions(cli, kPaperTraceLength);
+    cli.addOption("size", "2M", "total cache size");
+    cli.parse(argc, argv);
+    const u64 refs = static_cast<u64>(cli.integer("refs"));
+    const u64 seed = static_cast<u64>(cli.integer("seed"));
+    const u64 size = cli.size("size");
+
+    bench::banner("Degradation curve: SPEC 4-app workload, goal 10%, "
+                  "hard faults in the middle half of the run");
+
+    TablePrinter table({"fault rate", "avg deviation", "global miss",
+                        "lost", "regrants", "reconv epochs",
+                        "recovering"});
+    for (const double rate : {0.0, 0.05, 0.10, 0.15, 0.20, 0.25}) {
+        const SimResult r = runAtFaultRate(rate, size, refs, seed);
+        const size_t row = table.addRow();
+        table.cell(row, 0, formatDouble(rate, 2));
+        table.cell(row, 1, r.qos.averageDeviation, 4);
+        table.cell(row, 2, r.qos.globalMissRate, 4);
+        table.cell(row, 3, r.moleculesDecommissioned);
+        table.cell(row, 4, r.recoveryGrants);
+        table.cell(row, 5, static_cast<u64>(r.maxReconvergenceEpochs));
+        table.cell(row, 6, static_cast<u64>(r.regionsStillRecovering));
+    }
+    if (cli.flag("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

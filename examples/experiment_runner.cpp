@@ -18,9 +18,20 @@
  *     goal.0         = 0.05             # per-ASID override
  *     seed           = 1
  *
+ * Fault-injection drills (molecular model only; docs/fault_model.md):
+ *
+ *     fault.hard_fraction   = 0.1       # decommission 10% of molecules
+ *     fault.transient_flips = 200       # seeded bit flips
+ *     fault.seed            = 7
+ *     hard_fault_threshold  = 1
+ *     audit                 = 50000     # invariant audit every N accesses
+ *
  * Run with:
  *
  *     experiment_runner experiment.cfg [extra=overrides ...] [--json out]
+ *
+ * Unknown keys are warn()ed so typos surface instead of silently
+ * defaulting.
  */
 
 #include <cstdio>
@@ -31,6 +42,8 @@
 #include "cache/set_assoc.hpp"
 #include "cache/way_partitioned.hpp"
 #include "core/molecular_cache.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/invariant_checker.hpp"
 #include "sim/experiment.hpp"
 #include "stats/json.hpp"
 #include "stats/table.hpp"
@@ -57,7 +70,7 @@ goalsFrom(const Config &cfg, size_t apps)
 }
 
 std::unique_ptr<CacheModel>
-buildModel(const Config &cfg, const GoalSet &goals, size_t apps)
+buildModel(const Config &cfg, const GoalSet &goals, size_t apps, u64 refs)
 {
     const std::string model = cfg.getString("model", "molecular");
     const u64 size = cfg.getSize("size", 2_MiB);
@@ -98,10 +111,23 @@ buildModel(const Config &cfg, const GoalSet &goals, size_t apps)
         p.resizeScheme =
             parseResizeScheme(cfg.getString("resize", "global"));
         p.seed = seed;
+        p.hardFaultThreshold =
+            static_cast<u32>(cfg.getInt("hard_fault_threshold", 1));
         auto cache = std::make_unique<MolecularCache>(p);
         for (size_t i = 0; i < apps; ++i)
             cache->registerApplication(static_cast<Asid>(i),
                                        *goals.goal(static_cast<Asid>(i)));
+        if (hasFaultKeys(cfg)) {
+            // Default fault window: the middle half of the run, so the
+            // cache warms before faults land and has time to recover.
+            const FaultScheduleSpec spec =
+                faultSpecFromConfig(cfg, refs / 4, refs / 4 * 3 + 1);
+            cache->setFaultInjector(FaultInjector::fromSpec(
+                spec, p.totalMolecules(), p.moleculesPerTile,
+                p.linesPerMolecule()));
+        }
+        if (const u64 audit = static_cast<u64>(cfg.getInt("audit", 0)))
+            InvariantChecker::attach(*cache, audit);
         return cache;
     }
     fatal("unknown model '", model,
@@ -126,6 +152,27 @@ writeJson(const std::string &path, const SimResult &result)
     json.value(result.qos.averageDeviation);
     json.key("total_energy_nj");
     json.value(result.totalEnergyNj);
+    if (result.faultEventsApplied > 0) {
+        json.key("faults");
+        json.beginObject();
+        json.key("events_applied");
+        json.value(result.faultEventsApplied);
+        json.key("transient_flips_detected");
+        json.value(result.transientFlipsDetected);
+        json.key("dirty_lines_lost");
+        json.value(result.dirtyLinesLost);
+        json.key("molecules_decommissioned");
+        json.value(result.moleculesDecommissioned);
+        json.key("tile_outages");
+        json.value(result.tileOutages);
+        json.key("recovery_grants");
+        json.value(result.recoveryGrants);
+        json.key("max_reconvergence_epochs");
+        json.value(static_cast<u64>(result.maxReconvergenceEpochs));
+        json.key("regions_still_recovering");
+        json.value(static_cast<u64>(result.regionsStillRecovering));
+        json.endObject();
+    }
     json.key("apps");
     json.beginArray();
     for (const AppSummary &app : result.qos.apps) {
@@ -187,10 +234,15 @@ main(int argc, char **argv)
         if (!hasProfile(name))
             fatal("unknown profile '", name, "'");
 
+    cfg.warnUnknownKeys({"model", "size", "seed", "assoc", "replacement",
+                         "molecule", "tiles", "clusters", "placement",
+                         "resize", "refs", "profiles", "goal", "goal.",
+                         "hard_fault_threshold", "audit", "fault."});
+
     const GoalSet goals = goalsFrom(cfg, profiles.size());
-    auto model = buildModel(cfg, goals, profiles.size());
     const u64 refs =
         static_cast<u64>(cfg.getInt("refs", 2'000'000));
+    auto model = buildModel(cfg, goals, profiles.size(), refs);
     const u64 seed = static_cast<u64>(cfg.getInt("seed", 1));
 
     const SimResult result =
@@ -211,6 +263,22 @@ main(int argc, char **argv)
                 "energy %.3f mJ\n",
                 result.qos.averageDeviation, result.qos.globalMissRate,
                 result.totalEnergyNj * 1e-6);
+    if (result.faultEventsApplied > 0) {
+        std::printf("faults: %llu events | %llu molecules decommissioned | "
+                    "%llu flips detected | %llu dirty lines lost | "
+                    "%llu recovery grants | reconvergence <= %u epochs%s\n",
+                    static_cast<unsigned long long>(result.faultEventsApplied),
+                    static_cast<unsigned long long>(
+                        result.moleculesDecommissioned),
+                    static_cast<unsigned long long>(
+                        result.transientFlipsDetected),
+                    static_cast<unsigned long long>(result.dirtyLinesLost),
+                    static_cast<unsigned long long>(result.recoveryGrants),
+                    result.maxReconvergenceEpochs,
+                    result.regionsStillRecovering
+                        ? " (some regions still recovering)"
+                        : "");
+    }
 
     if (!json_out.empty()) {
         writeJson(json_out, result);

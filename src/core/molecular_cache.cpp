@@ -277,8 +277,18 @@ Molecule *
 MolecularCache::probeTile(u32 tile, const std::vector<MoleculeId> &mols,
                           Addr addr)
 {
+    const u32 cluster = tile / params_.tilesPerCluster;
     for (const MoleculeId id : mols) {
         Molecule &m = tiles_[tile].molecule(id);
+        // The probe reads data + tag + parity; a poisoned slot fails the
+        // parity check here, is dropped, and the probe reads as a miss.
+        if (const auto dropped = m.scrubIfPoisoned(addr)) {
+            ++faultStats_.transientFlipsDetected;
+            if (dropped->dirty)
+                ++faultStats_.dirtyLinesLost;
+            directory_.noteEviction(dropped->addr, cluster);
+            continue;
+        }
         if (m.lookup(addr))
             return &m;
     }
@@ -298,6 +308,7 @@ MolecularCache::access(const MemAccess &a)
         fatal("access with the invalid ASID");
     Region &region = regionFor(a.asid);
     ++tick_;
+    applyDueFaults();
     Tile &home = tiles_[region.homeTile()];
     home.notePortAccess();
 
@@ -372,6 +383,9 @@ MolecularCache::access(const MemAccess &a)
 
     maybeResize(region);
 
+    if (auditInterval_ != 0 && auditHook_ && tick_ % auditInterval_ == 0)
+        auditHook_(*this);
+
     AccessResult result;
     result.hit = hit;
     result.energyNj = params_.enableEnergy ? energy : 0.0;
@@ -408,8 +422,15 @@ MolecularCache::handleMiss(Region &region, const MemAccess &a)
         const bool dirty = a.isWrite() && la == accessed_line;
         if (const auto ev = mol.fill(la, dirty, tick_)) {
             replaced = true;
-            if (ev->dirty)
+            if (ev->poisoned) {
+                // The fill displaced a corrupt line: the write of fresh
+                // data is where the parity check catches it.
+                ++faultStats_.transientFlipsDetected;
+                if (ev->dirty)
+                    ++faultStats_.dirtyLinesLost;
+            } else if (ev->dirty) {
                 stats_.recordWriteback(a.asid);
+            }
             directory_.noteEviction(ev->addr, region.homeCluster());
         }
         applyInvalidations(
@@ -627,6 +648,124 @@ double
 MolecularCache::averageEnabledMolecules() const
 {
     return ratio(enabledIntegral_, stats_.global().accesses);
+}
+
+void
+MolecularCache::setFaultInjector(FaultInjector injector)
+{
+    injector_ = std::move(injector);
+}
+
+void
+MolecularCache::applyDueFaults()
+{
+    while (const FaultEvent *ev = injector_.drainOne(tick_)) {
+        switch (ev->kind) {
+          case FaultKind::TransientFlip:
+            injectTransientFlip(ev->target % params_.totalMolecules(),
+                                ev->line);
+            break;
+          case FaultKind::HardFault:
+            injectHardFault(ev->target % params_.totalMolecules());
+            break;
+          case FaultKind::TileOutage:
+            injectTileOutage(ev->target % params_.totalTiles());
+            break;
+        }
+    }
+}
+
+void
+MolecularCache::injectTransientFlip(MoleculeId id, u32 line)
+{
+    Molecule &m = molecule(id);
+    ++faultStats_.transientFlipsInjected;
+    if (m.decommissioned())
+        return; // fenced arrays are power-gated: nothing to corrupt
+    m.poisonLine(line % params_.linesPerMolecule());
+}
+
+void
+MolecularCache::injectHardFault(MoleculeId id)
+{
+    Molecule &m = molecule(id);
+    ++faultStats_.hardFaultEvents;
+    if (m.decommissioned())
+        return;
+    if (m.noteHardFault() >= params_.hardFaultThreshold)
+        decommissionMolecule(id);
+}
+
+void
+MolecularCache::injectTileOutage(u32 tile)
+{
+    MOLCACHE_ASSERT(tile < tiles_.size(), "tile outage out of range");
+    ++faultStats_.tileOutages;
+    const Tile &t = tiles_[tile];
+    const MoleculeId first = t.firstMolecule();
+    for (MoleculeId id = first; id < first + t.numMolecules(); ++id)
+        decommissionMolecule(id);
+}
+
+bool
+MolecularCache::decommissionMolecule(MoleculeId id)
+{
+    Molecule &m = molecule(id);
+    if (m.decommissioned())
+        return false;
+    const u32 tile_index = m.tile();
+    const u32 cluster = tile_index / params_.tilesPerCluster;
+    const Asid owner = m.configuredAsid();
+
+    if (!m.isFree()) {
+        if (m.sharedBit())
+            setSharedMolecule(id, false);
+        for (auto &[asid, region] : regions_) {
+            if (!region.contains(id))
+                continue;
+            // Drain: the directory forgets the lines, the replacement
+            // view forgets the molecule, and the region notes the
+            // capacity hole so the resizer re-acquires around it.
+            for (const Addr la : m.residentLines())
+                directory_.noteEviction(la, region.homeCluster());
+            region.removeMolecule(id);
+            region.noteMoleculeLost();
+            break;
+        }
+    }
+
+    const u32 dirty = tiles_[tile_index].decommission(id);
+    for (u32 i = 0; i < dirty; ++i)
+        stats_.recordWriteback(owner);
+    ulmos_[cluster].noteDecommission();
+    ++faultStats_.moleculesDecommissioned;
+    return true;
+}
+
+u32
+MolecularCache::decommissionedMolecules() const
+{
+    u32 n = 0;
+    for (const Tile &t : tiles_)
+        n += t.decommissionedCount();
+    return n;
+}
+
+std::vector<Asid>
+MolecularCache::registeredAsids() const
+{
+    std::vector<Asid> out;
+    out.reserve(regions_.size());
+    for (const auto &[asid, region] : regions_)
+        out.push_back(asid);
+    return out;
+}
+
+void
+MolecularCache::setAuditHook(u64 everyAccesses, AuditHook hook)
+{
+    auditInterval_ = everyAccesses;
+    auditHook_ = std::move(hook);
 }
 
 double

@@ -26,12 +26,14 @@
 #ifndef MOLCACHE_CORE_MOLECULAR_CACHE_HPP
 #define MOLCACHE_CORE_MOLECULAR_CACHE_HPP
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "cache/cache_model.hpp"
 #include "core/coherence.hpp"
+#include "fault/fault_injector.hpp"
 #include "core/params.hpp"
 #include "core/placement.hpp"
 #include "core/region.hpp"
@@ -123,6 +125,49 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     /** Resize activity. */
     u64 resizeCycles() const { return resizeCycles_; }
 
+    // Fault injection & graceful degradation (docs/fault_model.md) -------
+    /** Install a deterministic fault schedule, driven off the access
+     * tick; replaces any previous schedule. */
+    void setFaultInjector(FaultInjector injector);
+
+    /**
+     * Permanently fence off @p id: resident lines are written back /
+     * invalidated (with coherence-directory eviction notices), the
+     * molecule leaves its region's replacement view and its tile's free
+     * pool, and it can never be allocated again — the figure-3 ASID
+     * comparator acts as the fence bit.  The owning region re-acquires
+     * replacement capacity on its next resize epoch.
+     * @return false if the molecule was already decommissioned.
+     */
+    bool decommissionMolecule(MoleculeId id);
+
+    /** One detected hard fault on @p id; decommissions the molecule once
+     * its failure counter reaches params().hardFaultThreshold. */
+    void injectHardFault(MoleculeId id);
+
+    /** Corrupt line @p line of @p id (modulo capacity); the parity check
+     * catches it on the next probe of the slot and reads it as a miss. */
+    void injectTransientFlip(MoleculeId id, u32 line);
+
+    /** Decommission every molecule of @p tile at once. */
+    void injectTileOutage(u32 tile);
+
+    const FaultStats &faultStats() const { return faultStats_; }
+
+    /** Molecules permanently out of service across the whole cache. */
+    u32 decommissionedMolecules() const;
+
+    /** All registered ASIDs, ascending (introspection / audits). */
+    std::vector<Asid> registeredAsids() const;
+
+    /**
+     * Debug audit hook, invoked every @p everyAccesses accesses with the
+     * cache in a quiescent state (e.g. InvariantChecker::attach installs
+     * a cross-layer consistency audit here).  0 disables.
+     */
+    using AuditHook = std::function<void(const MolecularCache &)>;
+    void setAuditHook(u64 everyAccesses, AuditHook hook);
+
   private:
     // MoleculeBroker -------------------------------------------------------
     u32 grant(Region &region, u32 count) override;
@@ -151,6 +196,9 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     /** Run resize scheduling after an access by @p region. */
     void maybeResize(Region &region);
     void runGlobalResizeCycle();
+
+    /** Apply every scheduled fault due at the current tick. */
+    void applyDueFaults();
 
     double tileAccessEnergyNj(u32 probes) const;
 
@@ -187,6 +235,12 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
 
     // Shared-bit molecules per tile (probed by every request).
     std::map<u32, std::vector<MoleculeId>> sharedByTile_;
+
+    // Fault injection & audit state.
+    FaultInjector injector_;
+    FaultStats faultStats_;
+    u64 auditInterval_ = 0;
+    AuditHook auditHook_;
 };
 
 } // namespace molcache

@@ -30,6 +30,7 @@ void
 Molecule::assignTo(Asid asid)
 {
     MOLCACHE_ASSERT(asid != kInvalidAsid, "assigning invalid ASID");
+    MOLCACHE_ASSERT(!decommissioned_, "assigning a decommissioned molecule");
     // Reconfiguration invalidates contents: region data must not leak
     // between applications.
     for (Line &l : lines_)
@@ -44,7 +45,8 @@ Molecule::release()
 {
     u32 dirty = 0;
     for (Line &l : lines_) {
-        if (l.valid && l.dirty)
+        // Poisoned lines are corrupt: dropped, never written back.
+        if (l.valid && l.dirty && !l.poisoned)
             ++dirty;
         l = Line{};
     }
@@ -78,20 +80,24 @@ Molecule::fill(Addr addr, bool dirty, u64 tick)
     std::optional<Eviction> evicted;
     if (l.valid) {
         if (l.tag == tagOf(addr)) {
-            // Refill of a resident line: just merge the dirty bit.
-            l.dirty = l.dirty || dirty;
+            // Refill of a resident line.  A poisoned copy is overwritten
+            // by the fresh fill, which also clears the corruption — but
+            // its dirty bit described lost data, so it must not merge.
+            l.dirty = l.poisoned ? dirty : (l.dirty || dirty);
+            l.poisoned = false;
             l.touched = tick;
             return std::nullopt;
         }
         // Reconstruct the displaced address from tag+index.
         const Addr old = (l.tag * numLines_ + indexOf(addr)) * lineSize_;
-        evicted = Eviction{old, l.dirty};
+        evicted = Eviction{old, l.dirty, l.poisoned};
     } else {
         ++valid_;
     }
     l.valid = true;
     l.tag = tagOf(addr);
     l.dirty = dirty;
+    l.poisoned = false;
     l.touched = tick;
     return evicted;
 }
@@ -132,10 +138,47 @@ Molecule::invalidate(Addr addr)
     Line &l = lines_[indexOf(addr)];
     if (!l.valid || l.tag != tagOf(addr))
         return false;
-    const bool was_dirty = l.dirty;
+    const bool was_dirty = l.dirty && !l.poisoned;
     l = Line{};
     --valid_;
     return was_dirty;
+}
+
+bool
+Molecule::poisonLine(u32 index)
+{
+    MOLCACHE_ASSERT(index < numLines_, "poisoned line index out of range");
+    Line &l = lines_[index];
+    if (!l.valid)
+        return false; // flip in an invalid slot: nothing to corrupt
+    l.poisoned = true;
+    return true;
+}
+
+std::optional<Eviction>
+Molecule::scrubIfPoisoned(Addr addr)
+{
+    Line &l = lines_[indexOf(addr)];
+    if (!l.valid || !l.poisoned)
+        return std::nullopt;
+    // Parity caught the corruption: drop the line whatever tag it holds
+    // (the probe reads the whole slot), and report its identity.
+    const Addr resident =
+        (l.tag * numLines_ + indexOf(addr)) * lineSize_;
+    const Eviction dropped{resident, l.dirty, true};
+    l = Line{};
+    --valid_;
+    return dropped;
+}
+
+u32
+Molecule::poisonedLines() const
+{
+    u32 n = 0;
+    for (const Line &l : lines_)
+        if (l.valid && l.poisoned)
+            ++n;
+    return n;
 }
 
 } // namespace molcache

@@ -28,6 +28,9 @@ struct Eviction
 {
     Addr addr = 0;
     bool dirty = false;
+    /** The displaced line was poisoned: its data is corrupt, so a dirty
+     * copy is dropped (data loss), never written back. */
+    bool poisoned = false;
 };
 
 class Molecule
@@ -92,8 +95,42 @@ class Molecule
      */
     std::optional<u64> slotTouchTick(Addr addr) const;
 
-    /** Drop the line holding @p addr if resident; true if it was dirty. */
+    /** Drop the line holding @p addr if resident; true if it was dirty.
+     * A poisoned line reports false: corrupt data is never written back. */
     bool invalidate(Addr addr);
+
+    /** @{ Fault model (docs/fault_model.md).
+     *
+     * A transient flip corrupts one stored line; the corruption is
+     * latent until the slot is next probed, when the parity/ECC check
+     * catches it (scrubIfPoisoned) and the access is treated as a miss.
+     * Hard faults trip a per-molecule failure counter; at the configured
+     * threshold the cache decommissions the molecule — its ASID gate is
+     * fenced to never match again (the paper's figure 3 comparator as
+     * the fence bit) and it becomes permanently unallocatable. */
+
+    /** Corrupt the line in slot @p index; true if a valid line was hit
+     * (flips landing in invalid slots are harmless). */
+    bool poisonLine(u32 index);
+
+    /**
+     * Parity check of the slot @p addr maps to.  If the resident line is
+     * poisoned it is dropped on the spot (detected corruption reads as a
+     * miss) and its identity is returned so the caller can update the
+     * coherence directory and account any data loss.
+     */
+    std::optional<Eviction> scrubIfPoisoned(Addr addr);
+
+    /** Currently-poisoned (corrupt but undetected) lines. */
+    u32 poisonedLines() const;
+
+    /** One hard-fault detection; @return the failure counter after it. */
+    u32 noteHardFault() { return ++hardFaults_; }
+    u32 hardFaults() const { return hardFaults_; }
+
+    /** Permanently out of service; set only via Tile::decommission(). */
+    bool decommissioned() const { return decommissioned_; }
+    /** @} */
 
     /** Replacement-miss counter (resize guidance, section 3.4). */
     u64 missCount() const { return missCount_; }
@@ -114,7 +151,11 @@ class Molecule
         u64 touched = 0;
         bool valid = false;
         bool dirty = false;
+        bool poisoned = false;
     };
+
+    friend class Tile; // sole caller of markDecommissioned()
+    void markDecommissioned() { decommissioned_ = true; }
 
     u32 indexOf(Addr addr) const;
     Addr tagOf(Addr addr) const;
@@ -128,6 +169,8 @@ class Molecule
     std::vector<Line> lines_;
     u64 missCount_ = 0;
     u32 valid_ = 0;
+    u32 hardFaults_ = 0;
+    bool decommissioned_ = false;
 };
 
 } // namespace molcache

@@ -84,6 +84,8 @@ MolecularCacheParams::validate() const
         fatal("resize period must be > 0");
     if (minResizePeriod == 0 || minResizePeriod > maxResizePeriod)
         fatal("bad resize period clamp");
+    if (hardFaultThreshold == 0)
+        fatal("hardFaultThreshold must be >= 1");
 }
 
 } // namespace molcache

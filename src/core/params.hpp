@@ -153,6 +153,14 @@ struct MolecularCacheParams
      * paper's Algorithm 1 grows only while improving; see DESIGN.md). */
     bool growWhenNotImproving = false;
 
+    /**
+     * Hard-fault detections a molecule's failure counter must reach
+     * before the molecule is decommissioned (fenced off permanently).
+     * 1 = decommission on first detection; higher values model ECC-style
+     * correct-then-count policies.  See docs/fault_model.md.
+     */
+    u32 hardFaultThreshold = 1;
+
     /** Technology node for energy accounting. */
     TechNode techNode = TechNode::Nm70;
     /** Account dynamic energy per access (small runtime cost). */

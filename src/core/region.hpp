@@ -134,6 +134,30 @@ class Region
     u32 thrashStreak = 0;      // consecutive intervals above the threshold
     /** @} */
 
+    /** @{ Fault-degradation state (docs/fault_model.md).  A molecule
+     * lost to decommissioning leaves a capacity hole; the resizer
+     * re-acquires replacements from the cluster pool ahead of the normal
+     * Algorithm-1 decision and tracks how many resize epochs the region
+     * needs to converge back under its miss-rate goal. */
+    u32 pendingReacquire = 0;   // replacements not yet re-granted
+    bool recovering = false;    // above-goal since a capacity loss
+    u32 recoveryEpochs = 0;     // epochs spent in the current recovery
+    u32 lastRecoveryEpochs = 0; // epochs the last completed recovery took
+    u64 moleculesLost = 0;      // lifetime molecules lost to faults
+
+    /** Record the fault-loss of one owned molecule (post-removal). */
+    void
+    noteMoleculeLost()
+    {
+        ++moleculesLost;
+        ++pendingReacquire;
+        if (!recovering) {
+            recovering = true;
+            recoveryEpochs = 0;
+        }
+    }
+    /** @} */
+
   private:
     Asid asid_;
     PlacementPolicy policy_;

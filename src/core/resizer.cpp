@@ -17,6 +17,23 @@ Resizer::resizeRegion(Region &region, double goal,
                       MoleculeBroker &broker) const
 {
     RegionResize out;
+
+    // Fault recovery runs ahead of the regular Algorithm-1 decision (and
+    // regardless of interval sample size): capacity lost to
+    // decommissioned molecules is re-acquired from the cluster pool so a
+    // faulted region converges back toward its goal instead of silently
+    // violating QoS.  Retried every cycle while the grant falls short;
+    // abandoned once the cluster has nothing left to give (graceful
+    // degradation — the region then competes through Algorithm 1 alone).
+    if (region.pendingReacquire > 0) {
+        const u32 got = broker.grant(region, region.pendingReacquire);
+        granted_ += got;
+        recoveryGrants_ += got;
+        out.delta += static_cast<i32>(got);
+        region.pendingReacquire = got == 0 ? 0
+                                           : region.pendingReacquire - got;
+    }
+
     if (region.intervalAccesses() == 0)
         return out; // idle partition: nothing to learn from
     if (region.intervalAccesses() < params_.minIntervalSample)
@@ -26,6 +43,16 @@ Resizer::resizeRegion(Region &region, double goal,
     out.evaluated = true;
     const double mr = region.intervalMissRate();
     out.missRate = mr;
+
+    // Re-convergence bookkeeping: a region recovering from a fault burst
+    // counts resize epochs until it is back within its miss-rate goal.
+    if (region.recovering) {
+        ++region.recoveryEpochs;
+        if (mr <= goal) {
+            region.recovering = false;
+            region.lastRecoveryEpochs = region.recoveryEpochs;
+        }
+    }
 
     if (region.maxAllocation == 0)
         region.maxAllocation = params_.maxAllocationChunk;
@@ -61,7 +88,7 @@ Resizer::resizeRegion(Region &region, double goal,
             const u32 got =
                 broker.withdraw(region, region.size() - region.maxAllocation);
             withdrawn_ += got;
-            out.delta = -static_cast<i32>(got);
+            out.delta -= static_cast<i32>(got);
         } else if (region.size() < region.maxAllocation &&
                    !region.lastGrantShort) {
             const u32 want = region.maxAllocation - region.size();
@@ -69,7 +96,7 @@ Resizer::resizeRegion(Region &region, double goal,
             region.lastGrant = got;
             region.lastGrantShort = got < want;
             granted_ += got;
-            out.delta = static_cast<i32>(got);
+            out.delta += static_cast<i32>(got);
         }
     } else if (mr < goal) {
         // Not thrashing: the allocation cap recovers so a partition that
@@ -87,7 +114,7 @@ Resizer::resizeRegion(Region &region, double goal,
             want = std::min(want, region.size() - 1); // keep >= 1 molecule
         const u32 got = broker.withdraw(region, want);
         withdrawn_ += got;
-        out.delta = -static_cast<i32>(got);
+        out.delta -= static_cast<i32>(got);
     } else if (mr < region.lastMissRate * (1.0 - params_.improvementEpsilon) ||
                params_.growWhenNotImproving) {
         region.maxAllocation = params_.maxAllocationChunk;
@@ -106,7 +133,7 @@ Resizer::resizeRegion(Region &region, double goal,
             region.lastGrantShort = got < want;
         }
         granted_ += got;
-        out.delta = static_cast<i32>(got);
+        out.delta += static_cast<i32>(got);
     }
     // else: above goal and not improving — growth is not paying off; hold.
 

@@ -91,6 +91,8 @@ class Resizer
     u64 runs() const { return runs_; }
     u64 granted() const { return granted_; }
     u64 withdrawn() const { return withdrawn_; }
+    /** Molecules re-granted to regions that lost capacity to faults. */
+    u64 recoveryGrants() const { return recoveryGrants_; }
     /** @} */
 
   private:
@@ -98,6 +100,7 @@ class Resizer
     mutable u64 runs_ = 0;
     mutable u64 granted_ = 0;
     mutable u64 withdrawn_ = 0;
+    mutable u64 recoveryGrants_ = 0;
 };
 
 } // namespace molcache

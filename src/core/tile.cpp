@@ -34,7 +34,9 @@ Tile::allocate(Asid asid)
     if (free_ == 0)
         return kInvalidMolecule;
     for (Molecule &m : molecules_) {
-        if (m.isFree()) {
+        // Decommissioned molecules read as free (no ASID) but are fenced
+        // out of the pool forever.
+        if (m.isFree() && !m.decommissioned()) {
             m.assignTo(asid);
             --free_;
             return m.id();
@@ -48,8 +50,27 @@ Tile::release(MoleculeId mol)
 {
     Molecule &m = molecule(mol);
     MOLCACHE_ASSERT(!m.isFree(), "releasing an already-free molecule");
+    MOLCACHE_ASSERT(!m.decommissioned(),
+                    "releasing a decommissioned molecule");
     const u32 dirty = m.release();
     ++free_;
+    return dirty;
+}
+
+u32
+Tile::decommission(MoleculeId mol)
+{
+    Molecule &m = molecule(mol);
+    MOLCACHE_ASSERT(!m.decommissioned(), "double decommission");
+    u32 dirty = 0;
+    if (m.isFree()) {
+        MOLCACHE_ASSERT(free_ > 0, "tile free count underflow");
+        --free_;
+    } else {
+        dirty = m.release();
+    }
+    m.markDecommissioned();
+    ++decommissioned_;
     return dirty;
 }
 

@@ -61,6 +61,25 @@ class Tile
     /** Return @p mol to the free pool; @return dirty lines dropped. */
     u32 release(MoleculeId mol);
 
+    /**
+     * Permanently fence @p mol out of service (hard fault): contents are
+     * invalidated, the ASID gate is cleared, and the molecule can never
+     * be allocated again.  A free molecule leaves the free pool; an
+     * assigned one must already have been removed from its region's
+     * replacement view by the caller.
+     * @return dirty lines dropped (writebacks owed by the caller).
+     */
+    u32 decommission(MoleculeId mol);
+
+    /** Molecules permanently out of service on this tile. */
+    u32 decommissionedCount() const { return decommissioned_; }
+
+    /** Molecules still in service (free or assigned). */
+    u32 usableMolecules() const
+    {
+        return numMolecules() - decommissioned_;
+    }
+
     /** Port-pressure accounting: one request entered this tile. */
     void notePortAccess() { ++portAccesses_; }
     u64 portAccesses() const { return portAccesses_; }
@@ -71,6 +90,7 @@ class Tile
     MoleculeId first_;
     std::vector<Molecule> molecules_;
     u32 free_;
+    u32 decommissioned_ = 0;
     u64 portAccesses_ = 0;
 };
 

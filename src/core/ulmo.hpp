@@ -43,12 +43,15 @@ class Ulmo
     void noteRemoteHit() { ++remoteHits_; }
     void noteDonation() { ++donations_; }
     void noteInvalidation() { ++invalidationsApplied_; }
+    /** A molecule of this cluster was permanently fenced off. */
+    void noteDecommission() { ++decommissions_; }
 
     u64 tileMisses() const { return tileMisses_; }
     u64 remoteProbes() const { return remoteProbes_; }
     u64 remoteHits() const { return remoteHits_; }
     u64 donations() const { return donations_; }
     u64 invalidationsApplied() const { return invalidationsApplied_; }
+    u64 decommissions() const { return decommissions_; }
     /** @} */
 
   private:
@@ -61,6 +64,7 @@ class Ulmo
     u64 remoteHits_ = 0;
     u64 donations_ = 0;
     u64 invalidationsApplied_ = 0;
+    u64 decommissions_ = 0;
 };
 
 } // namespace molcache

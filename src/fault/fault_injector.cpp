@@ -1,0 +1,138 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/config.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace molcache {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::TransientFlip:
+        return "transient-flip";
+      case FaultKind::HardFault:
+        return "hard-fault";
+      case FaultKind::TileOutage:
+        return "tile-outage";
+    }
+    panic("unknown FaultKind");
+}
+
+bool
+hasFaultKeys(const Config &cfg)
+{
+    for (const char *key :
+         {"fault.seed", "fault.hard_fraction", "fault.events_per_molecule",
+          "fault.transient_flips", "fault.tile_outages",
+          "fault.window_start", "fault.window_end"}) {
+        if (cfg.has(key))
+            return true;
+    }
+    return false;
+}
+
+FaultScheduleSpec
+faultSpecFromConfig(const Config &cfg, Tick defaultStart, Tick defaultEnd)
+{
+    FaultScheduleSpec spec;
+    spec.seed = static_cast<u64>(cfg.getInt("fault.seed", 1));
+    spec.hardFraction = cfg.getDouble("fault.hard_fraction", 0.0);
+    spec.eventsPerMolecule =
+        static_cast<u32>(cfg.getInt("fault.events_per_molecule", 1));
+    spec.transientFlips =
+        static_cast<u64>(cfg.getInt("fault.transient_flips", 0));
+    spec.tileOutages = static_cast<u32>(cfg.getInt("fault.tile_outages", 0));
+    spec.windowStart = static_cast<Tick>(
+        cfg.getInt("fault.window_start", static_cast<i64>(defaultStart)));
+    spec.windowEnd = static_cast<Tick>(
+        cfg.getInt("fault.window_end", static_cast<i64>(defaultEnd)));
+    if (spec.hardFraction < 0.0 || spec.hardFraction > 1.0)
+        fatal("fault.hard_fraction out of [0,1]");
+    if (spec.eventsPerMolecule == 0)
+        fatal("fault.events_per_molecule must be >= 1");
+    if (spec.windowEnd <= spec.windowStart)
+        fatal("fault window is empty (window_end <= window_start)");
+    return spec;
+}
+
+FaultInjector
+FaultInjector::fromSpec(const FaultScheduleSpec &spec, u32 totalMolecules,
+                        u32 moleculesPerTile, u32 linesPerMolecule)
+{
+    MOLCACHE_ASSERT(totalMolecules > 0 && moleculesPerTile > 0 &&
+                        linesPerMolecule > 0,
+                    "fault schedule over an empty geometry");
+    if (spec.hardFraction < 0.0 || spec.hardFraction > 1.0)
+        fatal("fault hard fraction out of [0,1]");
+    if (spec.windowEnd <= spec.windowStart)
+        fatal("fault window is empty");
+
+    FaultInjector inj;
+    Pcg32 rng(spec.seed);
+    const Tick span = spec.windowEnd - spec.windowStart;
+    auto tick_in_window = [&] {
+        return spec.windowStart + static_cast<Tick>(rng.next64() % span);
+    };
+
+    // Hard-fault victims: distinct molecules, sampled without replacement
+    // via a partial Fisher-Yates shuffle so the same seed always names
+    // the same victims.
+    const u32 victims = std::min(
+        totalMolecules,
+        static_cast<u32>(std::lround(spec.hardFraction *
+                                     static_cast<double>(totalMolecules))));
+    std::vector<u32> ids(totalMolecules);
+    for (u32 i = 0; i < totalMolecules; ++i)
+        ids[i] = i;
+    for (u32 i = 0; i < victims; ++i) {
+        const u32 j = i + rng.below(totalMolecules - i);
+        std::swap(ids[i], ids[j]);
+        for (u32 e = 0; e < spec.eventsPerMolecule; ++e)
+            inj.schedule({tick_in_window(), FaultKind::HardFault, ids[i], 0});
+    }
+
+    for (u64 f = 0; f < spec.transientFlips; ++f) {
+        inj.schedule({tick_in_window(), FaultKind::TransientFlip,
+                      rng.below(totalMolecules),
+                      rng.below(linesPerMolecule)});
+    }
+
+    const u32 tiles = std::max<u32>(1, totalMolecules / moleculesPerTile);
+    for (u32 t = 0; t < spec.tileOutages; ++t)
+        inj.schedule({tick_in_window(), FaultKind::TileOutage,
+                      rng.below(tiles), 0});
+
+    return inj;
+}
+
+void
+FaultInjector::schedule(const FaultEvent &event)
+{
+    MOLCACHE_ASSERT(cursor_ == 0 || events_.empty() ||
+                        event.tick >= events_[cursor_ - 1].tick,
+                    "scheduling a fault behind the drain cursor");
+    // Insert after all events with the same tick: stable, so the order
+    // of equal-tick events is the order they were scheduled in.
+    const auto at = std::upper_bound(
+        events_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+        events_.end(), event,
+        [](const FaultEvent &a, const FaultEvent &b) {
+            return a.tick < b.tick;
+        });
+    events_.insert(at, event);
+}
+
+const FaultEvent *
+FaultInjector::drainOne(Tick now)
+{
+    if (cursor_ >= events_.size() || events_[cursor_].tick > now)
+        return nullptr;
+    return &events_[cursor_++];
+}
+
+} // namespace molcache

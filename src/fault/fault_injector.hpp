@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Deterministic fault injection schedules.
+ *
+ * The paper's structural argument — a cache region is an aggregation of
+ * small, individually ASID-gated molecules (figure 3) — implies a yield
+ * and reliability story: a faulty molecule can be fenced off (its gate
+ * forced to never match) and the region resized around it, where a
+ * monolithic cache would lose a whole way.  This module provides the
+ * fault *source*: seeded, reproducible schedules of
+ *
+ *  - transient per-line bit flips (detected by parity on the next probe
+ *    of the slot and treated as a miss),
+ *  - hard molecule faults (each detection trips the molecule's failure
+ *    counter; at the configured threshold the molecule is
+ *    decommissioned), and
+ *  - whole-tile outages (every molecule of the tile decommissioned at
+ *    once — a failed port, power gate or wordline driver).
+ *
+ * Events trigger on the cache's access tick so runs reproduce
+ * bit-for-bit regardless of wall clock.  The *application* of events
+ * (decommissioning, scrubbing, graceful degradation) lives in
+ * MolecularCache; this module deliberately knows nothing about cache
+ * internals so schedules can be built, saved and unit-tested in
+ * isolation.
+ */
+
+#ifndef MOLCACHE_FAULT_FAULT_INJECTOR_HPP
+#define MOLCACHE_FAULT_FAULT_INJECTOR_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+class Config;
+
+/** Fault taxonomy (docs/fault_model.md). */
+enum class FaultKind : u8
+{
+    /** One line's stored bits corrupted; detected on the next probe. */
+    TransientFlip,
+    /** Permanent cell/comparator failure detected in one molecule. */
+    HardFault,
+    /** The whole tile drops out (port / power-gate / driver failure). */
+    TileOutage,
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    /** Access tick at (or after) which the event fires. */
+    Tick tick = 0;
+    FaultKind kind = FaultKind::TransientFlip;
+    /** Molecule id (TransientFlip / HardFault) or tile id (TileOutage). */
+    u32 target = 0;
+    /** Line index within the molecule (TransientFlip only). */
+    u32 line = 0;
+
+    bool operator==(const FaultEvent &other) const = default;
+};
+
+/** Lifetime fault/degradation counters kept by the cache. */
+struct FaultStats
+{
+    u64 transientFlipsInjected = 0;
+    /** Flips caught by the parity check on a later probe of the slot. */
+    u64 transientFlipsDetected = 0;
+    /** Corrupt dirty lines dropped without writeback (data loss). */
+    u64 dirtyLinesLost = 0;
+    u64 hardFaultEvents = 0;
+    u64 tileOutages = 0;
+    u64 moleculesDecommissioned = 0;
+
+    u64 eventsApplied() const
+    {
+        return transientFlipsInjected + hardFaultEvents + tileOutages;
+    }
+};
+
+/**
+ * Parameters of a randomly generated (but seed-deterministic) schedule.
+ * Config keys (all optional, prefix `fault.`):
+ *
+ *     fault.seed                = 1      # schedule RNG seed
+ *     fault.hard_fraction       = 0.25   # fraction of molecules hard-faulted
+ *     fault.events_per_molecule = 1      # hard-fault detections per victim
+ *     fault.transient_flips     = 100    # total bit flips over the window
+ *     fault.tile_outages        = 1      # whole-tile outages
+ *     fault.window_start        = 100000 # first eligible access tick
+ *     fault.window_end          = 500000 # one past the last eligible tick
+ */
+struct FaultScheduleSpec
+{
+    u64 seed = 1;
+    /** Fraction of all molecules that suffer hard faults, in [0,1]. */
+    double hardFraction = 0.0;
+    /** Hard-fault detections scheduled per victim molecule (>= 1); pair
+     * with MolecularCacheParams::hardFaultThreshold. */
+    u32 eventsPerMolecule = 1;
+    /** Transient per-line flips scheduled over the window. */
+    u64 transientFlips = 0;
+    /** Whole-tile outages scheduled over the window. */
+    u32 tileOutages = 0;
+    /** Event ticks are uniform in [windowStart, windowEnd). */
+    Tick windowStart = 0;
+    Tick windowEnd = 1;
+};
+
+/** True if @p cfg carries any `fault.*` schedule key. */
+bool hasFaultKeys(const Config &cfg);
+
+/** Read a FaultScheduleSpec from `fault.*` keys, defaulting the event
+ * window to [@p defaultStart, @p defaultEnd). */
+FaultScheduleSpec faultSpecFromConfig(const Config &cfg, Tick defaultStart,
+                                      Tick defaultEnd);
+
+class FaultInjector
+{
+  public:
+    /** An empty injector: never fires. */
+    FaultInjector() = default;
+
+    /**
+     * Build a seed-deterministic random schedule.  Hard-fault victims are
+     * distinct molecules sampled without replacement; the same spec and
+     * geometry always yield the identical event list.
+     *
+     * @param spec             what to inject, when, and how much
+     * @param totalMolecules   molecules in the cache (victim id space)
+     * @param moleculesPerTile tile geometry (tile id space for outages)
+     * @param linesPerMolecule line index space for transient flips
+     */
+    static FaultInjector fromSpec(const FaultScheduleSpec &spec,
+                                  u32 totalMolecules, u32 moleculesPerTile,
+                                  u32 linesPerMolecule);
+
+    /** Add one explicit event (kept sorted by tick, stable). */
+    void schedule(const FaultEvent &event);
+
+    /** All events, sorted by trigger tick. */
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /** Events scheduled in total / not yet drained. */
+    std::size_t scheduled() const { return events_.size(); }
+    std::size_t pending() const { return events_.size() - cursor_; }
+    bool empty() const { return events_.empty(); }
+
+    /**
+     * Next event due at or before @p now, or nullptr when none is due.
+     * Advances the drain cursor; call in a loop to apply bursts that
+     * share a tick.
+     */
+    const FaultEvent *drainOne(Tick now);
+
+  private:
+    std::vector<FaultEvent> events_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_FAULT_FAULT_INJECTOR_HPP

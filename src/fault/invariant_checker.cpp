@@ -1,0 +1,192 @@
+#include "fault/invariant_checker.hpp"
+
+#include <map>
+#include <string>
+
+#include "core/molecular_cache.hpp"
+#include "util/logging.hpp"
+
+namespace molcache {
+
+u64 InvariantChecker::auditsRun_ = 0;
+
+namespace {
+
+std::string
+molName(MoleculeId id)
+{
+    return "molecule " + std::to_string(id);
+}
+
+} // namespace
+
+InvariantChecker::Report
+InvariantChecker::check(const MolecularCache &cache)
+{
+    Report rep;
+    const MolecularCacheParams &p = cache.params();
+    const auto fail = [&rep](std::string msg) {
+        rep.violations.push_back(std::move(msg));
+    };
+
+    // Region side: build the ownership map and audit every replacement
+    // view on the way.
+    std::map<MoleculeId, Asid> owner;
+    for (const Asid asid : cache.registeredAsids()) {
+        const Region &region = cache.region(asid);
+        const std::string who = "region asid=" + std::to_string(asid);
+
+        u64 row_total = 0;
+        for (const auto &row : region.rows()) {
+            row_total += row.size();
+            for (const MoleculeId id : row) {
+                ++rep.checksRun;
+                const auto [it, fresh] = owner.emplace(id, asid);
+                if (!fresh)
+                    fail(molName(id) + " owned by both asid=" +
+                         std::to_string(it->second) + " and asid=" +
+                         std::to_string(asid));
+                ++rep.checksRun;
+                if (!region.contains(id))
+                    fail(who + " row holds " + molName(id) +
+                         " but contains() denies it");
+
+                const Molecule &m = cache.molecule(id);
+                ++rep.checksRun;
+                if (m.isFree())
+                    fail(who + " claims free " + molName(id));
+                else if (m.configuredAsid() != asid)
+                    fail(molName(id) + " gate asid=" +
+                         std::to_string(m.configuredAsid()) +
+                         " mismatches owning " + who);
+                ++rep.checksRun;
+                if (m.decommissioned())
+                    fail(who + " still holds decommissioned " + molName(id));
+            }
+        }
+        ++rep.checksRun;
+        if (row_total != region.size())
+            fail(who + " rows hold " + std::to_string(row_total) +
+                 " molecules but size()=" + std::to_string(region.size()));
+
+        u64 tile_total = 0;
+        for (const auto &[tile, mols] : region.byTile())
+            tile_total += mols.size();
+        ++rep.checksRun;
+        if (tile_total != region.size())
+            fail(who + " byTile holds " + std::to_string(tile_total) +
+                 " molecules but size()=" + std::to_string(region.size()));
+    }
+
+    // Tile/molecule side: gate state vs. free-pool counters, line
+    // bookkeeping, and the fence on decommissioned molecules.
+    u64 owned_total = 0;
+    u64 free_total = 0;
+    u64 dec_total = 0;
+    for (u32 t = 0; t < p.totalTiles(); ++t) {
+        const Tile &tile = cache.tile(t);
+        u32 free_here = 0;
+        u32 dec_here = 0;
+        const MoleculeId first = tile.firstMolecule();
+        for (MoleculeId id = first; id < first + tile.numMolecules(); ++id) {
+            const Molecule &m = cache.molecule(id);
+
+            ++rep.checksRun;
+            if (m.residentLines().size() != m.validLines())
+                fail(molName(id) + " validLines()=" +
+                     std::to_string(m.validLines()) + " but " +
+                     std::to_string(m.residentLines().size()) +
+                     " resident lines");
+
+            if (m.decommissioned()) {
+                ++dec_here;
+                ++rep.checksRun;
+                if (m.validLines() != 0)
+                    fail("decommissioned " + molName(id) +
+                         " still holds valid lines");
+                ++rep.checksRun;
+                if (!m.isFree() || m.sharedBit())
+                    fail("decommissioned " + molName(id) +
+                         " gate not fenced (asid or shared bit set)");
+                ++rep.checksRun;
+                if (owner.count(id))
+                    fail("decommissioned " + molName(id) +
+                         " still in a replacement view");
+                continue;
+            }
+
+            if (m.isFree()) {
+                ++free_here;
+                ++rep.checksRun;
+                if (owner.count(id))
+                    fail("free " + molName(id) +
+                         " appears in a replacement view");
+            } else {
+                ++owned_total;
+                ++rep.checksRun;
+                if (!owner.count(id))
+                    fail(molName(id) + " gated for asid=" +
+                         std::to_string(m.configuredAsid()) +
+                         " but owned by no region");
+            }
+        }
+        ++rep.checksRun;
+        if (free_here != tile.freeCount())
+            fail("tile " + std::to_string(t) + " freeCount()=" +
+                 std::to_string(tile.freeCount()) + " but " +
+                 std::to_string(free_here) + " molecules read free");
+        ++rep.checksRun;
+        if (dec_here != tile.decommissionedCount())
+            fail("tile " + std::to_string(t) + " decommissionedCount()=" +
+                 std::to_string(tile.decommissionedCount()) + " but " +
+                 std::to_string(dec_here) + " molecules read decommissioned");
+        free_total += free_here;
+        dec_total += dec_here;
+    }
+
+    // Conservation: every molecule is owned, free, or decommissioned.
+    ++rep.checksRun;
+    if (owned_total + free_total + dec_total != p.totalMolecules())
+        fail("conservation broken: owned=" + std::to_string(owned_total) +
+             " + free=" + std::to_string(free_total) + " + decommissioned=" +
+             std::to_string(dec_total) + " != total=" +
+             std::to_string(p.totalMolecules()));
+    ++rep.checksRun;
+    if (free_total != cache.freeMolecules())
+        fail("cache freeMolecules()=" + std::to_string(cache.freeMolecules()) +
+             " but tiles hold " + std::to_string(free_total));
+
+    // Decommission tallies must agree across every layer that tracks them.
+    u64 ulmo_dec = 0;
+    for (u32 c = 0; c < p.clusters; ++c)
+        ulmo_dec += cache.ulmo(c).decommissions();
+    ++rep.checksRun;
+    if (ulmo_dec != dec_total)
+        fail("ulmos record " + std::to_string(ulmo_dec) +
+             " decommissions but tiles hold " + std::to_string(dec_total));
+    ++rep.checksRun;
+    if (cache.faultStats().moleculesDecommissioned != dec_total)
+        fail("fault stats record " +
+             std::to_string(cache.faultStats().moleculesDecommissioned) +
+             " decommissions but tiles hold " + std::to_string(dec_total));
+
+    return rep;
+}
+
+void
+InvariantChecker::attach(MolecularCache &cache, u64 everyAccesses)
+{
+    cache.setAuditHook(everyAccesses, [](const MolecularCache &c) {
+        ++auditsRun_;
+        const Report rep = check(c);
+        if (rep.ok())
+            return;
+        std::string all;
+        for (const auto &v : rep.violations)
+            all += "\n  - " + v;
+        panic("invariant audit failed (", rep.violations.size(),
+              " violation(s)):", all);
+    });
+}
+
+} // namespace molcache

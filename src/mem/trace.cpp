@@ -90,8 +90,8 @@ TraceWriter::close()
     out_.close();
 }
 
-TraceReader::TraceReader(const std::string &path)
-    : in_(path, std::ios::binary), path_(path)
+TraceReader::TraceReader(const std::string &path, bool strict)
+    : in_(path, std::ios::binary), path_(path), strict_(strict)
 {
     if (!in_)
         fatal("cannot open trace file '", path, "'");
@@ -118,21 +118,43 @@ TraceReader::next()
     if (format_ == TraceFormat::Binary) {
         char rec[11];
         in_.read(rec, sizeof(rec));
-        if (in_.gcount() == 0)
+        if (in_.gcount() == 0) {
+            // Clean end of stream — but the header may promise more.
+            if (read_ < declared_ && !truncated_) {
+                truncated_ = true;
+                if (strict_)
+                    fatal("truncated binary trace '", path_, "': header "
+                          "declares ", declared_, " records but only ",
+                          read_, " present");
+                warn("truncated binary trace '", path_, "': header "
+                     "declares ", declared_, " records but only ", read_,
+                     " present; stopping early");
+            }
             return std::nullopt;
-        if (in_.gcount() != sizeof(rec))
-            fatal("truncated trace record in '", path_, "'");
+        }
+        if (in_.gcount() != sizeof(rec)) {
+            // A partial record: the trailing bytes are unusable.
+            truncated_ = true;
+            if (strict_)
+                fatal("truncated trace record #", read_, " in '", path_,
+                      "' (", in_.gcount(), " of ", sizeof(rec), " bytes)");
+            warn("truncated trace record #", read_, " in '", path_,
+                 "'; stopping early");
+            return std::nullopt;
+        }
         MemAccess a;
         a.addr = decodeU64(rec);
         a.asid = static_cast<Asid>(
             static_cast<unsigned char>(rec[8]) |
             (static_cast<unsigned char>(rec[9]) << 8));
         a.type = rec[10] ? AccessType::Write : AccessType::Read;
+        ++read_;
         return a;
     }
 
     std::string line;
     while (std::getline(in_, line)) {
+        ++line_;
         const std::string stripped = trim(line);
         if (stripped.empty() || stripped[0] == '#')
             continue;
@@ -147,6 +169,7 @@ TraceReader::next()
                 a.asid = static_cast<Asid>(asid);
                 a.type = (kind == 'W' || kind == 'w') ? AccessType::Write
                                                       : AccessType::Read;
+                ++read_;
                 return a;
             }
         }
@@ -161,9 +184,15 @@ TraceReader::next()
             a.addr = addr;
             a.asid = 0;
             a.type = label == 1 ? AccessType::Write : AccessType::Read;
+            ++read_;
             return a;
         }
-        fatal("malformed trace line '", stripped, "' in '", path_, "'");
+        if (strict_)
+            fatal("malformed trace line '", stripped, "' at ", path_, ":",
+                  line_);
+        ++skipped_;
+        warn("malformed trace line '", stripped, "' at ", path_, ":", line_,
+             "; skipped");
     }
     return std::nullopt;
 }

@@ -8,7 +8,11 @@
  *    traces;
  *  - text: "R|W <hex-addr> <asid>" per line — greppable, diff-friendly.
  *
- * Readers validate headers and call fatal() on corruption (user error).
+ * Readers validate headers and call fatal() on corruption (user error)
+ * with `path:line` / record-index context.  A reader opened with
+ * strict=false instead warn()s and skips malformed text lines (and
+ * stops cleanly at a binary truncation), so one bad record does not
+ * kill a multi-hour replay.
  */
 
 #ifndef MOLCACHE_MEM_TRACE_HPP
@@ -56,14 +60,30 @@ class TraceWriter
 class TraceReader
 {
   public:
-    /** Open @p path; auto-detects format from the magic; fatal() on error. */
-    explicit TraceReader(const std::string &path);
+    /**
+     * Open @p path; auto-detects format from the magic; fatal() on error.
+     * @param strict  true: malformed input is fatal();
+     *                false: malformed text lines are warn()ed and
+     *                skipped, binary truncation warn()s and ends the
+     *                trace early (recover what is recoverable).
+     */
+    explicit TraceReader(const std::string &path, bool strict = true);
 
     /** Next record, or nullopt at end of trace. */
     std::optional<MemAccess> next();
 
     /** Records the header claims (binary only; 0 for text). */
     u64 declaredRecords() const { return declared_; }
+
+    /** Records actually delivered by next() so far. */
+    u64 recordsRead() const { return read_; }
+
+    /** Malformed text lines skipped (non-strict mode only). */
+    u64 skippedLines() const { return skipped_; }
+
+    /** True once the trace ended short of the header's declared record
+     * count (truncated binary trace; checked at end of stream). */
+    bool truncated() const { return truncated_; }
 
     TraceFormat format() const { return format_; }
 
@@ -72,6 +92,11 @@ class TraceReader
     TraceFormat format_ = TraceFormat::Binary;
     u64 declared_ = 0;
     std::string path_;
+    bool strict_ = true;
+    u64 read_ = 0;
+    u64 line_ = 0;
+    u64 skipped_ = 0;
+    bool truncated_ = false;
 };
 
 /** Convenience: read a whole trace into memory. */

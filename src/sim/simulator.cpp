@@ -1,5 +1,8 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
+#include "core/molecular_cache.hpp"
 #include "stats/counter.hpp"
 
 namespace molcache {
@@ -43,6 +46,23 @@ Simulator::run(AccessSource &source, CacheModel &model, const GoalSet &goals,
                      : 0.0;
     out.localHits = local_hits;
     out.remoteHits = remote_hits;
+
+    if (const auto *mc = dynamic_cast<const MolecularCache *>(&model)) {
+        const FaultStats &fs = mc->faultStats();
+        out.faultEventsApplied = fs.eventsApplied();
+        out.transientFlipsDetected = fs.transientFlipsDetected;
+        out.dirtyLinesLost = fs.dirtyLinesLost;
+        out.moleculesDecommissioned = fs.moleculesDecommissioned;
+        out.tileOutages = fs.tileOutages;
+        out.recoveryGrants = mc->resizer().recoveryGrants();
+        for (const Asid asid : mc->registeredAsids()) {
+            const Region &region = mc->region(asid);
+            out.maxReconvergenceEpochs = std::max(
+                out.maxReconvergenceEpochs, region.lastRecoveryEpochs);
+            if (region.recovering)
+                ++out.regionsStillRecovering;
+        }
+    }
     return out;
 }
 

@@ -30,6 +30,21 @@ struct SimResult
     /** Hits broken down by lookup level (0 local, 1 remote tile). */
     u64 localHits = 0;
     u64 remoteHits = 0;
+
+    /** @{ Fault/degradation counters; populated only when the model is a
+     * MolecularCache (zero otherwise).  See docs/fault_model.md. */
+    u64 faultEventsApplied = 0;
+    u64 transientFlipsDetected = 0;
+    u64 dirtyLinesLost = 0;
+    u64 moleculesDecommissioned = 0;
+    u64 tileOutages = 0;
+    /** Molecules re-granted by the resizer to faulted regions. */
+    u64 recoveryGrants = 0;
+    /** Longest completed fault re-convergence, in resize epochs. */
+    u32 maxReconvergenceEpochs = 0;
+    /** Regions still above their miss-rate goal after a fault. */
+    u32 regionsStillRecovering = 0;
+    /** @} */
 };
 
 class Simulator

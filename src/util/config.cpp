@@ -11,18 +11,19 @@ namespace molcache {
 namespace {
 
 void
-parseLineInto(Config &cfg, const std::string &line, const char *where)
+parseLineInto(Config &cfg, const std::string &line, const std::string &where)
 {
     const std::string stripped = trim(line.substr(0, line.find('#')));
     if (stripped.empty())
         return;
     const auto eq = stripped.find('=');
     if (eq == std::string::npos)
-        fatal("malformed config entry '", stripped, "' in ", where);
+        fatal("malformed config entry '", stripped, "' at ", where,
+              " (expected 'key = value')");
     const std::string key = trim(stripped.substr(0, eq));
     const std::string value = trim(stripped.substr(eq + 1));
     if (key.empty())
-        fatal("empty config key in ", where);
+        fatal("empty config key at ", where);
     cfg.set(key, value);
 }
 
@@ -36,8 +37,11 @@ Config::fromFile(const std::string &path)
         fatal("cannot open config file '", path, "'");
     Config cfg;
     std::string line;
-    while (std::getline(in, line))
-        parseLineInto(cfg, line, path.c_str());
+    u64 lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        parseLineInto(cfg, line, path + ":" + std::to_string(lineno));
+    }
     return cfg;
 }
 
@@ -153,6 +157,29 @@ u64
 Config::getSize(const std::string &key, u64 fallback) const
 {
     return has(key) ? getSize(key) : fallback;
+}
+
+u32
+Config::warnUnknownKeys(const std::vector<std::string> &knownKeys) const
+{
+    u32 unknown = 0;
+    for (const auto &[key, value] : values_) {
+        bool known = false;
+        for (const auto &k : knownKeys) {
+            if (k == key ||
+                (!k.empty() && k.back() == '.' &&
+                 key.compare(0, k.size(), k) == 0)) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            ++unknown;
+            warn("unknown config key '", key, "' (value '", value,
+                 "') — ignored; check for a typo");
+        }
+    }
+    return unknown;
 }
 
 std::vector<std::string>

@@ -5,7 +5,10 @@
  * Experiments and example binaries accept overrides either from a file
  * (one `key = value` per line, '#' comments) or from CLI tokens of the
  * form `key=value`.  Typed getters convert on access and fatal() on
- * malformed values so misconfiguration fails loudly.
+ * malformed values so misconfiguration fails loudly.  File parse errors
+ * carry `path:line` context, and binaries can call warnUnknownKeys()
+ * after consuming their keys so a typo ("fault.sed = 7") is reported
+ * instead of silently ignored.
  */
 
 #ifndef MOLCACHE_UTIL_CONFIG_HPP
@@ -59,6 +62,14 @@ class Config
 
     /** All keys in sorted order (for dumping). */
     std::vector<std::string> keys() const;
+
+    /**
+     * warn() about every key not covered by @p knownKeys and return how
+     * many there were.  An entry ending in '.' is a prefix wildcard:
+     * "fault." covers every `fault.*` key.  Call after a binary has read
+     * its keys so misspellings surface instead of silently defaulting.
+     */
+    u32 warnUnknownKeys(const std::vector<std::string> &knownKeys) const;
 
   private:
     std::optional<std::string> lookup(const std::string &key) const;

@@ -11,6 +11,7 @@
 #include <set>
 
 #include "core/molecular_cache.hpp"
+#include "fault/invariant_checker.hpp"
 #include "util/units.hpp"
 
 namespace molcache {
@@ -69,11 +70,16 @@ checkInvariants(const MolecularCache &cache,
             ASSERT_EQ(tile / params.tilesPerCluster, r.homeCluster());
         }
     }
-    ASSERT_EQ(held + cache.freeMolecules(), params.totalMolecules());
+    ASSERT_EQ(held + cache.freeMolecules() + cache.decommissionedMolecules(),
+              params.totalMolecules());
 
     // 4. Stats sanity.
     const auto &g = cache.stats().global();
     ASSERT_EQ(g.hits + g.misses, g.accesses);
+
+    // 5. The full cross-layer audit agrees.
+    const auto rep = InvariantChecker::check(cache);
+    ASSERT_TRUE(rep.ok()) << rep.violations.front();
 }
 
 class MolecularFuzz : public ::testing::TestWithParam<u64>
@@ -108,14 +114,14 @@ TEST_P(MolecularFuzz, RandomOperationSequence)
             cache.access({addr, asid,
                           write ? AccessType::Write : AccessType::Read});
             registered.insert(asid); // auto-registration side effect
-        } else if (op < 88) {
+        } else if (op < 85) {
             // Register a new app if room.
             const Asid asid = static_cast<Asid>(rng.below(6));
             if (!registered.count(asid)) {
                 cache.registerApplication(asid, 0.05 + 0.1 * rng.unitReal());
                 registered.insert(asid);
             }
-        } else if (op < 94) {
+        } else if (op < 89) {
             // Unregister a random app.
             if (!registered.empty()) {
                 auto it = registered.begin();
@@ -124,7 +130,7 @@ TEST_P(MolecularFuzz, RandomOperationSequence)
                 cache.unregisterApplication(*it);
                 registered.erase(it);
             }
-        } else {
+        } else if (op < 92) {
             // Migrate a random app.
             if (!registered.empty()) {
                 auto it = registered.begin();
@@ -133,6 +139,19 @@ TEST_P(MolecularFuzz, RandomOperationSequence)
                 cache.migrateApplication(
                     *it, rng.below(cache.params().clusters),
                     rng.below(cache.params().tilesPerCluster));
+            }
+        } else if (op < 96) {
+            // Corrupt a random line (latent until the slot is probed).
+            cache.injectTransientFlip(
+                rng.below(cache.params().totalMolecules()),
+                rng.below(cache.params().linesPerMolecule()));
+        } else {
+            // Decommission a random molecule mid-run; cap the damage at a
+            // quarter of the cache so regions always have room to recover.
+            if (cache.decommissionedMolecules() <
+                cache.params().totalMolecules() / 4) {
+                cache.decommissionMolecule(
+                    rng.below(cache.params().totalMolecules()));
             }
         }
 
@@ -155,6 +174,8 @@ TEST_P(PlacementFuzz, AccessStormKeepsInvariants)
     MolecularCacheParams p = fuzzParams(9);
     p.placement = GetParam();
     MolecularCache cache(p);
+    // The audit hook panic()s the storm on the first inconsistency.
+    InvariantChecker::attach(cache, 2500);
     Pcg32 rng(42);
     std::set<Asid> registered;
     for (Asid a = 0; a < 4; ++a) {
@@ -168,6 +189,10 @@ TEST_P(PlacementFuzz, AccessStormKeepsInvariants)
         cache.access({addr, asid,
                       rng.chance(0.25) ? AccessType::Write
                                        : AccessType::Read});
+        if (i == 10000 || i == 20000) {
+            // Mid-storm molecule losses; the audit keeps watching.
+            cache.decommissionMolecule(rng.below(p.totalMolecules()));
+        }
     }
     checkInvariants(cache, registered);
     EXPECT_GT(cache.resizeCycles(), 0u);

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests of the fault scheduler: seed determinism, event ordering,
+ * spec parsing and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/fault_injector.hpp"
+#include "util/config.hpp"
+
+namespace molcache {
+namespace {
+
+FaultScheduleSpec
+richSpec(u64 seed)
+{
+    FaultScheduleSpec spec;
+    spec.seed = seed;
+    spec.hardFraction = 0.25;
+    spec.eventsPerMolecule = 2;
+    spec.transientFlips = 40;
+    spec.tileOutages = 2;
+    spec.windowStart = 1000;
+    spec.windowEnd = 9000;
+    return spec;
+}
+
+TEST(FaultInjector, SameSeedSameSchedule)
+{
+    const auto a = FaultInjector::fromSpec(richSpec(7), 64, 16, 128);
+    const auto b = FaultInjector::fromSpec(richSpec(7), 64, 16, 128);
+    ASSERT_EQ(a.events().size(), b.events().size());
+    EXPECT_EQ(a.events(), b.events());
+}
+
+TEST(FaultInjector, DifferentSeedDifferentSchedule)
+{
+    const auto a = FaultInjector::fromSpec(richSpec(7), 64, 16, 128);
+    const auto b = FaultInjector::fromSpec(richSpec(8), 64, 16, 128);
+    EXPECT_NE(a.events(), b.events());
+}
+
+TEST(FaultInjector, EventsSortedAndInsideWindow)
+{
+    const FaultScheduleSpec spec = richSpec(3);
+    const auto inj = FaultInjector::fromSpec(spec, 64, 16, 128);
+    ASSERT_FALSE(inj.empty());
+    Tick last = 0;
+    for (const FaultEvent &ev : inj.events()) {
+        EXPECT_GE(ev.tick, spec.windowStart);
+        EXPECT_LT(ev.tick, spec.windowEnd);
+        EXPECT_GE(ev.tick, last);
+        last = ev.tick;
+    }
+}
+
+TEST(FaultInjector, HardVictimsDistinctAndCounted)
+{
+    FaultScheduleSpec spec;
+    spec.hardFraction = 0.5;
+    spec.eventsPerMolecule = 1;
+    spec.windowEnd = 100;
+    const auto inj = FaultInjector::fromSpec(spec, 64, 16, 128);
+    std::set<u32> victims;
+    for (const FaultEvent &ev : inj.events()) {
+        ASSERT_EQ(ev.kind, FaultKind::HardFault);
+        EXPECT_LT(ev.target, 64u);
+        victims.insert(ev.target);
+    }
+    // 50% of 64 molecules, each hit exactly once.
+    EXPECT_EQ(victims.size(), 32u);
+    EXPECT_EQ(inj.events().size(), 32u);
+}
+
+TEST(FaultInjector, ScheduleKeepsEqualTicksStable)
+{
+    FaultInjector inj;
+    inj.schedule({5, FaultKind::HardFault, 1, 0});
+    inj.schedule({5, FaultKind::HardFault, 2, 0});
+    inj.schedule({3, FaultKind::TransientFlip, 9, 4});
+    ASSERT_EQ(inj.scheduled(), 3u);
+    EXPECT_EQ(inj.events()[0].target, 9u);
+    EXPECT_EQ(inj.events()[1].target, 1u);
+    EXPECT_EQ(inj.events()[2].target, 2u);
+}
+
+TEST(FaultInjector, DrainOnlyReleasesDueEvents)
+{
+    FaultInjector inj;
+    inj.schedule({3, FaultKind::TransientFlip, 0, 0});
+    inj.schedule({5, FaultKind::HardFault, 1, 0});
+    inj.schedule({5, FaultKind::HardFault, 2, 0});
+
+    EXPECT_EQ(inj.drainOne(2), nullptr);
+    EXPECT_EQ(inj.pending(), 3u);
+
+    const FaultEvent *first = inj.drainOne(3);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->kind, FaultKind::TransientFlip);
+    EXPECT_EQ(inj.drainOne(3), nullptr);
+
+    // Both tick-5 events drain in scheduling order at (or past) tick 5.
+    const FaultEvent *a = inj.drainOne(6);
+    const FaultEvent *b = inj.drainOne(6);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->target, 1u);
+    EXPECT_EQ(b->target, 2u);
+    EXPECT_EQ(inj.drainOne(1000), nullptr);
+    EXPECT_EQ(inj.pending(), 0u);
+}
+
+TEST(FaultInjector, EmptyInjectorNeverFires)
+{
+    FaultInjector inj;
+    EXPECT_TRUE(inj.empty());
+    EXPECT_EQ(inj.drainOne(0), nullptr);
+    EXPECT_EQ(inj.drainOne(~0ull), nullptr);
+}
+
+TEST(FaultConfig, HasFaultKeysDetectsSchedule)
+{
+    Config cfg;
+    EXPECT_FALSE(hasFaultKeys(cfg));
+    cfg.set("fault.transient_flips", "10");
+    EXPECT_TRUE(hasFaultKeys(cfg));
+}
+
+TEST(FaultConfig, SpecFromConfigReadsKeysAndDefaults)
+{
+    Config cfg;
+    cfg.set("fault.seed", "9");
+    cfg.set("fault.hard_fraction", "0.125");
+    cfg.set("fault.tile_outages", "1");
+    const FaultScheduleSpec spec = faultSpecFromConfig(cfg, 500, 1500);
+    EXPECT_EQ(spec.seed, 9u);
+    EXPECT_DOUBLE_EQ(spec.hardFraction, 0.125);
+    EXPECT_EQ(spec.eventsPerMolecule, 1u);
+    EXPECT_EQ(spec.tileOutages, 1u);
+    EXPECT_EQ(spec.windowStart, 500u);
+    EXPECT_EQ(spec.windowEnd, 1500u);
+}
+
+TEST(FaultConfigDeathTest, RejectsBadFraction)
+{
+    Config cfg;
+    cfg.set("fault.hard_fraction", "1.5");
+    EXPECT_EXIT(faultSpecFromConfig(cfg, 0, 10),
+                ::testing::ExitedWithCode(1), "hard_fraction");
+}
+
+TEST(FaultConfigDeathTest, RejectsEmptyWindow)
+{
+    Config cfg;
+    cfg.set("fault.window_start", "10");
+    cfg.set("fault.window_end", "10");
+    EXPECT_EXIT(faultSpecFromConfig(cfg, 0, 10),
+                ::testing::ExitedWithCode(1), "window");
+}
+
+TEST(FaultKindNames, AllNamed)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::TransientFlip), "transient-flip");
+    EXPECT_STREQ(faultKindName(FaultKind::HardFault), "hard-fault");
+    EXPECT_STREQ(faultKindName(FaultKind::TileOutage), "tile-outage");
+}
+
+} // namespace
+} // namespace molcache

@@ -155,6 +155,107 @@ TEST(TraceDeath, MalformedTextIsFatal)
     std::remove(path.c_str());
 }
 
+TEST(TraceDeath, MalformedTextCarriesLineNumber)
+{
+    const std::string path = ::testing::TempDir() + "/molcache_line.trc";
+    {
+        std::ofstream out(path);
+        out << "R 1000 0\n"
+            << "# comment\n"
+            << "not a record\n";
+    }
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.next());
+    EXPECT_EXIT(reader.next(), ::testing::ExitedWithCode(1), ":3");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, NonStrictSkipsMalformedLines)
+{
+    const std::string path = ::testing::TempDir() + "/molcache_skip.trc";
+    {
+        std::ofstream out(path);
+        out << "R 1000 1\n"
+            << "not a record\n"
+            << "W 2000 2\n";
+    }
+    TraceReader reader(path, /*strict=*/false);
+    const auto a = reader.next();
+    const auto b = reader.next();
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->addr, 0x1000u);
+    EXPECT_EQ(b->addr, 0x2000u);
+    EXPECT_FALSE(reader.next());
+    EXPECT_EQ(reader.recordsRead(), 2u);
+    EXPECT_EQ(reader.skippedLines(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeath, TruncatedBinaryBodyIsFatalWhenStrict)
+{
+    const std::string path = ::testing::TempDir() + "/molcache_tb.trc";
+    writeTrace(path, sample(), TraceFormat::Binary);
+    // Chop off the last record plus a few bytes: a partial record remains.
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        const auto size = static_cast<long>(in.tellg());
+        std::vector<char> bytes(static_cast<size_t>(size) - 15);
+        in.seekg(0);
+        in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    TraceReader strict(path);
+    EXPECT_EXIT(
+        [&] {
+            while (strict.next()) {
+            }
+        }(),
+        ::testing::ExitedWithCode(1), "truncated");
+
+    // Non-strict: recover the intact prefix and flag the truncation.
+    TraceReader lax(path, /*strict=*/false);
+    u64 n = 0;
+    while (lax.next())
+        ++n;
+    EXPECT_EQ(n, sample().size() - 2);
+    EXPECT_TRUE(lax.truncated());
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeath, DeclaredCountShortfallIsDetected)
+{
+    const std::string path = ::testing::TempDir() + "/molcache_short.trc";
+    writeTrace(path, sample(), TraceFormat::Binary);
+    // Remove exactly one whole record: every remaining record is intact,
+    // so only the header count can reveal the loss.
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        const auto size = static_cast<long>(in.tellg());
+        std::vector<char> bytes(static_cast<size_t>(size) - 11);
+        in.seekg(0);
+        in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    TraceReader strict(path);
+    EXPECT_EQ(strict.declaredRecords(), sample().size());
+    EXPECT_EXIT(
+        [&] {
+            while (strict.next()) {
+            }
+        }(),
+        ::testing::ExitedWithCode(1), "declares");
+
+    TraceReader lax(path, /*strict=*/false);
+    u64 n = 0;
+    while (lax.next())
+        ++n;
+    EXPECT_EQ(n, sample().size() - 1);
+    EXPECT_TRUE(lax.truncated());
+    std::remove(path.c_str());
+}
+
 TEST(Trace, WriterCountsRecords)
 {
     const std::string path = ::testing::TempDir() + "/molcache_cnt.trc";

@@ -100,5 +100,30 @@ TEST(ConfigDeath, MalformedIntIsFatal)
                 "non-integer");
 }
 
+TEST(ConfigDeath, FileParseErrorCarriesLineNumber)
+{
+    const std::string path = ::testing::TempDir() + "/molcache_cfg_bad.cfg";
+    {
+        std::ofstream out(path);
+        out << "alpha = 1\n"
+            << "\n"
+            << "this line has no equals sign\n";
+    }
+    EXPECT_EXIT(Config::fromFile(path), ::testing::ExitedWithCode(1), ":3");
+    std::remove(path.c_str());
+}
+
+TEST(Config, WarnUnknownKeysCountsAndHonoursPrefixes)
+{
+    const Config cfg = Config::fromTokens(
+        {"model=molecular", "fault.seed=3", "fault.tile_outages=1",
+         "goal.2=0.05", "tpyo=1"});
+    EXPECT_EQ(cfg.warnUnknownKeys({"model", "goal.", "fault."}), 1u);
+    EXPECT_EQ(cfg.warnUnknownKeys({"model", "goal.", "fault.", "tpyo"}), 0u);
+    // Exact entries do not act as prefixes: fault.tile_outages and tpyo
+    // stay unknown when only fault.seed is listed.
+    EXPECT_EQ(cfg.warnUnknownKeys({"model", "goal.", "fault.seed"}), 2u);
+}
+
 } // namespace
 } // namespace molcache

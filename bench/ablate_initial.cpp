@@ -30,14 +30,14 @@ struct Outcome
 };
 
 Outcome
-runInitial(u64 size, InitialAllocation initial, u64 refs, u64 seed)
+runInitial(Bytes size, InitialAllocation initial, u64 refs, u64 seed)
 {
     MolecularCacheParams p =
         fig5MolecularParams(size, PlacementPolicy::Randy, seed);
     p.initialAllocation = initial;
     MolecularCache cache(p);
     for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1, ClusterId{0}, i, 1);
     const GoalSet goals = GoalSet::uniform(0.1, 4);
     const double dev = runWorkload(spec4Names(), cache, goals, refs, seed)
                            .qos.averageDeviation;
@@ -56,7 +56,7 @@ main(int argc, char **argv)
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
-    const u64 size = cli.size("size");
+    const Bytes size{cli.size("size")};
 
     bench::banner("Initial-allocation ablation (" + formatSize(size) +
                   " molecular cache, SPEC 4-app workload, goal 10%)");

@@ -30,10 +30,10 @@ runSolo(const std::string &app, u32 lineMultiple, u64 refs, u64 seed)
     MolecularCacheParams p =
         fig5MolecularParams(2_MiB, PlacementPolicy::Randy, seed);
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.1, 0, 0, lineMultiple);
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, lineMultiple);
     const GoalSet goals = GoalSet::uniform(0.1, 1);
     return runWorkload({app}, cache, goals, refs, seed)
-        .qos.byAsid(0)
+        .qos.byAsid(Asid{0})
         .missRate;
 }
 

@@ -34,7 +34,7 @@ main(int argc, char **argv)
 
     TablePrinter table({"molecule", "mols/tile", "avg deviation",
                         "avg energy/access (nJ)", "worst case (nJ)"});
-    for (const u64 mol_size : {8_KiB, 16_KiB, 32_KiB}) {
+    for (const Bytes mol_size : {8_KiB, 16_KiB, 32_KiB}) {
         MolecularCacheParams p;
         p.moleculeSize = mol_size;
         p.tilesPerCluster = 4;
@@ -44,7 +44,7 @@ main(int argc, char **argv)
         p.seed = seed;
         MolecularCache cache(p);
         for (u32 i = 0; i < 4; ++i)
-            cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+            cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1, ClusterId{0}, i, 1);
         const GoalSet goals = GoalSet::uniform(0.1, 4);
         const double dev = runWorkload(spec4Names(), cache, goals, refs,
                                        seed)

@@ -45,9 +45,9 @@ class PhasedApp final : public AccessSource
         std::vector<std::unique_ptr<AddressStream>> phases;
         const Addr base = applicationBase(asid);
         phases.push_back(
-            std::make_unique<WorkingSetStream>(base, 32_KiB, 0.9));
+            std::make_unique<WorkingSetStream>(base, (32_KiB).value(), 0.9));
         phases.push_back(std::make_unique<WorkingSetStream>(
-            base + 16_MiB, 512_KiB, 0.6));
+            base + (16_MiB).value(), (512_KiB).value(), 0.6));
         stream_ = std::make_unique<PhaseStream>(std::move(phases),
                                                 phaseLength);
     }
@@ -91,14 +91,14 @@ run(u64 refs, u64 phaseLength, u64 resizePeriod, bool staticHalf, u64 seed)
         p.maxResizePeriod = resizePeriod * 8;
     }
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.10, 0, 0, 1); // the phased app
-    cache.registerApplication(1, 0.10, 0, 1, 1); // steady co-runner
+    cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, 0, 1); // the phased app
+    cache.registerApplication(Asid{1}, 0.10, ClusterId{0}, 1, 1); // steady co-runner
 
     std::vector<std::unique_ptr<AccessSource>> sources;
     sources.push_back(
-        std::make_unique<PhasedApp>(0, phaseLength, 0, seed));
+        std::make_unique<PhasedApp>(Asid{0}, phaseLength, 0, seed));
     sources.push_back(std::make_unique<TraceGenerator>(
-        profileByName("gcc"), 1, 0, seed));
+        profileByName("gcc"), Asid{1}, 0, seed));
     Interleaver mix(std::move(sources), MixPolicy::RoundRobin, {}, seed,
                     refs);
 
@@ -108,7 +108,7 @@ run(u64 refs, u64 phaseLength, u64 resizePeriod, bool staticHalf, u64 seed)
     while (auto a = mix.next()) {
         cache.access(*a);
         if (++n % 10000 == 0) {
-            const u32 size = cache.region(0).size();
+            const u32 size = cache.region(Asid{0}).size();
             out.minRegion = std::min(out.minRegion, size);
             out.maxRegion = std::max(out.maxRegion, size);
         }

@@ -36,13 +36,13 @@ runSpec4(PlacementPolicy placement, u64 refs, u64 seed)
 {
     MolecularCache cache(fig5MolecularParams(4_MiB, placement, seed));
     for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1, ClusterId{0}, i, 1);
     const GoalSet goals = GoalSet::uniform(0.1, 4);
     const double dev = runWorkload(spec4Names(), cache, goals, refs, seed)
                            .qos.averageDeviation;
     u32 mols = 0;
     for (u32 i = 0; i < 4; ++i)
-        mols += cache.region(static_cast<Asid>(i)).size();
+        mols += cache.region(Asid{static_cast<u16>(i)}).size();
     return {dev, cache.stats().global().missRate(), mols};
 }
 
@@ -56,7 +56,7 @@ runMixed(PlacementPolicy placement, u64 refs, u64 seed)
                            .qos.averageDeviation;
     u32 mols = 0;
     for (u32 i = 0; i < 12; ++i)
-        mols += cache.region(static_cast<Asid>(i)).size();
+        mols += cache.region(Asid{static_cast<u16>(i)}).size();
     return {dev, cache.stats().global().missRate(), mols};
 }
 

@@ -23,14 +23,14 @@ using namespace molcache;
 namespace {
 
 double
-runScheme(u64 size, ResizeScheme scheme, u64 refs, u64 seed)
+runScheme(Bytes size, ResizeScheme scheme, u64 refs, u64 seed)
 {
     MolecularCacheParams p =
         fig5MolecularParams(size, PlacementPolicy::Randy, seed);
     p.resizeScheme = scheme;
     MolecularCache cache(p);
     for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1, ClusterId{0}, i, 1);
     const GoalSet goals = GoalSet::uniform(0.1, 4);
     return runWorkload(spec4Names(), cache, goals, refs, seed)
         .qos.averageDeviation;
@@ -54,7 +54,7 @@ main(int argc, char **argv)
 
     TablePrinter table(
         {"cache size", "tile size", "constant", "global", "perapp"});
-    for (const u64 size : {1_MiB, 2_MiB, 4_MiB, 8_MiB}) {
+    for (const Bytes size : {1_MiB, 2_MiB, 4_MiB, 8_MiB}) {
         const size_t row = table.addRow();
         table.cell(row, 0, formatSize(size));
         table.cell(row, 1, formatSize(size / 4));

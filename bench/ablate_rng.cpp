@@ -30,7 +30,7 @@ runRng(PlacementPolicy placement, RngKind rng, u64 refs, u64 seed)
     p.rngKind = rng;
     MolecularCache cache(p);
     for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1, ClusterId{0}, i, 1);
     const GoalSet goals = GoalSet::uniform(0.1, 4);
     return runWorkload(spec4Names(), cache, goals, refs, seed)
         .qos.averageDeviation;

@@ -61,8 +61,8 @@ main(int argc, char **argv)
         MolecularCache cache(p);
         const u32 per_cluster = (4 + s.clusters - 1) / s.clusters;
         for (u32 i = 0; i < 4; ++i)
-            cache.registerApplication(static_cast<Asid>(i),
-                                      0.1, i / per_cluster,
+            cache.registerApplication(Asid{static_cast<u16>(i)},
+                                      0.1, ClusterId{i / per_cluster},
                                       (i % per_cluster) % s.tiles, 1);
         const GoalSet goals = GoalSet::uniform(0.1, 4);
         const SimResult r =

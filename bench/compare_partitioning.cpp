@@ -41,7 +41,7 @@ struct Row
 
 Row
 runShared(const std::vector<std::string> &apps, const GoalSet &goals,
-          u64 size, u32 assoc, u64 refs, u64 seed)
+          Bytes size, u32 assoc, u64 refs, u64 seed)
 {
     SetAssocCache cache(traditionalParams(size, assoc, seed));
     const SimResult r = runWorkload(apps, cache, goals, refs, seed);
@@ -59,7 +59,7 @@ runShared(const std::vector<std::string> &apps, const GoalSet &goals,
 
 Row
 runWayPartitioned(const std::vector<std::string> &apps,
-                  const GoalSet &goals, u64 size, u32 assoc, u64 refs,
+                  const GoalSet &goals, Bytes size, u32 assoc, u64 refs,
                   u64 seed)
 {
     WayPartitionedParams p;
@@ -67,8 +67,8 @@ runWayPartitioned(const std::vector<std::string> &apps,
     p.associativity = assoc;
     WayPartitionedCache cache(p);
     for (u32 i = 0; i < apps.size(); ++i)
-        cache.registerApplication(static_cast<Asid>(i),
-                                  *goals.goal(static_cast<Asid>(i)));
+        cache.registerApplication(Asid{static_cast<u16>(i)},
+                                  *goals.goal(Asid{static_cast<u16>(i)}));
     const SimResult r = runWorkload(apps, cache, goals, refs, seed);
 
     const CactiModel model(TechNode::Nm70);
@@ -83,7 +83,7 @@ runWayPartitioned(const std::vector<std::string> &apps,
 
 Row
 runMolecular(const std::vector<std::string> &apps, const GoalSet &goals,
-             u64 size, u64 refs, u64 seed)
+             Bytes size, u64 refs, u64 seed)
 {
     // 512KiB tiles (the paper's power configuration, Table 3) rather
     // than fig5's size/4 tiles: probe energy scales with tile occupancy.
@@ -91,7 +91,7 @@ runMolecular(const std::vector<std::string> &apps, const GoalSet &goals,
     p.moleculeSize = 8_KiB;
     p.moleculesPerTile = 64;
     p.tilesPerCluster = 4;
-    if (size % p.tileSizeBytes() != 0 ||
+    if (size % p.tileSizeBytes() != Bytes{0} ||
         (size / p.tileSizeBytes()) % p.tilesPerCluster != 0)
         fatal("size must be a multiple of 2MiB clusters");
     p.clusters = static_cast<u32>(size / p.clusterSizeBytes());
@@ -101,9 +101,9 @@ runMolecular(const std::vector<std::string> &apps, const GoalSet &goals,
     const u32 per_cluster =
         (static_cast<u32>(apps.size()) + p.clusters - 1) / p.clusters;
     for (u32 i = 0; i < apps.size(); ++i) {
-        cache.registerApplication(static_cast<Asid>(i),
-                                  *goals.goal(static_cast<Asid>(i)),
-                                  i / per_cluster,
+        cache.registerApplication(Asid{static_cast<u16>(i)},
+                                  *goals.goal(Asid{static_cast<u16>(i)}),
+                                  ClusterId{i / per_cluster},
                                   (i % per_cluster) % p.tilesPerCluster, 1);
     }
     const SimResult r = runWorkload(apps, cache, goals, refs, seed);
@@ -140,7 +140,7 @@ main(int argc, char **argv)
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
-    const u64 size = cli.size("size");
+    const Bytes size{cli.size("size")};
     const u32 assoc = static_cast<u32>(cli.integer("assoc"));
 
     const auto apps = spec4Names();

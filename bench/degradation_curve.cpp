@@ -29,13 +29,13 @@ using namespace molcache;
 namespace {
 
 SimResult
-runAtFaultRate(double hardFraction, u64 size, u64 refs, u64 seed)
+runAtFaultRate(double hardFraction, Bytes size, u64 refs, u64 seed)
 {
     const MolecularCacheParams p =
         fig5MolecularParams(size, PlacementPolicy::Randy, seed);
     MolecularCache cache(p);
     for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1, ClusterId{0}, i, 1);
 
     if (hardFraction > 0.0) {
         FaultScheduleSpec spec;
@@ -67,7 +67,7 @@ main(int argc, char **argv)
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
-    const u64 size = cli.size("size");
+    const Bytes size{cli.size("size")};
 
     bench::banner("Degradation curve: SPEC 4-app workload, goal 10%, "
                   "hard faults in the middle half of the run");

@@ -28,7 +28,7 @@ using namespace molcache;
 namespace {
 
 double
-runTraditional(u64 size, u32 assoc, const GoalSet &goals, u64 refs, u64 seed)
+runTraditional(Bytes size, u32 assoc, const GoalSet &goals, u64 refs, u64 seed)
 {
     SetAssocCache cache(traditionalParams(size, assoc, seed));
     return runWorkload(spec4Names(), cache, goals, refs, seed)
@@ -36,14 +36,14 @@ runTraditional(u64 size, u32 assoc, const GoalSet &goals, u64 refs, u64 seed)
 }
 
 double
-runMolecular(u64 size, PlacementPolicy placement, const GoalSet &goals,
+runMolecular(Bytes size, PlacementPolicy placement, const GoalSet &goals,
              double resizeGoal, u64 refs, u64 seed)
 {
     MolecularCache cache(fig5MolecularParams(size, placement, seed));
     // One application per tile, as the paper assigns processors to tiles.
     const auto apps = spec4Names();
     for (u32 i = 0; i < apps.size(); ++i) {
-        cache.registerApplication(static_cast<Asid>(i), resizeGoal, 0,
+        cache.registerApplication(Asid{static_cast<u16>(i)}, resizeGoal, ClusterId{0},
                                   i % cache.params().tilesPerCluster, 1);
     }
     return runWorkload(apps, cache, goals, refs, seed)
@@ -65,7 +65,7 @@ main(int argc, char **argv)
     const u64 seed = static_cast<u64>(cli.integer("seed"));
     const double goal = cli.real("goal");
 
-    const std::vector<u64> sizes = {1_MiB, 2_MiB, 4_MiB, 8_MiB};
+    const std::vector<Bytes> sizes = {1_MiB, 2_MiB, 4_MiB, 8_MiB};
 
     for (const bool graph_b : {false, true}) {
         bench::banner(graph_b
@@ -75,15 +75,15 @@ main(int argc, char **argv)
 
         GoalSet goals;
         // spec4Names() order: art(0), ammp(1), parser(2), mcf(3).
-        goals.set(0, goal);
-        goals.set(1, goal);
-        goals.set(2, goal);
+        goals.set(Asid{0}, goal);
+        goals.set(Asid{1}, goal);
+        goals.set(Asid{2}, goal);
         if (!graph_b)
-            goals.set(3, goal);
+            goals.set(Asid{3}, goal);
 
         TablePrinter table({"cache size", "DM", "2-way", "4-way", "8-way",
                             "Mol(Random)", "Mol(Randy)"});
-        for (const u64 size : sizes) {
+        for (const Bytes size : sizes) {
             const size_t row = table.addRow();
             table.cell(row, 0, formatSize(size));
             table.cell(row, 1,

@@ -36,7 +36,7 @@ struct Run
 };
 
 Run
-runTraditional(u64 size, u32 assoc, const GoalSet &goals, u64 refs,
+runTraditional(Bytes size, u32 assoc, const GoalSet &goals, u64 refs,
                u64 seed)
 {
     SetAssocCache cache(traditionalParams(size, assoc, seed));
@@ -45,25 +45,25 @@ runTraditional(u64 size, u32 assoc, const GoalSet &goals, u64 refs,
 }
 
 Run
-runWayPart(u64 size, u32 assoc, const GoalSet &goals, u64 refs, u64 seed)
+runWayPart(Bytes size, u32 assoc, const GoalSet &goals, u64 refs, u64 seed)
 {
     WayPartitionedParams p;
     p.sizeBytes = size;
     p.associativity = assoc;
     WayPartitionedCache cache(p);
     for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(static_cast<Asid>(i), 0.1);
+        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1);
     const SimResult r = runWorkload(spec4Names(), cache, goals, refs, seed);
     return {cache.name(), r.qos, 1.0};
 }
 
 Run
-runMolecular(u64 size, const GoalSet &goals, u64 refs, u64 seed)
+runMolecular(Bytes size, const GoalSet &goals, u64 refs, u64 seed)
 {
     MolecularCache cache(
         fig5MolecularParams(size, PlacementPolicy::Randy, seed));
     for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1, ClusterId{0}, i, 1);
     const SimResult r = runWorkload(spec4Names(), cache, goals, refs, seed);
     const double hits =
         static_cast<double>(r.localHits + r.remoteHits);
@@ -84,7 +84,7 @@ main(int argc, char **argv)
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
-    const u64 size = cli.size("size");
+    const Bytes size{cli.size("size")};
 
     const GoalSet goals = GoalSet::uniform(0.1, 4);
 

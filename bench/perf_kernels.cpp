@@ -41,7 +41,7 @@ BM_TraceGeneration(benchmark::State &state)
 {
     const auto &profile = profileByName("parser");
     for (auto _ : state) {
-        TraceGenerator gen(profile, 0, static_cast<u64>(state.range(0)), 3);
+        TraceGenerator gen(profile, Asid{0}, static_cast<u64>(state.range(0)), 3);
         u64 sum = 0;
         while (auto a = gen.next())
             sum += a->addr;
@@ -74,7 +74,7 @@ BM_MolecularAccess(benchmark::State &state)
                               : PlacementPolicy::Random);
     MolecularCache cache(p);
     for (u32 a = 0; a < 4; ++a)
-        cache.registerApplication(a, 0.1, 0, a, 1);
+        cache.registerApplication(Asid{static_cast<u16>(a)}, 0.1, ClusterId{0}, a, 1);
     const auto trace = sampleTrace(100000);
     size_t i = 0;
     for (auto _ : state) {
@@ -90,7 +90,7 @@ BM_CactiEvaluate(benchmark::State &state)
 {
     const CactiModel model(TechNode::Nm70);
     CacheGeometry g;
-    g.sizeBytes = static_cast<u64>(state.range(0)) << 20;
+    g.sizeBytes = Bytes{static_cast<u64>(state.range(0)) << 20};
     g.associativity = 4;
     g.ports = 4;
     for (auto _ : state) {

@@ -65,7 +65,7 @@ main(int argc, char **argv)
     TablePrinter table({"workload", "app", "miss rate", "paper"});
 
     for (const Combo &combo : kCombos) {
-        SetAssocCache cache(traditionalParams(1ull << 20, 4, seed));
+        SetAssocCache cache(traditionalParams(1_MiB, 4, seed));
         GoalSet goals; // Table 1 has no goals; interference only.
         const SimResult res =
             runWorkload(combo.apps, cache, goals, refs, seed);

@@ -30,7 +30,7 @@ namespace {
 constexpr double kGoal = 0.25;
 
 double
-runTraditional(u64 size, u32 assoc, u64 refs, u64 seed)
+runTraditional(Bytes size, u32 assoc, u64 refs, u64 seed)
 {
     SetAssocCache cache(traditionalParams(size, assoc, seed));
     const GoalSet goals = GoalSet::uniform(kGoal, 12);

@@ -48,6 +48,7 @@
 #include "stats/json.hpp"
 #include "stats/table.hpp"
 #include "util/config.hpp"
+#include "util/config_keys.hpp"
 #include "util/logging.hpp"
 #include "util/string_utils.hpp"
 #include "util/units.hpp"
@@ -63,7 +64,7 @@ goalsFrom(const Config &cfg, size_t apps)
     GoalSet goals;
     const double common = cfg.getDouble("goal", 0.1);
     for (size_t i = 0; i < apps; ++i) {
-        goals.set(static_cast<Asid>(i),
+        goals.set(Asid{static_cast<u16>(i)},
                   cfg.getDouble("goal." + std::to_string(i), common));
     }
     return goals;
@@ -73,7 +74,7 @@ std::unique_ptr<CacheModel>
 buildModel(const Config &cfg, const GoalSet &goals, size_t apps, u64 refs)
 {
     const std::string model = cfg.getString("model", "molecular");
-    const u64 size = cfg.getSize("size", 2_MiB);
+    const Bytes size = cfg.getSize("size", 2_MiB);
     const u64 seed = static_cast<u64>(cfg.getInt("seed", 1));
 
     if (model == "setassoc") {
@@ -91,8 +92,8 @@ buildModel(const Config &cfg, const GoalSet &goals, size_t apps, u64 refs)
         p.associativity = static_cast<u32>(cfg.getInt("assoc", 8));
         auto cache = std::make_unique<WayPartitionedCache>(p);
         for (size_t i = 0; i < apps; ++i)
-            cache->registerApplication(static_cast<Asid>(i),
-                                       *goals.goal(static_cast<Asid>(i)));
+            cache->registerApplication(Asid{static_cast<u16>(i)},
+                                       *goals.goal(Asid{static_cast<u16>(i)}));
         return cache;
     }
     if (model == "molecular") {
@@ -100,9 +101,9 @@ buildModel(const Config &cfg, const GoalSet &goals, size_t apps, u64 refs)
         p.moleculeSize = cfg.getSize("molecule", 8_KiB);
         p.tilesPerCluster = static_cast<u32>(cfg.getInt("tiles", 4));
         p.clusters = static_cast<u32>(cfg.getInt("clusters", 1));
-        const u64 tile_bytes =
+        const Bytes tile_bytes =
             size / (static_cast<u64>(p.tilesPerCluster) * p.clusters);
-        if (tile_bytes == 0 || tile_bytes % p.moleculeSize != 0)
+        if (tile_bytes == Bytes{0} || tile_bytes % p.moleculeSize != Bytes{0})
             fatal("size does not divide into tiles of whole molecules");
         p.moleculesPerTile =
             static_cast<u32>(tile_bytes / p.moleculeSize);
@@ -115,8 +116,8 @@ buildModel(const Config &cfg, const GoalSet &goals, size_t apps, u64 refs)
             static_cast<u32>(cfg.getInt("hard_fault_threshold", 1));
         auto cache = std::make_unique<MolecularCache>(p);
         for (size_t i = 0; i < apps; ++i)
-            cache->registerApplication(static_cast<Asid>(i),
-                                       *goals.goal(static_cast<Asid>(i)));
+            cache->registerApplication(Asid{static_cast<u16>(i)},
+                                       *goals.goal(Asid{static_cast<u16>(i)}));
         if (hasFaultKeys(cfg)) {
             // Default fault window: the middle half of the run, so the
             // cache warms before faults land and has time to recover.
@@ -178,7 +179,7 @@ writeJson(const std::string &path, const SimResult &result)
     for (const AppSummary &app : result.qos.apps) {
         json.beginObject();
         json.key("asid");
-        json.value(static_cast<u64>(app.asid));
+        json.value(static_cast<u64>(app.asid.value()));
         json.key("label");
         json.value(app.label);
         json.key("accesses");
@@ -234,10 +235,7 @@ main(int argc, char **argv)
         if (!hasProfile(name))
             fatal("unknown profile '", name, "'");
 
-    cfg.warnUnknownKeys({"model", "size", "seed", "assoc", "replacement",
-                         "molecule", "tiles", "clusters", "placement",
-                         "resize", "refs", "profiles", "goal", "goal.",
-                         "hard_fault_threshold", "audit", "fault."});
+    cfg.warnUnknownKeys(knownConfigKeyNames());
 
     const GoalSet goals = goalsFrom(cfg, profiles.size());
     const u64 refs =

@@ -61,8 +61,8 @@ main()
     MolecularCache cache(params);
     // Loose goals leave free molecules in the pool — that headroom is
     // what the post-fault re-acquisition draws from.
-    cache.registerApplication(0, 0.10, /*cluster=*/0, /*tile=*/0, 1);
-    cache.registerApplication(1, 0.50, /*cluster=*/0, /*tile=*/1, 1);
+    cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, /*tile=*/0, 1);
+    cache.registerApplication(Asid{1}, 0.50, ClusterId{0}, /*tile=*/1, 1);
 
     // The invariant audit runs every 10k accesses for the whole drill.
     InvariantChecker::attach(cache, 10'000);
@@ -70,14 +70,14 @@ main()
     auto source = makeMultiProgramSource({"ammp", "gcc"}, 400'000);
     drive(cache, *source, 100'000);
     std::printf("warmed up: region0=%u region1=%u free=%u molecules\n",
-                cache.region(0).size(), cache.region(1).size(),
+                cache.region(Asid{0}).size(), cache.region(Asid{1}).size(),
                 cache.freeMolecules());
     audit(cache, "after warmup:");
 
     // 2. Transient flip: corrupt a line in a region molecule.  Parity
     //    catches it on the next probe of the slot and treats it as a
     //    miss; a corrupt dirty line is data loss, never written back.
-    const MoleculeId victim = cache.region(0).rows()[0][0];
+    const MoleculeId victim = cache.region(Asid{0}).rows()[0][0];
     cache.injectTransientFlip(victim, 3);
     drive(cache, *source, 50'000);
     std::printf("transient flip into molecule %u: %llu detected, "
@@ -99,16 +99,16 @@ main()
                 "region0 lost %llu molecule(s)\n", victim,
                 cache.molecule(victim).decommissioned() ? "yes" : "no",
                 static_cast<unsigned long long>(
-                    cache.region(0).moleculesLost));
+                    cache.region(Asid{0}).moleculesLost));
     audit(cache, "after decommission:");
 
     // 4. Whole-tile outage on app 1's home tile.  Everything on the tile
     //    is fenced at once; the region rebuilds from the cluster's other
     //    tiles on the following resize epochs.
-    cache.injectTileOutage(1);
+    cache.injectTileOutage(TileId{1});
     std::printf("tile 1 outage: %u molecules decommissioned, "
                 "region1=%u molecules\n",
-                cache.decommissionedMolecules(), cache.region(1).size());
+                cache.decommissionedMolecules(), cache.region(Asid{1}).size());
     audit(cache, "after tile outage:");
 
     // 5. Recovery: keep running; the resizer re-grants capacity ahead of
@@ -117,12 +117,12 @@ main()
     drive(cache, *source, 250'000);
     std::printf("after recovery: region0=%u region1=%u free=%u | "
                 "recovery grants %llu | region1 reconverged in %u epochs%s\n",
-                cache.region(0).size(), cache.region(1).size(),
+                cache.region(Asid{0}).size(), cache.region(Asid{1}).size(),
                 cache.freeMolecules(),
                 static_cast<unsigned long long>(
                     cache.resizer().recoveryGrants()),
-                cache.region(1).lastRecoveryEpochs,
-                cache.region(1).recovering ? " (still recovering)" : "");
+                cache.region(Asid{1}).lastRecoveryEpochs,
+                cache.region(Asid{1}).recovering ? " (still recovering)" : "");
     audit(cache, "after recovery:");
 
     std::printf("invariant audits run during the drill: %llu\n",

@@ -35,10 +35,10 @@ GoalSet
 makeGoals(double serviceGoal, double batchGoal)
 {
     GoalSet goals;
-    goals.set(0, serviceGoal); // twolf: the latency-critical service
-    goals.set(1, batchGoal);
-    goals.set(2, batchGoal);
-    goals.set(3, batchGoal);
+    goals.set(Asid{0}, serviceGoal); // twolf: the latency-critical service
+    goals.set(Asid{1}, batchGoal);
+    goals.set(Asid{2}, batchGoal);
+    goals.set(Asid{3}, batchGoal);
     return goals;
 }
 
@@ -71,10 +71,10 @@ main(int argc, char **argv)
     mp.tilesPerCluster = 4;
     mp.clusters = 1;
     MolecularCache molecular(mp);
-    molecular.registerApplication(0, service_goal, 0, 0, 1);
-    molecular.registerApplication(1, batch_goal, 0, 1, 1);
-    molecular.registerApplication(2, batch_goal, 0, 2, 1);
-    molecular.registerApplication(3, batch_goal, 0, 3, 1);
+    molecular.registerApplication(Asid{0}, service_goal, ClusterId{0}, 0, 1);
+    molecular.registerApplication(Asid{1}, batch_goal, ClusterId{0}, 1, 1);
+    molecular.registerApplication(Asid{2}, batch_goal, ClusterId{0}, 2, 1);
+    molecular.registerApplication(Asid{3}, batch_goal, ClusterId{0}, 3, 1);
     const SimResult mol = runWorkload(kApps, molecular, goals, refs);
 
     std::printf("consolidation scenario: %llu refs, service goal %.0f%%, "
@@ -98,7 +98,7 @@ main(int argc, char **argv)
                 trad.qos.averageDeviation, mol.qos.averageDeviation);
     std::printf("service '%s': traditional %.4f vs molecular %.4f "
                 "(goal %.2f)\n",
-                kApps[0].c_str(), trad.qos.byAsid(0).missRate,
-                mol.qos.byAsid(0).missRate, service_goal);
+                kApps[0].c_str(), trad.qos.byAsid(Asid{0}).missRate,
+                mol.qos.byAsid(Asid{0}).missRate, service_goal);
     return 0;
 }

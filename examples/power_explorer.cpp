@@ -60,7 +60,7 @@ main(int argc, char **argv)
 
     if (!cli.str("size").empty()) {
         CacheGeometry g;
-        g.sizeBytes = cli.size("size");
+        g.sizeBytes = Bytes{cli.size("size")};
         g.associativity = static_cast<u32>(cli.integer("assoc"));
         g.ports = static_cast<u32>(cli.integer("ports"));
         printRow(table, model, g, "requested");
@@ -69,14 +69,14 @@ main(int argc, char **argv)
     }
 
     // Molecule candidates (the paper's 8-32 KB range).
-    for (const u64 size : {8_KiB, 16_KiB, 32_KiB}) {
+    for (const Bytes size : {8_KiB, 16_KiB, 32_KiB}) {
         CacheGeometry g;
         g.sizeBytes = size;
         g.extraTagBits = 17; // ASID + shared bit
         printRow(table, model, g, "molecule");
     }
     // Monolithic L2 candidates (the paper's baselines).
-    for (const u64 size : {1_MiB, 2_MiB, 4_MiB, 8_MiB}) {
+    for (const Bytes size : {1_MiB, 2_MiB, 4_MiB, 8_MiB}) {
         for (const u32 assoc : {1u, 4u, 8u}) {
             CacheGeometry g;
             g.sizeBytes = size;

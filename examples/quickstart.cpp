@@ -31,8 +31,8 @@ main()
 
     // 2. Register applications.  Each gets an exclusive cache region that
     //    the resize daemon steers toward its miss-rate goal.
-    cache.registerApplication(/*asid=*/0, /*resizeGoal=*/0.05);
-    cache.registerApplication(/*asid=*/1, /*resizeGoal=*/0.20);
+    cache.registerApplication(Asid{0}, /*resizeGoal=*/0.05);
+    cache.registerApplication(Asid{1}, /*resizeGoal=*/0.20);
 
     // 3. Build a two-application workload from the calibrated profiles
     //    (ammp: small hot working set; parser: large working set).
@@ -41,8 +41,8 @@ main()
 
     // 4. Run.  GoalSet drives the QoS summary (deviation from goal).
     GoalSet goals;
-    goals.set(0, 0.05);
-    goals.set(1, 0.20);
+    goals.set(Asid{0}, 0.05);
+    goals.set(Asid{1}, 0.20);
     const SimResult result = Simulator::run(
         *source, cache, goals, labelMap({"ammp", "parser"}));
 

@@ -45,10 +45,10 @@ main(int argc, char **argv)
     const double goal = cli.real("goal");
 
     MolecularCache cache(fig5MolecularParams(
-        cli.size("size"), parsePlacementPolicy(cli.str("placement"))));
+        Bytes{cli.size("size")}, parsePlacementPolicy(cli.str("placement"))));
     const auto apps = spec4Names();
     for (u32 i = 0; i < apps.size(); ++i)
-        cache.registerApplication(static_cast<Asid>(i), goal, 0, i, 1);
+        cache.registerApplication(Asid{static_cast<u16>(i)}, goal, ClusterId{0}, i, 1);
 
     std::vector<std::string> columns;
     for (const auto &app : apps) {

@@ -134,7 +134,7 @@ int
 cmdReplay(const std::string &path, const CliParser &cli)
 {
     const std::string model = cli.str("model");
-    const u64 size = cli.size("size");
+    const Bytes size{cli.size("size")};
     const u32 assoc = static_cast<u32>(cli.integer("assoc"));
     const double goal = cli.real("goal");
 
@@ -146,10 +146,10 @@ cmdReplay(const std::string &path, const CliParser &cli)
         cache = std::make_unique<SetAssocCache>(p);
     } else if (model == "molecular") {
         MolecularCacheParams p;
-        p.moleculeSize = 8192;
+        p.moleculeSize = 8_KiB;
         p.moleculesPerTile = 64;
         p.tilesPerCluster = 4;
-        if (size % p.clusterSizeBytes() != 0)
+        if (size % p.clusterSizeBytes() != Bytes{0})
             fatal("molecular replay size must be a multiple of 2M");
         p.clusters = static_cast<u32>(size / p.clusterSizeBytes());
         p.defaultMissRateGoal = goal;

@@ -3,7 +3,7 @@
 namespace molcache {
 
 void
-CacheStats::record(Asid asid, bool hit, bool isWrite, u32 latencyCycles)
+CacheStats::record(Asid asid, bool hit, bool isWrite, Cycles latency)
 {
     auto bump = [&](AccessCounters &c) {
         ++c.accesses;
@@ -13,7 +13,7 @@ CacheStats::record(Asid asid, bool hit, bool isWrite, u32 latencyCycles)
             ++c.misses;
         if (isWrite)
             ++c.writes;
-        c.latencyCycles += latencyCycles;
+        c.latencyCycles += latency;
     };
     bump(global_);
     bump(perAsid_[asid]);

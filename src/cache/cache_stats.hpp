@@ -14,6 +14,7 @@
 
 #include "stats/counter.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace molcache {
 
@@ -26,7 +27,7 @@ struct AccessCounters
     u64 writes = 0;
     u64 writebacks = 0;
     /** Sum of per-access latencies (cache cycles). */
-    u64 latencyCycles = 0;
+    Cycles latencyCycles{};
 
     double missRate() const { return ratio(misses, accesses); }
     double hitRate() const { return ratio(hits, accesses); }
@@ -34,7 +35,7 @@ struct AccessCounters
     double amat() const
     {
         return accesses == 0 ? 0.0
-                             : static_cast<double>(latencyCycles) /
+                             : static_cast<double>(latencyCycles.value()) /
                                    static_cast<double>(accesses);
     }
 };
@@ -43,7 +44,8 @@ class CacheStats
 {
   public:
     /** Record one access outcome. */
-    void record(Asid asid, bool hit, bool isWrite, u32 latencyCycles = 0);
+    void record(Asid asid, bool hit, bool isWrite,
+                Cycles latency = Cycles{0});
 
     /** Record a dirty-line eviction. */
     void recordWriteback(Asid asid);

@@ -11,14 +11,14 @@ namespace molcache {
 u32
 SetAssocParams::numSets() const
 {
-    return static_cast<u32>(sizeBytes / (static_cast<u64>(associativity) *
-                                         lineSize));
+    return static_cast<u32>(
+        sizeBytes.value() / (static_cast<u64>(associativity) * lineSize));
 }
 
 u32
 SetAssocParams::numLines() const
 {
-    return static_cast<u32>(sizeBytes / lineSize);
+    return static_cast<u32>(sizeBytes.value() / lineSize);
 }
 
 void
@@ -29,7 +29,7 @@ SetAssocParams::validate() const
     if (associativity == 0)
         fatal("associativity must be >= 1");
     const u64 setBytes = static_cast<u64>(associativity) * lineSize;
-    if (sizeBytes == 0 || sizeBytes % setBytes != 0)
+    if (sizeBytes.value() == 0 || sizeBytes.value() % setBytes != 0)
         fatal("cache size ", sizeBytes,
               " is not a multiple of associativity*lineSize");
     if (!isPowerOfTwo(numSets()))

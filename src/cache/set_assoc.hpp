@@ -19,13 +19,14 @@
 #include "cache/cache_model.hpp"
 #include "cache/replacement.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace molcache {
 
 /** Geometry and policy of a traditional cache. */
 struct SetAssocParams
 {
-    u64 sizeBytes = 1ull << 20;
+    Bytes sizeBytes = 1_MiB;
     u32 associativity = 4;
     u32 lineSize = 64;
     ReplPolicy replacement = ReplPolicy::Lru;
@@ -34,9 +35,9 @@ struct SetAssocParams
     /** Dynamic energy per access (nJ); 0 disables energy accounting. */
     double energyPerAccessNj = 0.0;
     /** Hit latency in cache cycles. */
-    u32 hitLatencyCycles = 1;
+    Cycles hitLatencyCycles{1};
     /** Additional cycles a miss pays for the memory round trip. */
-    u32 missPenaltyCycles = 200;
+    Cycles missPenaltyCycles{200};
     u64 seed = 1;
 
     u32 numSets() const;

@@ -13,8 +13,8 @@ namespace molcache {
 u32
 WayPartitionedParams::numSets() const
 {
-    return static_cast<u32>(sizeBytes / (static_cast<u64>(associativity) *
-                                         lineSize));
+    return static_cast<u32>(
+        sizeBytes.value() / (static_cast<u64>(associativity) * lineSize));
 }
 
 void
@@ -24,7 +24,9 @@ WayPartitionedParams::validate() const
         fatal("line size must be a power of two");
     if (associativity == 0)
         fatal("associativity must be >= 1");
-    if (sizeBytes % (static_cast<u64>(associativity) * lineSize) != 0 ||
+    if (sizeBytes.value() %
+                (static_cast<u64>(associativity) * lineSize) !=
+            0 ||
         !isPowerOfTwo(numSets()))
         fatal("way-partitioned geometry must give 2^k sets");
 }

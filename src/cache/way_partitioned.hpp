@@ -32,12 +32,13 @@
 
 #include "cache/cache_model.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace molcache {
 
 struct WayPartitionedParams
 {
-    u64 sizeBytes = 2ull << 20;
+    Bytes sizeBytes = 2_MiB;
     u32 associativity = 8;
     u32 lineSize = 64;
     /** Reassignment period in accesses (0 disables dynamic repartition). */
@@ -45,9 +46,9 @@ struct WayPartitionedParams
     /** Dynamic energy per access (nJ); 0 disables energy accounting. */
     double energyPerAccessNj = 0.0;
     /** Hit latency in cache cycles. */
-    u32 hitLatencyCycles = 1;
+    Cycles hitLatencyCycles{1};
     /** Additional cycles a miss pays for the memory round trip. */
-    u32 missPenaltyCycles = 200;
+    Cycles missPenaltyCycles{200};
 
     u32 numSets() const;
     void validate() const;

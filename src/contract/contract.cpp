@@ -1,0 +1,77 @@
+#include "contract/contract.hpp"
+
+#include <utility>
+
+namespace molcache::contract {
+
+namespace {
+
+Counters g_counters;
+Handler g_handler;
+
+[[noreturn]] void
+defaultHandler(Kind kind, const char *cond, const char *file, int line,
+               const std::string &msg)
+{
+    panic(kindName(kind), " '", cond, "' violated at ", file, ":", line,
+          msg.empty() ? "" : " ", msg);
+}
+
+} // namespace
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Expect:
+        return "precondition";
+      case Kind::Ensure:
+        return "postcondition";
+      case Kind::Invariant:
+        return "invariant";
+    }
+    return "contract";
+}
+
+const Counters &
+counters()
+{
+    return g_counters;
+}
+
+void
+resetCounters()
+{
+    g_counters = Counters{};
+}
+
+Handler
+setHandler(Handler handler)
+{
+    Handler previous = std::move(g_handler);
+    g_handler = std::move(handler);
+    return previous;
+}
+
+void
+noteViolation(Kind kind, const char *cond, const char *file, int line,
+              const std::string &msg)
+{
+    switch (kind) {
+      case Kind::Expect:
+        ++g_counters.expectFailures;
+        break;
+      case Kind::Ensure:
+        ++g_counters.ensureFailures;
+        break;
+      case Kind::Invariant:
+        ++g_counters.invariantFailures;
+        break;
+    }
+    if (g_handler)
+        g_handler(kind, cond, file, line, msg);
+    else
+        defaultHandler(kind, cond, file, line, msg);
+}
+
+} // namespace molcache::contract

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Contract macros: preconditions, postconditions and invariants.
+ *
+ * Three macros replace ad-hoc asserts across the simulator core
+ * (docs/static_analysis.md):
+ *
+ *  - MOLCACHE_EXPECT(cond, ...)    — precondition on a function's inputs;
+ *  - MOLCACHE_ENSURE(cond, ...)    — postcondition on a function's result;
+ *  - MOLCACHE_INVARIANT(cond, ...) — internal consistency of a structure.
+ *
+ * Activation: contracts are compiled in whenever NDEBUG is off (Debug)
+ * or the build defines MOLCACHE_CONTRACTS_ENABLED (the CMake default for
+ * every configuration except Release, so the tier-1 RelWithDebInfo build
+ * keeps its guard rails); a pure Release build compiles them out to a
+ * syntax-checked no-op — conditions must still compile, but nothing is
+ * evaluated.  MOLCACHE_CONTRACTS_ACTIVE is 1/0 accordingly for code and
+ * tests that need to know.
+ *
+ * A violation increments a per-kind counter (surfaced through
+ * SimResult::contractViolations and the InvariantChecker audit) and then
+ * invokes the violation handler.  The default handler panic()s, matching
+ * the previous MOLCACHE_ASSERT behaviour; tests install a counting
+ * handler via contract::setHandler to exercise violations non-fatally.
+ */
+
+#ifndef MOLCACHE_CONTRACT_CONTRACT_HPP
+#define MOLCACHE_CONTRACT_CONTRACT_HPP
+
+#include <functional>
+#include <string>
+
+#include "util/logging.hpp"
+#include "util/types.hpp"
+
+namespace molcache::contract {
+
+/** Which contract macro was violated. */
+enum class Kind : u8 { Expect, Ensure, Invariant };
+
+const char *kindName(Kind kind);
+
+/** Per-kind violation tallies since construction / last reset. */
+struct Counters
+{
+    u64 expectFailures = 0;
+    u64 ensureFailures = 0;
+    u64 invariantFailures = 0;
+
+    u64 total() const
+    {
+        return expectFailures + ensureFailures + invariantFailures;
+    }
+};
+
+/** Process-wide violation counters. */
+const Counters &counters();
+void resetCounters();
+
+/**
+ * Violation handler: called after counting with the violated kind, the
+ * stringified condition, the source location and the formatted message.
+ */
+using Handler = std::function<void(Kind kind, const char *cond,
+                                   const char *file, int line,
+                                   const std::string &msg)>;
+
+/** Install @p handler; returns the previous one.  Empty restores the
+ * default (panic). */
+Handler setHandler(Handler handler);
+
+/** Count and dispatch one violation (the macros' slow path). */
+void noteViolation(Kind kind, const char *cond, const char *file, int line,
+                   const std::string &msg);
+
+} // namespace molcache::contract
+
+#if !defined(NDEBUG) || defined(MOLCACHE_CONTRACTS_ENABLED)
+#define MOLCACHE_CONTRACTS_ACTIVE 1
+#else
+#define MOLCACHE_CONTRACTS_ACTIVE 0
+#endif
+
+#if MOLCACHE_CONTRACTS_ACTIVE
+
+#define MOLCACHE_CONTRACT_CHECK_(kind, cond, ...)                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::molcache::contract::noteViolation(                             \
+                kind, #cond, __FILE__, __LINE__,                             \
+                ::molcache::detail::concat(__VA_ARGS__));                    \
+        }                                                                    \
+    } while (0)
+
+#else
+
+/* Compiled out: the condition stays syntax- and type-checked (sizeof is
+ * an unevaluated context) but nothing runs. */
+#define MOLCACHE_CONTRACT_CHECK_(kind, cond, ...)                            \
+    static_cast<void>(sizeof(!(cond)))
+
+#endif
+
+/** Precondition: the caller handed us sane inputs. */
+#define MOLCACHE_EXPECT(cond, ...)                                           \
+    MOLCACHE_CONTRACT_CHECK_(::molcache::contract::Kind::Expect, cond,       \
+                             ##__VA_ARGS__)
+
+/** Postcondition: we are about to hand back a sane result/state. */
+#define MOLCACHE_ENSURE(cond, ...)                                           \
+    MOLCACHE_CONTRACT_CHECK_(::molcache::contract::Kind::Ensure, cond,       \
+                             ##__VA_ARGS__)
+
+/** Structural invariant that must hold between operations. */
+#define MOLCACHE_INVARIANT(cond, ...)                                        \
+    MOLCACHE_CONTRACT_CHECK_(::molcache::contract::Kind::Invariant, cond,    \
+                             ##__VA_ARGS__)
+
+#endif // MOLCACHE_CONTRACT_CONTRACT_HPP

@@ -1,38 +1,39 @@
 #include "core/coherence.hpp"
 
-#include "util/logging.hpp"
+#include "contract/contract.hpp"
 
 namespace molcache {
 
 CoherenceDirectory::CoherenceDirectory(u32 numClusters)
     : numClusters_(numClusters)
 {
-    MOLCACHE_ASSERT(numClusters >= 1 && numClusters <= 32,
+    MOLCACHE_EXPECT(numClusters >= 1 && numClusters <= 32,
                     "directory supports 1..32 clusters");
 }
 
-std::vector<u32>
-CoherenceDirectory::othersOf(const Entry &e, u32 cluster) const
+std::vector<ClusterId>
+CoherenceDirectory::othersOf(const Entry &e, ClusterId cluster) const
 {
-    std::vector<u32> out;
+    std::vector<ClusterId> out;
     for (u32 c = 0; c < numClusters_; ++c)
-        if (c != cluster && (e.holders & (1u << c)))
-            out.push_back(c);
+        if (c != cluster.value() && (e.holders & (1u << c)))
+            out.push_back(ClusterId{c});
     return out;
 }
 
-std::vector<u32>
-CoherenceDirectory::noteFill(Addr lineAddr, u32 cluster, bool exclusive)
+std::vector<ClusterId>
+CoherenceDirectory::noteFill(LineAddr lineAddr, ClusterId cluster,
+                             bool exclusive)
 {
-    MOLCACHE_ASSERT(cluster < numClusters_, "cluster out of range");
+    MOLCACHE_EXPECT(cluster.value() < numClusters_, "cluster out of range");
     ++stats_.fills;
     Entry &e = map_[lineAddr];
 
-    std::vector<u32> invalidate;
+    std::vector<ClusterId> invalidate;
     if (exclusive) {
         invalidate = othersOf(e, cluster);
         stats_.invalidationsSent += invalidate.size();
-        e.holders = 1u << cluster;
+        e.holders = 1u << cluster.value();
         e.modified = true;
         e.owner = cluster;
         return invalidate;
@@ -44,34 +45,34 @@ CoherenceDirectory::noteFill(Addr lineAddr, u32 cluster, bool exclusive)
         e.modified = false;
         ++stats_.downgrades;
     }
-    e.holders |= 1u << cluster;
+    e.holders |= 1u << cluster.value();
     return invalidate;
 }
 
-std::vector<u32>
-CoherenceDirectory::noteWrite(Addr lineAddr, u32 cluster)
+std::vector<ClusterId>
+CoherenceDirectory::noteWrite(LineAddr lineAddr, ClusterId cluster)
 {
-    MOLCACHE_ASSERT(cluster < numClusters_, "cluster out of range");
+    MOLCACHE_EXPECT(cluster.value() < numClusters_, "cluster out of range");
     ++stats_.writes;
     Entry &e = map_[lineAddr];
-    std::vector<u32> invalidate = othersOf(e, cluster);
+    std::vector<ClusterId> invalidate = othersOf(e, cluster);
     stats_.invalidationsSent += invalidate.size();
-    e.holders = 1u << cluster;
+    e.holders = 1u << cluster.value();
     e.modified = true;
     e.owner = cluster;
     return invalidate;
 }
 
 void
-CoherenceDirectory::noteEviction(Addr lineAddr, u32 cluster)
+CoherenceDirectory::noteEviction(LineAddr lineAddr, ClusterId cluster)
 {
-    MOLCACHE_ASSERT(cluster < numClusters_, "cluster out of range");
+    MOLCACHE_EXPECT(cluster.value() < numClusters_, "cluster out of range");
     const auto it = map_.find(lineAddr);
     if (it == map_.end())
         return;
     ++stats_.evictions;
     Entry &e = it->second;
-    e.holders &= ~(1u << cluster);
+    e.holders &= ~(1u << cluster.value());
     if (e.modified && e.owner == cluster)
         e.modified = false;
     if (e.holders == 0)
@@ -79,14 +80,15 @@ CoherenceDirectory::noteEviction(Addr lineAddr, u32 cluster)
 }
 
 bool
-CoherenceDirectory::isHeld(Addr lineAddr, u32 cluster) const
+CoherenceDirectory::isHeld(LineAddr lineAddr, ClusterId cluster) const
 {
     const auto it = map_.find(lineAddr);
-    return it != map_.end() && (it->second.holders & (1u << cluster));
+    return it != map_.end() &&
+           (it->second.holders & (1u << cluster.value()));
 }
 
 u32
-CoherenceDirectory::holderCount(Addr lineAddr) const
+CoherenceDirectory::holderCount(LineAddr lineAddr) const
 {
     const auto it = map_.find(lineAddr);
     if (it == map_.end())
@@ -99,7 +101,7 @@ CoherenceDirectory::holderCount(Addr lineAddr) const
 }
 
 bool
-CoherenceDirectory::isModified(Addr lineAddr) const
+CoherenceDirectory::isModified(LineAddr lineAddr) const
 {
     const auto it = map_.find(lineAddr);
     return it != map_.end() && it->second.modified;

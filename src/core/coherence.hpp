@@ -47,25 +47,26 @@ class CoherenceDirectory
      * @return clusters whose copies must be invalidated (empty for reads;
      *         reads of a remotely-modified line downgrade instead)
      */
-    std::vector<u32> noteFill(Addr lineAddr, u32 cluster, bool exclusive);
+    std::vector<ClusterId> noteFill(LineAddr lineAddr, ClusterId cluster,
+                                    bool exclusive);
 
     /**
      * A write hit in @p cluster.
      * @return clusters whose copies must be invalidated
      */
-    std::vector<u32> noteWrite(Addr lineAddr, u32 cluster);
+    std::vector<ClusterId> noteWrite(LineAddr lineAddr, ClusterId cluster);
 
     /** @p cluster no longer holds the line. */
-    void noteEviction(Addr lineAddr, u32 cluster);
+    void noteEviction(LineAddr lineAddr, ClusterId cluster);
 
     /** True if @p cluster currently holds @p lineAddr. */
-    bool isHeld(Addr lineAddr, u32 cluster) const;
+    bool isHeld(LineAddr lineAddr, ClusterId cluster) const;
 
     /** Number of clusters holding @p lineAddr. */
-    u32 holderCount(Addr lineAddr) const;
+    u32 holderCount(LineAddr lineAddr) const;
 
     /** True if some cluster holds the line modified. */
-    bool isModified(Addr lineAddr) const;
+    bool isModified(LineAddr lineAddr) const;
 
     const CoherenceStats &stats() const { return stats_; }
 
@@ -77,13 +78,13 @@ class CoherenceDirectory
     {
         u32 holders = 0; // bitmask over clusters
         bool modified = false;
-        u32 owner = 0; // valid when modified
+        ClusterId owner{}; // valid when modified
     };
 
-    std::vector<u32> othersOf(const Entry &e, u32 cluster) const;
+    std::vector<ClusterId> othersOf(const Entry &e, ClusterId cluster) const;
 
     u32 numClusters_;
-    std::unordered_map<Addr, Entry> map_;
+    std::unordered_map<LineAddr, Entry> map_;
     CoherenceStats stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "contract/contract.hpp"
 #include "power/report.hpp"
 #include "util/bits.hpp"
 #include "util/logging.hpp"
@@ -20,18 +21,19 @@ MolecularCache::MolecularCache(const MolecularCacheParams &params)
     const u32 total_tiles = params_.totalTiles();
     tiles_.reserve(total_tiles);
     for (u32 t = 0; t < total_tiles; ++t) {
-        tiles_.emplace_back(t, t / params_.tilesPerCluster,
-                            t * params_.moleculesPerTile,
+        tiles_.emplace_back(TileId{t}, ClusterId{t / params_.tilesPerCluster},
+                            MoleculeId{t * params_.moleculesPerTile},
                             params_.moleculesPerTile,
                             params_.linesPerMolecule(), params_.lineSize);
     }
 
     ulmos_.reserve(params_.clusters);
     for (u32 c = 0; c < params_.clusters; ++c) {
-        std::vector<u32> cluster_tiles;
+        std::vector<TileId> cluster_tiles;
         for (u32 i = 0; i < params_.tilesPerCluster; ++i)
-            cluster_tiles.push_back(c * params_.tilesPerCluster + i);
-        ulmos_.emplace_back(c, std::move(cluster_tiles), directory_);
+            cluster_tiles.push_back(TileId{c * params_.tilesPerCluster + i});
+        ulmos_.emplace_back(ClusterId{c}, std::move(cluster_tiles),
+                            directory_);
     }
 
     appsPerCluster_.assign(params_.clusters, 0);
@@ -69,43 +71,46 @@ MolecularCache::MolecularCache(const MolecularCacheParams &params)
 void
 MolecularCache::registerApplication(Asid asid, double resizeGoal)
 {
-    const u32 cluster = asid % params_.clusters;
-    const u32 tile = appsPerCluster_[cluster] % params_.tilesPerCluster;
+    const ClusterId cluster{asid.value() % params_.clusters};
+    const u32 tile = appsPerCluster_[cluster.value()] %
+                     params_.tilesPerCluster;
     registerApplication(asid, resizeGoal, cluster, tile,
                         params_.defaultLineMultiple);
 }
 
 void
 MolecularCache::registerApplication(Asid asid, double resizeGoal,
-                                    u32 cluster, u32 tile, u32 lineMultiple)
+                                    ClusterId cluster, u32 tileInCluster,
+                                    u32 lineMultiple)
 {
     if (asid == kInvalidAsid)
         fatal("cannot register the invalid ASID");
     if (hasApplication(asid))
         fatal("ASID ", asid, " is already registered");
-    if (cluster >= params_.clusters)
+    if (cluster.value() >= params_.clusters)
         fatal("cluster ", cluster, " out of range");
-    if (tile >= params_.tilesPerCluster)
-        fatal("tile ", tile, " out of cluster range");
+    if (tileInCluster >= params_.tilesPerCluster)
+        fatal("tile ", tileInCluster, " out of cluster range");
     if (lineMultiple == 0 || !isPowerOfTwo(lineMultiple) ||
         lineMultiple > params_.linesPerMolecule())
         fatal("bad region line multiple ", lineMultiple);
     if (resizeGoal <= 0.0 || resizeGoal > 1.0)
         fatal("miss-rate goal out of (0,1]");
 
-    const u32 home_tile = cluster * params_.tilesPerCluster + tile;
+    const TileId home_tile{cluster.value() * params_.tilesPerCluster +
+                           tileInCluster};
     auto [it, inserted] = regions_.emplace(
         std::piecewise_construct, std::forward_as_tuple(asid),
         std::forward_as_tuple(asid, params_.placement, lineMultiple,
                               home_tile, cluster, params_.moleculeSize,
                               params_.initialRowMax));
-    MOLCACHE_ASSERT(inserted, "region emplace failed");
+    MOLCACHE_ENSURE(inserted, "region emplace failed");
     Region &region = it->second;
     region.resizeGoal = resizeGoal;
     region.maxAllocation = params_.maxAllocationChunk;
     region.resizePeriod = params_.resizePeriod;
     region.nextResizeTick = params_.resizePeriod;
-    ++appsPerCluster_[cluster];
+    ++appsPerCluster_[cluster.value()];
 
     // Ground Zero (section 3.4): the initial grant comes from the home
     // tile; if it is exhausted we fall back to the cluster so the region
@@ -125,7 +130,7 @@ MolecularCache::registerApplication(Asid asid, double resizeGoal,
     want = std::max<u32>(want, 1);
 
     u32 got = 0;
-    Tile &home = tiles_[home_tile];
+    Tile &home = tiles_[home_tile.value()];
     while (got < want) {
         const MoleculeId id = home.allocate(asid);
         if (id == kInvalidMolecule)
@@ -163,31 +168,33 @@ MolecularCache::unregisterApplication(Asid asid)
     for (const MoleculeId id : mols) {
         Molecule &m = molecule(id);
         for (const Addr la : m.residentLines())
-            directory_.noteEviction(la, region.homeCluster());
-        const u32 dirty = tiles_[m.tile()].release(id);
+            directory_.noteEviction(LineAddr{la}, region.homeCluster());
+        const u32 dirty = tiles_[m.tile().value()].release(id);
         for (u32 i = 0; i < dirty; ++i)
             stats_.recordWriteback(asid);
         region.removeMolecule(id);
     }
-    MOLCACHE_ASSERT(appsPerCluster_[region.homeCluster()] > 0,
-                    "cluster app count underflow");
-    --appsPerCluster_[region.homeCluster()];
+    MOLCACHE_INVARIANT(appsPerCluster_[region.homeCluster().value()] > 0,
+                       "cluster app count underflow");
+    --appsPerCluster_[region.homeCluster().value()];
     regions_.erase(it);
 }
 
 void
-MolecularCache::migrateApplication(Asid asid, u32 cluster, u32 tile)
+MolecularCache::migrateApplication(Asid asid, ClusterId cluster,
+                                   u32 tileInCluster)
 {
     const auto it = regions_.find(asid);
     if (it == regions_.end())
         fatal("ASID ", asid, " is not registered");
-    if (cluster >= params_.clusters)
+    if (cluster.value() >= params_.clusters)
         fatal("cluster ", cluster, " out of range");
-    if (tile >= params_.tilesPerCluster)
-        fatal("tile ", tile, " out of cluster range");
+    if (tileInCluster >= params_.tilesPerCluster)
+        fatal("tile ", tileInCluster, " out of cluster range");
 
     Region &region = it->second;
-    const u32 global_tile = cluster * params_.tilesPerCluster + tile;
+    const TileId global_tile{cluster.value() * params_.tilesPerCluster +
+                             tileInCluster};
     if (cluster == region.homeCluster()) {
         region.rehome(global_tile);
         return;
@@ -197,7 +204,7 @@ MolecularCache::migrateApplication(Asid asid, u32 cluster, u32 tile)
     const double goal = region.resizeGoal;
     const u32 line_multiple = region.lineMultiple();
     unregisterApplication(asid);
-    registerApplication(asid, goal, cluster, tile, line_multiple);
+    registerApplication(asid, goal, cluster, tileInCluster, line_multiple);
 }
 
 Region &
@@ -222,16 +229,16 @@ MolecularCache::region(Asid asid) const
 Molecule &
 MolecularCache::molecule(MoleculeId id)
 {
-    const u32 tile = id / params_.moleculesPerTile;
-    MOLCACHE_ASSERT(tile < tiles_.size(), "molecule id out of range");
+    const u32 tile = id.value() / params_.moleculesPerTile;
+    MOLCACHE_EXPECT(tile < tiles_.size(), "molecule id out of range");
     return tiles_[tile].molecule(id);
 }
 
 const Molecule &
 MolecularCache::molecule(MoleculeId id) const
 {
-    const u32 tile = id / params_.moleculesPerTile;
-    MOLCACHE_ASSERT(tile < tiles_.size(), "molecule id out of range");
+    const u32 tile = id.value() / params_.moleculesPerTile;
+    MOLCACHE_EXPECT(tile < tiles_.size(), "molecule id out of range");
     return tiles_[tile].molecule(id);
 }
 
@@ -245,12 +252,13 @@ MolecularCache::freeMolecules() const
 }
 
 u32
-MolecularCache::freeMoleculesInCluster(u32 cluster) const
+MolecularCache::freeMoleculesInCluster(ClusterId cluster) const
 {
-    MOLCACHE_ASSERT(cluster < params_.clusters, "cluster out of range");
+    MOLCACHE_EXPECT(cluster.value() < params_.clusters,
+                    "cluster out of range");
     u32 n = 0;
-    for (const u32 t : ulmos_[cluster].tiles())
-        n += tiles_[t].freeCount();
+    for (const TileId t : ulmos_[cluster.value()].tiles())
+        n += tiles_[t.value()].freeCount();
     return n;
 }
 
@@ -274,19 +282,19 @@ MolecularCache::setSharedMolecule(MoleculeId id, bool shared)
 }
 
 Molecule *
-MolecularCache::probeTile(u32 tile, const std::vector<MoleculeId> &mols,
+MolecularCache::probeTile(TileId tile, const std::vector<MoleculeId> &mols,
                           Addr addr)
 {
-    const u32 cluster = tile / params_.tilesPerCluster;
+    const ClusterId cluster{tile.value() / params_.tilesPerCluster};
     for (const MoleculeId id : mols) {
-        Molecule &m = tiles_[tile].molecule(id);
+        Molecule &m = tiles_[tile.value()].molecule(id);
         // The probe reads data + tag + parity; a poisoned slot fails the
         // parity check here, is dropped, and the probe reads as a miss.
         if (const auto dropped = m.scrubIfPoisoned(addr)) {
             ++faultStats_.transientFlipsDetected;
             if (dropped->dirty)
                 ++faultStats_.dirtyLinesLost;
-            directory_.noteEviction(dropped->addr, cluster);
+            directory_.noteEviction(LineAddr{dropped->addr}, cluster);
             continue;
         }
         if (m.lookup(addr))
@@ -309,7 +317,7 @@ MolecularCache::access(const MemAccess &a)
     Region &region = regionFor(a.asid);
     ++tick_;
     applyDueFaults();
-    Tile &home = tiles_[region.homeTile()];
+    Tile &home = tiles_[region.homeTile().value()];
     home.notePortAccess();
 
     LookupPlan plan = planLookup(region, region.homeTile(), a.addr,
@@ -327,7 +335,8 @@ MolecularCache::access(const MemAccess &a)
     double energy = tileAccessEnergyNj(probes);
     // The ASID stage gates every tile visit; matching molecules of a
     // tile are probed in parallel behind the single port.
-    u32 latency = params_.asidStageCycles + params_.moleculeAccessCycles;
+    Cycles latency = params_.asidStageCycles +
+                     params_.moleculeAccessCycles;
     u8 level = 0;
 
     Molecule *hit_mol = probeTile(region.homeTile(), plan.home.molecules,
@@ -335,7 +344,7 @@ MolecularCache::access(const MemAccess &a)
 
     if (hit_mol == nullptr && !plan.remote.empty()) {
         // Tile miss: Ulmo forwards to the region's other tiles.
-        Ulmo &ulmo = ulmos_[region.homeCluster()];
+        Ulmo &ulmo = ulmos_[region.homeCluster().value()];
         ulmo.noteTileMiss();
         for (const TileProbes &tp : plan.remote) {
             const u32 n = static_cast<u32>(tp.molecules.size());
@@ -343,7 +352,7 @@ MolecularCache::access(const MemAccess &a)
             latency += params_.ulmoHopCycles + params_.asidStageCycles +
                        params_.moleculeAccessCycles;
             probes += n;
-            tiles_[tp.tile].notePortAccess();
+            tiles_[tp.tile.value()].notePortAccess();
             ulmo.noteRemoteProbes(n);
             hit_mol = probeTile(tp.tile, tp.molecules, a.addr);
             if (hit_mol != nullptr) {
@@ -360,7 +369,7 @@ MolecularCache::access(const MemAccess &a)
             hit_mol->noteTouch(a.addr, tick_);
         if (a.isWrite()) {
             hit_mol->markDirty(a.addr);
-            const Addr line = alignDown(a.addr, params_.lineSize);
+            const LineAddr line = lineAddrOf(a.addr, params_.lineSize);
             applyInvalidations(
                 directory_.noteWrite(line, region.homeCluster()), line,
                 a.asid, region.homeCluster());
@@ -431,11 +440,12 @@ MolecularCache::handleMiss(Region &region, const MemAccess &a)
             } else if (ev->dirty) {
                 stats_.recordWriteback(a.asid);
             }
-            directory_.noteEviction(ev->addr, region.homeCluster());
+            directory_.noteEviction(LineAddr{ev->addr},
+                                    region.homeCluster());
         }
         applyInvalidations(
-            directory_.noteFill(la, region.homeCluster(), dirty), la,
-            a.asid, region.homeCluster());
+            directory_.noteFill(LineAddr{la}, region.homeCluster(), dirty),
+            LineAddr{la}, a.asid, region.homeCluster());
     }
 
     if (replaced) {
@@ -451,7 +461,7 @@ MolecularCache::handleMiss(Region &region, const MemAccess &a)
 MoleculeId
 MolecularCache::chooseLruDirectMolecule(const Region &region, Addr addr)
 {
-    MOLCACHE_ASSERT(!region.empty(), "LRU-Direct fill into empty region");
+    MOLCACHE_EXPECT(!region.empty(), "LRU-Direct fill into empty region");
     MoleculeId best = kInvalidMolecule;
     u64 best_tick = ~0ull;
     for (const auto &[tile, mols] : region.byTile()) {
@@ -465,37 +475,38 @@ MolecularCache::chooseLruDirectMolecule(const Region &region, Addr addr)
             }
         }
     }
-    MOLCACHE_ASSERT(best != kInvalidMolecule, "no LRU-Direct candidate");
+    MOLCACHE_ENSURE(best != kInvalidMolecule, "no LRU-Direct candidate");
     return best;
 }
 
 void
-MolecularCache::applyInvalidations(const std::vector<u32> &clusters,
-                                   Addr lineAddr, Asid except, u32 origin)
+MolecularCache::applyInvalidations(const std::vector<ClusterId> &clusters,
+                                   LineAddr lineAddr, Asid except,
+                                   ClusterId origin)
 {
-    for (const u32 c : clusters) {
+    for (const ClusterId c : clusters) {
         // One invalidation message from the writing cluster to each
         // victim over the inter-cluster interconnect.
-        noc_.sendMessage(origin, c);
-        ulmos_[c].noteInvalidation();
+        noc_.sendMessage(origin.value(), c.value());
+        ulmos_[c.value()].noteInvalidation();
         for (auto &[asid, region] : regions_) {
             if (region.homeCluster() != c || asid == except)
                 continue;
             for (const auto &[tile, mols] : region.byTile()) {
                 for (const MoleculeId id : mols) {
-                    if (molecule(id).invalidate(lineAddr))
+                    if (molecule(id).invalidate(lineAddr.value()))
                         stats_.recordWriteback(asid);
                 }
             }
         }
         // Shared-bit molecules on the cluster's tiles.
-        for (const u32 t : ulmos_[c].tiles()) {
+        for (const TileId t : ulmos_[c.value()].tiles()) {
             const auto it = sharedByTile_.find(t);
             if (it == sharedByTile_.end())
                 continue;
             for (const MoleculeId id : it->second) {
                 Molecule &m = molecule(id);
-                if (m.invalidate(lineAddr))
+                if (m.invalidate(lineAddr.value()))
                     stats_.recordWriteback(m.configuredAsid());
             }
         }
@@ -560,8 +571,8 @@ MolecularCache::grant(Region &region, u32 count)
         return 0;
     u32 got = 0;
 
-    auto take_from = [&](u32 tile_index) {
-        Tile &tile = tiles_[tile_index];
+    auto take_from = [&](TileId tile_index) {
+        Tile &tile = tiles_[tile_index.value()];
         while (got < count) {
             const MoleculeId id = tile.allocate(region.asid());
             if (id == kInvalidMolecule)
@@ -573,8 +584,8 @@ MolecularCache::grant(Region &region, u32 count)
 
     take_from(region.homeTile());
 
-    Ulmo &ulmo = ulmos_[region.homeCluster()];
-    for (const u32 t : ulmo.tiles()) {
+    Ulmo &ulmo = ulmos_[region.homeCluster().value()];
+    for (const TileId t : ulmo.tiles()) {
         if (t == region.homeTile() || got >= count)
             continue;
         const u32 before = got;
@@ -595,8 +606,8 @@ MolecularCache::withdraw(Region &region, u32 count)
             break;
         Molecule &m = molecule(id);
         for (const Addr la : m.residentLines())
-            directory_.noteEviction(la, region.homeCluster());
-        const u32 dirty = tiles_[m.tile()].release(id);
+            directory_.noteEviction(LineAddr{la}, region.homeCluster());
+        const u32 dirty = tiles_[m.tile().value()].release(id);
         for (u32 i = 0; i < dirty; ++i)
             stats_.recordWriteback(region.asid());
         region.removeMolecule(id);
@@ -662,14 +673,16 @@ MolecularCache::applyDueFaults()
     while (const FaultEvent *ev = injector_.drainOne(tick_)) {
         switch (ev->kind) {
           case FaultKind::TransientFlip:
-            injectTransientFlip(ev->target % params_.totalMolecules(),
-                                ev->line);
+            injectTransientFlip(
+                MoleculeId{ev->target % params_.totalMolecules()},
+                ev->line);
             break;
           case FaultKind::HardFault:
-            injectHardFault(ev->target % params_.totalMolecules());
+            injectHardFault(
+                MoleculeId{ev->target % params_.totalMolecules()});
             break;
           case FaultKind::TileOutage:
-            injectTileOutage(ev->target % params_.totalTiles());
+            injectTileOutage(TileId{ev->target % params_.totalTiles()});
             break;
         }
     }
@@ -697,11 +710,12 @@ MolecularCache::injectHardFault(MoleculeId id)
 }
 
 void
-MolecularCache::injectTileOutage(u32 tile)
+MolecularCache::injectTileOutage(TileId tile)
 {
-    MOLCACHE_ASSERT(tile < tiles_.size(), "tile outage out of range");
+    MOLCACHE_EXPECT(tile.value() < tiles_.size(),
+                    "tile outage out of range");
     ++faultStats_.tileOutages;
-    const Tile &t = tiles_[tile];
+    const Tile &t = tiles_[tile.value()];
     const MoleculeId first = t.firstMolecule();
     for (MoleculeId id = first; id < first + t.numMolecules(); ++id)
         decommissionMolecule(id);
@@ -713,8 +727,8 @@ MolecularCache::decommissionMolecule(MoleculeId id)
     Molecule &m = molecule(id);
     if (m.decommissioned())
         return false;
-    const u32 tile_index = m.tile();
-    const u32 cluster = tile_index / params_.tilesPerCluster;
+    const TileId tile_index = m.tile();
+    const ClusterId cluster{tile_index.value() / params_.tilesPerCluster};
     const Asid owner = m.configuredAsid();
 
     if (!m.isFree()) {
@@ -727,17 +741,17 @@ MolecularCache::decommissionMolecule(MoleculeId id)
             // view forgets the molecule, and the region notes the
             // capacity hole so the resizer re-acquires around it.
             for (const Addr la : m.residentLines())
-                directory_.noteEviction(la, region.homeCluster());
+                directory_.noteEviction(LineAddr{la}, region.homeCluster());
             region.removeMolecule(id);
             region.noteMoleculeLost();
             break;
         }
     }
 
-    const u32 dirty = tiles_[tile_index].decommission(id);
+    const u32 dirty = tiles_[tile_index.value()].decommission(id);
     for (u32 i = 0; i < dirty; ++i)
         stats_.recordWriteback(owner);
-    ulmos_[cluster].noteDecommission();
+    ulmos_[cluster.value()].noteDecommission();
     ++faultStats_.moleculesDecommissioned;
     return true;
 }
@@ -762,7 +776,7 @@ MolecularCache::registeredAsids() const
 }
 
 void
-MolecularCache::setAuditHook(u64 everyAccesses, AuditHook hook)
+MolecularCache::setAuditHook(Tick everyAccesses, AuditHook hook)
 {
     auditInterval_ = everyAccesses;
     auditHook_ = std::move(hook);

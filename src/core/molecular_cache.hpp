@@ -57,9 +57,10 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
      */
     void registerApplication(Asid asid, double resizeGoal);
 
-    /** Explicit placement variant. */
-    void registerApplication(Asid asid, double resizeGoal, u32 cluster,
-                             u32 tile, u32 lineMultiple);
+    /** Explicit placement variant; @p tileInCluster is the destination
+     * tile's cluster-local ordinal (0..tilesPerCluster-1). */
+    void registerApplication(Asid asid, double resizeGoal, ClusterId cluster,
+                             u32 tileInCluster, u32 lineMultiple);
 
     bool hasApplication(Asid asid) const;
 
@@ -76,10 +77,10 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
      * one tile cluster, Ulmo's search domain — so cached contents are
      * dropped (dirty lines written back).
      *
-     * @param cluster destination cluster
-     * @param tile    destination tile, cluster-local index
+     * @param cluster       destination cluster
+     * @param tileInCluster  destination tile, cluster-local index
      */
-    void migrateApplication(Asid asid, u32 cluster, u32 tile);
+    void migrateApplication(Asid asid, ClusterId cluster, u32 tileInCluster);
 
     // CacheModel interface -------------------------------------------------
     AccessResult access(const MemAccess &access) override;
@@ -91,8 +92,11 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     // Introspection --------------------------------------------------------
     const MolecularCacheParams &params() const { return params_; }
     const Region &region(Asid asid) const;
-    const Tile &tile(u32 index) const { return tiles_.at(index); }
-    const Ulmo &ulmo(u32 cluster) const { return ulmos_.at(cluster); }
+    const Tile &tile(TileId index) const { return tiles_.at(index.value()); }
+    const Ulmo &ulmo(ClusterId cluster) const
+    {
+        return ulmos_.at(cluster.value());
+    }
     const CoherenceDirectory &directory() const { return directory_; }
     /** Inter-cluster interconnect stats (coherence traffic). */
     const NocModel &noc() const { return noc_; }
@@ -102,7 +106,7 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
 
     /** Free molecules across the whole cache / one cluster. */
     u32 freeMolecules() const;
-    u32 freeMoleculesInCluster(u32 cluster) const;
+    u32 freeMoleculesInCluster(ClusterId cluster) const;
 
     /** Configure a molecule's shared bit (it is probed by every request
      * entering its tile, regardless of ASID — paper figure 3). */
@@ -150,7 +154,7 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     void injectTransientFlip(MoleculeId id, u32 line);
 
     /** Decommission every molecule of @p tile at once. */
-    void injectTileOutage(u32 tile);
+    void injectTileOutage(TileId tile);
 
     const FaultStats &faultStats() const { return faultStats_; }
 
@@ -166,7 +170,7 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
      * a cross-layer consistency audit here).  0 disables.
      */
     using AuditHook = std::function<void(const MolecularCache &)>;
-    void setAuditHook(u64 everyAccesses, AuditHook hook);
+    void setAuditHook(Tick everyAccesses, AuditHook hook);
 
   private:
     // MoleculeBroker -------------------------------------------------------
@@ -174,10 +178,10 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     u32 withdraw(Region &region, u32 count) override;
 
     Region &regionFor(Asid asid);
-    Tile &tileAt(u32 index) { return tiles_[index]; }
+    Tile &tileAt(TileId index) { return tiles_[index.value()]; }
 
     /** Probe @p mols on @p tile; @return the hit molecule or nullptr. */
-    Molecule *probeTile(u32 tile, const std::vector<MoleculeId> &mols,
+    Molecule *probeTile(TileId tile, const std::vector<MoleculeId> &mols,
                         Addr addr);
 
     /** Fill the miss (line-multiple aware) into the region.
@@ -190,8 +194,9 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
 
     /** Apply directory-mandated invalidations for @p lineAddr, routing
      * one message per victim cluster from @p origin over the NoC. */
-    void applyInvalidations(const std::vector<u32> &clusters, Addr lineAddr,
-                            Asid except, u32 origin);
+    void applyInvalidations(const std::vector<ClusterId> &clusters,
+                            LineAddr lineAddr, Asid except,
+                            ClusterId origin);
 
     /** Run resize scheduling after an access by @p region. */
     void maybeResize(Region &region);
@@ -234,7 +239,7 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     u64 enabledIntegral_ = 0;
 
     // Shared-bit molecules per tile (probed by every request).
-    std::map<u32, std::vector<MoleculeId>> sharedByTile_;
+    std::map<TileId, std::vector<MoleculeId>> sharedByTile_;
 
     // Fault injection & audit state.
     FaultInjector injector_;

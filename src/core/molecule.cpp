@@ -1,17 +1,18 @@
 #include "core/molecule.hpp"
 
+#include "contract/contract.hpp"
 #include "util/bits.hpp"
-#include "util/logging.hpp"
 
 namespace molcache {
 
-Molecule::Molecule(MoleculeId id, u32 tile, u32 numLines, u32 lineSize)
+Molecule::Molecule(MoleculeId id, TileId tile, u32 numLines,
+                   u32 lineSize)
     : id_(id), tile_(tile), numLines_(numLines), lineSize_(lineSize),
       lines_(numLines)
 {
-    MOLCACHE_ASSERT(numLines > 0 && isPowerOfTwo(numLines),
+    MOLCACHE_EXPECT(numLines > 0 && isPowerOfTwo(numLines),
                     "molecule lines must be a power of two");
-    MOLCACHE_ASSERT(isPowerOfTwo(lineSize), "line size must be 2^k");
+    MOLCACHE_EXPECT(isPowerOfTwo(lineSize), "line size must be 2^k");
 }
 
 u32
@@ -29,8 +30,8 @@ Molecule::tagOf(Addr addr) const
 void
 Molecule::assignTo(Asid asid)
 {
-    MOLCACHE_ASSERT(asid != kInvalidAsid, "assigning invalid ASID");
-    MOLCACHE_ASSERT(!decommissioned_, "assigning a decommissioned molecule");
+    MOLCACHE_EXPECT(asid != kInvalidAsid, "assigning invalid ASID");
+    MOLCACHE_EXPECT(!decommissioned_, "assigning a decommissioned molecule");
     // Reconfiguration invalidates contents: region data must not leak
     // between applications.
     for (Line &l : lines_)
@@ -68,13 +69,13 @@ void
 Molecule::markDirty(Addr addr)
 {
     Line &l = lines_[indexOf(addr)];
-    MOLCACHE_ASSERT(l.valid && l.tag == tagOf(addr),
+    MOLCACHE_EXPECT(l.valid && l.tag == tagOf(addr),
                     "markDirty on non-resident line");
     l.dirty = true;
 }
 
 std::optional<Eviction>
-Molecule::fill(Addr addr, bool dirty, u64 tick)
+Molecule::fill(Addr addr, bool dirty, Tick tick)
 {
     Line &l = lines_[indexOf(addr)];
     std::optional<Eviction> evicted;
@@ -103,15 +104,15 @@ Molecule::fill(Addr addr, bool dirty, u64 tick)
 }
 
 void
-Molecule::noteTouch(Addr addr, u64 tick)
+Molecule::noteTouch(Addr addr, Tick tick)
 {
     Line &l = lines_[indexOf(addr)];
-    MOLCACHE_ASSERT(l.valid && l.tag == tagOf(addr),
+    MOLCACHE_EXPECT(l.valid && l.tag == tagOf(addr),
                     "noteTouch on non-resident line");
     l.touched = tick;
 }
 
-std::optional<u64>
+std::optional<Tick>
 Molecule::slotTouchTick(Addr addr) const
 {
     const Line &l = lines_[indexOf(addr)];
@@ -147,7 +148,7 @@ Molecule::invalidate(Addr addr)
 bool
 Molecule::poisonLine(u32 index)
 {
-    MOLCACHE_ASSERT(index < numLines_, "poisoned line index out of range");
+    MOLCACHE_EXPECT(index < numLines_, "poisoned line index out of range");
     Line &l = lines_[index];
     if (!l.valid)
         return false; // flip in an invalid slot: nothing to corrupt

@@ -19,10 +19,6 @@
 
 namespace molcache {
 
-/** Dense molecule identifier, unique across the whole molecular cache. */
-using MoleculeId = u32;
-inline constexpr MoleculeId kInvalidMolecule = ~0u;
-
 /** What fill() displaced (for writeback accounting). */
 struct Eviction
 {
@@ -42,10 +38,10 @@ class Molecule
      * @param numLines capacity in lines
      * @param lineSize line size in bytes
      */
-    Molecule(MoleculeId id, u32 tile, u32 numLines, u32 lineSize);
+    Molecule(MoleculeId id, TileId tile, u32 numLines, u32 lineSize);
 
     MoleculeId id() const { return id_; }
-    u32 tile() const { return tile_; }
+    TileId tile() const { return tile_; }
     u32 numLines() const { return numLines_; }
     u32 lineSize() const { return lineSize_; }
 
@@ -83,17 +79,17 @@ class Molecule
      * slot.  @return the eviction if a valid line was displaced.
      * @param tick recency stamp for the LRU-Direct scheme (0 = untracked)
      */
-    std::optional<Eviction> fill(Addr addr, bool dirty, u64 tick = 0);
+    std::optional<Eviction> fill(Addr addr, bool dirty, Tick tick = 0);
 
     /** Stamp the recency of a resident line (hit path, LRU-Direct). */
-    void noteTouch(Addr addr, u64 tick);
+    void noteTouch(Addr addr, Tick tick);
 
     /**
      * Recency stamp of the slot @p addr maps to, regardless of which tag
      * occupies it; nullopt when the slot is invalid (an invalid slot is
      * always the preferred LRU-Direct victim).
      */
-    std::optional<u64> slotTouchTick(Addr addr) const;
+    std::optional<Tick> slotTouchTick(Addr addr) const;
 
     /** Drop the line holding @p addr if resident; true if it was dirty.
      * A poisoned line reports false: corrupt data is never written back. */
@@ -161,7 +157,7 @@ class Molecule
     Addr tagOf(Addr addr) const;
 
     MoleculeId id_;
-    u32 tile_;
+    TileId tile_;
     u32 numLines_;
     u32 lineSize_;
     Asid asid_ = kInvalidAsid;

@@ -64,9 +64,9 @@ MolecularCacheParams::validate() const
 {
     if (lineSize == 0 || !isPowerOfTwo(lineSize))
         fatal("molecule line size must be a power of two");
-    if (moleculeSize == 0 || !isPowerOfTwo(moleculeSize))
+    if (moleculeSize.value() == 0 || !isPowerOfTwo(moleculeSize.value()))
         fatal("molecule size must be a power of two");
-    if (moleculeSize < lineSize)
+    if (moleculeSize.value() < lineSize)
         fatal("molecule smaller than one line");
     if (moleculesPerTile == 0)
         fatal("tile needs at least one molecule");

@@ -80,8 +80,8 @@ std::string resizeSchemeName(ResizeScheme s);
 
 struct MolecularCacheParams
 {
-    /** Molecule capacity in bytes (paper: 8-32 KB). */
-    u64 moleculeSize = 8_KiB;
+    /** Molecule capacity (paper: 8-32 KB). */
+    Bytes moleculeSize = 8_KiB;
     /** Molecule line size in bytes (paper: 64). */
     u32 lineSize = 64;
     /** Molecules per tile (paper: 32-256). */
@@ -169,10 +169,10 @@ struct MolecularCacheParams
     /** @{ Latency model, in cache cycles.  The ASID comparison adds one
      * pipeline stage to every molecule access (paper section 3.1); tile
      * misses pay an Ulmo hop per remote tile visited (section 3.3). */
-    u32 asidStageCycles = 1;
-    u32 moleculeAccessCycles = 1;
-    u32 ulmoHopCycles = 4;
-    u32 missPenaltyCycles = 200;
+    Cycles asidStageCycles{1};
+    Cycles moleculeAccessCycles{1};
+    Cycles ulmoHopCycles{4};
+    Cycles missPenaltyCycles{200};
     /** @} */
 
     /** Inter-cluster interconnect carrying coherence traffic (the
@@ -181,12 +181,15 @@ struct MolecularCacheParams
 
     u32 totalTiles() const { return clusters * tilesPerCluster; }
     u32 totalMolecules() const { return totalTiles() * moleculesPerTile; }
-    u64 tileSizeBytes() const { return moleculeSize * moleculesPerTile; }
-    u64 clusterSizeBytes() const { return tileSizeBytes() * tilesPerCluster; }
-    u64 totalSizeBytes() const { return clusterSizeBytes() * clusters; }
+    Bytes tileSizeBytes() const { return moleculeSize * moleculesPerTile; }
+    Bytes clusterSizeBytes() const
+    {
+        return tileSizeBytes() * tilesPerCluster;
+    }
+    Bytes totalSizeBytes() const { return clusterSizeBytes() * clusters; }
     u32 linesPerMolecule() const
     {
-        return static_cast<u32>(moleculeSize / lineSize);
+        return static_cast<u32>(moleculeSize.value() / lineSize);
     }
 
     /** fatal() on incoherent geometry. */

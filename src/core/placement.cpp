@@ -5,7 +5,7 @@
 namespace molcache {
 
 LookupPlan
-planLookup(const Region &region, u32 requestorTile, Addr addr,
+planLookup(const Region &region, TileId requestorTile, Addr addr,
            bool rowRestricted)
 {
     LookupPlan plan;
@@ -18,7 +18,7 @@ planLookup(const Region &region, u32 requestorTile, Addr addr,
     // eligible anywhere in the hierarchy.
     const std::vector<MoleculeId> *row = nullptr;
     if (restrict_row)
-        row = &region.rows()[region.rowOf(addr)];
+        row = &region.rows()[region.rowOf(addr).value()];
 
     auto eligible = [&](MoleculeId mol) {
         return !restrict_row ||

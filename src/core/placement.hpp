@@ -23,7 +23,7 @@ namespace molcache {
 /** Probes for one tile. */
 struct TileProbes
 {
-    u32 tile = 0;
+    TileId tile{};
     std::vector<MoleculeId> molecules;
 };
 
@@ -54,8 +54,8 @@ struct LookupPlan
  * @param rowRestricted  Randy-only ablation: probe only the molecules of
  *                       the address's replacement row
  */
-LookupPlan planLookup(const Region &region, u32 requestorTile, Addr addr,
-                      bool rowRestricted);
+LookupPlan planLookup(const Region &region, TileId requestorTile,
+                      Addr addr, bool rowRestricted);
 
 } // namespace molcache
 

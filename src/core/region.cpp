@@ -2,27 +2,27 @@
 
 #include <algorithm>
 
+#include "contract/contract.hpp"
 #include "stats/counter.hpp"
-#include "util/logging.hpp"
 
 namespace molcache {
 
 Region::Region(Asid asid, PlacementPolicy policy, u32 lineMultiple,
-               u32 homeTile, u32 homeCluster, u64 moleculeSize,
+               TileId homeTile, ClusterId homeCluster, Bytes moleculeSize,
                u32 initialRowMax)
     : asid_(asid), policy_(policy), lineMultiple_(lineMultiple),
       homeTile_(homeTile), homeCluster_(homeCluster),
       moleculeSize_(moleculeSize), initialRowMax_(initialRowMax)
 {
-    MOLCACHE_ASSERT(lineMultiple_ >= 1, "line multiple must be >= 1");
-    MOLCACHE_ASSERT(moleculeSize_ > 0, "molecule size must be > 0");
-    MOLCACHE_ASSERT(initialRowMax_ >= 1, "initialRowMax must be >= 1");
+    MOLCACHE_EXPECT(lineMultiple_ >= 1, "line multiple must be >= 1");
+    MOLCACHE_EXPECT(moleculeSize_ > Bytes{0}, "molecule size must be > 0");
+    MOLCACHE_EXPECT(initialRowMax_ >= 1, "initialRowMax must be >= 1");
 }
 
 void
-Region::addMolecule(MoleculeId mol, u32 tile, bool initial)
+Region::addMolecule(MoleculeId mol, TileId tile, bool initial)
 {
-    MOLCACHE_ASSERT(!contains(mol), "molecule already in region");
+    MOLCACHE_EXPECT(!contains(mol), "molecule already in region");
 
     u32 row;
     if (policy_ != PlacementPolicy::Randy) {
@@ -63,7 +63,7 @@ Region::addMolecule(MoleculeId mol, u32 tile, bool initial)
     }
 
     rows_[row].push_back(mol);
-    molRow_[mol] = row;
+    molRow_[mol] = RowIndex{row};
     molTile_[mol] = tile;
     molMiss_[mol] = 0;
     byTile_[tile].push_back(mol);
@@ -74,8 +74,8 @@ void
 Region::removeMolecule(MoleculeId mol)
 {
     const auto rowIt = molRow_.find(mol);
-    MOLCACHE_ASSERT(rowIt != molRow_.end(), "molecule not in region");
-    const u32 row = rowIt->second;
+    MOLCACHE_EXPECT(rowIt != molRow_.end(), "molecule not in region");
+    const u32 row = rowIt->second.value();
 
     auto &rowVec = rows_[row];
     rowVec.erase(std::find(rowVec.begin(), rowVec.end(), mol));
@@ -86,11 +86,11 @@ Region::removeMolecule(MoleculeId mol)
         rows_.erase(rows_.begin() + row);
         rowMiss_.erase(rowMiss_.begin() + row);
         for (auto &[m, r] : molRow_)
-            if (r > row)
+            if (r.value() > row)
                 --r;
     }
 
-    const u32 tile = molTile_.at(mol);
+    const TileId tile = molTile_.at(mol);
     auto &tileVec = byTile_.at(tile);
     tileVec.erase(std::find(tileVec.begin(), tileVec.end(), mol));
     if (tileVec.empty())
@@ -102,19 +102,20 @@ Region::removeMolecule(MoleculeId mol)
     --size_;
 }
 
-u32
+RowIndex
 Region::rowOf(Addr addr) const
 {
-    MOLCACHE_ASSERT(!rows_.empty(), "rowOf on empty region");
-    return static_cast<u32>((addr / moleculeSize_) % rowMax());
+    MOLCACHE_EXPECT(!rows_.empty(), "rowOf on empty region");
+    return RowIndex{
+        static_cast<u32>((addr / moleculeSize_.value()) % rowMax())};
 }
 
 MoleculeId
 Region::chooseFillMolecule(Addr addr, RandomSource &rng) const
 {
-    MOLCACHE_ASSERT(size_ > 0, "fill into empty region");
+    MOLCACHE_EXPECT(size_ > 0, "fill into empty region");
     if (policy_ == PlacementPolicy::Randy) {
-        const auto &row = rows_[rowOf(addr)];
+        const auto &row = rows_[rowOf(addr).value()];
         return row[rng.below(static_cast<u32>(row.size()))];
     }
     // Random: uniform over every molecule of the region.
@@ -152,7 +153,7 @@ Region::pickWithdrawal() const
                 coldRow = r;
             }
         }
-        MOLCACHE_ASSERT(coldRow >= 0, "no withdrawable row found");
+        MOLCACHE_ENSURE(coldRow >= 0, "no withdrawable row found");
         const auto &row = rows_[static_cast<size_t>(coldRow)];
         MoleculeId best = row.front();
         for (const MoleculeId m : row)
@@ -172,8 +173,8 @@ void
 Region::noteReplacement(MoleculeId mol, Addr addr)
 {
     const auto it = molRow_.find(mol);
-    MOLCACHE_ASSERT(it != molRow_.end(), "replacement in foreign molecule");
-    ++rowMiss_[it->second];
+    MOLCACHE_EXPECT(it != molRow_.end(), "replacement in foreign molecule");
+    ++rowMiss_[it->second.value()];
     ++molMiss_[mol];
     ++intervalReplacements_;
     (void)addr;

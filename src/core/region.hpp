@@ -25,6 +25,7 @@
 #include "core/params.hpp"
 #include "util/random.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace molcache {
 
@@ -39,17 +40,18 @@ class Region
      * @param homeCluster  cluster of the home tile
      * @param moleculeSize molecule capacity (bytes), fixes the row hash
      */
-    Region(Asid asid, PlacementPolicy policy, u32 lineMultiple, u32 homeTile,
-           u32 homeCluster, u64 moleculeSize, u32 initialRowMax = 8);
+    Region(Asid asid, PlacementPolicy policy, u32 lineMultiple,
+           TileId homeTile, ClusterId homeCluster, Bytes moleculeSize,
+           u32 initialRowMax = 8);
 
     Asid asid() const { return asid_; }
-    u32 homeTile() const { return homeTile_; }
-    u32 homeCluster() const { return homeCluster_; }
+    TileId homeTile() const { return homeTile_; }
+    ClusterId homeCluster() const { return homeCluster_; }
 
     /** Re-home the region onto another tile of the SAME cluster (the
      * paper's non-static processor-tile mapping on context switch);
      * molecules stay where they are and become remote probes. */
-    void rehome(u32 tile) { homeTile_ = tile; }
+    void rehome(TileId tile) { homeTile_ = tile; }
     u32 lineMultiple() const { return lineMultiple_; }
     PlacementPolicy policy() const { return policy_; }
 
@@ -59,7 +61,7 @@ class Region
     const std::vector<std::vector<MoleculeId>> &rows() const { return rows_; }
 
     /** Molecules per hosting tile; iteration starts at the home tile. */
-    const std::map<u32, std::vector<MoleculeId>> &byTile() const
+    const std::map<TileId, std::vector<MoleculeId>> &byTile() const
     {
         return byTile_;
     }
@@ -73,14 +75,14 @@ class Region
      * own row, establishing rowMax; later grants widen the row with the
      * highest replacement-miss count ("Where to add?", section 3.4).
      */
-    void addMolecule(MoleculeId mol, u32 tile, bool initial);
+    void addMolecule(MoleculeId mol, TileId tile, bool initial);
 
     /** Remove @p mol from the view; empty rows are deleted (rowMax may
      * shrink — lookups stay correct because the whole region is probed). */
     void removeMolecule(MoleculeId mol);
 
     /** Replacement-view row of @p addr (Randy hash). */
-    u32 rowOf(Addr addr) const;
+    RowIndex rowOf(Addr addr) const;
 
     /**
      * Choose the molecule that receives a fill for @p addr:
@@ -162,17 +164,17 @@ class Region
     Asid asid_;
     PlacementPolicy policy_;
     u32 lineMultiple_;
-    u32 homeTile_;
-    u32 homeCluster_;
-    u64 moleculeSize_;
+    TileId homeTile_;
+    ClusterId homeCluster_;
+    Bytes moleculeSize_;
     u32 initialRowMax_;
 
     std::vector<std::vector<MoleculeId>> rows_;
     std::vector<u64> rowMiss_;
     std::map<MoleculeId, u64> molMiss_;
-    std::map<MoleculeId, u32> molRow_;
-    std::map<MoleculeId, u32> molTile_;
-    std::map<u32, std::vector<MoleculeId>> byTile_;
+    std::map<MoleculeId, RowIndex> molRow_;
+    std::map<MoleculeId, TileId> molTile_;
+    std::map<TileId, std::vector<MoleculeId>> byTile_;
     u32 size_ = 0;
 
     u64 intervalAccesses_ = 0;

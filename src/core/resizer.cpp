@@ -109,7 +109,11 @@ Resizer::resizeRegion(Region &region, double goal,
         // The sqrt law yields zero for a region missing (almost) never,
         // which would pin an over-provisioned partition forever; release
         // at least one molecule per cycle so it drifts toward its goal.
-        u32 want = std::max<u32>(1, static_cast<u32>(std::lround(t)));
+        // lround() returns a (signed) long; t is non-negative by
+        // construction, so clamp at zero before the unsigned conversion
+        // instead of relying on that implicitly.
+        const long rounded = std::max(0L, std::lround(t));
+        u32 want = std::max<u32>(1, static_cast<u32>(rounded));
         if (region.size() > 0)
             want = std::min(want, region.size() - 1); // keep >= 1 molecule
         const u32 got = broker.withdraw(region, want);
@@ -124,8 +128,14 @@ Resizer::resizeRegion(Region &region, double goal,
             static_cast<double>(region.size()) * mr / goal;
         u32 want = 0;
         if (target > region.size()) {
-            want = static_cast<u32>(std::ceil(target)) - region.size();
-            want = std::min(want, region.maxAllocation);
+            // Subtract and clamp in double first: a pathological
+            // mr/goal ratio can push ceil(target) past u32 range, and
+            // the old double->u32 conversion of it was undefined there.
+            const double extra = std::ceil(target) -
+                                 static_cast<double>(region.size());
+            const double capped = std::min(
+                extra, static_cast<double>(region.maxAllocation));
+            want = static_cast<u32>(capped);
         }
         const u32 got = broker.grant(region, want);
         if (want > 0) {
@@ -142,14 +152,14 @@ Resizer::resizeRegion(Region &region, double goal,
     return out;
 }
 
-u64
-Resizer::adaptPeriod(u64 period, double missRate, double goal) const
+Tick
+Resizer::adaptPeriod(Tick period, double missRate, double goal) const
 {
-    u64 next;
+    Tick next;
     if (missRate < goal) {
         next = period * 2;
     } else {
-        next = static_cast<u64>(
+        next = static_cast<Tick>(
             std::max(1.0, 0.1 * static_cast<double>(period)));
     }
     return std::clamp(next, params_.minResizePeriod,

@@ -85,7 +85,7 @@ class Resizer
      * Adapt a resize period from an observed miss rate (global or
      * per-application scheme).
      */
-    u64 adaptPeriod(u64 period, double missRate, double goal) const;
+    Tick adaptPeriod(Tick period, double missRate, double goal) const;
 
     /** @{ Lifetime counters. */
     u64 runs() const { return runs_; }

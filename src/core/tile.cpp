@@ -1,14 +1,15 @@
 #include "core/tile.hpp"
 
+#include "contract/contract.hpp"
 #include "util/logging.hpp"
 
 namespace molcache {
 
-Tile::Tile(u32 id, u32 cluster, MoleculeId firstMolecule, u32 numMolecules,
-           u32 linesPerMol, u32 lineSize)
+Tile::Tile(TileId id, ClusterId cluster, MoleculeId firstMolecule,
+           u32 numMolecules, u32 linesPerMol, u32 lineSize)
     : id_(id), cluster_(cluster), first_(firstMolecule), free_(numMolecules)
 {
-    MOLCACHE_ASSERT(numMolecules > 0, "tile with no molecules");
+    MOLCACHE_EXPECT(numMolecules > 0, "tile with no molecules");
     molecules_.reserve(numMolecules);
     for (u32 i = 0; i < numMolecules; ++i)
         molecules_.emplace_back(firstMolecule + i, id, linesPerMol, lineSize);
@@ -17,14 +18,14 @@ Tile::Tile(u32 id, u32 cluster, MoleculeId firstMolecule, u32 numMolecules,
 Molecule &
 Tile::molecule(MoleculeId mol)
 {
-    MOLCACHE_ASSERT(owns(mol), "molecule ", mol, " not on tile ", id_);
+    MOLCACHE_EXPECT(owns(mol), "molecule ", mol, " not on tile ", id_);
     return molecules_[mol - first_];
 }
 
 const Molecule &
 Tile::molecule(MoleculeId mol) const
 {
-    MOLCACHE_ASSERT(owns(mol), "molecule ", mol, " not on tile ", id_);
+    MOLCACHE_EXPECT(owns(mol), "molecule ", mol, " not on tile ", id_);
     return molecules_[mol - first_];
 }
 
@@ -49,8 +50,8 @@ u32
 Tile::release(MoleculeId mol)
 {
     Molecule &m = molecule(mol);
-    MOLCACHE_ASSERT(!m.isFree(), "releasing an already-free molecule");
-    MOLCACHE_ASSERT(!m.decommissioned(),
+    MOLCACHE_EXPECT(!m.isFree(), "releasing an already-free molecule");
+    MOLCACHE_EXPECT(!m.decommissioned(),
                     "releasing a decommissioned molecule");
     const u32 dirty = m.release();
     ++free_;
@@ -61,10 +62,10 @@ u32
 Tile::decommission(MoleculeId mol)
 {
     Molecule &m = molecule(mol);
-    MOLCACHE_ASSERT(!m.decommissioned(), "double decommission");
+    MOLCACHE_EXPECT(!m.decommissioned(), "double decommission");
     u32 dirty = 0;
     if (m.isFree()) {
-        MOLCACHE_ASSERT(free_ > 0, "tile free count underflow");
+        MOLCACHE_INVARIANT(free_ > 0, "tile free count underflow");
         --free_;
     } else {
         dirty = m.release();

@@ -29,11 +29,11 @@ class Tile
      * @param linesPerMol   lines per molecule
      * @param lineSize      line size (bytes)
      */
-    Tile(u32 id, u32 cluster, MoleculeId firstMolecule, u32 numMolecules,
-         u32 linesPerMol, u32 lineSize);
+    Tile(TileId id, ClusterId cluster, MoleculeId firstMolecule,
+         u32 numMolecules, u32 linesPerMol, u32 lineSize);
 
-    u32 id() const { return id_; }
-    u32 cluster() const { return cluster_; }
+    TileId id() const { return id_; }
+    ClusterId cluster() const { return cluster_; }
     u32 numMolecules() const
     {
         return static_cast<u32>(molecules_.size());
@@ -85,8 +85,8 @@ class Tile
     u64 portAccesses() const { return portAccesses_; }
 
   private:
-    u32 id_;
-    u32 cluster_;
+    TileId id_;
+    ClusterId cluster_;
     MoleculeId first_;
     std::vector<Molecule> molecules_;
     u32 free_;

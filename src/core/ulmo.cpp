@@ -2,18 +2,19 @@
 
 #include <algorithm>
 
-#include "util/logging.hpp"
+#include "contract/contract.hpp"
 
 namespace molcache {
 
-Ulmo::Ulmo(u32 cluster, std::vector<u32> tiles, CoherenceDirectory &directory)
+Ulmo::Ulmo(ClusterId cluster, std::vector<TileId> tiles,
+           CoherenceDirectory &directory)
     : cluster_(cluster), tiles_(std::move(tiles)), directory_(directory)
 {
-    MOLCACHE_ASSERT(!tiles_.empty(), "Ulmo with no tiles");
+    MOLCACHE_EXPECT(!tiles_.empty(), "Ulmo with no tiles");
 }
 
 bool
-Ulmo::managesTile(u32 tile) const
+Ulmo::managesTile(TileId tile) const
 {
     return std::find(tiles_.begin(), tiles_.end(), tile) != tiles_.end();
 }

@@ -28,11 +28,12 @@ class Ulmo
      * @param tiles     global indices of this cluster's tiles
      * @param directory shared inter-cluster coherence directory
      */
-    Ulmo(u32 cluster, std::vector<u32> tiles, CoherenceDirectory &directory);
+    Ulmo(ClusterId cluster, std::vector<TileId> tiles,
+         CoherenceDirectory &directory);
 
-    u32 cluster() const { return cluster_; }
-    const std::vector<u32> &tiles() const { return tiles_; }
-    bool managesTile(u32 tile) const;
+    ClusterId cluster() const { return cluster_; }
+    const std::vector<TileId> &tiles() const { return tiles_; }
+    bool managesTile(TileId tile) const;
 
     CoherenceDirectory &directory() { return directory_; }
     const CoherenceDirectory &directory() const { return directory_; }
@@ -55,8 +56,8 @@ class Ulmo
     /** @} */
 
   private:
-    u32 cluster_;
-    std::vector<u32> tiles_;
+    ClusterId cluster_;
+    std::vector<TileId> tiles_;
     CoherenceDirectory &directory_;
 
     u64 tileMisses_ = 0;

@@ -3,6 +3,7 @@
 #include <map>
 #include <string>
 
+#include "contract/contract.hpp"
 #include "core/molecular_cache.hpp"
 #include "util/logging.hpp"
 
@@ -15,7 +16,7 @@ namespace {
 std::string
 molName(MoleculeId id)
 {
-    return "molecule " + std::to_string(id);
+    return "molecule " + std::to_string(id.value());
 }
 
 } // namespace
@@ -34,7 +35,8 @@ InvariantChecker::check(const MolecularCache &cache)
     std::map<MoleculeId, Asid> owner;
     for (const Asid asid : cache.registeredAsids()) {
         const Region &region = cache.region(asid);
-        const std::string who = "region asid=" + std::to_string(asid);
+        const std::string who =
+            "region asid=" + std::to_string(asid.value());
 
         u64 row_total = 0;
         for (const auto &row : region.rows()) {
@@ -44,8 +46,8 @@ InvariantChecker::check(const MolecularCache &cache)
                 const auto [it, fresh] = owner.emplace(id, asid);
                 if (!fresh)
                     fail(molName(id) + " owned by both asid=" +
-                         std::to_string(it->second) + " and asid=" +
-                         std::to_string(asid));
+                         std::to_string(it->second.value()) + " and asid=" +
+                         std::to_string(asid.value()));
                 ++rep.checksRun;
                 if (!region.contains(id))
                     fail(who + " row holds " + molName(id) +
@@ -57,7 +59,7 @@ InvariantChecker::check(const MolecularCache &cache)
                     fail(who + " claims free " + molName(id));
                 else if (m.configuredAsid() != asid)
                     fail(molName(id) + " gate asid=" +
-                         std::to_string(m.configuredAsid()) +
+                         std::to_string(m.configuredAsid().value()) +
                          " mismatches owning " + who);
                 ++rep.checksRun;
                 if (m.decommissioned())
@@ -84,7 +86,7 @@ InvariantChecker::check(const MolecularCache &cache)
     u64 free_total = 0;
     u64 dec_total = 0;
     for (u32 t = 0; t < p.totalTiles(); ++t) {
-        const Tile &tile = cache.tile(t);
+        const Tile &tile = cache.tile(TileId{t});
         u32 free_here = 0;
         u32 dec_here = 0;
         const MoleculeId first = tile.firstMolecule();
@@ -126,7 +128,7 @@ InvariantChecker::check(const MolecularCache &cache)
                 ++rep.checksRun;
                 if (!owner.count(id))
                     fail(molName(id) + " gated for asid=" +
-                         std::to_string(m.configuredAsid()) +
+                         std::to_string(m.configuredAsid().value()) +
                          " but owned by no region");
             }
         }
@@ -159,7 +161,7 @@ InvariantChecker::check(const MolecularCache &cache)
     // Decommission tallies must agree across every layer that tracks them.
     u64 ulmo_dec = 0;
     for (u32 c = 0; c < p.clusters; ++c)
-        ulmo_dec += cache.ulmo(c).decommissions();
+        ulmo_dec += cache.ulmo(ClusterId{c}).decommissions();
     ++rep.checksRun;
     if (ulmo_dec != dec_total)
         fail("ulmos record " + std::to_string(ulmo_dec) +
@@ -176,17 +178,30 @@ InvariantChecker::check(const MolecularCache &cache)
 void
 InvariantChecker::attach(MolecularCache &cache, u64 everyAccesses)
 {
-    cache.setAuditHook(everyAccesses, [](const MolecularCache &c) {
-        ++auditsRun_;
-        const Report rep = check(c);
-        if (rep.ok())
-            return;
-        std::string all;
-        for (const auto &v : rep.violations)
-            all += "\n  - " + v;
-        panic("invariant audit failed (", rep.violations.size(),
-              " violation(s)):", all);
-    });
+    cache.setAuditHook(
+        everyAccesses,
+        [last = contract::counters().total()](
+            const MolecularCache &c) mutable {
+            ++auditsRun_;
+            Report rep = check(c);
+            // Contract violations swallowed by a counting handler since
+            // the previous audit still fail the audit: the structure may
+            // look repaired, but an operation broke its contract.
+            const u64 now = contract::counters().total();
+            if (now != last) {
+                rep.violations.push_back(
+                    std::to_string(now - last) +
+                    " contract violation(s) since the previous audit");
+                last = now;
+            }
+            if (rep.ok())
+                return;
+            std::string all;
+            for (const auto &v : rep.violations)
+                all += "\n  - " + v;
+            panic("invariant audit failed (", rep.violations.size(),
+                  " violation(s)):", all);
+        });
 }
 
 } // namespace molcache

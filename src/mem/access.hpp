@@ -12,6 +12,7 @@
 #define MOLCACHE_MEM_ACCESS_HPP
 
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace molcache {
 
@@ -22,7 +23,7 @@ enum class AccessType : u8 { Read = 0, Write = 1 };
 struct MemAccess
 {
     Addr addr = 0;
-    Asid asid = 0;
+    Asid asid{};
     AccessType type = AccessType::Read;
 
     bool isWrite() const { return type == AccessType::Write; }
@@ -41,7 +42,7 @@ struct AccessResult
     /** Dynamic energy consumed by this access, in nanojoules. */
     double energyNj = 0.0;
     /** Access latency in cache cycles (model-specific costs). */
-    u32 latencyCycles = 0;
+    Cycles latencyCycles{};
     /**
      * Lookup level that serviced the access: 0 = local structure
      * (set/tile), 1 = remote tiles via Ulmo, 2 = memory (miss).

@@ -24,7 +24,7 @@ struct L1FilterSource::L1Cache
 
     L1Cache(const L1Params &p)
         : params(p),
-          sets(static_cast<u32>(p.sizeBytes /
+          sets(static_cast<u32>(p.sizeBytes.value() /
                                 (static_cast<u64>(p.associativity) *
                                  p.lineSize))),
           lines(static_cast<size_t>(sets) * p.associativity)

@@ -18,13 +18,14 @@
 
 #include "mem/interleave.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace molcache {
 
 /** Geometry of the private L1 data caches used for filtering. */
 struct L1Params
 {
-    u64 sizeBytes = 16 * 1024; // 2006-era L1-D
+    Bytes sizeBytes = 16_KiB; // 2006-era L1-D
     u32 associativity = 4;
     u32 lineSize = 64;
 };

@@ -59,8 +59,8 @@ TraceWriter::append(const MemAccess &access)
     if (format_ == TraceFormat::Binary) {
         char rec[11];
         encodeU64(rec, access.addr);
-        rec[8] = static_cast<char>(access.asid & 0xff);
-        rec[9] = static_cast<char>((access.asid >> 8) & 0xff);
+        rec[8] = static_cast<char>(access.asid.value() & 0xff);
+        rec[9] = static_cast<char>((access.asid.value() >> 8) & 0xff);
         rec[10] = static_cast<char>(access.type);
         out_.write(rec, sizeof(rec));
     } else {
@@ -68,7 +68,7 @@ TraceWriter::append(const MemAccess &access)
         std::snprintf(buf, sizeof(buf), "%c %llx %u\n",
                       access.isWrite() ? 'W' : 'R',
                       static_cast<unsigned long long>(access.addr),
-                      static_cast<unsigned>(access.asid));
+                      static_cast<unsigned>(access.asid.value()));
         out_ << buf;
     }
     ++count_;
@@ -144,9 +144,9 @@ TraceReader::next()
         }
         MemAccess a;
         a.addr = decodeU64(rec);
-        a.asid = static_cast<Asid>(
+        a.asid = Asid{static_cast<u16>(
             static_cast<unsigned char>(rec[8]) |
-            (static_cast<unsigned char>(rec[9]) << 8));
+            (static_cast<unsigned char>(rec[9]) << 8))};
         a.type = rec[10] ? AccessType::Write : AccessType::Read;
         ++read_;
         return a;
@@ -166,7 +166,7 @@ TraceReader::next()
             if (kind == 'R' || kind == 'r' || kind == 'W' || kind == 'w') {
                 MemAccess a;
                 a.addr = addr;
-                a.asid = static_cast<Asid>(asid);
+                a.asid = Asid{static_cast<u16>(asid)};
                 a.type = (kind == 'W' || kind == 'w') ? AccessType::Write
                                                       : AccessType::Read;
                 ++read_;
@@ -182,7 +182,7 @@ TraceReader::next()
             label <= 2) {
             MemAccess a;
             a.addr = addr;
-            a.asid = 0;
+            a.asid = Asid{0};
             a.type = label == 1 ? AccessType::Write : AccessType::Read;
             ++read_;
             return a;

@@ -122,13 +122,16 @@ CactiModel::wireDelayNs(double areaMm2, u32 ports) const
 PowerTiming
 CactiModel::evaluate(const CacheGeometry &g) const
 {
-    if (g.sizeBytes == 0 || g.lineSize == 0 || g.associativity == 0 ||
+    if (g.sizeBytes.value() == 0 || g.lineSize == 0 ||
+        g.associativity == 0 ||
         g.ports == 0)
         fatal("degenerate cache geometry for power model");
-    if (g.sizeBytes % (static_cast<u64>(g.lineSize) * g.associativity) != 0)
+    if (g.sizeBytes.value() %
+            (static_cast<u64>(g.lineSize) * g.associativity) !=
+        0)
         fatal("cache size not divisible by assoc*lineSize in power model");
 
-    const u64 lines = g.sizeBytes / g.lineSize;
+    const u64 lines = g.sizeBytes.value() / g.lineSize;
     const u64 sets = lines / g.associativity;
     const u32 offset_bits = floorLog2(g.lineSize);
     const u32 index_bits = sets > 1 ? floorLog2(sets) : 0;
@@ -141,7 +144,7 @@ CactiModel::evaluate(const CacheGeometry &g) const
                                     : AccessMode::Parallel;
     }
 
-    const u64 data_bits_total = g.sizeBytes * 8;
+    const u64 data_bits_total = g.sizeBytes.value() * 8;
     const u64 line_bits = static_cast<u64>(g.lineSize) * 8;
     const u64 data_bits_active =
         mode == AccessMode::Parallel

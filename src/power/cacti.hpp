@@ -37,6 +37,7 @@
 
 #include "power/tech.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace molcache {
 
@@ -46,7 +47,7 @@ enum class AccessMode { Auto, Parallel, Sequential };
 /** A cache (or molecule) geometry to evaluate. */
 struct CacheGeometry
 {
-    u64 sizeBytes = 8ull << 20;
+    Bytes sizeBytes = 8_MiB;
     u32 associativity = 1;
     u32 lineSize = 64;
     u32 ports = 1;

@@ -9,7 +9,7 @@
 namespace molcache {
 
 SetAssocParams
-traditionalParams(u64 sizeBytes, u32 associativity, u64 seed)
+traditionalParams(Bytes sizeBytes, u32 associativity, u64 seed)
 {
     SetAssocParams p;
     p.sizeBytes = sizeBytes;
@@ -22,15 +22,16 @@ traditionalParams(u64 sizeBytes, u32 associativity, u64 seed)
 }
 
 MolecularCacheParams
-fig5MolecularParams(u64 totalSizeBytes, PlacementPolicy placement, u64 seed)
+fig5MolecularParams(Bytes totalSizeBytes, PlacementPolicy placement,
+                    u64 seed)
 {
     MolecularCacheParams p;
     p.moleculeSize = 8_KiB;
     p.lineSize = 64;
     p.tilesPerCluster = 4;
     p.clusters = 1;
-    const u64 tile_bytes = totalSizeBytes / 4;
-    if (tile_bytes % p.moleculeSize != 0)
+    const Bytes tile_bytes = totalSizeBytes / 4;
+    if ((tile_bytes % p.moleculeSize).value() != 0)
         fatal("figure-5 size ", totalSizeBytes,
               " not divisible into 4 tiles of 8KiB molecules");
     p.moleculesPerTile = static_cast<u32>(tile_bytes / p.moleculeSize);
@@ -59,10 +60,11 @@ registerApplications(MolecularCache &cache, u32 count, double resizeGoal)
     const u32 clusters = cache.params().clusters;
     const u32 per_cluster = (count + clusters - 1) / clusters;
     for (u32 i = 0; i < count; ++i) {
-        const u32 cluster = i / per_cluster;
+        const ClusterId cluster{i / per_cluster};
         const u32 tile = (i % per_cluster) % cache.params().tilesPerCluster;
-        cache.registerApplication(static_cast<Asid>(i), resizeGoal, cluster,
-                                  tile, cache.params().defaultLineMultiple);
+        cache.registerApplication(Asid{static_cast<u16>(i)}, resizeGoal,
+                                  cluster, tile,
+                                  cache.params().defaultLineMultiple);
     }
 }
 
@@ -85,13 +87,14 @@ deriveGoalsFromSolo(const std::vector<std::string> &profiles,
     GoalSet goals;
     for (size_t i = 0; i < profiles.size(); ++i) {
         SetAssocCache solo(reference);
-        TraceGenerator gen(profileByName(profiles[i]), 0, refsPerApp, seed);
+        TraceGenerator gen(profileByName(profiles[i]), Asid{0}, refsPerApp,
+                           seed);
         while (auto a = gen.next())
             solo.access(*a);
         const double mr = solo.stats().global().missRate();
         const double goal =
             std::clamp(mr * slackFactor, minGoal, 1.0);
-        goals.set(static_cast<Asid>(i), goal);
+        goals.set(Asid{static_cast<u16>(i)}, goal);
     }
     return goals;
 }

@@ -23,14 +23,14 @@ namespace molcache {
 inline constexpr u64 kPaperTraceLength = 3'900'000;
 
 /** Traditional baseline geometry used throughout the evaluation. */
-SetAssocParams traditionalParams(u64 sizeBytes, u32 associativity,
+SetAssocParams traditionalParams(Bytes sizeBytes, u32 associativity,
                                  u64 seed = 1);
 
 /**
  * Molecular geometry for Figure 5: 4 tiles in one cluster, 8 KiB
  * molecules, tile size = totalSize/4 (256 KiB at 1 MB ... 2 MiB at 8 MB).
  */
-MolecularCacheParams fig5MolecularParams(u64 totalSizeBytes,
+MolecularCacheParams fig5MolecularParams(Bytes totalSizeBytes,
                                          PlacementPolicy placement,
                                          u64 seed = 1);
 

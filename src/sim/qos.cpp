@@ -28,7 +28,7 @@ summarize(const CacheModel &model, const GoalSet &goals,
         const auto label_it = labels.find(asid);
         app.label = label_it != labels.end()
                         ? label_it->second
-                        : "asid" + std::to_string(asid);
+                        : "asid" + std::to_string(asid.value());
         app.accesses = counters.accesses;
         app.hits = counters.hits;
         app.missRate = counters.missRate();

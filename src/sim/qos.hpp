@@ -20,7 +20,7 @@ namespace molcache {
 /** Per-application slice of a run summary. */
 struct AppSummary
 {
-    Asid asid = 0;
+    Asid asid{};
     std::string label;
     u64 accesses = 0;
     u64 hits = 0;

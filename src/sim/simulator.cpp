@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "contract/contract.hpp"
 #include "core/molecular_cache.hpp"
 #include "stats/counter.hpp"
 
@@ -15,6 +16,7 @@ Simulator::run(AccessSource &source, CacheModel &model, const GoalSet &goals,
     u64 done = 0;
     u64 local_hits = 0;
     u64 remote_hits = 0;
+    const u64 violations_before = contract::counters().total();
 
     while (auto access = source.next()) {
         const AccessResult r = model.access(*access);
@@ -46,6 +48,8 @@ Simulator::run(AccessSource &source, CacheModel &model, const GoalSet &goals,
                      : 0.0;
     out.localHits = local_hits;
     out.remoteHits = remote_hits;
+    out.contractViolations =
+        contract::counters().total() - violations_before;
 
     if (const auto *mc = dynamic_cast<const MolecularCache *>(&model)) {
         const FaultStats &fs = mc->faultStats();
@@ -71,7 +75,7 @@ labelMap(const std::vector<std::string> &names)
 {
     std::map<Asid, std::string> out;
     for (size_t i = 0; i < names.size(); ++i)
-        out[static_cast<Asid>(i)] = names[i];
+        out[Asid{static_cast<u16>(i)}] = names[i];
     return out;
 }
 

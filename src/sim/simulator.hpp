@@ -45,6 +45,12 @@ struct SimResult
     /** Regions still above their miss-rate goal after a fault. */
     u32 regionsStillRecovering = 0;
     /** @} */
+
+    /** Contract violations observed during the run (delta of the global
+     * contract::counters() across the run; nonzero only when a counting
+     * handler keeps violations non-fatal).  Always zero in a pure
+     * Release build, where contracts compile out. */
+    u64 contractViolations = 0;
 };
 
 class Simulator

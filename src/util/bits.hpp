@@ -7,8 +7,8 @@
 #define MOLCACHE_UTIL_BITS_HPP
 
 #include <bit>
-#include <cassert>
 
+#include "contract/contract.hpp"
 #include "util/types.hpp"
 
 namespace molcache {
@@ -24,7 +24,7 @@ isPowerOfTwo(u64 v)
 inline constexpr u32
 floorLog2(u64 v)
 {
-    assert(v != 0);
+    MOLCACHE_EXPECT(v != 0, "floorLog2 of zero");
     return 63u - static_cast<u32>(std::countl_zero(v));
 }
 
@@ -32,7 +32,7 @@ floorLog2(u64 v)
 inline constexpr u32
 ceilLog2(u64 v)
 {
-    assert(v != 0);
+    MOLCACHE_EXPECT(v != 0, "ceilLog2 of zero");
     return v == 1 ? 0u : floorLog2(v - 1) + 1;
 }
 
@@ -40,7 +40,7 @@ ceilLog2(u64 v)
 inline constexpr u64
 alignDown(u64 v, u64 align)
 {
-    assert(isPowerOfTwo(align));
+    MOLCACHE_EXPECT(isPowerOfTwo(align), "alignment must be a power of two");
     return v & ~(align - 1);
 }
 
@@ -48,7 +48,7 @@ alignDown(u64 v, u64 align)
 inline constexpr u64
 alignUp(u64 v, u64 align)
 {
-    assert(isPowerOfTwo(align));
+    MOLCACHE_EXPECT(isPowerOfTwo(align), "alignment must be a power of two");
     return (v + align - 1) & ~(align - 1);
 }
 
@@ -56,7 +56,7 @@ alignUp(u64 v, u64 align)
 inline constexpr u64
 bitsOf(u64 v, u32 hi, u32 lo)
 {
-    assert(hi >= lo && hi < 64);
+    MOLCACHE_EXPECT(hi >= lo && hi < 64, "bad bit range");
     const u64 width = hi - lo + 1;
     const u64 mask = width >= 64 ? ~0ull : ((1ull << width) - 1);
     return (v >> lo) & mask;

@@ -159,6 +159,12 @@ Config::getSize(const std::string &key, u64 fallback) const
     return has(key) ? getSize(key) : fallback;
 }
 
+Bytes
+Config::getSize(const std::string &key, Bytes fallback) const
+{
+    return has(key) ? Bytes{getSize(key)} : fallback;
+}
+
 u32
 Config::warnUnknownKeys(const std::vector<std::string> &knownKeys) const
 {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace molcache {
 
@@ -59,6 +60,8 @@ class Config
     /** Size with K/M/G suffix support. */
     u64 getSize(const std::string &key) const;
     u64 getSize(const std::string &key, u64 fallback) const;
+    /** Strongly-typed variant: fallback and result carry the unit. */
+    Bytes getSize(const std::string &key, Bytes fallback) const;
 
     /** All keys in sorted order (for dumping). */
     std::vector<std::string> keys() const;

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Central registry of every configuration key molcache understands.
+ *
+ * Binaries read keys through Config::get* and then call
+ * Config::warnUnknownKeys(knownConfigKeyNames()) so typos surface instead
+ * of silently defaulting.  tools/molcache_lint enforces the inverse
+ * direction at CI time: every key literal passed to a Config::get or
+ * Config::has call in the tree must appear here, so a key can neither be
+ * read nor registered in only one place.  Entries ending in '.' are prefix wildcards
+ * (e.g. "goal." covers "goal.0", "goal.1", ...).
+ */
+
+#ifndef MOLCACHE_UTIL_CONFIG_KEYS_HPP
+#define MOLCACHE_UTIL_CONFIG_KEYS_HPP
+
+#include <string>
+#include <vector>
+
+namespace molcache {
+
+/** One registered key (or '.'-terminated prefix) and its purpose. */
+struct ConfigKeyInfo
+{
+    const char *key;
+    const char *help;
+};
+
+/** The full registry, sorted by key. */
+const std::vector<ConfigKeyInfo> &knownConfigKeys();
+
+/** Registry keys only — the warnUnknownKeys() argument. */
+std::vector<std::string> knownConfigKeyNames();
+
+/** True if @p key is registered (exact match or prefix wildcard). */
+bool isKnownConfigKey(const std::string &key);
+
+} // namespace molcache
+
+#endif // MOLCACHE_UTIL_CONFIG_KEYS_HPP

@@ -37,7 +37,7 @@ std::string
 concat(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << args);
+    (static_cast<void>(os), ..., static_cast<void>(os << args));
     return os.str();
 }
 } // namespace detail

@@ -1,18 +1,35 @@
 /**
  * @file
- * Fundamental scalar types used throughout molcache.
+ * Fundamental scalar and strong domain types used throughout molcache.
  *
  * The simulator follows the gem5 convention of short fixed-width aliases
- * plus a handful of domain types (addresses, application-space identifiers,
- * simulated time).  Keeping these in one header ensures every module agrees
- * on widths and avoids accidental narrowing.
+ * plus a set of *strong* domain types (identifiers for molecules, tiles,
+ * clusters, replacement-view rows and applications).  The hot paths
+ * shuffle many integers that mean very different things; a transposed
+ * argument silently corrupts results instead of failing fast.  StrongId
+ * makes each identifier its own type so the compiler rejects the mix-up
+ * at zero runtime cost (the wrapper is a single register-sized value and
+ * every operation inlines to the raw integer op).
+ *
+ * Conventions (docs/static_analysis.md):
+ *  - construct explicitly: `MoleculeId{7}`, never from another id type;
+ *  - `.value()` is the only escape hatch back to the raw integer — use
+ *    it at indexing/formatting boundaries only;
+ *  - ids support ordering, increment and offset arithmetic (`id + n`,
+ *    `idA - idB`), but no cross-type operations;
+ *  - public APIs in src/core/ take the strong types, never raw u64/u32
+ *    ids (enforced by tools/molcache_lint).
  */
 
 #ifndef MOLCACHE_UTIL_TYPES_HPP
 #define MOLCACHE_UTIL_TYPES_HPP
 
+#include <compare>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <ostream>
 
 namespace molcache {
 
@@ -28,22 +45,124 @@ using i64 = std::int64_t;
 /** Physical (or trace) byte address. */
 using Addr = u64;
 
-/**
- * Application Space Identifier.  Every running application owning a cache
- * region is tagged with a unique ASID; molecules are configured with the
- * ASID of the region they belong to (paper section 3.1).
- */
-using Asid = u16;
-
-/** Sentinel ASID meaning "no application / unconfigured". */
-inline constexpr Asid kInvalidAsid = std::numeric_limits<Asid>::max();
-
 /** Simulated time expressed in cache accesses serviced. */
 using Tick = u64;
 
 /** Invalid/sentinel address. */
 inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
 
+/**
+ * Zero-cost strongly-typed identifier.
+ *
+ * @tparam Tag  phantom type distinguishing id spaces (never defined)
+ * @tparam RepT underlying integer representation
+ */
+template <typename Tag, typename RepT>
+class StrongId
+{
+  public:
+    using Rep = RepT;
+
+    constexpr StrongId() = default;
+    constexpr explicit StrongId(RepT v) : v_(v) {}
+
+    /** The raw integer; use only at indexing/formatting boundaries. */
+    constexpr RepT value() const { return v_; }
+
+    friend constexpr bool operator==(StrongId, StrongId) = default;
+    friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+    /** Dense-id iteration (`for (id = first; id < end; ++id)`). */
+    constexpr StrongId &
+    operator++()
+    {
+        ++v_;
+        return *this;
+    }
+    constexpr StrongId &
+    operator--()
+    {
+        --v_;
+        return *this;
+    }
+
+    /** Offset within one id space. */
+    friend constexpr StrongId
+    operator+(StrongId a, RepT n)
+    {
+        return StrongId(static_cast<RepT>(a.v_ + n));
+    }
+
+    /** Distance within one id space. */
+    friend constexpr RepT
+    operator-(StrongId a, StrongId b)
+    {
+        return static_cast<RepT>(a.v_ - b.v_);
+    }
+
+  private:
+    RepT v_ = 0;
+};
+
+/** Ids format as their raw value (logging, gtest failure messages). */
+template <typename Tag, typename RepT>
+std::ostream &
+operator<<(std::ostream &os, StrongId<Tag, RepT> id)
+{
+    return os << +id.value();
+}
+
+/** Dense molecule identifier, unique across the whole molecular cache. */
+using MoleculeId = StrongId<struct MoleculeIdTag, u32>;
+
+/** Global tile index (tiles are numbered across all clusters). */
+using TileId = StrongId<struct TileIdTag, u32>;
+
+/** Tile-cluster index (one Ulmo per cluster). */
+using ClusterId = StrongId<struct ClusterIdTag, u32>;
+
+/** Row of a region's replacement view (paper figure 4). */
+using RowIndex = StrongId<struct RowIndexTag, u32>;
+
+/**
+ * Application Space Identifier.  Every running application owning a cache
+ * region is tagged with a unique ASID; molecules are configured with the
+ * ASID of the region they belong to (paper section 3.1).
+ */
+using Asid = StrongId<struct AsidTag, u16>;
+
+/**
+ * A line-aligned byte address — the granule the coherence directory
+ * tracks.  Distinct from Addr so a raw (unaligned) reference address
+ * cannot be passed where a line identity is required.
+ */
+using LineAddr = StrongId<struct LineAddrTag, u64>;
+
+/** Sentinel molecule id meaning "no molecule". */
+inline constexpr MoleculeId kInvalidMolecule{
+    std::numeric_limits<u32>::max()};
+
+/** Sentinel ASID meaning "no application / unconfigured". */
+inline constexpr Asid kInvalidAsid{std::numeric_limits<u16>::max()};
+
+/** Line identity of @p addr for a @p lineSize-byte line. */
+constexpr LineAddr
+lineAddrOf(Addr addr, u32 lineSize)
+{
+    return LineAddr{addr & ~(static_cast<Addr>(lineSize) - 1)};
+}
+
 } // namespace molcache
+
+/** Strong ids hash as their raw value (unordered containers). */
+template <typename Tag, typename RepT>
+struct std::hash<molcache::StrongId<Tag, RepT>>
+{
+    std::size_t
+    operator()(molcache::StrongId<Tag, RepT> id) const noexcept
+    {
+        return std::hash<RepT>{}(id.value());
+    }
+};
 
 #endif // MOLCACHE_UTIL_TYPES_HPP

@@ -1,33 +1,143 @@
 /**
  * @file
- * Size literals and human-readable size formatting.
+ * Strong physical units (byte capacities, cache cycles), size literals
+ * and human-readable size formatting.
+ *
+ * StrongUnit is the quantity counterpart of StrongId (util/types.hpp):
+ * a zero-cost wrapper supporting exactly the arithmetic a quantity
+ * legitimately has — units add and subtract among themselves, scale by
+ * dimensionless factors, and divide into a dimensionless ratio — while
+ * rejecting cross-unit mixes (Bytes + Cycles) at compile time.
  */
 
 #ifndef MOLCACHE_UTIL_UNITS_HPP
 #define MOLCACHE_UTIL_UNITS_HPP
 
 #include <cstddef>
+#include <ostream>
 #include <string>
 
 #include "util/types.hpp"
 
 namespace molcache {
 
-inline constexpr u64 operator""_KiB(unsigned long long v) { return v << 10; }
-inline constexpr u64 operator""_MiB(unsigned long long v) { return v << 20; }
-inline constexpr u64 operator""_GiB(unsigned long long v) { return v << 30; }
+/**
+ * Zero-cost strongly-typed quantity.
+ *
+ * @tparam Tag  phantom type distinguishing unit dimensions
+ * @tparam RepT underlying integer representation
+ */
+template <typename Tag, typename RepT>
+class StrongUnit
+{
+  public:
+    using Rep = RepT;
+
+    constexpr StrongUnit() = default;
+    constexpr explicit StrongUnit(RepT v) : v_(v) {}
+
+    /** The raw magnitude; use at formatting/modelling boundaries only. */
+    constexpr RepT value() const { return v_; }
+
+    friend constexpr bool operator==(StrongUnit, StrongUnit) = default;
+    friend constexpr auto operator<=>(StrongUnit, StrongUnit) = default;
+
+    constexpr StrongUnit &
+    operator+=(StrongUnit o)
+    {
+        v_ += o.v_;
+        return *this;
+    }
+    constexpr StrongUnit &
+    operator-=(StrongUnit o)
+    {
+        v_ -= o.v_;
+        return *this;
+    }
+
+    friend constexpr StrongUnit
+    operator+(StrongUnit a, StrongUnit b)
+    {
+        return StrongUnit(static_cast<RepT>(a.v_ + b.v_));
+    }
+    friend constexpr StrongUnit
+    operator-(StrongUnit a, StrongUnit b)
+    {
+        return StrongUnit(static_cast<RepT>(a.v_ - b.v_));
+    }
+
+    /** Scaling by a dimensionless factor. */
+    friend constexpr StrongUnit
+    operator*(StrongUnit a, RepT k)
+    {
+        return StrongUnit(static_cast<RepT>(a.v_ * k));
+    }
+    friend constexpr StrongUnit
+    operator*(RepT k, StrongUnit a)
+    {
+        return StrongUnit(static_cast<RepT>(k * a.v_));
+    }
+    friend constexpr StrongUnit
+    operator/(StrongUnit a, RepT k)
+    {
+        return StrongUnit(static_cast<RepT>(a.v_ / k));
+    }
+
+    /** Same-unit division yields a dimensionless ratio. */
+    friend constexpr RepT
+    operator/(StrongUnit a, StrongUnit b)
+    {
+        return static_cast<RepT>(a.v_ / b.v_);
+    }
+    friend constexpr StrongUnit
+    operator%(StrongUnit a, StrongUnit b)
+    {
+        return StrongUnit(static_cast<RepT>(a.v_ % b.v_));
+    }
+
+  private:
+    RepT v_ = 0;
+};
+
+/** Units format as their raw magnitude. */
+template <typename Tag, typename RepT>
+std::ostream &
+operator<<(std::ostream &os, StrongUnit<Tag, RepT> v)
+{
+    return os << +v.value();
+}
+
+/** A byte capacity (molecule/tile/cache sizes). */
+using Bytes = StrongUnit<struct BytesTag, u64>;
+
+/** A latency/duration in cache cycles. */
+using Cycles = StrongUnit<struct CyclesTag, u64>;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v)
+{
+    return Bytes{v << 10};
+}
+inline constexpr Bytes operator""_MiB(unsigned long long v)
+{
+    return Bytes{v << 20};
+}
+inline constexpr Bytes operator""_GiB(unsigned long long v)
+{
+    return Bytes{v << 30};
+}
 
 /** Format a byte count as e.g. "512KiB", "6MiB", "768B". */
 inline std::string
-formatSize(u64 bytes)
+formatSize(Bytes bytes)
 {
-    if (bytes >= 1_GiB && bytes % 1_GiB == 0)
-        return std::to_string(bytes >> 30) + "GiB";
-    if (bytes >= 1_MiB && bytes % 1_MiB == 0)
-        return std::to_string(bytes >> 20) + "MiB";
-    if (bytes >= 1_KiB && bytes % 1_KiB == 0)
-        return std::to_string(bytes >> 10) + "KiB";
-    return std::to_string(bytes) + "B";
+    const u64 b = bytes.value();
+    if (bytes >= 1_GiB && b % (1_GiB).value() == 0)
+        return std::to_string(b >> 30) + "GiB";
+    if (bytes >= 1_MiB && b % (1_MiB).value() == 0)
+        return std::to_string(b >> 20) + "MiB";
+    if (bytes >= 1_KiB && b % (1_KiB).value() == 0)
+        return std::to_string(b >> 10) + "KiB";
+    return std::to_string(b) + "B";
 }
 
 } // namespace molcache

@@ -8,7 +8,7 @@ namespace molcache {
 TraceGenerator::TraceGenerator(const BenchmarkProfile &profile, Asid asid,
                                u64 limit, u64 seed)
     : stream_(buildStream(profile, applicationBase(asid))),
-      rng_(seed * 0x9E3779B97F4A7C15ull + asid + 1, asid),
+      rng_(seed * 0x9E3779B97F4A7C15ull + asid.value() + 1, asid.value()),
       asid_(asid), limit_(limit),
       writeFraction_(profile.writeFraction)
 {

@@ -51,7 +51,8 @@ buildStream(const BenchmarkProfile &profile, Addr base)
     for (const auto &spec : profile.components) {
         parts.push_back({buildComponent(spec, cursor), spec.weight});
         // 1 MiB guard gap between components, aligned for tidy indexing.
-        cursor = alignUp(cursor + componentExtent(spec) + 1_MiB, 1_MiB);
+        constexpr u64 gap = (1_MiB).value();
+        cursor = alignUp(cursor + componentExtent(spec) + gap, gap);
     }
     if (parts.size() == 1)
         return std::move(parts.front().stream);
@@ -61,7 +62,8 @@ buildStream(const BenchmarkProfile &profile, Addr base)
 Addr
 applicationBase(Asid asid)
 {
-    return (static_cast<Addr>(asid) + 1) << 34; // disjoint 16 GiB windows
+    // Disjoint 16 GiB windows per application.
+    return (static_cast<Addr>(asid.value()) + 1) << 34;
 }
 
 } // namespace molcache

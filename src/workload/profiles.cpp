@@ -13,45 +13,45 @@ namespace {
 using Kind = StreamSpec::Kind;
 
 StreamSpec
-ws(double weight, u64 footprint, double alpha)
+ws(double weight, Bytes footprint, double alpha)
 {
     StreamSpec s;
     s.kind = Kind::WorkingSet;
     s.weight = weight;
-    s.footprint = footprint;
+    s.footprint = footprint.value();
     s.alpha = alpha;
     return s;
 }
 
 StreamSpec
-seq(double weight, u64 footprint, u64 stride = 64)
+seq(double weight, Bytes footprint, u64 stride = 64)
 {
     StreamSpec s;
     s.kind = Kind::Sequential;
     s.weight = weight;
-    s.footprint = footprint;
+    s.footprint = footprint.value();
     s.stride = stride;
     return s;
 }
 
 StreamSpec
-chase(double weight, u64 footprint)
+chase(double weight, Bytes footprint)
 {
     StreamSpec s;
     s.kind = Kind::PointerChase;
     s.weight = weight;
-    s.footprint = footprint;
+    s.footprint = footprint.value();
     return s;
 }
 
 StreamSpec
-strided(double weight, u32 walkers, u64 footprint, u64 stride = 64)
+strided(double weight, u32 walkers, Bytes footprint, u64 stride = 64)
 {
     StreamSpec s;
     s.kind = Kind::Strided;
     s.weight = weight;
     s.walkers = walkers;
-    s.footprint = footprint;
+    s.footprint = footprint.value();
     s.stride = stride;
     return s;
 }

@@ -8,53 +8,53 @@ namespace {
 TEST(CacheStats, RecordsGlobalAndPerAsid)
 {
     CacheStats s;
-    s.record(1, true, false);
-    s.record(1, false, true);
-    s.record(2, false, false);
+    s.record(Asid{1}, true, false);
+    s.record(Asid{1}, false, true);
+    s.record(Asid{2}, false, false);
 
     EXPECT_EQ(s.global().accesses, 3u);
     EXPECT_EQ(s.global().hits, 1u);
     EXPECT_EQ(s.global().misses, 2u);
     EXPECT_EQ(s.global().writes, 1u);
 
-    EXPECT_EQ(s.forAsid(1).accesses, 2u);
-    EXPECT_EQ(s.forAsid(1).hits, 1u);
-    EXPECT_EQ(s.forAsid(2).misses, 1u);
+    EXPECT_EQ(s.forAsid(Asid{1}).accesses, 2u);
+    EXPECT_EQ(s.forAsid(Asid{1}).hits, 1u);
+    EXPECT_EQ(s.forAsid(Asid{2}).misses, 1u);
 }
 
 TEST(CacheStats, UnknownAsidIsZeros)
 {
     CacheStats s;
-    EXPECT_EQ(s.forAsid(42).accesses, 0u);
-    EXPECT_DOUBLE_EQ(s.forAsid(42).missRate(), 0.0);
+    EXPECT_EQ(s.forAsid(Asid{42}).accesses, 0u);
+    EXPECT_DOUBLE_EQ(s.forAsid(Asid{42}).missRate(), 0.0);
 }
 
 TEST(CacheStats, MissRatesMapOnlySeenAsids)
 {
     CacheStats s;
-    s.record(0, false, false);
-    s.record(0, true, false);
-    s.record(5, false, false);
+    s.record(Asid{0}, false, false);
+    s.record(Asid{0}, true, false);
+    s.record(Asid{5}, false, false);
     const auto rates = s.missRates();
     ASSERT_EQ(rates.size(), 2u);
-    EXPECT_DOUBLE_EQ(rates.at(0), 0.5);
-    EXPECT_DOUBLE_EQ(rates.at(5), 1.0);
+    EXPECT_DOUBLE_EQ(rates.at(Asid{0}), 0.5);
+    EXPECT_DOUBLE_EQ(rates.at(Asid{5}), 1.0);
 }
 
 TEST(CacheStats, Writebacks)
 {
     CacheStats s;
-    s.recordWriteback(3);
-    s.recordWriteback(3);
+    s.recordWriteback(Asid{3});
+    s.recordWriteback(Asid{3});
     EXPECT_EQ(s.global().writebacks, 2u);
-    EXPECT_EQ(s.forAsid(3).writebacks, 2u);
+    EXPECT_EQ(s.forAsid(Asid{3}).writebacks, 2u);
 }
 
 TEST(CacheStats, Reset)
 {
     CacheStats s;
-    s.record(1, false, false);
-    s.recordWriteback(1);
+    s.record(Asid{1}, false, false);
+    s.recordWriteback(Asid{1});
     s.reset();
     EXPECT_EQ(s.global().accesses, 0u);
     EXPECT_EQ(s.global().writebacks, 0u);
@@ -65,8 +65,8 @@ TEST(CacheStats, HitRateComplementsMissRate)
 {
     CacheStats s;
     for (int i = 0; i < 3; ++i)
-        s.record(0, true, false);
-    s.record(0, false, false);
+        s.record(Asid{0}, true, false);
+    s.record(Asid{0}, false, false);
     EXPECT_DOUBLE_EQ(s.global().hitRate(), 0.75);
     EXPECT_DOUBLE_EQ(s.global().missRate(), 0.25);
 }

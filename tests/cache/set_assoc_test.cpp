@@ -19,15 +19,15 @@ smallCache(u32 assoc = 2, ReplPolicy repl = ReplPolicy::Lru)
 }
 
 MemAccess
-read(Addr addr, Asid asid = 0)
+read(Addr addr, u16 asid = 0)
 {
-    return {addr, asid, AccessType::Read};
+    return {addr, Asid{asid}, AccessType::Read};
 }
 
 MemAccess
-write(Addr addr, Asid asid = 0)
+write(Addr addr, u16 asid = 0)
 {
-    return {addr, asid, AccessType::Write};
+    return {addr, Asid{asid}, AccessType::Write};
 }
 
 TEST(SetAssoc, ColdMissThenHit)
@@ -76,10 +76,10 @@ TEST(SetAssoc, PerAsidStats)
     cache.access(read(0x100, 1));
     cache.access(read(0x100, 1));
     cache.access(read(0x4000, 2));
-    EXPECT_EQ(cache.stats().forAsid(1).accesses, 2u);
-    EXPECT_EQ(cache.stats().forAsid(1).hits, 1u);
-    EXPECT_EQ(cache.stats().forAsid(2).misses, 1u);
-    EXPECT_DOUBLE_EQ(cache.stats().forAsid(1).missRate(), 0.5);
+    EXPECT_EQ(cache.stats().forAsid(Asid{1}).accesses, 2u);
+    EXPECT_EQ(cache.stats().forAsid(Asid{1}).hits, 1u);
+    EXPECT_EQ(cache.stats().forAsid(Asid{2}).misses, 1u);
+    EXPECT_DOUBLE_EQ(cache.stats().forAsid(Asid{1}).missRate(), 0.5);
 }
 
 TEST(SetAssoc, WritebackOnDirtyEviction)
@@ -117,8 +117,8 @@ TEST(SetAssoc, OccupancyTracksAsid)
     SetAssocCache cache(smallCache());
     for (u32 i = 0; i < 8; ++i)
         cache.access(read(i * 64, 3));
-    EXPECT_EQ(cache.occupancy(3), 8u);
-    EXPECT_EQ(cache.occupancy(4), 0u);
+    EXPECT_EQ(cache.occupancy(Asid{3}), 8u);
+    EXPECT_EQ(cache.occupancy(Asid{4}), 0u);
 }
 
 TEST(SetAssoc, EnergyAccounting)

@@ -20,29 +20,29 @@ smallParams(u32 assoc = 8, u64 repartition = 0)
 }
 
 MemAccess
-read(Addr addr, Asid asid)
+read(Addr addr, u16 asid)
 {
-    return {addr, asid, AccessType::Read};
+    return {addr, Asid{asid}, AccessType::Read};
 }
 
 TEST(WayPartitioned, EvenInitialSplit)
 {
     WayPartitionedCache cache(smallParams(8));
-    cache.registerApplication(0, 0.1);
-    cache.registerApplication(1, 0.1);
-    EXPECT_EQ(cache.waysOf(0), 4u);
-    EXPECT_EQ(cache.waysOf(1), 4u);
-    cache.registerApplication(2, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
+    cache.registerApplication(Asid{1}, 0.1);
+    EXPECT_EQ(cache.waysOf(Asid{0}), 4u);
+    EXPECT_EQ(cache.waysOf(Asid{1}), 4u);
+    cache.registerApplication(Asid{2}, 0.1);
     // 8 ways over 3 apps: 3/3/2.
-    EXPECT_EQ(cache.waysOf(0) + cache.waysOf(1) + cache.waysOf(2), 8u);
-    EXPECT_GE(cache.waysOf(0), 2u);
-    EXPECT_GE(cache.waysOf(2), 2u);
+    EXPECT_EQ(cache.waysOf(Asid{0}) + cache.waysOf(Asid{1}) + cache.waysOf(Asid{2}), 8u);
+    EXPECT_GE(cache.waysOf(Asid{0}), 2u);
+    EXPECT_GE(cache.waysOf(Asid{2}), 2u);
 }
 
 TEST(WayPartitioned, MissThenHit)
 {
     WayPartitionedCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
     EXPECT_FALSE(cache.access(read(0x1000, 0)).hit);
     EXPECT_TRUE(cache.access(read(0x1000, 0)).hit);
 }
@@ -52,8 +52,8 @@ TEST(WayPartitioned, PlacementConfinedToOwnColumns)
     // App 0 gets 4 of 8 ways. Pushing 8 conflicting lines through app 0
     // can keep at most 4 alive.
     WayPartitionedCache cache(smallParams(8));
-    cache.registerApplication(0, 0.1);
-    cache.registerApplication(1, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
+    cache.registerApplication(Asid{1}, 0.1);
     const u64 span = smallParams().numSets() * 64ull; // same set, new tag
     for (u32 i = 0; i < 8; ++i)
         cache.access(read(i * span, 0));
@@ -68,8 +68,8 @@ TEST(WayPartitioned, PartitioningIsolatesNeighbours)
 {
     // App 1's thrashing traffic cannot displace app 0's lines.
     WayPartitionedCache cache(smallParams(8));
-    cache.registerApplication(0, 0.1);
-    cache.registerApplication(1, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
+    cache.registerApplication(Asid{1}, 0.1);
     cache.access(read(0x2000, 0));
     const u64 span = smallParams().numSets() * 64ull;
     for (u32 i = 1; i < 40; ++i)
@@ -87,8 +87,8 @@ TEST(WayPartitioned, CrossPartitionHitsAreLegal)
     // lookup sees both; the tag matches once, so the *first* access
     // from app 1 actually hits app 0's copy.
     WayPartitionedCache cache(smallParams(8));
-    cache.registerApplication(0, 0.1);
-    cache.registerApplication(1, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
+    cache.registerApplication(Asid{1}, 0.1);
     cache.access(read(0x3000, 0));
     EXPECT_TRUE(cache.access(read(0x3000, 1)).hit)
         << "lookup must search all ways";
@@ -99,8 +99,8 @@ TEST(WayPartitioned, GoalDrivenRepartition)
     // App 0 overachieves (tiny working set, loose goal), app 1 misses
     // heavily against a tight goal: columns must flow 0 -> 1.
     WayPartitionedCache cache(smallParams(8, /*repartition=*/2000));
-    cache.registerApplication(0, 0.50);
-    cache.registerApplication(1, 0.05);
+    cache.registerApplication(Asid{0}, 0.50);
+    cache.registerApplication(Asid{1}, 0.05);
     Pcg32 rng(7);
     for (u32 i = 0; i < 40000; ++i) {
         cache.access(read((i % 4) * 64, 0)); // 4 hot lines: ~always hits
@@ -108,19 +108,19 @@ TEST(WayPartitioned, GoalDrivenRepartition)
             read(static_cast<Addr>(rng.below(4096)) * 64 + (1u << 30), 1));
     }
     EXPECT_GT(cache.repartitions(), 0u);
-    EXPECT_GT(cache.waysOf(1), cache.waysOf(0));
-    EXPECT_GE(cache.waysOf(0), 1u); // never starved to zero
-    EXPECT_EQ(cache.waysOf(0) + cache.waysOf(1), 8u);
+    EXPECT_GT(cache.waysOf(Asid{1}), cache.waysOf(Asid{0}));
+    EXPECT_GE(cache.waysOf(Asid{0}), 1u); // never starved to zero
+    EXPECT_EQ(cache.waysOf(Asid{0}) + cache.waysOf(Asid{1}), 8u);
 }
 
 TEST(WayPartitioned, PerAsidStats)
 {
     WayPartitionedCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
     cache.access(read(0x0, 0));
     cache.access(read(0x0, 0));
-    EXPECT_EQ(cache.stats().forAsid(0).accesses, 2u);
-    EXPECT_EQ(cache.stats().forAsid(0).hits, 1u);
+    EXPECT_EQ(cache.stats().forAsid(Asid{0}).accesses, 2u);
+    EXPECT_EQ(cache.stats().forAsid(Asid{0}).hits, 1u);
 }
 
 TEST(WayPartitioned, NameAndReset)
@@ -135,17 +135,17 @@ TEST(WayPartitioned, NameAndReset)
 TEST(WayPartitionedDeath, TooManyApps)
 {
     WayPartitionedCache cache(smallParams(2));
-    cache.registerApplication(0, 0.1);
-    cache.registerApplication(1, 0.1);
-    EXPECT_EXIT(cache.registerApplication(2, 0.1),
+    cache.registerApplication(Asid{0}, 0.1);
+    cache.registerApplication(Asid{1}, 0.1);
+    EXPECT_EXIT(cache.registerApplication(Asid{2}, 0.1),
                 ::testing::ExitedWithCode(1), "at most associativity");
 }
 
 TEST(WayPartitionedDeath, DoubleRegistration)
 {
     WayPartitionedCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
-    EXPECT_EXIT(cache.registerApplication(0, 0.1),
+    cache.registerApplication(Asid{0}, 0.1);
+    EXPECT_EXIT(cache.registerApplication(Asid{0}, 0.1),
                 ::testing::ExitedWithCode(1), "already registered");
 }
 

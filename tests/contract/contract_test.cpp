@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Contract-macro behavior: counting, handler dispatch, message
+ * formatting, and the active/inactive split.  The tier-1 build keeps
+ * contracts armed (MOLCACHE_CONTRACTS_ENABLED), so the bulk of the file
+ * tests the active path; the #else branch compiles in a pure Release
+ * build and verifies the macros are genuinely free there.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "contract/contract.hpp"
+
+namespace molcache {
+namespace {
+
+using contract::Counters;
+using contract::Handler;
+using contract::Kind;
+
+/** Installs a recording handler for one test, restores on destruction. */
+class ScopedRecorder
+{
+  public:
+    struct Event
+    {
+        Kind kind;
+        std::string cond;
+        std::string file;
+        int line;
+        std::string msg;
+    };
+
+    ScopedRecorder()
+    {
+        contract::resetCounters();
+        previous_ = contract::setHandler(
+            [this](Kind kind, const char *cond, const char *file, int line,
+                   const std::string &msg) {
+                events.push_back({kind, cond, file, line, msg});
+            });
+    }
+
+    ~ScopedRecorder()
+    {
+        contract::setHandler(previous_);
+        contract::resetCounters();
+    }
+
+    std::vector<Event> events;
+
+  private:
+    Handler previous_;
+};
+
+TEST(Contract, KindNames)
+{
+    EXPECT_STREQ(contract::kindName(Kind::Expect), "precondition");
+    EXPECT_STREQ(contract::kindName(Kind::Ensure), "postcondition");
+    EXPECT_STREQ(contract::kindName(Kind::Invariant), "invariant");
+}
+
+TEST(Contract, NoteViolationCountsPerKind)
+{
+    ScopedRecorder rec;
+    contract::noteViolation(Kind::Expect, "a", "f.cpp", 1, "");
+    contract::noteViolation(Kind::Expect, "b", "f.cpp", 2, "");
+    contract::noteViolation(Kind::Ensure, "c", "f.cpp", 3, "");
+    contract::noteViolation(Kind::Invariant, "d", "f.cpp", 4, "");
+    const Counters &c = contract::counters();
+    EXPECT_EQ(c.expectFailures, 2u);
+    EXPECT_EQ(c.ensureFailures, 1u);
+    EXPECT_EQ(c.invariantFailures, 1u);
+    EXPECT_EQ(c.total(), 4u);
+    contract::resetCounters();
+    EXPECT_EQ(contract::counters().total(), 0u);
+}
+
+#if MOLCACHE_CONTRACTS_ACTIVE
+
+TEST(Contract, PassingChecksAreSilent)
+{
+    ScopedRecorder rec;
+    MOLCACHE_EXPECT(1 + 1 == 2);
+    MOLCACHE_ENSURE(true, "never shown");
+    MOLCACHE_INVARIANT(2 > 1);
+    EXPECT_TRUE(rec.events.empty());
+    EXPECT_EQ(contract::counters().total(), 0u);
+}
+
+TEST(Contract, FailingExpectDispatchesWithContext)
+{
+    ScopedRecorder rec;
+    const int got = 3;
+    MOLCACHE_EXPECT(got == 4, "got ", got);
+    ASSERT_EQ(rec.events.size(), 1u);
+    EXPECT_EQ(rec.events[0].kind, Kind::Expect);
+    EXPECT_EQ(rec.events[0].cond, "got == 4");
+    EXPECT_NE(rec.events[0].file.find("contract_test"),
+              std::string::npos);
+    EXPECT_EQ(rec.events[0].msg, "got 3");
+    EXPECT_EQ(contract::counters().expectFailures, 1u);
+}
+
+TEST(Contract, EachMacroReportsItsKind)
+{
+    ScopedRecorder rec;
+    MOLCACHE_EXPECT(false);
+    MOLCACHE_ENSURE(false);
+    MOLCACHE_INVARIANT(false);
+    ASSERT_EQ(rec.events.size(), 3u);
+    EXPECT_EQ(rec.events[0].kind, Kind::Expect);
+    EXPECT_EQ(rec.events[1].kind, Kind::Ensure);
+    EXPECT_EQ(rec.events[2].kind, Kind::Invariant);
+}
+
+TEST(Contract, ConditionEvaluatedExactlyOnce)
+{
+    ScopedRecorder rec;
+    int calls = 0;
+    MOLCACHE_EXPECT([&] {
+        ++calls;
+        return false;
+    }());
+    EXPECT_EQ(calls, 1);
+    ASSERT_EQ(rec.events.size(), 1u);
+}
+
+TEST(Contract, SetHandlerReturnsPrevious)
+{
+    ScopedRecorder rec;
+    // rec's handler is installed; swapping in another returns it.
+    int outer = 0;
+    Handler mine = contract::setHandler(
+        [&outer](Kind, const char *, const char *, int,
+                 const std::string &) { ++outer; });
+    MOLCACHE_EXPECT(false);
+    EXPECT_EQ(outer, 1);
+    EXPECT_TRUE(rec.events.empty());
+    contract::setHandler(mine); // put rec's back for its destructor
+}
+
+TEST(ContractDeath, DefaultHandlerPanics)
+{
+    contract::resetCounters();
+    EXPECT_DEATH(MOLCACHE_EXPECT(false, "boom"),
+                 "precondition.*violated.*boom");
+}
+
+#else // !MOLCACHE_CONTRACTS_ACTIVE
+
+TEST(Contract, CompiledOutChecksDoNotEvaluate)
+{
+    ScopedRecorder rec;
+    int evaluations = 0;
+    MOLCACHE_EXPECT([&] {
+        ++evaluations;
+        return false;
+    }());
+    MOLCACHE_ENSURE(false);
+    MOLCACHE_INVARIANT(false);
+    EXPECT_EQ(evaluations, 0) << "Release build must not run conditions";
+    EXPECT_TRUE(rec.events.empty());
+    EXPECT_EQ(contract::counters().total(), 0u);
+}
+
+#endif // MOLCACHE_CONTRACTS_ACTIVE
+
+} // namespace
+} // namespace molcache

@@ -8,72 +8,72 @@ namespace {
 TEST(Coherence, ReadFillsShareFreely)
 {
     CoherenceDirectory dir(4);
-    EXPECT_TRUE(dir.noteFill(0x1000, 0, false).empty());
-    EXPECT_TRUE(dir.noteFill(0x1000, 1, false).empty());
-    EXPECT_TRUE(dir.noteFill(0x1000, 2, false).empty());
-    EXPECT_EQ(dir.holderCount(0x1000), 3u);
-    EXPECT_TRUE(dir.isHeld(0x1000, 0));
-    EXPECT_TRUE(dir.isHeld(0x1000, 2));
-    EXPECT_FALSE(dir.isHeld(0x1000, 3));
-    EXPECT_FALSE(dir.isModified(0x1000));
+    EXPECT_TRUE(dir.noteFill(LineAddr{0x1000}, ClusterId{0}, false).empty());
+    EXPECT_TRUE(dir.noteFill(LineAddr{0x1000}, ClusterId{1}, false).empty());
+    EXPECT_TRUE(dir.noteFill(LineAddr{0x1000}, ClusterId{2}, false).empty());
+    EXPECT_EQ(dir.holderCount(LineAddr{0x1000}), 3u);
+    EXPECT_TRUE(dir.isHeld(LineAddr{0x1000}, ClusterId{0}));
+    EXPECT_TRUE(dir.isHeld(LineAddr{0x1000}, ClusterId{2}));
+    EXPECT_FALSE(dir.isHeld(LineAddr{0x1000}, ClusterId{3}));
+    EXPECT_FALSE(dir.isModified(LineAddr{0x1000}));
 }
 
 TEST(Coherence, WriteInvalidatesOtherHolders)
 {
     CoherenceDirectory dir(4);
-    dir.noteFill(0x2000, 0, false);
-    dir.noteFill(0x2000, 1, false);
-    dir.noteFill(0x2000, 3, false);
-    const auto inv = dir.noteWrite(0x2000, 1);
+    dir.noteFill(LineAddr{0x2000}, ClusterId{0}, false);
+    dir.noteFill(LineAddr{0x2000}, ClusterId{1}, false);
+    dir.noteFill(LineAddr{0x2000}, ClusterId{3}, false);
+    const auto inv = dir.noteWrite(LineAddr{0x2000}, ClusterId{1});
     ASSERT_EQ(inv.size(), 2u);
-    EXPECT_EQ(inv[0], 0u);
-    EXPECT_EQ(inv[1], 3u);
-    EXPECT_EQ(dir.holderCount(0x2000), 1u);
-    EXPECT_TRUE(dir.isHeld(0x2000, 1));
-    EXPECT_TRUE(dir.isModified(0x2000));
+    EXPECT_EQ(inv[0], ClusterId{0});
+    EXPECT_EQ(inv[1], ClusterId{3});
+    EXPECT_EQ(dir.holderCount(LineAddr{0x2000}), 1u);
+    EXPECT_TRUE(dir.isHeld(LineAddr{0x2000}, ClusterId{1}));
+    EXPECT_TRUE(dir.isModified(LineAddr{0x2000}));
     EXPECT_EQ(dir.stats().invalidationsSent, 2u);
 }
 
 TEST(Coherence, ExclusiveFillInvalidates)
 {
     CoherenceDirectory dir(2);
-    dir.noteFill(0x3000, 0, false);
-    const auto inv = dir.noteFill(0x3000, 1, /*exclusive=*/true);
+    dir.noteFill(LineAddr{0x3000}, ClusterId{0}, false);
+    const auto inv = dir.noteFill(LineAddr{0x3000}, ClusterId{1}, /*exclusive=*/true);
     ASSERT_EQ(inv.size(), 1u);
-    EXPECT_EQ(inv[0], 0u);
-    EXPECT_TRUE(dir.isModified(0x3000));
-    EXPECT_TRUE(dir.isHeld(0x3000, 1));
-    EXPECT_FALSE(dir.isHeld(0x3000, 0));
+    EXPECT_EQ(inv[0], ClusterId{0});
+    EXPECT_TRUE(dir.isModified(LineAddr{0x3000}));
+    EXPECT_TRUE(dir.isHeld(LineAddr{0x3000}, ClusterId{1}));
+    EXPECT_FALSE(dir.isHeld(LineAddr{0x3000}, ClusterId{0}));
 }
 
 TEST(Coherence, ReadOfModifiedLineDowngrades)
 {
     CoherenceDirectory dir(2);
-    dir.noteWrite(0x4000, 0);
-    EXPECT_TRUE(dir.isModified(0x4000));
-    EXPECT_TRUE(dir.noteFill(0x4000, 1, false).empty());
-    EXPECT_FALSE(dir.isModified(0x4000)); // downgraded to shared
-    EXPECT_EQ(dir.holderCount(0x4000), 2u);
+    dir.noteWrite(LineAddr{0x4000}, ClusterId{0});
+    EXPECT_TRUE(dir.isModified(LineAddr{0x4000}));
+    EXPECT_TRUE(dir.noteFill(LineAddr{0x4000}, ClusterId{1}, false).empty());
+    EXPECT_FALSE(dir.isModified(LineAddr{0x4000})); // downgraded to shared
+    EXPECT_EQ(dir.holderCount(LineAddr{0x4000}), 2u);
     EXPECT_EQ(dir.stats().downgrades, 1u);
 }
 
 TEST(Coherence, EvictionRemovesHolderAndEntry)
 {
     CoherenceDirectory dir(2);
-    dir.noteFill(0x5000, 0, false);
-    dir.noteFill(0x5000, 1, false);
+    dir.noteFill(LineAddr{0x5000}, ClusterId{0}, false);
+    dir.noteFill(LineAddr{0x5000}, ClusterId{1}, false);
     EXPECT_EQ(dir.entries(), 1u);
-    dir.noteEviction(0x5000, 0);
-    EXPECT_FALSE(dir.isHeld(0x5000, 0));
-    EXPECT_TRUE(dir.isHeld(0x5000, 1));
-    dir.noteEviction(0x5000, 1);
+    dir.noteEviction(LineAddr{0x5000}, ClusterId{0});
+    EXPECT_FALSE(dir.isHeld(LineAddr{0x5000}, ClusterId{0}));
+    EXPECT_TRUE(dir.isHeld(LineAddr{0x5000}, ClusterId{1}));
+    dir.noteEviction(LineAddr{0x5000}, ClusterId{1});
     EXPECT_EQ(dir.entries(), 0u); // last holder gone: entry reclaimed
 }
 
 TEST(Coherence, EvictionOfUnknownLineIsNoop)
 {
     CoherenceDirectory dir(2);
-    dir.noteEviction(0xdead, 0);
+    dir.noteEviction(LineAddr{0xdead}, ClusterId{0});
     EXPECT_EQ(dir.entries(), 0u);
     EXPECT_EQ(dir.stats().evictions, 0u);
 }
@@ -81,38 +81,38 @@ TEST(Coherence, EvictionOfUnknownLineIsNoop)
 TEST(Coherence, ModifiedOwnerEvictionClearsState)
 {
     CoherenceDirectory dir(2);
-    dir.noteWrite(0x6000, 0);
-    dir.noteEviction(0x6000, 0);
-    EXPECT_FALSE(dir.isModified(0x6000));
-    EXPECT_EQ(dir.holderCount(0x6000), 0u);
+    dir.noteWrite(LineAddr{0x6000}, ClusterId{0});
+    dir.noteEviction(LineAddr{0x6000}, ClusterId{0});
+    EXPECT_FALSE(dir.isModified(LineAddr{0x6000}));
+    EXPECT_EQ(dir.holderCount(LineAddr{0x6000}), 0u);
 }
 
 TEST(Coherence, WriteByOnlyHolderInvalidatesNothing)
 {
     CoherenceDirectory dir(4);
-    dir.noteFill(0x7000, 2, false);
-    EXPECT_TRUE(dir.noteWrite(0x7000, 2).empty());
+    dir.noteFill(LineAddr{0x7000}, ClusterId{2}, false);
+    EXPECT_TRUE(dir.noteWrite(LineAddr{0x7000}, ClusterId{2}).empty());
     EXPECT_EQ(dir.stats().invalidationsSent, 0u);
 }
 
 TEST(Coherence, DistinctLinesIndependent)
 {
     CoherenceDirectory dir(2);
-    dir.noteWrite(0x8000, 0);
-    dir.noteWrite(0x8040, 1);
-    EXPECT_TRUE(dir.isHeld(0x8000, 0));
-    EXPECT_TRUE(dir.isHeld(0x8040, 1));
-    EXPECT_FALSE(dir.isHeld(0x8000, 1));
+    dir.noteWrite(LineAddr{0x8000}, ClusterId{0});
+    dir.noteWrite(LineAddr{0x8040}, ClusterId{1});
+    EXPECT_TRUE(dir.isHeld(LineAddr{0x8000}, ClusterId{0}));
+    EXPECT_TRUE(dir.isHeld(LineAddr{0x8040}, ClusterId{1}));
+    EXPECT_FALSE(dir.isHeld(LineAddr{0x8000}, ClusterId{1}));
     EXPECT_EQ(dir.entries(), 2u);
 }
 
 TEST(Coherence, StatsAccumulate)
 {
     CoherenceDirectory dir(2);
-    dir.noteFill(0x1, 0, false);
-    dir.noteFill(0x1, 1, false);
-    dir.noteWrite(0x1, 0);
-    dir.noteEviction(0x1, 0);
+    dir.noteFill(LineAddr{0x1}, ClusterId{0}, false);
+    dir.noteFill(LineAddr{0x1}, ClusterId{1}, false);
+    dir.noteWrite(LineAddr{0x1}, ClusterId{0});
+    dir.noteEviction(LineAddr{0x1}, ClusterId{0});
     EXPECT_EQ(dir.stats().fills, 2u);
     EXPECT_EQ(dir.stats().writes, 1u);
     EXPECT_EQ(dir.stats().evictions, 1u);

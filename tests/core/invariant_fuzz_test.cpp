@@ -67,7 +67,8 @@ checkInvariants(const MolecularCache &cache,
         }
         // 3. Regions stay inside their home cluster (Ulmo's domain).
         for (const auto &[tile, mols] : r.byTile()) {
-            ASSERT_EQ(tile / params.tilesPerCluster, r.homeCluster());
+            ASSERT_EQ(ClusterId{tile.value() / params.tilesPerCluster},
+                      r.homeCluster());
         }
     }
     ASSERT_EQ(held + cache.freeMolecules() + cache.decommissionedMolecules(),
@@ -97,9 +98,9 @@ TEST_P(MolecularFuzz, RandomOperationSequence)
         const u32 op = rng.below(100);
         if (op < 80) {
             // Access from a random registered app (auto-register if none).
-            Asid asid;
+            Asid asid{};
             if (registered.empty()) {
-                asid = static_cast<Asid>(rng.below(6));
+                asid = Asid{static_cast<u16>(rng.below(6))};
                 registered.insert(asid);
             } else {
                 auto it = registered.begin();
@@ -109,14 +110,14 @@ TEST_P(MolecularFuzz, RandomOperationSequence)
             }
             const Addr addr =
                 static_cast<Addr>(rng.below(4096)) * 64 +
-                (static_cast<Addr>(asid) << 34);
+                (static_cast<Addr>(asid.value()) << 34);
             const bool write = rng.chance(0.3);
             cache.access({addr, asid,
                           write ? AccessType::Write : AccessType::Read});
             registered.insert(asid); // auto-registration side effect
         } else if (op < 85) {
             // Register a new app if room.
-            const Asid asid = static_cast<Asid>(rng.below(6));
+            const Asid asid{static_cast<u16>(rng.below(6))};
             if (!registered.count(asid)) {
                 cache.registerApplication(asid, 0.05 + 0.1 * rng.unitReal());
                 registered.insert(asid);
@@ -137,13 +138,13 @@ TEST_P(MolecularFuzz, RandomOperationSequence)
                 std::advance(it, rng.below(
                                  static_cast<u32>(registered.size())));
                 cache.migrateApplication(
-                    *it, rng.below(cache.params().clusters),
+                    *it, ClusterId{rng.below(cache.params().clusters)},
                     rng.below(cache.params().tilesPerCluster));
             }
         } else if (op < 96) {
             // Corrupt a random line (latent until the slot is probed).
             cache.injectTransientFlip(
-                rng.below(cache.params().totalMolecules()),
+                MoleculeId{rng.below(cache.params().totalMolecules())},
                 rng.below(cache.params().linesPerMolecule()));
         } else {
             // Decommission a random molecule mid-run; cap the damage at a
@@ -151,7 +152,7 @@ TEST_P(MolecularFuzz, RandomOperationSequence)
             if (cache.decommissionedMolecules() <
                 cache.params().totalMolecules() / 4) {
                 cache.decommissionMolecule(
-                    rng.below(cache.params().totalMolecules()));
+                    MoleculeId{rng.below(cache.params().totalMolecules())});
             }
         }
 
@@ -178,20 +179,21 @@ TEST_P(PlacementFuzz, AccessStormKeepsInvariants)
     InvariantChecker::attach(cache, 2500);
     Pcg32 rng(42);
     std::set<Asid> registered;
-    for (Asid a = 0; a < 4; ++a) {
-        cache.registerApplication(a, 0.1);
-        registered.insert(a);
+    for (u16 a = 0; a < 4; ++a) {
+        cache.registerApplication(Asid{a}, 0.1);
+        registered.insert(Asid{a});
     }
     for (u32 i = 0; i < 30000; ++i) {
-        const Asid asid = static_cast<Asid>(rng.below(4));
+        const Asid asid{static_cast<u16>(rng.below(4))};
         const Addr addr = static_cast<Addr>(rng.below(8192)) * 64 +
-                          (static_cast<Addr>(asid) << 34);
+                          (static_cast<Addr>(asid.value()) << 34);
         cache.access({addr, asid,
                       rng.chance(0.25) ? AccessType::Write
                                        : AccessType::Read});
         if (i == 10000 || i == 20000) {
             // Mid-storm molecule losses; the audit keeps watching.
-            cache.decommissionMolecule(rng.below(p.totalMolecules()));
+            cache.decommissionMolecule(
+                MoleculeId{rng.below(p.totalMolecules())});
         }
     }
     checkInvariants(cache, registered);

@@ -31,7 +31,7 @@ lruParams()
 MemAccess
 read(Addr addr)
 {
-    return {addr, 0, AccessType::Read};
+    return {addr, Asid{0}, AccessType::Read};
 }
 
 TEST(LruDirect, ParseAndName)
@@ -44,9 +44,9 @@ TEST(LruDirect, ParseAndName)
 TEST(LruDirect, RegionUsesSingleRow)
 {
     MolecularCache cache(lruParams());
-    cache.registerApplication(0, 0.1);
-    EXPECT_EQ(cache.region(0).rowMax(), 1u);
-    EXPECT_EQ(cache.region(0).size(), 4u);
+    cache.registerApplication(Asid{0}, 0.1);
+    EXPECT_EQ(cache.region(Asid{0}).rowMax(), 1u);
+    EXPECT_EQ(cache.region(Asid{0}).size(), 4u);
 }
 
 TEST(LruDirect, BehavesAsLruAcrossMolecules)
@@ -54,8 +54,8 @@ TEST(LruDirect, BehavesAsLruAcrossMolecules)
     // 4 molecules => 4-way LRU per molecule index. Five conflicting
     // lines at the same index: the least recently used one is evicted.
     MolecularCache cache(lruParams());
-    cache.registerApplication(0, 0.1);
-    const u64 span = 8_KiB; // molecule span: same index, new tag
+    cache.registerApplication(Asid{0}, 0.1);
+    const u64 span = (8_KiB).value(); // molecule span: same index, new tag
     for (u32 i = 0; i < 4; ++i)
         cache.access(read(i * span)); // fill all four ways
     cache.access(read(0));            // touch way A: now MRU
@@ -72,8 +72,8 @@ TEST(LruDirect, BehavesAsLruAcrossMolecules)
 TEST(LruDirect, FillsInvalidSlotsFirst)
 {
     MolecularCache cache(lruParams());
-    cache.registerApplication(0, 0.1);
-    const u64 span = 8_KiB;
+    cache.registerApplication(Asid{0}, 0.1);
+    const u64 span = (8_KiB).value();
     // Four conflicting lines into four molecules: all must coexist.
     for (u32 i = 0; i < 4; ++i)
         cache.access(read(i * span));
@@ -89,7 +89,7 @@ TEST(LruDirect, BeatsRandomOnLruFriendlyPattern)
         MolecularCacheParams p = lruParams();
         p.placement = placement;
         MolecularCache cache(p);
-        cache.registerApplication(0, 0.1);
+        cache.registerApplication(Asid{0}, 0.1);
         // 4 molecules x 128 lines = 512 lines capacity; sweep 480 lines.
         u64 misses = 0;
         for (u32 pass = 0; pass < 6; ++pass)
@@ -109,12 +109,12 @@ TEST(LruDirect, WorksWithResizing)
     p.maxResizePeriod = 20000;
     p.minIntervalSample = 500;
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
     Pcg32 rng(1);
     for (u32 i = 0; i < 60000; ++i)
         cache.access(read(static_cast<Addr>(rng.below(1024)) * 64));
     EXPECT_GT(cache.resizeCycles(), 0u);
-    EXPECT_GT(cache.region(0).size(), 4u); // grew under pressure
+    EXPECT_GT(cache.region(Asid{0}).size(), 4u); // grew under pressure
 }
 
 } // namespace

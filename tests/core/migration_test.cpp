@@ -31,71 +31,71 @@ params()
 MemAccess
 read(Addr addr)
 {
-    return {addr, 0, AccessType::Read};
+    return {addr, Asid{0}, AccessType::Read};
 }
 
 TEST(Migration, SameClusterKeepsContents)
 {
     MolecularCache cache(params());
-    cache.registerApplication(0, 0.1, 0, 0, 1);
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
     cache.access(read(0x4000));
     EXPECT_TRUE(cache.access(read(0x4000)).hit);
 
-    cache.migrateApplication(0, 0, 1); // tile 0 -> tile 1, same cluster
-    EXPECT_EQ(cache.region(0).homeTile(), 1u);
-    EXPECT_EQ(cache.region(0).homeCluster(), 0u);
+    cache.migrateApplication(Asid{0}, ClusterId{0}, 1); // tile 0 -> tile 1, same cluster
+    EXPECT_EQ(cache.region(Asid{0}).homeTile(), TileId{1});
+    EXPECT_EQ(cache.region(Asid{0}).homeCluster(), ClusterId{0});
 
     // The line is still cached — now in a remote molecule of the region,
     // served via Ulmo (lookup level 1).
     const AccessResult r = cache.access(read(0x4000));
     EXPECT_TRUE(r.hit);
     EXPECT_EQ(r.level, 1u);
-    EXPECT_GT(cache.ulmo(0).remoteHits(), 0u);
+    EXPECT_GT(cache.ulmo(ClusterId{0}).remoteHits(), 0u);
 }
 
 TEST(Migration, CrossClusterRebuildsPartition)
 {
     MolecularCache cache(params());
-    cache.registerApplication(0, 0.15, 0, 0, 2);
+    cache.registerApplication(Asid{0}, 0.15, ClusterId{0}, 0, 2);
     cache.access(read(0x4000));
-    const u32 size_before = cache.region(0).size();
+    const u32 size_before = cache.region(Asid{0}).size();
 
-    cache.migrateApplication(0, 1, 0);
-    EXPECT_EQ(cache.region(0).homeCluster(), 1u);
+    cache.migrateApplication(Asid{0}, ClusterId{1}, 0);
+    EXPECT_EQ(cache.region(Asid{0}).homeCluster(), ClusterId{1});
     // Goal and line multiple survive the rebuild.
-    EXPECT_DOUBLE_EQ(cache.region(0).resizeGoal, 0.15);
-    EXPECT_EQ(cache.region(0).lineMultiple(), 2u);
-    EXPECT_EQ(cache.region(0).size(), size_before);
+    EXPECT_DOUBLE_EQ(cache.region(Asid{0}).resizeGoal, 0.15);
+    EXPECT_EQ(cache.region(Asid{0}).lineMultiple(), 2u);
+    EXPECT_EQ(cache.region(Asid{0}).size(), size_before);
     // Contents do not: the cluster changed.
     EXPECT_FALSE(cache.access(read(0x4000)).hit);
     // Old cluster's molecules were returned to its pool.
-    EXPECT_EQ(cache.freeMoleculesInCluster(0),
+    EXPECT_EQ(cache.freeMoleculesInCluster(ClusterId{0}),
               params().tilesPerCluster * params().moleculesPerTile);
 }
 
 TEST(Migration, CrossClusterWritesBackDirtyLines)
 {
     MolecularCache cache(params());
-    cache.registerApplication(0, 0.1, 0, 0, 1);
-    cache.access({0x4000, 0, AccessType::Write});
-    cache.migrateApplication(0, 1, 1);
-    EXPECT_GE(cache.stats().forAsid(0).writebacks, 1u);
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
+    cache.access({0x4000, Asid{0}, AccessType::Write});
+    cache.migrateApplication(Asid{0}, ClusterId{1}, 1);
+    EXPECT_GE(cache.stats().forAsid(Asid{0}).writebacks, 1u);
 }
 
 TEST(MigrationDeath, UnknownAsid)
 {
     MolecularCache cache(params());
-    EXPECT_EXIT(cache.migrateApplication(9, 0, 0),
+    EXPECT_EXIT(cache.migrateApplication(Asid{9}, ClusterId{0}, 0),
                 ::testing::ExitedWithCode(1), "not registered");
 }
 
 TEST(MigrationDeath, BadDestination)
 {
     MolecularCache cache(params());
-    cache.registerApplication(0, 0.1, 0, 0, 1);
-    EXPECT_EXIT(cache.migrateApplication(0, 7, 0),
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
+    EXPECT_EXIT(cache.migrateApplication(Asid{0}, ClusterId{7}, 0),
                 ::testing::ExitedWithCode(1), "cluster");
-    EXPECT_EXIT(cache.migrateApplication(0, 1, 7),
+    EXPECT_EXIT(cache.migrateApplication(Asid{0}, ClusterId{1}, 7),
                 ::testing::ExitedWithCode(1), "tile");
 }
 

@@ -24,15 +24,15 @@ smallParams()
 }
 
 MemAccess
-read(Addr addr, Asid asid = 0)
+read(Addr addr, u16 asid = 0)
 {
-    return {addr, asid, AccessType::Read};
+    return {addr, Asid{asid}, AccessType::Read};
 }
 
 MemAccess
-write(Addr addr, Asid asid = 0)
+write(Addr addr, u16 asid = 0)
 {
-    return {addr, asid, AccessType::Write};
+    return {addr, Asid{asid}, AccessType::Write};
 }
 
 TEST(MolecularCache, GeometryDerivation)
@@ -49,9 +49,9 @@ TEST(MolecularCache, GeometryDerivation)
 TEST(MolecularCache, RegistrationAllocatesInitialRegion)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(1, 0.1);
-    EXPECT_TRUE(cache.hasApplication(1));
-    EXPECT_EQ(cache.region(1).size(), 2u);
+    cache.registerApplication(Asid{1}, 0.1);
+    EXPECT_TRUE(cache.hasApplication(Asid{1}));
+    EXPECT_EQ(cache.region(Asid{1}).size(), 2u);
     EXPECT_EQ(cache.freeMolecules(), 30u);
 }
 
@@ -60,26 +60,26 @@ TEST(MolecularCache, HalfTileInitialAllocation)
     MolecularCacheParams p = smallParams();
     p.initialAllocation = InitialAllocation::HalfTile;
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.1);
-    EXPECT_EQ(cache.region(0).size(), 4u); // 8 per tile / 2
+    cache.registerApplication(Asid{0}, 0.1);
+    EXPECT_EQ(cache.region(Asid{0}).size(), 4u); // 8 per tile / 2
 }
 
 TEST(MolecularCache, DefaultPlacementSpreadsClusters)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
-    cache.registerApplication(1, 0.1);
-    cache.registerApplication(2, 0.1);
-    EXPECT_EQ(cache.region(0).homeCluster(), 0u);
-    EXPECT_EQ(cache.region(1).homeCluster(), 1u);
-    EXPECT_EQ(cache.region(2).homeCluster(), 0u);
-    EXPECT_NE(cache.region(0).homeTile(), cache.region(2).homeTile());
+    cache.registerApplication(Asid{0}, 0.1);
+    cache.registerApplication(Asid{1}, 0.1);
+    cache.registerApplication(Asid{2}, 0.1);
+    EXPECT_EQ(cache.region(Asid{0}).homeCluster(), ClusterId{0});
+    EXPECT_EQ(cache.region(Asid{1}).homeCluster(), ClusterId{1});
+    EXPECT_EQ(cache.region(Asid{2}).homeCluster(), ClusterId{0});
+    EXPECT_NE(cache.region(Asid{0}).homeTile(), cache.region(Asid{2}).homeTile());
 }
 
 TEST(MolecularCache, MissThenHit)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
     const AccessResult miss = cache.access(read(0x1000));
     EXPECT_FALSE(miss.hit);
     EXPECT_EQ(miss.level, 2u);
@@ -92,16 +92,16 @@ TEST(MolecularCache, AutoRegistersUnknownAsid)
 {
     MolecularCache cache(smallParams());
     cache.access(read(0x1000, 9));
-    EXPECT_TRUE(cache.hasApplication(9));
-    EXPECT_DOUBLE_EQ(cache.region(9).resizeGoal,
+    EXPECT_TRUE(cache.hasApplication(Asid{9}));
+    EXPECT_DOUBLE_EQ(cache.region(Asid{9}).resizeGoal,
                      cache.params().defaultMissRateGoal);
 }
 
 TEST(MolecularCache, AsidIsolation)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
-    cache.registerApplication(1, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
+    cache.registerApplication(Asid{1}, 0.1);
     cache.access(read(0x1000, 0));
     // Same address from another ASID must not hit app 0's copy.
     EXPECT_FALSE(cache.access(read(0x1000, 1)).hit);
@@ -117,18 +117,18 @@ TEST(MolecularCache, RemoteTileHitViaUlmo)
     MolecularCache cache(p);
     // Two apps on the same cluster: app 0 fills its whole home tile, so
     // growth must draw from the other tile via Ulmo.
-    cache.registerApplication(0, 0.1, 0, 0, 1);
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
     // Touch more lines than the home tile holds to force remote grants.
     // Home tile: 8 molecules = 1024 lines. Resizing needs miss pressure.
     for (u32 pass = 0; pass < 3; ++pass)
         for (Addr a = 0; a < 3000; ++a)
             cache.access(read(a * 64));
-    const auto &region = cache.region(0);
+    const auto &region = cache.region(Asid{0});
     EXPECT_GT(region.byTile().size(), 1u)
         << "region never grew past its home tile";
-    EXPECT_GT(cache.ulmo(0).donations(), 0u);
-    EXPECT_GT(cache.ulmo(0).tileMisses(), 0u);
-    EXPECT_GT(cache.ulmo(0).remoteHits(), 0u);
+    EXPECT_GT(cache.ulmo(ClusterId{0}).donations(), 0u);
+    EXPECT_GT(cache.ulmo(ClusterId{0}).tileMisses(), 0u);
+    EXPECT_GT(cache.ulmo(ClusterId{0}).remoteHits(), 0u);
 }
 
 TEST(MolecularCache, WritebackOnDirtyReplacement)
@@ -137,7 +137,7 @@ TEST(MolecularCache, WritebackOnDirtyReplacement)
     p.resizePeriod = 1u << 30; // effectively disable resizing
     p.maxResizePeriod = 1u << 30;
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
     // 2 molecules = 256 lines; overflow them with dirty lines.
     for (Addr a = 0; a < 512; ++a)
         cache.access(write(a * 64));
@@ -148,7 +148,7 @@ TEST(MolecularCache, LineMultipleFetchesNeighbours)
 {
     MolecularCacheParams p = smallParams();
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.1, 0, 0, /*lineMultiple=*/2);
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, /*lineMultiple=*/2);
     EXPECT_FALSE(cache.access(read(0x1000)).hit);
     // The 128B unit [0x1000, 0x1080) was fetched together.
     EXPECT_TRUE(cache.access(read(0x1040)).hit);
@@ -158,7 +158,7 @@ TEST(MolecularCache, LineMultipleFetchesNeighbours)
 TEST(MolecularCache, LineMultipleAlignsDown)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1, 0, 0, /*lineMultiple=*/4);
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, /*lineMultiple=*/4);
     EXPECT_FALSE(cache.access(read(0x10c0)).hit); // last line of its unit
     EXPECT_TRUE(cache.access(read(0x1000)).hit);  // unit base was fetched
     EXPECT_TRUE(cache.access(read(0x1040)).hit);
@@ -172,11 +172,11 @@ TEST(MolecularCache, SharedMoleculeServesAllAsids)
     p.maxResizePeriod = 1u << 30;
     MolecularCache cache(p);
     // Both apps enter through tile 0 of cluster 0.
-    cache.registerApplication(0, 0.1, 0, 0, 1);
-    cache.registerApplication(2, 0.1, 0, 0, 1);
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
+    cache.registerApplication(Asid{2}, 0.1, ClusterId{0}, 0, 1);
     cache.access(read(0x2000, 0)); // app 0 caches the line
     const MoleculeId holder = [&] {
-        for (const auto &[tile, mols] : cache.region(0).byTile())
+        for (const auto &[tile, mols] : cache.region(Asid{0}).byTile())
             for (const MoleculeId m : mols)
                 if (cache.molecule(m).lookup(0x2000))
                     return m;
@@ -197,17 +197,17 @@ TEST(MolecularCache, CrossClusterInvalidationOnSharedAddress)
     p.resizePeriod = 1u << 30;
     p.maxResizePeriod = 1u << 30;
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.1, 0, 0, 1); // cluster 0
-    cache.registerApplication(1, 0.1, 1, 0, 1); // cluster 1
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1); // cluster 0
+    cache.registerApplication(Asid{1}, 0.1, ClusterId{1}, 0, 1); // cluster 1
     // Both threads of a logically-shared address space touch one line.
     cache.access(read(0x3000, 0));
     cache.access(read(0x3000, 1));
-    EXPECT_EQ(cache.directory().holderCount(0x3000), 2u);
+    EXPECT_EQ(cache.directory().holderCount(LineAddr{0x3000}), 2u);
     // A write from cluster 0 invalidates cluster 1's copy.
     cache.access(write(0x3000, 0));
-    EXPECT_EQ(cache.directory().holderCount(0x3000), 1u);
+    EXPECT_EQ(cache.directory().holderCount(LineAddr{0x3000}), 1u);
     EXPECT_FALSE(cache.access(read(0x3000, 1)).hit);
-    EXPECT_GT(cache.ulmo(1).invalidationsApplied(), 0u);
+    EXPECT_GT(cache.ulmo(ClusterId{1}).invalidationsApplied(), 0u);
     // The invalidation crossed the inter-cluster interconnect.
     EXPECT_GT(cache.noc().stats().messages, 0u);
     EXPECT_GT(cache.noc().stats().energyNj, 0.0);
@@ -218,8 +218,8 @@ TEST(MolecularCache, NocQuietWithoutSharing)
     // Disjoint address spaces: the coherence interconnect carries
     // nothing (the paper's workloads run in this regime).
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1, 0, 0, 1);
-    cache.registerApplication(1, 0.1, 1, 0, 1);
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
+    cache.registerApplication(Asid{1}, 0.1, ClusterId{1}, 0, 1);
     for (Addr a = 0; a < 200; ++a) {
         cache.access(write(a * 64, 0));
         cache.access(write((a * 64) | (1ull << 40), 1));
@@ -230,7 +230,7 @@ TEST(MolecularCache, NocQuietWithoutSharing)
 TEST(MolecularCache, EnergyAccountingMonotone)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
     EXPECT_DOUBLE_EQ(cache.totalEnergyNj(), 0.0);
     cache.access(read(0x0));
     const double after_one = cache.totalEnergyNj();
@@ -244,11 +244,11 @@ TEST(MolecularCache, EnergyAccountingMonotone)
 TEST(MolecularCache, UnregisterFreesMolecules)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
     cache.access(write(0x1000, 0));
     const u32 free_before = cache.freeMolecules();
-    cache.unregisterApplication(0);
-    EXPECT_FALSE(cache.hasApplication(0));
+    cache.unregisterApplication(Asid{0});
+    EXPECT_FALSE(cache.hasApplication(Asid{0}));
     EXPECT_GT(cache.freeMolecules(), free_before);
     EXPECT_EQ(cache.freeMolecules(), cache.params().totalMolecules());
 }
@@ -257,14 +257,14 @@ TEST(MolecularCache, ResizeGrowsUnderMissPressure)
 {
     MolecularCacheParams p = smallParams();
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.1, 0, 0, 1);
-    const u32 initial = cache.region(0).size();
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
+    const u32 initial = cache.region(Asid{0}).size();
     // Random traffic over 96 KiB — more than the 16 KiB initial region,
     // less than the cluster — should trigger growth.
     Pcg32 rng(3);
     for (u32 i = 0; i < 60000; ++i)
         cache.access(read(static_cast<Addr>(rng.below(1536)) * 64));
-    EXPECT_GT(cache.region(0).size(), initial);
+    EXPECT_GT(cache.region(Asid{0}).size(), initial);
     EXPECT_GT(cache.resizeCycles(), 0u);
 }
 
@@ -273,35 +273,35 @@ TEST(MolecularCache, WithdrawalWhenOvershooting)
     MolecularCacheParams p = smallParams();
     p.initialAllocation = InitialAllocation::FullTile;
     MolecularCache cache(p);
-    cache.registerApplication(0, /*goal=*/0.5, 0, 0, 1);
+    cache.registerApplication(Asid{0}, /*goal=*/0.5, ClusterId{0}, 0, 1);
     // Tiny working set, goal 50%: the region must shrink.
     for (u32 i = 0; i < 50000; ++i)
         cache.access(read((i % 16) * 64));
-    EXPECT_LT(cache.region(0).size(), 8u);
+    EXPECT_LT(cache.region(Asid{0}).size(), 8u);
 }
 
 TEST(MolecularCache, StatsPerAsid)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
-    cache.registerApplication(1, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
+    cache.registerApplication(Asid{1}, 0.1);
     cache.access(read(0x0, 0));
     cache.access(read(0x0, 0));
     cache.access(read(0x40, 1));
-    EXPECT_EQ(cache.stats().forAsid(0).accesses, 2u);
-    EXPECT_EQ(cache.stats().forAsid(0).hits, 1u);
-    EXPECT_EQ(cache.stats().forAsid(1).misses, 1u);
+    EXPECT_EQ(cache.stats().forAsid(Asid{0}).accesses, 2u);
+    EXPECT_EQ(cache.stats().forAsid(Asid{0}).hits, 1u);
+    EXPECT_EQ(cache.stats().forAsid(Asid{1}).misses, 1u);
 }
 
 TEST(MolecularCache, HitPerMoleculeDefinition)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
     cache.access(read(0x0));
     cache.access(read(0x0));
     cache.access(read(0x0));
     // 2 hits / 3 accesses / 2 molecules.
-    EXPECT_NEAR(cache.hitPerMoleculeOf(0), (2.0 / 3.0) / 2.0, 1e-12);
+    EXPECT_NEAR(cache.hitPerMoleculeOf(Asid{0}), (2.0 / 3.0) / 2.0, 1e-12);
 }
 
 TEST(MolecularCache, NameMentionsGeometry)
@@ -316,19 +316,19 @@ TEST(MolecularCache, NameMentionsGeometry)
 TEST(MolecularCacheDeath, DoubleRegistration)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
-    EXPECT_EXIT(cache.registerApplication(0, 0.2),
+    cache.registerApplication(Asid{0}, 0.1);
+    EXPECT_EXIT(cache.registerApplication(Asid{0}, 0.2),
                 ::testing::ExitedWithCode(1), "already registered");
 }
 
 TEST(MolecularCacheDeath, BadPlacement)
 {
     MolecularCache cache(smallParams());
-    EXPECT_EXIT(cache.registerApplication(0, 0.1, 9, 0, 1),
+    EXPECT_EXIT(cache.registerApplication(Asid{0}, 0.1, ClusterId{9}, 0, 1),
                 ::testing::ExitedWithCode(1), "cluster");
-    EXPECT_EXIT(cache.registerApplication(0, 0.1, 0, 9, 1),
+    EXPECT_EXIT(cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 9, 1),
                 ::testing::ExitedWithCode(1), "tile");
-    EXPECT_EXIT(cache.registerApplication(0, 0.1, 0, 0, 3),
+    EXPECT_EXIT(cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 3),
                 ::testing::ExitedWithCode(1), "line multiple");
 }
 
@@ -345,7 +345,7 @@ TEST_P(WarmFitProperty, SecondPassAllHits)
     p.resizePeriod = 1u << 30; // no resizing: capacity stays 2 molecules
     p.maxResizePeriod = 1u << 30;
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
     // 2 molecules = 256 lines; use 128 distinct lines, conflict-free
     // within a molecule (one per index), so both policies must hold them.
     for (Addr a = 0; a < 128; ++a)

@@ -10,7 +10,8 @@ namespace {
 Molecule
 makeMol()
 {
-    return Molecule(/*id=*/5, /*tile=*/1, /*numLines=*/128, /*lineSize=*/64);
+    return Molecule(MoleculeId{5}, TileId{1}, /*numLines=*/128,
+                    /*lineSize=*/64);
 }
 
 TEST(Molecule, StartsFree)
@@ -20,24 +21,24 @@ TEST(Molecule, StartsFree)
     EXPECT_EQ(m.configuredAsid(), kInvalidAsid);
     EXPECT_FALSE(m.sharedBit());
     EXPECT_EQ(m.validLines(), 0u);
-    EXPECT_EQ(m.id(), 5u);
-    EXPECT_EQ(m.tile(), 1u);
+    EXPECT_EQ(m.id(), MoleculeId{5});
+    EXPECT_EQ(m.tile(), TileId{1});
 }
 
 TEST(Molecule, AsidGate)
 {
     Molecule m = makeMol();
-    m.assignTo(7);
-    EXPECT_TRUE(m.admits(7));
-    EXPECT_FALSE(m.admits(8));
+    m.assignTo(Asid{7});
+    EXPECT_TRUE(m.admits(Asid{7}));
+    EXPECT_FALSE(m.admits(Asid{8}));
     m.setSharedBit(true);
-    EXPECT_TRUE(m.admits(8)); // shared bit overrides the comparator
+    EXPECT_TRUE(m.admits(Asid{8})); // shared bit overrides the comparator
 }
 
 TEST(Molecule, FillThenLookup)
 {
     Molecule m = makeMol();
-    m.assignTo(1);
+    m.assignTo(Asid{1});
     EXPECT_FALSE(m.lookup(0x4000));
     EXPECT_FALSE(m.fill(0x4000, false).has_value()); // cold fill
     EXPECT_TRUE(m.lookup(0x4000));
@@ -49,7 +50,7 @@ TEST(Molecule, FillThenLookup)
 TEST(Molecule, DirectMappedConflict)
 {
     Molecule m = makeMol();
-    m.assignTo(1);
+    m.assignTo(Asid{1});
     const u64 span = 128 * 64; // lines * lineSize
     m.fill(0x0, false);
     const auto ev = m.fill(span, false); // same index, different tag
@@ -64,7 +65,7 @@ TEST(Molecule, DirectMappedConflict)
 TEST(Molecule, DirtyEvictionReported)
 {
     Molecule m = makeMol();
-    m.assignTo(1);
+    m.assignTo(Asid{1});
     const u64 span = 128 * 64;
     m.fill(0x40, true); // dirty
     const auto ev = m.fill(0x40 + span, false);
@@ -76,7 +77,7 @@ TEST(Molecule, DirtyEvictionReported)
 TEST(Molecule, RefillMergesDirtyBit)
 {
     Molecule m = makeMol();
-    m.assignTo(1);
+    m.assignTo(Asid{1});
     m.fill(0x80, true);
     EXPECT_FALSE(m.fill(0x80, false).has_value()); // refill, no eviction
     const u64 span = 128 * 64;
@@ -88,7 +89,7 @@ TEST(Molecule, RefillMergesDirtyBit)
 TEST(Molecule, MarkDirty)
 {
     Molecule m = makeMol();
-    m.assignTo(1);
+    m.assignTo(Asid{1});
     m.fill(0xc0, false);
     m.markDirty(0xc0);
     const u64 span = 128 * 64;
@@ -98,7 +99,7 @@ TEST(Molecule, MarkDirty)
 TEST(Molecule, InvalidateReportsDirty)
 {
     Molecule m = makeMol();
-    m.assignTo(1);
+    m.assignTo(Asid{1});
     m.fill(0x100, true);
     EXPECT_FALSE(m.invalidate(0x9999999)); // not resident
     EXPECT_TRUE(m.invalidate(0x100));      // resident + dirty
@@ -111,18 +112,18 @@ TEST(Molecule, InvalidateReportsDirty)
 TEST(Molecule, AssignInvalidatesContents)
 {
     Molecule m = makeMol();
-    m.assignTo(1);
+    m.assignTo(Asid{1});
     m.fill(0x200, false);
-    m.assignTo(2); // region handover must not leak lines
+    m.assignTo(Asid{2}); // region handover must not leak lines
     EXPECT_FALSE(m.lookup(0x200));
     EXPECT_EQ(m.validLines(), 0u);
-    EXPECT_EQ(m.configuredAsid(), 2u);
+    EXPECT_EQ(m.configuredAsid(), Asid{2});
 }
 
 TEST(Molecule, ReleaseCountsDirtyLines)
 {
     Molecule m = makeMol();
-    m.assignTo(1);
+    m.assignTo(Asid{1});
     m.fill(0x0, true);
     m.fill(0x40, false);
     m.fill(0x80, true);
@@ -134,7 +135,7 @@ TEST(Molecule, ReleaseCountsDirtyLines)
 TEST(Molecule, MissCounter)
 {
     Molecule m = makeMol();
-    m.assignTo(1);
+    m.assignTo(Asid{1});
     m.noteMiss();
     m.noteMiss();
     EXPECT_EQ(m.missCount(), 2u);
@@ -145,7 +146,7 @@ TEST(Molecule, MissCounter)
 TEST(Molecule, ResidentLinesRoundTrip)
 {
     Molecule m = makeMol();
-    m.assignTo(1);
+    m.assignTo(Asid{1});
     const std::vector<Addr> filled = {0x0, 0x40, 0x1000, 0x1fc0};
     for (const Addr a : filled)
         m.fill(a, false);
@@ -157,7 +158,7 @@ TEST(Molecule, ResidentLinesRoundTrip)
 TEST(Molecule, ResidentLinesReconstructHighAddresses)
 {
     Molecule m = makeMol();
-    m.assignTo(1);
+    m.assignTo(Asid{1});
     const Addr high = (static_cast<Addr>(3) << 34) + 5 * 64;
     m.fill(high, false);
     const auto resident = m.residentLines();

@@ -10,39 +10,40 @@ namespace {
 Region
 makeRegion(PlacementPolicy policy)
 {
-    Region r(1, policy, 1, /*homeTile=*/0, /*homeCluster=*/0, 8_KiB, 4);
-    r.addMolecule(0, /*tile=*/0, true);
-    r.addMolecule(1, /*tile=*/0, true);
-    r.addMolecule(2, /*tile=*/1, false);
-    r.addMolecule(3, /*tile=*/2, false);
+    Region r(Asid{1}, policy, 1, TileId{0}, ClusterId{0}, 8_KiB, 4);
+    r.addMolecule(MoleculeId{0}, TileId{0}, true);
+    r.addMolecule(MoleculeId{1}, TileId{0}, true);
+    r.addMolecule(MoleculeId{2}, TileId{1}, false);
+    r.addMolecule(MoleculeId{3}, TileId{2}, false);
     return r;
 }
 
 TEST(Placement, HomeTileFirst)
 {
     const Region r = makeRegion(PlacementPolicy::Random);
-    const LookupPlan plan = planLookup(r, 0, 0x1000, false);
-    EXPECT_EQ(plan.home.tile, 0u);
+    const LookupPlan plan = planLookup(r, TileId{0}, 0x1000, false);
+    EXPECT_EQ(plan.home.tile, TileId{0});
     EXPECT_EQ(plan.home.molecules.size(), 2u);
     ASSERT_EQ(plan.remote.size(), 2u);
-    EXPECT_EQ(plan.remote[0].tile, 1u);
-    EXPECT_EQ(plan.remote[1].tile, 2u);
+    EXPECT_EQ(plan.remote[0].tile, TileId{1});
+    EXPECT_EQ(plan.remote[1].tile, TileId{2});
     EXPECT_EQ(plan.totalProbes(), 4u);
 }
 
 TEST(Placement, RequestFromRemoteTileSwapsRoles)
 {
     const Region r = makeRegion(PlacementPolicy::Random);
-    const LookupPlan plan = planLookup(r, 1, 0x1000, false);
-    EXPECT_EQ(plan.home.tile, 1u);
+    const LookupPlan plan = planLookup(r, TileId{1}, 0x1000, false);
+    EXPECT_EQ(plan.home.tile, TileId{1});
     EXPECT_EQ(plan.home.molecules.size(), 1u);
     EXPECT_EQ(plan.remote.size(), 2u); // tiles 0 and 2
 }
 
 TEST(Placement, EmptyRegionYieldsEmptyPlan)
 {
-    const Region r(1, PlacementPolicy::Random, 1, 0, 0, 8_KiB);
-    const LookupPlan plan = planLookup(r, 0, 0x1000, false);
+    const Region r(Asid{1}, PlacementPolicy::Random, 1, TileId{0},
+                   ClusterId{0}, 8_KiB);
+    const LookupPlan plan = planLookup(r, TileId{0}, 0x1000, false);
     EXPECT_EQ(plan.totalProbes(), 0u);
     EXPECT_TRUE(plan.remote.empty());
 }
@@ -50,7 +51,7 @@ TEST(Placement, EmptyRegionYieldsEmptyPlan)
 TEST(Placement, TileWithoutRegionMoleculesYieldsEmptyHome)
 {
     const Region r = makeRegion(PlacementPolicy::Random);
-    const LookupPlan plan = planLookup(r, 7, 0x1000, false);
+    const LookupPlan plan = planLookup(r, TileId{7}, 0x1000, false);
     EXPECT_TRUE(plan.home.molecules.empty());
     EXPECT_EQ(plan.remote.size(), 3u);
     EXPECT_EQ(plan.totalProbes(), 4u);
@@ -63,18 +64,19 @@ TEST(Placement, RowRestrictedProbesSubset)
     const Region r = makeRegion(PlacementPolicy::Randy);
     ASSERT_EQ(r.rowMax(), 2u);
     // Unrestricted: all 4 molecules.
-    const LookupPlan full = planLookup(r, 0, 0, false);
+    const LookupPlan full = planLookup(r, TileId{0}, 0, false);
     EXPECT_EQ(full.totalProbes(), 4u);
     // Restricted to the address's row: addr 0 -> row 0 (3 molecules),
     // addr 8KiB -> row 1 (1 molecule).
-    EXPECT_EQ(planLookup(r, 0, 0, true).totalProbes(), 3u);
-    EXPECT_EQ(planLookup(r, 0, 8_KiB, true).totalProbes(), 1u);
+    EXPECT_EQ(planLookup(r, TileId{0}, 0, true).totalProbes(), 3u);
+    EXPECT_EQ(planLookup(r, TileId{0}, (8_KiB).value(), true).totalProbes(),
+              1u);
 }
 
 TEST(Placement, RowRestrictionIgnoredForRandomPolicy)
 {
     const Region r = makeRegion(PlacementPolicy::Random);
-    const LookupPlan plan = planLookup(r, 0, 0, true);
+    const LookupPlan plan = planLookup(r, TileId{0}, 0, true);
     EXPECT_EQ(plan.totalProbes(), 4u); // Random has no rows to restrict to
 }
 

@@ -13,22 +13,23 @@ namespace {
 Region
 randyRegion(u32 initialRowMax = 4)
 {
-    return Region(/*asid=*/1, PlacementPolicy::Randy, /*lineMultiple=*/1,
-                  /*homeTile=*/0, /*homeCluster=*/0,
+    return Region(Asid{1}, PlacementPolicy::Randy, /*lineMultiple=*/1,
+                  TileId{0}, ClusterId{0},
                   /*moleculeSize=*/8_KiB, initialRowMax);
 }
 
 Region
 randomRegion()
 {
-    return Region(1, PlacementPolicy::Random, 1, 0, 0, 8_KiB);
+    return Region(Asid{1}, PlacementPolicy::Random, 1, TileId{0},
+                  ClusterId{0}, 8_KiB);
 }
 
 TEST(Region, InitialRowLayout)
 {
     Region r = randyRegion(4);
-    for (MoleculeId m = 0; m < 8; ++m)
-        r.addMolecule(m, 0, /*initial=*/true);
+    for (u32 m = 0; m < 8; ++m)
+        r.addMolecule(MoleculeId{m}, TileId{0}, /*initial=*/true);
     EXPECT_EQ(r.size(), 8u);
     EXPECT_EQ(r.rowMax(), 4u); // capped at initialRowMax
     for (const auto &row : r.rows())
@@ -38,8 +39,8 @@ TEST(Region, InitialRowLayout)
 TEST(Region, RandomIsSingleRow)
 {
     Region r = randomRegion();
-    for (MoleculeId m = 0; m < 6; ++m)
-        r.addMolecule(m, 0, true);
+    for (u32 m = 0; m < 6; ++m)
+        r.addMolecule(MoleculeId{m}, TileId{0}, true);
     EXPECT_EQ(r.rowMax(), 1u);
     EXPECT_EQ(r.rows()[0].size(), 6u);
 }
@@ -47,13 +48,13 @@ TEST(Region, RandomIsSingleRow)
 TEST(Region, GrowthWidensHottestRow)
 {
     Region r = randyRegion(2);
-    r.addMolecule(0, 0, true); // row 0
-    r.addMolecule(1, 0, true); // row 1
+    r.addMolecule(MoleculeId{0}, TileId{0}, true); // row 0
+    r.addMolecule(MoleculeId{1}, TileId{0}, true); // row 1
     // Heat up row 1.
-    const Addr row1_addr = 8_KiB; // (addr / 8KiB) % 2 == 1
-    r.noteReplacement(1, row1_addr);
-    r.noteReplacement(1, row1_addr);
-    r.addMolecule(2, 0, /*initial=*/false);
+    const Addr row1_addr = (8_KiB).value(); // (addr / 8KiB) % 2 == 1
+    r.noteReplacement(MoleculeId{1}, row1_addr);
+    r.noteReplacement(MoleculeId{1}, row1_addr);
+    r.addMolecule(MoleculeId{2}, TileId{0}, /*initial=*/false);
     EXPECT_EQ(r.rows()[1].size(), 2u) << "hot row must receive the grant";
     EXPECT_EQ(r.rows()[0].size(), 1u);
 }
@@ -61,29 +62,30 @@ TEST(Region, GrowthWidensHottestRow)
 TEST(Region, RowHashMatchesPaperFormula)
 {
     Region r = randyRegion(4);
-    for (MoleculeId m = 0; m < 4; ++m)
-        r.addMolecule(m, 0, true);
+    for (u32 m = 0; m < 4; ++m)
+        r.addMolecule(MoleculeId{m}, TileId{0}, true);
     for (const Addr a : {0ull, 8192ull, 16384ull, 24576ull, 32768ull})
-        EXPECT_EQ(r.rowOf(a), (a / 8_KiB) % 4);
+        EXPECT_EQ(r.rowOf(a),
+                  RowIndex{static_cast<u32>((a / (8_KiB).value()) % 4)});
 }
 
 TEST(Region, ChooseFillRespectsRow)
 {
     Region r = randyRegion(2);
-    r.addMolecule(10, 0, true); // row 0
-    r.addMolecule(20, 0, true); // row 1
-    r.addMolecule(21, 0, false); // widens a row (both cold: row 0)
+    r.addMolecule(MoleculeId{10}, TileId{0}, true); // row 0
+    r.addMolecule(MoleculeId{20}, TileId{0}, true); // row 1
+    r.addMolecule(MoleculeId{21}, TileId{0}, false); // widens a row (both cold: row 0)
     Pcg32 rng(1);
     // Addresses in row 1 must only be filled into row 1's molecule.
     for (int i = 0; i < 50; ++i)
-        EXPECT_EQ(r.chooseFillMolecule(8_KiB, rng), 20u);
+        EXPECT_EQ(r.chooseFillMolecule((8_KiB).value(), rng), MoleculeId{20});
 }
 
 TEST(Region, ChooseFillRandomCoversRegion)
 {
     Region r = randomRegion();
-    for (MoleculeId m = 0; m < 8; ++m)
-        r.addMolecule(m, 0, true);
+    for (u32 m = 0; m < 8; ++m)
+        r.addMolecule(MoleculeId{m}, TileId{0}, true);
     Pcg32 rng(2);
     std::set<MoleculeId> seen;
     for (int i = 0; i < 500; ++i)
@@ -94,61 +96,62 @@ TEST(Region, ChooseFillRandomCoversRegion)
 TEST(Region, WithdrawalPrefersColdMolecule)
 {
     Region r = randomRegion();
-    r.addMolecule(0, 0, true);
-    r.addMolecule(1, 0, true);
-    r.noteReplacement(0, 0); // molecule 0 is hot
-    EXPECT_EQ(r.pickWithdrawal(), 1u);
+    r.addMolecule(MoleculeId{0}, TileId{0}, true);
+    r.addMolecule(MoleculeId{1}, TileId{0}, true);
+    r.noteReplacement(MoleculeId{0}, 0); // molecule 0 is hot
+    EXPECT_EQ(r.pickWithdrawal(), MoleculeId{1});
 }
 
 TEST(Region, WithdrawalSparesWidth1RowsWhileWideExist)
 {
     Region r = randyRegion(2);
-    r.addMolecule(0, 0, true); // row 0
-    r.addMolecule(1, 0, true); // row 1
+    r.addMolecule(MoleculeId{0}, TileId{0}, true); // row 0
+    r.addMolecule(MoleculeId{1}, TileId{0}, true); // row 1
     // Widen row 0 (make it hot so growth targets it).
-    r.noteReplacement(0, 0);
-    r.addMolecule(2, 0, false); // joins row 0
+    r.noteReplacement(MoleculeId{0}, 0);
+    r.addMolecule(MoleculeId{2}, TileId{0}, false); // joins row 0
     // Row 1 is coldest but width 1; withdrawal must come from row 0.
     r.closeInterval();
     const MoleculeId victim = r.pickWithdrawal();
-    EXPECT_TRUE(victim == 0 || victim == 2) << victim;
+    EXPECT_TRUE(victim == MoleculeId{0} || victim == MoleculeId{2})
+        << victim;
 }
 
 TEST(Region, RemoveMoleculeShrinksRows)
 {
     Region r = randyRegion(2);
-    r.addMolecule(0, 0, true);
-    r.addMolecule(1, 0, true);
+    r.addMolecule(MoleculeId{0}, TileId{0}, true);
+    r.addMolecule(MoleculeId{1}, TileId{0}, true);
     EXPECT_EQ(r.rowMax(), 2u);
-    r.removeMolecule(1);
+    r.removeMolecule(MoleculeId{1});
     EXPECT_EQ(r.rowMax(), 1u); // emptied row deleted
     EXPECT_EQ(r.size(), 1u);
-    EXPECT_FALSE(r.contains(1));
-    EXPECT_TRUE(r.contains(0));
+    EXPECT_FALSE(r.contains(MoleculeId{1}));
+    EXPECT_TRUE(r.contains(MoleculeId{0}));
 }
 
 TEST(Region, ByTileTracksPlacement)
 {
     Region r = randomRegion();
-    r.addMolecule(0, 0, true);
-    r.addMolecule(1, 2, false);
-    r.addMolecule(2, 2, false);
+    r.addMolecule(MoleculeId{0}, TileId{0}, true);
+    r.addMolecule(MoleculeId{1}, TileId{2}, false);
+    r.addMolecule(MoleculeId{2}, TileId{2}, false);
     ASSERT_EQ(r.byTile().size(), 2u);
-    EXPECT_EQ(r.byTile().at(0).size(), 1u);
-    EXPECT_EQ(r.byTile().at(2).size(), 2u);
-    r.removeMolecule(1);
-    r.removeMolecule(2);
-    EXPECT_EQ(r.byTile().count(2), 0u); // empty tile entry erased
+    EXPECT_EQ(r.byTile().at(TileId{0}).size(), 1u);
+    EXPECT_EQ(r.byTile().at(TileId{2}).size(), 2u);
+    r.removeMolecule(MoleculeId{1});
+    r.removeMolecule(MoleculeId{2});
+    EXPECT_EQ(r.byTile().count(TileId{2}), 0u); // empty tile entry erased
 }
 
 TEST(Region, IntervalCounters)
 {
     Region r = randomRegion();
-    r.addMolecule(0, 0, true);
+    r.addMolecule(MoleculeId{0}, TileId{0}, true);
     r.noteAccess(true);
     r.noteAccess(false);
     r.noteAccess(false);
-    r.noteReplacement(0, 0);
+    r.noteReplacement(MoleculeId{0}, 0);
     EXPECT_EQ(r.intervalAccesses(), 3u);
     EXPECT_EQ(r.intervalMisses(), 2u);
     EXPECT_DOUBLE_EQ(r.intervalMissRate(), 2.0 / 3.0);
@@ -164,14 +167,15 @@ TEST(Region, IntervalCounters)
 TEST(RegionDeath, DoubleAdd)
 {
     Region r = randomRegion();
-    r.addMolecule(0, 0, true);
-    EXPECT_DEATH(r.addMolecule(0, 0, true), "already in region");
+    r.addMolecule(MoleculeId{0}, TileId{0}, true);
+    EXPECT_DEATH(r.addMolecule(MoleculeId{0}, TileId{0}, true),
+                 "already in region");
 }
 
 TEST(RegionDeath, RemoveUnknown)
 {
     Region r = randomRegion();
-    EXPECT_DEATH(r.removeMolecule(99), "not in region");
+    EXPECT_DEATH(r.removeMolecule(MoleculeId{99}), "not in region");
 }
 
 TEST(RegionDeath, FillIntoEmptyRegion)
@@ -190,8 +194,8 @@ TEST_P(RandyRowProperty, FillAlwaysInRow)
 {
     const u32 rows = GetParam();
     Region r = randyRegion(rows);
-    for (MoleculeId m = 0; m < rows * 3; ++m)
-        r.addMolecule(m, 0, true);
+    for (u32 m = 0; m < rows * 3; ++m)
+        r.addMolecule(MoleculeId{m}, TileId{0}, true);
     Pcg32 rng(7);
     std::map<MoleculeId, u32> mol_row;
     for (u32 row = 0; row < r.rowMax(); ++row)
@@ -200,7 +204,7 @@ TEST_P(RandyRowProperty, FillAlwaysInRow)
     for (int i = 0; i < 1000; ++i) {
         const Addr addr = static_cast<Addr>(rng.below(1u << 20)) * 64;
         const MoleculeId pick = r.chooseFillMolecule(addr, rng);
-        EXPECT_EQ(mol_row.at(pick), r.rowOf(addr));
+        EXPECT_EQ(mol_row.at(pick), r.rowOf(addr).value());
     }
 }
 

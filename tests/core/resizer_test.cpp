@@ -21,8 +21,10 @@ class FakeBroker final : public MoleculeBroker
     {
         const u32 got = std::min(count, available_);
         available_ -= got;
-        for (u32 i = 0; i < got; ++i)
-            region.addMolecule(next_++, 0, false);
+        for (u32 i = 0; i < got; ++i) {
+            region.addMolecule(next_, TileId{0}, false);
+            ++next_;
+        }
         return got;
     }
 
@@ -40,7 +42,7 @@ class FakeBroker final : public MoleculeBroker
 
   private:
     u32 available_;
-    MoleculeId next_ = 100;
+    MoleculeId next_{100};
 };
 
 MolecularCacheParams
@@ -55,9 +57,10 @@ params()
 Region
 makeRegion(u32 molecules)
 {
-    Region r(1, PlacementPolicy::Random, 1, 0, 0, 8_KiB);
-    for (MoleculeId m = 0; m < molecules; ++m)
-        r.addMolecule(m, 0, true);
+    Region r(Asid{1}, PlacementPolicy::Random, 1, TileId{0},
+             ClusterId{0}, 8_KiB);
+    for (u32 m = 0; m < molecules; ++m)
+        r.addMolecule(MoleculeId{m}, TileId{0}, true);
     r.maxAllocation = 8;
     r.lastGrant = molecules;
     return r;

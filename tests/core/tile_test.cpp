@@ -8,41 +8,41 @@ namespace {
 Tile
 makeTile()
 {
-    return Tile(/*id=*/2, /*cluster=*/0, /*firstMolecule=*/64,
+    return Tile(TileId{2}, ClusterId{0}, MoleculeId{64},
                 /*numMolecules=*/8, /*linesPerMol=*/128, /*lineSize=*/64);
 }
 
 TEST(Tile, Construction)
 {
     const Tile t = makeTile();
-    EXPECT_EQ(t.id(), 2u);
-    EXPECT_EQ(t.cluster(), 0u);
+    EXPECT_EQ(t.id(), TileId{2});
+    EXPECT_EQ(t.cluster(), ClusterId{0});
     EXPECT_EQ(t.numMolecules(), 8u);
-    EXPECT_EQ(t.firstMolecule(), 64u);
+    EXPECT_EQ(t.firstMolecule(), MoleculeId{64});
     EXPECT_EQ(t.freeCount(), 8u);
-    EXPECT_TRUE(t.owns(64));
-    EXPECT_TRUE(t.owns(71));
-    EXPECT_FALSE(t.owns(72));
-    EXPECT_FALSE(t.owns(63));
+    EXPECT_TRUE(t.owns(MoleculeId{64}));
+    EXPECT_TRUE(t.owns(MoleculeId{71}));
+    EXPECT_FALSE(t.owns(MoleculeId{72}));
+    EXPECT_FALSE(t.owns(MoleculeId{63}));
 }
 
 TEST(Tile, AllocateUntilExhausted)
 {
     Tile t = makeTile();
     for (u32 i = 0; i < 8; ++i) {
-        const MoleculeId id = t.allocate(5);
+        const MoleculeId id = t.allocate(Asid{5});
         ASSERT_NE(id, kInvalidMolecule);
         EXPECT_TRUE(t.owns(id));
-        EXPECT_EQ(t.molecule(id).configuredAsid(), 5u);
+        EXPECT_EQ(t.molecule(id).configuredAsid(), Asid{5});
     }
     EXPECT_EQ(t.freeCount(), 0u);
-    EXPECT_EQ(t.allocate(5), kInvalidMolecule);
+    EXPECT_EQ(t.allocate(Asid{5}), kInvalidMolecule);
 }
 
 TEST(Tile, ReleaseReturnsToPool)
 {
     Tile t = makeTile();
-    const MoleculeId id = t.allocate(3);
+    const MoleculeId id = t.allocate(Asid{3});
     EXPECT_EQ(t.freeCount(), 7u);
     t.molecule(id).fill(0x40, true);
     EXPECT_EQ(t.release(id), 1u); // one dirty line dropped
@@ -53,11 +53,11 @@ TEST(Tile, ReleaseReturnsToPool)
 TEST(Tile, ReleaseThenReallocate)
 {
     Tile t = makeTile();
-    const MoleculeId a = t.allocate(1);
+    const MoleculeId a = t.allocate(Asid{1});
     t.release(a);
-    const MoleculeId b = t.allocate(2);
+    const MoleculeId b = t.allocate(Asid{2});
     EXPECT_EQ(a, b); // the freed molecule is reused first
-    EXPECT_EQ(t.molecule(b).configuredAsid(), 2u);
+    EXPECT_EQ(t.molecule(b).configuredAsid(), Asid{2});
 }
 
 TEST(Tile, PortAccounting)
@@ -71,13 +71,13 @@ TEST(Tile, PortAccounting)
 TEST(TileDeath, ForeignMolecule)
 {
     Tile t = makeTile();
-    EXPECT_DEATH(t.molecule(5), "not on tile");
+    EXPECT_DEATH(t.molecule(MoleculeId{5}), "not on tile");
 }
 
 TEST(TileDeath, DoubleRelease)
 {
     Tile t = makeTile();
-    const MoleculeId id = t.allocate(1);
+    const MoleculeId id = t.allocate(Asid{1});
     t.release(id);
     EXPECT_DEATH(t.release(id), "already-free");
 }

@@ -8,31 +8,32 @@ namespace {
 TEST(Ulmo, Construction)
 {
     CoherenceDirectory dir(2);
-    Ulmo ulmo(1, {4, 5, 6, 7}, dir);
-    EXPECT_EQ(ulmo.cluster(), 1u);
+    Ulmo ulmo(ClusterId{1}, {TileId{4}, TileId{5}, TileId{6}, TileId{7}},
+              dir);
+    EXPECT_EQ(ulmo.cluster(), ClusterId{1});
     EXPECT_EQ(ulmo.tiles().size(), 4u);
-    EXPECT_TRUE(ulmo.managesTile(4));
-    EXPECT_TRUE(ulmo.managesTile(7));
-    EXPECT_FALSE(ulmo.managesTile(3));
-    EXPECT_FALSE(ulmo.managesTile(8));
+    EXPECT_TRUE(ulmo.managesTile(TileId{4}));
+    EXPECT_TRUE(ulmo.managesTile(TileId{7}));
+    EXPECT_FALSE(ulmo.managesTile(TileId{3}));
+    EXPECT_FALSE(ulmo.managesTile(TileId{8}));
 }
 
 TEST(Ulmo, SharedDirectoryReference)
 {
     CoherenceDirectory dir(2);
-    Ulmo a(0, {0, 1}, dir);
-    Ulmo b(1, {2, 3}, dir);
+    Ulmo a(ClusterId{0}, {TileId{0}, TileId{1}}, dir);
+    Ulmo b(ClusterId{1}, {TileId{2}, TileId{3}}, dir);
     // Both Ulmos front the same directory: a fill seen through one is
     // visible through the other.
-    a.directory().noteFill(0x1000, 0, false);
-    EXPECT_TRUE(b.directory().isHeld(0x1000, 0));
+    a.directory().noteFill(LineAddr{0x1000}, ClusterId{0}, false);
+    EXPECT_TRUE(b.directory().isHeld(LineAddr{0x1000}, ClusterId{0}));
     EXPECT_EQ(&a.directory(), &b.directory());
 }
 
 TEST(Ulmo, StatCounters)
 {
     CoherenceDirectory dir(1);
-    Ulmo ulmo(0, {0}, dir);
+    Ulmo ulmo(ClusterId{0}, {TileId{0}}, dir);
     ulmo.noteTileMiss();
     ulmo.noteTileMiss();
     ulmo.noteRemoteProbes(5);
@@ -50,7 +51,7 @@ TEST(Ulmo, StatCounters)
 TEST(UlmoDeath, NoTiles)
 {
     CoherenceDirectory dir(1);
-    EXPECT_DEATH(Ulmo(0, {}, dir), "no tiles");
+    EXPECT_DEATH(Ulmo(ClusterId{0}, {}, dir), "no tiles");
 }
 
 } // namespace

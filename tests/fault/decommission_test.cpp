@@ -44,7 +44,8 @@ expectClean(const MolecularCache &cache)
 Addr
 addrFor(Asid asid, u32 n)
 {
-    return (static_cast<Addr>(asid) << 34) + static_cast<Addr>(n) * 64;
+    return (static_cast<Addr>(asid.value()) << 34) +
+           static_cast<Addr>(n) * 64;
 }
 
 void
@@ -64,25 +65,25 @@ TEST(Decommission, FreeMoleculeLeavesPoolForever)
     const u32 total = cache.params().totalMolecules();
     ASSERT_EQ(cache.freeMolecules(), total);
 
-    EXPECT_TRUE(cache.decommissionMolecule(0));
+    EXPECT_TRUE(cache.decommissionMolecule(MoleculeId{0}));
     EXPECT_EQ(cache.freeMolecules(), total - 1);
     EXPECT_EQ(cache.decommissionedMolecules(), 1u);
     EXPECT_EQ(cache.faultStats().moleculesDecommissioned, 1u);
-    EXPECT_TRUE(cache.molecule(0).decommissioned());
+    EXPECT_TRUE(cache.molecule(MoleculeId{0}).decommissioned());
 
     // Grab every remaining molecule of the home tile: the fenced one must
     // never be handed out.
-    cache.registerApplication(0, 0.1, 0, 0, 1);
-    warm(cache, 0, 4000, 2048);
-    EXPECT_FALSE(cache.region(0).contains(0));
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
+    warm(cache, Asid{0}, 4000, 2048);
+    EXPECT_FALSE(cache.region(Asid{0}).contains(MoleculeId{0}));
     expectClean(cache);
 }
 
 TEST(Decommission, SecondCallIsNoop)
 {
     MolecularCache cache(smallParams());
-    EXPECT_TRUE(cache.decommissionMolecule(3));
-    EXPECT_FALSE(cache.decommissionMolecule(3));
+    EXPECT_TRUE(cache.decommissionMolecule(MoleculeId{3}));
+    EXPECT_FALSE(cache.decommissionMolecule(MoleculeId{3}));
     EXPECT_EQ(cache.faultStats().moleculesDecommissioned, 1u);
 }
 
@@ -91,11 +92,11 @@ TEST(Decommission, OwnedMoleculeDrainsAndRegionRecovers)
     MolecularCache cache(smallParams());
     // A mid-range goal keeps the region around half the cluster, so free
     // molecules remain for the recovery re-grant to draw from.
-    cache.registerApplication(0, 0.3);
-    warm(cache, 0, 3000, 1024);
+    cache.registerApplication(Asid{0}, 0.3);
+    warm(cache, Asid{0}, 3000, 1024);
     ASSERT_GT(cache.freeMolecules(), 0u);
 
-    const Region &region = cache.region(0);
+    const Region &region = cache.region(Asid{0});
     const u32 before = region.size();
     ASSERT_GT(before, 0u);
     const MoleculeId victim = region.rows()[0][0];
@@ -107,11 +108,11 @@ TEST(Decommission, OwnedMoleculeDrainsAndRegionRecovers)
     EXPECT_EQ(cache.molecule(victim).validLines(), 0u);
     EXPECT_EQ(region.moleculesLost, 1u);
     EXPECT_TRUE(region.recovering);
-    EXPECT_EQ(cache.ulmo(0).decommissions(), 1u);
+    EXPECT_EQ(cache.ulmo(ClusterId{0}).decommissions(), 1u);
     expectClean(cache);
 
     // The next resize epochs re-acquire the lost capacity from the pool.
-    warm(cache, 0, 3000, 1024);
+    warm(cache, Asid{0}, 3000, 1024);
     EXPECT_EQ(region.pendingReacquire, 0u);
     EXPECT_GT(cache.resizer().recoveryGrants(), 0u);
     expectClean(cache);
@@ -123,18 +124,18 @@ TEST(Decommission, HardFaultsCountUpToThreshold)
     p.hardFaultThreshold = 3;
     MolecularCache cache(p);
 
-    cache.injectHardFault(5);
-    cache.injectHardFault(5);
-    EXPECT_FALSE(cache.molecule(5).decommissioned());
-    EXPECT_EQ(cache.molecule(5).hardFaults(), 2u);
+    cache.injectHardFault(MoleculeId{5});
+    cache.injectHardFault(MoleculeId{5});
+    EXPECT_FALSE(cache.molecule(MoleculeId{5}).decommissioned());
+    EXPECT_EQ(cache.molecule(MoleculeId{5}).hardFaults(), 2u);
 
-    cache.injectHardFault(5);
-    EXPECT_TRUE(cache.molecule(5).decommissioned());
+    cache.injectHardFault(MoleculeId{5});
+    EXPECT_TRUE(cache.molecule(MoleculeId{5}).decommissioned());
     EXPECT_EQ(cache.faultStats().hardFaultEvents, 3u);
     EXPECT_EQ(cache.faultStats().moleculesDecommissioned, 1u);
 
     // Further detections on a fenced molecule are counted but harmless.
-    cache.injectHardFault(5);
+    cache.injectHardFault(MoleculeId{5});
     EXPECT_EQ(cache.faultStats().hardFaultEvents, 4u);
     EXPECT_EQ(cache.faultStats().moleculesDecommissioned, 1u);
 }
@@ -142,75 +143,75 @@ TEST(Decommission, HardFaultsCountUpToThreshold)
 TEST(TransientFlip, DetectedOnNextProbeAndReadAsMiss)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
-    const Addr addr = addrFor(0, 7);
-    cache.access({addr, 0, AccessType::Write}); // fill, dirty
-    ASSERT_TRUE(cache.access({addr, 0, AccessType::Read}).hit);
+    cache.registerApplication(Asid{0}, 0.1);
+    const Addr addr = addrFor(Asid{0}, 7);
+    cache.access({addr, Asid{0}, AccessType::Write}); // fill, dirty
+    ASSERT_TRUE(cache.access({addr, Asid{0}, AccessType::Read}).hit);
 
     // Poison the slot in every molecule of the region (only one of them
     // actually holds the line; flips into invalid slots are harmless).
     const u32 index = static_cast<u32>(addr / cache.params().lineSize) %
                       cache.params().linesPerMolecule();
-    for (const auto &row : cache.region(0).rows())
+    for (const auto &row : cache.region(Asid{0}).rows())
         for (const MoleculeId id : row)
             cache.injectTransientFlip(id, index);
 
-    const AccessResult r = cache.access({addr, 0, AccessType::Read});
+    const AccessResult r = cache.access({addr, Asid{0}, AccessType::Read});
     EXPECT_FALSE(r.hit); // parity caught the corruption: treated as a miss
     EXPECT_EQ(cache.faultStats().transientFlipsDetected, 1u);
     EXPECT_EQ(cache.faultStats().dirtyLinesLost, 1u); // corrupt, dropped
 
     // The refill is clean and hits again.
-    EXPECT_TRUE(cache.access({addr, 0, AccessType::Read}).hit);
+    EXPECT_TRUE(cache.access({addr, Asid{0}, AccessType::Read}).hit);
     expectClean(cache);
 }
 
 TEST(TileOutage, FencesWholeTileAndRegionMigratesCapacity)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1, 0, 0, 1); // home tile 0
-    warm(cache, 0, 2000, 1024);
-    ASSERT_GT(cache.region(0).size(), 0u);
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1); // home tile 0
+    warm(cache, Asid{0}, 2000, 1024);
+    ASSERT_GT(cache.region(Asid{0}).size(), 0u);
 
-    cache.injectTileOutage(0);
-    EXPECT_EQ(cache.tile(0).usableMolecules(), 0u);
+    cache.injectTileOutage(TileId{0});
+    EXPECT_EQ(cache.tile(TileId{0}).usableMolecules(), 0u);
     EXPECT_EQ(cache.decommissionedMolecules(),
               cache.params().moleculesPerTile);
     EXPECT_EQ(cache.faultStats().tileOutages, 1u);
     expectClean(cache);
 
     // The region rebuilds out of the cluster's surviving tile.
-    warm(cache, 0, 4000, 1024);
-    EXPECT_GT(cache.region(0).size(), 0u);
-    for (const auto &[tile, mols] : cache.region(0).byTile())
-        EXPECT_NE(tile, 0u);
+    warm(cache, Asid{0}, 4000, 1024);
+    EXPECT_GT(cache.region(Asid{0}).size(), 0u);
+    for (const auto &[tile, mols] : cache.region(Asid{0}).byTile())
+        EXPECT_NE(tile, TileId{0});
     expectClean(cache);
 }
 
 TEST(FaultSchedule, EventsFireOnAccessTicks)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
 
     FaultInjector inj;
     inj.schedule({3, FaultKind::HardFault, 14, 0});
     cache.setFaultInjector(std::move(inj));
 
-    cache.access({addrFor(0, 0), 0, AccessType::Read});
-    cache.access({addrFor(0, 1), 0, AccessType::Read});
-    EXPECT_FALSE(cache.molecule(14).decommissioned());
-    cache.access({addrFor(0, 2), 0, AccessType::Read});
-    EXPECT_TRUE(cache.molecule(14).decommissioned());
+    cache.access({addrFor(Asid{0}, 0), Asid{0}, AccessType::Read});
+    cache.access({addrFor(Asid{0}, 1), Asid{0}, AccessType::Read});
+    EXPECT_FALSE(cache.molecule(MoleculeId{14}).decommissioned());
+    cache.access({addrFor(Asid{0}, 2), Asid{0}, AccessType::Read});
+    EXPECT_TRUE(cache.molecule(MoleculeId{14}).decommissioned());
     expectClean(cache);
 }
 
 TEST(InvariantAudit, AttachedHookRunsPeriodically)
 {
     MolecularCache cache(smallParams());
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
     const u64 before = InvariantChecker::auditsRun();
     InvariantChecker::attach(cache, 10);
-    warm(cache, 0, 100, 256);
+    warm(cache, Asid{0}, 100, 256);
     EXPECT_GE(InvariantChecker::auditsRun(), before + 10);
 }
 
@@ -218,7 +219,7 @@ TEST(SimResultFaults, CountersSurfaceThroughSimulator)
 {
     MolecularCacheParams p = smallParams();
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
 
     FaultScheduleSpec spec;
     spec.hardFraction = 0.25;
@@ -230,11 +231,11 @@ TEST(SimResultFaults, CountersSurfaceThroughSimulator)
     std::vector<MemAccess> refs;
     Pcg32 rng(5);
     for (u32 i = 0; i < 5000; ++i)
-        refs.push_back({addrFor(0, rng.below(512)), 0, AccessType::Read});
+        refs.push_back({addrFor(Asid{0}, rng.below(512)), Asid{0}, AccessType::Read});
     VectorSource source(refs);
 
     GoalSet goals;
-    goals.set(0, 0.1);
+    goals.set(Asid{0}, 0.1);
     const SimResult result = Simulator::run(source, cache, goals);
 
     EXPECT_EQ(result.moleculesDecommissioned, p.totalMolecules() / 4);

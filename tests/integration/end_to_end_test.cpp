@@ -37,7 +37,7 @@ TEST(EndToEnd, StandaloneMissRatesApproximateTable1)
         SetAssocCache cache(traditionalParams(1_MiB, 4));
         const SimResult r =
             runWorkload({e.app}, cache, GoalSet{}, kRefs);
-        const double mr = r.qos.byAsid(0).missRate;
+        const double mr = r.qos.byAsid(Asid{0}).missRate;
         EXPECT_GE(mr, e.lo) << e.app;
         EXPECT_LE(mr, e.hi) << e.app;
     }
@@ -66,7 +66,7 @@ TEST(EndToEnd, MixedProfilesSpanTheIntendedRegimes)
         SetAssocCache cache(traditionalParams(512_KiB, 8));
         const SimResult r =
             runWorkload({b.app}, cache, GoalSet{}, 200000);
-        const double mr = r.qos.byAsid(0).missRate;
+        const double mr = r.qos.byAsid(Asid{0}).missRate;
         EXPECT_GE(mr, b.lo) << b.app;
         EXPECT_LE(mr, b.hi) << b.app;
     }
@@ -80,12 +80,13 @@ TEST(EndToEnd, MolecularCacheRunsAllProfiles)
         fig5MolecularParams(2_MiB, PlacementPolicy::Randy));
     std::vector<std::string> four = {"gcc", "CRC", "CJPEG", "gap"};
     for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(static_cast<Asid>(i), 0.25, 0, i, 1);
+        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.25,
+                                  ClusterId{0}, i, 1);
     const SimResult r = runWorkload(four, cache, GoalSet::uniform(0.25, 4),
                                     200000);
     EXPECT_EQ(r.accesses, 200000u);
     for (u32 i = 0; i < 4; ++i)
-        EXPECT_GT(r.qos.byAsid(static_cast<Asid>(i)).accesses, 0u);
+        EXPECT_GT(r.qos.byAsid(Asid{static_cast<u16>(i)}).accesses, 0u);
 }
 
 TEST(EndToEnd, MolecularMeetsGoalForElasticApp)
@@ -99,7 +100,7 @@ TEST(EndToEnd, MolecularMeetsGoalForElasticApp)
     // it so convergence fits the test's trace length.
     mp.maxResizePeriod = 20000;
     MolecularCache mol(mp);
-    mol.registerApplication(0, 0.1, 0, 0, 1);
+    mol.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
     const GoalSet goals = GoalSet::uniform(0.1, 1);
     // Measure the post-convergence window: the first half warms the
     // partition down to its equilibrium size.
@@ -110,8 +111,8 @@ TEST(EndToEnd, MolecularMeetsGoalForElasticApp)
     SetAssocCache trad(traditionalParams(1_MiB, 4));
     const SimResult tr = runWorkload({"ammp"}, trad, goals, kRefs);
 
-    EXPECT_LT(*mr.qos.byAsid(0).deviation, 0.05);
-    EXPECT_GT(*tr.qos.byAsid(0).deviation, 0.07); // ~|0.008 - 0.1|
+    EXPECT_LT(*mr.qos.byAsid(Asid{0}).deviation, 0.05);
+    EXPECT_GT(*tr.qos.byAsid(Asid{0}).deviation, 0.07); // ~|0.008 - 0.1|
     EXPECT_LT(mr.qos.averageDeviation, tr.qos.averageDeviation);
 }
 
@@ -128,16 +129,17 @@ TEST(EndToEnd, MolecularIsolatesVictimFromStreamer)
     auto shared_mr = [&](const std::vector<std::string> &apps) {
         SetAssocCache cache(traditionalParams(2_MiB, 4));
         return runWorkload(apps, cache, goals, kRefs)
-            .qos.byAsid(0)
+            .qos.byAsid(Asid{0})
             .missRate;
     };
     auto molecular_mr = [&](const std::vector<std::string> &apps) {
         MolecularCache cache(
             fig5MolecularParams(2_MiB, PlacementPolicy::Randy));
         for (u32 i = 0; i < apps.size(); ++i)
-            cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+            cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1,
+                                  ClusterId{0}, i, 1);
         return runWorkload(apps, cache, goals, kRefs)
-            .qos.byAsid(0)
+            .qos.byAsid(Asid{0})
             .missRate;
     };
 
@@ -155,9 +157,9 @@ TEST(EndToEnd, MolecularBeatsTraditionalOnGraphBDeviation)
     // 10% goals (art/ammp/parser; mcf goal-less) better than an
     // equal-size 4-way traditional cache.
     GoalSet goals;
-    goals.set(0, 0.1); // art
-    goals.set(1, 0.1); // ammp
-    goals.set(2, 0.1); // parser
+    goals.set(Asid{0}, 0.1); // art
+    goals.set(Asid{1}, 0.1); // ammp
+    goals.set(Asid{2}, 0.1); // parser
 
     // Needs a near-paper-length trace: the adaptive partitions take a
     // couple of million references to settle.
@@ -170,7 +172,8 @@ TEST(EndToEnd, MolecularBeatsTraditionalOnGraphBDeviation)
 
     MolecularCache mol(fig5MolecularParams(4_MiB, PlacementPolicy::Randy));
     for (u32 i = 0; i < 4; ++i)
-        mol.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+        mol.registerApplication(Asid{static_cast<u16>(i)}, 0.1,
+                                  ClusterId{0}, i, 1);
     const double mol_dev =
         runWorkload(spec4Names(), mol, goals, kLongRefs)
             .qos.averageDeviation;
@@ -182,7 +185,8 @@ TEST(EndToEnd, EnergyPerAccessBelowWorstCase)
 {
     MolecularCache mol(fig5MolecularParams(1_MiB, PlacementPolicy::Randy));
     for (u32 i = 0; i < 4; ++i)
-        mol.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+        mol.registerApplication(Asid{static_cast<u16>(i)}, 0.1,
+                                  ClusterId{0}, i, 1);
     runWorkload(spec4Names(), mol, GoalSet::uniform(0.1, 4), kRefs);
     EXPECT_GT(mol.averageAccessEnergyNj(), 0.0);
     EXPECT_LT(mol.averageAccessEnergyNj(),
@@ -198,7 +202,8 @@ TEST(EndToEnd, DeterministicAcrossRuns)
         MolecularCache cache(
             fig5MolecularParams(1_MiB, PlacementPolicy::Randy, 5));
         for (u32 i = 0; i < 4; ++i)
-            cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+            cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1,
+                                  ClusterId{0}, i, 1);
         const SimResult r = runWorkload(spec4Names(), cache,
                                         GoalSet::uniform(0.1, 4), 100000, 5);
         return std::make_pair(r.qos.averageDeviation, r.misses);

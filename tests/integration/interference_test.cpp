@@ -23,7 +23,7 @@ sharedMissRate(const std::vector<std::string> &apps, size_t index)
 {
     SetAssocCache cache(traditionalParams(1_MiB, 4));
     return runWorkload(apps, cache, GoalSet{}, kRefs)
-        .qos.byAsid(static_cast<Asid>(index))
+        .qos.byAsid(Asid{static_cast<u16>(index)})
         .missRate;
 }
 
@@ -79,12 +79,13 @@ TEST(Interference, MolecularPartitionsDecoupleMissRates)
         p.maxResizePeriod = 20000; // comparable resize cadence solo/mixed
         MolecularCache cache(p);
         for (u32 i = 0; i < apps.size(); ++i)
-            cache.registerApplication(static_cast<Asid>(i), 0.1, 0, i, 1);
+            cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1,
+                                  ClusterId{0}, i, 1);
         auto src = makeMultiProgramSource(apps, 2 * kRefs);
         return Simulator::run(*src, cache,
                               GoalSet::uniform(0.1, apps.size()), {},
                               /*warmup=*/kRefs)
-            .qos.byAsid(static_cast<Asid>(index))
+            .qos.byAsid(Asid{static_cast<u16>(index)})
             .missRate;
     };
     const double ammp_alone = molecular_mr({"ammp"}, 0);

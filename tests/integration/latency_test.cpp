@@ -16,9 +16,9 @@ namespace molcache {
 namespace {
 
 MemAccess
-read(Addr addr, Asid asid = 0)
+read(Addr addr, u16 asid = 0)
 {
-    return {addr, asid, AccessType::Read};
+    return {addr, Asid{asid}, AccessType::Read};
 }
 
 TEST(Latency, SetAssocHitAndMiss)
@@ -26,13 +26,13 @@ TEST(Latency, SetAssocHitAndMiss)
     SetAssocParams p;
     p.sizeBytes = 8_KiB;
     p.associativity = 2;
-    p.hitLatencyCycles = 3;
-    p.missPenaltyCycles = 100;
+    p.hitLatencyCycles = Cycles{3};
+    p.missPenaltyCycles = Cycles{100};
     SetAssocCache cache(p);
-    EXPECT_EQ(cache.access(read(0x0)).latencyCycles, 103u);
-    EXPECT_EQ(cache.access(read(0x0)).latencyCycles, 3u);
-    EXPECT_EQ(cache.stats().forAsid(0).latencyCycles, 106u);
-    EXPECT_DOUBLE_EQ(cache.stats().forAsid(0).amat(), 53.0);
+    EXPECT_EQ(cache.access(read(0x0)).latencyCycles, Cycles{103});
+    EXPECT_EQ(cache.access(read(0x0)).latencyCycles, Cycles{3});
+    EXPECT_EQ(cache.stats().forAsid(Asid{0}).latencyCycles, Cycles{106});
+    EXPECT_DOUBLE_EQ(cache.stats().forAsid(Asid{0}).amat(), 53.0);
 }
 
 TEST(Latency, WayPartitionedHitAndMiss)
@@ -40,12 +40,12 @@ TEST(Latency, WayPartitionedHitAndMiss)
     WayPartitionedParams p;
     p.sizeBytes = 64_KiB;
     p.associativity = 8;
-    p.hitLatencyCycles = 2;
-    p.missPenaltyCycles = 50;
+    p.hitLatencyCycles = Cycles{2};
+    p.missPenaltyCycles = Cycles{50};
     WayPartitionedCache cache(p);
-    cache.registerApplication(0, 0.1);
-    EXPECT_EQ(cache.access(read(0x0)).latencyCycles, 52u);
-    EXPECT_EQ(cache.access(read(0x0)).latencyCycles, 2u);
+    cache.registerApplication(Asid{0}, 0.1);
+    EXPECT_EQ(cache.access(read(0x0)).latencyCycles, Cycles{52});
+    EXPECT_EQ(cache.access(read(0x0)).latencyCycles, Cycles{2});
 }
 
 TEST(Latency, MolecularAsidStageOnLocalHit)
@@ -58,15 +58,15 @@ TEST(Latency, MolecularAsidStageOnLocalHit)
     p.initialAllocation = InitialAllocation::Small;
     p.resizePeriod = 1u << 30;
     p.maxResizePeriod = 1u << 30;
-    p.asidStageCycles = 1;
-    p.moleculeAccessCycles = 2;
-    p.missPenaltyCycles = 100;
+    p.asidStageCycles = Cycles{1};
+    p.moleculeAccessCycles = Cycles{2};
+    p.missPenaltyCycles = Cycles{100};
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.1);
+    cache.registerApplication(Asid{0}, 0.1);
     // Miss: ASID stage + molecule + memory penalty.
-    EXPECT_EQ(cache.access(read(0x0)).latencyCycles, 103u);
+    EXPECT_EQ(cache.access(read(0x0)).latencyCycles, Cycles{103});
     // Local hit: ASID stage + molecule access — the paper's extra cycle.
-    EXPECT_EQ(cache.access(read(0x0)).latencyCycles, 3u);
+    EXPECT_EQ(cache.access(read(0x0)).latencyCycles, Cycles{3});
 }
 
 TEST(Latency, MolecularRemoteHitPaysUlmoHop)
@@ -79,19 +79,19 @@ TEST(Latency, MolecularRemoteHitPaysUlmoHop)
     p.initialAllocation = InitialAllocation::Small;
     p.resizePeriod = 1u << 30;
     p.maxResizePeriod = 1u << 30;
-    p.asidStageCycles = 1;
-    p.moleculeAccessCycles = 1;
-    p.ulmoHopCycles = 5;
+    p.asidStageCycles = Cycles{1};
+    p.moleculeAccessCycles = Cycles{1};
+    p.ulmoHopCycles = Cycles{5};
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.1, 0, 0, 1);
+    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
     cache.access(read(0x4000)); // fill on tile 0
     // Move the entry point: the line is now remote.
-    cache.migrateApplication(0, 0, 1);
+    cache.migrateApplication(Asid{0}, ClusterId{0}, 1);
     const AccessResult r = cache.access(read(0x4000));
     ASSERT_TRUE(r.hit);
     ASSERT_EQ(r.level, 1u);
     // home visit (1+1) + one remote tile (5 + 1 + 1).
-    EXPECT_EQ(r.latencyCycles, 9u);
+    EXPECT_EQ(r.latencyCycles, Cycles{9});
 }
 
 TEST(Latency, AmatReflectsMissRate)

@@ -38,8 +38,8 @@ TEST(ModelEquivalence, OneMoleculeRegionIsDirectMapped)
     mp.resizePeriod = 1u << 30; // frozen at one molecule
     mp.maxResizePeriod = 1u << 30;
     MolecularCache mol(mp);
-    mol.registerApplication(0, 0.1);
-    ASSERT_EQ(mol.region(0).size(), 1u);
+    mol.registerApplication(Asid{0}, 0.1);
+    ASSERT_EQ(mol.region(Asid{0}).size(), 1u);
 
     SetAssocParams sp;
     sp.sizeBytes = 8_KiB;
@@ -50,7 +50,7 @@ TEST(ModelEquivalence, OneMoleculeRegionIsDirectMapped)
     for (u32 i = 0; i < 20000; ++i) {
         const Addr addr = static_cast<Addr>(rng.below(1u << 16)) * 64;
         const bool write = rng.chance(0.3);
-        const MemAccess a{addr, 0,
+        const MemAccess a{addr, Asid{0},
                           write ? AccessType::Write : AccessType::Read};
         ASSERT_EQ(mol.access(a).hit, dm.access(a).hit) << "step " << i;
     }
@@ -66,7 +66,7 @@ TEST(ModelEquivalence, SoloWayPartitionedIsPlainLru)
     wp.associativity = 4;
     wp.repartitionPeriod = 0;
     WayPartitionedCache part(wp);
-    part.registerApplication(0, 0.1);
+    part.registerApplication(Asid{0}, 0.1);
 
     SetAssocParams sp;
     sp.sizeBytes = 64_KiB;
@@ -74,7 +74,7 @@ TEST(ModelEquivalence, SoloWayPartitionedIsPlainLru)
     sp.replacement = ReplPolicy::Lru;
     SetAssocCache lru(sp);
 
-    TraceGenerator gen(profileByName("gcc"), 0, 30000, 9);
+    TraceGenerator gen(profileByName("gcc"), Asid{0}, 30000, 9);
     while (auto a = gen.next())
         ASSERT_EQ(part.access(*a).hit, lru.access(*a).hit);
     EXPECT_EQ(part.stats().global().misses, lru.stats().global().misses);
@@ -98,12 +98,12 @@ TEST(ModelEquivalence, PlacementPoliciesAgreeOnConflictFreeStreams)
         p.resizePeriod = 1u << 30;
         p.maxResizePeriod = 1u << 30;
         MolecularCache cache(p);
-        cache.registerApplication(0, 0.1);
+        cache.registerApplication(Asid{0}, 0.1);
         for (u32 pass = 0; pass < 3; ++pass) {
             u32 misses = 0;
             for (Addr line = 0; line < 128; ++line) {
                 if (!cache
-                         .access({line * 64, 0, AccessType::Read})
+                         .access({line * 64, Asid{0}, AccessType::Read})
                          .hit)
                     ++misses;
             }

@@ -24,7 +24,7 @@ constexpr u64 kRefs = 600000;
  * these mechanism tests short without changing the mechanism.
  */
 MolecularCacheParams
-cappedParams(u64 size, PlacementPolicy placement)
+cappedParams(Bytes size, PlacementPolicy placement)
 {
     MolecularCacheParams p = fig5MolecularParams(size, placement);
     p.maxResizePeriod = 20000;
@@ -34,7 +34,7 @@ cappedParams(u64 size, PlacementPolicy placement)
 TEST(ResizeBehaviour, OverachieverShrinksTowardGoal)
 {
     MolecularCache cache(cappedParams(2_MiB, PlacementPolicy::Randy));
-    cache.registerApplication(0, 0.10, 0, 0, 1);
+    cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, 0, 1);
     const GoalSet goals = GoalSet::uniform(0.1, 1);
     // Warm through the shrink phase, then measure the equilibrium.
     auto src = makeMultiProgramSource({"ammp"}, kRefs);
@@ -43,21 +43,21 @@ TEST(ResizeBehaviour, OverachieverShrinksTowardGoal)
     // most of it back, landing near its goal.  Tolerance is set by the
     // 8 KiB molecule quantum: ammp's working set straddles 1-3 molecules,
     // so its equilibrium oscillates around (not onto) the goal.
-    EXPECT_LT(cache.region(0).size(), 8u);
-    EXPECT_NEAR(cache.stats().forAsid(0).missRate(), 0.1, 0.08);
-    EXPECT_GT(cache.stats().forAsid(0).missRate(), 0.005);
+    EXPECT_LT(cache.region(Asid{0}).size(), 8u);
+    EXPECT_NEAR(cache.stats().forAsid(Asid{0}).missRate(), 0.1, 0.08);
+    EXPECT_GT(cache.stats().forAsid(Asid{0}).missRate(), 0.005);
 }
 
 TEST(ResizeBehaviour, ThrashingPartitionGetsCapped)
 {
     MolecularCache cache(
         fig5MolecularParams(2_MiB, PlacementPolicy::Randy));
-    cache.registerApplication(0, 0.10, 0, 0, 1);
+    cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, 0, 1);
     runWorkload({"mcf"}, cache, GoalSet::uniform(0.1, 1), kRefs);
     // mcf (32 MiB pointer chase) can never reach 10%; Algorithm 1 must
     // cap it at the allocation chunk instead of letting it take the
     // whole 2 MiB.
-    EXPECT_LE(cache.region(0).size(),
+    EXPECT_LE(cache.region(Asid{0}).size(),
               2 * cache.params().maxAllocationChunk);
     EXPECT_GT(cache.freeMolecules(), cache.params().totalMolecules() / 2);
 }
@@ -66,11 +66,11 @@ TEST(ResizeBehaviour, NeedyPartitionGrowsPastInitial)
 {
     MolecularCache cache(
         fig5MolecularParams(4_MiB, PlacementPolicy::Randy));
-    cache.registerApplication(0, 0.10, 0, 0, 1);
-    const u32 initial = cache.region(0).size();
+    cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, 0, 1);
+    const u32 initial = cache.region(Asid{0}).size();
     runWorkload({"parser"}, cache, GoalSet::uniform(0.1, 1), kRefs);
     // parser's ~600KB working set needs more than half a 1MB tile.
-    EXPECT_GT(cache.region(0).size(), initial);
+    EXPECT_GT(cache.region(Asid{0}).size(), initial);
 }
 
 TEST(ResizeBehaviour, GrantsNeverExceedPool)
@@ -78,11 +78,12 @@ TEST(ResizeBehaviour, GrantsNeverExceedPool)
     MolecularCache cache(
         fig5MolecularParams(1_MiB, PlacementPolicy::Randy));
     for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(static_cast<Asid>(i), 0.05, 0, i, 1);
+        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.05,
+                                  ClusterId{0}, i, 1);
     runWorkload(spec4Names(), cache, GoalSet::uniform(0.05, 4), kRefs);
     u32 held = 0;
     for (u32 i = 0; i < 4; ++i)
-        held += cache.region(static_cast<Asid>(i)).size();
+        held += cache.region(Asid{static_cast<u16>(i)}).size();
     EXPECT_EQ(held + cache.freeMolecules(),
               cache.params().totalMolecules());
 }
@@ -92,12 +93,12 @@ TEST(ResizeBehaviour, PerAppSchemeAlsoConverges)
     MolecularCacheParams p = cappedParams(2_MiB, PlacementPolicy::Randy);
     p.resizeScheme = ResizeScheme::PerAppAdaptive;
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.10, 0, 0, 1);
+    cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, 0, 1);
     auto src = makeMultiProgramSource({"ammp"}, kRefs);
     Simulator::run(*src, cache, GoalSet::uniform(0.1, 1), {},
                    /*warmup=*/2 * kRefs / 3);
-    EXPECT_NEAR(cache.stats().forAsid(0).missRate(), 0.1, 0.08);
-    EXPECT_GT(cache.stats().forAsid(0).missRate(), 0.005);
+    EXPECT_NEAR(cache.stats().forAsid(Asid{0}).missRate(), 0.1, 0.08);
+    EXPECT_GT(cache.stats().forAsid(Asid{0}).missRate(), 0.005);
     EXPECT_GT(cache.resizeCycles(), 0u);
 }
 
@@ -108,7 +109,7 @@ TEST(ResizeBehaviour, ConstantSchemeRunsOnFixedPeriod)
     p.resizeScheme = ResizeScheme::Constant;
     p.resizePeriod = 10000;
     MolecularCache cache(p);
-    cache.registerApplication(0, 0.10, 0, 0, 1);
+    cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, 0, 1);
     runWorkload({"gzip"}, cache, GoalSet::uniform(0.1, 1), 100000);
     // Exactly one cycle per 10k accesses (within one boundary cycle).
     EXPECT_NEAR(static_cast<double>(cache.resizeCycles()), 10.0, 1.0);
@@ -117,10 +118,10 @@ TEST(ResizeBehaviour, ConstantSchemeRunsOnFixedPeriod)
 TEST(ResizeBehaviour, RandomPolicyAlsoManagesPartitions)
 {
     MolecularCache cache(cappedParams(2_MiB, PlacementPolicy::Random));
-    cache.registerApplication(0, 0.10, 0, 0, 1);
+    cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, 0, 1);
     runWorkload({"ammp"}, cache, GoalSet::uniform(0.1, 1), kRefs);
-    EXPECT_LT(cache.region(0).size(), 8u);
-    EXPECT_EQ(cache.region(0).rowMax(), 1u); // single replacement row
+    EXPECT_LT(cache.region(Asid{0}).size(), 8u);
+    EXPECT_EQ(cache.region(Asid{0}).rowMax(), 1u); // single replacement row
 }
 
 } // namespace

@@ -12,22 +12,22 @@ source(std::vector<MemAccess> v)
 }
 
 MemAccess
-read(Addr a, Asid asid = 0)
+read(Addr a, u16 asid = 0)
 {
-    return {a, asid, AccessType::Read};
+    return {a, Asid{asid}, AccessType::Read};
 }
 
 MemAccess
-write(Addr a, Asid asid = 0)
+write(Addr a, u16 asid = 0)
 {
-    return {a, asid, AccessType::Write};
+    return {a, Asid{asid}, AccessType::Write};
 }
 
 L1Params
 tinyL1()
 {
     L1Params p;
-    p.sizeBytes = 4 * 1024; // 64 lines, 16 sets x 4 ways
+    p.sizeBytes = 4_KiB; // 64 lines, 16 sets x 4 ways
     p.associativity = 4;
     p.lineSize = 64;
     return p;

@@ -8,9 +8,10 @@ namespace molcache {
 namespace {
 
 std::unique_ptr<AccessSource>
-constantSource(Asid asid, u64 n)
+constantSource(u16 asid, u64 n)
 {
-    std::vector<MemAccess> v(n, MemAccess{0x1000, asid, AccessType::Read});
+    std::vector<MemAccess> v(
+        n, MemAccess{0x1000, Asid{asid}, AccessType::Read});
     return std::make_unique<VectorSource>(std::move(v));
 }
 
@@ -25,8 +26,8 @@ drainCounts(AccessSource &src)
 
 TEST(VectorSource, DrainsInOrder)
 {
-    std::vector<MemAccess> v = {{1, 0, AccessType::Read},
-                                {2, 0, AccessType::Write}};
+    std::vector<MemAccess> v = {{1, Asid{0}, AccessType::Read},
+                                {2, Asid{0}, AccessType::Write}};
     VectorSource src(v);
     EXPECT_EQ(src.next()->addr, 1u);
     EXPECT_EQ(src.next()->addr, 2u);
@@ -43,7 +44,8 @@ TEST(Interleaver, RoundRobinAlternates)
     std::vector<Asid> order;
     while (auto a = mix.next())
         order.push_back(a->asid);
-    EXPECT_EQ(order, (std::vector<Asid>{0, 1, 0, 1, 0, 1}));
+    EXPECT_EQ(order, (std::vector<Asid>{Asid{0}, Asid{1}, Asid{0}, Asid{1},
+                                    Asid{0}, Asid{1}}));
 }
 
 TEST(Interleaver, RoundRobinSkipsExhausted)
@@ -53,8 +55,8 @@ TEST(Interleaver, RoundRobinSkipsExhausted)
     sources.push_back(constantSource(1, 4));
     Interleaver mix(std::move(sources), MixPolicy::RoundRobin);
     const auto counts = drainCounts(mix);
-    EXPECT_EQ(counts.at(0), 1u);
-    EXPECT_EQ(counts.at(1), 4u);
+    EXPECT_EQ(counts.at(Asid{0}), 1u);
+    EXPECT_EQ(counts.at(Asid{1}), 4u);
 }
 
 TEST(Interleaver, LimitStopsEarly)
@@ -78,19 +80,20 @@ TEST(Interleaver, WeightedProportions)
                     40000);
     const auto counts = drainCounts(mix);
     // 3:1 service ratio.
-    EXPECT_NEAR(static_cast<double>(counts.at(0)), 30000.0, 300.0);
-    EXPECT_NEAR(static_cast<double>(counts.at(1)), 10000.0, 300.0);
+    EXPECT_NEAR(static_cast<double>(counts.at(Asid{0})), 30000.0, 300.0);
+    EXPECT_NEAR(static_cast<double>(counts.at(Asid{1})), 10000.0, 300.0);
 }
 
 TEST(Interleaver, RandomRoughlyBalanced)
 {
     std::vector<std::unique_ptr<AccessSource>> sources;
-    for (Asid a = 0; a < 4; ++a)
+    for (u16 a = 0; a < 4; ++a)
         sources.push_back(constantSource(a, 100000));
     Interleaver mix(std::move(sources), MixPolicy::Random, {}, 99, 40000);
     const auto counts = drainCounts(mix);
-    for (Asid a = 0; a < 4; ++a)
-        EXPECT_NEAR(static_cast<double>(counts.at(a)), 10000.0, 600.0);
+    for (u16 a = 0; a < 4; ++a)
+        EXPECT_NEAR(static_cast<double>(counts.at(Asid{a})), 10000.0,
+                    600.0);
 }
 
 TEST(Interleaver, RandomDeterministicPerSeed)

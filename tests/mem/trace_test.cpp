@@ -11,10 +11,10 @@ std::vector<MemAccess>
 sample()
 {
     return {
-        {0x1000, 0, AccessType::Read},
-        {0xdeadbeef000, 3, AccessType::Write},
-        {0xffffffffffff, 65534, AccessType::Read},
-        {0, 1, AccessType::Write},
+        {0x1000, Asid{0}, AccessType::Read},
+        {0xdeadbeef000, Asid{3}, AccessType::Write},
+        {0xffffffffffff, Asid{65534}, AccessType::Read},
+        {0, Asid{1}, AccessType::Write},
     };
 }
 
@@ -91,7 +91,7 @@ TEST(Trace, TextCommentsSkipped)
     const auto back = readTrace(path);
     ASSERT_EQ(back.size(), 2u);
     EXPECT_EQ(back[0].addr, 0x1000u);
-    EXPECT_EQ(back[0].asid, 2u);
+    EXPECT_EQ(back[0].asid, Asid{2});
     EXPECT_FALSE(back[0].isWrite());
     EXPECT_EQ(back[1].addr, 0xffu);
     EXPECT_TRUE(back[1].isWrite());
@@ -117,7 +117,7 @@ TEST(Trace, ClassicDineroFormatAccepted)
     EXPECT_EQ(back[2].addr, 0x4000u);
     EXPECT_FALSE(back[2].isWrite()); // ifetch arrives as a read
     for (const auto &a : back)
-        EXPECT_EQ(a.asid, 0u); // din carries no process id
+        EXPECT_EQ(a.asid, Asid{0}); // din carries no process id
     std::remove(path.c_str());
 }
 
@@ -131,8 +131,8 @@ TEST(Trace, MixedNativeAndDineroLines)
     }
     const auto back = readTrace(path);
     ASSERT_EQ(back.size(), 2u);
-    EXPECT_EQ(back[0].asid, 5u);
-    EXPECT_EQ(back[1].asid, 0u);
+    EXPECT_EQ(back[0].asid, Asid{5});
+    EXPECT_EQ(back[1].asid, Asid{0});
     EXPECT_TRUE(back[1].isWrite());
     std::remove(path.c_str());
 }

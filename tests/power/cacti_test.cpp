@@ -8,7 +8,7 @@ namespace molcache {
 namespace {
 
 CacheGeometry
-geom(u64 size, u32 assoc, u32 ports = 1)
+geom(Bytes size, u32 assoc, u32 ports = 1)
 {
     CacheGeometry g;
     g.sizeBytes = size;
@@ -28,7 +28,7 @@ TEST(Cacti, EnergyGrowsWithSize)
 {
     const CactiModel m(TechNode::Nm70);
     double prev = 0.0;
-    for (const u64 size : {8_KiB, 64_KiB, 1_MiB, 8_MiB}) {
+    for (const Bytes size : {8_KiB, 64_KiB, 1_MiB, 8_MiB}) {
         const double e = m.evaluate(geom(size, 1)).readEnergyNj;
         EXPECT_GT(e, prev) << formatSize(size);
         prev = e;
@@ -137,7 +137,7 @@ TEST(Cacti, WriteEnergyPositive)
 TEST(CactiDeath, DegenerateGeometry)
 {
     const CactiModel m(TechNode::Nm70);
-    CacheGeometry g = geom(0, 1);
+    CacheGeometry g = geom(Bytes{0}, 1);
     EXPECT_EXIT(m.evaluate(g), ::testing::ExitedWithCode(1), "degenerate");
 }
 

@@ -52,14 +52,15 @@ TEST(Experiment, RegisterApplicationsGroupsContiguously)
     // Apps 0-3 -> cluster 0, 4-7 -> cluster 1, 8-11 -> cluster 2,
     // one tile each (the paper's three groups of four).
     for (u32 i = 0; i < 12; ++i) {
-        EXPECT_EQ(cache.region(static_cast<Asid>(i)).homeCluster(), i / 4)
+        EXPECT_EQ(cache.region(Asid{static_cast<u16>(i)}).homeCluster(),
+                  ClusterId{i / 4})
             << "asid " << i;
     }
     // Within a cluster every app has its own tile.
     for (u32 c = 0; c < 3; ++c) {
-        std::set<u32> tiles;
+        std::set<TileId> tiles;
         for (u32 i = 0; i < 4; ++i)
-            tiles.insert(cache.region(static_cast<Asid>(c * 4 + i))
+            tiles.insert(cache.region(Asid{static_cast<u16>(c * 4 + i)})
                              .homeTile());
         EXPECT_EQ(tiles.size(), 4u) << "cluster " << c;
     }
@@ -73,10 +74,10 @@ TEST(Experiment, RunWorkloadEndToEnd)
         runWorkload({"ammp", "mcf"}, cache, goals, 20000);
     EXPECT_EQ(r.accesses, 20000u);
     EXPECT_EQ(r.qos.apps.size(), 2u);
-    EXPECT_EQ(r.qos.byAsid(0).label, "ammp");
-    EXPECT_EQ(r.qos.byAsid(1).label, "mcf");
+    EXPECT_EQ(r.qos.byAsid(Asid{0}).label, "ammp");
+    EXPECT_EQ(r.qos.byAsid(Asid{1}).label, "mcf");
     // mcf misses far more than ammp on any 1MB cache.
-    EXPECT_GT(r.qos.byAsid(1).missRate, r.qos.byAsid(0).missRate);
+    EXPECT_GT(r.qos.byAsid(Asid{1}).missRate, r.qos.byAsid(Asid{0}).missRate);
 }
 
 TEST(Experiment, DeriveGoalsFromSoloProfiling)
@@ -88,10 +89,10 @@ TEST(Experiment, DeriveGoalsFromSoloProfiling)
                                               /*refsPerApp=*/100000);
     ASSERT_EQ(goals.size(), 2u);
     // ammp's solo rate (~0.005) is below the floor: clamped to minGoal.
-    EXPECT_DOUBLE_EQ(*goals.goal(0), 0.02);
+    EXPECT_DOUBLE_EQ(*goals.goal(Asid{0}), 0.02);
     // mcf's solo rate (~0.67) picks up the slack factor.
-    EXPECT_GT(*goals.goal(1), 0.6);
-    EXPECT_LE(*goals.goal(1), 1.0);
+    EXPECT_GT(*goals.goal(Asid{1}), 0.6);
+    EXPECT_LE(*goals.goal(Asid{1}), 1.0);
 }
 
 TEST(ExperimentDeath, DeriveGoalsRejectsSubUnitySlack)
@@ -108,7 +109,7 @@ TEST(Experiment, PaperTraceLengthConstant)
 
 TEST(ExperimentDeath, Fig5SizeMustSplitIntoTiles)
 {
-    EXPECT_EXIT(fig5MolecularParams(100, PlacementPolicy::Randy),
+    EXPECT_EXIT(fig5MolecularParams(Bytes{100}, PlacementPolicy::Randy),
                 ::testing::ExitedWithCode(1), "not divisible");
 }
 

@@ -15,27 +15,27 @@ TEST(Qos, SummarizeFromCacheStats)
     p.associativity = 2;
     SetAssocCache cache(p);
     // asid 0: 1 miss + 1 hit; asid 1: 1 miss.
-    cache.access({0x100, 0, AccessType::Read});
-    cache.access({0x100, 0, AccessType::Read});
-    cache.access({0x9000, 1, AccessType::Read});
+    cache.access({0x100, Asid{0}, AccessType::Read});
+    cache.access({0x100, Asid{0}, AccessType::Read});
+    cache.access({0x9000, Asid{1}, AccessType::Read});
 
     GoalSet goals;
-    goals.set(0, 0.25);
+    goals.set(Asid{0}, 0.25);
 
     const QosSummary s =
-        summarize(cache, goals, {{0, "alpha"}, {1, "beta"}});
+        summarize(cache, goals, {{Asid{0}, "alpha"}, {Asid{1}, "beta"}});
     ASSERT_EQ(s.apps.size(), 2u);
     EXPECT_EQ(s.totalAccesses, 3u);
     EXPECT_NEAR(s.globalMissRate, 2.0 / 3.0, 1e-12);
 
-    const AppSummary &alpha = s.byAsid(0);
+    const AppSummary &alpha = s.byAsid(Asid{0});
     EXPECT_EQ(alpha.label, "alpha");
     EXPECT_EQ(alpha.accesses, 2u);
     EXPECT_DOUBLE_EQ(alpha.missRate, 0.5);
     ASSERT_TRUE(alpha.deviation.has_value());
     EXPECT_DOUBLE_EQ(*alpha.deviation, 0.25);
 
-    const AppSummary &beta = s.byAsid(1);
+    const AppSummary &beta = s.byAsid(Asid{1});
     EXPECT_EQ(beta.label, "beta");
     EXPECT_FALSE(beta.goal.has_value());
     EXPECT_FALSE(beta.deviation.has_value());
@@ -50,15 +50,15 @@ TEST(Qos, DefaultLabels)
     p.sizeBytes = 8_KiB;
     p.associativity = 1;
     SetAssocCache cache(p);
-    cache.access({0x0, 3, AccessType::Read});
+    cache.access({0x0, Asid{3}, AccessType::Read});
     const QosSummary s = summarize(cache, GoalSet{});
-    EXPECT_EQ(s.byAsid(3).label, "asid3");
+    EXPECT_EQ(s.byAsid(Asid{3}).label, "asid3");
 }
 
 TEST(QosDeath, ByAsidUnknown)
 {
     QosSummary s;
-    EXPECT_DEATH(s.byAsid(1), "no summary");
+    EXPECT_DEATH(s.byAsid(Asid{1}), "no summary");
 }
 
 } // namespace

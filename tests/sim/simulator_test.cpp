@@ -11,7 +11,7 @@ namespace {
 std::unique_ptr<AccessSource>
 repeatSource(Addr addr, u64 n)
 {
-    std::vector<MemAccess> v(n, MemAccess{addr, 0, AccessType::Read});
+    std::vector<MemAccess> v(n, MemAccess{addr, Asid{0}, AccessType::Read});
     return std::make_unique<VectorSource>(std::move(v));
 }
 
@@ -52,7 +52,7 @@ TEST(Simulator, ProgressCallbackFires)
 {
     // 2^20 accesses trip the (done & 0xfffff) == 0 progress tick once.
     std::vector<MemAccess> v(1u << 20,
-                             MemAccess{0x40, 0, AccessType::Read});
+                             MemAccess{0x40, Asid{0}, AccessType::Read});
     VectorSource src(std::move(v));
     SetAssocCache cache(tinyCache());
     u64 calls = 0;
@@ -65,8 +65,8 @@ TEST(Simulator, LabelMapHelper)
 {
     const auto labels = labelMap({"a", "b"});
     ASSERT_EQ(labels.size(), 2u);
-    EXPECT_EQ(labels.at(0), "a");
-    EXPECT_EQ(labels.at(1), "b");
+    EXPECT_EQ(labels.at(Asid{0}), "a");
+    EXPECT_EQ(labels.at(Asid{1}), "b");
 }
 
 TEST(Simulator, EnergyPropagated)

@@ -9,19 +9,19 @@ TEST(GoalSet, UniformAndLookup)
 {
     const GoalSet g = GoalSet::uniform(0.25, 3);
     EXPECT_EQ(g.size(), 3u);
-    EXPECT_TRUE(g.hasGoal(0));
-    EXPECT_TRUE(g.hasGoal(2));
-    EXPECT_FALSE(g.hasGoal(3));
-    EXPECT_DOUBLE_EQ(*g.goal(1), 0.25);
-    EXPECT_FALSE(g.goal(9).has_value());
+    EXPECT_TRUE(g.hasGoal(Asid{0}));
+    EXPECT_TRUE(g.hasGoal(Asid{2}));
+    EXPECT_FALSE(g.hasGoal(Asid{3}));
+    EXPECT_DOUBLE_EQ(*g.goal(Asid{1}), 0.25);
+    EXPECT_FALSE(g.goal(Asid{9}).has_value());
 }
 
 TEST(GoalSet, PerAsidOverride)
 {
     GoalSet g;
-    g.set(5, 0.1);
-    g.set(5, 0.2); // overwrite
-    EXPECT_DOUBLE_EQ(*g.goal(5), 0.2);
+    g.set(Asid{5}, 0.1);
+    g.set(Asid{5}, 0.2); // overwrite
+    EXPECT_DOUBLE_EQ(*g.goal(Asid{5}), 0.2);
 }
 
 TEST(Metrics, DeviationIsAbsolute)
@@ -34,19 +34,20 @@ TEST(Metrics, DeviationIsAbsolute)
 TEST(Metrics, AverageDeviationSkipsGoallessApps)
 {
     GoalSet g;
-    g.set(0, 0.1);
-    g.set(1, 0.1);
+    g.set(Asid{0}, 0.1);
+    g.set(Asid{1}, 0.1);
     // ASID 2 has a miss rate but no goal: must not enter the average.
-    const std::map<Asid, double> rates = {{0, 0.2}, {1, 0.1}, {2, 0.9}};
+    const std::map<Asid, double> rates = {
+        {Asid{0}, 0.2}, {Asid{1}, 0.1}, {Asid{2}, 0.9}};
     EXPECT_DOUBLE_EQ(averageDeviation(rates, g), (0.1 + 0.0) / 2);
 }
 
 TEST(Metrics, AverageDeviationSkipsUnseenApps)
 {
     GoalSet g;
-    g.set(0, 0.1);
-    g.set(7, 0.1); // never ran: no miss rate recorded
-    const std::map<Asid, double> rates = {{0, 0.3}};
+    g.set(Asid{0}, 0.1);
+    g.set(Asid{7}, 0.1); // never ran: no miss rate recorded
+    const std::map<Asid, double> rates = {{Asid{0}, 0.3}};
     EXPECT_DOUBLE_EQ(averageDeviation(rates, g), 0.2);
 }
 
@@ -73,7 +74,7 @@ TEST(Metrics, PowerDeviationProduct)
 TEST(GoalSetDeath, GoalOutOfRange)
 {
     GoalSet g;
-    EXPECT_DEATH(g.set(0, 1.5), "goal out of");
+    EXPECT_DEATH(g.set(Asid{0}, 1.5), "goal out of");
 }
 
 } // namespace

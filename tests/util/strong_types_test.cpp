@@ -1,0 +1,205 @@
+/**
+ * @file
+ * StrongId/StrongUnit semantics, including the compile-time rejection
+ * probes: the whole point of the strong types is that transposed or
+ * cross-domain arguments do not compile, so the tests assert exactly
+ * that via type traits (a "non-compilation test" that itself compiles).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+#include "core/molecule.hpp"
+#include "core/region.hpp"
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace molcache {
+namespace {
+
+/* Detection idiom: does `A op B` compile? */
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename A, typename B, typename = void>
+struct CanEq : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanEq<A, B,
+             std::void_t<decltype(std::declval<A>() == std::declval<B>())>>
+    : std::true_type
+{
+};
+
+/* ---- StrongId: what must compile -------------------------------- */
+
+static_assert(std::is_constructible_v<MoleculeId, u32>,
+              "explicit construction from the raw rep");
+static_assert(CanEq<MoleculeId, MoleculeId>::value);
+static_assert(CanAdd<MoleculeId, u32>::value, "offset within an id space");
+
+/* ---- StrongId: what must NOT compile ---------------------------- */
+
+static_assert(!std::is_convertible_v<u32, MoleculeId>,
+              "no implicit int -> id");
+static_assert(!std::is_convertible_v<MoleculeId, u32>,
+              "no implicit id -> int (use .value())");
+static_assert(!std::is_constructible_v<MoleculeId, TileId>,
+              "no cross-id construction");
+static_assert(!std::is_assignable_v<MoleculeId &, TileId>,
+              "no cross-id assignment");
+static_assert(!CanEq<MoleculeId, TileId>::value,
+              "no cross-id comparison");
+static_assert(!CanAdd<MoleculeId, MoleculeId>::value,
+              "two ids do not add (only id + offset)");
+static_assert(!std::is_convertible_v<Addr, LineAddr>,
+              "raw addresses are not line identities");
+
+/* The headline probe: the transposed (TileId, MoleculeId) call the lint
+ * fixture demonstrates must be rejected by the type system too. */
+static_assert(std::is_constructible_v<Molecule, MoleculeId, TileId, u32,
+                                      u32>);
+static_assert(!std::is_constructible_v<Molecule, TileId, MoleculeId, u32,
+                                       u32>,
+              "transposed (TileId, MoleculeId) ctor args must not compile");
+
+using AddMolecule =
+    decltype(static_cast<void (Region::*)(MoleculeId, TileId, bool)>(
+        &Region::addMolecule));
+static_assert(std::is_invocable_v<AddMolecule, Region &, MoleculeId,
+                                  TileId, bool>);
+static_assert(!std::is_invocable_v<AddMolecule, Region &, TileId,
+                                   MoleculeId, bool>,
+              "transposed addMolecule(tile, molecule) must not compile");
+
+/* ---- StrongUnit: what must / must not compile ------------------- */
+
+static_assert(CanAdd<Bytes, Bytes>::value);
+static_assert(!CanAdd<Bytes, Cycles>::value, "no cross-unit arithmetic");
+static_assert(!CanAdd<Bytes, u64>::value,
+              "no unit + scalar (scale with *, offset is meaningless)");
+static_assert(!std::is_convertible_v<u64, Bytes>);
+static_assert(!std::is_convertible_v<Bytes, u64>);
+
+/* ---- runtime semantics ------------------------------------------ */
+
+TEST(StrongId, ValueRoundTrip)
+{
+    const MoleculeId m{7};
+    EXPECT_EQ(m.value(), 7u);
+    EXPECT_EQ(MoleculeId{}.value(), 0u);
+}
+
+TEST(StrongId, ComparisonAndOrdering)
+{
+    EXPECT_EQ(TileId{3}, TileId{3});
+    EXPECT_NE(TileId{3}, TileId{4});
+    EXPECT_LT(TileId{3}, TileId{4});
+    EXPECT_GE(TileId{4}, TileId{4});
+}
+
+TEST(StrongId, IterationAndOffsets)
+{
+    MoleculeId m{10};
+    ++m;
+    EXPECT_EQ(m, MoleculeId{11});
+    --m;
+    EXPECT_EQ(m, MoleculeId{10});
+    EXPECT_EQ(m + 5, MoleculeId{15});
+    EXPECT_EQ(MoleculeId{15} - MoleculeId{10}, 5u);
+
+    u32 visited = 0;
+    for (MoleculeId it{0}; it < MoleculeId{4}; ++it)
+        ++visited;
+    EXPECT_EQ(visited, 4u);
+}
+
+TEST(StrongId, HashesLikeItsValue)
+{
+    std::unordered_set<Asid> set;
+    set.insert(Asid{1});
+    set.insert(Asid{1});
+    set.insert(Asid{2});
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.count(Asid{2}));
+}
+
+TEST(StrongId, StreamsAsRawValue)
+{
+    std::ostringstream os;
+    os << ClusterId{9} << " " << Asid{3};
+    EXPECT_EQ(os.str(), "9 3");
+}
+
+TEST(StrongId, Sentinels)
+{
+    EXPECT_NE(kInvalidMolecule, MoleculeId{0});
+    EXPECT_NE(kInvalidAsid, Asid{0});
+}
+
+TEST(StrongId, LineAddrOfMasksOffset)
+{
+    EXPECT_EQ(lineAddrOf(0x1234, 64), LineAddr{0x1200});
+    EXPECT_EQ(lineAddrOf(0x1200, 64), LineAddr{0x1200});
+    EXPECT_EQ(lineAddrOf(0x123f, 64), lineAddrOf(0x1200, 64));
+}
+
+TEST(StrongUnit, LiteralsAndArithmetic)
+{
+    EXPECT_EQ((8_KiB).value(), 8192u);
+    EXPECT_EQ(1_MiB, 1024_KiB);
+    EXPECT_EQ(2_KiB + 2_KiB, 4_KiB);
+    EXPECT_EQ(4_KiB - 1_KiB, 3_KiB);
+    EXPECT_EQ(2_KiB * 3, 6_KiB);
+    EXPECT_EQ(3 * 2_KiB, 6_KiB);
+    EXPECT_EQ(6_KiB / 3, 2_KiB);
+    EXPECT_EQ(1_MiB / 8_KiB, 128u); // ratio is dimensionless
+    EXPECT_EQ(10_KiB % 4_KiB, 2_KiB);
+}
+
+TEST(StrongUnit, CompoundAssign)
+{
+    Bytes b{100};
+    b += Bytes{28};
+    EXPECT_EQ(b, Bytes{128});
+    b -= Bytes{28};
+    EXPECT_EQ(b, Bytes{100});
+
+    Cycles c{3};
+    c += Cycles{4};
+    EXPECT_EQ(c, Cycles{7});
+}
+
+TEST(StrongUnit, FormatSize)
+{
+    EXPECT_EQ(formatSize(8_KiB), "8KiB");
+    EXPECT_EQ(formatSize(6_MiB), "6MiB");
+    EXPECT_EQ(formatSize(2_GiB), "2GiB");
+    EXPECT_EQ(formatSize(Bytes{768}), "768B");
+    EXPECT_EQ(formatSize(1_MiB + 512_KiB), "1536KiB");
+    EXPECT_EQ(formatSize(Bytes{(1_KiB).value() + 1}), "1025B");
+}
+
+TEST(StrongTypes, ZeroCost)
+{
+    static_assert(sizeof(MoleculeId) == sizeof(u32));
+    static_assert(sizeof(Asid) == sizeof(u16));
+    static_assert(sizeof(Bytes) == sizeof(u64));
+    static_assert(std::is_trivially_copyable_v<MoleculeId>);
+    static_assert(std::is_trivially_copyable_v<Bytes>);
+}
+
+} // namespace
+} // namespace molcache

@@ -7,23 +7,24 @@ namespace {
 
 TEST(Units, Literals)
 {
-    EXPECT_EQ(1_KiB, 1024u);
-    EXPECT_EQ(8_KiB, 8192u);
-    EXPECT_EQ(1_MiB, 1048576u);
-    EXPECT_EQ(1_GiB, 1073741824u);
-    EXPECT_EQ(6_MiB, 6u * 1048576u);
+    EXPECT_EQ(1_KiB, Bytes{1024});
+    EXPECT_EQ(8_KiB, Bytes{8192});
+    EXPECT_EQ(1_MiB, Bytes{1048576});
+    EXPECT_EQ(1_GiB, Bytes{1073741824});
+    EXPECT_EQ(6_MiB, Bytes{6u * 1048576u});
 }
 
 TEST(Units, FormatSize)
 {
-    EXPECT_EQ(formatSize(512), "512B");
+    EXPECT_EQ(formatSize(Bytes{512}), "512B");
     EXPECT_EQ(formatSize(8_KiB), "8KiB");
     EXPECT_EQ(formatSize(512_KiB), "512KiB");
     EXPECT_EQ(formatSize(6_MiB), "6MiB");
     EXPECT_EQ(formatSize(2_GiB), "2GiB");
     // Non-multiples fall back to the largest exact unit.
-    EXPECT_EQ(formatSize(1_MiB + 1), std::to_string(1_MiB + 1) + "B");
-    EXPECT_EQ(formatSize(1536), "1536B"); // 1.5KiB is not exact KiB
+    EXPECT_EQ(formatSize(1_MiB + Bytes{1}),
+              std::to_string((1_MiB).value() + 1) + "B");
+    EXPECT_EQ(formatSize(Bytes{1536}), "1536B"); // 1.5KiB is not exact KiB
 }
 
 } // namespace

@@ -11,7 +11,7 @@ namespace {
 
 TEST(Generator, ProducesExactlyLimit)
 {
-    TraceGenerator gen(profileByName("ammp"), 0, 1000, 1);
+    TraceGenerator gen(profileByName("ammp"), Asid{0}, 1000, 1);
     u64 n = 0;
     while (gen.next())
         ++n;
@@ -21,39 +21,39 @@ TEST(Generator, ProducesExactlyLimit)
 
 TEST(Generator, StampsAsid)
 {
-    TraceGenerator gen(profileByName("art"), 7, 100, 1);
+    TraceGenerator gen(profileByName("art"), Asid{7}, 100, 1);
     while (auto a = gen.next())
-        EXPECT_EQ(a->asid, 7u);
+        EXPECT_EQ(a->asid, Asid{7});
 }
 
 TEST(Generator, DeterministicPerSeed)
 {
-    const auto a = generateTrace(profileByName("parser"), 0, 500, 42);
-    const auto b = generateTrace(profileByName("parser"), 0, 500, 42);
+    const auto a = generateTrace(profileByName("parser"), Asid{0}, 500, 42);
+    const auto b = generateTrace(profileByName("parser"), Asid{0}, 500, 42);
     EXPECT_EQ(a, b);
 }
 
 TEST(Generator, DifferentSeedsDiffer)
 {
-    const auto a = generateTrace(profileByName("parser"), 0, 500, 1);
-    const auto b = generateTrace(profileByName("parser"), 0, 500, 2);
+    const auto a = generateTrace(profileByName("parser"), Asid{0}, 500, 1);
+    const auto b = generateTrace(profileByName("parser"), Asid{0}, 500, 2);
     EXPECT_NE(a, b);
 }
 
 TEST(Generator, DifferentAsidsUseDifferentWindows)
 {
-    const auto a = generateTrace(profileByName("ammp"), 0, 200, 1);
-    const auto b = generateTrace(profileByName("ammp"), 1, 200, 1);
+    const auto a = generateTrace(profileByName("ammp"), Asid{0}, 200, 1);
+    const auto b = generateTrace(profileByName("ammp"), Asid{1}, 200, 1);
     for (const auto &acc : a)
-        EXPECT_LT(acc.addr, applicationBase(1));
+        EXPECT_LT(acc.addr, applicationBase(Asid{1}));
     for (const auto &acc : b)
-        EXPECT_GE(acc.addr, applicationBase(1));
+        EXPECT_GE(acc.addr, applicationBase(Asid{1}));
 }
 
 TEST(Generator, WriteFractionApproximatelyHonoured)
 {
     const auto &profile = profileByName("mcf"); // writeFraction 0.25
-    const auto trace = generateTrace(profile, 0, 50000, 3);
+    const auto trace = generateTrace(profile, Asid{0}, 50000, 3);
     u64 writes = 0;
     for (const auto &a : trace)
         writes += a.isWrite() ? 1 : 0;
@@ -68,8 +68,8 @@ TEST(MultiProgram, InterleavesAllApps)
     while (auto a = src->next())
         ++counts[a->asid];
     EXPECT_EQ(counts.size(), 2u);
-    EXPECT_EQ(counts[0], 500u);
-    EXPECT_EQ(counts[1], 500u);
+    EXPECT_EQ(counts[Asid{0}], 500u);
+    EXPECT_EQ(counts[Asid{1}], 500u);
 }
 
 TEST(MultiProgram, TotalReferenceBudget)

@@ -11,8 +11,10 @@ TEST(Profile, ApplicationWindowsDisjoint)
 {
     // 16 GiB windows: consecutive ASIDs must never overlap even with
     // multi-MiB component layouts.
-    for (Asid a = 0; a < 16; ++a)
-        EXPECT_GE(applicationBase(a + 1) - applicationBase(a), 1ull << 34);
+    for (u16 a = 0; a < 16; ++a)
+        EXPECT_GE(applicationBase(Asid{static_cast<u16>(a + 1)}) -
+                      applicationBase(Asid{a}),
+                  1ull << 34);
 }
 
 TEST(Profile, BuildStreamSingleComponent)
@@ -85,10 +87,10 @@ TEST(Profiles, AllProfilesWellFormed)
             EXPECT_GE(c.footprint, 64u) << name;
         }
         // Every profile must build into a usable stream.
-        auto stream = buildStream(p, applicationBase(0));
+        auto stream = buildStream(p, applicationBase(Asid{0}));
         Pcg32 rng(1);
         for (int i = 0; i < 100; ++i)
-            EXPECT_GE(stream->next(rng), applicationBase(0)) << name;
+            EXPECT_GE(stream->next(rng), applicationBase(Asid{0})) << name;
     }
 }
 

@@ -1,0 +1,12 @@
+// Negative fixture: reads a config key that src/util/config_keys.cpp has
+// never registered.  warnUnknownKeys() catches unknown keys in files;
+// this rule catches the inverse -- code asking for a key no file can
+// legally contain.
+#include "util/config.hpp"
+
+molcache::u64
+readIt(const molcache::Config &cfg)
+{
+    // "molecule" is registered; "moleculesize" is a typo of it.
+    return cfg.getSize("moleculesize", 8192); // config-key
+}

@@ -1,0 +1,20 @@
+// Negative fixture: raw integer ids in a (pretend) src/core public API.
+// Every one of these parameters must use the strong id types.
+#ifndef MOLCACHE_FIXTURE_BAD_CORE_API_HPP
+#define MOLCACHE_FIXTURE_BAD_CORE_API_HPP
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+class BadCoreApi
+{
+  public:
+    void assign(u32 moleculeId, u64 asid);  // raw-id-param x2
+    void place(u32 tile, u32 row);          // raw-id-param x2
+    void fine(Tick now, Addr addr, u64 seed, u32 numLines); // allowed
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_FIXTURE_BAD_CORE_API_HPP

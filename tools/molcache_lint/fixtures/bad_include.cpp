@@ -1,0 +1,11 @@
+// Negative fixture: include hygiene + assert() in src/.
+#include "../core/tile.hpp" // include-hygiene: relative include
+#include <cassert>          // include-hygiene: cassert in src/
+#include <vector>
+#include <vector>           // include-hygiene: duplicate
+
+void
+checkIt(int v)
+{
+    assert(v > 0); // no-assert
+}

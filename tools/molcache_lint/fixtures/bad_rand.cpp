@@ -1,0 +1,10 @@
+// Negative fixture: naked libc randomness.  molcache_lint must flag both
+// calls; all randomness belongs behind util/random.hpp so runs replay.
+#include <cstdlib>
+
+int
+pickVictim(int ways)
+{
+    std::srand(42);          // naked-rand
+    return rand() % ways;    // naked-rand
+}

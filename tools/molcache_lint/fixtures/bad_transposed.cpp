@@ -1,0 +1,11 @@
+// Negative fixture: the classic transposed (TileId, MoleculeId) argument
+// pair.  Every signature in this repo orders molecule before tile, so
+// the reversed adjacency is a bug even before overload resolution.
+#include "core/region.hpp"
+
+void
+transposed(molcache::Region &region)
+{
+    region.addMolecule(molcache::TileId{0}, molcache::MoleculeId{3},
+                       false); // transposed-ids (also won't compile)
+}

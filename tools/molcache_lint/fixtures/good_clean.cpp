@@ -1,0 +1,17 @@
+// Positive fixture: idiomatic code no rule may flag.
+#include "contract/contract.hpp"
+#include "core/region.hpp"
+#include "util/config.hpp"
+#include "util/random.hpp"
+
+namespace molcache {
+
+void
+clean(Region &region, const Config &cfg, Pcg32 &rng)
+{
+    MOLCACHE_EXPECT(cfg.getSize("molecule", 8192) > 0);
+    region.addMolecule(MoleculeId{3}, TileId{0}, false);
+    (void)rng.below(4); // seeded randomness is fine
+}
+
+} // namespace molcache

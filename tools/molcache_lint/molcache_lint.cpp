@@ -1,0 +1,509 @@
+/**
+ * @file
+ * molcache-lint: repo-specific static-analysis rules the generic tools
+ * (clang-tidy, cppcheck) cannot express.  Purely textual, dependency-free
+ * and fast: it strips comments and string literals, then applies one
+ * regex-driven checker per rule.
+ *
+ * Rules (docs/static_analysis.md has the rationale for each):
+ *
+ *  - naked-rand:        rand()/srand()/rand_r() outside src/util/random --
+ *                       all randomness must flow through the seeded,
+ *                       reproducible RandomSource hierarchy.
+ *  - config-key:        every config-key literal passed to Config::get or
+ *                       Config::has must be registered in
+ *                       src/util/config_keys.cpp (the warnUnknownKeys
+ *                       inverse: code cannot read a key the registry has
+ *                       never heard of).
+ *  - raw-id-param:      no raw-integer parameters with id-like names in
+ *                       src/core public headers; ids must use the strong
+ *                       types (MoleculeId, TileId, ClusterId, Asid,
+ *                       RowIndex).
+ *  - transposed-ids:    a textual (TileId{...}, MoleculeId{...}) argument
+ *                       pair -- every API in this repo orders molecule
+ *                       before tile, so the reversed adjacency is a
+ *                       transposition even before the compiler sees it.
+ *  - no-assert:         assert() in src/ -- use MOLCACHE_EXPECT/ENSURE/
+ *                       INVARIANT so violations are counted and surfaced
+ *                       through SimResult.
+ *  - include-hygiene:   no "../" includes (project includes are
+ *                       repo-root-relative), no duplicate includes, and
+ *                       no <cassert>/<assert.h> in src/.
+ *
+ * Usage:
+ *   molcache_lint --root <repo-root>              lint the tree
+ *   molcache_lint --root <repo-root> --self-test  run against the bundled
+ *                                                 fixtures and verify the
+ *                                                 expected findings
+ *
+ * Exit status: 0 when clean (or the self-test expectations match), 1
+ * otherwise.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding
+{
+    std::string rule;
+    std::string file; // repo-relative
+    int line;
+    std::string message;
+};
+
+std::vector<Finding> g_findings;
+
+void
+report(const std::string &rule, const std::string &file, int line,
+       const std::string &message)
+{
+    g_findings.push_back({rule, file, line, message});
+}
+
+/**
+ * Replace comments and the contents of string/char literals with spaces
+ * (newlines preserved so line numbers survive).  Keeps the quotes of
+ * string literals so "..." extraction rules can opt back in via the raw
+ * text when they need it.
+ */
+std::string
+stripCommentsAndStrings(const std::string &in, bool keepStrings)
+{
+    std::string out;
+    out.reserve(in.size());
+    enum { Code, Line, Block, Str, Chr } state = Code;
+    for (size_t i = 0; i < in.size(); ++i) {
+        const char c = in[i];
+        const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+        switch (state) {
+        case Code:
+            if (c == '/' && n == '/') {
+                state = Line;
+                out += "  ";
+                ++i;
+            } else if (c == '/' && n == '*') {
+                state = Block;
+                out += "  ";
+                ++i;
+            } else if (c == '"') {
+                state = Str;
+                out += '"';
+            } else if (c == '\'') {
+                state = Chr;
+                out += '\'';
+            } else {
+                out += c;
+            }
+            break;
+        case Line:
+            if (c == '\n') {
+                state = Code;
+                out += '\n';
+            } else {
+                out += ' ';
+            }
+            break;
+        case Block:
+            if (c == '*' && n == '/') {
+                state = Code;
+                out += "  ";
+                ++i;
+            } else {
+                out += c == '\n' ? '\n' : ' ';
+            }
+            break;
+        case Str:
+            if (c == '\\' && n != '\0') {
+                out += keepStrings ? in.substr(i, 2) : std::string("  ");
+                ++i;
+            } else if (c == '"') {
+                state = Code;
+                out += '"';
+            } else if (c == '\n') {
+                out += '\n'; // unterminated; keep line count sane
+                state = Code;
+            } else {
+                out += keepStrings ? c : ' ';
+            }
+            break;
+        case Chr:
+            if (c == '\\' && n != '\0') {
+                out += "  ";
+                ++i;
+            } else if (c == '\'') {
+                state = Code;
+                out += '\'';
+            } else {
+                out += ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+int
+lineOf(const std::string &text, size_t pos)
+{
+    return 1 + static_cast<int>(
+                   std::count(text.begin(), text.begin() +
+                              static_cast<std::ptrdiff_t>(pos), '\n'));
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** One source file, pre-stripped both ways. */
+struct SourceFile
+{
+    std::string rel;    // repo-relative path, '/' separators
+    std::string code;   // comments + string contents blanked
+    std::string codeStr; // comments blanked, string contents kept
+};
+
+/* ------------------------------------------------------------------ */
+/* Config-key registry                                                 */
+
+/**
+ * Parse the {"key", "help"} pairs out of the knownConfigKeys()
+ * initializer.  The registry file keeps every entry a plain string
+ * literal exactly so this stays possible.
+ */
+std::vector<std::string>
+parseRegistry(const fs::path &registryCpp)
+{
+    std::vector<std::string> keys;
+    const std::string text =
+        stripCommentsAndStrings(readFile(registryCpp), true);
+    static const std::regex entry(R"rx(\{\s*"([^"]*)"\s*,\s*")rx");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), entry);
+         it != std::sregex_iterator(); ++it)
+        keys.push_back((*it)[1].str());
+    return keys;
+}
+
+bool
+registryCovers(const std::vector<std::string> &keys, const std::string &key)
+{
+    for (const std::string &known : keys) {
+        if (!known.empty() && known.back() == '.') {
+            if (key.compare(0, known.size(), known) == 0 || key == known)
+                return true;
+        } else if (key == known) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/* ------------------------------------------------------------------ */
+/* Rules                                                               */
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+void
+checkNakedRand(const SourceFile &f)
+{
+    if (startsWith(f.rel, "src/util/random"))
+        return;
+    static const std::regex rx(R"((^|[^\w:.>])(std\s*::\s*)?(rand|srand|rand_r)\s*\()");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it) {
+        report("naked-rand", f.rel, lineOf(f.code, static_cast<size_t>(it->position(3))),
+               "use util/random.hpp (seeded, reproducible) instead of " +
+                   (*it)[3].str() + "()");
+    }
+}
+
+void
+checkConfigKeys(const SourceFile &f, const std::vector<std::string> &keys)
+{
+    // Tests construct synthetic configs with throwaway keys; the registry
+    // governs production readers (src/, bench/, examples/) only.
+    if (startsWith(f.rel, "tests/"))
+        return;
+    static const std::regex rx(
+        R"rx(\b(?:cfg|config)\s*\.\s*(?:get(?:String|Int|Double|Bool|Size)|has)\s*\(\s*"([^"]+)")rx");
+    for (auto it =
+             std::sregex_iterator(f.codeStr.begin(), f.codeStr.end(), rx);
+         it != std::sregex_iterator(); ++it) {
+        const std::string key = (*it)[1].str();
+        if (!registryCovers(keys, key))
+            report("config-key", f.rel,
+                   lineOf(f.codeStr, static_cast<size_t>(it->position(1))),
+                   "config key \"" + key +
+                       "\" is not registered in src/util/config_keys.cpp");
+    }
+}
+
+void
+checkRawIdParams(const SourceFile &f)
+{
+    if (!startsWith(f.rel, "src/core/") || f.rel.find(".hpp") == std::string::npos)
+        return;
+    // A raw integral parameter whose name says it is an identifier.
+    static const std::regex rx(
+        R"(\b(u8|u16|u32|u64|int|unsigned|size_t|uint16_t|uint32_t|uint64_t)\s+(\w+)\s*[,)=])");
+    static const std::regex idName(
+        R"(^(asid|tile|cluster|molecule|mol|row|id)$|(Id|Asid)$)");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[2].str();
+        if (std::regex_search(name, idName))
+            report("raw-id-param", f.rel,
+                   lineOf(f.code, static_cast<size_t>(it->position(2))),
+                   "parameter '" + name + "' is a raw " + (*it)[1].str() +
+                       "; use the strong id type");
+    }
+}
+
+void
+checkTransposedIds(const SourceFile &f)
+{
+    // Every signature in this repo orders molecule before tile;
+    // the reversed adjacency is a transposed call.
+    static const std::regex rx(
+        R"(TileId\{[^{}]*\}\s*,\s*(\w+\s*::\s*)*MoleculeId\{)");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it)
+        report("transposed-ids", f.rel,
+               lineOf(f.code, static_cast<size_t>(it->position(0))),
+               "(TileId, MoleculeId) argument pair is transposed; this "
+               "repo orders molecule before tile");
+}
+
+void
+checkNoAssert(const SourceFile &f)
+{
+    if (!startsWith(f.rel, "src/") || startsWith(f.rel, "src/contract/"))
+        return;
+    static const std::regex rx(R"((^|[^\w.:])assert\s*\()");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it)
+        report("no-assert", f.rel,
+               lineOf(f.code, static_cast<size_t>(it->position(0)) + 1),
+               "use MOLCACHE_EXPECT/ENSURE/INVARIANT instead of assert()");
+}
+
+void
+checkIncludeHygiene(const SourceFile &f)
+{
+    static const std::regex rx(R"rx(#\s*include\s*([<"])([^">]+)[">])rx");
+    std::set<std::string> seen;
+    for (auto it =
+             std::sregex_iterator(f.codeStr.begin(), f.codeStr.end(), rx);
+         it != std::sregex_iterator(); ++it) {
+        const std::string header = (*it)[2].str();
+        const int line =
+            lineOf(f.codeStr, static_cast<size_t>(it->position(0)));
+        if (!seen.insert(header).second)
+            report("include-hygiene", f.rel, line,
+                   "duplicate include of \"" + header + "\"");
+        if (startsWith(header, "../") ||
+            header.find("/../") != std::string::npos)
+            report("include-hygiene", f.rel, line,
+                   "relative include \"" + header +
+                       "\"; project includes are repo-root-relative");
+        if (startsWith(f.rel, "src/") &&
+            (header == "cassert" || header == "assert.h"))
+            report("include-hygiene", f.rel, line,
+                   "<" + header + "> in src/; contracts replace assert()");
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Driver                                                              */
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".hh";
+}
+
+std::vector<fs::path>
+collect(const fs::path &root, const std::vector<std::string> &subdirs)
+{
+    std::vector<fs::path> files;
+    for (const std::string &sub : subdirs) {
+        const fs::path dir = root / sub;
+        if (!fs::exists(dir))
+            continue;
+        for (const auto &e : fs::recursive_directory_iterator(dir))
+            if (e.is_regular_file() && isSourceFile(e.path()))
+                files.push_back(e.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+void
+lintFile(const fs::path &root, const fs::path &path,
+         const std::vector<std::string> &registry)
+{
+    SourceFile f;
+    f.rel = fs::relative(path, root).generic_string();
+    const std::string raw = readFile(path);
+    f.code = stripCommentsAndStrings(raw, false);
+    f.codeStr = stripCommentsAndStrings(raw, true);
+    checkNakedRand(f);
+    checkConfigKeys(f, registry);
+    checkRawIdParams(f);
+    checkTransposedIds(f);
+    checkNoAssert(f);
+    checkIncludeHygiene(f);
+}
+
+int
+runTree(const fs::path &root)
+{
+    const std::vector<std::string> registry =
+        parseRegistry(root / "src/util/config_keys.cpp");
+    if (registry.empty()) {
+        std::fprintf(stderr,
+                     "molcache_lint: failed to parse the config-key "
+                     "registry at %s\n",
+                     (root / "src/util/config_keys.cpp").c_str());
+        return 1;
+    }
+    for (const fs::path &p :
+         collect(root, {"src", "tests", "bench", "examples"}))
+        lintFile(root, p, registry);
+    for (const Finding &f : g_findings)
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                     f.rule.c_str(), f.message.c_str());
+    if (g_findings.empty()) {
+        std::printf("molcache_lint: clean\n");
+        return 0;
+    }
+    std::fprintf(stderr, "molcache_lint: %zu finding(s)\n",
+                 g_findings.size());
+    return 1;
+}
+
+/**
+ * Self-test: lint the bundled fixtures and compare against the expected
+ * rule/file pairs.  The negative fixtures (transposed ids, unregistered
+ * config key, naked rand, ...) MUST each produce their finding; the clean
+ * fixture must produce none.
+ */
+int
+runSelfTest(const fs::path &root)
+{
+    const fs::path fixtures = root / "tools/molcache_lint/fixtures";
+    const std::vector<std::string> registry =
+        parseRegistry(root / "src/util/config_keys.cpp");
+    if (registry.empty() || !fs::exists(fixtures)) {
+        std::fprintf(stderr, "molcache_lint: self-test setup missing\n");
+        return 1;
+    }
+    std::vector<fs::path> files;
+    for (const auto &e : fs::recursive_directory_iterator(fixtures))
+        if (e.is_regular_file() && isSourceFile(e.path()))
+            files.push_back(e.path());
+    std::sort(files.begin(), files.end());
+    for (const fs::path &p : files) {
+        // Fixtures mimic tree files: bad_core_api.hpp plays a src/core
+        // header, everything else a src/ translation unit.
+        SourceFile f;
+        const std::string name = p.filename().string();
+        f.rel = (name.find("core_api") != std::string::npos
+                     ? "src/core/" + name
+                     : "src/fixture/" + name);
+        const std::string raw = readFile(p);
+        f.code = stripCommentsAndStrings(raw, false);
+        f.codeStr = stripCommentsAndStrings(raw, true);
+        checkNakedRand(f);
+        checkConfigKeys(f, registry);
+        checkRawIdParams(f);
+        checkTransposedIds(f);
+        checkNoAssert(f);
+        checkIncludeHygiene(f);
+    }
+
+    // rule -> fixture file expected to trigger it.
+    const std::vector<std::pair<std::string, std::string>> expected = {
+        {"naked-rand", "bad_rand.cpp"},
+        {"config-key", "bad_config_key.cpp"},
+        {"raw-id-param", "bad_core_api.hpp"},
+        {"transposed-ids", "bad_transposed.cpp"},
+        {"no-assert", "bad_include.cpp"},
+        {"include-hygiene", "bad_include.cpp"},
+    };
+    int failures = 0;
+    for (const auto &[rule, file] : expected) {
+        const bool hit = std::any_of(
+            g_findings.begin(), g_findings.end(), [&](const Finding &f) {
+                return f.rule == rule &&
+                       f.file.find(file) != std::string::npos;
+            });
+        if (!hit) {
+            std::fprintf(stderr,
+                         "self-test: rule '%s' did NOT fire on %s\n",
+                         rule.c_str(), file.c_str());
+            ++failures;
+        }
+    }
+    for (const Finding &f : g_findings) {
+        if (f.file.find("good_clean") != std::string::npos) {
+            std::fprintf(stderr,
+                         "self-test: clean fixture flagged: %s:%d [%s]\n",
+                         f.file.c_str(), f.line, f.rule.c_str());
+            ++failures;
+        }
+    }
+    if (failures == 0) {
+        std::printf("molcache_lint self-test: %zu finding(s), all "
+                    "expectations met\n",
+                    g_findings.size());
+        return 0;
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = ".";
+    bool selfTest = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--self-test") {
+            selfTest = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: molcache_lint [--root DIR] [--self-test]\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "molcache_lint: unknown option '%s'\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+    return selfTest ? runSelfTest(root) : runTree(root);
+}

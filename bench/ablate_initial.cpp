@@ -6,7 +6,7 @@
  * early repartitioning, and settles on half a tile per partition.  This
  * bench compares Small (2 molecules), HalfTile and FullTile starts on the
  * SPEC workload, reporting both the final deviation and how much resize
- * work was performed.
+ * work was performed (from the sweep's inspect hook).
  */
 
 #include <iostream>
@@ -20,38 +20,13 @@
 
 using namespace molcache;
 
-namespace {
-
-struct Outcome
-{
-    double deviation;
-    u64 granted;
-    u64 withdrawn;
-};
-
-Outcome
-runInitial(Bytes size, InitialAllocation initial, u64 refs, u64 seed)
-{
-    MolecularCacheParams p =
-        fig5MolecularParams(size, PlacementPolicy::Randy, seed);
-    p.initialAllocation = initial;
-    MolecularCache cache(p);
-    for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1, ClusterId{0}, i, 1);
-    const GoalSet goals = GoalSet::uniform(0.1, 4);
-    const double dev = runWorkload(spec4Names(), cache, goals, refs, seed)
-                           .qos.averageDeviation;
-    return {dev, cache.resizer().granted(), cache.resizer().withdrawn()};
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
     CliParser cli("ablate_initial",
                   "Ablation: initial partition allocation policy");
     bench::addCommonOptions(cli, kPaperTraceLength);
+    bench::addSweepOptions(cli);
     cli.addOption("size", "4M", "total molecular cache size");
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
@@ -61,8 +36,6 @@ main(int argc, char **argv)
     bench::banner("Initial-allocation ablation (" + formatSize(size) +
                   " molecular cache, SPEC 4-app workload, goal 10%)");
 
-    TablePrinter table({"initial allocation", "avg deviation",
-                        "molecules granted", "molecules withdrawn"});
     const struct
     {
         InitialAllocation kind;
@@ -72,10 +45,39 @@ main(int argc, char **argv)
         {InitialAllocation::HalfTile, "half tile (paper default)"},
         {InitialAllocation::FullTile, "full tile"},
     };
+
+    SweepSpec spec("ablate_initial");
     for (const auto &r : rows) {
-        const Outcome o = runInitial(size, r.kind, refs, seed);
-        table.row({r.label, formatDouble(o.deviation, 4),
-                   std::to_string(o.granted), std::to_string(o.withdrawn)});
+        MolecularCacheParams p =
+            fig5MolecularParams(size, PlacementPolicy::Randy);
+        p.initialAllocation = r.kind;
+        spec.molecular(r.label, p);
+    }
+    spec.workload("spec4", spec4Names())
+        .goals(GoalSet::uniform(0.1, 4))
+        .registrationGoal(0.1)
+        .seeds({seed})
+        .references(refs)
+        .inspect([](const SimJob &, CacheModel &model, MetricMap &extra) {
+            auto &cache = dynamic_cast<MolecularCache &>(model);
+            extra["molecules_granted"] =
+                static_cast<double>(cache.resizer().granted());
+            extra["molecules_withdrawn"] =
+                static_cast<double>(cache.resizer().withdrawn());
+        });
+
+    const SweepReport report = bench::runSweep(cli, spec);
+
+    TablePrinter table({"initial allocation", "avg deviation",
+                        "molecules granted", "molecules withdrawn"});
+    for (const auto &r : rows) {
+        const auto &p = report.point(r.label, "spec4");
+        table.row({r.label,
+                   formatDouble(p.result.qos.averageDeviation, 4),
+                   std::to_string(static_cast<u64>(
+                       p.extra.at("molecules_granted"))),
+                   std::to_string(static_cast<u64>(
+                       p.extra.at("molecules_withdrawn")))});
     }
     if (cli.flag("csv"))
         table.printCsv(std::cout);

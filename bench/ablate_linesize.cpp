@@ -8,7 +8,8 @@
  * applications (CJPEG, epic: strided macroblock walks) and hurt
  * pointer-chasing ones (mcf) by polluting the region with never-used
  * neighbours.  Each application here runs ALONE on a molecular cache so
- * the line-size effect is isolated.
+ * the line-size effect is isolated — 15 solo runs (3 line sizes x 5
+ * apps) fanned out as one sweep.
  */
 
 #include <iostream>
@@ -24,17 +25,10 @@ using namespace molcache;
 
 namespace {
 
-double
-runSolo(const std::string &app, u32 lineMultiple, u64 refs, u64 seed)
+std::string
+modelLabel(u32 lineMultiple)
 {
-    MolecularCacheParams p =
-        fig5MolecularParams(2_MiB, PlacementPolicy::Randy, seed);
-    MolecularCache cache(p);
-    cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, lineMultiple);
-    const GoalSet goals = GoalSet::uniform(0.1, 1);
-    return runWorkload({app}, cache, goals, refs, seed)
-        .qos.byAsid(Asid{0})
-        .missRate;
+    return std::to_string(64 * lineMultiple) + "B";
 }
 
 } // namespace
@@ -45,6 +39,7 @@ main(int argc, char **argv)
     CliParser cli("ablate_linesize",
                   "Ablation: region line-size multiple (64/128/256B units)");
     bench::addCommonOptions(cli, 1'000'000);
+    bench::addSweepOptions(cli);
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
@@ -52,7 +47,6 @@ main(int argc, char **argv)
     bench::banner("Region line-size ablation: per-application miss rate, "
                   "each app alone on a 2MiB molecular cache");
 
-    TablePrinter table({"benchmark", "64B", "128B", "256B", "behaviour"});
     const struct
     {
         const char *app;
@@ -64,12 +58,33 @@ main(int argc, char **argv)
         {"mcf", "pointer chase: bigger lines pollute"},
         {"NAT", "hot table + random probes: mild unit effects"},
     };
+
+    SweepSpec spec("ablate_linesize");
+    for (const u32 multiple : {1u, 2u, 4u}) {
+        MolecularCacheParams p =
+            fig5MolecularParams(2_MiB, PlacementPolicy::Randy);
+        p.defaultLineMultiple = multiple;
+        spec.molecular(modelLabel(multiple), p);
+    }
+    for (const auto &r : rows)
+        spec.workload(r.app, {r.app});
+    spec.goals(GoalSet::uniform(0.1, 1))
+        .registrationGoal(0.1)
+        .seeds({seed})
+        .references(refs);
+
+    const SweepReport report = bench::runSweep(cli, spec);
+
+    TablePrinter table({"benchmark", "64B", "128B", "256B", "behaviour"});
     for (const auto &r : rows) {
         const size_t row = table.addRow();
         table.cell(row, 0, std::string(r.app));
-        table.cell(row, 1, runSolo(r.app, 1, refs, seed), 4);
-        table.cell(row, 2, runSolo(r.app, 2, refs, seed), 4);
-        table.cell(row, 3, runSolo(r.app, 4, refs, seed), 4);
+        u32 col = 1;
+        for (const u32 multiple : {1u, 2u, 4u}) {
+            const auto &p = report.point(modelLabel(multiple), r.app);
+            table.cell(row, col++,
+                       p.result.qos.byAsid(Asid{0}).missRate, 4);
+        }
         table.cell(row, 4, std::string(r.expect));
     }
     if (cli.flag("csv"))

@@ -7,7 +7,8 @@
  * bringing down the miss rate"; adaptive schemes do better; the global
  * adaptive scheme suits small tiles while the per-application scheme
  * works better with larger tiles (>= 2MB).  This bench sweeps the three
- * schemes over cache sizes on the 4-app SPEC workload.
+ * schemes over cache sizes on the 4-app SPEC workload — twelve points
+ * through one parallel sweep.
  */
 
 #include <iostream>
@@ -22,18 +23,20 @@ using namespace molcache;
 
 namespace {
 
-double
-runScheme(Bytes size, ResizeScheme scheme, u64 refs, u64 seed)
+const struct
 {
-    MolecularCacheParams p =
-        fig5MolecularParams(size, PlacementPolicy::Randy, seed);
-    p.resizeScheme = scheme;
-    MolecularCache cache(p);
-    for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1, ClusterId{0}, i, 1);
-    const GoalSet goals = GoalSet::uniform(0.1, 4);
-    return runWorkload(spec4Names(), cache, goals, refs, seed)
-        .qos.averageDeviation;
+    ResizeScheme scheme;
+    const char *label;
+} kSchemes[] = {
+    {ResizeScheme::Constant, "constant"},
+    {ResizeScheme::GlobalAdaptive, "global"},
+    {ResizeScheme::PerAppAdaptive, "perapp"},
+};
+
+std::string
+modelLabel(Bytes size, const char *scheme)
+{
+    return formatSize(size) + "/" + scheme;
 }
 
 } // namespace
@@ -45,6 +48,7 @@ main(int argc, char **argv)
                   "Ablation: constant vs global-adaptive vs per-app "
                   "adaptive resize scheduling");
     bench::addCommonOptions(cli, kPaperTraceLength);
+    bench::addSweepOptions(cli);
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
@@ -52,20 +56,36 @@ main(int argc, char **argv)
     bench::banner("Resize-scheme ablation: average deviation, SPEC 4-app "
                   "workload, goal 10% (tile size = cache/4)");
 
+    const Bytes sizes[] = {1_MiB, 2_MiB, 4_MiB, 8_MiB};
+
+    SweepSpec spec("ablate_resize");
+    for (const Bytes size : sizes) {
+        for (const auto &s : kSchemes) {
+            MolecularCacheParams p =
+                fig5MolecularParams(size, PlacementPolicy::Randy);
+            p.resizeScheme = s.scheme;
+            spec.molecular(modelLabel(size, s.label), p);
+        }
+    }
+    spec.workload("spec4", spec4Names())
+        .goals(GoalSet::uniform(0.1, 4))
+        .registrationGoal(0.1)
+        .seeds({seed})
+        .references(refs);
+
+    const SweepReport report = bench::runSweep(cli, spec);
+
     TablePrinter table(
         {"cache size", "tile size", "constant", "global", "perapp"});
-    for (const Bytes size : {1_MiB, 2_MiB, 4_MiB, 8_MiB}) {
+    for (const Bytes size : sizes) {
         const size_t row = table.addRow();
         table.cell(row, 0, formatSize(size));
         table.cell(row, 1, formatSize(size / 4));
-        table.cell(row, 2,
-                   runScheme(size, ResizeScheme::Constant, refs, seed), 4);
-        table.cell(row, 3,
-                   runScheme(size, ResizeScheme::GlobalAdaptive, refs, seed),
-                   4);
-        table.cell(row, 4,
-                   runScheme(size, ResizeScheme::PerAppAdaptive, refs, seed),
-                   4);
+        for (size_t i = 0; i < std::size(kSchemes); ++i) {
+            const auto &p =
+                report.point(modelLabel(size, kSchemes[i].label), "spec4");
+            table.cell(row, i + 2, p.result.qos.averageDeviation, 4);
+        }
     }
     if (cli.flag("csv"))
         table.printCsv(std::cout);

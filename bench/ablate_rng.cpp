@@ -8,6 +8,7 @@
  * Compares PCG32 (ideal software RNG), xorshift64* (cheap), and a 16-bit
  * Galois LFSR (a realistic minimal hardware RNG with a short period and
  * correlated bits) as the molecule selector, for both Random and Randy.
+ * The six (placement, RNG) configurations run as one parallel sweep.
  */
 
 #include <iostream>
@@ -23,17 +24,10 @@ using namespace molcache;
 
 namespace {
 
-double
-runRng(PlacementPolicy placement, RngKind rng, u64 refs, u64 seed)
+std::string
+modelLabel(PlacementPolicy placement, const char *rng)
 {
-    MolecularCacheParams p = fig5MolecularParams(4_MiB, placement, seed);
-    p.rngKind = rng;
-    MolecularCache cache(p);
-    for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1, ClusterId{0}, i, 1);
-    const GoalSet goals = GoalSet::uniform(0.1, 4);
-    return runWorkload(spec4Names(), cache, goals, refs, seed)
-        .qos.averageDeviation;
+    return std::string(placementPolicyName(placement)) + "/" + rng;
 }
 
 } // namespace
@@ -44,6 +38,7 @@ main(int argc, char **argv)
     CliParser cli("ablate_rng",
                   "Ablation: RNG entropy for molecule selection");
     bench::addCommonOptions(cli, kPaperTraceLength);
+    bench::addSweepOptions(cli);
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
@@ -51,17 +46,43 @@ main(int argc, char **argv)
     bench::banner("RNG-entropy ablation: 4MiB molecular cache, SPEC 4-app "
                   "workload, goal 10%");
 
+    const struct
+    {
+        RngKind kind;
+        const char *label;
+    } rngs[] = {
+        {RngKind::Pcg32, "pcg32"},
+        {RngKind::XorShift, "xorshift64*"},
+        {RngKind::Lfsr16, "lfsr16"},
+    };
+
+    SweepSpec spec("ablate_rng");
+    for (const auto placement :
+         {PlacementPolicy::Random, PlacementPolicy::Randy}) {
+        for (const auto &rng : rngs) {
+            MolecularCacheParams p = fig5MolecularParams(4_MiB, placement);
+            p.rngKind = rng.kind;
+            spec.molecular(modelLabel(placement, rng.label), p);
+        }
+    }
+    spec.workload("spec4", spec4Names())
+        .goals(GoalSet::uniform(0.1, 4))
+        .registrationGoal(0.1)
+        .seeds({seed})
+        .references(refs);
+
+    const SweepReport report = bench::runSweep(cli, spec);
+
     TablePrinter table({"placement", "pcg32", "xorshift64*", "lfsr16"});
     for (const auto placement :
          {PlacementPolicy::Random, PlacementPolicy::Randy}) {
         const size_t row = table.addRow();
         table.cell(row, 0, placementPolicyName(placement));
-        table.cell(row, 1,
-                   runRng(placement, RngKind::Pcg32, refs, seed), 4);
-        table.cell(row, 2,
-                   runRng(placement, RngKind::XorShift, refs, seed), 4);
-        table.cell(row, 3,
-                   runRng(placement, RngKind::Lfsr16, refs, seed), 4);
+        for (size_t i = 0; i < std::size(rngs); ++i) {
+            const auto &point =
+                report.point(modelLabel(placement, rngs[i].label), "spec4");
+            table.cell(row, i + 1, point.result.qos.averageDeviation, 4);
+        }
     }
     if (cli.flag("csv"))
         table.printCsv(std::cout);

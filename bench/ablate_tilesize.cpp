@@ -8,7 +8,7 @@
  * the tile/cluster shape, reporting deviation, worst-case access energy
  * (which grows with molecules per tile: every molecule performs the ASID
  * compare) and remote-hit share (which grows as tiles shrink: regions
- * overflow their home tile sooner).
+ * overflow their home tile sooner).  All five shapes run as one sweep.
  */
 
 #include <iostream>
@@ -22,12 +22,36 @@
 
 using namespace molcache;
 
+namespace {
+
+// clusters x tiles x molecules-per-tile, all 4 MiB of 8 KiB molecules.
+const struct
+{
+    u32 clusters, tiles, perTile;
+} kShapes[] = {
+    {1, 4, 128}, // 1MiB tiles (the fig-5 shape at 4MiB)
+    {1, 8, 64},  // 512KiB tiles
+    {2, 4, 64},  // 512KiB tiles, two clusters
+    {2, 8, 32},  // 256KiB tiles, two clusters
+    {4, 4, 32},  // 256KiB tiles, four clusters
+};
+
+std::string
+shapeLabel(u32 clusters, u32 tiles, u32 perTile)
+{
+    return std::to_string(clusters) + " x " + std::to_string(tiles) +
+           " x " + std::to_string(perTile);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     CliParser cli("ablate_tilesize",
                   "Ablation: tile/cluster shape at fixed 4MiB capacity");
     bench::addCommonOptions(cli, kPaperTraceLength);
+    bench::addSweepOptions(cli);
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
@@ -35,48 +59,45 @@ main(int argc, char **argv)
     bench::banner("Tile-size ablation: 4MiB molecular cache, SPEC 4-app "
                   "workload, goal 10%, Randy");
 
-    // clusters x tiles x molecules-per-tile, all 4 MiB of 8 KiB molecules.
-    const struct
-    {
-        u32 clusters, tiles, perTile;
-    } shapes[] = {
-        {1, 4, 128}, // 1MiB tiles (the fig-5 shape at 4MiB)
-        {1, 8, 64},  // 512KiB tiles
-        {2, 4, 64},  // 512KiB tiles, two clusters
-        {2, 8, 32},  // 256KiB tiles, two clusters
-        {4, 4, 32},  // 256KiB tiles, four clusters
-    };
-
-    TablePrinter table({"shape (cl x tiles x mols)", "tile size",
-                        "avg deviation", "worst E/access (nJ)",
-                        "avg E/access (nJ)", "remote hit share"});
-    for (const auto &s : shapes) {
+    SweepSpec spec("ablate_tilesize");
+    for (const auto &s : kShapes) {
         MolecularCacheParams p;
         p.moleculeSize = 8_KiB;
         p.clusters = s.clusters;
         p.tilesPerCluster = s.tiles;
         p.moleculesPerTile = s.perTile;
         p.placement = PlacementPolicy::Randy;
-        p.seed = seed;
-        MolecularCache cache(p);
-        const u32 per_cluster = (4 + s.clusters - 1) / s.clusters;
-        for (u32 i = 0; i < 4; ++i)
-            cache.registerApplication(Asid{static_cast<u16>(i)},
-                                      0.1, ClusterId{i / per_cluster},
-                                      (i % per_cluster) % s.tiles, 1);
-        const GoalSet goals = GoalSet::uniform(0.1, 4);
-        const SimResult r =
-            runWorkload(spec4Names(), cache, goals, refs, seed);
+        spec.molecular(shapeLabel(s.clusters, s.tiles, s.perTile), p);
+    }
+    spec.workload("spec4", spec4Names())
+        .goals(GoalSet::uniform(0.1, 4))
+        .registrationGoal(0.1)
+        .seeds({seed})
+        .references(refs)
+        .inspect([](const SimJob &, CacheModel &model, MetricMap &extra) {
+            auto &cache = dynamic_cast<MolecularCache &>(model);
+            extra["worst_case_energy_nj"] = cache.worstCaseAccessEnergyNj();
+        });
+
+    const SweepReport report = bench::runSweep(cli, spec);
+
+    TablePrinter table({"shape (cl x tiles x mols)", "tile size",
+                        "avg deviation", "worst E/access (nJ)",
+                        "avg E/access (nJ)", "remote hit share"});
+    for (const auto &s : kShapes) {
+        const auto &point =
+            report.point(shapeLabel(s.clusters, s.tiles, s.perTile),
+                         "spec4");
+        const SimResult &r = point.result;
         const double hits =
             static_cast<double>(r.localHits + r.remoteHits);
+        const Bytes tile_size = 8_KiB * s.perTile;
 
-        table.row({std::to_string(s.clusters) + " x " +
-                       std::to_string(s.tiles) + " x " +
-                       std::to_string(s.perTile),
-                   formatSize(p.tileSizeBytes()),
+        table.row({shapeLabel(s.clusters, s.tiles, s.perTile),
+                   formatSize(tile_size),
                    formatDouble(r.qos.averageDeviation, 4),
-                   formatDouble(cache.worstCaseAccessEnergyNj(), 2),
-                   formatDouble(cache.averageAccessEnergyNj(), 2),
+                   formatDouble(point.extra.at("worst_case_energy_nj"), 2),
+                   formatDouble(r.avgEnergyPerAccessNj, 2),
                    hits > 0 ? formatDouble(r.remoteHits / hits, 3)
                             : "0"});
     }

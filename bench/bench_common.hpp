@@ -1,6 +1,11 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction binaries.
+ *
+ * Every sweep-based bench accepts the same execution options
+ * (--threads, --json, --json-timing) and funnels through
+ * bench::runSweep, so `<bench> --threads 8 --json BENCH_sweep.json`
+ * works uniformly and every emitted report carries the same schema.
  */
 
 #ifndef MOLCACHE_BENCH_COMMON_HPP
@@ -10,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "exec/sweep.hpp"
 #include "util/cli.hpp"
 
 namespace molcache::bench {
@@ -22,6 +28,51 @@ addCommonOptions(CliParser &cli, u64 defaultRefs)
                   "merged references per run");
     cli.addOption("seed", "1", "base RNG seed");
     cli.addFlag("csv", "emit CSV instead of an aligned table");
+}
+
+/** Execution options for benches that run through the sweep engine. */
+inline void
+addSweepOptions(CliParser &cli)
+{
+    cli.addOption("threads", "0",
+                  "sweep worker threads (0 = hardware concurrency)");
+    cli.addOption("json", "",
+                  "write the machine-readable sweep report here "
+                  "(convention: BENCH_sweep.json)");
+    cli.addFlag("json-timing",
+                "include the run-to-run-varying timing section in the "
+                "JSON report (breaks byte-for-byte determinism)");
+}
+
+/**
+ * Execute @p spec on the CLI-selected thread count and, when --json was
+ * given, write the report.  Benches that run several sweeps pass
+ * @p appendSweepName so each report lands in its own file
+ * (`out.json` -> `out.<sweep>.json`).
+ */
+inline SweepReport
+runSweep(const CliParser &cli, const SweepSpec &spec,
+         bool appendSweepName = false)
+{
+    SweepOptions options;
+    options.threads = static_cast<u32>(cli.integer("threads"));
+    const SweepReport report = SweepRunner(options).run(spec);
+
+    std::string path = cli.str("json");
+    if (!path.empty()) {
+        if (appendSweepName) {
+            const size_t dot = path.rfind('.');
+            const std::string tag = "." + spec.name();
+            if (dot == std::string::npos)
+                path += tag;
+            else
+                path.insert(dot, tag);
+        }
+        report.writeFile(path, cli.flag("json-timing"));
+        std::fprintf(stderr, "wrote %s (%zu points, %u threads)\n",
+                     path.c_str(), report.points.size(), report.threads);
+    }
+    return report;
 }
 
 inline void

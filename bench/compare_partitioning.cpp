@@ -13,8 +13,12 @@
  *
  * Power context is printed alongside: the way-partitioned scheme needs
  * the full parallel-associative lookup every access.
+ *
+ * The three schemes run as one sweep; the molecular probe statistics
+ * come from the inspect hook and the power math runs on the report.
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -29,105 +33,6 @@
 
 using namespace molcache;
 
-namespace {
-
-struct Row
-{
-    std::string label;
-    double deviation;
-    double missRate;
-    double powerW;
-};
-
-Row
-runShared(const std::vector<std::string> &apps, const GoalSet &goals,
-          Bytes size, u32 assoc, u64 refs, u64 seed)
-{
-    SetAssocCache cache(traditionalParams(size, assoc, seed));
-    const SimResult r = runWorkload(apps, cache, goals, refs, seed);
-
-    const CactiModel model(TechNode::Nm70);
-    CacheGeometry g;
-    g.sizeBytes = size;
-    g.associativity = assoc;
-    g.ports = 4;
-    const PowerTiming pt = model.evaluate(g);
-    return {cache.name() + " (shared)", r.qos.averageDeviation,
-            r.qos.globalMissRate,
-            dynamicPowerWatts(pt.readEnergyNj, pt.frequencyMhz())};
-}
-
-Row
-runWayPartitioned(const std::vector<std::string> &apps,
-                  const GoalSet &goals, Bytes size, u32 assoc, u64 refs,
-                  u64 seed)
-{
-    WayPartitionedParams p;
-    p.sizeBytes = size;
-    p.associativity = assoc;
-    WayPartitionedCache cache(p);
-    for (u32 i = 0; i < apps.size(); ++i)
-        cache.registerApplication(Asid{static_cast<u16>(i)},
-                                  *goals.goal(Asid{static_cast<u16>(i)}));
-    const SimResult r = runWorkload(apps, cache, goals, refs, seed);
-
-    const CactiModel model(TechNode::Nm70);
-    CacheGeometry g;
-    g.sizeBytes = size;
-    g.associativity = assoc;
-    g.ports = 4;
-    const PowerTiming pt = model.evaluate(g);
-    return {cache.name(), r.qos.averageDeviation, r.qos.globalMissRate,
-            dynamicPowerWatts(pt.readEnergyNj, pt.frequencyMhz())};
-}
-
-Row
-runMolecular(const std::vector<std::string> &apps, const GoalSet &goals,
-             Bytes size, u64 refs, u64 seed)
-{
-    // 512KiB tiles (the paper's power configuration, Table 3) rather
-    // than fig5's size/4 tiles: probe energy scales with tile occupancy.
-    MolecularCacheParams p;
-    p.moleculeSize = 8_KiB;
-    p.moleculesPerTile = 64;
-    p.tilesPerCluster = 4;
-    if (size % p.tileSizeBytes() != Bytes{0} ||
-        (size / p.tileSizeBytes()) % p.tilesPerCluster != 0)
-        fatal("size must be a multiple of 2MiB clusters");
-    p.clusters = static_cast<u32>(size / p.clusterSizeBytes());
-    p.placement = PlacementPolicy::Randy;
-    p.seed = seed;
-    MolecularCache cache(p);
-    const u32 per_cluster =
-        (static_cast<u32>(apps.size()) + p.clusters - 1) / p.clusters;
-    for (u32 i = 0; i < apps.size(); ++i) {
-        cache.registerApplication(Asid{static_cast<u16>(i)},
-                                  *goals.goal(Asid{static_cast<u16>(i)}),
-                                  ClusterId{i / per_cluster},
-                                  (i % per_cluster) % p.tilesPerCluster, 1);
-    }
-    const SimResult r = runWorkload(apps, cache, goals, refs, seed);
-
-    // Measured average power at the shared cache's frequency class
-    // (~200 MHz at 8MB; use the model's own DM frequency for this size).
-    const CactiModel model(TechNode::Nm70);
-    CacheGeometry g;
-    g.sizeBytes = size;
-    g.ports = 4;
-    const double f = model.evaluate(g).frequencyMhz();
-    std::printf("molecular context: %.1f molecules probed per access on "
-                "average, %.1f enabled\n(the molecular power advantage "
-                "appears when partitions stay lean — many co-runners per "
-                "cluster, as in Table 4; with few greedy apps the regions "
-                "balloon and probe energy with them)\n",
-                cache.averageProbesPerAccess(),
-                cache.averageEnabledMolecules());
-    return {cache.name(), r.qos.averageDeviation, r.qos.globalMissRate,
-            dynamicPowerWatts(cache.averageAccessEnergyNj(), f)};
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
@@ -135,6 +40,7 @@ main(int argc, char **argv)
                   "molecular vs way-partitioned (column caching) vs "
                   "unpartitioned shared cache");
     bench::addCommonOptions(cli, kPaperTraceLength);
+    bench::addSweepOptions(cli);
     cli.addOption("size", "4M", "cache size for all three schemes");
     cli.addOption("assoc", "8", "associativity of the traditional schemes");
     cli.parse(argc, argv);
@@ -146,17 +52,91 @@ main(int argc, char **argv)
     const auto apps = spec4Names();
     const GoalSet goals = GoalSet::uniform(0.1, 4);
 
+    // 512KiB tiles (the paper's power configuration, Table 3) rather
+    // than fig5's size/4 tiles: probe energy scales with tile occupancy.
+    MolecularCacheParams mp;
+    mp.moleculeSize = 8_KiB;
+    mp.moleculesPerTile = 64;
+    mp.tilesPerCluster = 4;
+    if (size % mp.tileSizeBytes() != Bytes{0} ||
+        (size / mp.tileSizeBytes()) % mp.tilesPerCluster != 0)
+        fatal("size must be a multiple of 2MiB clusters");
+    mp.clusters = static_cast<u32>(size / mp.clusterSizeBytes());
+    mp.placement = PlacementPolicy::Randy;
+
+    WayPartitionedParams wp;
+    wp.sizeBytes = size;
+    wp.associativity = assoc;
+
+    SweepSpec spec("compare_partitioning");
+    spec.setAssoc("shared", traditionalParams(size, assoc))
+        .wayPartitioned("way-partitioned", wp)
+        .molecular("molecular", mp)
+        .workload("spec4", apps)
+        .goals(goals)
+        .registrationGoal(0.1)
+        .seeds({seed})
+        .references(refs)
+        .inspect([](const SimJob &, CacheModel &model, MetricMap &extra) {
+            if (auto *cache = dynamic_cast<MolecularCache *>(&model)) {
+                extra["avg_probes_per_access"] =
+                    cache->averageProbesPerAccess();
+                extra["avg_enabled_molecules"] =
+                    cache->averageEnabledMolecules();
+            }
+        });
+
+    const SweepReport report = bench::runSweep(cli, spec);
+
+    const CactiModel model(TechNode::Nm70);
+    CacheGeometry traditional_geometry;
+    traditional_geometry.sizeBytes = size;
+    traditional_geometry.associativity = assoc;
+    traditional_geometry.ports = 4;
+    const PowerTiming pt = model.evaluate(traditional_geometry);
+    const double traditional_power =
+        dynamicPowerWatts(pt.readEnergyNj, pt.frequencyMhz());
+
+    // Measured average molecular power at the shared cache's frequency
+    // class (~200 MHz at 8MB; the model's own DM frequency for this size).
+    CacheGeometry dm_geometry;
+    dm_geometry.sizeBytes = size;
+    dm_geometry.ports = 4;
+    const double dm_freq = model.evaluate(dm_geometry).frequencyMhz();
+
+    const auto &mol = report.point("molecular", "spec4");
+    std::printf("molecular context: %.1f molecules probed per access on "
+                "average, %.1f enabled\n(the molecular power advantage "
+                "appears when partitions stay lean — many co-runners per "
+                "cluster, as in Table 4; with few greedy apps the regions "
+                "balloon and probe energy with them)\n",
+                mol.extra.at("avg_probes_per_access"),
+                mol.extra.at("avg_enabled_molecules"));
+
     bench::banner("Partitioning comparison: SPEC 4-app workload, goal 10%, "
                   + formatSize(size) + " caches");
     TablePrinter table({"scheme", "avg deviation", "global miss rate",
                         "dynamic power (W)"});
-    for (const Row &row :
-         {runShared(apps, goals, size, assoc, refs, seed),
-          runWayPartitioned(apps, goals, size, assoc, refs, seed),
-          runMolecular(apps, goals, size, refs, seed)}) {
-        table.row({row.label, formatDouble(row.deviation, 4),
-                   formatDouble(row.missRate, 4),
-                   formatDouble(row.powerW, 2)});
+    const struct
+    {
+        const char *model;
+        const char *suffix;
+    } rows[] = {
+        {"shared", " (shared)"},
+        {"way-partitioned", ""},
+        {"molecular", ""},
+    };
+    for (const auto &row : rows) {
+        const auto &point = report.point(row.model, "spec4");
+        const double power =
+            std::string(row.model) == "molecular"
+                ? dynamicPowerWatts(point.result.avgEnergyPerAccessNj,
+                                    dm_freq)
+                : traditional_power;
+        table.row({point.result.cacheName + row.suffix,
+                   formatDouble(point.result.qos.averageDeviation, 4),
+                   formatDouble(point.result.qos.globalMissRate, 4),
+                   formatDouble(power, 2)});
     }
     if (cli.flag("csv"))
         table.printCsv(std::cout);

@@ -6,11 +6,12 @@
  * hard faults fence off individual molecules, the resizer re-acquires
  * capacity for the wounded regions, and the miss-rate-goal machinery
  * re-converges.  This bench sweeps the fraction of hard-faulted
- * molecules from 0% to 25% (faults land in the middle half of the run)
- * on the 4-app SPEC workload and reports the achieved average deviation
- * from the miss-rate goals, molecules lost, recovery grants and the
- * worst re-convergence time — the degradation should be graceful
- * (deviation creeping up with the fault rate), not a cliff.
+ * molecules from 0% to 25% (faults land in the middle half of the run —
+ * the sweep engine's default fault window) on the 4-app SPEC workload
+ * and reports the achieved average deviation from the miss-rate goals,
+ * molecules lost, recovery grants and the worst re-convergence time —
+ * the degradation should be graceful (deviation creeping up with the
+ * fault rate), not a cliff.
  */
 
 #include <iostream>
@@ -28,30 +29,10 @@ using namespace molcache;
 
 namespace {
 
-SimResult
-runAtFaultRate(double hardFraction, Bytes size, u64 refs, u64 seed)
+std::string
+rateLabel(double rate)
 {
-    const MolecularCacheParams p =
-        fig5MolecularParams(size, PlacementPolicy::Randy, seed);
-    MolecularCache cache(p);
-    for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1, ClusterId{0}, i, 1);
-
-    if (hardFraction > 0.0) {
-        FaultScheduleSpec spec;
-        spec.seed = seed;
-        spec.hardFraction = hardFraction;
-        // Faults land in the middle half: the cache warms first and has
-        // the back half of the run to re-converge.
-        spec.windowStart = refs / 4;
-        spec.windowEnd = refs / 4 * 3;
-        cache.setFaultInjector(FaultInjector::fromSpec(
-            spec, p.totalMolecules(), p.moleculesPerTile,
-            p.linesPerMolecule()));
-    }
-
-    const GoalSet goals = GoalSet::uniform(0.1, 4);
-    return runWorkload(spec4Names(), cache, goals, refs, seed);
+    return formatDouble(rate, 2);
 }
 
 } // namespace
@@ -63,6 +44,7 @@ main(int argc, char **argv)
                   "Graceful degradation: average goal deviation vs. "
                   "fraction of hard-faulted molecules");
     bench::addCommonOptions(cli, kPaperTraceLength);
+    bench::addSweepOptions(cli);
     cli.addOption("size", "2M", "total cache size");
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
@@ -72,11 +54,33 @@ main(int argc, char **argv)
     bench::banner("Degradation curve: SPEC 4-app workload, goal 10%, "
                   "hard faults in the middle half of the run");
 
+    const double rates[] = {0.0, 0.05, 0.10, 0.15, 0.20, 0.25};
+
+    SweepSpec spec("degradation_curve");
+    const MolecularCacheParams params =
+        fig5MolecularParams(size, PlacementPolicy::Randy);
+    for (const double rate : rates) {
+        if (rate == 0.0) {
+            spec.molecular(rateLabel(rate), params);
+        } else {
+            FaultScheduleSpec faults;
+            faults.hardFraction = rate;
+            spec.molecular(rateLabel(rate), params, faults);
+        }
+    }
+    spec.workload("spec4", spec4Names())
+        .goals(GoalSet::uniform(0.1, 4))
+        .registrationGoal(0.1)
+        .seeds({seed})
+        .references(refs);
+
+    const SweepReport report = bench::runSweep(cli, spec);
+
     TablePrinter table({"fault rate", "avg deviation", "global miss",
                         "lost", "regrants", "reconv epochs",
                         "recovering"});
-    for (const double rate : {0.0, 0.05, 0.10, 0.15, 0.20, 0.25}) {
-        const SimResult r = runAtFaultRate(rate, size, refs, seed);
+    for (const double rate : rates) {
+        const SimResult &r = report.point(rateLabel(rate), "spec4").result;
         const size_t row = table.addRow();
         table.cell(row, 0, formatDouble(rate, 2));
         table.cell(row, 1, r.qos.averageDeviation, 4);

@@ -12,6 +12,10 @@
  * The paper's headline shapes: traditional deviation falls slowly with
  * size/associativity; molecular deviation drops sharply once enough
  * molecules are available — at 4 MB in graph A and 2 MB in graph B.
+ *
+ * All 48 points (6 cache kinds x 4 sizes x 2 goal graphs) run as one
+ * SweepSpec on the work-stealing pool; the two graphs are the sweep's
+ * workload axis, each carrying its own GoalSet.
  */
 
 #include <iostream>
@@ -27,27 +31,13 @@ using namespace molcache;
 
 namespace {
 
-double
-runTraditional(Bytes size, u32 assoc, const GoalSet &goals, u64 refs, u64 seed)
-{
-    SetAssocCache cache(traditionalParams(size, assoc, seed));
-    return runWorkload(spec4Names(), cache, goals, refs, seed)
-        .qos.averageDeviation;
-}
+const char *const kKinds[] = {"DM", "2-way", "4-way", "8-way",
+                              "Mol(Random)", "Mol(Randy)"};
 
-double
-runMolecular(Bytes size, PlacementPolicy placement, const GoalSet &goals,
-             double resizeGoal, u64 refs, u64 seed)
+std::string
+modelLabel(const char *kind, Bytes size)
 {
-    MolecularCache cache(fig5MolecularParams(size, placement, seed));
-    // One application per tile, as the paper assigns processors to tiles.
-    const auto apps = spec4Names();
-    for (u32 i = 0; i < apps.size(); ++i) {
-        cache.registerApplication(Asid{static_cast<u16>(i)}, resizeGoal, ClusterId{0},
-                                  i % cache.params().tilesPerCluster, 1);
-    }
-    return runWorkload(apps, cache, goals, refs, seed)
-        .qos.averageDeviation;
+    return std::string(kind) + "@" + formatSize(size);
 }
 
 } // namespace
@@ -59,6 +49,7 @@ main(int argc, char **argv)
                   "Figure 5: average deviation from the miss-rate goal vs "
                   "cache size");
     bench::addCommonOptions(cli, kPaperTraceLength);
+    bench::addSweepOptions(cli);
     cli.addOption("goal", "0.1", "per-application miss-rate goal");
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
@@ -67,41 +58,56 @@ main(int argc, char **argv)
 
     const std::vector<Bytes> sizes = {1_MiB, 2_MiB, 4_MiB, 8_MiB};
 
+    // spec4Names() order: art(0), ammp(1), parser(2), mcf(3).
+    GoalSet goals_a;
+    for (u16 i = 0; i < 4; ++i)
+        goals_a.set(Asid{i}, goal);
+    GoalSet goals_b;
+    for (u16 i = 0; i < 3; ++i)
+        goals_b.set(Asid{i}, goal);
+
+    SweepSpec spec("fig5_deviation");
+    for (const Bytes size : sizes) {
+        spec.setAssoc(modelLabel("DM", size), traditionalParams(size, 1));
+        spec.setAssoc(modelLabel("2-way", size),
+                      traditionalParams(size, 2));
+        spec.setAssoc(modelLabel("4-way", size),
+                      traditionalParams(size, 4));
+        spec.setAssoc(modelLabel("8-way", size),
+                      traditionalParams(size, 8));
+        // One application per tile, as the paper assigns processors to
+        // tiles (registerApplications lays ASID i on tile i here).
+        spec.molecular(modelLabel("Mol(Random)", size),
+                       fig5MolecularParams(size, PlacementPolicy::Random));
+        spec.molecular(modelLabel("Mol(Randy)", size),
+                       fig5MolecularParams(size, PlacementPolicy::Randy));
+    }
+    spec.workload("graphA", spec4Names(), goals_a)
+        .workload("graphB", spec4Names(), goals_b)
+        .seeds({seed})
+        .references(refs)
+        .registrationGoal(goal);
+
+    const SweepReport report = bench::runSweep(cli, spec);
+
     for (const bool graph_b : {false, true}) {
         bench::banner(graph_b
                           ? "Figure 5 Graph B: goal 10% for art/ammp/parser "
                             "(mcf goal-less)"
                           : "Figure 5 Graph A: goal 10% for all four");
-
-        GoalSet goals;
-        // spec4Names() order: art(0), ammp(1), parser(2), mcf(3).
-        goals.set(Asid{0}, goal);
-        goals.set(Asid{1}, goal);
-        goals.set(Asid{2}, goal);
-        if (!graph_b)
-            goals.set(Asid{3}, goal);
+        const std::string workload = graph_b ? "graphB" : "graphA";
 
         TablePrinter table({"cache size", "DM", "2-way", "4-way", "8-way",
                             "Mol(Random)", "Mol(Randy)"});
         for (const Bytes size : sizes) {
             const size_t row = table.addRow();
             table.cell(row, 0, formatSize(size));
-            table.cell(row, 1,
-                       runTraditional(size, 1, goals, refs, seed), 4);
-            table.cell(row, 2,
-                       runTraditional(size, 2, goals, refs, seed), 4);
-            table.cell(row, 3,
-                       runTraditional(size, 4, goals, refs, seed), 4);
-            table.cell(row, 4,
-                       runTraditional(size, 8, goals, refs, seed), 4);
-            table.cell(row, 5,
-                       runMolecular(size, PlacementPolicy::Random, goals,
-                                    goal, refs, seed),
-                       4);
-            table.cell(row, 6,
-                       runMolecular(size, PlacementPolicy::Randy, goals,
-                                    goal, refs, seed),
-                       4);
+            for (size_t k = 0; k < std::size(kKinds); ++k) {
+                const auto &point =
+                    report.point(modelLabel(kKinds[k], size), workload);
+                table.cell(row, k + 1,
+                           point.result.qos.averageDeviation, 4);
+            }
         }
         if (cli.flag("csv"))
             table.printCsv(std::cout);

@@ -12,8 +12,11 @@
  * Latency model (cache cycles): traditional hit 1, miss +200; molecular
  * local hit = ASID stage (1) + molecule access (1), each remote tile
  * visited +4 (Ulmo hop) +2, miss +200.
+ *
+ * The three schemes run as one sweep against the same workload.
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -26,53 +29,6 @@
 
 using namespace molcache;
 
-namespace {
-
-struct Run
-{
-    std::string label;
-    QosSummary qos;
-    double localShare = 0.0; // hits serviced on the entry tile
-};
-
-Run
-runTraditional(Bytes size, u32 assoc, const GoalSet &goals, u64 refs,
-               u64 seed)
-{
-    SetAssocCache cache(traditionalParams(size, assoc, seed));
-    const SimResult r = runWorkload(spec4Names(), cache, goals, refs, seed);
-    return {cache.name() + " (shared)", r.qos, 1.0};
-}
-
-Run
-runWayPart(Bytes size, u32 assoc, const GoalSet &goals, u64 refs, u64 seed)
-{
-    WayPartitionedParams p;
-    p.sizeBytes = size;
-    p.associativity = assoc;
-    WayPartitionedCache cache(p);
-    for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1);
-    const SimResult r = runWorkload(spec4Names(), cache, goals, refs, seed);
-    return {cache.name(), r.qos, 1.0};
-}
-
-Run
-runMolecular(Bytes size, const GoalSet &goals, u64 refs, u64 seed)
-{
-    MolecularCache cache(
-        fig5MolecularParams(size, PlacementPolicy::Randy, seed));
-    for (u32 i = 0; i < 4; ++i)
-        cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1, ClusterId{0}, i, 1);
-    const SimResult r = runWorkload(spec4Names(), cache, goals, refs, seed);
-    const double hits =
-        static_cast<double>(r.localHits + r.remoteHits);
-    return {cache.name(), r.qos,
-            hits > 0 ? static_cast<double>(r.localHits) / hits : 0.0};
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
@@ -80,35 +36,59 @@ main(int argc, char **argv)
                   "AMAT: the cost of the ASID stage and hierarchical "
                   "lookup vs what partitioning buys back");
     bench::addCommonOptions(cli, 2'000'000);
+    bench::addSweepOptions(cli);
     cli.addOption("size", "4M", "cache size for all schemes");
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
     const Bytes size{cli.size("size")};
 
-    const GoalSet goals = GoalSet::uniform(0.1, 4);
-
     bench::banner("AMAT (cache cycles), SPEC 4-app workload, " +
                   formatSize(size) + " caches");
 
-    const Run runs[] = {
-        runTraditional(size, 8, goals, refs, seed),
-        runWayPart(size, 8, goals, refs, seed),
-        runMolecular(size, goals, refs, seed),
-    };
+    WayPartitionedParams wp;
+    wp.sizeBytes = size;
+    wp.associativity = 8;
+
+    SweepSpec spec("latency_report");
+    spec.setAssoc("traditional", traditionalParams(size, 8))
+        .wayPartitioned("way-partitioned", wp)
+        .molecular("molecular",
+                   fig5MolecularParams(size, PlacementPolicy::Randy))
+        .workload("spec4", spec4Names())
+        .goals(GoalSet::uniform(0.1, 4))
+        .registrationGoal(0.1)
+        .seeds({seed})
+        .references(refs);
+
+    const SweepReport report = bench::runSweep(cli, spec);
 
     std::vector<std::string> header = {"scheme"};
     for (const auto &app : spec4Names())
         header.push_back(app);
     header.push_back("overall note");
     TablePrinter table(header);
-    for (const Run &run : runs) {
-        std::vector<std::string> row = {run.label};
+
+    for (const char *model : {"traditional", "way-partitioned",
+                              "molecular"}) {
+        const auto &point = report.point(model, "spec4");
+        const SimResult &r = point.result;
+        const double hits = static_cast<double>(r.localHits + r.remoteHits);
+        // Only the molecular model services hits on remote tiles.
+        const bool multi_tile = r.remoteHits > 0;
+        const double local_share =
+            hits > 0 ? static_cast<double>(r.localHits) / hits : 0.0;
+
+        std::vector<std::string> row = {
+            multi_tile ? r.cacheName
+                       : r.cacheName + (std::string(model) == "traditional"
+                                            ? " (shared)"
+                                            : "")};
         for (u32 i = 0; i < 4; ++i)
             row.push_back(
-                formatDouble(run.qos.byAsid(static_cast<Asid>(i)).amat, 1));
-        row.push_back(run.localShare < 1.0
-                          ? formatDouble(100.0 * run.localShare, 1) +
+                formatDouble(r.qos.byAsid(static_cast<Asid>(i)).amat, 1));
+        row.push_back(multi_tile
+                          ? formatDouble(100.0 * local_share, 1) +
                                 "% hits on entry tile"
                           : "single-structure lookup");
         table.row(row);

@@ -9,11 +9,12 @@
  * measured ones.  Absolute agreement is approximate (our traces are
  * synthetic); the interference *shape* — who suffers and with whom — is
  * the reproduction target.
+ *
+ * The eleven combos are the workload axis of one sweep against a single
+ * shared-cache model point.
  */
 
-#include <cstdio>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,15 @@ const std::vector<Combo> kCombos = {
     {{"art", "mcf", "ammp", "parser"}, {0.734, 0.688, 0.013, 0.253}},
 };
 
+std::string
+comboLabel(const Combo &combo)
+{
+    std::string label;
+    for (const auto &a : combo.apps)
+        label += (label.empty() ? "" : "+") + a;
+    return label;
+}
+
 } // namespace
 
 int
@@ -55,6 +65,7 @@ main(int argc, char **argv)
     CliParser cli("table1_interference",
                   "Table 1: miss-rate interference on a shared 1MB 4-way L2");
     bench::addCommonOptions(cli, kPaperTraceLength);
+    bench::addSweepOptions(cli);
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
@@ -62,18 +73,18 @@ main(int argc, char **argv)
     bench::banner("Table 1: miss rate depends on concurrently running apps "
                   "(1MB 4-way shared L2)");
 
+    SweepSpec spec("table1_interference");
+    spec.setAssoc("1MB-4way", traditionalParams(1_MiB, 4));
+    for (const Combo &combo : kCombos)
+        spec.workload(comboLabel(combo), combo.apps);
+    spec.seeds({seed}).references(refs); // Table 1 has no goals.
+
+    const SweepReport report = bench::runSweep(cli, spec);
+
     TablePrinter table({"workload", "app", "miss rate", "paper"});
-
     for (const Combo &combo : kCombos) {
-        SetAssocCache cache(traditionalParams(1_MiB, 4, seed));
-        GoalSet goals; // Table 1 has no goals; interference only.
-        const SimResult res =
-            runWorkload(combo.apps, cache, goals, refs, seed);
-
-        std::string label;
-        for (const auto &a : combo.apps)
-            label += (label.empty() ? "" : "+") + a;
-
+        const std::string label = comboLabel(combo);
+        const SimResult &res = report.point("1MB-4way", label).result;
         for (size_t i = 0; i < combo.apps.size(); ++i) {
             const auto &app = res.qos.byAsid(static_cast<Asid>(i));
             const size_t row = table.addRow();

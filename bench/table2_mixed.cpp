@@ -12,6 +12,8 @@
  * Paper reference values (Table 2): 0.313, 0.310, 0.247, 0.243 for the
  * traditional caches; 0.222 (Randy) and 0.357 (Random) for the molecular
  * cache — i.e. 6MB molecular/Randy beats even the 8MB 8-way.
+ *
+ * All six configurations run as one parallel sweep.
  */
 
 #include <iostream>
@@ -26,28 +28,7 @@
 using namespace molcache;
 
 namespace {
-
 constexpr double kGoal = 0.25;
-
-double
-runTraditional(Bytes size, u32 assoc, u64 refs, u64 seed)
-{
-    SetAssocCache cache(traditionalParams(size, assoc, seed));
-    const GoalSet goals = GoalSet::uniform(kGoal, 12);
-    return runWorkload(mixed12Names(), cache, goals, refs, seed)
-        .qos.averageDeviation;
-}
-
-double
-runMolecular(PlacementPolicy placement, u64 refs, u64 seed)
-{
-    MolecularCache cache(table2MolecularParams(placement, seed));
-    registerApplications(cache, 12, kGoal);
-    const GoalSet goals = GoalSet::uniform(kGoal, 12);
-    return runWorkload(mixed12Names(), cache, goals, refs, seed)
-        .qos.averageDeviation;
-}
-
 } // namespace
 
 int
@@ -57,6 +38,7 @@ main(int argc, char **argv)
                   "Table 2: average deviation, 12-app mixed workload, "
                   "goal 25%");
     bench::addCommonOptions(cli, kPaperTraceLength);
+    bench::addSweepOptions(cli);
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
@@ -64,20 +46,36 @@ main(int argc, char **argv)
     bench::banner("Table 2: average deviation from the 25% miss-rate goal "
                   "(12-app mix)");
 
+    SweepSpec spec("table2_mixed");
+    spec.setAssoc("4MB 4way", traditionalParams(4_MiB, 4))
+        .setAssoc("4MB 8way", traditionalParams(4_MiB, 8))
+        .setAssoc("8MB 4way", traditionalParams(8_MiB, 4))
+        .setAssoc("8MB 8way", traditionalParams(8_MiB, 8))
+        .molecular("6MB Molecular Randy",
+                   table2MolecularParams(PlacementPolicy::Randy))
+        .molecular("6MB Molecular Random",
+                   table2MolecularParams(PlacementPolicy::Random))
+        .workload("mixed12", mixed12Names())
+        .goals(GoalSet::uniform(kGoal, 12))
+        .registrationGoal(kGoal)
+        .seeds({seed})
+        .references(refs);
+
+    const SweepReport report = bench::runSweep(cli, spec);
+
+    const auto deviation = [&](const char *model) {
+        return formatDouble(
+            report.point(model, "mixed12").result.qos.averageDeviation, 6);
+    };
+
     TablePrinter table({"cache type", "avg deviation", "paper"});
-    table.row({"4MB 4way", formatDouble(runTraditional(4_MiB, 4, refs, seed), 6),
-               "0.313261"});
-    table.row({"4MB 8way", formatDouble(runTraditional(4_MiB, 8, refs, seed), 6),
-               "0.309515"});
-    table.row({"8MB 4way", formatDouble(runTraditional(8_MiB, 4, refs, seed), 6),
-               "0.246843"});
-    table.row({"8MB 8way", formatDouble(runTraditional(8_MiB, 8, refs, seed), 6),
-               "0.243161"});
-    table.row({"6MB Molecular Randy",
-               formatDouble(runMolecular(PlacementPolicy::Randy, refs, seed), 6),
+    table.row({"4MB 4way", deviation("4MB 4way"), "0.313261"});
+    table.row({"4MB 8way", deviation("4MB 8way"), "0.309515"});
+    table.row({"8MB 4way", deviation("8MB 4way"), "0.246843"});
+    table.row({"8MB 8way", deviation("8MB 8way"), "0.243161"});
+    table.row({"6MB Molecular Randy", deviation("6MB Molecular Randy"),
                "0.222075"});
-    table.row({"6MB Molecular Random",
-               formatDouble(runMolecular(PlacementPolicy::Random, refs, seed), 6),
+    table.row({"6MB Molecular Random", deviation("6MB Molecular Random"),
                "0.356923"});
 
     if (cli.flag("csv"))

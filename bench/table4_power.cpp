@@ -20,8 +20,13 @@
  *   8way  96MHz 3.58W | mol worst 2.55W | mol avg 2.34W
  * and the headline: ~29% power advantage versus the equally-performing
  * 4-way traditional cache.
+ *
+ * The measured molecular run goes through the sweep engine (a one-point
+ * sweep, so --threads/--json behave like every other bench); the CACTI
+ * table is computed from its report.
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -41,6 +46,7 @@ main(int argc, char **argv)
                   "Table 4: power of 8MB traditional caches vs the 8MB "
                   "molecular cache at 70nm");
     bench::addCommonOptions(cli, 1'000'000);
+    bench::addSweepOptions(cli);
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
@@ -57,14 +63,27 @@ main(int argc, char **argv)
     mp.tilesPerCluster = 4;
     mp.clusters = 4;
     mp.placement = PlacementPolicy::Randy;
-    mp.seed = seed;
-    MolecularCache mol(mp);
-    registerApplications(mol, 12, 0.25);
-    const GoalSet goals = GoalSet::uniform(0.25, 12);
-    runWorkload(mixed12Names(), mol, goals, refs, seed);
 
-    const double worst_nj = mol.worstCaseAccessEnergyNj();
-    const double avg_nj = mol.averageAccessEnergyNj();
+    SweepSpec spec("table4_power");
+    spec.molecular("8MB Molecular Randy", mp)
+        .workload("mixed12", mixed12Names())
+        .goals(GoalSet::uniform(0.25, 12))
+        .registrationGoal(0.25)
+        .seeds({seed})
+        .references(refs)
+        .inspect([](const SimJob &, CacheModel &model, MetricMap &extra) {
+            auto &cache = dynamic_cast<MolecularCache &>(model);
+            extra["worst_case_energy_nj"] = cache.worstCaseAccessEnergyNj();
+            extra["avg_probes_per_access"] = cache.averageProbesPerAccess();
+            extra["avg_enabled_molecules"] =
+                cache.averageEnabledMolecules();
+        });
+
+    const SweepReport report = bench::runSweep(cli, spec);
+    const auto &mol = report.point("8MB Molecular Randy", "mixed12");
+
+    const double worst_nj = mol.extra.at("worst_case_energy_nj");
+    const double avg_nj = mol.result.avgEnergyPerAccessNj;
 
     const CactiModel model(TechNode::Nm70);
 
@@ -115,8 +134,8 @@ main(int argc, char **argv)
 
     std::printf("\nmeasured molecular energy/access: worst %.2f nJ, "
                 "avg %.2f nJ (avg %.1f molecules probed, %.1f enabled)\n",
-                worst_nj, avg_nj, mol.averageProbesPerAccess(),
-                mol.averageEnabledMolecules());
+                worst_nj, avg_nj, mol.extra.at("avg_probes_per_access"),
+                mol.extra.at("avg_enabled_molecules"));
     std::printf("power advantage vs the 8MB 4-way, worst case "
                 "(the paper's ~29%% headline): %.1f%%\n",
                 100.0 * (1.0 - four_way_mol_worst / four_way_power));

@@ -10,6 +10,9 @@
  *
  * Paper reference: 8MB 4way PDP 1.890 vs molecular 0.909;
  *                  8MB 8way PDP 0.870 vs molecular 0.425.
+ *
+ * The three simulations fan out as one sweep; the CACTI power math runs
+ * afterwards on the aggregated report.
  */
 
 #include <iostream>
@@ -31,19 +34,27 @@ main(int argc, char **argv)
     CliParser cli("table5_pdp",
                   "Table 5: power-deviation product, mixed workload");
     bench::addCommonOptions(cli, kPaperTraceLength);
+    bench::addSweepOptions(cli);
     cli.parse(argc, argv);
     const u64 refs = static_cast<u64>(cli.integer("refs"));
     const u64 seed = static_cast<u64>(cli.integer("seed"));
 
-    const GoalSet goals = GoalSet::uniform(0.25, 12);
+    SweepSpec spec("table5_pdp");
+    spec.setAssoc("8MB 4way", traditionalParams(8_MiB, 4))
+        .setAssoc("8MB 8way", traditionalParams(8_MiB, 8))
+        .molecular("6MB Molecular Randy",
+                   table2MolecularParams(PlacementPolicy::Randy))
+        .workload("mixed12", mixed12Names())
+        .goals(GoalSet::uniform(0.25, 12))
+        .registrationGoal(0.25)
+        .seeds({seed})
+        .references(refs);
 
-    // Molecular run: deviation and measured average energy.
-    MolecularCache mol(table2MolecularParams(PlacementPolicy::Randy, seed));
-    registerApplications(mol, 12, 0.25);
-    const double mol_dev =
-        runWorkload(mixed12Names(), mol, goals, refs, seed)
-            .qos.averageDeviation;
-    const double mol_avg_nj = mol.averageAccessEnergyNj();
+    const SweepReport report = bench::runSweep(cli, spec);
+
+    const auto &mol = report.point("6MB Molecular Randy", "mixed12");
+    const double mol_dev = mol.result.qos.averageDeviation;
+    const double mol_avg_nj = mol.result.avgEnergyPerAccessNj;
 
     const CactiModel model(TechNode::Nm70);
 
@@ -53,10 +64,10 @@ main(int argc, char **argv)
                         "mol PDP", "paper PDP/mol"});
 
     for (const u32 assoc : {4u, 8u}) {
-        SetAssocCache trad(traditionalParams(8_MiB, assoc, seed));
+        const std::string label =
+            std::string("8MB ") + std::to_string(assoc) + "way";
         const double dev =
-            runWorkload(mixed12Names(), trad, goals, refs, seed)
-                .qos.averageDeviation;
+            report.point(label, "mixed12").result.qos.averageDeviation;
 
         CacheGeometry g;
         g.sizeBytes = 8_MiB;
@@ -69,8 +80,7 @@ main(int argc, char **argv)
         const double mol_pdp = powerDeviationProduct(
             dynamicPowerWatts(mol_avg_nj, f), mol_dev);
 
-        table.row({std::string("8MB ") + std::to_string(assoc) + "way",
-                   formatDouble(dev, 4), formatDouble(p, 2),
+        table.row({label, formatDouble(dev, 4), formatDouble(p, 2),
                    formatDouble(pdp, 3), formatDouble(mol_pdp, 3),
                    assoc == 4 ? "1.890 / 0.909" : "0.870 / 0.425"});
     }

@@ -45,6 +45,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/invariant_checker.hpp"
 #include "sim/experiment.hpp"
+#include "sim/result_json.hpp"
 #include "stats/json.hpp"
 #include "stats/table.hpp"
 #include "util/config.hpp"
@@ -141,63 +142,10 @@ writeJson(const std::string &path, const SimResult &result)
     std::ofstream out(path);
     if (!out)
         fatal("cannot open '", path, "' for writing");
+    // The canonical schema-versioned document (sim/result_json.hpp), so
+    // this tool emits byte-identical results to the sweep engine.
     JsonWriter json(out);
-    json.beginObject();
-    json.key("cache");
-    json.value(result.cacheName);
-    json.key("accesses");
-    json.value(result.accesses);
-    json.key("global_miss_rate");
-    json.value(result.qos.globalMissRate);
-    json.key("average_deviation");
-    json.value(result.qos.averageDeviation);
-    json.key("total_energy_nj");
-    json.value(result.totalEnergyNj);
-    if (result.faultEventsApplied > 0) {
-        json.key("faults");
-        json.beginObject();
-        json.key("events_applied");
-        json.value(result.faultEventsApplied);
-        json.key("transient_flips_detected");
-        json.value(result.transientFlipsDetected);
-        json.key("dirty_lines_lost");
-        json.value(result.dirtyLinesLost);
-        json.key("molecules_decommissioned");
-        json.value(result.moleculesDecommissioned);
-        json.key("tile_outages");
-        json.value(result.tileOutages);
-        json.key("recovery_grants");
-        json.value(result.recoveryGrants);
-        json.key("max_reconvergence_epochs");
-        json.value(static_cast<u64>(result.maxReconvergenceEpochs));
-        json.key("regions_still_recovering");
-        json.value(static_cast<u64>(result.regionsStillRecovering));
-        json.endObject();
-    }
-    json.key("apps");
-    json.beginArray();
-    for (const AppSummary &app : result.qos.apps) {
-        json.beginObject();
-        json.key("asid");
-        json.value(static_cast<u64>(app.asid.value()));
-        json.key("label");
-        json.value(app.label);
-        json.key("accesses");
-        json.value(app.accesses);
-        json.key("miss_rate");
-        json.value(app.missRate);
-        json.key("amat_cycles");
-        json.value(app.amat);
-        if (app.goal) {
-            json.key("goal");
-            json.value(*app.goal);
-            json.key("deviation");
-            json.value(*app.deviation);
-        }
-        json.endObject();
-    }
-    json.endArray();
-    json.endObject();
+    writeSimResultDocument(json, result);
     out << "\n";
 }
 
@@ -244,7 +192,11 @@ main(int argc, char **argv)
     const u64 seed = static_cast<u64>(cfg.getInt("seed", 1));
 
     const SimResult result =
-        runWorkload(profiles, *model, goals, refs, seed);
+        runWorkload(profiles, *model,
+                    RunOptions{}
+                        .withGoals(goals)
+                        .withReferences(refs)
+                        .withSeed(seed));
 
     std::printf("%s | %llu refs\n", result.cacheName.c_str(),
                 static_cast<unsigned long long>(result.accesses));

@@ -62,7 +62,9 @@ main(int argc, char **argv)
 
     // (a) Traditional shared cache: no isolation.
     SetAssocCache shared(traditionalParams(2_MiB, 8));
-    const SimResult trad = runWorkload(kApps, shared, goals, refs);
+    const RunOptions options =
+        RunOptions{}.withGoals(goals).withReferences(refs);
+    const SimResult trad = runWorkload(kApps, shared, options);
 
     // (b) Molecular cache: one region per application, one app per tile.
     MolecularCacheParams mp;
@@ -75,7 +77,7 @@ main(int argc, char **argv)
     molecular.registerApplication(Asid{1}, batch_goal, ClusterId{0}, 1, 1);
     molecular.registerApplication(Asid{2}, batch_goal, ClusterId{0}, 2, 1);
     molecular.registerApplication(Asid{3}, batch_goal, ClusterId{0}, 3, 1);
-    const SimResult mol = runWorkload(kApps, molecular, goals, refs);
+    const SimResult mol = runWorkload(kApps, molecular, options);
 
     std::printf("consolidation scenario: %llu refs, service goal %.0f%%, "
                 "batch goal %.0f%%\n\n",

@@ -39,12 +39,16 @@ main()
     auto source = makeMultiProgramSource({"ammp", "parser"},
                                          /*totalReferences=*/1'000'000);
 
-    // 4. Run.  GoalSet drives the QoS summary (deviation from goal).
+    // 4. Run.  RunOptions collects everything the simulation needs;
+    //    the GoalSet drives the QoS summary (deviation from goal).
     GoalSet goals;
     goals.set(Asid{0}, 0.05);
     goals.set(Asid{1}, 0.20);
     const SimResult result = Simulator::run(
-        *source, cache, goals, labelMap({"ammp", "parser"}));
+        *source, cache,
+        RunOptions{}
+            .withGoals(goals)
+            .withLabels(labelMap({"ammp", "parser"})));
 
     // 5. Inspect the outcome.
     std::printf("%s\n", result.cacheName.c_str());

@@ -6,7 +6,10 @@ namespace molcache::contract {
 
 namespace {
 
-Counters g_counters;
+// Thread-local so concurrent sweep workers (src/exec/) tally their own
+// jobs' violations: SimResult::contractViolations is a same-thread delta
+// and must not observe another worker's failures.
+thread_local Counters g_counters;
 Handler g_handler;
 
 [[noreturn]] void

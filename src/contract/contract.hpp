@@ -53,7 +53,8 @@ struct Counters
     }
 };
 
-/** Process-wide violation counters. */
+/** Per-thread violation counters (thread-local so parallel sweep
+ * workers attribute violations to their own jobs). */
 const Counters &counters();
 void resetCounters();
 

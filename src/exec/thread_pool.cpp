@@ -1,0 +1,165 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "contract/contract.hpp"
+
+namespace molcache {
+
+u32
+WorkStealingPool::defaultThreadCount()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+WorkStealingPool::WorkStealingPool(u32 threads)
+    : threadCount_(threads == 0 ? defaultThreadCount() : threads)
+{
+    if (threadCount_ == 1)
+        return; // inline mode: no workers, forEach runs on the caller
+    queues_.reserve(threadCount_);
+    for (u32 i = 0; i < threadCount_; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(threadCount_);
+    for (u32 i = 0; i < threadCount_; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+bool
+WorkStealingPool::popOwn(size_t self, u64 &job)
+{
+    WorkerQueue &q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.jobs.empty())
+        return false;
+    job = q.jobs.front();
+    q.jobs.pop_front();
+    return true;
+}
+
+bool
+WorkStealingPool::stealFromVictim(size_t self, u64 &job)
+{
+    // Scan victims starting after ourselves so thieves spread out.
+    for (size_t step = 1; step < queues_.size(); ++step) {
+        WorkerQueue &q = *queues_[(self + step) % queues_.size()];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (q.jobs.empty())
+            continue;
+        job = q.jobs.back();
+        q.jobs.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+WorkStealingPool::drainEpoch(size_t self)
+{
+    for (;;) {
+        u64 job = 0;
+        if (popOwn(self, job) || stealFromVictim(self, job)) {
+            // Re-read the batch body per job: a worker can straggle from
+            // one batch into the next, and the previous std::function is
+            // gone once its forEach returned.  Holding an unexecuted job
+            // keeps pending_ > 0, which keeps body_ valid.
+            const std::function<void(u64)> *body = nullptr;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                body = body_;
+            }
+            try {
+                (*body)(job);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+            }
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                batchDone_.notify_all();
+            }
+        } else if (pending_.load(std::memory_order_acquire) == 0) {
+            return; // batch fully executed
+        } else {
+            // Another worker holds the last jobs; jobs are coarse, so a
+            // brief yield-spin at the tail is cheaper than re-sleeping.
+            std::this_thread::yield();
+        }
+    }
+}
+
+void
+WorkStealingPool::workerLoop(size_t self)
+{
+    u64 seen_epoch = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [&] {
+                return stopping_ || epoch_ != seen_epoch;
+            });
+            if (stopping_)
+                return;
+            seen_epoch = epoch_;
+        }
+        drainEpoch(self);
+    }
+}
+
+void
+WorkStealingPool::forEach(u64 jobCount, const std::function<void(u64)> &body)
+{
+    if (jobCount == 0)
+        return;
+    if (threadCount_ == 1 || workers_.empty()) {
+        for (u64 i = 0; i < jobCount; ++i)
+            body(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        MOLCACHE_EXPECT(pending_.load() == 0,
+                        "WorkStealingPool::forEach is not reentrant");
+        body_ = &body;
+        pending_.store(jobCount, std::memory_order_release);
+        // Deal contiguous blocks; uneven tails rebalance by stealing.
+        const u64 per = jobCount / threadCount_;
+        const u64 extra = jobCount % threadCount_;
+        u64 next = 0;
+        for (u32 w = 0; w < threadCount_; ++w) {
+            const u64 take = per + (w < extra ? 1 : 0);
+            std::lock_guard<std::mutex> qlock(queues_[w]->mutex);
+            for (u64 i = 0; i < take; ++i)
+                queues_[w]->jobs.push_back(next++);
+        }
+        ++epoch_;
+    }
+    workReady_.notify_all();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    batchDone_.wait(lock, [&] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+    body_ = nullptr;
+    if (firstError_) {
+        std::exception_ptr e = firstError_;
+        firstError_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+} // namespace molcache

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A work-stealing thread pool for embarrassingly parallel job batches.
+ *
+ * Shape (after the request-pipeline pools in replicated-state systems
+ * and SESC-style batch simulators): each worker owns a deque of job
+ * indices; it pops its own work from the front and, when dry, steals
+ * from the back of a victim's deque.  Stealing matters because sweep
+ * jobs are wildly uneven — an 8 MiB molecular simulation runs ~8x
+ * longer than a 1 MiB direct-mapped one — so static chunking would idle
+ * most workers at the tail.
+ *
+ * Determinism contract: forEach(n, body) invokes body(i) exactly once
+ * for every i in [0, n), in unspecified order and thread placement.
+ * Callers that write only to per-index slots (the sweep engine's
+ * pattern) therefore observe identical results for any thread count.
+ */
+
+#ifndef MOLCACHE_EXEC_THREAD_POOL_HPP
+#define MOLCACHE_EXEC_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+class WorkStealingPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 = hardware concurrency.  With one
+     * thread no workers are spawned and forEach runs inline on the
+     * caller — the serial baseline goes through the exact same per-job
+     * code path.
+     */
+    explicit WorkStealingPool(u32 threads = 0);
+    ~WorkStealingPool();
+
+    WorkStealingPool(const WorkStealingPool &) = delete;
+    WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+    /** Effective parallelism (>= 1). */
+    u32 threadCount() const { return threadCount_; }
+
+    /**
+     * Run body(i) once for every i in [0, jobCount); blocks until all
+     * jobs completed.  If any job throws, the first exception is
+     * rethrown here after the batch drains.  Not reentrant: one batch
+     * at a time per pool.
+     */
+    void forEach(u64 jobCount, const std::function<void(u64)> &body);
+
+    /** hardware_concurrency with a floor of 1. */
+    static u32 defaultThreadCount();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<u64> jobs;
+    };
+
+    void workerLoop(size_t self);
+    bool popOwn(size_t self, u64 &job);
+    bool stealFromVictim(size_t self, u64 &job);
+    void drainEpoch(size_t self);
+
+    u32 threadCount_ = 1;
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable batchDone_;
+    const std::function<void(u64)> *body_ = nullptr; // valid while pending_ > 0
+    std::atomic<u64> pending_{0};
+    u64 epoch_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr firstError_; // guarded by mutex_
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_EXEC_THREAD_POOL_HPP

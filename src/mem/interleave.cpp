@@ -19,6 +19,29 @@ VectorSource::next()
     return accesses_[pos_++];
 }
 
+size_t
+AccessSource::nextBatch(MemAccess *out, size_t max)
+{
+    size_t n = 0;
+    while (n < max) {
+        auto a = next();
+        if (!a)
+            break;
+        out[n++] = *a;
+    }
+    return n;
+}
+
+size_t
+VectorSource::nextBatch(MemAccess *out, size_t max)
+{
+    const size_t n = std::min(max, accesses_.size() - pos_);
+    std::copy_n(accesses_.begin() + static_cast<std::ptrdiff_t>(pos_), n,
+                out);
+    pos_ += n;
+    return n;
+}
+
 Interleaver::Interleaver(std::vector<std::unique_ptr<AccessSource>> sources,
                          MixPolicy policy, std::vector<double> weights,
                          u64 seed, u64 limit)

@@ -34,6 +34,15 @@ class AccessSource
 
     /** Next reference, or nullopt when the stream is exhausted. */
     virtual std::optional<MemAccess> next() = 0;
+
+    /**
+     * Fill @p out with up to @p max references; returns the count
+     * produced (0 = exhausted).  The default implementation loops over
+     * next(); sources with cheap bulk access override it so the
+     * simulate loop pays one virtual dispatch per batch instead of per
+     * reference.  Semantics are identical to repeated next() calls.
+     */
+    virtual size_t nextBatch(MemAccess *out, size_t max);
 };
 
 /** AccessSource over an in-memory vector. */
@@ -43,6 +52,7 @@ class VectorSource final : public AccessSource
     explicit VectorSource(std::vector<MemAccess> accesses);
 
     std::optional<MemAccess> next() override;
+    size_t nextBatch(MemAccess *out, size_t max) override;
 
   private:
     std::vector<MemAccess> accesses_;

@@ -70,25 +70,44 @@ registerApplications(MolecularCache &cache, u32 count, double resizeGoal)
 
 SimResult
 runWorkload(const std::vector<std::string> &profiles, CacheModel &model,
+            const RunOptions &options)
+{
+    const u64 refs = options.totalReferences != 0 ? options.totalReferences
+                                                  : kPaperTraceLength;
+    auto source =
+        makeMultiProgramSource(profiles, refs, options.mix, options.seed);
+    RunOptions run = options;
+    if (run.labels.empty())
+        run.labels = labelMap(profiles);
+    return Simulator::run(*source, model, run);
+}
+
+SimResult
+runWorkload(const std::vector<std::string> &profiles, CacheModel &model,
             const GoalSet &goals, u64 totalReferences, u64 seed)
 {
-    auto source = makeMultiProgramSource(profiles, totalReferences,
-                                         MixPolicy::RoundRobin, seed);
-    return Simulator::run(*source, model, goals, labelMap(profiles));
+    return runWorkload(profiles, model,
+                       RunOptions{}
+                           .withGoals(goals)
+                           .withReferences(totalReferences)
+                           .withSeed(seed));
 }
 
 GoalSet
 deriveGoalsFromSolo(const std::vector<std::string> &profiles,
-                    const SetAssocParams &reference, double slackFactor,
-                    double minGoal, u64 refsPerApp, u64 seed)
+                    const SetAssocParams &reference,
+                    const RunOptions &options, double slackFactor,
+                    double minGoal)
 {
     if (slackFactor < 1.0)
         fatal("goal slack factor must be >= 1");
+    const u64 refs_per_app =
+        options.totalReferences != 0 ? options.totalReferences : 500'000;
     GoalSet goals;
     for (size_t i = 0; i < profiles.size(); ++i) {
         SetAssocCache solo(reference);
-        TraceGenerator gen(profileByName(profiles[i]), Asid{0}, refsPerApp,
-                           seed);
+        TraceGenerator gen(profileByName(profiles[i]), Asid{0},
+                           refs_per_app, options.seed);
         while (auto a = gen.next())
             solo.access(*a);
         const double mr = solo.stats().global().missRate();
@@ -97,6 +116,17 @@ deriveGoalsFromSolo(const std::vector<std::string> &profiles,
         goals.set(Asid{static_cast<u16>(i)}, goal);
     }
     return goals;
+}
+
+GoalSet
+deriveGoalsFromSolo(const std::vector<std::string> &profiles,
+                    const SetAssocParams &reference, double slackFactor,
+                    double minGoal, u64 refsPerApp, u64 seed)
+{
+    return deriveGoalsFromSolo(
+        profiles, reference,
+        RunOptions{}.withReferences(refsPerApp).withSeed(seed), slackFactor,
+        minGoal);
 }
 
 } // namespace molcache

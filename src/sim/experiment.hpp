@@ -49,7 +49,22 @@ MolecularCacheParams table2MolecularParams(PlacementPolicy placement,
 void registerApplications(MolecularCache &cache, u32 count,
                           double resizeGoal);
 
-/** Run one multiprogrammed workload against one model. */
+/**
+ * Run one multiprogrammed workload against one model.  Seeds, reference
+ * counts, goals, labels, warmup and the mix policy all come from
+ * @p options (one path instead of three positional tails):
+ *  - options.totalReferences: merged references (0 = kPaperTraceLength)
+ *  - options.labels: defaulted to the profile names when empty
+ */
+SimResult runWorkload(const std::vector<std::string> &profiles,
+                      CacheModel &model, const RunOptions &options);
+
+/**
+ * Positional overload, superseded by RunOptions.
+ * @deprecated Forwards to the RunOptions form; will be removed one
+ * release after the RunOptions API landed.
+ */
+[[deprecated("use runWorkload(profiles, model, RunOptions)")]]
 SimResult runWorkload(const std::vector<std::string> &profiles,
                       CacheModel &model, const GoalSet &goals,
                       u64 totalReferences = kPaperTraceLength, u64 seed = 1);
@@ -62,12 +77,27 @@ SimResult runWorkload(const std::vector<std::string> &profiles,
  * scope of this paper"); this helper is the obvious derivation an
  * operator would use.
  *
+ * Seeding and the per-solo-run reference count come from @p options
+ * (options.totalReferences; 0 = 500'000 references per app) so they
+ * thread through the same RunOptions path as every other entry point.
+ *
  * @param profiles     profile names; ASIDs are assigned 0..n-1 in order
  * @param reference    geometry of the solo profiling cache
  * @param slackFactor  goal = solo miss rate x this (>= 1 leaves headroom)
  * @param minGoal      floor so near-zero solo rates get a usable goal
- * @param refsPerApp   references per solo run
  */
+GoalSet deriveGoalsFromSolo(const std::vector<std::string> &profiles,
+                            const SetAssocParams &reference,
+                            const RunOptions &options,
+                            double slackFactor = 1.5,
+                            double minGoal = 0.02);
+
+/**
+ * Positional overload, superseded by RunOptions.
+ * @deprecated Forwards to the RunOptions form; will be removed one
+ * release after the RunOptions API landed.
+ */
+[[deprecated("use deriveGoalsFromSolo(profiles, reference, RunOptions, ...)")]]
 GoalSet deriveGoalsFromSolo(const std::vector<std::string> &profiles,
                             const SetAssocParams &reference,
                             double slackFactor = 1.5, double minGoal = 0.02,

@@ -1,0 +1,90 @@
+#include "sim/result_json.hpp"
+
+namespace molcache {
+
+void
+writeSimResultJson(JsonWriter &json, const SimResult &result)
+{
+    json.beginObject();
+    json.key("cache");
+    json.value(result.cacheName);
+    json.key("accesses");
+    json.value(result.accesses);
+    json.key("hits");
+    json.value(result.hits);
+    json.key("misses");
+    json.value(result.misses);
+    json.key("local_hits");
+    json.value(result.localHits);
+    json.key("remote_hits");
+    json.value(result.remoteHits);
+    json.key("global_miss_rate");
+    json.value(result.qos.globalMissRate);
+    json.key("average_deviation");
+    json.value(result.qos.averageDeviation);
+    json.key("total_energy_nj");
+    json.value(result.totalEnergyNj);
+    json.key("avg_energy_per_access_nj");
+    json.value(result.avgEnergyPerAccessNj);
+    json.key("contract_violations");
+    json.value(result.contractViolations);
+    if (result.faultEventsApplied > 0) {
+        json.key("faults");
+        json.beginObject();
+        json.key("events_applied");
+        json.value(result.faultEventsApplied);
+        json.key("transient_flips_detected");
+        json.value(result.transientFlipsDetected);
+        json.key("dirty_lines_lost");
+        json.value(result.dirtyLinesLost);
+        json.key("molecules_decommissioned");
+        json.value(result.moleculesDecommissioned);
+        json.key("tile_outages");
+        json.value(result.tileOutages);
+        json.key("recovery_grants");
+        json.value(result.recoveryGrants);
+        json.key("max_reconvergence_epochs");
+        json.value(static_cast<u64>(result.maxReconvergenceEpochs));
+        json.key("regions_still_recovering");
+        json.value(static_cast<u64>(result.regionsStillRecovering));
+        json.endObject();
+    }
+    json.key("apps");
+    json.beginArray();
+    for (const AppSummary &app : result.qos.apps) {
+        json.beginObject();
+        json.key("asid");
+        json.value(static_cast<u64>(app.asid.value()));
+        json.key("label");
+        json.value(app.label);
+        json.key("accesses");
+        json.value(app.accesses);
+        json.key("miss_rate");
+        json.value(app.missRate);
+        json.key("amat_cycles");
+        json.value(app.amat);
+        if (app.goal) {
+            json.key("goal");
+            json.value(*app.goal);
+            json.key("deviation");
+            json.value(*app.deviation);
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+void
+writeSimResultDocument(JsonWriter &json, const SimResult &result)
+{
+    json.beginObject();
+    writeSchemaVersion(json);
+    json.key("kind");
+    json.value("sim_result");
+    json.key("result");
+    writeSimResultJson(json, result);
+    json.endObject();
+}
+
+} // namespace molcache

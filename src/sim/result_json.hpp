@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Canonical JSON serialization of SimResult, shared by the sweep engine
+ * (src/exec/sweep.cpp) and the example tools so every emitter produces
+ * the same schema (stats/json.hpp's kResultSchemaVersion governs the
+ * document-level stamp).
+ */
+
+#ifndef MOLCACHE_SIM_RESULT_JSON_HPP
+#define MOLCACHE_SIM_RESULT_JSON_HPP
+
+#include "sim/simulator.hpp"
+#include "stats/json.hpp"
+
+namespace molcache {
+
+/**
+ * Write @p result as one JSON object (beginObject..endObject included).
+ * Deterministic: identical results serialize to identical bytes.
+ */
+void writeSimResultJson(JsonWriter &json, const SimResult &result);
+
+/**
+ * Write a full stand-alone SimResult document: an object carrying the
+ * schemaVersion stamp, a "kind": "sim_result" marker and the result
+ * under "result".
+ */
+void writeSimResultDocument(JsonWriter &json, const SimResult &result);
+
+} // namespace molcache
+
+#endif // MOLCACHE_SIM_RESULT_JSON_HPP

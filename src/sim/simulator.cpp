@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "contract/contract.hpp"
 #include "core/molecular_cache.hpp"
@@ -8,37 +9,61 @@
 
 namespace molcache {
 
+namespace {
+
+/** Accesses between progress callbacks (the historical 2^20 stride). */
+constexpr u64 kProgressStride = u64{1} << 20;
+
+constexpr u64 kNever = ~u64{0};
+
+} // namespace
+
 SimResult
-Simulator::run(AccessSource &source, CacheModel &model, const GoalSet &goals,
-               const std::map<Asid, std::string> &labels, u64 warmup,
-               const Progress &progress)
+Simulator::run(AccessSource &source, CacheModel &model,
+               const RunOptions &options)
 {
     u64 done = 0;
     u64 local_hits = 0;
     u64 remote_hits = 0;
     const u64 violations_before = contract::counters().total();
 
-    while (auto access = source.next()) {
-        const AccessResult r = model.access(*access);
-        ++done;
-        if (warmup != 0 && done == warmup) {
-            model.resetStats();
-            local_hits = 0;
-            remote_hits = 0;
+    // Hot loop: references are pulled in batches so the per-reference
+    // virtual dispatch on the source is amortized, and the progress /
+    // warmup checks compare against precomputed ticks instead of testing
+    // the std::function and warmup count on every access.
+    const u32 batch = std::max<u32>(1, options.batchSize);
+    std::vector<MemAccess> buffer(batch);
+    const u64 warmup_tick = options.warmup == 0 ? kNever : options.warmup;
+    u64 progress_tick = options.progress ? kProgressStride : kNever;
+
+    for (;;) {
+        const size_t n = source.nextBatch(buffer.data(), batch);
+        if (n == 0)
+            break;
+        for (size_t i = 0; i < n; ++i) {
+            const AccessResult r = model.access(buffer[i]);
+            ++done;
+            if (done == warmup_tick) {
+                model.resetStats();
+                local_hits = 0;
+                remote_hits = 0;
+            }
+            if (r.hit) {
+                if (r.level == 0)
+                    ++local_hits;
+                else
+                    ++remote_hits;
+            }
+            if (done == progress_tick) {
+                options.progress(done);
+                progress_tick += kProgressStride;
+            }
         }
-        if (r.hit) {
-            if (r.level == 0)
-                ++local_hits;
-            else
-                ++remote_hits;
-        }
-        if (progress && (done & 0xfffff) == 0)
-            progress(done);
     }
 
     SimResult out;
     out.cacheName = model.name();
-    out.qos = summarize(model, goals, labels);
+    out.qos = summarize(model, options.goals, options.labels);
     out.accesses = model.stats().global().accesses;
     out.hits = model.stats().global().hits;
     out.misses = model.stats().global().misses;
@@ -68,6 +93,19 @@ Simulator::run(AccessSource &source, CacheModel &model, const GoalSet &goals,
         }
     }
     return out;
+}
+
+SimResult
+Simulator::run(AccessSource &source, CacheModel &model, const GoalSet &goals,
+               const std::map<Asid, std::string> &labels, u64 warmup,
+               const Progress &progress)
+{
+    RunOptions options;
+    options.goals = goals;
+    options.labels = labels;
+    options.warmup = warmup;
+    options.progress = progress;
+    return run(source, model, options);
 }
 
 std::map<Asid, std::string>

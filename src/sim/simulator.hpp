@@ -7,13 +7,13 @@
 #ifndef MOLCACHE_SIM_SIMULATOR_HPP
 #define MOLCACHE_SIM_SIMULATOR_HPP
 
-#include <functional>
 #include <map>
 #include <string>
 
 #include "cache/cache_model.hpp"
 #include "mem/interleave.hpp"
 #include "sim/qos.hpp"
+#include "sim/run_options.hpp"
 
 namespace molcache {
 
@@ -46,10 +46,10 @@ struct SimResult
     u32 regionsStillRecovering = 0;
     /** @} */
 
-    /** Contract violations observed during the run (delta of the global
-     * contract::counters() across the run; nonzero only when a counting
-     * handler keeps violations non-fatal).  Always zero in a pure
-     * Release build, where contracts compile out. */
+    /** Contract violations observed during the run (delta of the
+     * calling thread's contract::counters() across the run; nonzero only
+     * when a counting handler keeps violations non-fatal).  Always zero
+     * in a pure Release build, where contracts compile out. */
     u64 contractViolations = 0;
 };
 
@@ -57,15 +57,23 @@ class Simulator
 {
   public:
     /** Optional progress callback: (accessesDone). */
-    using Progress = std::function<void(u64)>;
+    using Progress = ProgressFn;
 
     /**
-     * Drain @p source through @p model.
-     * @param goals       per-ASID miss-rate goals for the QoS summary
-     * @param labels      per-ASID display names
-     * @param warmup      references run before statistics are reset
-     *                    (0 = no warmup phase)
+     * Drain @p source through @p model.  Reads goals, labels, warmup,
+     * batchSize and progress from @p options (totalReferences and mix
+     * belong to the workload-building helpers and are ignored here: the
+     * source is already bounded).
      */
+    static SimResult run(AccessSource &source, CacheModel &model,
+                         const RunOptions &options = {});
+
+    /**
+     * Positional-argument overload, superseded by RunOptions.
+     * @deprecated Will be removed one release after the RunOptions API
+     * landed; forwards verbatim in the meantime.
+     */
+    [[deprecated("use Simulator::run(source, model, RunOptions)")]]
     static SimResult run(AccessSource &source, CacheModel &model,
                          const GoalSet &goals,
                          const std::map<Asid, std::string> &labels = {},

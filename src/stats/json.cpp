@@ -154,6 +154,13 @@ JsonWriter::value(bool v)
     os_ << (v ? "true" : "false");
 }
 
+void
+writeSchemaVersion(JsonWriter &json)
+{
+    json.key("schemaVersion");
+    json.value(kResultSchemaVersion);
+}
+
 std::string
 JsonWriter::escape(const std::string &s)
 {

@@ -16,6 +16,14 @@
 
 namespace molcache {
 
+/**
+ * Version stamped as "schemaVersion" into every result JSON document the
+ * repo emits (sweep reports, SimResult dumps) so downstream tooling can
+ * detect format drift.  Bump on any breaking change to the emitted
+ * shape and note the change in docs/sweeps.md.
+ */
+inline constexpr u64 kResultSchemaVersion = 1;
+
 class JsonWriter
 {
   public:
@@ -52,6 +60,9 @@ class JsonWriter
     std::vector<bool> first_;
     bool pendingKey_ = false;
 };
+
+/** Emit the standard "schemaVersion" member into the current object. */
+void writeSchemaVersion(JsonWriter &json);
 
 } // namespace molcache
 

@@ -236,7 +236,8 @@ TEST(SimResultFaults, CountersSurfaceThroughSimulator)
 
     GoalSet goals;
     goals.set(Asid{0}, 0.1);
-    const SimResult result = Simulator::run(source, cache, goals);
+    const SimResult result =
+        Simulator::run(source, cache, RunOptions{}.withGoals(goals));
 
     EXPECT_EQ(result.moleculesDecommissioned, p.totalMolecules() / 4);
     // Only hard faults were scheduled: one event per distinct victim.

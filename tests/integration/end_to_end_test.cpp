@@ -36,7 +36,7 @@ TEST(EndToEnd, StandaloneMissRatesApproximateTable1)
     for (const auto &e : expectations) {
         SetAssocCache cache(traditionalParams(1_MiB, 4));
         const SimResult r =
-            runWorkload({e.app}, cache, GoalSet{}, kRefs);
+            runWorkload({e.app}, cache, RunOptions{}.withReferences(kRefs));
         const double mr = r.qos.byAsid(Asid{0}).missRate;
         EXPECT_GE(mr, e.lo) << e.app;
         EXPECT_LE(mr, e.hi) << e.app;
@@ -65,7 +65,7 @@ TEST(EndToEnd, MixedProfilesSpanTheIntendedRegimes)
     for (const auto &b : bands) {
         SetAssocCache cache(traditionalParams(512_KiB, 8));
         const SimResult r =
-            runWorkload({b.app}, cache, GoalSet{}, 200000);
+            runWorkload({b.app}, cache, RunOptions{}.withReferences(200000));
         const double mr = r.qos.byAsid(Asid{0}).missRate;
         EXPECT_GE(mr, b.lo) << b.app;
         EXPECT_LE(mr, b.hi) << b.app;
@@ -82,8 +82,11 @@ TEST(EndToEnd, MolecularCacheRunsAllProfiles)
     for (u32 i = 0; i < 4; ++i)
         cache.registerApplication(Asid{static_cast<u16>(i)}, 0.25,
                                   ClusterId{0}, i, 1);
-    const SimResult r = runWorkload(four, cache, GoalSet::uniform(0.25, 4),
-                                    200000);
+    const SimResult r =
+        runWorkload(four, cache,
+                    RunOptions{}
+                        .withGoals(GoalSet::uniform(0.25, 4))
+                        .withReferences(200000));
     EXPECT_EQ(r.accesses, 200000u);
     for (u32 i = 0; i < 4; ++i)
         EXPECT_GT(r.qos.byAsid(Asid{static_cast<u16>(i)}).accesses, 0u);
@@ -105,11 +108,16 @@ TEST(EndToEnd, MolecularMeetsGoalForElasticApp)
     // Measure the post-convergence window: the first half warms the
     // partition down to its equilibrium size.
     auto src = makeMultiProgramSource({"ammp"}, kRefs);
-    const SimResult mr = Simulator::run(*src, mol, goals,
-                                        labelMap({"ammp"}), kRefs / 2);
+    const SimResult mr =
+        Simulator::run(*src, mol,
+                       RunOptions{}
+                           .withGoals(goals)
+                           .withLabels(labelMap({"ammp"}))
+                           .withWarmup(kRefs / 2));
 
     SetAssocCache trad(traditionalParams(1_MiB, 4));
-    const SimResult tr = runWorkload({"ammp"}, trad, goals, kRefs);
+    const SimResult tr = runWorkload(
+        {"ammp"}, trad, RunOptions{}.withGoals(goals).withReferences(kRefs));
 
     EXPECT_LT(*mr.qos.byAsid(Asid{0}).deviation, 0.05);
     EXPECT_GT(*tr.qos.byAsid(Asid{0}).deviation, 0.07); // ~|0.008 - 0.1|
@@ -125,10 +133,12 @@ TEST(EndToEnd, MolecularIsolatesVictimFromStreamer)
     // equal-size LRU — see Figure 5 — so the property tested here is the
     // decoupling itself.)
     const GoalSet goals = GoalSet::uniform(0.1, 2);
+    const RunOptions options =
+        RunOptions{}.withGoals(goals).withReferences(kRefs);
 
     auto shared_mr = [&](const std::vector<std::string> &apps) {
         SetAssocCache cache(traditionalParams(2_MiB, 4));
-        return runWorkload(apps, cache, goals, kRefs)
+        return runWorkload(apps, cache, options)
             .qos.byAsid(Asid{0})
             .missRate;
     };
@@ -138,7 +148,7 @@ TEST(EndToEnd, MolecularIsolatesVictimFromStreamer)
         for (u32 i = 0; i < apps.size(); ++i)
             cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1,
                                   ClusterId{0}, i, 1);
-        return runWorkload(apps, cache, goals, kRefs)
+        return runWorkload(apps, cache, options)
             .qos.byAsid(Asid{0})
             .missRate;
     };
@@ -164,19 +174,19 @@ TEST(EndToEnd, MolecularBeatsTraditionalOnGraphBDeviation)
     // Needs a near-paper-length trace: the adaptive partitions take a
     // couple of million references to settle.
     constexpr u64 kLongRefs = 2'000'000;
+    const RunOptions long_run =
+        RunOptions{}.withGoals(goals).withReferences(kLongRefs);
 
     SetAssocCache trad(traditionalParams(4_MiB, 4));
     const double trad_dev =
-        runWorkload(spec4Names(), trad, goals, kLongRefs)
-            .qos.averageDeviation;
+        runWorkload(spec4Names(), trad, long_run).qos.averageDeviation;
 
     MolecularCache mol(fig5MolecularParams(4_MiB, PlacementPolicy::Randy));
     for (u32 i = 0; i < 4; ++i)
         mol.registerApplication(Asid{static_cast<u16>(i)}, 0.1,
                                   ClusterId{0}, i, 1);
     const double mol_dev =
-        runWorkload(spec4Names(), mol, goals, kLongRefs)
-            .qos.averageDeviation;
+        runWorkload(spec4Names(), mol, long_run).qos.averageDeviation;
 
     EXPECT_LT(mol_dev, trad_dev);
 }
@@ -187,7 +197,10 @@ TEST(EndToEnd, EnergyPerAccessBelowWorstCase)
     for (u32 i = 0; i < 4; ++i)
         mol.registerApplication(Asid{static_cast<u16>(i)}, 0.1,
                                   ClusterId{0}, i, 1);
-    runWorkload(spec4Names(), mol, GoalSet::uniform(0.1, 4), kRefs);
+    runWorkload(spec4Names(), mol,
+                RunOptions{}
+                    .withGoals(GoalSet::uniform(0.1, 4))
+                    .withReferences(kRefs));
     EXPECT_GT(mol.averageAccessEnergyNj(), 0.0);
     EXPECT_LT(mol.averageAccessEnergyNj(),
               2.0 * mol.worstCaseAccessEnergyNj());
@@ -204,8 +217,12 @@ TEST(EndToEnd, DeterministicAcrossRuns)
         for (u32 i = 0; i < 4; ++i)
             cache.registerApplication(Asid{static_cast<u16>(i)}, 0.1,
                                   ClusterId{0}, i, 1);
-        const SimResult r = runWorkload(spec4Names(), cache,
-                                        GoalSet::uniform(0.1, 4), 100000, 5);
+        const SimResult r =
+            runWorkload(spec4Names(), cache,
+                        RunOptions{}
+                            .withGoals(GoalSet::uniform(0.1, 4))
+                            .withReferences(100000)
+                            .withSeed(5));
         return std::make_pair(r.qos.averageDeviation, r.misses);
     };
     EXPECT_EQ(run_once(), run_once());

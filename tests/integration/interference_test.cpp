@@ -22,7 +22,7 @@ double
 sharedMissRate(const std::vector<std::string> &apps, size_t index)
 {
     SetAssocCache cache(traditionalParams(1_MiB, 4));
-    return runWorkload(apps, cache, GoalSet{}, kRefs)
+    return runWorkload(apps, cache, RunOptions{}.withReferences(kRefs))
         .qos.byAsid(Asid{static_cast<u16>(index)})
         .missRate;
 }
@@ -83,8 +83,10 @@ TEST(Interference, MolecularPartitionsDecoupleMissRates)
                                   ClusterId{0}, i, 1);
         auto src = makeMultiProgramSource(apps, 2 * kRefs);
         return Simulator::run(*src, cache,
-                              GoalSet::uniform(0.1, apps.size()), {},
-                              /*warmup=*/kRefs)
+                              RunOptions{}
+                                  .withGoals(GoalSet::uniform(
+                                      0.1, apps.size()))
+                                  .withWarmup(kRefs))
             .qos.byAsid(Asid{static_cast<u16>(index)})
             .missRate;
     };

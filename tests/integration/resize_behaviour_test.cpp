@@ -38,7 +38,8 @@ TEST(ResizeBehaviour, OverachieverShrinksTowardGoal)
     const GoalSet goals = GoalSet::uniform(0.1, 1);
     // Warm through the shrink phase, then measure the equilibrium.
     auto src = makeMultiProgramSource({"ammp"}, kRefs);
-    Simulator::run(*src, cache, goals, {}, /*warmup=*/2 * kRefs / 3);
+    Simulator::run(*src, cache,
+                   RunOptions{}.withGoals(goals).withWarmup(2 * kRefs / 3));
     // ammp started with half a tile (32 molecules) and must have given
     // most of it back, landing near its goal.  Tolerance is set by the
     // 8 KiB molecule quantum: ammp's working set straddles 1-3 molecules,
@@ -53,7 +54,10 @@ TEST(ResizeBehaviour, ThrashingPartitionGetsCapped)
     MolecularCache cache(
         fig5MolecularParams(2_MiB, PlacementPolicy::Randy));
     cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, 0, 1);
-    runWorkload({"mcf"}, cache, GoalSet::uniform(0.1, 1), kRefs);
+    runWorkload({"mcf"}, cache,
+                RunOptions{}
+                    .withGoals(GoalSet::uniform(0.1, 1))
+                    .withReferences(kRefs));
     // mcf (32 MiB pointer chase) can never reach 10%; Algorithm 1 must
     // cap it at the allocation chunk instead of letting it take the
     // whole 2 MiB.
@@ -68,7 +72,10 @@ TEST(ResizeBehaviour, NeedyPartitionGrowsPastInitial)
         fig5MolecularParams(4_MiB, PlacementPolicy::Randy));
     cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, 0, 1);
     const u32 initial = cache.region(Asid{0}).size();
-    runWorkload({"parser"}, cache, GoalSet::uniform(0.1, 1), kRefs);
+    runWorkload({"parser"}, cache,
+                RunOptions{}
+                    .withGoals(GoalSet::uniform(0.1, 1))
+                    .withReferences(kRefs));
     // parser's ~600KB working set needs more than half a 1MB tile.
     EXPECT_GT(cache.region(Asid{0}).size(), initial);
 }
@@ -80,7 +87,10 @@ TEST(ResizeBehaviour, GrantsNeverExceedPool)
     for (u32 i = 0; i < 4; ++i)
         cache.registerApplication(Asid{static_cast<u16>(i)}, 0.05,
                                   ClusterId{0}, i, 1);
-    runWorkload(spec4Names(), cache, GoalSet::uniform(0.05, 4), kRefs);
+    runWorkload(spec4Names(), cache,
+                RunOptions{}
+                    .withGoals(GoalSet::uniform(0.05, 4))
+                    .withReferences(kRefs));
     u32 held = 0;
     for (u32 i = 0; i < 4; ++i)
         held += cache.region(Asid{static_cast<u16>(i)}).size();
@@ -95,8 +105,10 @@ TEST(ResizeBehaviour, PerAppSchemeAlsoConverges)
     MolecularCache cache(p);
     cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, 0, 1);
     auto src = makeMultiProgramSource({"ammp"}, kRefs);
-    Simulator::run(*src, cache, GoalSet::uniform(0.1, 1), {},
-                   /*warmup=*/2 * kRefs / 3);
+    Simulator::run(*src, cache,
+                   RunOptions{}
+                       .withGoals(GoalSet::uniform(0.1, 1))
+                       .withWarmup(2 * kRefs / 3));
     EXPECT_NEAR(cache.stats().forAsid(Asid{0}).missRate(), 0.1, 0.08);
     EXPECT_GT(cache.stats().forAsid(Asid{0}).missRate(), 0.005);
     EXPECT_GT(cache.resizeCycles(), 0u);
@@ -110,7 +122,10 @@ TEST(ResizeBehaviour, ConstantSchemeRunsOnFixedPeriod)
     p.resizePeriod = 10000;
     MolecularCache cache(p);
     cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, 0, 1);
-    runWorkload({"gzip"}, cache, GoalSet::uniform(0.1, 1), 100000);
+    runWorkload({"gzip"}, cache,
+                RunOptions{}
+                    .withGoals(GoalSet::uniform(0.1, 1))
+                    .withReferences(100000));
     // Exactly one cycle per 10k accesses (within one boundary cycle).
     EXPECT_NEAR(static_cast<double>(cache.resizeCycles()), 10.0, 1.0);
 }
@@ -119,7 +134,10 @@ TEST(ResizeBehaviour, RandomPolicyAlsoManagesPartitions)
 {
     MolecularCache cache(cappedParams(2_MiB, PlacementPolicy::Random));
     cache.registerApplication(Asid{0}, 0.10, ClusterId{0}, 0, 1);
-    runWorkload({"ammp"}, cache, GoalSet::uniform(0.1, 1), kRefs);
+    runWorkload({"ammp"}, cache,
+                RunOptions{}
+                    .withGoals(GoalSet::uniform(0.1, 1))
+                    .withReferences(kRefs));
     EXPECT_LT(cache.region(Asid{0}).size(), 8u);
     EXPECT_EQ(cache.region(Asid{0}).rowMax(), 1u); // single replacement row
 }

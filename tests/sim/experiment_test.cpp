@@ -71,7 +71,8 @@ TEST(Experiment, RunWorkloadEndToEnd)
     SetAssocCache cache(traditionalParams(1_MiB, 4));
     const GoalSet goals = GoalSet::uniform(0.1, 2);
     const SimResult r =
-        runWorkload({"ammp", "mcf"}, cache, goals, 20000);
+        runWorkload({"ammp", "mcf"}, cache,
+                    RunOptions{}.withGoals(goals).withReferences(20000));
     EXPECT_EQ(r.accesses, 20000u);
     EXPECT_EQ(r.qos.apps.size(), 2u);
     EXPECT_EQ(r.qos.byAsid(Asid{0}).label, "ammp");
@@ -83,10 +84,10 @@ TEST(Experiment, RunWorkloadEndToEnd)
 TEST(Experiment, DeriveGoalsFromSoloProfiling)
 {
     const SetAssocParams ref = traditionalParams(1_MiB, 4);
-    const GoalSet goals = deriveGoalsFromSolo({"ammp", "mcf"}, ref,
-                                              /*slackFactor=*/1.5,
-                                              /*minGoal=*/0.02,
-                                              /*refsPerApp=*/100000);
+    const GoalSet goals =
+        deriveGoalsFromSolo({"ammp", "mcf"}, ref,
+                            RunOptions{}.withReferences(100000),
+                            /*slackFactor=*/1.5, /*minGoal=*/0.02);
     ASSERT_EQ(goals.size(), 2u);
     // ammp's solo rate (~0.005) is below the floor: clamped to minGoal.
     EXPECT_DOUBLE_EQ(*goals.goal(Asid{0}), 0.02);
@@ -98,7 +99,7 @@ TEST(Experiment, DeriveGoalsFromSoloProfiling)
 TEST(ExperimentDeath, DeriveGoalsRejectsSubUnitySlack)
 {
     EXPECT_EXIT(deriveGoalsFromSolo({"ammp"}, traditionalParams(1_MiB, 4),
-                                    0.5),
+                                    RunOptions{}, 0.5),
                 ::testing::ExitedWithCode(1), "slack factor");
 }
 

@@ -28,7 +28,7 @@ TEST(Simulator, DrainsSourceAndCounts)
 {
     auto src = repeatSource(0x1000, 10);
     SetAssocCache cache(tinyCache());
-    const SimResult r = Simulator::run(*src, cache, GoalSet{});
+    const SimResult r = Simulator::run(*src, cache);
     EXPECT_EQ(r.accesses, 10u);
     EXPECT_EQ(r.misses, 1u);
     EXPECT_EQ(r.hits, 9u);
@@ -41,8 +41,8 @@ TEST(Simulator, WarmupResetsStats)
 {
     auto src = repeatSource(0x1000, 10);
     SetAssocCache cache(tinyCache());
-    const SimResult r = Simulator::run(*src, cache, GoalSet{}, {},
-                                       /*warmup=*/5);
+    const SimResult r =
+        Simulator::run(*src, cache, RunOptions{}.withWarmup(5));
     // The cold miss happened during warmup; measured window is all hits.
     EXPECT_EQ(r.accesses, 5u);
     EXPECT_EQ(r.misses, 0u);
@@ -56,8 +56,8 @@ TEST(Simulator, ProgressCallbackFires)
     VectorSource src(std::move(v));
     SetAssocCache cache(tinyCache());
     u64 calls = 0;
-    Simulator::run(src, cache, GoalSet{}, {}, 0,
-                   [&](u64) { ++calls; });
+    Simulator::run(src, cache,
+                   RunOptions{}.withProgress([&](u64) { ++calls; }));
     EXPECT_EQ(calls, 1u);
 }
 
@@ -75,7 +75,7 @@ TEST(Simulator, EnergyPropagated)
     p.energyPerAccessNj = 2.0;
     SetAssocCache cache(p);
     auto src = repeatSource(0x1000, 4);
-    const SimResult r = Simulator::run(*src, cache, GoalSet{});
+    const SimResult r = Simulator::run(*src, cache);
     EXPECT_DOUBLE_EQ(r.totalEnergyNj, 8.0);
     EXPECT_DOUBLE_EQ(r.avgEnergyPerAccessNj, 2.0);
 }

@@ -1,0 +1,15 @@
+// Negative fixture: positional calls to the [[deprecated]] run
+// overloads.  New code passes RunOptions; the positional forms exist
+// only so downstream callers can migrate one release behind.
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+
+void
+positionalCalls(molcache::AccessSource &src, molcache::CacheModel &cache)
+{
+    using namespace molcache;
+    const GoalSet goals = GoalSet::uniform(0.1, 2);
+    Simulator::run(src, cache, goals, {}, 1000);               // deprecated-run
+    runWorkload({"ammp", "mcf"}, cache, GoalSet::uniform(0.1, 2)); // deprecated-run
+    deriveGoalsFromSolo({"ammp"}, traditionalParams(1_MiB, 4), 1.5); // deprecated-run
+}

@@ -29,6 +29,13 @@
  *  - include-hygiene:   no "../" includes (project includes are
  *                       repo-root-relative), no duplicate includes, and
  *                       no <cassert>/<assert.h> in src/.
+ *  - deprecated-run:    positional-argument calls to Simulator::run,
+ *                       runWorkload or deriveGoalsFromSolo -- the
+ *                       [[deprecated]] forwarders exist only for staged
+ *                       migration; new code must pass RunOptions.  The
+ *                       compiler enforces this wherever MOLCACHE_WERROR
+ *                       is on; the lint catches it in one pass without a
+ *                       build.
  *
  * Usage:
  *   molcache_lint --root <repo-root>              lint the tree
@@ -307,6 +314,99 @@ checkNoAssert(const SourceFile &f)
                "use MOLCACHE_EXPECT/ENSURE/INVARIANT instead of assert()");
 }
 
+/**
+ * Split the balanced parenthesized argument list starting at @p open
+ * (the '(' position) into top-level arguments.  Tracks (), {} and []
+ * nesting; returns empty when the list never closes (macro soup).
+ */
+std::vector<std::string>
+splitArgs(const std::string &code, size_t open)
+{
+    std::vector<std::string> args;
+    std::string current;
+    int depth = 0;
+    for (size_t i = open; i < code.size(); ++i) {
+        const char c = code[i];
+        if (c == '(' || c == '{' || c == '[') {
+            if (++depth > 1)
+                current += c;
+            continue;
+        }
+        if (c == ')' || c == '}' || c == ']') {
+            if (--depth == 0) {
+                if (!current.empty())
+                    args.push_back(current);
+                return args;
+            }
+            current += c;
+            continue;
+        }
+        if (c == ',' && depth == 1) {
+            args.push_back(current);
+            current.clear();
+            continue;
+        }
+        if (depth >= 1)
+            current += c;
+    }
+    return {};
+}
+
+bool
+looksNumeric(const std::string &arg)
+{
+    static const std::regex rx(R"(^\s*[0-9][0-9'.]*\s*$)");
+    return std::regex_search(arg, rx);
+}
+
+void
+checkDeprecatedRun(const SourceFile &f)
+{
+    // The forwarders' own declarations and definitions live here.
+    if (startsWith(f.rel, "src/sim/"))
+        return;
+    // Heuristic (the compiler is the authority wherever MOLCACHE_WERROR
+    // is on): the RunOptions forms take at most (source-ish, model,
+    // options) — a fourth positional argument, a positional GoalSet, or
+    // a numeric third argument to deriveGoalsFromSolo can only be a
+    // deprecated-overload call.
+    static const std::regex rx(
+        R"((Simulator\s*::\s*run|\brunWorkload|\bderiveGoalsFromSolo)\s*\()");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it) {
+        const std::string fn = (*it)[1].str();
+        const size_t open =
+            static_cast<size_t>(it->position(0)) + it->length(0) - 1;
+        const std::vector<std::string> args = splitArgs(f.code, open);
+        if (args.size() < 3)
+            continue; // declarations trimmed below the arity of interest
+        // Skip the declarations/definitions themselves (reference
+        // parameters, not call-site expressions).
+        if (args[0].find('&') != std::string::npos)
+            continue;
+        bool deprecated = false;
+        if (fn == "deriveGoalsFromSolo") {
+            deprecated = looksNumeric(args[2]);
+        } else {
+            // A RunOptions chain may itself mention GoalSet
+            // (.withGoals(GoalSet::uniform(...))) — only a GoalSet
+            // passed *without* RunOptions in the argument is positional.
+            for (size_t i = 2; i < args.size(); ++i)
+                if (args[i].find("GoalSet") != std::string::npos &&
+                    args[i].find("RunOptions") == std::string::npos)
+                    deprecated = true;
+            if (args.size() > 3)
+                deprecated = true;
+        }
+        if (deprecated)
+            report("deprecated-run", f.rel,
+                   lineOf(f.code, static_cast<size_t>(it->position(0))),
+                   "positional " + fn +
+                       "() call; pass RunOptions (the positional "
+                       "overloads are [[deprecated]])");
+    }
+}
+
 void
 checkIncludeHygiene(const SourceFile &f)
 {
@@ -373,6 +473,7 @@ lintFile(const fs::path &root, const fs::path &path,
     checkRawIdParams(f);
     checkTransposedIds(f);
     checkNoAssert(f);
+    checkDeprecatedRun(f);
     checkIncludeHygiene(f);
 }
 
@@ -440,6 +541,7 @@ runSelfTest(const fs::path &root)
         checkRawIdParams(f);
         checkTransposedIds(f);
         checkNoAssert(f);
+        checkDeprecatedRun(f);
         checkIncludeHygiene(f);
     }
 
@@ -450,6 +552,7 @@ runSelfTest(const fs::path &root)
         {"raw-id-param", "bad_core_api.hpp"},
         {"transposed-ids", "bad_transposed.cpp"},
         {"no-assert", "bad_include.cpp"},
+        {"deprecated-run", "bad_deprecated_run.cpp"},
         {"include-hygiene", "bad_include.cpp"},
     };
     int failures = 0;

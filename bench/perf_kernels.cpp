@@ -5,9 +5,17 @@
  * and the power-model organization search.  These guard against
  * performance regressions in the hot loops the reproduction experiments
  * depend on.
+ *
+ * The BM_Hotpath* family is the access-path gate described in
+ * docs/perf.md: it measures steady-state accesses/sec for every
+ * placement policy and is compared against the committed baseline in
+ * BENCH_hotpath.json (refresh with
+ * `perf_kernels --benchmark_filter=BM_Hotpath --benchmark_format=json`).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <span>
 
 #include "cache/set_assoc.hpp"
 #include "core/molecular_cache.hpp"
@@ -21,7 +29,13 @@ using namespace molcache;
 
 namespace {
 
-std::vector<MemAccess>
+/**
+ * A view of the first @p n accesses of a lazily-grown shared trace.
+ * Returning a span keeps the (one-time) generation cost out of every
+ * kernel's measured loop and avoids re-copying 100k MemAccess records
+ * per benchmark registration.
+ */
+std::span<const MemAccess>
 sampleTrace(u64 n)
 {
     static std::vector<MemAccess> trace;
@@ -33,7 +47,7 @@ sampleTrace(u64 n)
         while (auto a = src->next())
             trace.push_back(*a);
     }
-    return {trace.begin(), trace.begin() + n};
+    return {trace.data(), n};
 }
 
 void
@@ -84,6 +98,86 @@ BM_MolecularAccess(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MolecularAccess)->Arg(0)->Arg(1);
+
+/* ------------------------------------------------------------------ */
+/* Access-path hot-path gate (docs/perf.md)                            */
+
+/** Hot-path kernel variants, one per lookup flavour. */
+enum HotpathVariant : int
+{
+    kHotRandom = 0,
+    kHotRandy = 1,
+    kHotRandyRowRestricted = 2,
+    kHotLruDirect = 3,
+};
+
+MolecularCacheParams
+hotpathParams(int variant)
+{
+    PlacementPolicy policy = PlacementPolicy::Random;
+    switch (variant) {
+      case kHotRandom:
+        policy = PlacementPolicy::Random;
+        break;
+      case kHotRandy:
+      case kHotRandyRowRestricted:
+        policy = PlacementPolicy::Randy;
+        break;
+      case kHotLruDirect:
+        policy = PlacementPolicy::LruDirect;
+        break;
+    }
+    MolecularCacheParams p = fig5MolecularParams(2_MiB, policy);
+    p.rowRestrictedLookup = variant == kHotRandyRowRestricted;
+    return p;
+}
+
+/**
+ * Steady-state molecular access throughput.  The cache is warmed with
+ * one full pass over the trace before timing starts so the measured
+ * loop reflects the steady-state lookup path (the regime every sweep
+ * and figure reproduction spends its time in), not cold fills.
+ */
+void
+BM_HotpathMolecular(benchmark::State &state)
+{
+    MolecularCache cache(hotpathParams(static_cast<int>(state.range(0))));
+    for (u32 a = 0; a < 4; ++a)
+        cache.registerApplication(Asid{static_cast<u16>(a)}, 0.1,
+                                  ClusterId{0}, a, 1);
+    const auto trace = sampleTrace(100000);
+    for (const MemAccess &a : trace)
+        cache.access(a); // warmup pass: populate regions + fills
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(trace[i]).hit);
+        i = (i + 1) % trace.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotpathMolecular)
+    ->Arg(kHotRandom)
+    ->Arg(kHotRandy)
+    ->Arg(kHotRandyRowRestricted)
+    ->Arg(kHotLruDirect);
+
+/** Traditional set-associative reference point for the same trace. */
+void
+BM_HotpathTraditional(benchmark::State &state)
+{
+    SetAssocCache cache(
+        traditionalParams(2_MiB, static_cast<u32>(state.range(0))));
+    const auto trace = sampleTrace(100000);
+    for (const MemAccess &a : trace)
+        cache.access(a);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(trace[i]).hit);
+        i = (i + 1) % trace.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotpathTraditional)->Arg(8);
 
 void
 BM_CactiEvaluate(benchmark::State &state)

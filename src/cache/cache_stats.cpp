@@ -2,6 +2,19 @@
 
 namespace molcache {
 
+AccessCounters &
+CacheStats::slot(Asid asid)
+{
+    const u32 v = asid.value();
+    if (v < denseIndex_.size() && denseIndex_[v] != nullptr)
+        return *denseIndex_[v];
+    AccessCounters &c = perAsid_[asid]; // node-stable insertion
+    if (denseIndex_.size() <= v)
+        denseIndex_.resize(v + 1u, nullptr);
+    denseIndex_[v] = &c;
+    return c;
+}
+
 void
 CacheStats::record(Asid asid, bool hit, bool isWrite, Cycles latency)
 {
@@ -16,14 +29,14 @@ CacheStats::record(Asid asid, bool hit, bool isWrite, Cycles latency)
         c.latencyCycles += latency;
     };
     bump(global_);
-    bump(perAsid_[asid]);
+    bump(slot(asid));
 }
 
 void
 CacheStats::recordWriteback(Asid asid)
 {
     ++global_.writebacks;
-    ++perAsid_[asid].writebacks;
+    ++slot(asid).writebacks;
 }
 
 const AccessCounters &
@@ -48,6 +61,7 @@ CacheStats::reset()
 {
     global_ = AccessCounters{};
     perAsid_.clear();
+    denseIndex_.clear();
 }
 
 } // namespace molcache

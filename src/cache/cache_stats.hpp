@@ -11,6 +11,7 @@
 #define MOLCACHE_CACHE_CACHE_STATS_HPP
 
 #include <map>
+#include <vector>
 
 #include "stats/counter.hpp"
 #include "util/types.hpp"
@@ -64,8 +65,15 @@ class CacheStats
     void reset();
 
   private:
+    /** Counter block of @p asid, created on first sight.  Steady-state
+     * calls resolve through the dense index — no map walk per access. */
+    AccessCounters &slot(Asid asid);
+
     AccessCounters global_;
+    // Ordered authority for the reporting API; map nodes are stable so
+    // the dense index can point at them.  molcache-lint: allow-map
     std::map<Asid, AccessCounters> perAsid_;
+    std::vector<AccessCounters *> denseIndex_; // by asid value
 };
 
 } // namespace molcache

@@ -84,6 +84,9 @@ class CoherenceDirectory
     std::vector<ClusterId> othersOf(const Entry &e, ClusterId cluster) const;
 
     u32 numClusters_;
+    // Per-line directory state: genuinely sparse (keyed by every line
+    // address ever cached) and only touched on writes, fills and
+    // evictions — never on the hit path.  molcache-lint: allow-map
     std::unordered_map<LineAddr, Entry> map_;
     CoherenceStats stats_;
 };

@@ -37,6 +37,9 @@ MolecularCache::MolecularCache(const MolecularCacheParams &params)
     }
 
     appsPerCluster_.assign(params_.clusters, 0);
+    sharedByTile_.assign(total_tiles, {});
+    if (isPowerOfTwo(params_.moleculesPerTile))
+        molShift_ = static_cast<i32>(floorLog2(params_.moleculesPerTile));
     rng_ = makeRandomSource(params_.rngKind, params_.seed);
 
     globalResizePeriod_ = params_.resizePeriod;
@@ -106,6 +109,9 @@ MolecularCache::registerApplication(Asid asid, double resizeGoal,
                               params_.initialRowMax));
     MOLCACHE_ENSURE(inserted, "region emplace failed");
     Region &region = it->second;
+    if (regionIndex_.size() <= asid.value())
+        regionIndex_.resize(asid.value() + 1u, nullptr);
+    regionIndex_[asid.value()] = &region;
     region.resizeGoal = resizeGoal;
     region.maxAllocation = params_.maxAllocationChunk;
     region.resizePeriod = params_.resizePeriod;
@@ -177,6 +183,7 @@ MolecularCache::unregisterApplication(Asid asid)
     MOLCACHE_INVARIANT(appsPerCluster_[region.homeCluster().value()] > 0,
                        "cluster app count underflow");
     --appsPerCluster_[region.homeCluster().value()];
+    regionIndex_[asid.value()] = nullptr;
     regions_.erase(it);
 }
 
@@ -210,11 +217,15 @@ MolecularCache::migrateApplication(Asid asid, ClusterId cluster,
 Region &
 MolecularCache::regionFor(Asid asid)
 {
-    const auto it = regions_.find(asid);
-    if (it != regions_.end())
-        return it->second;
+    // Dense per-ASID index: the per-access path must not pay a
+    // node-based map walk (docs/perf.md).  regions_ stays the ordered
+    // authority (stable nodes, ascending-ASID iteration for
+    // deterministic resize/invalidation order); this is a cache of it.
+    const u32 v = asid.value();
+    if (v < regionIndex_.size() && regionIndex_[v] != nullptr)
+        return *regionIndex_[v];
     registerApplication(asid, params_.defaultMissRateGoal);
-    return regions_.at(asid);
+    return *regionIndex_[v];
 }
 
 const Region &
@@ -229,7 +240,7 @@ MolecularCache::region(Asid asid) const
 Molecule &
 MolecularCache::molecule(MoleculeId id)
 {
-    const u32 tile = id.value() / params_.moleculesPerTile;
+    const u32 tile = tileIndexOf(id);
     MOLCACHE_EXPECT(tile < tiles_.size(), "molecule id out of range");
     return tiles_[tile].molecule(id);
 }
@@ -237,7 +248,7 @@ MolecularCache::molecule(MoleculeId id)
 const Molecule &
 MolecularCache::molecule(MoleculeId id) const
 {
-    const u32 tile = id.value() / params_.moleculesPerTile;
+    const u32 tile = tileIndexOf(id);
     MOLCACHE_EXPECT(tile < tiles_.size(), "molecule id out of range");
     return tiles_[tile].molecule(id);
 }
@@ -266,7 +277,7 @@ void
 MolecularCache::setSharedMolecule(MoleculeId id, bool shared)
 {
     Molecule &m = molecule(id);
-    auto &list = sharedByTile_[m.tile()];
+    auto &list = sharedByTile_[m.tile().value()];
     const auto it = std::find(list.begin(), list.end(), id);
     if (shared) {
         if (m.isFree())
@@ -279,26 +290,36 @@ MolecularCache::setSharedMolecule(MoleculeId id, bool shared)
         if (it != list.end())
             list.erase(it);
     }
+    // Cached probe schedules fold shared-bit molecules in; stale them.
+    ++sharedGen_;
 }
 
 Molecule *
 MolecularCache::probeTile(TileId tile, const std::vector<MoleculeId> &mols,
                           Addr addr)
 {
-    const ClusterId cluster{tile.value() / params_.tilesPerCluster};
+    Tile &t = tiles_[tile.value()];
     for (const MoleculeId id : mols) {
-        Molecule &m = tiles_[tile.value()].molecule(id);
-        // The probe reads data + tag + parity; a poisoned slot fails the
-        // parity check here, is dropped, and the probe reads as a miss.
-        if (const auto dropped = m.scrubIfPoisoned(addr)) {
+        Molecule &m = t.molecule(id);
+        switch (m.probe(addr)) {
+          case Molecule::ProbeOutcome::Hit:
+            return &m;
+          case Molecule::ProbeOutcome::Miss:
+            break;
+          case Molecule::ProbeOutcome::Poisoned: {
+            // The probe read data + tag + parity; the poisoned slot
+            // failed the parity check, is dropped, and reads as a miss.
+            const auto dropped = m.scrubIfPoisoned(addr);
+            MOLCACHE_ENSURE(dropped.has_value(), "poisoned slot vanished");
             ++faultStats_.transientFlipsDetected;
             if (dropped->dirty)
                 ++faultStats_.dirtyLinesLost;
-            directory_.noteEviction(LineAddr{dropped->addr}, cluster);
-            continue;
+            directory_.noteEviction(
+                LineAddr{dropped->addr},
+                ClusterId{tile.value() / params_.tilesPerCluster});
+            break;
+          }
         }
-        if (m.lookup(addr))
-            return &m;
     }
     return nullptr;
 }
@@ -320,18 +341,17 @@ MolecularCache::access(const MemAccess &a)
     Tile &home = tiles_[region.homeTile().value()];
     home.notePortAccess();
 
-    LookupPlan plan = planLookup(region, region.homeTile(), a.addr,
-                                 params_.rowRestrictedLookup);
+    // The memoized probe schedule (docs/perf.md): equivalent to
+    // planLookup() + the entry tile's shared-bit molecules, but rebuilt
+    // only when region membership or shared-bit state changed —
+    // steady-state accesses are allocation-free.
+    const std::vector<MoleculeId> &shared_home =
+        sharedByTile_[region.homeTile().value()];
+    const ProbeSchedule &plan = region.probeSchedule(
+        a.addr, params_.rowRestrictedLookup, sharedGen_,
+        shared_home.empty() ? nullptr : &shared_home);
 
-    // Shared-bit molecules on the entry tile answer every request.
-    const auto shared_it = sharedByTile_.find(region.homeTile());
-    if (shared_it != sharedByTile_.end()) {
-        for (const MoleculeId id : shared_it->second)
-            if (!region.contains(id))
-                plan.home.molecules.push_back(id);
-    }
-
-    u32 probes = static_cast<u32>(plan.home.molecules.size());
+    u32 probes = static_cast<u32>(plan.home.size());
     double energy = tileAccessEnergyNj(probes);
     // The ASID stage gates every tile visit; matching molecules of a
     // tile are probed in parallel behind the single port.
@@ -339,8 +359,7 @@ MolecularCache::access(const MemAccess &a)
                      params_.moleculeAccessCycles;
     u8 level = 0;
 
-    Molecule *hit_mol = probeTile(region.homeTile(), plan.home.molecules,
-                                  a.addr);
+    Molecule *hit_mol = probeTile(region.homeTile(), plan.home, a.addr);
 
     if (hit_mol == nullptr && !plan.remote.empty()) {
         // Tile miss: Ulmo forwards to the region's other tiles.
@@ -501,10 +520,7 @@ MolecularCache::applyInvalidations(const std::vector<ClusterId> &clusters,
         }
         // Shared-bit molecules on the cluster's tiles.
         for (const TileId t : ulmos_[c.value()].tiles()) {
-            const auto it = sharedByTile_.find(t);
-            if (it == sharedByTile_.end())
-                continue;
-            for (const MoleculeId id : it->second) {
+            for (const MoleculeId id : sharedByTile_[t.value()]) {
                 Molecule &m = molecule(id);
                 if (m.invalidate(lineAddr.value()))
                     stats_.recordWriteback(m.configuredAsid());

@@ -180,6 +180,16 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     Region &regionFor(Asid asid);
     Tile &tileAt(TileId index) { return tiles_[index.value()]; }
 
+    /** Tile array index hosting @p id — a shift when moleculesPerTile
+     * is a power of two (the common geometries), a divide otherwise. */
+    u32
+    tileIndexOf(MoleculeId id) const
+    {
+        return molShift_ >= 0
+                   ? id.value() >> static_cast<u32>(molShift_)
+                   : id.value() / params_.moleculesPerTile;
+    }
+
     /** Probe @p mols on @p tile; @return the hit molecule or nullptr. */
     Molecule *probeTile(TileId tile, const std::vector<MoleculeId> &mols,
                         Addr addr);
@@ -212,7 +222,13 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     CoherenceDirectory directory_;
     NocModel noc_;
     std::vector<Ulmo> ulmos_;
+    // Ordered region authority: stable nodes (regionIndex_ points into
+    // them) and ascending-ASID iteration keep resize/invalidation order
+    // deterministic.  Never walked on the per-access path — regionFor
+    // goes through the dense index.  molcache-lint: allow-map
     std::map<Asid, Region> regions_;
+    // Dense ASID -> Region cache for the access hot path.
+    std::vector<Region *> regionIndex_;
     Resizer resizer_;
     std::unique_ptr<RandomSource> rng_;
 
@@ -238,8 +254,13 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     u64 probesTotal_ = 0;
     u64 enabledIntegral_ = 0;
 
-    // Shared-bit molecules per tile (probed by every request).
-    std::map<TileId, std::vector<MoleculeId>> sharedByTile_;
+    // Shared-bit molecules per tile (probed by every request entering
+    // the tile), indexed densely by tile.  sharedGen_ invalidates the
+    // probe-schedule memos that folded these lists in.
+    std::vector<std::vector<MoleculeId>> sharedByTile_;
+    u64 sharedGen_ = 0;
+    // moleculesPerTile as a shift (-1 when not a power of two).
+    i32 molShift_ = -1;
 
     // Fault injection & audit state.
     FaultInjector injector_;

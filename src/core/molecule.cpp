@@ -13,18 +13,8 @@ Molecule::Molecule(MoleculeId id, TileId tile, u32 numLines,
     MOLCACHE_EXPECT(numLines > 0 && isPowerOfTwo(numLines),
                     "molecule lines must be a power of two");
     MOLCACHE_EXPECT(isPowerOfTwo(lineSize), "line size must be 2^k");
-}
-
-u32
-Molecule::indexOf(Addr addr) const
-{
-    return static_cast<u32>((addr / lineSize_) & (numLines_ - 1));
-}
-
-Addr
-Molecule::tagOf(Addr addr) const
-{
-    return addr / lineSize_ / numLines_;
+    lineShift_ = floorLog2(lineSize);
+    tagShift_ = lineShift_ + floorLog2(numLines);
 }
 
 void
@@ -56,13 +46,6 @@ Molecule::release()
     shared_ = false;
     missCount_ = 0;
     return dirty;
-}
-
-bool
-Molecule::lookup(Addr addr) const
-{
-    const Line &l = lines_[indexOf(addr)];
-    return l.valid && l.tag == tagOf(addr);
 }
 
 void

@@ -69,7 +69,33 @@ class Molecule
      * Probe for @p addr.  Direct mapped: one index, one tag compare.
      * @return true on hit; marks dirty on write hits via markDirty().
      */
-    bool lookup(Addr addr) const;
+    bool
+    lookup(Addr addr) const
+    {
+        const Line &l = lines_[indexOf(addr)];
+        return l.valid && l.tag == tagOf(addr);
+    }
+
+    /** Outcome of a single hot-path probe (see probe()). */
+    enum class ProbeOutcome : u8 { Miss, Hit, Poisoned };
+
+    /**
+     * Hot-path probe: parity check + tag compare of the slot @p addr
+     * maps to, reading the slot once.  Poisoned means the parity check
+     * tripped — the caller must scrubIfPoisoned() to drop the line and
+     * learn its identity (rare, so the bookkeeping stays off this path).
+     */
+    ProbeOutcome
+    probe(Addr addr) const
+    {
+        const Line &l = lines_[indexOf(addr)];
+        if (!l.valid)
+            return ProbeOutcome::Miss;
+        if (l.poisoned) [[unlikely]]
+            return ProbeOutcome::Poisoned;
+        return l.tag == tagOf(addr) ? ProbeOutcome::Hit
+                                    : ProbeOutcome::Miss;
+    }
 
     /** Set the dirty bit of a resident line (write hit). */
     void markDirty(Addr addr);
@@ -153,13 +179,26 @@ class Molecule
     friend class Tile; // sole caller of markDecommissioned()
     void markDecommissioned() { decommissioned_ = true; }
 
-    u32 indexOf(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    /** Slot index / tag of @p addr.  Line size and line count are
+     * powers of two, so these are shifts — a per-probe divide would
+     * dominate the access hot path (docs/perf.md). */
+    u32
+    indexOf(Addr addr) const
+    {
+        return static_cast<u32>((addr >> lineShift_) & (numLines_ - 1));
+    }
+    Addr
+    tagOf(Addr addr) const
+    {
+        return addr >> tagShift_;
+    }
 
     MoleculeId id_;
     TileId tile_;
     u32 numLines_;
     u32 lineSize_;
+    u32 lineShift_ = 0; ///< log2(lineSize_)
+    u32 tagShift_ = 0;  ///< log2(lineSize_ * numLines_)
     Asid asid_ = kInvalidAsid;
     bool shared_ = false;
     std::vector<Line> lines_;

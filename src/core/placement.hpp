@@ -9,6 +9,11 @@
  * miss does Ulmo forward the request to the other tiles of the cluster
  * that contribute molecules to the region.  The LookupPlan captures that
  * order; MolecularCache executes it and charges energy per probe.
+ *
+ * planLookup() is the *reference* implementation: the per-access hot
+ * path uses Region::probeSchedule() (the memoized equivalent, see
+ * docs/perf.md), and tests/core/probe_schedule_test.cpp pins the two
+ * against each other across membership churn.
  */
 
 #ifndef MOLCACHE_CORE_PLACEMENT_HPP
@@ -19,13 +24,6 @@
 #include "core/region.hpp"
 
 namespace molcache {
-
-/** Probes for one tile. */
-struct TileProbes
-{
-    TileId tile{};
-    std::vector<MoleculeId> molecules;
-};
 
 /** Ordered probe schedule for one access. */
 struct LookupPlan

@@ -7,6 +7,54 @@
 
 namespace molcache {
 
+TilePlacement::Entry *
+TilePlacement::find(TileId tile)
+{
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), tile,
+        [](const Entry &e, TileId t) { return e.tile < t; });
+    return it != entries_.end() && it->tile == tile ? &*it : nullptr;
+}
+
+const TilePlacement::Entry *
+TilePlacement::find(TileId tile) const
+{
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), tile,
+        [](const Entry &e, TileId t) { return e.tile < t; });
+    return it != entries_.end() && it->tile == tile ? &*it : nullptr;
+}
+
+TilePlacement::Entry &
+TilePlacement::findOrCreate(TileId tile)
+{
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), tile,
+        [](const Entry &e, TileId t) { return e.tile < t; });
+    if (it == entries_.end() || it->tile != tile)
+        it = entries_.insert(it, Entry{tile, {}});
+    return *it;
+}
+
+void
+TilePlacement::erase(TileId tile)
+{
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), tile,
+        [](const Entry &e, TileId t) { return e.tile < t; });
+    MOLCACHE_EXPECT(it != entries_.end() && it->tile == tile,
+                    "erasing a tile with no placement entry");
+    entries_.erase(it);
+}
+
+const std::vector<MoleculeId> &
+TilePlacement::at(TileId tile) const
+{
+    const Entry *e = find(tile);
+    MOLCACHE_EXPECT(e != nullptr, "no molecules placed on tile");
+    return e->molecules;
+}
+
 Region::Region(Asid asid, PlacementPolicy policy, u32 lineMultiple,
                TileId homeTile, ClusterId homeCluster, Bytes moleculeSize,
                u32 initialRowMax)
@@ -17,6 +65,24 @@ Region::Region(Asid asid, PlacementPolicy policy, u32 lineMultiple,
     MOLCACHE_EXPECT(lineMultiple_ >= 1, "line multiple must be >= 1");
     MOLCACHE_EXPECT(moleculeSize_ > Bytes{0}, "molecule size must be > 0");
     MOLCACHE_EXPECT(initialRowMax_ >= 1, "initialRowMax must be >= 1");
+}
+
+Region::MolEntry *
+Region::findMol(MoleculeId mol)
+{
+    const auto it = std::lower_bound(
+        mols_.begin(), mols_.end(), mol,
+        [](const MolEntry &e, MoleculeId m) { return e.mol < m; });
+    return it != mols_.end() && it->mol == mol ? &*it : nullptr;
+}
+
+const Region::MolEntry *
+Region::findMol(MoleculeId mol) const
+{
+    const auto it = std::lower_bound(
+        mols_.begin(), mols_.end(), mol,
+        [](const MolEntry &e, MoleculeId m) { return e.mol < m; });
+    return it != mols_.end() && it->mol == mol ? &*it : nullptr;
 }
 
 void
@@ -63,19 +129,22 @@ Region::addMolecule(MoleculeId mol, TileId tile, bool initial)
     }
 
     rows_[row].push_back(mol);
-    molRow_[mol] = RowIndex{row};
-    molTile_[mol] = tile;
-    molMiss_[mol] = 0;
-    byTile_[tile].push_back(mol);
+    const auto it = std::lower_bound(
+        mols_.begin(), mols_.end(), mol,
+        [](const MolEntry &e, MoleculeId m) { return e.mol < m; });
+    mols_.insert(it, MolEntry{mol, tile, RowIndex{row}, 0});
+    byTile_.findOrCreate(tile).molecules.push_back(mol);
     ++size_;
+    ++generation_;
 }
 
 void
 Region::removeMolecule(MoleculeId mol)
 {
-    const auto rowIt = molRow_.find(mol);
-    MOLCACHE_EXPECT(rowIt != molRow_.end(), "molecule not in region");
-    const u32 row = rowIt->second.value();
+    const MolEntry *entry = findMol(mol);
+    MOLCACHE_EXPECT(entry != nullptr, "molecule not in region");
+    const u32 row = entry->row.value();
+    const TileId tile = entry->tile;
 
     auto &rowVec = rows_[row];
     rowVec.erase(std::find(rowVec.begin(), rowVec.end(), mol));
@@ -85,21 +154,23 @@ Region::removeMolecule(MoleculeId mol)
         // region and stale lines age out through replacement.
         rows_.erase(rows_.begin() + row);
         rowMiss_.erase(rowMiss_.begin() + row);
-        for (auto &[m, r] : molRow_)
-            if (r.value() > row)
-                --r;
+        for (MolEntry &e : mols_)
+            if (e.row.value() > row)
+                --e.row;
     }
 
-    const TileId tile = molTile_.at(mol);
-    auto &tileVec = byTile_.at(tile);
+    TilePlacement::Entry *te = byTile_.find(tile);
+    MOLCACHE_EXPECT(te != nullptr, "molecule's tile has no placement entry");
+    auto &tileVec = te->molecules;
     tileVec.erase(std::find(tileVec.begin(), tileVec.end(), mol));
     if (tileVec.empty())
         byTile_.erase(tile);
 
-    molRow_.erase(mol);
-    molTile_.erase(mol);
-    molMiss_.erase(mol);
+    mols_.erase(std::lower_bound(
+        mols_.begin(), mols_.end(), mol,
+        [](const MolEntry &e, MoleculeId m) { return e.mol < m; }));
     --size_;
+    ++generation_;
 }
 
 RowIndex
@@ -156,26 +227,37 @@ Region::pickWithdrawal() const
         MOLCACHE_ENSURE(coldRow >= 0, "no withdrawable row found");
         const auto &row = rows_[static_cast<size_t>(coldRow)];
         MoleculeId best = row.front();
-        for (const MoleculeId m : row)
-            if (molMiss_.at(m) < molMiss_.at(best))
+        u64 bestMiss = findMol(best)->miss;
+        for (const MoleculeId m : row) {
+            const u64 miss = findMol(m)->miss;
+            if (miss < bestMiss) {
                 best = m;
+                bestMiss = miss;
+            }
+        }
         return best;
     }
 
-    MoleculeId best = kInvalidMolecule;
-    for (const auto &[mol, misses] : molMiss_)
-        if (best == kInvalidMolecule || misses < molMiss_.at(best))
-            best = mol;
+    // Random / LRU-Direct: coldest molecule, ascending id on ties (the
+    // entries are id-sorted, matching the std::map scan this replaced).
+    MoleculeId best = mols_.front().mol;
+    u64 bestMiss = mols_.front().miss;
+    for (const MolEntry &e : mols_) {
+        if (e.miss < bestMiss) {
+            best = e.mol;
+            bestMiss = e.miss;
+        }
+    }
     return best;
 }
 
 void
 Region::noteReplacement(MoleculeId mol, Addr addr)
 {
-    const auto it = molRow_.find(mol);
-    MOLCACHE_EXPECT(it != molRow_.end(), "replacement in foreign molecule");
-    ++rowMiss_[it->second.value()];
-    ++molMiss_[mol];
+    MolEntry *entry = findMol(mol);
+    MOLCACHE_EXPECT(entry != nullptr, "replacement in foreign molecule");
+    ++rowMiss_[entry->row.value()];
+    ++entry->miss;
     ++intervalReplacements_;
     (void)addr;
 }
@@ -212,8 +294,73 @@ Region::closeInterval()
     intervalReplacements_ = 0;
     for (auto &v : rowMiss_)
         v = 0;
-    for (auto &[m, v] : molMiss_)
-        v = 0;
+    for (MolEntry &e : mols_)
+        e.miss = 0;
+}
+
+const ProbeSchedule &
+Region::probeSchedule(Addr addr, bool rowRestricted, u64 sharedGen,
+                      const std::vector<MoleculeId> *sharedHome)
+{
+    const bool restrict_row =
+        rowRestricted && policy_ == PlacementPolicy::Randy && !rows_.empty();
+    if (scheduleGen_ != generation_ || scheduleSharedGen_ != sharedGen ||
+        scheduleRowRestricted_ != restrict_row ||
+        schedules_.size() != (restrict_row ? rows_.size() : 1)) {
+        // Membership, shared-bit state or lookup mode moved: drop every
+        // memo.  Slots are rebuilt on demand so a churning region only
+        // pays for the rows it actually touches.
+        schedules_.resize(restrict_row ? rows_.size() : 1);
+        scheduleValid_.assign(schedules_.size(), 0);
+        scheduleGen_ = generation_;
+        scheduleSharedGen_ = sharedGen;
+        scheduleRowRestricted_ = restrict_row;
+    }
+    const size_t slot = restrict_row ? rowOf(addr).value() : 0;
+    if (!scheduleValid_[slot]) {
+        rebuildSchedule(slot, restrict_row, sharedHome);
+        scheduleValid_[slot] = 1;
+    }
+    return schedules_[slot];
+}
+
+void
+Region::rebuildSchedule(size_t slot, bool restrictRow,
+                        const std::vector<MoleculeId> *sharedHome)
+{
+    ProbeSchedule &s = schedules_[slot];
+    s.home.clear();
+    s.remote.clear();
+
+    const std::vector<MoleculeId> *row =
+        restrictRow ? &rows_[slot] : nullptr;
+    const auto eligible = [&](MoleculeId mol) {
+        return row == nullptr ||
+               std::find(row->begin(), row->end(), mol) != row->end();
+    };
+
+    for (const auto &[tile, mols] : byTile_) {
+        if (tile == homeTile_) {
+            for (const MoleculeId m : mols)
+                if (eligible(m))
+                    s.home.push_back(m);
+            continue;
+        }
+        TileProbes probes;
+        probes.tile = tile;
+        for (const MoleculeId m : mols)
+            if (eligible(m))
+                probes.molecules.push_back(m);
+        if (!probes.molecules.empty())
+            s.remote.push_back(std::move(probes));
+    }
+
+    // Shared-bit molecules of the entry tile answer every request; they
+    // are exempt from row restriction (the row hash is region-local).
+    if (sharedHome != nullptr)
+        for (const MoleculeId m : *sharedHome)
+            if (!contains(m))
+                s.home.push_back(m);
 }
 
 } // namespace molcache

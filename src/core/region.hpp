@@ -13,12 +13,18 @@
  *
  * With the Random placement policy the view degenerates to a single row
  * containing every molecule.
+ *
+ * Hot-path design (docs/perf.md): membership changes only at resize,
+ * fault and migration events — rare next to the millions of accesses
+ * between them — so all per-molecule bookkeeping lives in flat sorted
+ * vectors (no node-based maps) and the per-access probe schedule is
+ * memoized.  A generation counter bumped by every mutation invalidates
+ * the cached schedules lazily.
  */
 
 #ifndef MOLCACHE_CORE_REGION_HPP
 #define MOLCACHE_CORE_REGION_HPP
 
-#include <map>
 #include <vector>
 
 #include "core/molecule.hpp"
@@ -28,6 +34,62 @@
 #include "util/units.hpp"
 
 namespace molcache {
+
+/** Probes for one tile (one hop of a hierarchical lookup). */
+struct TileProbes
+{
+    TileId tile{};
+    std::vector<MoleculeId> molecules;
+};
+
+/**
+ * A memoized probe schedule: everything one access needs to visit, in
+ * probe order.  `home` already folds in the entry tile's shared-bit
+ * molecules so the access loop touches exactly two arrays.
+ */
+struct ProbeSchedule
+{
+    /** Molecules to probe on the region's home tile (region members
+     * first, then foreign shared-bit molecules of that tile). */
+    std::vector<MoleculeId> home;
+    /** Remote tiles, ascending tile order, probed via Ulmo. */
+    std::vector<TileProbes> remote;
+};
+
+/**
+ * Molecules per hosting tile: a flat vector of (tile, molecules)
+ * entries sorted by tile.  Shaped like the std::map it replaced —
+ * range-for yields pair-like entries and at()/count()/size() keep
+ * working — but contiguous, so the per-access walk is cache-friendly.
+ */
+class TilePlacement
+{
+  public:
+    struct Entry
+    {
+        TileId tile{};
+        std::vector<MoleculeId> molecules;
+    };
+
+    auto begin() const { return entries_.begin(); }
+    auto end() const { return entries_.end(); }
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** Entries for @p tile; fatal contract violation when absent. */
+    const std::vector<MoleculeId> &at(TileId tile) const;
+    size_t count(TileId tile) const { return find(tile) ? 1u : 0u; }
+
+  private:
+    friend class Region;
+    Entry *find(TileId tile);
+    const Entry *find(TileId tile) const;
+    /** Entry for @p tile, created (sorted) when missing. */
+    Entry &findOrCreate(TileId tile);
+    void erase(TileId tile);
+
+    std::vector<Entry> entries_; // sorted by tile
+};
 
 class Region
 {
@@ -51,7 +113,12 @@ class Region
     /** Re-home the region onto another tile of the SAME cluster (the
      * paper's non-static processor-tile mapping on context switch);
      * molecules stay where they are and become remote probes. */
-    void rehome(TileId tile) { homeTile_ = tile; }
+    void
+    rehome(TileId tile)
+    {
+        homeTile_ = tile;
+        ++generation_;
+    }
     u32 lineMultiple() const { return lineMultiple_; }
     PlacementPolicy policy() const { return policy_; }
 
@@ -60,14 +127,36 @@ class Region
     u32 rowMax() const { return static_cast<u32>(rows_.size()); }
     const std::vector<std::vector<MoleculeId>> &rows() const { return rows_; }
 
-    /** Molecules per hosting tile; iteration starts at the home tile. */
-    const std::map<TileId, std::vector<MoleculeId>> &byTile() const
-    {
-        return byTile_;
-    }
+    /** Molecules per hosting tile, ascending tile order. */
+    const TilePlacement &byTile() const { return byTile_; }
 
     /** True if @p mol belongs to this region. */
-    bool contains(MoleculeId mol) const { return molRow_.count(mol) != 0; }
+    bool contains(MoleculeId mol) const { return findMol(mol) != nullptr; }
+
+    /**
+     * Membership/topology generation: bumped by addMolecule,
+     * removeMolecule and rehome.  Anything derived from the membership
+     * (notably the memoized probe schedules) is stale once it changes.
+     */
+    u64 generation() const { return generation_; }
+
+    /**
+     * The memoized probe schedule for @p addr (docs/perf.md).  Rebuilt
+     * lazily when the region generation or @p sharedGen moved since the
+     * cached copy was computed; steady-state calls are allocation-free.
+     *
+     * Matches planLookup(*this, homeTile(), addr, rowRestricted) with
+     * the foreign molecules of @p sharedHome (the home tile's
+     * shared-bit list, may be null) appended to the home probes —
+     * pinned by tests/core/probe_schedule_test.cpp.
+     *
+     * @param rowRestricted Randy-only row-restricted-lookup ablation
+     * @param sharedGen     generation of the caller's shared-bit state
+     * @param sharedHome    shared-bit molecules hosted on homeTile()
+     */
+    const ProbeSchedule &
+    probeSchedule(Addr addr, bool rowRestricted, u64 sharedGen,
+                  const std::vector<MoleculeId> *sharedHome);
 
     /**
      * Add @p mol (hosted on @p tile) to the region.
@@ -161,6 +250,25 @@ class Region
     /** @} */
 
   private:
+    /** Flat per-molecule record: row/tile/interval-miss bookkeeping that
+     * used to live in three parallel std::maps. */
+    struct MolEntry
+    {
+        MoleculeId mol{};
+        TileId tile{};
+        RowIndex row{};
+        u64 miss = 0;
+    };
+
+    /** Binary search in the sorted mols_ vector; nullptr when absent. */
+    MolEntry *findMol(MoleculeId mol);
+    const MolEntry *findMol(MoleculeId mol) const;
+
+    /** Rebuild the cached schedule slot for @p row (kNoRow = whole
+     * region) against the current membership + shared list. */
+    void rebuildSchedule(size_t slot, bool restrictRow,
+                         const std::vector<MoleculeId> *sharedHome);
+
     Asid asid_;
     PlacementPolicy policy_;
     u32 lineMultiple_;
@@ -171,11 +279,19 @@ class Region
 
     std::vector<std::vector<MoleculeId>> rows_;
     std::vector<u64> rowMiss_;
-    std::map<MoleculeId, u64> molMiss_;
-    std::map<MoleculeId, RowIndex> molRow_;
-    std::map<MoleculeId, TileId> molTile_;
-    std::map<TileId, std::vector<MoleculeId>> byTile_;
+    std::vector<MolEntry> mols_; // sorted by mol
+    TilePlacement byTile_;
     u32 size_ = 0;
+    u64 generation_ = 0;
+
+    // Probe-schedule memo: one slot per replacement row under
+    // row-restricted Randy lookup, a single slot otherwise.  Slots are
+    // rebuilt lazily on (generation, sharedGen, mode) mismatch.
+    std::vector<ProbeSchedule> schedules_;
+    std::vector<u8> scheduleValid_;
+    u64 scheduleGen_ = ~0ull;
+    u64 scheduleSharedGen_ = ~0ull;
+    bool scheduleRowRestricted_ = false;
 
     u64 intervalAccesses_ = 0;
     u64 intervalMisses_ = 0;

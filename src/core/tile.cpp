@@ -15,20 +15,6 @@ Tile::Tile(TileId id, ClusterId cluster, MoleculeId firstMolecule,
         molecules_.emplace_back(firstMolecule + i, id, linesPerMol, lineSize);
 }
 
-Molecule &
-Tile::molecule(MoleculeId mol)
-{
-    MOLCACHE_EXPECT(owns(mol), "molecule ", mol, " not on tile ", id_);
-    return molecules_[mol - first_];
-}
-
-const Molecule &
-Tile::molecule(MoleculeId mol) const
-{
-    MOLCACHE_EXPECT(owns(mol), "molecule ", mol, " not on tile ", id_);
-    return molecules_[mol - first_];
-}
-
 MoleculeId
 Tile::allocate(Asid asid)
 {

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "contract/contract.hpp"
 #include "core/molecule.hpp"
 #include "util/types.hpp"
 
@@ -46,8 +47,19 @@ class Tile
         return mol >= first_ && mol < first_ + numMolecules();
     }
 
-    Molecule &molecule(MoleculeId mol);
-    const Molecule &molecule(MoleculeId mol) const;
+    /* Inline: resolved once per probe on the access hot path. */
+    Molecule &
+    molecule(MoleculeId mol)
+    {
+        MOLCACHE_EXPECT(owns(mol), "molecule ", mol, " not on tile ", id_);
+        return molecules_[mol - first_];
+    }
+    const Molecule &
+    molecule(MoleculeId mol) const
+    {
+        MOLCACHE_EXPECT(owns(mol), "molecule ", mol, " not on tile ", id_);
+        return molecules_[mol - first_];
+    }
 
     /** Molecules currently unassigned. */
     u32 freeCount() const { return free_; }

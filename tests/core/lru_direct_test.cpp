@@ -81,6 +81,42 @@ TEST(LruDirect, FillsInvalidSlotsFirst)
         EXPECT_TRUE(cache.access(read(i * span)).hit) << "way " << i;
 }
 
+TEST(LruDirect, PinnedVictimScenario)
+{
+    // Recorded scenario pinning chooseLruDirectMolecule's victim order
+    // (invalid slots first in region-view order, then the
+    // least-recently-touched slot).  The hit/miss trace below was
+    // derived by hand from the LRU state machine and recorded against
+    // the implementation; any change to the victim walk — e.g. a probe
+    // -order regression in the dense per-tile index — breaks it.
+    MolecularCache cache(lruParams());
+    cache.registerApplication(Asid{0}, 0.1);
+    ASSERT_EQ(cache.region(Asid{0}).size(), 4u);
+    const u64 span = (8_KiB).value(); // same slot, new tag per step
+
+    const auto run = [&](std::initializer_list<u64> lines,
+                         const char *expect) {
+        std::string got;
+        for (const u64 line : lines)
+            got += cache.access(read(line * span)).hit ? 'H' : 'M';
+        EXPECT_EQ(got, expect);
+    };
+
+    // Warmup: four conflicting lines take the four invalid slots in
+    // region-view order.
+    run({0, 1, 2, 3}, "MMMM");
+    // Touches reorder recency; each miss evicts the LRU way.
+    run({0, 2}, "HH");
+    run({4, 1, 3, 0}, "MMMM"); // victims: line1, line3(way), line0, ...
+    run({4}, "H");
+    run({2, 1, 3, 0, 4, 2}, "MMMMMM"); // full thrash rotation
+    // Fence off a region molecule: its resident line is lost, the
+    // region shrinks to 3 ways, and the LRU walk skips the fenced way.
+    ASSERT_TRUE(cache.region(Asid{0}).contains(MoleculeId{1}));
+    ASSERT_TRUE(cache.decommissionMolecule(MoleculeId{1}));
+    run({0, 3, 2, 4, 0}, "MMHMM");
+}
+
 TEST(LruDirect, BeatsRandomOnLruFriendlyPattern)
 {
     // Cyclic sweep exactly at capacity: LRU-Direct keeps everything

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Pins the memoized probe schedule (Region::probeSchedule, the access
+ * hot path) against the reference lookup planner (planLookup) across
+ * randomized membership churn — grants, withdrawals/decommissions
+ * (both reach the region as removeMolecule), rehomes, shared-bit
+ * toggles and row collapse — for every placement policy with and
+ * without the row-restricted-lookup ablation.  See docs/perf.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "core/region.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace molcache {
+namespace {
+
+constexpr u32 kTiles = 8;
+constexpr u32 kMolsPerTile = 8;
+constexpr u32 kMols = kTiles * kMolsPerTile;
+
+TileId
+tileOf(MoleculeId mol)
+{
+    return TileId{mol.value() / kMolsPerTile};
+}
+
+/** The schedule probeSchedule() promises: the reference plan with the
+ * home tile's foreign shared-bit molecules appended to the home probes
+ * (shared molecules are exempt from the row restriction — their owner's
+ * rows are not ours). */
+ProbeSchedule
+referenceSchedule(const Region &region, Addr addr, bool rowRestricted,
+                  const std::vector<MoleculeId> &sharedHome)
+{
+    const LookupPlan plan =
+        planLookup(region, region.homeTile(), addr, rowRestricted);
+    ProbeSchedule ref;
+    ref.home = plan.home.molecules;
+    for (const MoleculeId m : sharedHome)
+        if (!region.contains(m))
+            ref.home.push_back(m);
+    ref.remote = plan.remote;
+    return ref;
+}
+
+void
+expectSameSchedule(const ProbeSchedule &got, const ProbeSchedule &want,
+                   Addr addr)
+{
+    ASSERT_EQ(got.home, want.home) << "home probes diverge at addr "
+                                   << addr;
+    ASSERT_EQ(got.remote.size(), want.remote.size())
+        << "remote tile count diverges at addr " << addr;
+    for (size_t t = 0; t < got.remote.size(); ++t) {
+        ASSERT_EQ(got.remote[t].tile, want.remote[t].tile);
+        ASSERT_EQ(got.remote[t].molecules, want.remote[t].molecules);
+    }
+}
+
+/** Randomized churn against one (policy, rowRestricted) configuration. */
+void
+runChurn(PlacementPolicy policy, bool rowRestricted, u64 seed)
+{
+    Region region(Asid{1}, policy, /*lineMultiple=*/1, TileId{0},
+                  ClusterId{0}, 8_KiB, /*initialRowMax=*/4);
+    Pcg32 rng(seed);
+
+    std::vector<MoleculeId> owned;
+    std::vector<bool> isOwned(kMols, false);
+    // Shared-bit molecules per tile (the cache's sharedByTile_ stand-in)
+    // and the generation stamp that invalidates schedules folding them.
+    std::vector<std::vector<MoleculeId>> sharedByTile(kTiles);
+    u64 sharedGen = 0;
+
+    // Initial allocation: molecules opening their own rows.
+    for (u32 m = 0; m < 4; ++m) {
+        const MoleculeId mol{m * kMolsPerTile}; // spread across tiles
+        region.addMolecule(mol, tileOf(mol), /*initial=*/true);
+        owned.push_back(mol);
+        isOwned[mol.value()] = true;
+    }
+
+    for (u32 step = 0; step < 400; ++step) {
+        const u32 op = rng.next32() % 10;
+        if (op < 4) {
+            // Grant: add a random unowned molecule.
+            const MoleculeId mol{rng.next32() % kMols};
+            if (!isOwned[mol.value()]) {
+                region.addMolecule(mol, tileOf(mol), /*initial=*/false);
+                owned.push_back(mol);
+                isOwned[mol.value()] = true;
+            }
+        } else if (op < 7) {
+            // Withdrawal / decommission: both remove from the view.
+            // Removing a row's last molecule collapses the row.
+            if (owned.size() > 1) {
+                const size_t at = rng.next32() % owned.size();
+                const MoleculeId mol = owned[at];
+                region.removeMolecule(mol);
+                isOwned[mol.value()] = false;
+                owned.erase(owned.begin() + static_cast<long>(at));
+            }
+        } else if (op == 7) {
+            // Context switch: re-home within the cluster.
+            region.rehome(TileId{rng.next32() % kTiles});
+        } else {
+            // Shared-bit toggle on a random (foreign or owned) molecule.
+            const MoleculeId mol{rng.next32() % kMols};
+            auto &list = sharedByTile[tileOf(mol).value()];
+            const auto it = std::find(list.begin(), list.end(), mol);
+            if (it == list.end())
+                list.push_back(mol);
+            else
+                list.erase(it);
+            ++sharedGen;
+        }
+
+        const auto &sharedHome =
+            sharedByTile[region.homeTile().value()];
+        for (u32 probe = 0; probe < 8; ++probe) {
+            const Addr addr =
+                static_cast<Addr>(rng.next32()) * 64; // line aligned
+            const ProbeSchedule want =
+                referenceSchedule(region, addr, rowRestricted, sharedHome);
+            const ProbeSchedule &got = region.probeSchedule(
+                addr, rowRestricted, sharedGen,
+                sharedHome.empty() ? nullptr : &sharedHome);
+            expectSameSchedule(got, want, addr);
+            // Memoized: asking again without churn must reproduce it.
+            const ProbeSchedule &again = region.probeSchedule(
+                addr, rowRestricted, sharedGen,
+                sharedHome.empty() ? nullptr : &sharedHome);
+            expectSameSchedule(again, want, addr);
+        }
+    }
+}
+
+TEST(ProbeSchedule, MatchesPlanLookupRandom)
+{
+    runChurn(PlacementPolicy::Random, false, 11);
+}
+
+TEST(ProbeSchedule, MatchesPlanLookupRandomRowRestrictedFlag)
+{
+    // rowRestrictedLookup is a Randy-only ablation: with Random it must
+    // be a no-op and the schedules must still match the reference.
+    runChurn(PlacementPolicy::Random, true, 12);
+}
+
+TEST(ProbeSchedule, MatchesPlanLookupRandy)
+{
+    runChurn(PlacementPolicy::Randy, false, 13);
+}
+
+TEST(ProbeSchedule, MatchesPlanLookupRandyRowRestricted)
+{
+    runChurn(PlacementPolicy::Randy, true, 14);
+}
+
+TEST(ProbeSchedule, MatchesPlanLookupLruDirect)
+{
+    runChurn(PlacementPolicy::LruDirect, false, 15);
+}
+
+TEST(ProbeSchedule, MatchesPlanLookupLruDirectRowRestrictedFlag)
+{
+    runChurn(PlacementPolicy::LruDirect, true, 16);
+}
+
+TEST(ProbeSchedule, SwitchingRestrictionModeInvalidatesMemo)
+{
+    // The same region queried alternately with and without the
+    // restriction must rebuild (not reuse) the cached schedules.
+    Region region(Asid{1}, PlacementPolicy::Randy, 1, TileId{0},
+                  ClusterId{0}, 8_KiB, 4);
+    for (u32 m = 0; m < 8; ++m)
+        region.addMolecule(MoleculeId{m}, tileOf(MoleculeId{m}), true);
+    const std::vector<MoleculeId> none;
+    for (const Addr addr : {0ull, 8192ull, 16384ull, 123456ull}) {
+        for (const bool restricted : {true, false, true}) {
+            const ProbeSchedule want =
+                referenceSchedule(region, addr, restricted, none);
+            const ProbeSchedule &got =
+                region.probeSchedule(addr, restricted, 0, nullptr);
+            expectSameSchedule(got, want, addr);
+        }
+    }
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,29 @@
+// Negative fixture: a node-based map member in a (pretend) src/core
+// hot-path class.  The bare member must fire hot-path-map; the
+// annotated one is allowlisted and must not.
+#ifndef MOLCACHE_FIXTURE_BAD_CORE_MAP_HPP
+#define MOLCACHE_FIXTURE_BAD_CORE_MAP_HPP
+
+#include <map>
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+class BadCoreMap
+{
+  public:
+    // Return types and locals are fine; only members are hot state.
+    std::map<u32, double> snapshot() const;
+
+  private:
+    std::unordered_map<u64, u32> index_; // hot-path-map
+
+    // Genuinely sparse, never walked per access.  molcache-lint: allow-map
+    std::map<u64, u32> sparse_;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_FIXTURE_BAD_CORE_MAP_HPP

@@ -29,6 +29,12 @@
  *  - include-hygiene:   no "../" includes (project includes are
  *                       repo-root-relative), no duplicate includes, and
  *                       no <cassert>/<assert.h> in src/.
+ *  - hot-path-map:      std::map / std::unordered_map data members in
+ *                       src/core headers -- the access hot path must use
+ *                       dense/flat structures (docs/perf.md); genuinely
+ *                       sparse state opts out with a
+ *                       `molcache-lint: allow-map` comment on or just
+ *                       above the declaration.
  *  - deprecated-run:    positional-argument calls to Simulator::run,
  *                       runWorkload or deriveGoalsFromSolo -- the
  *                       [[deprecated]] forwarders exist only for staged
@@ -182,6 +188,7 @@ readFile(const fs::path &path)
 struct SourceFile
 {
     std::string rel;    // repo-relative path, '/' separators
+    std::string raw;    // untouched text (allowlist comments live here)
     std::string code;   // comments + string contents blanked
     std::string codeStr; // comments blanked, string contents kept
 };
@@ -283,6 +290,54 @@ checkRawIdParams(const SourceFile &f)
                    lineOf(f.code, static_cast<size_t>(it->position(2))),
                    "parameter '" + name + "' is a raw " + (*it)[1].str() +
                        "; use the strong id type");
+    }
+}
+
+/** True when any of raw lines [line-3, line] carries the allow tag. */
+bool
+hasAllowMapTag(const std::string &raw, int line)
+{
+    int current = 1;
+    size_t start = 0;
+    for (size_t i = 0; i <= raw.size(); ++i) {
+        if (i == raw.size() || raw[i] == '\n') {
+            if (current >= line - 3 && current <= line &&
+                raw.substr(start, i - start)
+                        .find("molcache-lint: allow-map") !=
+                    std::string::npos)
+                return true;
+            if (current > line)
+                break;
+            ++current;
+            start = i + 1;
+        }
+    }
+    return false;
+}
+
+void
+checkHotPathMap(const SourceFile &f)
+{
+    if (!startsWith(f.rel, "src/core/") ||
+        f.rel.find(".hpp") == std::string::npos)
+        return;
+    // A node-based map data member (trailing-underscore naming) in a
+    // core header: every class here sits on or near the access hot
+    // path, where node maps cost a pointer chase per access
+    // (docs/perf.md).  Genuinely sparse state (e.g. the per-line
+    // coherence directory) opts out with the allow tag.
+    static const std::regex rx(
+        R"(\bstd\s*::\s*(unordered_)?map\s*<[^;{}()]*>\s+\w+_\s*(\{\s*\})?\s*;)");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it) {
+        const int line =
+            lineOf(f.code, static_cast<size_t>(it->position(0)));
+        if (hasAllowMapTag(f.raw, line))
+            continue;
+        report("hot-path-map", f.rel, line,
+               "node-based map member in a hot-path class; use a "
+               "dense/flat structure (docs/perf.md) or annotate the "
+               "declaration with 'molcache-lint: allow-map'");
     }
 }
 
@@ -465,12 +520,13 @@ lintFile(const fs::path &root, const fs::path &path,
 {
     SourceFile f;
     f.rel = fs::relative(path, root).generic_string();
-    const std::string raw = readFile(path);
-    f.code = stripCommentsAndStrings(raw, false);
-    f.codeStr = stripCommentsAndStrings(raw, true);
+    f.raw = readFile(path);
+    f.code = stripCommentsAndStrings(f.raw, false);
+    f.codeStr = stripCommentsAndStrings(f.raw, true);
     checkNakedRand(f);
     checkConfigKeys(f, registry);
     checkRawIdParams(f);
+    checkHotPathMap(f);
     checkTransposedIds(f);
     checkNoAssert(f);
     checkDeprecatedRun(f);
@@ -526,19 +582,20 @@ runSelfTest(const fs::path &root)
             files.push_back(e.path());
     std::sort(files.begin(), files.end());
     for (const fs::path &p : files) {
-        // Fixtures mimic tree files: bad_core_api.hpp plays a src/core
-        // header, everything else a src/ translation unit.
+        // Fixtures mimic tree files: bad_core_*.hpp fixtures play
+        // src/core headers, everything else a src/ translation unit.
         SourceFile f;
         const std::string name = p.filename().string();
-        f.rel = (name.find("core_api") != std::string::npos
+        f.rel = (name.find("core") != std::string::npos
                      ? "src/core/" + name
                      : "src/fixture/" + name);
-        const std::string raw = readFile(p);
-        f.code = stripCommentsAndStrings(raw, false);
-        f.codeStr = stripCommentsAndStrings(raw, true);
+        f.raw = readFile(p);
+        f.code = stripCommentsAndStrings(f.raw, false);
+        f.codeStr = stripCommentsAndStrings(f.raw, true);
         checkNakedRand(f);
         checkConfigKeys(f, registry);
         checkRawIdParams(f);
+        checkHotPathMap(f);
         checkTransposedIds(f);
         checkNoAssert(f);
         checkDeprecatedRun(f);
@@ -550,6 +607,7 @@ runSelfTest(const fs::path &root)
         {"naked-rand", "bad_rand.cpp"},
         {"config-key", "bad_config_key.cpp"},
         {"raw-id-param", "bad_core_api.hpp"},
+        {"hot-path-map", "bad_core_map.hpp"},
         {"transposed-ids", "bad_transposed.cpp"},
         {"no-assert", "bad_include.cpp"},
         {"deprecated-run", "bad_deprecated_run.cpp"},

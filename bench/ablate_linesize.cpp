@@ -82,8 +82,11 @@ main(int argc, char **argv)
         u32 col = 1;
         for (const u32 multiple : {1u, 2u, 4u}) {
             const auto &p = report.point(modelLabel(multiple), r.app);
-            table.cell(row, col++,
-                       p.result.qos.byAsid(Asid{0}).missRate, 4);
+            const AppSummary *app = p.result.qos.find(Asid{0});
+            if (app != nullptr)
+                table.cell(row, col++, app->missRate, 4);
+            else
+                table.cell(row, col++, std::string("-"));
         }
         table.cell(row, 4, std::string(r.expect));
     }

@@ -84,9 +84,11 @@ main(int argc, char **argv)
                        : r.cacheName + (std::string(model) == "traditional"
                                             ? " (shared)"
                                             : "")};
-        for (u32 i = 0; i < 4; ++i)
-            row.push_back(
-                formatDouble(r.qos.byAsid(static_cast<Asid>(i)).amat, 1));
+        for (u32 i = 0; i < 4; ++i) {
+            const AppSummary *app = r.qos.find(static_cast<Asid>(i));
+            row.push_back(app != nullptr ? formatDouble(app->amat, 1)
+                                         : "-");
+        }
         row.push_back(multi_tile
                           ? formatDouble(100.0 * local_share, 1) +
                                 "% hits on entry tile"

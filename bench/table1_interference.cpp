@@ -86,11 +86,16 @@ main(int argc, char **argv)
         const std::string label = comboLabel(combo);
         const SimResult &res = report.point("1MB-4way", label).result;
         for (size_t i = 0; i < combo.apps.size(); ++i) {
-            const auto &app = res.qos.byAsid(static_cast<Asid>(i));
+            // find(): a zero-traffic app has no summary; print "-"
+            // rather than abort the whole table.
+            const AppSummary *app = res.qos.find(static_cast<Asid>(i));
             const size_t row = table.addRow();
             table.cell(row, 0, i == 0 ? label : std::string());
             table.cell(row, 1, combo.apps[i]);
-            table.cell(row, 2, app.missRate, 3);
+            if (app != nullptr)
+                table.cell(row, 2, app->missRate, 3);
+            else
+                table.cell(row, 2, std::string("-"));
             table.cell(row, 3, formatDouble(combo.paper[i], 3));
         }
     }

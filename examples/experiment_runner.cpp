@@ -115,10 +115,37 @@ buildModel(const Config &cfg, const GoalSet &goals, size_t apps, u64 refs)
         p.seed = seed;
         p.hardFaultThreshold =
             static_cast<u32>(cfg.getInt("hard_fault_threshold", 1));
+        p.guardian.enabled = cfg.getBool("guardian.enabled", false);
+        p.guardian.hysteresis =
+            cfg.getDouble("guardian.hysteresis", p.guardian.hysteresis);
+        p.guardian.cooldownEpochs = static_cast<u32>(cfg.getInt(
+            "guardian.cooldown", p.guardian.cooldownEpochs));
+        p.guardian.oscillationWindow = static_cast<u32>(cfg.getInt(
+            "guardian.window", p.guardian.oscillationWindow));
+        p.guardian.maxSignFlips = static_cast<u32>(cfg.getInt(
+            "guardian.max_flips", p.guardian.maxSignFlips));
+        p.guardian.floorMolecules = static_cast<u32>(cfg.getInt(
+            "guardian.floor", p.guardian.floorMolecules));
+        p.guardian.watchdogEpochs = static_cast<u32>(cfg.getInt(
+            "guardian.watchdog", p.guardian.watchdogEpochs));
+        p.guardian.feasibilityEpochs = static_cast<u32>(cfg.getInt(
+            "guardian.feasibility_epochs", p.guardian.feasibilityEpochs));
+        p.guardian.pressureThreshold = cfg.getDouble(
+            "guardian.pressure", p.guardian.pressureThreshold);
         auto cache = std::make_unique<MolecularCache>(p);
         for (size_t i = 0; i < apps; ++i)
             cache->registerApplication(Asid{static_cast<u16>(i)},
                                        *goals.goal(Asid{static_cast<u16>(i)}));
+        if (p.guardian.enabled) {
+            for (size_t i = 0; i < apps; ++i) {
+                const std::string key =
+                    "guardian.floor." + std::to_string(i);
+                const i64 floor =
+                    cfg.getInt(key, p.guardian.floorMolecules);
+                cache->setRegionFloor(
+                    Asid{static_cast<u16>(i)}, static_cast<u32>(floor));
+            }
+        }
         if (hasFaultKeys(cfg)) {
             // Default fault window: the middle half of the run, so the
             // cache warms before faults land and has time to recover.
@@ -228,6 +255,34 @@ main(int argc, char **argv)
                     result.regionsStillRecovering
                         ? " (some regions still recovering)"
                         : "");
+    }
+    if (result.guardian.enabled) {
+        std::printf("guardian: %llu holds | %llu oscillation events | "
+                    "%llu floor hits | %llu floor restores | "
+                    "%u infeasible | %u stuck | pressure %.2f\n",
+                    static_cast<unsigned long long>(
+                        result.guardian.holdEpochs),
+                    static_cast<unsigned long long>(
+                        result.guardian.oscillationEvents),
+                    static_cast<unsigned long long>(
+                        result.guardian.floorHits),
+                    static_cast<unsigned long long>(
+                        result.guardian.floorRestoreGrants),
+                    result.guardian.infeasibleRegions,
+                    result.guardian.stuckRegions,
+                    result.guardian.poolPressure);
+        for (const AppSummary &app : result.qos.apps) {
+            if (!app.guardian)
+                continue;
+            const GuardianAppTelemetry &g = *app.guardian;
+            if (g.verdict == FeasibilityVerdict::Infeasible)
+                std::printf("  %s: goal infeasible, degraded by %.4f\n",
+                            app.label.c_str(), g.shortfall);
+            if (g.stuck)
+                std::printf("  %s: stuck above goal past the watchdog "
+                            "budget\n",
+                            app.label.c_str());
+        }
     }
 
     if (!json_out.empty()) {

@@ -88,19 +88,27 @@ main(int argc, char **argv)
     std::printf("%-8s %8s | %10s %10s | %10s %10s %6s\n", "app", "goal",
                 "miss", "dev", "miss", "dev", "mols");
     for (u32 i = 0; i < kApps.size(); ++i) {
-        const auto &t = trad.qos.byAsid(static_cast<Asid>(i));
-        const auto &m = mol.qos.byAsid(static_cast<Asid>(i));
+        // find(): a zero-traffic app has no summary row; print zeros
+        // instead of aborting the report.
+        const AppSummary *t = trad.qos.find(static_cast<Asid>(i));
+        const AppSummary *m = mol.qos.find(static_cast<Asid>(i));
         std::printf("%-8s %7.0f%% | %10.4f %10.4f | %10.4f %10.4f %6u\n",
-                    kApps[i].c_str(), t.goal.value_or(0) * 100, t.missRate,
-                    t.deviation.value_or(0), m.missRate,
-                    m.deviation.value_or(0),
+                    kApps[i].c_str(),
+                    (t != nullptr ? t->goal.value_or(0) : 0.0) * 100,
+                    t != nullptr ? t->missRate : 0.0,
+                    t != nullptr ? t->deviation.value_or(0) : 0.0,
+                    m != nullptr ? m->missRate : 0.0,
+                    m != nullptr ? m->deviation.value_or(0) : 0.0,
                     molecular.region(static_cast<Asid>(i)).size());
     }
     std::printf("\naverage deviation: traditional %.4f vs molecular %.4f\n",
                 trad.qos.averageDeviation, mol.qos.averageDeviation);
+    const AppSummary *trad_svc = trad.qos.find(Asid{0});
+    const AppSummary *mol_svc = mol.qos.find(Asid{0});
     std::printf("service '%s': traditional %.4f vs molecular %.4f "
                 "(goal %.2f)\n",
-                kApps[0].c_str(), trad.qos.byAsid(Asid{0}).missRate,
-                mol.qos.byAsid(Asid{0}).missRate, service_goal);
+                kApps[0].c_str(),
+                trad_svc != nullptr ? trad_svc->missRate : 0.0,
+                mol_svc != nullptr ? mol_svc->missRate : 0.0, service_goal);
     return 0;
 }

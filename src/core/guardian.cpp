@@ -1,0 +1,354 @@
+#include "core/guardian.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "contract/contract.hpp"
+#include "core/resizer.hpp"
+
+namespace molcache {
+
+namespace {
+
+/** Dead-band widening / period backoff caps: bounded so a once-noisy
+ * region can always earn its way back to normal responsiveness. */
+constexpr double kMaxBandScale = 8.0;
+constexpr double kMaxPeriodScale = 16.0;
+
+/** EWMA weights: the feasibility model favours history (miss-vs-size
+ * responses are noisy interval to interval); the pressure signal
+ * favours recency (pool exhaustion must register within a few grants). */
+constexpr double kFeasibilityKeep = 0.7;
+constexpr double kPressureKeep = 0.8;
+
+} // namespace
+
+const char *
+feasibilityVerdictName(FeasibilityVerdict v)
+{
+    switch (v) {
+      case FeasibilityVerdict::Unknown:
+        return "unknown";
+      case FeasibilityVerdict::Feasible:
+        return "feasible";
+      case FeasibilityVerdict::Infeasible:
+        return "infeasible";
+    }
+    return "unknown";
+}
+
+QosGuardian::QosGuardian(const MolecularCacheParams &params)
+    : params_(params.guardian),
+      clusterCapacity_(params.tilesPerCluster * params.moleculesPerTile),
+      minResizePeriod_(params.minResizePeriod),
+      maxResizePeriod_(params.maxResizePeriod)
+{
+    MOLCACHE_EXPECT(params_.enabled,
+                    "guardian constructed while disabled in params");
+}
+
+QosGuardian::RegState &
+QosGuardian::stateFor(Asid asid)
+{
+    if (states_.size() <= asid.value())
+        states_.resize(asid.value() + 1u);
+    RegState &s = states_[asid.value()];
+    if (!s.active) {
+        s.active = true;
+        s.window.assign(params_.oscillationWindow, 0);
+    }
+    return s;
+}
+
+const QosGuardian::RegState *
+QosGuardian::findState(Asid asid) const
+{
+    if (states_.size() <= asid.value() || !states_[asid.value()].active)
+        return nullptr;
+    return &states_[asid.value()];
+}
+
+u32
+QosGuardian::activeRegions() const
+{
+    u32 n = 0;
+    for (const RegState &s : states_)
+        if (s.active)
+            ++n;
+    return n;
+}
+
+u32
+QosGuardian::restoreFloor(Region &region, MoleculeBroker &broker)
+{
+    const u32 floor = region.capacityFloor;
+    if (floor == 0 || region.size() >= floor)
+        return 0;
+    const u32 want = floor - region.size();
+    const u32 got = broker.grant(region, want);
+    RegState &s = stateFor(region.asid());
+    s.floorRestoreGrants += got;
+    noteGrant(region.asid(), want, got);
+    return got;
+}
+
+bool
+QosGuardian::gateHold(const Region &region, double missRate, double goal,
+                      double *effectiveGoal)
+{
+    RegState &s = stateFor(region.asid());
+
+    double eff = goal;
+    if (s.verdict == FeasibilityVerdict::Infeasible)
+        eff = std::max(goal, s.degradedGoal);
+    *effectiveGoal = eff;
+
+    // Oscillation backoff pause: no decisions at all for a few epochs.
+    if (s.cooldownLeft > 0) {
+        --s.cooldownLeft;
+        ++s.holdEpochs;
+        return true;
+    }
+
+    // Hysteresis dead-band, widened while the region has been noisy.
+    const double band = params_.hysteresis * s.bandScale;
+    const double lo = eff * (1.0 - band);
+    const double hi = eff * (1.0 + band);
+    if (missRate >= lo && missRate <= hi) {
+        ++s.holdEpochs;
+        return true;
+    }
+
+    // Flip-guard: an action may not be reversed within the cooldown.
+    const bool wants_shrink = missRate < lo;
+    const bool wants_grow = missRate > hi;
+    if (wants_shrink && s.lastSign > 0 &&
+        s.epochsSinceAction < params_.cooldownEpochs) {
+        ++s.holdEpochs;
+        return true;
+    }
+    if (wants_grow && s.lastSign < 0 &&
+        s.epochsSinceAction < params_.cooldownEpochs) {
+        ++s.holdEpochs;
+        return true;
+    }
+
+    // Starvation guard: while the pool is under pressure, a region at
+    // or past its fair share of the cluster must not inflate further.
+    if (wants_grow && pressure_ > params_.pressureThreshold) {
+        const u32 share = clusterCapacity_ / std::max<u32>(1,
+                                                           activeRegions());
+        if (region.size() >= share) {
+            ++s.holdEpochs;
+            return true;
+        }
+    }
+    return false;
+}
+
+u32
+QosGuardian::clampWithdraw(const Region &region, u32 count)
+{
+    const u32 floor = region.capacityFloor;
+    if (floor == 0 || count == 0)
+        return count;
+    const u32 size = region.size();
+    if (size <= floor) {
+        ++stateFor(region.asid()).floorHits;
+        return 0;
+    }
+    const u32 room = size - floor;
+    if (count > room) {
+        ++stateFor(region.asid()).floorHits;
+        return room;
+    }
+    return count;
+}
+
+void
+QosGuardian::noteGrant(Asid asid, u32 want, u32 got)
+{
+    (void)asid;
+    if (want == 0)
+        return;
+    const double shortfall =
+        static_cast<double>(want - std::min(want, got)) /
+        static_cast<double>(want);
+    pressure_ = kPressureKeep * pressure_ +
+                (1.0 - kPressureKeep) * shortfall;
+}
+
+u32
+QosGuardian::countSignFlips(const RegState &s) const
+{
+    // Flips between consecutive *actions* inside the window; held or
+    // zero-delta epochs in between do not reset the direction.
+    u32 flips = 0;
+    i8 prev = 0;
+    const u32 n = std::min<u32>(s.windowFill,
+                                static_cast<u32>(s.window.size()));
+    const u32 len = static_cast<u32>(s.window.size());
+    for (u32 i = 0; i < n; ++i) {
+        const u32 idx = (s.windowPos + len - n + i) % len;
+        const i8 sign = s.window[idx];
+        if (sign == 0)
+            continue;
+        if (prev != 0 && sign != prev)
+            ++flips;
+        prev = sign;
+    }
+    return flips;
+}
+
+void
+QosGuardian::afterDecision(const Region &region, i32 delta, double missRate,
+                           double goal)
+{
+    RegState &s = stateFor(region.asid());
+    ++s.epochsSinceAction;
+
+    // --- Stability: sliding sign window + oscillation backoff. --------
+    const i8 sign = delta > 0 ? i8{1} : delta < 0 ? i8{-1} : i8{0};
+    if (sign != 0) {
+        s.lastSign = sign;
+        s.epochsSinceAction = 0;
+    }
+    s.window[s.windowPos] = sign;
+    s.windowPos = (s.windowPos + 1) % static_cast<u32>(s.window.size());
+    if (s.windowFill < s.window.size())
+        ++s.windowFill;
+
+    const u32 flips = countSignFlips(s);
+    s.maxSignFlips = std::max(s.maxSignFlips, flips);
+    if (flips >= params_.maxSignFlips) {
+        // The region is fighting the controller: widen the dead-band,
+        // slow the control loop down and pause decisions outright; the
+        // window restarts so one burst counts as one event.
+        ++s.oscillationEvents;
+        s.bandScale = std::min(s.bandScale * 2.0, kMaxBandScale);
+        s.periodScale = std::min(s.periodScale * 2.0, kMaxPeriodScale);
+        s.cooldownLeft = params_.cooldownEpochs;
+        std::fill(s.window.begin(), s.window.end(), i8{0});
+        s.windowFill = 0;
+        s.calmEpochs = 0;
+    } else if (s.bandScale > 1.0 || s.periodScale > 1.0) {
+        // Earn responsiveness back: one quiet window halves the backoff.
+        if (++s.calmEpochs >= params_.oscillationWindow) {
+            s.bandScale = std::max(1.0, s.bandScale / 2.0);
+            s.periodScale = std::max(1.0, s.periodScale / 2.0);
+            s.calmEpochs = 0;
+        }
+    }
+
+    // --- Admission control: linear miss-vs-size response model. -------
+    // missRate ~= k / size => the best the region can do at cluster
+    // capacity is k / clusterCapacity.  A goal below that is hopeless no
+    // matter how many molecules Algorithm 1 churns through.
+    const double hi = goal * (1.0 + params_.hysteresis);
+    if (region.size() > 0) {
+        const double k = missRate * static_cast<double>(region.size());
+        s.kEwma = s.hasK ? kFeasibilityKeep * s.kEwma +
+                               (1.0 - kFeasibilityKeep) * k
+                         : k;
+        s.hasK = true;
+    }
+    const double predicted =
+        s.hasK ? s.kEwma / static_cast<double>(clusterCapacity_) : 0.0;
+    if (missRate <= hi) {
+        s.verdict = FeasibilityVerdict::Feasible;
+        s.infeasibleStreak = 0;
+        s.degradedGoal = 0.0;
+        s.shortfall = 0.0;
+    } else if (s.hasK && predicted > hi) {
+        if (++s.infeasibleStreak >= params_.feasibilityEpochs) {
+            s.verdict = FeasibilityVerdict::Infeasible;
+            s.degradedGoal = std::min(1.0, std::max(goal, predicted));
+            s.shortfall = s.degradedGoal - goal;
+        }
+    } else {
+        s.infeasibleStreak = 0;
+        if (s.verdict == FeasibilityVerdict::Infeasible) {
+            // The response model says capacity can reach the goal again
+            // (e.g. the working set shrank): leave degraded mode and let
+            // the watchdog time the re-convergence.
+            s.verdict = FeasibilityVerdict::Unknown;
+            s.degradedGoal = 0.0;
+            s.shortfall = 0.0;
+        }
+    }
+
+    // --- Convergence watchdog (always against the configured goal). ---
+    if (missRate > hi) {
+        ++s.epochsAboveGoal;
+    } else {
+        if (s.epochsAboveGoal > 0) {
+            s.lastEpochsToGoal = s.epochsAboveGoal;
+            s.maxEpochsToGoal =
+                std::max(s.maxEpochsToGoal, s.epochsAboveGoal);
+        }
+        s.epochsAboveGoal = 0;
+    }
+}
+
+Tick
+QosGuardian::scaledPeriod(Asid asid, Tick period) const
+{
+    const RegState *s = findState(asid);
+    if (s == nullptr || s->periodScale <= 1.0)
+        return period;
+    const double scaled = static_cast<double>(period) * s->periodScale;
+    const double capped =
+        std::min(scaled, static_cast<double>(maxResizePeriod_));
+    return std::clamp(static_cast<Tick>(capped), minResizePeriod_,
+                      maxResizePeriod_);
+}
+
+GuardianAppTelemetry
+QosGuardian::telemetry(Asid asid) const
+{
+    GuardianAppTelemetry out;
+    const RegState *s = findState(asid);
+    if (s == nullptr)
+        return out;
+    out.verdict = s->verdict;
+    out.shortfall = s->shortfall;
+    out.oscillationEvents = s->oscillationEvents;
+    out.maxSignFlips = s->maxSignFlips;
+    out.floorHits = s->floorHits;
+    out.floorRestoreGrants = s->floorRestoreGrants;
+    out.holdEpochs = s->holdEpochs;
+    out.lastEpochsToGoal = s->lastEpochsToGoal;
+    out.maxEpochsToGoal = s->maxEpochsToGoal;
+    out.stuck = s->epochsAboveGoal >= params_.watchdogEpochs &&
+                s->verdict != FeasibilityVerdict::Infeasible;
+    return out;
+}
+
+GuardianSummary
+QosGuardian::summary() const
+{
+    GuardianSummary out;
+    out.enabled = true;
+    out.poolPressure = pressure_;
+    for (u32 i = 0; i < states_.size(); ++i) {
+        const RegState &s = states_[i];
+        if (!s.active)
+            continue;
+        const GuardianAppTelemetry t = telemetry(Asid{static_cast<u16>(i)});
+        out.oscillationEvents += t.oscillationEvents;
+        out.floorHits += t.floorHits;
+        out.floorRestoreGrants += t.floorRestoreGrants;
+        out.holdEpochs += t.holdEpochs;
+        if (t.verdict == FeasibilityVerdict::Infeasible)
+            ++out.infeasibleRegions;
+        if (t.stuck)
+            ++out.stuckRegions;
+        out.maxEpochsToGoal = std::max(
+            out.maxEpochsToGoal, std::max(t.maxEpochsToGoal,
+                                          s.epochsAboveGoal));
+        out.maxShortfall = std::max(out.maxShortfall, t.shortfall);
+    }
+    return out;
+}
+
+} // namespace molcache

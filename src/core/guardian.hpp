@@ -1,0 +1,153 @@
+/**
+ * @file
+ * QoS guardian — robustness layer around the paper's Algorithm 1
+ * (docs/algorithm1.md, "Guardrails").
+ *
+ * The resizer trusts its inputs: nothing in Algorithm 1 detects an
+ * infeasible miss-rate goal, bounds grant/withdraw oscillation, or stops
+ * one region from starving the cluster pool.  The guardian wraps each
+ * resize decision with four guards:
+ *
+ *  - admission control: a linear miss-vs-size response model
+ *    (k ~= missRate * size, EWMA-smoothed) predicts the best achievable
+ *    miss rate at cluster capacity; goals below that are flagged
+ *    Infeasible and the region enters an explicit degraded mode where
+ *    Algorithm 1 steers toward the achievable goal and the shortfall is
+ *    reported, instead of looping hopeless grants;
+ *  - stability: a hysteresis dead-band around the goal, a cooldown
+ *    between opposite-direction actions, and an oscillation detector
+ *    that counts delta sign flips over a sliding window — tripping it
+ *    widens the dead-band and backs off the resize period;
+ *  - fairness: per-region capacity floors (withdrawals are clamped at
+ *    the floor, lost capacity is re-granted) and a global pool-pressure
+ *    signal that pauses growth of regions already at their fair share;
+ *  - convergence watchdog: counts evaluated epochs above goal and
+ *    surfaces regions stuck past the budget.
+ *
+ * The guardian is opt-in (params.guardian.enabled, default off).  A
+ * disabled guardian is a null pointer through the whole control plane,
+ * leaving the resizer byte-identical to the unguarded build.
+ */
+
+#ifndef MOLCACHE_CORE_GUARDIAN_HPP
+#define MOLCACHE_CORE_GUARDIAN_HPP
+
+#include <vector>
+
+#include "core/guardian_stats.hpp"
+#include "core/params.hpp"
+#include "core/region.hpp"
+
+namespace molcache {
+
+class MoleculeBroker;
+
+class QosGuardian
+{
+  public:
+    explicit QosGuardian(const MolecularCacheParams &params);
+
+    /**
+     * Re-grant capacity up to the region's floor (after fault
+     * decommissioning or an external squeeze).  Runs ahead of the
+     * Algorithm-1 decision, is retried every cycle, and keeps working
+     * even after the resizer's own pendingReacquire path has given up
+     * on an exhausted pool.  @return molecules granted.
+     */
+    u32 restoreFloor(Region &region, MoleculeBroker &broker);
+
+    /**
+     * Pre-decision gate.  @return true when this epoch's decision
+     * should be held (dead-band, cooldown, flip-guard or pool
+     * pressure); otherwise false, with @p effectiveGoal set to the goal
+     * Algorithm 1 should steer toward (the configured goal, or the
+     * achievable substitute while the verdict is Infeasible).
+     */
+    bool gateHold(const Region &region, double missRate, double goal,
+                  double *effectiveGoal);
+
+    /**
+     * Clamp a withdrawal so the region never drops below its capacity
+     * floor; clipped withdrawals count as floor hits.
+     */
+    u32 clampWithdraw(const Region &region, u32 count);
+
+    /** Record a grant outcome (pool-pressure EWMA). */
+    void noteGrant(Asid asid, u32 want, u32 got);
+
+    /**
+     * Post-decision bookkeeping for one evaluated epoch: sign-flip
+     * window, oscillation backoff, feasibility estimate and watchdog.
+     * @param delta this epoch's net molecule delta
+     * @param goal  the region's *configured* goal (not the degraded one)
+     */
+    void afterDecision(const Region &region, i32 delta, double missRate,
+                       double goal);
+
+    /**
+     * Apply the region's oscillation backoff to an adapted resize
+     * period (PerAppAdaptive scheme), clamped to the configured period
+     * bounds.
+     */
+    Tick scaledPeriod(Asid asid, Tick period) const;
+
+    const GuardianParams &params() const { return params_; }
+    double poolPressure() const { return pressure_; }
+
+    /** Telemetry slice for @p asid (zero-initialized when unseen). */
+    GuardianAppTelemetry telemetry(Asid asid) const;
+    /** Whole-cache aggregate over every region seen. */
+    GuardianSummary summary() const;
+
+  private:
+    struct RegState
+    {
+        bool active = false;
+        // Stability: sliding window of delta signs.
+        std::vector<i8> window;
+        u32 windowPos = 0;
+        u32 windowFill = 0;
+        i8 lastSign = 0;
+        u32 epochsSinceAction = 0;
+        u32 cooldownLeft = 0;
+        u32 calmEpochs = 0;
+        double bandScale = 1.0;
+        double periodScale = 1.0;
+        u32 oscillationEvents = 0;
+        u32 maxSignFlips = 0;
+        // Fairness.
+        u64 floorHits = 0;
+        u64 floorRestoreGrants = 0;
+        u64 holdEpochs = 0;
+        // Admission control: EWMA of k = missRate * size.
+        double kEwma = 0.0;
+        bool hasK = false;
+        u32 infeasibleStreak = 0;
+        FeasibilityVerdict verdict = FeasibilityVerdict::Unknown;
+        double degradedGoal = 0.0;
+        double shortfall = 0.0;
+        // Watchdog.
+        u32 epochsAboveGoal = 0;
+        u32 lastEpochsToGoal = 0;
+        u32 maxEpochsToGoal = 0;
+    };
+
+    RegState &stateFor(Asid asid);
+    const RegState *findState(Asid asid) const;
+    u32 countSignFlips(const RegState &s) const;
+    u32 activeRegions() const;
+
+    GuardianParams params_;
+    /** Molecules one region could reach at most (its cluster's total). */
+    u32 clusterCapacity_;
+    Tick minResizePeriod_;
+    Tick maxResizePeriod_;
+    // Dense per-ASID state; grown on first contact, never on the access
+    // hot path (the guardian only runs at resize epochs).
+    std::vector<RegState> states_;
+    double pressure_ = 0.0;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_CORE_GUARDIAN_HPP

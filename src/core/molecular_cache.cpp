@@ -45,6 +45,9 @@ MolecularCache::MolecularCache(const MolecularCacheParams &params)
     globalResizePeriod_ = params_.resizePeriod;
     nextGlobalResize_ = params_.resizePeriod;
 
+    if (params_.guardian.enabled)
+        guardian_ = std::make_unique<QosGuardian>(params_);
+
     if (params_.enableEnergy) {
         const CactiModel model(params_.techNode);
         CacheGeometry mol;
@@ -116,6 +119,8 @@ MolecularCache::registerApplication(Asid asid, double resizeGoal,
     region.maxAllocation = params_.maxAllocationChunk;
     region.resizePeriod = params_.resizePeriod;
     region.nextResizeTick = params_.resizePeriod;
+    if (guardian_ != nullptr)
+        region.capacityFloor = params_.guardian.floorMolecules;
     ++appsPerCluster_[cluster.value()];
 
     // Ground Zero (section 3.4): the initial grant comes from the home
@@ -559,12 +564,18 @@ MolecularCache::maybeResize(Region &region)
         break;
       case ResizeScheme::PerAppAdaptive:
         if (region.accesses() >= region.nextResizeTick) {
-            const RegionResize rr =
-                resizer_.resizeRegion(region, region.resizeGoal, *this);
+            const RegionResize rr = resizer_.resizeRegion(
+                region, region.resizeGoal, *this, guardian_.get());
             ++resizeCycles_;
             if (rr.evaluated) {
                 region.resizePeriod = resizer_.adaptPeriod(
                     region.resizePeriod, rr.missRate, region.resizeGoal);
+                // Oscillation backoff survives the adaptation: a
+                // thrashing region's control loop stays slowed down
+                // until it earns its responsiveness back.
+                if (guardian_ != nullptr)
+                    region.resizePeriod = guardian_->scaledPeriod(
+                        region.asid(), region.resizePeriod);
             }
             region.nextResizeTick = region.accesses() + region.resizePeriod;
         }
@@ -577,7 +588,8 @@ MolecularCache::runGlobalResizeCycle()
 {
     ++resizeCycles_;
     for (auto &[asid, region] : regions_)
-        resizer_.resizeRegion(region, region.resizeGoal, *this);
+        resizer_.resizeRegion(region, region.resizeGoal, *this,
+                              guardian_.get());
 }
 
 u32
@@ -609,7 +621,22 @@ MolecularCache::grant(Region &region, u32 count)
         if (got > before)
             ulmo.noteDonation();
     }
+    // Guardian pool-pressure accounting: a short grant means the whole
+    // cluster is out of free molecules.  Gated on the guardian so the
+    // unguarded build's counters stay untouched.
+    if (guardian_ != nullptr && got < count)
+        ulmo.noteGrantShortfall(count - got);
     return got;
+}
+
+void
+MolecularCache::setRegionFloor(Asid asid, u32 floorMolecules)
+{
+    Region &region = regionFor(asid);
+    if (floorMolecules > params_.tilesPerCluster * params_.moleculesPerTile)
+        fatal("capacity floor ", floorMolecules,
+              " exceeds cluster capacity");
+    region.capacityFloor = floorMolecules;
 }
 
 u32

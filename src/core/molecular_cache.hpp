@@ -33,6 +33,7 @@
 
 #include "cache/cache_model.hpp"
 #include "core/coherence.hpp"
+#include "core/guardian.hpp"
 #include "fault/fault_injector.hpp"
 #include "core/params.hpp"
 #include "core/placement.hpp"
@@ -101,6 +102,8 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     /** Inter-cluster interconnect stats (coherence traffic). */
     const NocModel &noc() const { return noc_; }
     const Resizer &resizer() const { return resizer_; }
+    /** The QoS guardian, or nullptr when params().guardian is off. */
+    const QosGuardian *guardian() const { return guardian_.get(); }
     Molecule &molecule(MoleculeId id);
     const Molecule &molecule(MoleculeId id) const;
 
@@ -111,6 +114,14 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     /** Configure a molecule's shared bit (it is probed by every request
      * entering its tile, regardless of ASID — paper figure 3). */
     void setSharedMolecule(MoleculeId id, bool shared);
+
+    /**
+     * Per-region capacity floor in molecules (guardian fairness guard):
+     * withdrawals never take the region below it and lost capacity is
+     * re-granted.  Regions start at params().guardian.floorMolecules
+     * when the guardian is enabled; this overrides one region.
+     */
+    void setRegionFloor(Asid asid, u32 floorMolecules);
 
     /** @{ Energy/probe reporting (Table 4 inputs). */
     /** All molecules of a tile enabled — the paper's worst case. */
@@ -230,6 +241,10 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     // Dense ASID -> Region cache for the access hot path.
     std::vector<Region *> regionIndex_;
     Resizer resizer_;
+    // QoS guardian (docs/algorithm1.md "Guardrails"); allocated only
+    // when params_.guardian.enabled so the disabled control plane stays
+    // byte-identical.
+    std::unique_ptr<QosGuardian> guardian_;
     std::unique_ptr<RandomSource> rng_;
 
     CacheStats stats_;

@@ -78,6 +78,38 @@ std::string placementPolicyName(PlacementPolicy p);
 ResizeScheme parseResizeScheme(const std::string &text);
 std::string resizeSchemeName(ResizeScheme s);
 
+/**
+ * QoS guardian configuration (docs/algorithm1.md, "Guardrails").
+ * Default off — a disabled guardian never touches the control plane, so
+ * sweeps stay byte-identical to the unguarded build.
+ */
+struct GuardianParams
+{
+    bool enabled = false;
+    /** Relative dead-band around the goal: a decision is held while
+     * goal*(1-h) <= missRate <= goal*(1+h); widened under oscillation. */
+    double hysteresis = 0.10;
+    /** Epochs an action blocks the opposite-direction action (the
+     * flip-guard), and the pause imposed after an oscillation event. */
+    u32 cooldownEpochs = 2;
+    /** Sliding-window length, in evaluated resize epochs, of the
+     * delta sign-flip oscillation detector. */
+    u32 oscillationWindow = 8;
+    /** Sign flips per window that count as control-plane thrashing. */
+    u32 maxSignFlips = 2;
+    /** Default per-region capacity floor in molecules (0 = no floor);
+     * overridable per region via MolecularCache::setRegionFloor. */
+    u32 floorMolecules = 2;
+    /** Evaluated epochs above goal before a region is flagged stuck. */
+    u32 watchdogEpochs = 32;
+    /** Consecutive infeasible-looking epochs before the admission
+     * controller degrades the goal. */
+    u32 feasibilityEpochs = 4;
+    /** Pool-pressure EWMA above which regions at or past their fair
+     * share stop growing (starvation guard). */
+    double pressureThreshold = 0.75;
+};
+
 struct MolecularCacheParams
 {
     /** Molecule capacity (paper: 8-32 KB). */
@@ -152,6 +184,10 @@ struct MolecularCacheParams
     /** Grow a partition even when its miss rate did not improve (the
      * paper's Algorithm 1 grows only while improving; see DESIGN.md). */
     bool growWhenNotImproving = false;
+
+    /** QoS guardian around the resizer (admission control, hysteresis,
+     * floors, watchdog); off by default. */
+    GuardianParams guardian;
 
     /**
      * Hard-fault detections a molecule's failure counter must reach

@@ -223,6 +223,7 @@ class Region
     u64 nextResizeTick = 0;    // per-app adaptive scheme deadline
     u64 resizePeriod = 0;      // per-app adaptive scheme period
     u32 thrashStreak = 0;      // consecutive intervals above the threshold
+    u32 capacityFloor = 0;     // guardian fairness floor, molecules (0=off)
     /** @} */
 
     /** @{ Fault-degradation state (docs/fault_model.md).  A molecule

@@ -2,10 +2,51 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "core/guardian.hpp"
 #include "util/logging.hpp"
 
 namespace molcache {
+
+namespace {
+
+/**
+ * Broker wrapper used when a QosGuardian is active: withdrawals are
+ * clamped at the region's capacity floor and every grant outcome feeds
+ * the pool-pressure signal.  Algorithm 1 itself stays unaware of it.
+ */
+class GuardedBroker final : public MoleculeBroker
+{
+  public:
+    GuardedBroker(MoleculeBroker &inner, QosGuardian &guardian)
+        : inner_(inner), guardian_(guardian)
+    {
+    }
+
+    u32
+    grant(Region &region, u32 count) override
+    {
+        const u32 got = inner_.grant(region, count);
+        guardian_.noteGrant(region.asid(), count, got);
+        return got;
+    }
+
+    u32
+    withdraw(Region &region, u32 count) override
+    {
+        const u32 allowed = guardian_.clampWithdraw(region, count);
+        if (allowed == 0)
+            return 0;
+        return inner_.withdraw(region, allowed);
+    }
+
+  private:
+    MoleculeBroker &inner_;
+    QosGuardian &guardian_;
+};
+
+} // namespace
 
 Resizer::Resizer(const MolecularCacheParams &params)
     : params_(params)
@@ -14,9 +55,19 @@ Resizer::Resizer(const MolecularCacheParams &params)
 
 RegionResize
 Resizer::resizeRegion(Region &region, double goal,
-                      MoleculeBroker &broker) const
+                      MoleculeBroker &rawBroker, QosGuardian *guardian) const
 {
     RegionResize out;
+
+    // With the guardian active every grant/withdraw below goes through
+    // the floor-clamping, pressure-tracking wrapper; without it the raw
+    // broker is used directly and this function is byte-identical to
+    // the unguarded build.
+    std::optional<GuardedBroker> guarded;
+    if (guardian != nullptr)
+        guarded.emplace(rawBroker, *guardian);
+    MoleculeBroker &broker =
+        guarded ? static_cast<MoleculeBroker &>(*guarded) : rawBroker;
 
     // Fault recovery runs ahead of the regular Algorithm-1 decision (and
     // regardless of interval sample size): capacity lost to
@@ -32,6 +83,16 @@ Resizer::resizeRegion(Region &region, double goal,
         out.delta += static_cast<i32>(got);
         region.pendingReacquire = got == 0 ? 0
                                            : region.pendingReacquire - got;
+    }
+
+    // Fairness guard: a region squeezed below its capacity floor (fault
+    // decommissioning, or an exhausted pool at reacquire time) is topped
+    // back up first.  Unlike pendingReacquire this is retried forever —
+    // the floor is a standing guarantee, not a one-shot repair.
+    if (guardian != nullptr) {
+        const u32 got = guardian->restoreFloor(region, rawBroker);
+        granted_ += got;
+        out.delta += static_cast<i32>(got);
     }
 
     if (region.intervalAccesses() == 0)
@@ -64,6 +125,23 @@ Resizer::resizeRegion(Region &region, double goal,
         region.lastMissRate = mr;
         region.closeInterval();
         return out;
+    }
+
+    // Guardian pre-decision gate: hold the epoch (hysteresis dead-band,
+    // cooldown, flip-guard, pool pressure) or steer Algorithm 1 toward
+    // the degraded goal of an infeasible region.  A held epoch still
+    // closes the interval and updates lastMissRate so the next decision
+    // compares against fresh history.
+    const double configured_goal = goal;
+    if (guardian != nullptr) {
+        double effective = goal;
+        if (guardian->gateHold(region, mr, goal, &effective)) {
+            guardian->afterDecision(region, out.delta, mr, configured_goal);
+            region.lastMissRate = mr;
+            region.closeInterval();
+            return out;
+        }
+        goal = effective;
     }
 
     // Thrash detection is cold-miss compensated: compulsory fills into
@@ -146,6 +224,9 @@ Resizer::resizeRegion(Region &region, double goal,
         out.delta += static_cast<i32>(got);
     }
     // else: above goal and not improving — growth is not paying off; hold.
+
+    if (guardian != nullptr)
+        guardian->afterDecision(region, out.delta, mr, configured_goal);
 
     region.lastMissRate = mr;
     region.closeInterval();

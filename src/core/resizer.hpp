@@ -36,6 +36,8 @@
 
 namespace molcache {
 
+class QosGuardian;
+
 /** Grants/retrieves molecules on behalf of the resizer. */
 class MoleculeBroker
 {
@@ -74,12 +76,20 @@ class Resizer
 
     /**
      * Run Algorithm 1 for one region and close its interval.
-     * @param region the partition
-     * @param goal   the partition's miss-rate goal
-     * @param broker molecule source/sink
+     * @param region   the partition
+     * @param goal     the partition's miss-rate goal
+     * @param broker   molecule source/sink
+     * @param guardian optional QoS guardian (docs/algorithm1.md,
+     *                 "Guardrails"): floor restoration runs ahead of the
+     *                 decision, the pre-decision gate may hold the epoch
+     *                 or substitute a degraded goal, withdrawals are
+     *                 clamped at the region's capacity floor, and the
+     *                 oscillation/feasibility/watchdog bookkeeping runs
+     *                 after.  Null leaves Algorithm 1 untouched.
      */
     RegionResize resizeRegion(Region &region, double goal,
-                              MoleculeBroker &broker) const;
+                              MoleculeBroker &broker,
+                              QosGuardian *guardian = nullptr) const;
 
     /**
      * Adapt a resize period from an observed miss rate (global or

@@ -82,17 +82,6 @@ runWorkload(const std::vector<std::string> &profiles, CacheModel &model,
     return Simulator::run(*source, model, run);
 }
 
-SimResult
-runWorkload(const std::vector<std::string> &profiles, CacheModel &model,
-            const GoalSet &goals, u64 totalReferences, u64 seed)
-{
-    return runWorkload(profiles, model,
-                       RunOptions{}
-                           .withGoals(goals)
-                           .withReferences(totalReferences)
-                           .withSeed(seed));
-}
-
 GoalSet
 deriveGoalsFromSolo(const std::vector<std::string> &profiles,
                     const SetAssocParams &reference,
@@ -116,17 +105,6 @@ deriveGoalsFromSolo(const std::vector<std::string> &profiles,
         goals.set(Asid{static_cast<u16>(i)}, goal);
     }
     return goals;
-}
-
-GoalSet
-deriveGoalsFromSolo(const std::vector<std::string> &profiles,
-                    const SetAssocParams &reference, double slackFactor,
-                    double minGoal, u64 refsPerApp, u64 seed)
-{
-    return deriveGoalsFromSolo(
-        profiles, reference,
-        RunOptions{}.withReferences(refsPerApp).withSeed(seed), slackFactor,
-        minGoal);
 }
 
 } // namespace molcache

@@ -59,15 +59,9 @@ void registerApplications(MolecularCache &cache, u32 count,
 SimResult runWorkload(const std::vector<std::string> &profiles,
                       CacheModel &model, const RunOptions &options);
 
-/**
- * Positional overload, superseded by RunOptions.
- * @deprecated Forwards to the RunOptions form; will be removed one
- * release after the RunOptions API landed.
- */
-[[deprecated("use runWorkload(profiles, model, RunOptions)")]]
-SimResult runWorkload(const std::vector<std::string> &profiles,
-                      CacheModel &model, const GoalSet &goals,
-                      u64 totalReferences = kPaperTraceLength, u64 seed = 1);
+// The positional runWorkload(profiles, model, goals, totalReferences,
+// seed) overload was removed one release after the RunOptions API
+// landed; molcache_lint's deprecated-run rule rejects reintroduction.
 
 /**
  * Derive per-application miss-rate goals by profiling: each profile runs
@@ -92,16 +86,9 @@ GoalSet deriveGoalsFromSolo(const std::vector<std::string> &profiles,
                             double slackFactor = 1.5,
                             double minGoal = 0.02);
 
-/**
- * Positional overload, superseded by RunOptions.
- * @deprecated Forwards to the RunOptions form; will be removed one
- * release after the RunOptions API landed.
- */
-[[deprecated("use deriveGoalsFromSolo(profiles, reference, RunOptions, ...)")]]
-GoalSet deriveGoalsFromSolo(const std::vector<std::string> &profiles,
-                            const SetAssocParams &reference,
-                            double slackFactor = 1.5, double minGoal = 0.02,
-                            u64 refsPerApp = 500'000, u64 seed = 1);
+// The positional deriveGoalsFromSolo(profiles, reference, slackFactor,
+// minGoal, refsPerApp, seed) overload was removed one release after the
+// RunOptions API landed; the lint rule rejects reintroduction.
 
 } // namespace molcache
 

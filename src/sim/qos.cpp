@@ -4,12 +4,20 @@
 
 namespace molcache {
 
-const AppSummary &
-QosSummary::byAsid(Asid asid) const
+const AppSummary *
+QosSummary::find(Asid asid) const
 {
     for (const auto &a : apps)
         if (a.asid == asid)
-            return a;
+            return &a;
+    return nullptr;
+}
+
+const AppSummary &
+QosSummary::byAsid(Asid asid) const
+{
+    if (const AppSummary *a = find(asid))
+        return *a;
     panic("no summary for ASID ", asid);
 }
 

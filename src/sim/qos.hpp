@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cache/cache_model.hpp"
+#include "core/guardian_stats.hpp"
 #include "stats/metrics.hpp"
 
 namespace molcache {
@@ -30,6 +31,9 @@ struct AppSummary
     std::optional<double> goal;
     /** |missRate - goal| when a goal exists. */
     std::optional<double> deviation;
+    /** QoS-guardian telemetry; present only when the model is a
+     * MolecularCache with the guardian enabled. */
+    std::optional<GuardianAppTelemetry> guardian;
 };
 
 /** Whole-run QoS summary. */
@@ -40,6 +44,11 @@ struct QosSummary
     double globalMissRate = 0.0;
     u64 totalAccesses = 0;
 
+    /** @return the app's summary, or nullptr when @p asid produced no
+     * traffic (summaries exist only for ASIDs the stats saw). */
+    const AppSummary *find(Asid asid) const;
+    /** Like find(), but panics on an unknown ASID.  Prefer find() in
+     * reporting paths: a zero-traffic app must not crash the report. */
     const AppSummary &byAsid(Asid asid) const;
 };
 

@@ -49,6 +49,32 @@ writeSimResultJson(JsonWriter &json, const SimResult &result)
         json.value(static_cast<u64>(result.regionsStillRecovering));
         json.endObject();
     }
+    // Emitted only when the guardian ran: a disabled guardian leaves
+    // the report byte-identical to pre-guardian builds (same contract
+    // as the faults block above).
+    if (result.guardian.enabled) {
+        json.key("guardian");
+        json.beginObject();
+        json.key("oscillation_events");
+        json.value(result.guardian.oscillationEvents);
+        json.key("floor_hits");
+        json.value(result.guardian.floorHits);
+        json.key("floor_restore_grants");
+        json.value(result.guardian.floorRestoreGrants);
+        json.key("hold_epochs");
+        json.value(result.guardian.holdEpochs);
+        json.key("infeasible_regions");
+        json.value(static_cast<u64>(result.guardian.infeasibleRegions));
+        json.key("stuck_regions");
+        json.value(static_cast<u64>(result.guardian.stuckRegions));
+        json.key("max_epochs_to_goal");
+        json.value(static_cast<u64>(result.guardian.maxEpochsToGoal));
+        json.key("max_shortfall");
+        json.value(result.guardian.maxShortfall);
+        json.key("pool_pressure");
+        json.value(result.guardian.poolPressure);
+        json.endObject();
+    }
     json.key("apps");
     json.beginArray();
     for (const AppSummary &app : result.qos.apps) {
@@ -68,6 +94,32 @@ writeSimResultJson(JsonWriter &json, const SimResult &result)
             json.value(*app.goal);
             json.key("deviation");
             json.value(*app.deviation);
+        }
+        if (app.guardian) {
+            const GuardianAppTelemetry &g = *app.guardian;
+            json.key("guardian");
+            json.beginObject();
+            json.key("verdict");
+            json.value(feasibilityVerdictName(g.verdict));
+            json.key("shortfall");
+            json.value(g.shortfall);
+            json.key("oscillation_events");
+            json.value(static_cast<u64>(g.oscillationEvents));
+            json.key("max_sign_flips");
+            json.value(static_cast<u64>(g.maxSignFlips));
+            json.key("floor_hits");
+            json.value(g.floorHits);
+            json.key("floor_restore_grants");
+            json.value(g.floorRestoreGrants);
+            json.key("hold_epochs");
+            json.value(g.holdEpochs);
+            json.key("last_epochs_to_goal");
+            json.value(static_cast<u64>(g.lastEpochsToGoal));
+            json.key("max_epochs_to_goal");
+            json.value(static_cast<u64>(g.maxEpochsToGoal));
+            json.key("stuck");
+            json.value(g.stuck);
+            json.endObject();
         }
         json.endObject();
     }

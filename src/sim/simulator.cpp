@@ -91,21 +91,13 @@ Simulator::run(AccessSource &source, CacheModel &model,
             if (region.recovering)
                 ++out.regionsStillRecovering;
         }
+        if (const QosGuardian *guardian = mc->guardian()) {
+            out.guardian = guardian->summary();
+            for (AppSummary &app : out.qos.apps)
+                app.guardian = guardian->telemetry(app.asid);
+        }
     }
     return out;
-}
-
-SimResult
-Simulator::run(AccessSource &source, CacheModel &model, const GoalSet &goals,
-               const std::map<Asid, std::string> &labels, u64 warmup,
-               const Progress &progress)
-{
-    RunOptions options;
-    options.goals = goals;
-    options.labels = labels;
-    options.warmup = warmup;
-    options.progress = progress;
-    return run(source, model, options);
 }
 
 std::map<Asid, std::string>

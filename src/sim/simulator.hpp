@@ -46,6 +46,11 @@ struct SimResult
     u32 regionsStillRecovering = 0;
     /** @} */
 
+    /** QoS-guardian aggregate (guardian.enabled false unless the model
+     * is a MolecularCache with params().guardian.enabled).  Per-region
+     * telemetry rides on qos.apps[i].guardian. */
+    GuardianSummary guardian;
+
     /** Contract violations observed during the run (delta of the
      * calling thread's contract::counters() across the run; nonzero only
      * when a counting handler keeps violations non-fatal).  Always zero
@@ -68,16 +73,10 @@ class Simulator
     static SimResult run(AccessSource &source, CacheModel &model,
                          const RunOptions &options = {});
 
-    /**
-     * Positional-argument overload, superseded by RunOptions.
-     * @deprecated Will be removed one release after the RunOptions API
-     * landed; forwards verbatim in the meantime.
-     */
-    [[deprecated("use Simulator::run(source, model, RunOptions)")]]
-    static SimResult run(AccessSource &source, CacheModel &model,
-                         const GoalSet &goals,
-                         const std::map<Asid, std::string> &labels = {},
-                         u64 warmup = 0, const Progress &progress = {});
+    // The positional run(source, model, goals, labels, warmup, progress)
+    // overload was removed one release after the RunOptions API landed
+    // (as promised by its deprecation note); molcache_lint's
+    // deprecated-run rule rejects any reintroduction.
 };
 
 /** Display-label map (ASID i -> names[i]). */

@@ -22,6 +22,16 @@ knownConfigKeys()
         {"fault.window_start", "first eligible fault tick"},
         {"goal", "common per-application miss-rate goal"},
         {"goal.", "per-ASID miss-rate goal override (goal.<asid>)"},
+        {"guardian.cooldown", "epochs an action blocks its reversal"},
+        {"guardian.enabled", "QoS guardian around the resizer (0/1)"},
+        {"guardian.feasibility_epochs", "infeasible epochs before degrading"},
+        {"guardian.floor", "default per-region capacity floor, molecules"},
+        {"guardian.floor.", "per-ASID capacity floor (guardian.floor.<asid>)"},
+        {"guardian.hysteresis", "relative dead-band around the goal"},
+        {"guardian.max_flips", "delta sign flips per window that trip"},
+        {"guardian.pressure", "pool-pressure level pausing fair-share growth"},
+        {"guardian.watchdog", "epochs above goal before a region is stuck"},
+        {"guardian.window", "oscillation detector window, epochs"},
         {"hard_fault_threshold", "detections before decommissioning"},
         {"model", "cache model: molecular | setassoc | waypart"},
         {"molecule", "molecule capacity in bytes"},

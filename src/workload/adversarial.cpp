@@ -1,0 +1,149 @@
+#include "workload/adversarial.hpp"
+
+#include "util/logging.hpp"
+#include "workload/profile.hpp"
+
+namespace molcache {
+
+namespace {
+
+// Footprints are sized against the default guardian test geometry (a
+// 2 MiB cluster of 8 KiB molecules):
+//  - the PhaseFlip hot set fits in a handful of molecules while its
+//    cold chase wants the whole cluster;
+//  - the Hog's chase is 8x the cluster, so no allocation helps it;
+//  - the Steady victim needs ~12 molecules to sit at its goal.
+constexpr u64 kPhaseHotFootprint = 48 * 1024;
+constexpr u64 kPhaseColdFootprint = 1024 * 1024;
+constexpr u64 kPhaseLength = 40'000;
+constexpr u64 kHogFootprint = 16ull * 1024 * 1024;
+constexpr u64 kBurstFootprint = 256 * 1024;
+constexpr u64 kBurstOnLength = 25'000;
+constexpr u64 kBurstOffLength = 25'000;
+constexpr u64 kSteadyFootprint = 96 * 1024;
+
+} // namespace
+
+AdversaryKind
+parseAdversaryKind(const std::string &text)
+{
+    if (text == "phaseflip")
+        return AdversaryKind::PhaseFlip;
+    if (text == "hog")
+        return AdversaryKind::Hog;
+    if (text == "bursty")
+        return AdversaryKind::Bursty;
+    if (text == "steady")
+        return AdversaryKind::Steady;
+    fatal("unknown adversary kind '", text,
+          "' (expected phaseflip|hog|bursty|steady)");
+}
+
+std::string
+adversaryKindName(AdversaryKind kind)
+{
+    switch (kind) {
+      case AdversaryKind::PhaseFlip:
+        return "phaseflip";
+      case AdversaryKind::Hog:
+        return "hog";
+      case AdversaryKind::Bursty:
+        return "bursty";
+      case AdversaryKind::Steady:
+        return "steady";
+    }
+    return "unknown";
+}
+
+BurstyStream::BurstyStream(std::unique_ptr<AddressStream> on,
+                           std::unique_ptr<AddressStream> off, u64 onLength,
+                           u64 offLength)
+    : on_(std::move(on)), off_(std::move(off)),
+      onLength_(std::max<u64>(1, onLength)),
+      offLength_(std::max<u64>(1, offLength))
+{
+}
+
+Addr
+BurstyStream::next(RandomSource &rng)
+{
+    const u64 span = inBurst_ ? onLength_ : offLength_;
+    if (count_ >= span) {
+        count_ = 0;
+        inBurst_ = !inBurst_;
+    }
+    ++count_;
+    return inBurst_ ? on_->next(rng) : off_->next(rng);
+}
+
+std::unique_ptr<AddressStream>
+makeAdversaryStream(AdversaryKind kind, Addr base)
+{
+    switch (kind) {
+      case AdversaryKind::PhaseFlip: {
+        std::vector<std::unique_ptr<AddressStream>> phases;
+        phases.push_back(std::make_unique<WorkingSetStream>(
+            base, kPhaseHotFootprint, /*alpha=*/0.9));
+        phases.push_back(std::make_unique<PointerChaseStream>(
+            base + kPhaseHotFootprint, kPhaseColdFootprint));
+        return std::make_unique<PhaseStream>(std::move(phases),
+                                             kPhaseLength);
+      }
+      case AdversaryKind::Hog:
+        return std::make_unique<PointerChaseStream>(base, kHogFootprint);
+      case AdversaryKind::Bursty:
+        // Idle spans hammer one line: every access hits, the measured
+        // miss rate collapses to ~0 and the controller is invited to
+        // withdraw everything it granted during the burst.
+        return std::make_unique<BurstyStream>(
+            std::make_unique<PointerChaseStream>(base, kBurstFootprint),
+            std::make_unique<SequentialStream>(base + kBurstFootprint,
+                                               /*footprint=*/64),
+            kBurstOnLength, kBurstOffLength);
+      case AdversaryKind::Steady:
+        return std::make_unique<WorkingSetStream>(base, kSteadyFootprint,
+                                                  /*alpha=*/1.1);
+    }
+    fatal("unhandled adversary kind");
+}
+
+AdversaryGenerator::AdversaryGenerator(AdversaryKind kind, Asid asid,
+                                       u64 limit, u64 seed)
+    : stream_(makeAdversaryStream(kind, applicationBase(asid))),
+      rng_(seed * 0x9E3779B97F4A7C15ull + asid.value() + 1, asid.value()),
+      asid_(asid), limit_(limit), writeFraction_(0.25)
+{
+}
+
+std::optional<MemAccess>
+AdversaryGenerator::next()
+{
+    if (limit_ != 0 && produced_ >= limit_)
+        return std::nullopt;
+    ++produced_;
+    MemAccess a;
+    a.addr = stream_->next(rng_);
+    a.asid = asid_;
+    a.type = rng_.chance(writeFraction_) ? AccessType::Write
+                                         : AccessType::Read;
+    return a;
+}
+
+std::unique_ptr<AccessSource>
+makeAdversarialSource(const std::vector<AdversaryKind> &apps,
+                      u64 totalReferences, u64 seed)
+{
+    MOLCACHE_ASSERT(!apps.empty(), "no adversaries given");
+    std::vector<std::unique_ptr<AccessSource>> sources;
+    sources.reserve(apps.size());
+    for (size_t i = 0; i < apps.size(); ++i) {
+        sources.push_back(std::make_unique<AdversaryGenerator>(
+            apps[i], Asid{static_cast<u16>(i)}, /*limit=*/0, seed));
+    }
+    return std::make_unique<Interleaver>(std::move(sources),
+                                         MixPolicy::RoundRobin,
+                                         std::vector<double>{}, seed,
+                                         totalReferences);
+}
+
+} // namespace molcache

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Adversarial workload generators for the QoS guardian
+ * (docs/algorithm1.md, "Guardrails").
+ *
+ * The benchmark profiles in profiles.cpp model well-behaved SPEC-like
+ * applications.  These streams are built to *fight* the resizer control
+ * plane instead:
+ *
+ *  - PhaseFlip: alternates a small hot working set with a huge pointer
+ *    chase, so the observed miss-vs-size response inverts every phase —
+ *    the grow/withdraw decisions of an unguarded Algorithm 1 chase the
+ *    previous phase and oscillate;
+ *  - Hog: a pointer chase far beyond cluster capacity with an
+ *    unreachable miss-rate goal; it converts every granted molecule
+ *    into nearly zero extra hits and inflates until the pool starves
+ *    its neighbours;
+ *  - Bursty: on/off behaviour — miss-heavy bursts followed by idle
+ *    spans touching a single hot line (miss rate ~0), flipping the
+ *    controller between "grow hard" and "give everything back";
+ *  - Steady: a plain zipf working set, the victim whose floor and goal
+ *    the guardian must protect while the others misbehave.
+ */
+
+#ifndef MOLCACHE_WORKLOAD_ADVERSARIAL_HPP
+#define MOLCACHE_WORKLOAD_ADVERSARIAL_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/interleave.hpp"
+#include "workload/streams.hpp"
+
+namespace molcache {
+
+enum class AdversaryKind
+{
+    PhaseFlip,
+    Hog,
+    Bursty,
+    Steady,
+};
+
+AdversaryKind parseAdversaryKind(const std::string &text);
+std::string adversaryKindName(AdversaryKind kind);
+
+/**
+ * Alternates an "on" stream and an "off" stream with independent span
+ * lengths (PhaseStream has one fixed length for every phase, which
+ * cannot model short bursts against long idle spans).
+ */
+class BurstyStream final : public AddressStream
+{
+  public:
+    /**
+     * @param on        stream active during bursts
+     * @param off       stream active between bursts
+     * @param onLength  accesses per burst
+     * @param offLength accesses per idle span
+     */
+    BurstyStream(std::unique_ptr<AddressStream> on,
+                 std::unique_ptr<AddressStream> off, u64 onLength,
+                 u64 offLength);
+
+    Addr next(RandomSource &rng) override;
+
+  private:
+    std::unique_ptr<AddressStream> on_;
+    std::unique_ptr<AddressStream> off_;
+    u64 onLength_;
+    u64 offLength_;
+    u64 count_ = 0;
+    bool inBurst_ = true;
+};
+
+/** Build one adversary's address stream rooted at @p base. */
+std::unique_ptr<AddressStream> makeAdversaryStream(AdversaryKind kind,
+                                                   Addr base);
+
+/**
+ * AccessSource producing one adversary's reference stream tagged with
+ * @p asid; deterministic under (seed, asid), mirroring TraceGenerator.
+ */
+class AdversaryGenerator final : public AccessSource
+{
+  public:
+    AdversaryGenerator(AdversaryKind kind, Asid asid, u64 limit,
+                       u64 seed = 1);
+
+    std::optional<MemAccess> next() override;
+
+  private:
+    std::unique_ptr<AddressStream> stream_;
+    Pcg32 rng_;
+    Asid asid_;
+    u64 limit_;
+    u64 produced_ = 0;
+    double writeFraction_;
+};
+
+/**
+ * Merged multi-application adversarial mix (ASIDs 0..n-1 in list
+ * order), round-robin interleaved, ending after @p totalReferences.
+ */
+std::unique_ptr<AccessSource>
+makeAdversarialSource(const std::vector<AdversaryKind> &apps,
+                      u64 totalReferences, u64 seed = 1);
+
+} // namespace molcache
+
+#endif // MOLCACHE_WORKLOAD_ADVERSARIAL_HPP

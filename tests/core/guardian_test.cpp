@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Unit tests of the QoS guardian (core/guardian.hpp): the hysteresis
+ * dead-band, flip-guard and oscillation backoff, admission control with
+ * explicit degraded mode, capacity floors, pool pressure and the
+ * convergence watchdog — both through the public guardian API and
+ * end-to-end through Resizer::resizeRegion.
+ */
+
+#include "core/guardian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/resizer.hpp"
+#include "util/units.hpp"
+
+namespace molcache {
+namespace {
+
+/** Broker over an infinite (or bounded) molecule supply for unit tests. */
+class FakeBroker final : public MoleculeBroker
+{
+  public:
+    explicit FakeBroker(u32 available = 1000000)
+        : available_(available)
+    {
+    }
+
+    u32
+    grant(Region &region, u32 count) override
+    {
+        const u32 got = std::min(count, available_);
+        available_ -= got;
+        for (u32 i = 0; i < got; ++i) {
+            region.addMolecule(next_, TileId{0}, false);
+            ++next_;
+        }
+        return got;
+    }
+
+    u32
+    withdraw(Region &region, u32 count) override
+    {
+        u32 got = 0;
+        while (got < count && region.size() > 1) {
+            region.removeMolecule(region.pickWithdrawal());
+            ++available_;
+            ++got;
+        }
+        return got;
+    }
+
+  private:
+    u32 available_;
+    MoleculeId next_{100};
+};
+
+/** Small geometry: 2 tiles x 8 molecules => cluster capacity 16, so the
+ * feasibility model's capacity predictions are easy to hit by hand. */
+MolecularCacheParams
+params()
+{
+    MolecularCacheParams p;
+    p.moleculesPerTile = 8;
+    p.tilesPerCluster = 2;
+    p.maxAllocationChunk = 8;
+    p.minIntervalSample = 100;
+    p.guardian.enabled = true;
+    return p;
+}
+
+Region
+makeRegion(u32 molecules, u32 floor = 0)
+{
+    Region r(Asid{1}, PlacementPolicy::Random, 1, TileId{0},
+             ClusterId{0}, 8_KiB);
+    for (u32 m = 0; m < molecules; ++m)
+        r.addMolecule(MoleculeId{m}, TileId{0}, true);
+    r.maxAllocation = 8;
+    r.lastGrant = molecules;
+    r.capacityFloor = floor;
+    return r;
+}
+
+/** Drive one interval's worth of synthetic statistics into the region. */
+void
+feedInterval(Region &r, u32 accesses, u32 misses, u32 replacements)
+{
+    for (u32 i = 0; i < accesses; ++i)
+        r.noteAccess(i >= misses); // first `misses` accesses miss
+    for (u32 i = 0; i < replacements; ++i)
+        r.noteReplacement(r.rows()[0][i % r.rows()[0].size()], 0);
+}
+
+/** First evaluation only observes; prime it so decisions flow. */
+void
+primeRegion(Region &r, const Resizer &resizer, FakeBroker &broker,
+            QosGuardian *guardian, double mr = 0.3)
+{
+    feedInterval(r, 1000, static_cast<u32>(mr * 1000),
+                 static_cast<u32>(mr * 1000));
+    resizer.resizeRegion(r, 0.1, broker, guardian);
+}
+
+TEST(Guardian, GateHoldDeadBand)
+{
+    QosGuardian g(params());
+    const Region r = makeRegion(4);
+    double eff = 0.0;
+    // Inside goal*(1 +- 0.10): hold.
+    EXPECT_TRUE(g.gateHold(r, 0.105, 0.1, &eff));
+    EXPECT_TRUE(g.gateHold(r, 0.095, 0.1, &eff));
+    // Outside the band: pass through with the configured goal.
+    EXPECT_FALSE(g.gateHold(r, 0.30, 0.1, &eff));
+    EXPECT_DOUBLE_EQ(eff, 0.1);
+    EXPECT_FALSE(g.gateHold(r, 0.02, 0.1, &eff));
+    EXPECT_GE(g.telemetry(r.asid()).holdEpochs, 2u);
+}
+
+TEST(Guardian, HysteresisHoldThroughResizer)
+{
+    const MolecularCacheParams p = params();
+    const Resizer resizer(p);
+    QosGuardian g(p);
+    FakeBroker broker;
+    Region r = makeRegion(8);
+    primeRegion(r, resizer, broker, &g, 0.30);
+    // mr 0.105 is inside the dead-band: the epoch is held, yet the
+    // interval closes and history advances (no stale-interval buildup).
+    feedInterval(r, 1000, 105, 105);
+    const RegionResize out = resizer.resizeRegion(r, 0.1, broker, &g);
+    EXPECT_TRUE(out.evaluated);
+    EXPECT_EQ(out.delta, 0);
+    EXPECT_EQ(r.size(), 8u);
+    EXPECT_EQ(r.intervalAccesses(), 0u);
+    EXPECT_NEAR(r.lastMissRate, 0.105, 1e-9);
+    EXPECT_GE(g.telemetry(r.asid()).holdEpochs, 1u);
+}
+
+TEST(Guardian, FlipGuardBlocksImmediateReversal)
+{
+    QosGuardian g(params());
+    const Region r = makeRegion(4);
+    double eff = 0.0;
+    // A grow action (delta +4) was just taken...
+    g.afterDecision(r, +4, 0.30, 0.1);
+    // ...so an immediate shrink (mr far below goal) is held.
+    EXPECT_TRUE(g.gateHold(r, 0.02, 0.1, &eff));
+    // Two quiet epochs (cooldownEpochs = 2) later the guard lifts.
+    g.afterDecision(r, 0, 0.30, 0.1);
+    g.afterDecision(r, 0, 0.30, 0.1);
+    EXPECT_FALSE(g.gateHold(r, 0.02, 0.1, &eff));
+    // Same-direction actions were never blocked.
+    g.afterDecision(r, +4, 0.30, 0.1);
+    EXPECT_FALSE(g.gateHold(r, 0.30, 0.1, &eff));
+}
+
+TEST(Guardian, OscillationTripWidensBandAndBacksOffPeriod)
+{
+    QosGuardian g(params());
+    const Region r = makeRegion(4);
+    const Asid asid = r.asid();
+    EXPECT_EQ(g.scaledPeriod(asid, 25000), 25000u);
+
+    // Alternating deltas: the second flip reaches maxSignFlips = 2.
+    g.afterDecision(r, +2, 0.30, 0.1);
+    g.afterDecision(r, -2, 0.02, 0.1);
+    g.afterDecision(r, +2, 0.30, 0.1);
+    const GuardianAppTelemetry t = g.telemetry(asid);
+    EXPECT_EQ(t.oscillationEvents, 1u);
+    // The window restarts on the trip, so the recorded worst case stays
+    // at the configured bound instead of growing without limit.
+    EXPECT_EQ(t.maxSignFlips, params().guardian.maxSignFlips);
+    // Period backoff doubled the resize period (capped at the max).
+    EXPECT_EQ(g.scaledPeriod(asid, 25000), 50000u);
+    // The trip imposes a cooldown pause: even a far-out miss rate holds.
+    double eff = 0.0;
+    EXPECT_TRUE(g.gateHold(r, 0.9, 0.1, &eff));
+
+    // One full calm window halves the backoff again.
+    for (u32 i = 0; i < params().guardian.oscillationWindow + 2; ++i)
+        g.afterDecision(r, 0, 0.105, 0.1);
+    EXPECT_EQ(g.scaledPeriod(asid, 25000), 25000u);
+}
+
+TEST(Guardian, WidenedBandHoldsWhatNormalBandWouldNot)
+{
+    QosGuardian g(params());
+    const Region r = makeRegion(4);
+    double eff = 0.0;
+    // mr 0.115 is outside the normal 10% band around goal 0.1.
+    EXPECT_FALSE(g.gateHold(r, 0.115, 0.1, &eff));
+    // Trip the oscillation detector: band scale doubles to 0.2.
+    g.afterDecision(r, +2, 0.30, 0.1);
+    g.afterDecision(r, -2, 0.02, 0.1);
+    g.afterDecision(r, +2, 0.30, 0.1);
+    // Drain the cooldown pause (cooldownEpochs = 2).
+    EXPECT_TRUE(g.gateHold(r, 0.115, 0.1, &eff));
+    EXPECT_TRUE(g.gateHold(r, 0.115, 0.1, &eff));
+    // Now the hold comes from the widened dead-band [0.08, 0.12] itself.
+    EXPECT_TRUE(g.gateHold(r, 0.115, 0.1, &eff));
+}
+
+TEST(Guardian, InfeasibleGoalEntersDegradedModeWithShortfall)
+{
+    QosGuardian g(params()); // cluster capacity 16
+    const Region r = makeRegion(8);
+    // k ~= 0.9 * 8 = 7.2 => predicted floor 7.2/16 = 0.45 >> goal 0.1.
+    for (u32 i = 0; i < params().guardian.feasibilityEpochs; ++i)
+        g.afterDecision(r, 0, 0.9, 0.1);
+    const GuardianAppTelemetry t = g.telemetry(r.asid());
+    EXPECT_EQ(t.verdict, FeasibilityVerdict::Infeasible);
+    EXPECT_NEAR(t.shortfall, 0.35, 0.02);
+    // Degraded mode: the region is judged against the achievable goal,
+    // so a miss rate near it is held instead of chasing more capacity.
+    double eff = 0.0;
+    EXPECT_TRUE(g.gateHold(r, 0.44, 0.1, &eff));
+    EXPECT_FALSE(g.gateHold(r, 0.9, 0.1, &eff));
+    EXPECT_NEAR(eff, 0.45, 0.02); // Algorithm 1 steers to the substitute
+    // An infeasible region is excused from the watchdog.
+    EXPECT_FALSE(t.stuck);
+}
+
+TEST(Guardian, InfeasibleNeedsConsecutiveEpochs)
+{
+    QosGuardian g(params());
+    const Region r = makeRegion(8);
+    for (u32 i = 0; i + 1 < params().guardian.feasibilityEpochs; ++i)
+        g.afterDecision(r, 0, 0.9, 0.1);
+    EXPECT_EQ(g.telemetry(r.asid()).verdict, FeasibilityVerdict::Unknown);
+}
+
+TEST(Guardian, DegradedModeExitsWhenGoalReached)
+{
+    QosGuardian g(params());
+    const Region r = makeRegion(8);
+    for (u32 i = 0; i < params().guardian.feasibilityEpochs; ++i)
+        g.afterDecision(r, 0, 0.9, 0.1);
+    ASSERT_EQ(g.telemetry(r.asid()).verdict,
+              FeasibilityVerdict::Infeasible);
+    // The working set shrank: the goal is met, degraded mode ends.
+    g.afterDecision(r, 0, 0.08, 0.1);
+    const GuardianAppTelemetry t = g.telemetry(r.asid());
+    EXPECT_EQ(t.verdict, FeasibilityVerdict::Feasible);
+    EXPECT_DOUBLE_EQ(t.shortfall, 0.0);
+}
+
+TEST(Guardian, ClampWithdrawStopsAtFloor)
+{
+    QosGuardian g(params());
+    const Region above = makeRegion(6, /*floor=*/2);
+    EXPECT_EQ(g.clampWithdraw(above, 3), 3u); // room of 4: untouched
+    EXPECT_EQ(g.clampWithdraw(above, 10), 4u); // clipped to the floor
+    const Region at = makeRegion(2, /*floor=*/2);
+    EXPECT_EQ(g.clampWithdraw(at, 1), 0u);
+    EXPECT_EQ(g.telemetry(Asid{1}).floorHits, 2u);
+    // No floor configured: pass-through, no accounting.
+    const Region unfloored = makeRegion(2);
+    EXPECT_EQ(g.clampWithdraw(unfloored, 1), 1u);
+}
+
+TEST(Guardian, RestoreFloorRegrantsLostCapacity)
+{
+    QosGuardian g(params());
+    FakeBroker broker;
+    Region r = makeRegion(1, /*floor=*/4);
+    EXPECT_EQ(g.restoreFloor(r, broker), 3u);
+    EXPECT_EQ(r.size(), 4u);
+    EXPECT_EQ(g.telemetry(r.asid()).floorRestoreGrants, 3u);
+    // At (or above) the floor: nothing to do.
+    EXPECT_EQ(g.restoreFloor(r, broker), 0u);
+}
+
+TEST(Guardian, ResizerHonoursFloorEndToEnd)
+{
+    const MolecularCacheParams p = params();
+    const Resizer resizer(p);
+    QosGuardian g(p);
+    FakeBroker broker;
+    Region r = makeRegion(4, /*floor=*/4);
+    primeRegion(r, resizer, broker, &g, 0.30);
+    // Perfect hit rate wants a withdrawal; the floor forbids it.
+    feedInterval(r, 1000, 0, 0);
+    const RegionResize out = resizer.resizeRegion(r, 0.1, broker, &g);
+    EXPECT_EQ(out.delta, 0);
+    EXPECT_EQ(r.size(), 4u);
+    EXPECT_GE(g.telemetry(r.asid()).floorHits, 1u);
+}
+
+TEST(Guardian, WatchdogFlagsStuckAndTimesReconvergence)
+{
+    MolecularCacheParams p = params();
+    p.guardian.watchdogEpochs = 4;
+    // Default geometry => cluster capacity 256, so mr 0.3 at size 4
+    // predicts ~0.005 at capacity: feasible-looking, just not converged.
+    p.moleculesPerTile = 64;
+    p.tilesPerCluster = 4;
+    QosGuardian g(p);
+    const Region r = makeRegion(4);
+    for (u32 i = 0; i < 4; ++i) {
+        EXPECT_FALSE(g.telemetry(r.asid()).stuck);
+        g.afterDecision(r, 0, 0.30, 0.1);
+    }
+    EXPECT_TRUE(g.telemetry(r.asid()).stuck);
+    EXPECT_EQ(g.summary().stuckRegions, 1u);
+    EXPECT_GE(g.summary().maxEpochsToGoal, 4u);
+    // Reaching the goal clears the flag and records the time-to-goal.
+    g.afterDecision(r, 0, 0.09, 0.1);
+    const GuardianAppTelemetry t = g.telemetry(r.asid());
+    EXPECT_FALSE(t.stuck);
+    EXPECT_EQ(t.lastEpochsToGoal, 4u);
+    EXPECT_EQ(t.maxEpochsToGoal, 4u);
+}
+
+TEST(Guardian, PoolPressureHoldsGrowthAtFairShare)
+{
+    QosGuardian g(params()); // cluster capacity 16
+    const Region big = makeRegion(16);
+    // Repeated empty grants drive the pressure EWMA toward 1.
+    for (u32 i = 0; i < 20; ++i)
+        g.noteGrant(big.asid(), 8, 0);
+    EXPECT_GT(g.poolPressure(), params().guardian.pressureThreshold);
+    double eff = 0.0;
+    // At (or past) the fair share, growth is paused under pressure...
+    EXPECT_TRUE(g.gateHold(big, 0.5, 0.1, &eff));
+    // ...but shrinking is always allowed.
+    EXPECT_FALSE(g.gateHold(big, 0.01, 0.1, &eff));
+    // A small region may still grow toward its share.
+    const Region small = makeRegion(2);
+    EXPECT_FALSE(g.gateHold(small, 0.5, 0.1, &eff));
+}
+
+TEST(Guardian, SummaryAggregatesAcrossRegions)
+{
+    QosGuardian g(params());
+    const Region a = makeRegion(8); // Asid 1 (makeRegion default)
+    Region b(Asid{2}, PlacementPolicy::Random, 1, TileId{0}, ClusterId{0},
+             8_KiB);
+    b.addMolecule(MoleculeId{50}, TileId{0}, true);
+    b.capacityFloor = 2;
+    for (u32 i = 0; i < params().guardian.feasibilityEpochs; ++i)
+        g.afterDecision(a, 0, 0.9, 0.1); // infeasible
+    g.clampWithdraw(b, 1);               // floor hit on the other region
+    const GuardianSummary s = g.summary();
+    EXPECT_TRUE(s.enabled);
+    EXPECT_EQ(s.infeasibleRegions, 1u);
+    EXPECT_EQ(s.floorHits, 1u);
+    EXPECT_GT(s.maxShortfall, 0.0);
+}
+
+} // namespace
+} // namespace molcache

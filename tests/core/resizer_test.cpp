@@ -242,6 +242,37 @@ TEST(Resizer, PeriodAdaptation)
               params().maxResizePeriod);
 }
 
+TEST(Resizer, PeriodAdaptationEdgeCases)
+{
+    const Resizer resizer(params());
+    // goal = 0: no miss rate can be under it, so the period always takes
+    // the over-goal branch (shrinks) rather than dividing by zero.
+    EXPECT_EQ(resizer.adaptPeriod(25000, 0.0, 0.0), 2500u);
+    EXPECT_EQ(resizer.adaptPeriod(25000, 1.0, 0.0), 2500u);
+    // Extreme miss rates behave like any other side of the goal.
+    EXPECT_EQ(resizer.adaptPeriod(25000, 0.0, 0.1), 50000u);
+    EXPECT_EQ(resizer.adaptPeriod(25000, 1.0, 0.1), 2500u);
+    // Exactly at the goal counts as not-under: the loop speeds up.
+    EXPECT_EQ(resizer.adaptPeriod(25000, 0.1, 0.1), 2500u);
+    // Landing exactly on a clamp boundary is a fixed point, not an
+    // overshoot: 400000*2 == maxResizePeriod, 25000*0.1 == min.
+    EXPECT_EQ(resizer.adaptPeriod(400000, 0.05, 0.1),
+              params().maxResizePeriod);
+    EXPECT_EQ(resizer.adaptPeriod(25000, 0.5, 0.1),
+              params().minResizePeriod);
+}
+
+TEST(Resizer, PeriodAdaptationPinnedClamp)
+{
+    // minResizePeriod == maxResizePeriod pins the period entirely.
+    MolecularCacheParams p = params();
+    p.minResizePeriod = 10000;
+    p.maxResizePeriod = 10000;
+    const Resizer resizer(p);
+    EXPECT_EQ(resizer.adaptPeriod(10000, 0.05, 0.1), 10000u);
+    EXPECT_EQ(resizer.adaptPeriod(10000, 0.5, 0.1), 10000u);
+}
+
 TEST(Resizer, CountersAccumulate)
 {
     const Resizer resizer(params());

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fault-path regression tests for the guardian's capacity floor: hard
+ * decommissioning drops a region below its floor while the cluster pool
+ * is empty — the resizer's one-shot pendingReacquire path gives up, and
+ * the guardian's standing restoreFloor guarantee must pull the region
+ * back above the floor as soon as a neighbour releases capacity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/guardian.hpp"
+#include "core/molecular_cache.hpp"
+#include "util/units.hpp"
+
+namespace molcache {
+namespace {
+
+MolecularCacheParams
+guardedParams()
+{
+    MolecularCacheParams p;
+    p.moleculeSize = 8_KiB;
+    p.moleculesPerTile = 8;
+    p.tilesPerCluster = 2;
+    p.clusters = 1;
+    // FullTile: both applications start owning their whole home tile, so
+    // the cluster pool is empty at fault time by construction.
+    p.initialAllocation = InitialAllocation::FullTile;
+    p.resizePeriod = 200;
+    p.minResizePeriod = 50;
+    p.maxResizePeriod = 2000;
+    p.minIntervalSample = 50;
+    p.guardian.enabled = true;
+    p.guardian.floorMolecules = 3;
+    return p;
+}
+
+Addr
+addrFor(Asid asid, u32 n)
+{
+    return (static_cast<Addr>(asid.value()) << 34) +
+           static_cast<Addr>(n) * 64;
+}
+
+void
+warm(MolecularCache &cache, Asid asid, u32 refs, u32 footprint)
+{
+    Pcg32 rng(99);
+    for (u32 i = 0; i < refs; ++i) {
+        cache.access({addrFor(asid, rng.below(footprint)), asid,
+                      rng.chance(0.25) ? AccessType::Write
+                                       : AccessType::Read});
+    }
+}
+
+TEST(GuardianFault, FloorRestoredAfterDecommissionUnderEmptyPool)
+{
+    MolecularCache cache(guardedParams());
+    const u32 floor = cache.params().guardian.floorMolecules;
+    // The donor overachieves its lenient goal and will shed capacity;
+    // the victim loses its tile to hard faults.
+    cache.registerApplication(Asid{0}, 0.4, ClusterId{0}, 0, 1);
+    cache.registerApplication(Asid{1}, 0.1, ClusterId{0}, 1, 1);
+    ASSERT_EQ(cache.freeMolecules(), 0u);
+
+    // Decommission the victim's molecules down to a single survivor —
+    // well below the floor — while the pool has nothing to re-grant.
+    const Region &victim = cache.region(Asid{1});
+    while (victim.size() > 1) {
+        ASSERT_TRUE(cache.decommissionMolecule(victim.rows()[0][0]));
+    }
+    ASSERT_LT(victim.size(), floor);
+    EXPECT_TRUE(victim.recovering);
+    EXPECT_GT(victim.moleculesLost, 0u);
+
+    // Only the donor runs traffic: the victim's floor restoration must
+    // not depend on the squeezed application making progress itself
+    // (restoreFloor runs even for idle regions, every resize cycle).
+    warm(cache, Asid{0}, 12000, 256);
+
+    EXPECT_GE(victim.size(), floor)
+        << "floor not restored after donor released capacity";
+    // The one-shot pendingReacquire path abandoned against the empty
+    // pool; the grants that rebuilt the region are the guardian's.
+    EXPECT_EQ(victim.pendingReacquire, 0u);
+    ASSERT_NE(cache.guardian(), nullptr);
+    EXPECT_GT(cache.guardian()->telemetry(Asid{1}).floorRestoreGrants, 0u);
+    EXPECT_GT(cache.guardian()->summary().floorRestoreGrants, 0u);
+}
+
+TEST(GuardianFault, RegisteredRegionsStartAtTheFloor)
+{
+    MolecularCacheParams p = guardedParams();
+    // A tiny initial allocation below the floor: the first resize cycle
+    // must top the region up before any Algorithm-1 decision runs.
+    p.initialAllocation = InitialAllocation::Small;
+    p.initialMolecules = 1;
+    MolecularCache cache(p);
+    cache.registerApplication(Asid{0}, 0.1);
+    ASSERT_LT(cache.region(Asid{0}).size(),
+              p.guardian.floorMolecules);
+
+    warm(cache, Asid{0}, 1000, 512);
+    EXPECT_GE(cache.region(Asid{0}).size(), p.guardian.floorMolecules);
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Adversarial-workload integration suite (ctest label: adversarial).
+ *
+ * Runs the guardian-on control plane against the four-application mix
+ * from workload/adversarial.hpp and asserts the QoS guardian's
+ * acceptance properties end to end:
+ *  - the hog's unreachable goal is flagged Infeasible with a reported
+ *    shortfall (admission control);
+ *  - observed delta sign flips stay within the configured bound
+ *    (oscillation detector);
+ *  - no region ends below its capacity floor (fairness);
+ *  - nothing is stuck past the watchdog budget — the phase-flipper
+ *    re-converges after every phase change.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/guardian.hpp"
+#include "core/molecular_cache.hpp"
+#include "sim/simulator.hpp"
+#include "workload/adversarial.hpp"
+
+namespace molcache {
+namespace {
+
+constexpr u64 kRefs = 600'000;
+constexpr u32 kFloor = 2;
+
+const std::vector<AdversaryKind> kMix = {
+    AdversaryKind::PhaseFlip,
+    AdversaryKind::Hog,
+    AdversaryKind::Bursty,
+    AdversaryKind::Steady,
+};
+
+struct Drill
+{
+    MolecularCacheParams params;
+    std::unique_ptr<MolecularCache> cache;
+    SimResult result;
+};
+
+/** One guardian-on run over the 2 MiB default geometry the adversary
+ * footprints are tuned against; shared by every assertion below. */
+const Drill &
+drill()
+{
+    static const Drill d = [] {
+        Drill out;
+        out.params.resizeScheme = ResizeScheme::PerAppAdaptive;
+        out.params.guardian.enabled = true;
+        out.params.guardian.floorMolecules = kFloor;
+        out.cache = std::make_unique<MolecularCache>(out.params);
+
+        GoalSet goals;
+        std::vector<std::string> names;
+        for (size_t i = 0; i < kMix.size(); ++i) {
+            const Asid asid{static_cast<u16>(i)};
+            const double goal =
+                kMix[i] == AdversaryKind::Hog ? 0.02 : 0.1;
+            goals.set(asid, goal);
+            out.cache->registerApplication(asid, goal);
+            names.push_back(adversaryKindName(kMix[i]));
+        }
+        auto source = makeAdversarialSource(kMix, kRefs, /*seed=*/1);
+        out.result = Simulator::run(*source, *out.cache,
+                                    RunOptions{}
+                                        .withGoals(goals)
+                                        .withLabels(labelMap(names)));
+        return out;
+    }();
+    return d;
+}
+
+const GuardianAppTelemetry &
+telemetryOf(AdversaryKind kind)
+{
+    for (size_t i = 0; i < kMix.size(); ++i) {
+        if (kMix[i] != kind)
+            continue;
+        const AppSummary *app =
+            drill().result.qos.find(Asid{static_cast<u16>(i)});
+        EXPECT_NE(app, nullptr);
+        EXPECT_TRUE(app->guardian.has_value());
+        return *app->guardian;
+    }
+    static const GuardianAppTelemetry none{};
+    return none;
+}
+
+TEST(Adversarial, GuardianTelemetrySurfacesThroughSimResult)
+{
+    const SimResult &r = drill().result;
+    EXPECT_TRUE(r.guardian.enabled);
+    EXPECT_EQ(r.qos.apps.size(), kMix.size());
+    for (const AppSummary &app : r.qos.apps)
+        EXPECT_TRUE(app.guardian.has_value()) << app.label;
+}
+
+TEST(Adversarial, HogGoalFlaggedInfeasibleWithShortfall)
+{
+    const GuardianAppTelemetry &hog = telemetryOf(AdversaryKind::Hog);
+    EXPECT_EQ(hog.verdict, FeasibilityVerdict::Infeasible);
+    EXPECT_GT(hog.shortfall, 0.0);
+    EXPECT_GE(drill().result.guardian.infeasibleRegions, 1u);
+    EXPECT_GE(drill().result.guardian.maxShortfall, hog.shortfall);
+}
+
+TEST(Adversarial, SignFlipsStayWithinConfiguredBound)
+{
+    const u32 bound = drill().params.guardian.maxSignFlips;
+    for (size_t i = 0; i < kMix.size(); ++i) {
+        const AppSummary *app =
+            drill().result.qos.find(Asid{static_cast<u16>(i)});
+        ASSERT_NE(app, nullptr);
+        ASSERT_TRUE(app->guardian.has_value());
+        EXPECT_LE(app->guardian->maxSignFlips, bound) << app->label;
+    }
+}
+
+TEST(Adversarial, NoRegionEndsBelowItsFloor)
+{
+    for (size_t i = 0; i < kMix.size(); ++i) {
+        const Region &region =
+            drill().cache->region(Asid{static_cast<u16>(i)});
+        EXPECT_GE(region.size(), kFloor) << adversaryKindName(kMix[i]);
+    }
+}
+
+TEST(Adversarial, NothingStuckPastTheWatchdogBudget)
+{
+    EXPECT_EQ(drill().result.guardian.stuckRegions, 0u);
+    const GuardianAppTelemetry &flip =
+        telemetryOf(AdversaryKind::PhaseFlip);
+    EXPECT_FALSE(flip.stuck);
+    // The phase-flipper crossed its goal at least once and re-converged
+    // within the watchdog budget after each inversion.
+    EXPECT_LE(flip.maxEpochsToGoal,
+              drill().params.guardian.watchdogEpochs);
+}
+
+TEST(Adversarial, WellBehavedVictimStaysFeasible)
+{
+    const GuardianAppTelemetry &steady =
+        telemetryOf(AdversaryKind::Steady);
+    EXPECT_NE(steady.verdict, FeasibilityVerdict::Infeasible);
+    EXPECT_DOUBLE_EQ(steady.shortfall, 0.0);
+    EXPECT_FALSE(steady.stuck);
+}
+
+} // namespace
+} // namespace molcache

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Round-trip tests of the canonical SimResult JSON (sim/result_json.hpp)
+ * with a focus on the guardian telemetry block: present, schema-stamped
+ * and fully populated when the guardian ran; byte-for-byte absent when
+ * it did not (the sweep byte-identity contract).
+ */
+
+#include "sim/result_json.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace molcache {
+namespace {
+
+SimResult
+baseResult()
+{
+    SimResult r;
+    r.cacheName = "molecular-test";
+    r.accesses = 1000;
+    r.hits = 900;
+    r.misses = 100;
+    AppSummary app;
+    app.asid = Asid{0};
+    app.label = "phaseflip";
+    app.accesses = 1000;
+    app.missRate = 0.25;
+    app.goal = 0.1;
+    app.deviation = 0.15;
+    r.qos.apps.push_back(app);
+    return r;
+}
+
+std::string
+serialize(const SimResult &r)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    writeSimResultDocument(json, r);
+    return out.str();
+}
+
+TEST(ResultJsonGuardian, DisabledGuardianLeavesNoTrace)
+{
+    const std::string doc = serialize(baseResult());
+    EXPECT_EQ(doc.find("guardian"), std::string::npos);
+    EXPECT_NE(doc.find("\"kind\""), std::string::npos);
+    EXPECT_NE(doc.find("sim_result"), std::string::npos);
+    EXPECT_NE(doc.find("schemaVersion"), std::string::npos);
+}
+
+TEST(ResultJsonGuardian, EnabledGuardianEmitsSummaryBlock)
+{
+    SimResult r = baseResult();
+    r.guardian.enabled = true;
+    r.guardian.oscillationEvents = 3;
+    r.guardian.floorHits = 7;
+    r.guardian.floorRestoreGrants = 2;
+    r.guardian.holdEpochs = 41;
+    r.guardian.infeasibleRegions = 1;
+    r.guardian.stuckRegions = 1;
+    r.guardian.maxEpochsToGoal = 12;
+    r.guardian.maxShortfall = 0.35;
+    r.guardian.poolPressure = 0.5;
+
+    const std::string doc = serialize(r);
+    EXPECT_NE(doc.find("\"guardian\""), std::string::npos);
+    EXPECT_NE(doc.find("\"oscillation_events\": 3"), std::string::npos);
+    EXPECT_NE(doc.find("\"floor_hits\": 7"), std::string::npos);
+    EXPECT_NE(doc.find("\"floor_restore_grants\": 2"), std::string::npos);
+    EXPECT_NE(doc.find("\"hold_epochs\": 41"), std::string::npos);
+    EXPECT_NE(doc.find("\"infeasible_regions\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"stuck_regions\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"max_epochs_to_goal\": 12"), std::string::npos);
+    EXPECT_NE(doc.find("\"max_shortfall\""), std::string::npos);
+    EXPECT_NE(doc.find("\"pool_pressure\""), std::string::npos);
+}
+
+TEST(ResultJsonGuardian, PerAppTelemetryRidesOnAppEntries)
+{
+    SimResult r = baseResult();
+    r.guardian.enabled = true;
+    GuardianAppTelemetry g;
+    g.verdict = FeasibilityVerdict::Infeasible;
+    g.shortfall = 0.35;
+    g.oscillationEvents = 2;
+    g.maxSignFlips = 2;
+    g.floorHits = 4;
+    g.floorRestoreGrants = 1;
+    g.holdEpochs = 9;
+    g.lastEpochsToGoal = 6;
+    g.maxEpochsToGoal = 8;
+    g.stuck = false;
+    r.qos.apps[0].guardian = g;
+
+    const std::string doc = serialize(r);
+    EXPECT_NE(doc.find("\"verdict\": \"infeasible\""), std::string::npos);
+    EXPECT_NE(doc.find("\"max_sign_flips\": 2"), std::string::npos);
+    EXPECT_NE(doc.find("\"last_epochs_to_goal\": 6"), std::string::npos);
+    EXPECT_NE(doc.find("\"stuck\": false"), std::string::npos);
+
+    // Stuck flag serializes as a JSON bool, not a count.
+    r.qos.apps[0].guardian->stuck = true;
+    EXPECT_NE(serialize(r).find("\"stuck\": true"), std::string::npos);
+}
+
+TEST(ResultJsonGuardian, DeterministicBytes)
+{
+    SimResult r = baseResult();
+    r.guardian.enabled = true;
+    r.qos.apps[0].guardian = GuardianAppTelemetry{};
+    EXPECT_EQ(serialize(r), serialize(r));
+}
+
+} // namespace
+} // namespace molcache

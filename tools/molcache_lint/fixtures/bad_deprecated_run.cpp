@@ -1,8 +1,22 @@
-// Negative fixture: positional calls to the [[deprecated]] run
-// overloads.  New code passes RunOptions; the positional forms exist
-// only so downstream callers can migrate one release behind.
+// Negative fixture: positional calls to the removed run overloads, and
+// redeclarations that would reintroduce them.  New code passes
+// RunOptions; the positional forms were deleted one release after the
+// RunOptions API landed.
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
+
+namespace molcache {
+
+// Reintroduced positional declarations (both flagged).
+SimResult runWorkload(const std::vector<std::string> &profiles,
+                      CacheModel &model, const GoalSet &goals,
+                      u64 totalReferences, u64 seed); // deprecated-run
+GoalSet deriveGoalsFromSolo(const std::vector<std::string> &profiles,
+                            const SetAssocParams &reference,
+                            double slackFactor, double minGoal,
+                            u64 refsPerApp, u64 seed); // deprecated-run
+
+} // namespace molcache
 
 void
 positionalCalls(molcache::AccessSource &src, molcache::CacheModel &cache)

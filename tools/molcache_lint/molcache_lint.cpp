@@ -417,14 +417,18 @@ looksNumeric(const std::string &arg)
 void
 checkDeprecatedRun(const SourceFile &f)
 {
-    // The forwarders' own declarations and definitions live here.
-    if (startsWith(f.rel, "src/sim/"))
-        return;
+    // The positional overloads were [[deprecated]] for one release and
+    // then deleted; the rule now also covers src/sim/ so neither the
+    // forwarders nor their declarations can quietly come back.
+    //
     // Heuristic (the compiler is the authority wherever MOLCACHE_WERROR
     // is on): the RunOptions forms take at most (source-ish, model,
     // options) — a fourth positional argument, a positional GoalSet, or
     // a numeric third argument to deriveGoalsFromSolo can only be a
-    // deprecated-overload call.
+    // removed-overload call.  A *declaration* (reference parameters in
+    // args[0]) is a reintroduction when it carries a positional GoalSet
+    // parameter, or — for deriveGoalsFromSolo — no RunOptions parameter
+    // at all.
     static const std::regex rx(
         R"((Simulator\s*::\s*run|\brunWorkload|\bderiveGoalsFromSolo)\s*\()");
     for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
@@ -435,12 +439,20 @@ checkDeprecatedRun(const SourceFile &f)
         const std::vector<std::string> args = splitArgs(f.code, open);
         if (args.size() < 3)
             continue; // declarations trimmed below the arity of interest
-        // Skip the declarations/definitions themselves (reference
-        // parameters, not call-site expressions).
-        if (args[0].find('&') != std::string::npos)
-            continue;
+        const bool declaration = args[0].find('&') != std::string::npos;
         bool deprecated = false;
-        if (fn == "deriveGoalsFromSolo") {
+        if (declaration) {
+            bool positional_goals = false;
+            bool has_run_options = false;
+            for (size_t i = 2; i < args.size(); ++i) {
+                if (args[i].find("RunOptions") != std::string::npos)
+                    has_run_options = true;
+                else if (args[i].find("GoalSet") != std::string::npos)
+                    positional_goals = true;
+            }
+            deprecated = positional_goals ||
+                         (fn == "deriveGoalsFromSolo" && !has_run_options);
+        } else if (fn == "deriveGoalsFromSolo") {
             deprecated = looksNumeric(args[2]);
         } else {
             // A RunOptions chain may itself mention GoalSet
@@ -456,9 +468,10 @@ checkDeprecatedRun(const SourceFile &f)
         if (deprecated)
             report("deprecated-run", f.rel,
                    lineOf(f.code, static_cast<size_t>(it->position(0))),
-                   "positional " + fn +
-                       "() call; pass RunOptions (the positional "
-                       "overloads are [[deprecated]])");
+                   "positional " + fn + "() " +
+                       (declaration ? "declaration" : "call") +
+                       "; the positional overloads were removed — pass "
+                       "RunOptions");
     }
 }
 

@@ -34,6 +34,7 @@
  * defaulting.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -53,6 +54,7 @@
 #include "util/logging.hpp"
 #include "util/string_utils.hpp"
 #include "util/units.hpp"
+#include "workload/adversarial.hpp"
 #include "workload/profiles.hpp"
 
 using namespace molcache;
@@ -132,6 +134,25 @@ buildModel(const Config &cfg, const GoalSet &goals, size_t apps, u64 refs)
             "guardian.feasibility_epochs", p.guardian.feasibilityEpochs));
         p.guardian.pressureThreshold = cfg.getDouble(
             "guardian.pressure", p.guardian.pressureThreshold);
+        PredictiveGuardianParams &pred = p.guardian.predictive;
+        pred.enabled =
+            cfg.getBool("guardian.predictive.enabled", pred.enabled);
+        pred.minConfidence = cfg.getDouble(
+            "guardian.predictive.min_confidence", pred.minConfidence);
+        pred.maxActionMolecules = static_cast<u32>(cfg.getInt(
+            "guardian.predictive.max_action", pred.maxActionMolecules));
+        pred.initialTrust = cfg.getDouble(
+            "guardian.predictive.initial_trust", pred.initialTrust);
+        pred.actAbove =
+            cfg.getDouble("guardian.predictive.act_above", pred.actAbove);
+        pred.trustWeight = cfg.getDouble(
+            "guardian.predictive.trust_weight", pred.trustWeight);
+        pred.quarantineBelow = cfg.getDouble(
+            "guardian.predictive.quarantine_below", pred.quarantineBelow);
+        pred.restoreAbove = cfg.getDouble(
+            "guardian.predictive.restore_above", pred.restoreAbove);
+        pred.probationEpochs = static_cast<u32>(cfg.getInt(
+            "guardian.predictive.probation", pred.probationEpochs));
         auto cache = std::make_unique<MolecularCache>(p);
         for (size_t i = 0; i < apps; ++i)
             cache->registerApplication(Asid{static_cast<u16>(i)},
@@ -206,9 +227,17 @@ main(int argc, char **argv)
 
     const auto profiles = split(
         cfg.getString("profiles", "ammp,parser,gcc,twolf"), ',');
-    for (const auto &name : profiles)
-        if (!hasProfile(name))
-            fatal("unknown profile '", name, "'");
+    // A profile list naming only adversary kinds switches the runner to
+    // the adversarial generators (src/workload/adversarial.hpp), which
+    // unlocks the `workload.hint.*` phase-hint knobs; mixing the two
+    // families in one list is rejected below via hasProfile.
+    const bool adversarial =
+        !profiles.empty() &&
+        std::all_of(profiles.begin(), profiles.end(), isAdversaryKind);
+    if (!adversarial)
+        for (const auto &name : profiles)
+            if (!hasProfile(name))
+                fatal("unknown profile '", name, "'");
 
     cfg.warnUnknownKeys(knownConfigKeyNames());
 
@@ -218,12 +247,25 @@ main(int argc, char **argv)
     auto model = buildModel(cfg, goals, profiles.size(), refs);
     const u64 seed = static_cast<u64>(cfg.getInt("seed", 1));
 
-    const SimResult result =
-        runWorkload(profiles, *model,
-                    RunOptions{}
-                        .withGoals(goals)
-                        .withReferences(refs)
-                        .withSeed(seed));
+    SimResult result;
+    if (adversarial) {
+        std::vector<AdversaryKind> kinds;
+        for (const auto &name : profiles)
+            kinds.push_back(parseAdversaryKind(name));
+        const std::vector<HintPolicy> hints(kinds.size(),
+                                            hintPolicyFromConfig(cfg));
+        auto source = makeAdversarialSource(kinds, hints, refs, seed);
+        result = Simulator::run(*source, *model,
+                                RunOptions{}
+                                    .withGoals(goals)
+                                    .withLabels(labelMap(profiles)));
+    } else {
+        result = runWorkload(profiles, *model,
+                             RunOptions{}
+                                 .withGoals(goals)
+                                 .withReferences(refs)
+                                 .withSeed(seed));
+    }
 
     std::printf("%s | %llu refs\n", result.cacheName.c_str(),
                 static_cast<unsigned long long>(result.accesses));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "contract/contract.hpp"
 #include "core/resizer.hpp"
@@ -21,6 +23,13 @@ constexpr double kMaxPeriodScale = 16.0;
 constexpr double kFeasibilityKeep = 0.7;
 constexpr double kPressureKeep = 0.8;
 
+bool
+traceHints()
+{
+    static const bool on = std::getenv("MOLCACHE_TRACE_HINTS") != nullptr;
+    return on;
+}
+
 } // namespace
 
 const char *
@@ -39,7 +48,12 @@ feasibilityVerdictName(FeasibilityVerdict v)
 
 QosGuardian::QosGuardian(const MolecularCacheParams &params)
     : params_(params.guardian),
-      clusterCapacity_(params.tilesPerCluster * params.moleculesPerTile),
+      // Degenerate geometries must not poison the feasibility division
+      // or the fair-share quotient; one molecule is the honest minimum.
+      clusterCapacity_(std::max<u32>(
+          1, params.tilesPerCluster * params.moleculesPerTile)),
+      moleculeSizeBytes_(std::max<u64>(1, params.moleculeSize.value())),
+      nominalResizePeriod_(std::max<Tick>(1, params.resizePeriod)),
       minResizePeriod_(params.minResizePeriod),
       maxResizePeriod_(params.maxResizePeriod)
 {
@@ -55,7 +69,11 @@ QosGuardian::stateFor(Asid asid)
     RegState &s = states_[asid.value()];
     if (!s.active) {
         s.active = true;
-        s.window.assign(params_.oscillationWindow, 0);
+        // A zero-width observation window would make the sign-window
+        // index and the countSignFlips modulus undefined on the very
+        // first decision; clamp to one slot (detector effectively off).
+        s.window.assign(std::max<u32>(1, params_.oscillationWindow), 0);
+        s.trust = params_.predictive.initialTrust;
     }
     return s;
 }
@@ -288,6 +306,253 @@ QosGuardian::afterDecision(const Region &region, i32 delta, double missRate,
         }
         s.epochsAboveGoal = 0;
     }
+
+    // --- Predictive mode: accumulate post-shift evidence for the armed
+    // hint.  Only intervals lying *entirely* past the promised shift
+    // count (a lying hint matches the departing phase by construction,
+    // so a straddling interval would acquit exactly the hints that
+    // deserve to fail), and the verdict averages several of them so the
+    // one-off refill transient of a phase entry — misses spike for an
+    // interval no matter what was promised — cannot decide it alone. ---
+    if (s.hintArmed &&
+        region.accesses() >= s.hintDue + region.intervalAccesses()) {
+        s.hintPostMisses +=
+            missRate * static_cast<double>(region.intervalAccesses());
+        s.hintPostAccesses += region.intervalAccesses();
+        if (++s.hintPostIntervals >= kHintScoreIntervals)
+            scoreHint(s,
+                      s.hintPostMisses /
+                          static_cast<double>(s.hintPostAccesses),
+                      goal);
+    }
+    if (s.quarantined)
+        ++s.quarantineEpochs;
+}
+
+void
+QosGuardian::scoreHint(RegState &s, double missRate, double goal)
+{
+    s.hintArmed = false;
+    const double hi = goal * (1.0 + params_.hysteresis);
+    const double base = s.hintBaselineKnown ? s.hintMissBaseline : goal;
+    bool truthful;
+    if (s.hintDirection > 0) {
+        // Promised growth: the misses must have materialized — a clear
+        // rise over the pre-shift baseline, or still above the goal
+        // band (the capacity was genuinely needed).
+        truthful = missRate >= base + kHintMissMargin || missRate > hi;
+    } else if (s.hintDirection < 0) {
+        // Promised shrink: the load must actually have eased.
+        truthful = missRate <= base - kHintMissMargin || missRate <= hi;
+    } else {
+        // Promised steady state: staying inside the band is honest.
+        truthful = missRate <= hi;
+    }
+    const double w = params_.predictive.trustWeight *
+                     std::clamp(s.hintConfidence, 0.0, 1.0);
+    s.trust = (1.0 - w) * s.trust + w * (truthful ? 1.0 : 0.0);
+    if (traceHints())
+        std::fprintf(stderr,
+                     "hint score dir=%d miss=%.3f base=%.3f hi=%.3f "
+                     "truthful=%d trust=%.3f\n",
+                     static_cast<int>(s.hintDirection), missRate, base,
+                     hi, truthful ? 1 : 0, s.trust);
+    if (!s.quarantined && s.trust < params_.predictive.quarantineBelow) {
+        s.quarantined = true;
+        ++s.quarantineEvents;
+        s.quarantineEpochs = 0;
+    } else if (s.quarantined &&
+               s.trust > params_.predictive.restoreAbove &&
+               s.quarantineEpochs >= params_.predictive.probationEpochs) {
+        // Probation served and trust re-earned (hysteresis gap above
+        // the quarantine threshold): back to predictive service.
+        s.quarantined = false;
+    }
+}
+
+void
+QosGuardian::rollQosWindow(RegState &s, double goal)
+{
+    // The base hysteresis band, never the oscillation-widened one: the
+    // metric must not soften because the control loop got noisy.
+    const double hi = goal * (1.0 + params_.hysteresis);
+    const double missRate =
+        static_cast<double>(s.qosWindowMisses) /
+        static_cast<double>(s.qosWindowAccesses);
+    if (missRate > hi) {
+        ++s.epochsOutsideGoal;
+        s.accessesOutsideGoal += s.qosWindowAccesses;
+    }
+    s.qosWindowAccesses = 0;
+    s.qosWindowMisses = 0;
+}
+
+void
+QosGuardian::finalizeHint(RegState &s, double goal)
+{
+    if (!s.hintArmed)
+        return;
+    if (s.hintPostAccesses > 0) {
+        // Scored on whatever post-shift evidence is in: the phases are
+        // moving faster than the full accumulation window, and waiting
+        // for a window that will never fill would let every hint —
+        // honest or lying — expire unjudged.
+        scoreHint(s,
+                  s.hintPostMisses /
+                      static_cast<double>(s.hintPostAccesses),
+                  goal);
+    } else {
+        // Not one clean post-shift interval was observed (the hint
+        // arrived and was replaced within a single control period):
+        // unjudgeable, counted rejected.
+        s.hintArmed = false;
+        ++s.hintsRejected;
+    }
+}
+
+bool
+QosGuardian::acceptHint(const PhaseHint &hint, const Region &region)
+{
+    if (!params_.predictive.enabled)
+        return false;
+    RegState &s = stateFor(region.asid());
+    ++s.hintsSeen;
+    finalizeHint(s, region.resizeGoal);
+    const double conf = std::clamp(hint.confidence, 0.0, 1.0);
+    if (conf < params_.predictive.minConfidence) {
+        ++s.hintsRejected;
+        return false;
+    }
+    const u64 mols =
+        (hint.predictedFootprintBytes + moleculeSizeBytes_ - 1) /
+        moleculeSizeBytes_;
+    const u32 target =
+        static_cast<u32>(std::clamp<u64>(mols, 1, clusterCapacity_));
+    const u32 size = region.size();
+    s.hintArmed = true;
+    s.hintActed = false;
+    s.hintDue = region.accesses() + hint.leadAccesses;
+    s.hintTargetMolecules = target;
+    s.hintConfidence = conf;
+    s.hintDirection = target > size + kHintSizeSlack    ? i8{1}
+                      : target + kHintSizeSlack < size  ? i8{-1}
+                                                        : i8{0};
+    s.hintBaselineKnown = region.lastMissRate <= 1.0;
+    s.hintMissBaseline = s.hintBaselineKnown ? region.lastMissRate : 0.0;
+    s.hintPostMisses = 0.0;
+    s.hintPostAccesses = 0;
+    s.hintPostIntervals = 0;
+    if (traceHints())
+        std::fprintf(stderr,
+                     "hint accept asid=%u now=%llu due=%llu target=%u "
+                     "size=%u dir=%d base=%.3f conf=%.2f quar=%d\n",
+                     region.asid().value(),
+                     static_cast<unsigned long long>(region.accesses()),
+                     static_cast<unsigned long long>(s.hintDue), target,
+                     size, static_cast<int>(s.hintDirection),
+                     s.hintMissBaseline, conf, s.quarantined ? 1 : 0);
+    if (s.quarantined || s.trust < params_.predictive.actAbove) {
+        // Quarantined and not-yet-proven tenants keep getting scored
+        // (the probation / trust-earning path) but their hints buy no
+        // capacity movement — and no schedule movement either: pulling
+        // the wakeup forward for a hint that cannot act would let an
+        // untrusted tenant perturb the reactive cadence for free.
+        ++s.hintsRejected;
+        return false;
+    }
+    return true;
+}
+
+i32
+QosGuardian::predictiveStep(Region &region, MoleculeBroker &broker)
+{
+    if (!params_.predictive.enabled)
+        return 0;
+    RegState &s = stateFor(region.asid());
+    if (!s.hintArmed || s.hintActed || s.quarantined ||
+        s.trust < params_.predictive.actAbove)
+        return 0;
+    // Oscillation pause: a thrashing control loop does not get to pile
+    // predictive actions on top of the backoff.
+    if (s.cooldownLeft > 0)
+        return 0;
+    const u64 now = region.accesses();
+    const Tick period = region.resizePeriod > 0 ? region.resizePeriod
+                                                : nominalResizePeriod_;
+    const u32 size = region.size();
+    const u32 target = s.hintTargetMolecules;
+    const bool grows = target > size;
+
+    // Timing is asymmetric.  A pre-grant lands on the last wakeup before
+    // the shift so the capacity is there when the new phase arrives; the
+    // look-ahead is bounded by the nominal period so a backed-off
+    // control loop cannot pull it absurdly early.  A pre-withdraw waits
+    // for the shift itself — the departing phase is still using those
+    // molecules, and taking them early converts warm hits into misses.
+    if (grows) {
+        if (now + std::min(period, nominalResizePeriod_) < s.hintDue)
+            return 0; // too early: another wakeup comes before the shift
+        if (now > s.hintDue + period) {
+            // Expired unacted (a long cooldown, or the hint arrived
+            // late): reactive control has taken over; the hint stays
+            // armed for scoring only.
+            s.hintActed = true;
+            ++s.hintsRejected;
+            return 0;
+        }
+    } else if (now < s.hintDue) {
+        return 0; // shrink waits for the promised shift to happen
+    }
+
+    s.hintActed = true;
+    i32 delta = 0;
+    if (grows) {
+        u32 want = std::min(target - size,
+                            params_.predictive.maxActionMolecules);
+        // Fair-share guard, mirroring gateHold's starvation clause: a
+        // pressured pool never pre-funds a region past its share.
+        if (pressure_ > params_.pressureThreshold) {
+            const u32 share =
+                clusterCapacity_ / std::max<u32>(1, activeRegions());
+            if (size >= share) {
+                ++s.hintsRejected;
+                return 0;
+            }
+            want = std::min(want, share - size);
+        }
+        const u32 got = broker.grant(region, want);
+        s.preGrantMolecules += got;
+        delta = static_cast<i32>(got);
+    } else if (target < size && pressure_ > params_.pressureThreshold) {
+        // Pre-withdraw frees capacity only when someone is actually
+        // starving for it; with an uncontended pool the molecules stay
+        // where they are (warm) and reactive control reclaims them at
+        // its own pace.
+        const u32 want = std::min(size - target,
+                                  params_.predictive.maxActionMolecules);
+        const u32 got = broker.withdraw(region, want);
+        s.preWithdrawMolecules += got;
+        delta = -static_cast<i32>(got);
+    }
+    ++s.hintsHonored;
+    if (traceHints())
+        std::fprintf(stderr,
+                     "hint act asid=%u now=%llu due=%llu target=%u "
+                     "size=%u delta=%d pressure=%.2f\n",
+                     region.asid().value(),
+                     static_cast<unsigned long long>(now),
+                     static_cast<unsigned long long>(s.hintDue), target,
+                     size, delta, pressure_);
+    if (delta != 0) {
+        // A predictive action is an action for the reactive flip-guard
+        // (it must not be reversed within the cooldown) — but it never
+        // enters the oscillation sign window: an honest phase-alternating
+        // tenant is moving *with* its phases, not fighting the
+        // controller, and must not be punished with a backoff for it.
+        s.lastSign = delta > 0 ? i8{1} : i8{-1};
+        s.epochsSinceAction = 0;
+    }
+    return delta;
 }
 
 Tick
@@ -321,6 +586,16 @@ QosGuardian::telemetry(Asid asid) const
     out.maxEpochsToGoal = s->maxEpochsToGoal;
     out.stuck = s->epochsAboveGoal >= params_.watchdogEpochs &&
                 s->verdict != FeasibilityVerdict::Infeasible;
+    out.epochsOutsideGoal = s->epochsOutsideGoal;
+    out.accessesOutsideGoal = s->accessesOutsideGoal;
+    out.hintsSeen = s->hintsSeen;
+    out.hintsHonored = s->hintsHonored;
+    out.hintsRejected = s->hintsRejected;
+    out.preGrantMolecules = s->preGrantMolecules;
+    out.preWithdrawMolecules = s->preWithdrawMolecules;
+    out.trust = s->trust;
+    out.quarantined = s->quarantined;
+    out.quarantineEvents = s->quarantineEvents;
     return out;
 }
 
@@ -329,6 +604,7 @@ QosGuardian::summary() const
 {
     GuardianSummary out;
     out.enabled = true;
+    out.predictiveEnabled = params_.predictive.enabled;
     out.poolPressure = pressure_;
     for (u32 i = 0; i < states_.size(); ++i) {
         const RegState &s = states_[i];
@@ -347,6 +623,17 @@ QosGuardian::summary() const
             out.maxEpochsToGoal, std::max(t.maxEpochsToGoal,
                                           s.epochsAboveGoal));
         out.maxShortfall = std::max(out.maxShortfall, t.shortfall);
+        out.epochsOutsideGoal += t.epochsOutsideGoal;
+        out.accessesOutsideGoal += t.accessesOutsideGoal;
+        out.hintsSeen += t.hintsSeen;
+        out.hintsHonored += t.hintsHonored;
+        out.hintsRejected += t.hintsRejected;
+        out.preGrantMolecules += t.preGrantMolecules;
+        out.preWithdrawMolecules += t.preWithdrawMolecules;
+        if (t.quarantined)
+            ++out.quarantinedRegions;
+        if (t.hintsSeen > 0)
+            out.minTrust = std::min(out.minTrust, t.trust);
     }
     return out;
 }

@@ -24,9 +24,24 @@
  *  - convergence watchdog: counts evaluated epochs above goal and
  *    surfaces regions stuck past the budget.
  *
+ * On top of the reactive guards sits an opt-in *predictive mode*
+ * (params.guardian.predictive, docs/algorithm1.md "Predictive mode &
+ * hint trust"): applications may announce upcoming phase shifts through
+ * the PhaseHint side-band channel, and the guardian pre-grants /
+ * pre-withdraws capacity ahead of the shift instead of waiting for the
+ * misses to show up.  Hints are untrusted input — each one is scored
+ * after the fact against the observed miss response, a per-region trust
+ * EWMA decays when promises diverge from reality, and a region whose
+ * trust falls below threshold is quarantined back to pure reactive
+ * control (with a probation path to re-earn trust).  Every predictive
+ * action runs through the same floor / fair-share / oscillation guards
+ * as the reactive path.
+ *
  * The guardian is opt-in (params.guardian.enabled, default off).  A
  * disabled guardian is a null pointer through the whole control plane,
- * leaving the resizer byte-identical to the unguarded build.
+ * leaving the resizer byte-identical to the unguarded build; predictive
+ * mode off leaves a guardian-on run byte-identical to PR-5 reactive
+ * control.
  */
 
 #ifndef MOLCACHE_CORE_GUARDIAN_HPP
@@ -37,6 +52,7 @@
 #include "core/guardian_stats.hpp"
 #include "core/params.hpp"
 #include "core/region.hpp"
+#include "mem/phase_hint.hpp"
 
 namespace molcache {
 
@@ -76,6 +92,24 @@ class QosGuardian
     void noteGrant(Asid asid, u32 want, u32 got);
 
     /**
+     * Per-access QoS accounting: time-outside-goal is classified over
+     * fixed windows of nominal-resize-period length, NOT over the
+     * adaptive control intervals — the adaptive period stretches and
+     * shrinks with workload phase (and with predictive mode's extra
+     * wakeups), so interval-based classification would measure the
+     * control loop's cadence instead of the application's QoS.
+     */
+    void noteAccess(const Region &region, bool hit)
+    {
+        RegState &s = stateFor(region.asid());
+        ++s.qosWindowAccesses;
+        if (!hit)
+            ++s.qosWindowMisses;
+        if (s.qosWindowAccesses >= static_cast<u64>(nominalResizePeriod_))
+            rollQosWindow(s, region.resizeGoal);
+    }
+
+    /**
      * Post-decision bookkeeping for one evaluated epoch: sign-flip
      * window, oscillation backoff, feasibility estimate and watchdog.
      * @param delta this epoch's net molecule delta
@@ -90,6 +124,35 @@ class QosGuardian
      * bounds.
      */
     Tick scaledPeriod(Asid asid, Tick period) const;
+
+    /** Predictive mode configured on (hints are worth delivering). */
+    bool predictiveEnabled() const { return params_.predictive.enabled; }
+
+    /**
+     * Ingest one phase hint for @p region.  Low-confidence hints are
+     * rejected; everything else arms the region's pending-hint slot (a
+     * newer forecast finalizes the score of an older one first) —
+     * quarantined and not-yet-trusted regions arm too, but only for
+     * scoring, never for action, which is how they earn (back) trust.
+     * No-op while predictive mode is off.  @return true when the hint
+     * was armed *and* is eligible to act (the caller should pull the
+     * next resize wakeup forward so the hint gets a pre-shift wakeup);
+     * scored-only hints return false so untrusted tenants cannot
+     * perturb the reactive schedule.
+     */
+    bool acceptHint(const PhaseHint &hint, const Region &region);
+
+    /**
+     * Predictive pre-provisioning, run once per resize wakeup ahead of
+     * the Algorithm-1 decision.  Acts when the armed hint's shift lands
+     * before the region's next wakeup: grows toward / shrinks toward
+     * the promised footprint, bounded by maxActionMolecules, the
+     * capacity floor and the fair-share guard, and skipped outright
+     * during an oscillation cooldown or quarantine.  @p broker should
+     * be the guarded broker so floor clamps and pool pressure apply.
+     * @return net molecule delta (0 = no action this wakeup).
+     */
+    i32 predictiveStep(Region &region, MoleculeBroker &broker);
 
     const GuardianParams &params() const { return params_; }
     double poolPressure() const { return pressure_; }
@@ -130,16 +193,67 @@ class QosGuardian
         u32 epochsAboveGoal = 0;
         u32 lastEpochsToGoal = 0;
         u32 maxEpochsToGoal = 0;
+        // Time outside the QoS goal (all guardian-on runs), classified
+        // over fixed nominal-period access windows.
+        u64 epochsOutsideGoal = 0;
+        u64 accessesOutsideGoal = 0;
+        u64 qosWindowAccesses = 0;
+        u64 qosWindowMisses = 0;
+        // Predictive mode: hint counters + trust state machine.
+        u64 hintsSeen = 0;
+        u64 hintsHonored = 0;
+        u64 hintsRejected = 0;
+        u64 preGrantMolecules = 0;
+        u64 preWithdrawMolecules = 0;
+        double trust = 0.0;
+        bool quarantined = false;
+        u32 quarantineEvents = 0;
+        u32 quarantineEpochs = 0;
+        // The armed (not yet scored) hint, at most one per region.
+        bool hintArmed = false;
+        bool hintActed = false;
+        u64 hintDue = 0;            // region-access tick of the shift
+        u32 hintTargetMolecules = 0;
+        double hintConfidence = 0.0;
+        i8 hintDirection = 0;       // promised grow(+1)/shrink(-1)/hold
+        double hintMissBaseline = 0.0;
+        bool hintBaselineKnown = false;
+        // Post-shift evidence: misses/accesses accumulated over
+        // evaluated intervals lying entirely past hintDue.  Averaging
+        // across several intervals keeps the one-off refill transient of
+        // a phase entry from deciding the verdict alone.
+        double hintPostMisses = 0.0;
+        u64 hintPostAccesses = 0;
+        u32 hintPostIntervals = 0;
     };
+
+    /** Promised-vs-size slack and observed-move margin for scoring. */
+    static constexpr u32 kHintSizeSlack = 1;
+    static constexpr double kHintMissMargin = 0.02;
+    /** Post-shift intervals accumulated before a hint's score is
+     * finalized (fewer are accepted when a newer hint supersedes it). */
+    static constexpr u32 kHintScoreIntervals = 4;
 
     RegState &stateFor(Asid asid);
     const RegState *findState(Asid asid) const;
     u32 countSignFlips(const RegState &s) const;
     u32 activeRegions() const;
+    /** Score a matured hint against the observed miss response and run
+     * the trust state machine (quarantine / probation / restore). */
+    void scoreHint(RegState &s, double missRate, double goal);
+    /** Finalize an armed hint early (superseded by a newer forecast):
+     * scored on whatever post-shift evidence accumulated, or counted
+     * rejected when none did. */
+    void finalizeHint(RegState &s, double goal);
+    /** Close one fixed QoS window: classify it against the goal band
+     * and fold it into the outside-goal counters. */
+    void rollQosWindow(RegState &s, double goal);
 
     GuardianParams params_;
     /** Molecules one region could reach at most (its cluster's total). */
     u32 clusterCapacity_;
+    u64 moleculeSizeBytes_;
+    Tick nominalResizePeriod_;
     Tick minResizePeriod_;
     Tick maxResizePeriod_;
     // Dense per-ASID state; grown on first contact, never on the access

@@ -54,6 +54,29 @@ struct GuardianAppTelemetry
     /** Above goal for longer than the watchdog budget (and not excused
      * as Infeasible): the region is stuck and needs operator attention. */
     bool stuck = false;
+    /** @{ Time spent outside the QoS goal: fixed nominal-period access
+     * windows (and the references inside them) whose miss rate sat
+     * above the goal's dead-band.  Fixed windows, not the adaptive
+     * control intervals, so the counter is comparable across reactive
+     * and predictive runs regardless of control-loop cadence. */
+    u64 epochsOutsideGoal = 0;
+    u64 accessesOutsideGoal = 0;
+    /** @} */
+    /** @{ Predictive mode (zero / initialTrust unless enabled). */
+    u64 hintsSeen = 0;
+    /** Hints whose pre-provisioning action was taken. */
+    u64 hintsHonored = 0;
+    /** Hints dropped (low confidence, quarantine, or guard-blocked). */
+    u64 hintsRejected = 0;
+    /** Molecules moved ahead of hinted shifts. */
+    u64 preGrantMolecules = 0;
+    u64 preWithdrawMolecules = 0;
+    /** Hint-trust score in [0,1]. */
+    double trust = 0.0;
+    /** Trust fell below threshold: hints ignored, reactive-only. */
+    bool quarantined = false;
+    u32 quarantineEvents = 0;
+    /** @} */
 };
 
 /** Whole-cache guardian aggregate carried by SimResult. */
@@ -71,6 +94,22 @@ struct GuardianSummary
     /** EWMA of the grant-shortfall fraction: 0 = every grant satisfied,
      * toward 1 = the pool is exhausted (starvation pressure). */
     double poolPressure = 0.0;
+    /** @{ Time outside goal, summed over regions (see the per-app
+     * telemetry for the definition). */
+    u64 epochsOutsideGoal = 0;
+    u64 accessesOutsideGoal = 0;
+    /** @} */
+    /** @{ Predictive mode aggregate (all zero while disabled). */
+    bool predictiveEnabled = false;
+    u64 hintsSeen = 0;
+    u64 hintsHonored = 0;
+    u64 hintsRejected = 0;
+    u64 preGrantMolecules = 0;
+    u64 preWithdrawMolecules = 0;
+    u32 quarantinedRegions = 0;
+    /** Lowest per-region trust (1.0 when no region was ever hinted). */
+    double minTrust = 1.0;
+    /** @} */
 };
 
 } // namespace molcache

@@ -405,6 +405,8 @@ MolecularCache::access(const MemAccess &a)
     }
 
     region.noteAccess(hit);
+    if (guardian_ != nullptr)
+        guardian_->noteAccess(region, hit);
     stats_.record(a.asid, hit, a.isWrite(), latency);
     intervalAccesses_.increment();
     if (!hit)
@@ -563,6 +565,18 @@ MolecularCache::maybeResize(Region &region)
         }
         break;
       case ResizeScheme::PerAppAdaptive:
+        // Side-band hint wakeup: a trusted phase hint may need to act
+        // between two reactive wakeups (the adaptive period can dwarf
+        // the hint's lead).  The pulse runs predictiveStep alone — the
+        // reactive schedule, intervals and period adaptation are not
+        // touched, so an armed hint never changes *when* Algorithm 1
+        // evaluates, only how much capacity is there when it does.
+        if (region.hintWakeTick != 0 &&
+            region.accesses() >= region.hintWakeTick) {
+            region.hintWakeTick = 0;
+            if (region.accesses() < region.nextResizeTick)
+                resizer_.predictivePulse(region, *this, guardian_.get());
+        }
         if (region.accesses() >= region.nextResizeTick) {
             const RegionResize rr = resizer_.resizeRegion(
                 region, region.resizeGoal, *this, guardian_.get());
@@ -627,6 +641,25 @@ MolecularCache::grant(Region &region, u32 count)
     if (guardian_ != nullptr && got < count)
         ulmo.noteGrantShortfall(count - got);
     return got;
+}
+
+void
+MolecularCache::postPhaseHint(const PhaseHint &hint)
+{
+    if (guardian_ == nullptr || !guardian_->predictiveEnabled())
+        return;
+    if (!hasApplication(hint.asid))
+        return;
+    Region &region = regionFor(hint.asid);
+    if (guardian_->acceptHint(hint, region)) {
+        // Make sure a wakeup lands inside the hint's pre-shift window:
+        // a quiet phase may have adapted the period far past the
+        // announced lead, and a hint nobody wakes up for cannot act.
+        // The side-band tick fires predictiveStep alone (maybeResize),
+        // leaving the reactive schedule untouched.
+        region.hintWakeTick =
+            region.accesses() + std::max<u64>(1, hint.leadAccesses / 2);
+    }
 }
 
 void

@@ -104,6 +104,20 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     const Resizer &resizer() const { return resizer_; }
     /** The QoS guardian, or nullptr when params().guardian is off. */
     const QosGuardian *guardian() const { return guardian_.get(); }
+
+    /** True when phase hints have a consumer (guardian predictive mode
+     * on) — callers skip the drain entirely otherwise, so hint-free
+     * configurations stay byte-identical. */
+    bool
+    acceptsPhaseHints() const
+    {
+        return guardian_ != nullptr && guardian_->predictiveEnabled();
+    }
+
+    /** Deliver one phase hint to the guardian's predictive mode; hints
+     * for unregistered ASIDs are dropped (tenants may hint before or
+     * after their partition exists — the claim is simply void). */
+    void postPhaseHint(const PhaseHint &hint);
     Molecule &molecule(MoleculeId id);
     const Molecule &molecule(MoleculeId id) const;
 

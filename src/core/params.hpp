@@ -79,6 +79,47 @@ ResizeScheme parseResizeScheme(const std::string &text);
 std::string resizeSchemeName(ResizeScheme s);
 
 /**
+ * Predictive apportioning on top of the guardian (docs/algorithm1.md,
+ * "Predictive mode & hint trust").  Default off — with it disabled the
+ * guardian never reads a phase hint and never pre-provisions, so every
+ * guardian-on run stays byte-identical to the PR-5 reactive control
+ * plane (and guardian-off paper sweeps stay byte-identical, full stop).
+ */
+struct PredictiveGuardianParams
+{
+    bool enabled = false;
+    /** Hints below this confidence are dropped at the door. */
+    double minConfidence = 0.25;
+    /** Largest pre-grant/pre-withdraw in one predictive action,
+     * molecules.  Deliberately above maxAllocationChunk: the whole point
+     * of a trusted hint is to move further in one step than a reactive
+     * epoch would dare. */
+    u32 maxActionMolecules = 64;
+    /** Trust a region starts with — deliberately midway, so a new
+     * tenant must earn headroom before one bad hint quarantines it. */
+    double initialTrust = 0.5;
+    /** Trust required before a hint moves capacity.  Sits above
+     * initialTrust, so a brand-new tenant's first forecast is scored
+     * against reality but acts on nothing: trust is earned by a
+     * truthful hint before the guardian spends molecules on one, and a
+     * tenant that opens with a lie never gets to churn the pool. */
+    double actAbove = 0.55;
+    /** EWMA step per scored hint (scaled by the hint's confidence):
+     * trust := (1-w)*trust + w*score. */
+    double trustWeight = 0.45;
+    /** Trust below this quarantines the region back to pure reactive
+     * control; its hints are still scored so it can re-earn trust. */
+    double quarantineBelow = 0.30;
+    /** Trust must climb back above this (hysteresis gap vs the
+     * quarantine threshold, mirroring the dead-band) to leave
+     * quarantine... */
+    double restoreAbove = 0.65;
+    /** ...and the region must have sat out at least this many evaluated
+     * epochs (probation, mirroring the oscillation cooldown). */
+    u32 probationEpochs = 4;
+};
+
+/**
  * QoS guardian configuration (docs/algorithm1.md, "Guardrails").
  * Default off — a disabled guardian never touches the control plane, so
  * sweeps stay byte-identical to the unguarded build.
@@ -108,6 +149,8 @@ struct GuardianParams
     /** Pool-pressure EWMA above which regions at or past their fair
      * share stop growing (starvation guard). */
     double pressureThreshold = 0.75;
+    /** Phase-hint driven pre-provisioning; off by default. */
+    PredictiveGuardianParams predictive;
 };
 
 struct MolecularCacheParams

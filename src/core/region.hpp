@@ -222,6 +222,9 @@ class Region
     bool lastGrantShort = false; // last grow delivered less than wanted
     u64 nextResizeTick = 0;    // per-app adaptive scheme deadline
     u64 resizePeriod = 0;      // per-app adaptive scheme period
+    u64 hintWakeTick = 0;      // side-band predictive wakeup (0 = none);
+                               // fires predictiveStep only, so a phase
+                               // hint never perturbs the reactive cadence
     u32 thrashStreak = 0;      // consecutive intervals above the threshold
     u32 capacityFloor = 0;     // guardian fairness floor, molecules (0=off)
     /** @} */

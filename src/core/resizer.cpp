@@ -95,6 +95,24 @@ Resizer::resizeRegion(Region &region, double goal,
         out.delta += static_cast<i32>(got);
     }
 
+    // Predictive pre-provisioning (guardian predictive mode): with a
+    // trusted phase hint landing before the next wakeup, capacity moves
+    // ahead of the shift instead of after it.  Runs through the guarded
+    // broker so the floor clamp, pool pressure and fair-share bounds all
+    // apply.  The delta is kept out of the sign fed to afterDecision:
+    // honest phase hints alternate direction with the phases themselves,
+    // and counting them as controller sign flips would trip the
+    // oscillation backoff on exactly the tenants that behave.
+    i32 predictive = 0;
+    if (guardian != nullptr) {
+        predictive = guardian->predictiveStep(region, broker);
+        if (predictive > 0)
+            granted_ += static_cast<u32>(predictive);
+        else if (predictive < 0)
+            withdrawn_ += static_cast<u32>(-predictive);
+        out.delta += predictive;
+    }
+
     if (region.intervalAccesses() == 0)
         return out; // idle partition: nothing to learn from
     if (region.intervalAccesses() < params_.minIntervalSample)
@@ -136,7 +154,8 @@ Resizer::resizeRegion(Region &region, double goal,
     if (guardian != nullptr) {
         double effective = goal;
         if (guardian->gateHold(region, mr, goal, &effective)) {
-            guardian->afterDecision(region, out.delta, mr, configured_goal);
+            guardian->afterDecision(region, out.delta - predictive, mr,
+                                    configured_goal);
             region.lastMissRate = mr;
             region.closeInterval();
             return out;
@@ -226,11 +245,27 @@ Resizer::resizeRegion(Region &region, double goal,
     // else: above goal and not improving — growth is not paying off; hold.
 
     if (guardian != nullptr)
-        guardian->afterDecision(region, out.delta, mr, configured_goal);
+        guardian->afterDecision(region, out.delta - predictive, mr,
+                                configured_goal);
 
     region.lastMissRate = mr;
     region.closeInterval();
     return out;
+}
+
+i32
+Resizer::predictivePulse(Region &region, MoleculeBroker &rawBroker,
+                         QosGuardian *guardian) const
+{
+    if (guardian == nullptr)
+        return 0;
+    GuardedBroker guarded(rawBroker, *guardian);
+    const i32 delta = guardian->predictiveStep(region, guarded);
+    if (delta > 0)
+        granted_ += static_cast<u32>(delta);
+    else if (delta < 0)
+        withdrawn_ += static_cast<u32>(-delta);
+    return delta;
 }
 
 Tick

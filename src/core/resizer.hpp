@@ -97,6 +97,16 @@ class Resizer
      */
     Tick adaptPeriod(Tick period, double missRate, double goal) const;
 
+    /**
+     * Side-band predictive wakeup (guardian predictive mode): run only
+     * the guardian's predictiveStep through the guarded broker — no
+     * Algorithm-1 evaluation, no interval close, no period adaptation —
+     * so acting on a phase hint never disturbs the reactive sampling
+     * cadence.  @return net molecule delta.
+     */
+    i32 predictivePulse(Region &region, MoleculeBroker &broker,
+                        QosGuardian *guardian) const;
+
     /** @{ Lifetime counters. */
     u64 runs() const { return runs_; }
     u64 granted() const { return granted_; }

@@ -33,6 +33,14 @@ AccessSource::nextBatch(MemAccess *out, size_t max)
 }
 
 size_t
+AccessSource::drainHints(PhaseHint *out, size_t max)
+{
+    (void)out;
+    (void)max;
+    return 0;
+}
+
+size_t
 VectorSource::nextBatch(MemAccess *out, size_t max)
 {
     const size_t n = std::min(max, accesses_.size() - pos_);
@@ -136,6 +144,18 @@ Interleaver::next()
         }
         slot.live = false;
     }
+}
+
+size_t
+Interleaver::drainHints(PhaseHint *out, size_t max)
+{
+    size_t n = 0;
+    for (Slot &slot : slots_) {
+        if (n >= max)
+            break;
+        n += slot.source->drainHints(out + n, max - n);
+    }
+    return n;
 }
 
 } // namespace molcache

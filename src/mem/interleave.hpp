@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mem/access.hpp"
+#include "mem/phase_hint.hpp"
 #include "util/random.hpp"
 #include "util/types.hpp"
 
@@ -43,6 +44,15 @@ class AccessSource
      * reference.  Semantics are identical to repeated next() calls.
      */
     virtual size_t nextBatch(MemAccess *out, size_t max);
+
+    /**
+     * Drain phase hints queued since the last drain into @p out (up to
+     * @p max); returns the count copied.  Hints are side-band claims
+     * about the stream's future (mem/phase_hint.hpp) — draining or
+     * ignoring them never changes what next()/nextBatch() produce.
+     * Default: no hints.
+     */
+    virtual size_t drainHints(PhaseHint *out, size_t max);
 };
 
 /** AccessSource over an in-memory vector. */
@@ -83,6 +93,11 @@ class Interleaver final : public AccessSource
                 u64 seed = 1, u64 limit = 0);
 
     std::optional<MemAccess> next() override;
+
+    /** Collects whatever the per-application sources queued, in slot
+     * order (exhausted sources included — a hint emitted with a source's
+     * final references is still delivered). */
+    size_t drainHints(PhaseHint *out, size_t max) override;
 
     u64 produced() const { return produced_; }
 

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Phase hints: a side-band channel from workload generators to the
+ * control plane (docs/algorithm1.md, "Predictive mode & hint trust").
+ *
+ * A hint is a *claim* by an application about its own near future —
+ * "in leadAccesses more of my references, my working set becomes
+ * predictedFootprintBytes".  The channel is advisory and untrusted:
+ * tenants may stay silent, hint late, exaggerate, or lie outright, so
+ * consumers (the QoS guardian's predictive mode) must score every hint
+ * against observed behaviour after the fact and fall back to reactive
+ * control when a tenant's hints stop paying off.
+ *
+ * Hints travel out-of-band: emitting or suppressing them never changes
+ * the generator's address stream, so hinted and unhinted runs of the
+ * same workload remain reference-for-reference identical.
+ */
+
+#ifndef MOLCACHE_MEM_PHASE_HINT_HPP
+#define MOLCACHE_MEM_PHASE_HINT_HPP
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+struct PhaseHint
+{
+    /** The application making the claim. */
+    Asid asid{};
+    /** Predicted distance to the phase shift, in the application's own
+     * references (0 = the shift is already underway). */
+    u64 leadAccesses = 0;
+    /** The same distance in nominal resize epochs — how many control
+     * decisions fit before the shift lands. */
+    double epochsAhead = 0.0;
+    /** Claimed working-set footprint of the upcoming phase. */
+    u64 predictedFootprintBytes = 0;
+    /** Self-assessed forecast quality in [0,1]; consumers may discount
+     * or discard low-confidence hints. */
+    double confidence = 1.0;
+};
+
+} // namespace molcache
+
+#endif // MOLCACHE_MEM_PHASE_HINT_HPP

@@ -73,6 +73,32 @@ writeSimResultJson(JsonWriter &json, const SimResult &result)
         json.value(result.guardian.maxShortfall);
         json.key("pool_pressure");
         json.value(result.guardian.poolPressure);
+        json.key("epochs_outside_goal");
+        json.value(result.guardian.epochsOutsideGoal);
+        json.key("accesses_outside_goal");
+        json.value(result.guardian.accessesOutsideGoal);
+        // Predictive sub-block mirrors the guardian's own enable gate:
+        // absent while predictive mode is off.
+        if (result.guardian.predictiveEnabled) {
+            json.key("predictive");
+            json.beginObject();
+            json.key("hints_seen");
+            json.value(result.guardian.hintsSeen);
+            json.key("hints_honored");
+            json.value(result.guardian.hintsHonored);
+            json.key("hints_rejected");
+            json.value(result.guardian.hintsRejected);
+            json.key("pre_grant_molecules");
+            json.value(result.guardian.preGrantMolecules);
+            json.key("pre_withdraw_molecules");
+            json.value(result.guardian.preWithdrawMolecules);
+            json.key("quarantined_regions");
+            json.value(static_cast<u64>(
+                result.guardian.quarantinedRegions));
+            json.key("min_trust");
+            json.value(result.guardian.minTrust);
+            json.endObject();
+        }
         json.endObject();
     }
     json.key("apps");
@@ -119,6 +145,31 @@ writeSimResultJson(JsonWriter &json, const SimResult &result)
             json.value(static_cast<u64>(g.maxEpochsToGoal));
             json.key("stuck");
             json.value(g.stuck);
+            json.key("epochs_outside_goal");
+            json.value(g.epochsOutsideGoal);
+            json.key("accesses_outside_goal");
+            json.value(g.accessesOutsideGoal);
+            if (result.guardian.predictiveEnabled) {
+                json.key("predictive");
+                json.beginObject();
+                json.key("hints_seen");
+                json.value(g.hintsSeen);
+                json.key("hints_honored");
+                json.value(g.hintsHonored);
+                json.key("hints_rejected");
+                json.value(g.hintsRejected);
+                json.key("pre_grant_molecules");
+                json.value(g.preGrantMolecules);
+                json.key("pre_withdraw_molecules");
+                json.value(g.preWithdrawMolecules);
+                json.key("trust");
+                json.value(g.trust);
+                json.key("quarantined");
+                json.value(g.quarantined);
+                json.key("quarantine_events");
+                json.value(static_cast<u64>(g.quarantineEvents));
+                json.endObject();
+            }
             json.endObject();
         }
         json.endObject();

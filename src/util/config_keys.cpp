@@ -29,6 +29,15 @@ knownConfigKeys()
         {"guardian.floor.", "per-ASID capacity floor (guardian.floor.<asid>)"},
         {"guardian.hysteresis", "relative dead-band around the goal"},
         {"guardian.max_flips", "delta sign flips per window that trip"},
+        {"guardian.predictive.act_above", "trust required before hints act"},
+        {"guardian.predictive.enabled", "phase-hint pre-provisioning (0/1)"},
+        {"guardian.predictive.initial_trust", "trust a new region starts with"},
+        {"guardian.predictive.max_action", "molecule cap per predictive action"},
+        {"guardian.predictive.min_confidence", "confidence floor for hints"},
+        {"guardian.predictive.probation", "epochs quarantine must last"},
+        {"guardian.predictive.quarantine_below", "trust level entering quarantine"},
+        {"guardian.predictive.restore_above", "trust level leaving quarantine"},
+        {"guardian.predictive.trust_weight", "trust EWMA step per scored hint"},
         {"guardian.pressure", "pool-pressure level pausing fair-share growth"},
         {"guardian.watchdog", "epochs above goal before a region is stuck"},
         {"guardian.window", "oscillation detector window, epochs"},
@@ -43,6 +52,13 @@ knownConfigKeys()
         {"seed", "workload/model RNG seed"},
         {"size", "total cache capacity in bytes"},
         {"tiles", "tiles per cluster"},
+        {"workload.hint.confidence", "confidence stamped on emitted hints"},
+        {"workload.hint.drop", "probability a due hint is never emitted"},
+        {"workload.hint.enabled", "adversary phase-hint emission (0/1)"},
+        {"workload.hint.invert", "promise the departing phase (0/1)"},
+        {"workload.hint.jitter", "+/- emission jitter, references"},
+        {"workload.hint.lead", "hint lead ahead of the boundary, references"},
+        {"workload.hint.magnitude", "promised footprint = truth * this"},
     };
     return keys;
 }

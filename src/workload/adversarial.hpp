@@ -44,6 +44,47 @@ enum class AdversaryKind
 
 AdversaryKind parseAdversaryKind(const std::string &text);
 std::string adversaryKindName(AdversaryKind kind);
+/** True when @p text names an adversary kind (parseAdversaryKind would
+ * accept it instead of fataling). */
+bool isAdversaryKind(const std::string &text);
+
+/**
+ * Phase-hint emission knobs for one adversary (docs/fault_model.md,
+ * "Wrong hints").  The generators own their ground-truth phase
+ * schedules, so an enabled policy announces each upcoming phase
+ * boundary through the PhaseHint side band — and the degradation knobs
+ * turn the same machinery into a fault injector: jittered timing, wrong
+ * magnitude, inverted sign (promise the phase being *left*), and silent
+ * dropout.  Hint emission draws from a dedicated RNG stream, so the
+ * address stream is reference-for-reference identical whether hints are
+ * on, degraded or off.  Kinds without phase structure (Hog, Steady)
+ * never emit — they model the unhinted part of a mixed population.
+ */
+struct HintPolicy
+{
+    bool enabled = false;
+    /** References ahead of the boundary the hint is emitted. */
+    u64 leadAccesses = 12'000;
+    /** Uniform +/- jitter on the emission point (timing faults). */
+    u64 jitterAccesses = 0;
+    /** Promised footprint = truth * this (magnitude faults). */
+    double magnitudeScale = 1.0;
+    /** Promise the current phase's footprint instead of the next
+     * (inverted sign: pre-grants become pre-withdraws and vice versa). */
+    bool invertPhase = false;
+    /** Probability a due hint is silently never emitted. */
+    double dropProbability = 0.0;
+    /** Confidence stamped on every emitted hint. */
+    double confidence = 1.0;
+};
+
+class Config;
+
+/** Build a HintPolicy from the `workload.hint.*` config keys
+ * (docs/fault_model.md, "Wrong hints"); absent keys keep the
+ * defaults above.  One policy serves a whole adversarial mix — kinds
+ * without phase structure ignore it. */
+HintPolicy hintPolicyFromConfig(const Config &cfg);
 
 /**
  * Alternates an "on" stream and an "off" stream with independent span
@@ -86,17 +127,36 @@ class AdversaryGenerator final : public AccessSource
 {
   public:
     AdversaryGenerator(AdversaryKind kind, Asid asid, u64 limit,
-                       u64 seed = 1);
+                       u64 seed = 1, HintPolicy hints = {});
 
     std::optional<MemAccess> next() override;
+    size_t drainHints(PhaseHint *out, size_t max) override;
 
   private:
+    /** Schedule the next phase boundary (and its jittered emission
+     * point) after @p after; boundary-free kinds schedule nothing. */
+    void scheduleBoundary(u64 after);
+    /** Emit (or deliberately degrade/drop) hints whose emission point
+     * has been reached. */
+    void maybeEmitHints();
+
     std::unique_ptr<AddressStream> stream_;
     Pcg32 rng_;
     Asid asid_;
     u64 limit_;
     u64 produced_ = 0;
     double writeFraction_;
+
+    HintPolicy hints_;
+    AdversaryKind kind_;
+    /** Dedicated stream for drop/jitter draws: consuming it never
+     * perturbs the address stream above. */
+    Pcg32 hintRng_;
+    u64 boundaryAt_ = 0;      // next phase boundary (0 = none)
+    u64 boundaryFootprint_ = 0;     // footprint of the phase starting there
+    u64 boundaryPrevFootprint_ = 0; // footprint of the phase ending there
+    u64 emitAt_ = 0;          // jittered emission point for that boundary
+    std::vector<PhaseHint> pending_;
 };
 
 /**
@@ -105,6 +165,14 @@ class AdversaryGenerator final : public AccessSource
  */
 std::unique_ptr<AccessSource>
 makeAdversarialSource(const std::vector<AdversaryKind> &apps,
+                      u64 totalReferences, u64 seed = 1);
+
+/** Mixed hinted/unhinted population: one HintPolicy per app (must match
+ * @p apps in length).  The merged stream is reference-for-reference
+ * identical to the hint-free overload under the same seed. */
+std::unique_ptr<AccessSource>
+makeAdversarialSource(const std::vector<AdversaryKind> &apps,
+                      const std::vector<HintPolicy> &hints,
                       u64 totalReferences, u64 seed = 1);
 
 } // namespace molcache

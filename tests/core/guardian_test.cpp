@@ -330,6 +330,307 @@ TEST(Guardian, PoolPressureHoldsGrowthAtFairShare)
     EXPECT_FALSE(g.gateHold(small, 0.5, 0.1, &eff));
 }
 
+TEST(Guardian, ColdStartZeroWidthWindowSurvivesFirstEpoch)
+{
+    // A zero-width oscillation window must not make the first decision's
+    // sign-window bookkeeping (index modulus) or the feasibility model
+    // divide by zero; the cold-start verdict stays Unknown.
+    MolecularCacheParams p = params();
+    p.guardian.oscillationWindow = 0;
+    QosGuardian g(p);
+    const Region r = makeRegion(4);
+    g.afterDecision(r, +4, 0.30, 0.1);
+    EXPECT_EQ(g.telemetry(r.asid()).verdict, FeasibilityVerdict::Unknown);
+
+    // Same first epoch on an empty region: no size to feed the
+    // miss-vs-size model, still no crash, still Unknown.
+    const Region empty = makeRegion(0);
+    g.afterDecision(empty, 0, 0.9, 0.1);
+    EXPECT_EQ(g.telemetry(empty.asid()).verdict,
+              FeasibilityVerdict::Unknown);
+}
+
+// ---------------------------------------------------------------------
+// Predictive mode & hint trust (docs/algorithm1.md).
+// ---------------------------------------------------------------------
+
+MolecularCacheParams
+predictiveParams(double initialTrust = 0.5)
+{
+    MolecularCacheParams p = params();
+    p.guardian.predictive.enabled = true;
+    p.guardian.predictive.initialTrust = initialTrust;
+    return p;
+}
+
+PhaseHint
+hint(const Region &r, u64 footprintMolecules, u64 lead = 0,
+     double confidence = 0.9)
+{
+    PhaseHint h;
+    h.asid = r.asid();
+    h.leadAccesses = lead;
+    h.predictedFootprintBytes = footprintMolecules * 8 * 1024;
+    h.confidence = confidence;
+    return h;
+}
+
+/** Feed @p intervals evaluated epochs at @p missRate so the armed hint
+ * accumulates post-shift evidence and is scored. */
+void
+scoreArmedHint(QosGuardian &g, Region &r, double missRate,
+               u32 intervals = 4)
+{
+    for (u32 i = 0; i < intervals; ++i) {
+        feedInterval(r, 1000, static_cast<u32>(missRate * 1000), 0);
+        g.afterDecision(r, 0, missRate, 0.1);
+        r.closeInterval();
+    }
+}
+
+TEST(Guardian, PredictiveOffIgnoresHints)
+{
+    QosGuardian g(params()); // predictive disabled
+    const Region r = makeRegion(4);
+    EXPECT_FALSE(g.acceptHint(hint(r, 12), r));
+    FakeBroker broker;
+    Region rw = makeRegion(4);
+    EXPECT_EQ(g.predictiveStep(rw, broker), 0);
+    EXPECT_EQ(g.telemetry(r.asid()).hintsSeen, 0u);
+}
+
+TEST(Guardian, LowConfidenceHintRejectedAtTheDoor)
+{
+    QosGuardian g(predictiveParams(/*initialTrust=*/0.9));
+    const Region r = makeRegion(4);
+    EXPECT_FALSE(g.acceptHint(hint(r, 12, 0, /*confidence=*/0.1), r));
+    const GuardianAppTelemetry t = g.telemetry(r.asid());
+    EXPECT_EQ(t.hintsSeen, 1u);
+    EXPECT_EQ(t.hintsRejected, 1u);
+    EXPECT_EQ(t.hintsHonored, 0u);
+}
+
+TEST(Guardian, UnprovenTenantScoresButNeverActs)
+{
+    // initialTrust (0.5) sits below actAbove (0.55): the first forecast
+    // is observation-only — no wakeup pull (acceptHint false), no
+    // capacity movement — but it IS scored, and a truthful one earns
+    // the trust that lets the next hint act.
+    QosGuardian g(predictiveParams());
+    Region r = makeRegion(4);
+    EXPECT_FALSE(g.acceptHint(hint(r, 12), r));
+    FakeBroker broker;
+    EXPECT_EQ(g.predictiveStep(r, broker), 0);
+    EXPECT_EQ(r.size(), 4u);
+    // The promised misses materialize: the grow claim was truthful.
+    scoreArmedHint(g, r, 0.30);
+    const GuardianAppTelemetry t = g.telemetry(r.asid());
+    EXPECT_GT(t.trust, 0.55);
+    EXPECT_FALSE(t.quarantined);
+    EXPECT_EQ(t.hintsHonored, 0u);
+    // Proven: the next hint is action-eligible.
+    EXPECT_TRUE(g.acceptHint(hint(r, 12), r));
+}
+
+TEST(Guardian, TrustedGrowHintPreGrantsBeforeTheShift)
+{
+    QosGuardian g(predictiveParams(/*initialTrust=*/0.9));
+    Region r = makeRegion(4);
+    FakeBroker broker;
+    // Shift due within one nominal period: the pre-grant fires now.
+    EXPECT_TRUE(g.acceptHint(hint(r, 12, /*lead=*/5000), r));
+    const i32 delta = g.predictiveStep(r, broker);
+    EXPECT_EQ(delta, 8); // target 12 - size 4
+    EXPECT_EQ(r.size(), 12u);
+    const GuardianAppTelemetry t = g.telemetry(r.asid());
+    EXPECT_EQ(t.hintsHonored, 1u);
+    EXPECT_EQ(t.preGrantMolecules, 8u);
+    // No double-grant: the armed hint acts exactly once.
+    EXPECT_EQ(g.predictiveStep(r, broker), 0);
+}
+
+TEST(Guardian, GrowHintWaitsUntilTheLastWakeupBeforeDue)
+{
+    QosGuardian g(predictiveParams(/*initialTrust=*/0.9));
+    Region r = makeRegion(4);
+    FakeBroker broker;
+    // Due two nominal periods out: acting now would be a wakeup early.
+    EXPECT_TRUE(g.acceptHint(hint(r, 12, /*lead=*/50'000), r));
+    EXPECT_EQ(g.predictiveStep(r, broker), 0);
+    EXPECT_EQ(r.size(), 4u);
+    // Advance to within one period of the shift: now it fires.
+    for (u32 i = 0; i < 30'000; ++i)
+        r.noteAccess(true);
+    EXPECT_EQ(g.predictiveStep(r, broker), 8);
+}
+
+TEST(Guardian, PreWithdrawNeedsPoolPressureAndWaitsForDue)
+{
+    QosGuardian g(predictiveParams(/*initialTrust=*/0.9));
+    Region r = makeRegion(12);
+    FakeBroker broker;
+    // Uncontended pool: the shrink is promised but molecules stay warm
+    // where they are; reactive control reclaims them at its own pace.
+    EXPECT_TRUE(g.acceptHint(hint(r, 2), r));
+    EXPECT_EQ(g.predictiveStep(r, broker), 0);
+    EXPECT_EQ(r.size(), 12u);
+
+    // Under pressure the promised molecules are handed back — but only
+    // once the shift is due, never while the departing phase runs.
+    QosGuardian g2(predictiveParams(/*initialTrust=*/0.9));
+    Region r2 = makeRegion(12);
+    for (u32 i = 0; i < 20; ++i)
+        g2.noteGrant(r2.asid(), 8, 0);
+    EXPECT_TRUE(g2.acceptHint(hint(r2, 2, /*lead=*/4000), r2));
+    EXPECT_EQ(g2.predictiveStep(r2, broker), 0); // not due yet
+    for (u32 i = 0; i < 4000; ++i)
+        r2.noteAccess(true);
+    const i32 delta = g2.predictiveStep(r2, broker);
+    EXPECT_LT(delta, 0);
+    EXPECT_EQ(g2.telemetry(r2.asid()).preWithdrawMolecules,
+              static_cast<u64>(-delta));
+}
+
+TEST(Guardian, OscillationCooldownBlocksPreGrantAndKeepsWideBand)
+{
+    QosGuardian g(predictiveParams(/*initialTrust=*/0.9));
+    Region r = makeRegion(4);
+    // Trip the oscillation detector: alternating-sign actions.
+    g.afterDecision(r, +4, 0.30, 0.1);
+    g.afterDecision(r, -4, 0.05, 0.1);
+    g.afterDecision(r, +4, 0.30, 0.1);
+    ASSERT_GT(g.telemetry(r.asid()).oscillationEvents, 0u);
+    // An armed trusted hint does NOT act through the cooldown...
+    FakeBroker broker;
+    EXPECT_TRUE(g.acceptHint(hint(r, 12, 1000), r));
+    EXPECT_EQ(g.predictiveStep(r, broker), 0);
+    EXPECT_EQ(r.size(), 4u);
+    // ...and the widened dead-band keeps holding reactive decisions the
+    // normal band would have released.
+    double eff = 0.0;
+    EXPECT_TRUE(g.gateHold(r, 0.115, 0.1, &eff));
+}
+
+TEST(Guardian, FlipGuardNotReversedByReactiveAfterPreGrant)
+{
+    // A pre-grant counts as an action for the reactive flip-guard: the
+    // controller cannot immediately withdraw what the hint just moved.
+    QosGuardian g(predictiveParams(/*initialTrust=*/0.9));
+    Region r = makeRegion(4);
+    FakeBroker broker;
+    EXPECT_TRUE(g.acceptHint(hint(r, 12, 1000), r));
+    ASSERT_GT(g.predictiveStep(r, broker), 0);
+    double eff = 0.0;
+    EXPECT_TRUE(g.gateHold(r, 0.02, 0.1, &eff)); // shrink held
+}
+
+TEST(Guardian, LyingTenantQuarantinedThenRestoredOnProbation)
+{
+    QosGuardian g(predictiveParams());
+    Region r = makeRegion(4);
+    // A grow promise whose misses never materialize: one scored lie at
+    // confidence 0.9 drops trust 0.5 -> 0.2975, under the threshold.
+    EXPECT_FALSE(g.acceptHint(hint(r, 12), r));
+    scoreArmedHint(g, r, 0.0);
+    GuardianAppTelemetry t = g.telemetry(r.asid());
+    EXPECT_TRUE(t.quarantined);
+    EXPECT_EQ(t.quarantineEvents, 1u);
+    EXPECT_LT(t.trust, 0.30);
+
+    // Quarantined hints are armed for scoring only: rejected, no action.
+    FakeBroker broker;
+    EXPECT_FALSE(g.acceptHint(hint(r, 12), r));
+    EXPECT_EQ(g.predictiveStep(r, broker), 0);
+    EXPECT_EQ(r.size(), 4u);
+
+    // Probation: truthful forecasts re-earn trust past restoreAbove
+    // while the quarantine epochs tick; then service resumes.
+    scoreArmedHint(g, r, 0.30);
+    EXPECT_FALSE(g.acceptHint(hint(r, 12), r)); // still quarantined
+    scoreArmedHint(g, r, 0.30);
+    t = g.telemetry(r.asid());
+    EXPECT_GT(t.trust, 0.65);
+    EXPECT_FALSE(t.quarantined);
+    EXPECT_TRUE(g.acceptHint(hint(r, 12), r));
+}
+
+TEST(Guardian, SupersededHintScoredOnPartialEvidence)
+{
+    QosGuardian g(predictiveParams());
+    Region r = makeRegion(4);
+    EXPECT_FALSE(g.acceptHint(hint(r, 12), r));
+    // One clean post-shift interval of evidence, then a newer forecast
+    // arrives: the old hint is finalized on what was observed instead
+    // of expiring unjudged — and the earned trust makes the *new* hint
+    // action-eligible (finalize runs before the trust gate).
+    scoreArmedHint(g, r, 0.30, /*intervals=*/1);
+    EXPECT_TRUE(g.acceptHint(hint(r, 12), r));
+    EXPECT_GT(g.telemetry(r.asid()).trust, 0.55);
+}
+
+TEST(Guardian, RestoreFloorRacesPreGrantWithoutOverProvisioning)
+{
+    // A region squeezed below its floor with a grow hint in flight:
+    // restoreFloor tops it up to the floor first, and the predictive
+    // step then only adds what is still missing toward the promised
+    // target — the two paths never double-provision past the target.
+    const MolecularCacheParams p = predictiveParams(0.9);
+    const Resizer resizer(p);
+    QosGuardian g(p);
+    FakeBroker broker;
+    Region r = makeRegion(2, /*floor=*/4);
+    EXPECT_TRUE(g.acceptHint(hint(r, 8, 1000), r));
+    feedInterval(r, 1000, 300, 0);
+    resizer.resizeRegion(r, 0.1, broker, &g);
+    EXPECT_EQ(r.size(), 8u); // floor restore (2->4) + pre-grant (4->8)
+    const GuardianAppTelemetry t = g.telemetry(r.asid());
+    EXPECT_EQ(t.floorRestoreGrants, 2u);
+    EXPECT_EQ(t.preGrantMolecules, 4u);
+}
+
+TEST(Guardian, PreWithdrawClampedAtTheCapacityFloor)
+{
+    // Even a trusted, due, pressure-justified pre-withdraw cannot pull
+    // a region below its floor (Resizer::predictivePulse runs through
+    // the guarded broker).
+    const MolecularCacheParams p = predictiveParams(0.9);
+    const Resizer resizer(p);
+    QosGuardian g(p);
+    FakeBroker broker;
+    Region r = makeRegion(6, /*floor=*/4);
+    for (u32 i = 0; i < 20; ++i)
+        g.noteGrant(r.asid(), 8, 0);
+    EXPECT_TRUE(g.acceptHint(hint(r, 1), r));
+    const i32 delta = resizer.predictivePulse(r, broker, &g);
+    EXPECT_EQ(delta, -2); // 6 -> 4, stopped by the floor, not target 1
+    EXPECT_EQ(r.size(), 4u);
+    EXPECT_GE(g.telemetry(r.asid()).floorHits, 1u);
+}
+
+TEST(Guardian, FixedWindowOutsideGoalAccounting)
+{
+    QosGuardian g(params());
+    Region r = makeRegion(4);
+    r.resizeGoal = 0.1;
+    // One nominal period (25000) of accesses at 50% misses: outside.
+    for (u32 i = 0; i < 25'000; ++i) {
+        const bool hit = (i & 1u) == 0;
+        r.noteAccess(hit);
+        g.noteAccess(r, hit);
+    }
+    GuardianAppTelemetry t = g.telemetry(r.asid());
+    EXPECT_EQ(t.epochsOutsideGoal, 1u);
+    EXPECT_EQ(t.accessesOutsideGoal, 25'000u);
+    // One window of all hits: inside goal, counters unchanged.
+    for (u32 i = 0; i < 25'000; ++i) {
+        r.noteAccess(true);
+        g.noteAccess(r, true);
+    }
+    t = g.telemetry(r.asid());
+    EXPECT_EQ(t.epochsOutsideGoal, 1u);
+    EXPECT_EQ(t.accessesOutsideGoal, 25'000u);
+}
+
 TEST(Guardian, SummaryAggregatesAcrossRegions)
 {
     QosGuardian g(params());

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Paper-sweep byte-identity under dormant predictive knobs: every
+ * `guardian.predictive.*` setting other than `enabled` may change
+ * freely without perturbing a single byte of the fig5 / fig6 / table1 /
+ * table2 sweep JSON.  The predictive control plane must be provably
+ * inert while disabled — the paper reproductions stay byte-identical
+ * whether the knobs are absent (default-constructed params) or present
+ * but off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exec/sweep.hpp"
+#include "sim/experiment.hpp"
+#include "util/units.hpp"
+#include "workload/profiles.hpp"
+
+namespace molcache {
+namespace {
+
+constexpr u64 kRefs = 30'000;
+
+/** Every predictive knob moved off its default — except `enabled`,
+ * which stays false.  Applied to a sweep's molecular configs, none of
+ * this may reach the report. */
+MolecularCacheParams
+withDormantPredictiveKnobs(MolecularCacheParams p)
+{
+    PredictiveGuardianParams &pred = p.guardian.predictive;
+    pred.enabled = false;
+    pred.minConfidence = 0.75;
+    pred.maxActionMolecules = 7;
+    pred.initialTrust = 0.9;
+    pred.actAbove = 0.05;
+    pred.trustWeight = 0.95;
+    pred.quarantineBelow = 0.55;
+    pred.restoreAbove = 0.85;
+    pred.probationEpochs = 1;
+    return p;
+}
+
+std::string
+runToJson(const SweepSpec &spec)
+{
+    SweepOptions options;
+    options.threads = 1;
+    const SweepReport report = SweepRunner(options).run(spec);
+    std::ostringstream os;
+    report.writeJson(os);
+    return os.str();
+}
+
+/** Figure 5 shape: traditional baselines plus both molecular
+ * placements, graph A (all goaled) and graph B (mcf goal-less). */
+SweepSpec
+fig5Spec(bool dormantKnobs)
+{
+    GoalSet goals_a;
+    for (u16 i = 0; i < 4; ++i)
+        goals_a.set(Asid{i}, 0.1);
+    GoalSet goals_b;
+    for (u16 i = 0; i < 3; ++i)
+        goals_b.set(Asid{i}, 0.1);
+
+    auto mol = [&](PlacementPolicy placement) {
+        MolecularCacheParams p = fig5MolecularParams(1_MiB, placement);
+        return dormantKnobs ? withDormantPredictiveKnobs(p) : p;
+    };
+    SweepSpec spec("fig5_predictive_identity");
+    spec.setAssoc("4-way", traditionalParams(1_MiB, 4))
+        .molecular("Mol(Random)", mol(PlacementPolicy::Random))
+        .molecular("Mol(Randy)", mol(PlacementPolicy::Randy))
+        .workload("graphA", spec4Names(), goals_a)
+        .workload("graphB", spec4Names(), goals_b)
+        .seeds({1})
+        .references(kRefs)
+        .registrationGoal(0.1);
+    return spec;
+}
+
+/** Table 2 / Figure 6 shape: the 6 MiB three-cluster geometry on the
+ * 12-app mix, with the per-app molecule counts Figure 6's HPM metric
+ * reads surfaced as extra metrics. */
+SweepSpec
+table2Spec(bool dormantKnobs)
+{
+    auto mol = [&](PlacementPolicy placement) {
+        MolecularCacheParams p = table2MolecularParams(placement);
+        return dormantKnobs ? withDormantPredictiveKnobs(p) : p;
+    };
+    SweepSpec spec("table2_predictive_identity");
+    spec.setAssoc("4MB 4way", traditionalParams(4_MiB, 4))
+        .molecular("6MB Molecular Randy", mol(PlacementPolicy::Randy))
+        .molecular("6MB Molecular Random", mol(PlacementPolicy::Random))
+        .workload("mixed12", mixed12Names())
+        .goals(GoalSet::uniform(0.25, 12))
+        .registrationGoal(0.25)
+        .seeds({1})
+        .references(kRefs)
+        .inspect([](const SimJob &, CacheModel &model, MetricMap &extra) {
+            if (auto *mol = dynamic_cast<MolecularCache *>(&model))
+                for (u32 i = 0; i < 12; ++i)
+                    extra["mols." + std::to_string(i)] =
+                        mol->region(Asid{static_cast<u16>(i)}).size();
+        });
+    return spec;
+}
+
+/** Table 1 shape: goal-less interference combos on a shared set-assoc
+ * L2 — no molecular model, so the identity is trivially structural, and
+ * this pins it staying that way if a molecular baseline is ever added. */
+SweepSpec
+table1Spec(bool dormantKnobs)
+{
+    (void)dormantKnobs; // no molecular config to thread the knobs into
+    SweepSpec spec("table1_predictive_identity");
+    spec.setAssoc("1MB-4way", traditionalParams(1_MiB, 4));
+    spec.workload("art+mcf", {"art", "mcf"})
+        .workload("art+mcf+ammp+parser", {"art", "mcf", "ammp", "parser"})
+        .seeds({1})
+        .references(kRefs);
+    return spec;
+}
+
+TEST(PredictiveIdentity, Fig5SweepUnchangedByDormantKnobs)
+{
+    const std::string bare = runToJson(fig5Spec(false));
+    EXPECT_FALSE(bare.empty());
+    EXPECT_EQ(bare, runToJson(fig5Spec(true)));
+}
+
+TEST(PredictiveIdentity, Table2AndFig6SweepUnchangedByDormantKnobs)
+{
+    const std::string bare = runToJson(table2Spec(false));
+    EXPECT_FALSE(bare.empty());
+    EXPECT_EQ(bare, runToJson(table2Spec(true)));
+}
+
+TEST(PredictiveIdentity, Table1SweepUnchangedByDormantKnobs)
+{
+    const std::string bare = runToJson(table1Spec(false));
+    EXPECT_FALSE(bare.empty());
+    EXPECT_EQ(bare, runToJson(table1Spec(true)));
+}
+
+} // namespace
+} // namespace molcache

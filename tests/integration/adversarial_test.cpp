@@ -149,5 +149,149 @@ TEST(Adversarial, WellBehavedVictimStaysFeasible)
     EXPECT_FALSE(steady.stuck);
 }
 
+// ---------------------------------------------------------------------
+// Predictive-apportioning acceptance drill (docs/algorithm1.md,
+// "Predictive mode & hint trust").  The same mix and geometry run in
+// four configurations; the assertions below pin the ISSUE's acceptance
+// criteria so a regression in the hint path fails here before it fails
+// in the CI bench gate.
+
+constexpr size_t kPhaseFlipSlot = 0;
+
+struct PredictiveRun
+{
+    SimResult result;
+    /** Grant + withdraw molecule churn over the whole run. */
+    u64 churn = 0;
+};
+
+/** @param predictive guardian predictive mode on
+ *  @param hinted     phase-structured tenants emit hints
+ *  @param invert     every hinting tenant lies (inverted sign) */
+PredictiveRun
+runPredictiveDrill(bool predictive, bool hinted, bool invert)
+{
+    MolecularCacheParams p;
+    p.resizeScheme = ResizeScheme::PerAppAdaptive;
+    p.guardian.enabled = true;
+    p.guardian.floorMolecules = kFloor;
+    p.guardian.predictive.enabled = predictive;
+
+    GoalSet goals;
+    MolecularCache cache(p);
+    std::vector<std::string> names;
+    for (size_t i = 0; i < kMix.size(); ++i) {
+        const Asid asid{static_cast<u16>(i)};
+        const double goal = kMix[i] == AdversaryKind::Hog ? 0.02 : 0.1;
+        goals.set(asid, goal);
+        cache.registerApplication(asid, goal);
+        names.push_back(adversaryKindName(kMix[i]));
+    }
+
+    std::vector<HintPolicy> hints(kMix.size());
+    for (size_t i = 0; hinted && i < kMix.size(); ++i) {
+        if (kMix[i] != AdversaryKind::PhaseFlip &&
+            kMix[i] != AdversaryKind::Bursty)
+            continue;
+        hints[i].enabled = true;
+        hints[i].leadAccesses = 12'000;
+        hints[i].confidence = 0.9;
+        hints[i].invertPhase = invert;
+    }
+
+    auto source = makeAdversarialSource(kMix, hints, kRefs, /*seed=*/1);
+    PredictiveRun out;
+    out.result = Simulator::run(*source, cache,
+                                RunOptions{}
+                                    .withGoals(goals)
+                                    .withLabels(labelMap(names)));
+    out.churn = cache.resizer().granted() + cache.resizer().withdrawn();
+    return out;
+}
+
+const PredictiveRun &
+reactiveRun()
+{
+    static const PredictiveRun r = runPredictiveDrill(false, false, false);
+    return r;
+}
+
+const PredictiveRun &
+honestRun()
+{
+    static const PredictiveRun r = runPredictiveDrill(true, true, false);
+    return r;
+}
+
+const PredictiveRun &
+wrongHintsRun()
+{
+    static const PredictiveRun r = runPredictiveDrill(true, true, true);
+    return r;
+}
+
+TEST(Adversarial, HonestHintsBeatReactiveOnTimeOutsideGoal)
+{
+    const GuardianSummary &honest = honestRun().result.guardian;
+    EXPECT_TRUE(honest.predictiveEnabled);
+    EXPECT_GT(honest.hintsHonored, 0u);
+    EXPECT_LT(honest.accessesOutsideGoal,
+              reactiveRun().result.guardian.accessesOutsideGoal);
+}
+
+TEST(Adversarial, WrongHintsDegradeGracefullyWithinTenPercent)
+{
+    // Graceful fallback, not amplification: with every hinting tenant
+    // lying, both time-outside-goal and capacity churn stay within 10%
+    // of the reactive baseline.
+    const GuardianSummary &reactive = reactiveRun().result.guardian;
+    const GuardianSummary &wrong = wrongHintsRun().result.guardian;
+    EXPECT_LE(static_cast<double>(wrong.accessesOutsideGoal),
+              1.1 * static_cast<double>(reactive.accessesOutsideGoal));
+    EXPECT_LE(static_cast<double>(wrongHintsRun().churn),
+              1.1 * static_cast<double>(reactiveRun().churn));
+}
+
+TEST(Adversarial, LyingTenantEndsQuarantinedInTelemetry)
+{
+    const SimResult &r = wrongHintsRun().result;
+    const AppSummary *liar =
+        r.qos.find(Asid{static_cast<u16>(kPhaseFlipSlot)});
+    ASSERT_NE(liar, nullptr);
+    ASSERT_TRUE(liar->guardian.has_value());
+    EXPECT_TRUE(liar->guardian->quarantined);
+    EXPECT_GE(liar->guardian->quarantineEvents, 1u);
+    const MolecularCacheParams defaults;
+    EXPECT_LT(liar->guardian->trust,
+              defaults.guardian.predictive.quarantineBelow);
+    EXPECT_GE(r.guardian.quarantinedRegions, 1u);
+    EXPECT_LE(r.guardian.minTrust, liar->guardian->trust);
+}
+
+TEST(Adversarial, NoContractViolationsInAnyPredictiveMode)
+{
+    EXPECT_EQ(reactiveRun().result.contractViolations, 0u);
+    EXPECT_EQ(honestRun().result.contractViolations, 0u);
+    EXPECT_EQ(wrongHintsRun().result.contractViolations, 0u);
+}
+
+TEST(Adversarial, PredictiveOffIgnoresTheHintSideBandByteIdentically)
+{
+    // Hints flowing with predictive mode off must change *nothing*: the
+    // address stream is hint-invariant by construction and the guardian
+    // drops the hint before touching any state.
+    const PredictiveRun hinted = runPredictiveDrill(false, true, false);
+    const PredictiveRun &bare = reactiveRun();
+    EXPECT_EQ(hinted.result.qos.globalMissRate,
+              bare.result.qos.globalMissRate);
+    EXPECT_EQ(hinted.result.guardian.accessesOutsideGoal,
+              bare.result.guardian.accessesOutsideGoal);
+    EXPECT_EQ(hinted.result.guardian.epochsOutsideGoal,
+              bare.result.guardian.epochsOutsideGoal);
+    EXPECT_EQ(hinted.churn, bare.churn);
+    EXPECT_EQ(hinted.result.guardian.hintsSeen, 0u);
+    EXPECT_FALSE(hinted.result.guardian.predictiveEnabled);
+}
+
 } // namespace
 } // namespace molcache

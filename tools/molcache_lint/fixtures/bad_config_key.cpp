@@ -10,3 +10,19 @@ readIt(const molcache::Config &cfg)
     // "molecule" is registered; "moleculesize" is a typo of it.
     return cfg.getSize("moleculesize", 8192); // config-key
 }
+
+bool
+readPredictive(const molcache::Config &cfg)
+{
+    // "guardian.predictive.enabled" is registered; the singular
+    // "guardian.predict.enabled" is a typo of it.
+    return cfg.getBool("guardian.predict.enabled", false); // config-key
+}
+
+double
+readHint(const molcache::Config &cfg)
+{
+    // "workload.hint.drop" is registered; "workload.hint.dropout" is
+    // a typo of it.
+    return cfg.getDouble("workload.hint.dropout", 0.0); // config-key
+}

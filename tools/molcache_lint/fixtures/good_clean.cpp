@@ -10,6 +10,8 @@ void
 clean(Region &region, const Config &cfg, Pcg32 &rng)
 {
     MOLCACHE_EXPECT(cfg.getSize("molecule", 8192) > 0);
+    (void)cfg.getBool("guardian.predictive.enabled", false);
+    (void)cfg.getDouble("workload.hint.drop", 0.0);
     region.addMolecule(MoleculeId{3}, TileId{0}, false);
     (void)rng.below(4); // seeded randomness is fine
 }

@@ -1,0 +1,40 @@
+# Negative-compilation probe for Clang Thread Safety Analysis
+# (docs/static_analysis.md, "Concurrency discipline").
+#
+# Invoked as a ctest by tests/CMakeLists.txt (Clang only) with:
+#   CXX  - the clang++ driver
+#   SRC  - tests/exec/tsa_probe.cpp
+#   INC  - the src/ include root
+#
+# Two compiles of the same TU:
+#   1. without MOLCACHE_TSA_PROBE_UNGUARDED: the annotated, lock-held
+#      accesses must compile cleanly under -Werror=thread-safety;
+#   2. with it: the deliberately unguarded access must be REJECTED.
+# Passing both proves the analysis is armed and the annotations are
+# doing work — not that the macros merely expanded to nothing.
+
+set(flags -std=c++20 -fsyntax-only -Wall -Wextra
+    -Wthread-safety -Werror=thread-safety "-I${INC}")
+
+execute_process(
+    COMMAND ${CXX} ${flags} ${SRC}
+    RESULT_VARIABLE guarded_result
+    ERROR_VARIABLE guarded_err)
+if(NOT guarded_result EQUAL 0)
+    message(FATAL_ERROR
+        "tsa probe: the guarded baseline failed to compile under "
+        "-Werror=thread-safety:\n${guarded_err}")
+endif()
+
+execute_process(
+    COMMAND ${CXX} ${flags} -DMOLCACHE_TSA_PROBE_UNGUARDED ${SRC}
+    RESULT_VARIABLE unguarded_result
+    ERROR_VARIABLE unguarded_err)
+if(unguarded_result EQUAL 0)
+    message(FATAL_ERROR
+        "tsa probe: the deliberately unguarded access COMPILED; "
+        "thread-safety analysis is not enforcing")
+endif()
+
+message(STATUS
+    "tsa probe: guarded baseline compiles, unguarded access rejected")

@@ -26,6 +26,8 @@ constexpr double kPressureKeep = 0.8;
 bool
 traceHints()
 {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read exactly once under the
+    // magic-static lock, before any worker threads exist; nothing setenvs.
     static const bool on = std::getenv("MOLCACHE_TRACE_HINTS") != nullptr;
     return on;
 }

@@ -1,9 +1,7 @@
 #include "exec/sweep.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <fstream>
-#include <mutex>
 
 #include "exec/seed_stream.hpp"
 #include "exec/thread_pool.hpp"
@@ -11,6 +9,7 @@
 #include "sim/result_json.hpp"
 #include "stats/json.hpp"
 #include "util/logging.hpp"
+#include "util/sync.hpp"
 
 namespace molcache {
 
@@ -345,15 +344,22 @@ SweepRunner::run(const SweepSpec &spec) const
 
     // Each worker writes only its own pre-sized slot; the progress
     // callback is the single shared touch point and is serialized.
-    std::mutex progress_mutex;
-    u64 done = 0;
+    struct Progress
+    {
+        mc::Mutex mutex;
+        u64 done MOLCACHE_GUARDED_BY(mutex) = 0;
+    } progress;
 
     const auto start = std::chrono::steady_clock::now();
     pool.forEach(jobs.size(), [&](u64 i) {
         report.points[i] = runSimJob(jobs[i], spec.inspector());
         if (options_.progress) {
-            std::lock_guard<std::mutex> lock(progress_mutex);
-            options_.progress(++done, jobs.size());
+            mc::MutexLock lock(progress.mutex);
+            // lint: allow(lock-across-call): serialization IS the
+            // documented SweepOptions::progress contract ("serialized by
+            // the runner; safe to print from"); the callback must not
+            // re-enter the runner.
+            options_.progress(++progress.done, jobs.size());
         }
     });
     report.wallSeconds = secondsSince(start);

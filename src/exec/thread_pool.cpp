@@ -28,10 +28,10 @@ WorkStealingPool::WorkStealingPool(u32 threads)
 WorkStealingPool::~WorkStealingPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        mc::MutexLock lock(mutex_);
         stopping_ = true;
     }
-    workReady_.notify_all();
+    workReady_.notifyAll();
     for (std::thread &t : workers_)
         t.join();
 }
@@ -40,7 +40,7 @@ bool
 WorkStealingPool::popOwn(size_t self, u64 &job)
 {
     WorkerQueue &q = *queues_[self];
-    std::lock_guard<std::mutex> lock(q.mutex);
+    mc::MutexLock lock(q.mutex);
     if (q.jobs.empty())
         return false;
     job = q.jobs.front();
@@ -54,7 +54,7 @@ WorkStealingPool::stealFromVictim(size_t self, u64 &job)
     // Scan victims starting after ourselves so thieves spread out.
     for (size_t step = 1; step < queues_.size(); ++step) {
         WorkerQueue &q = *queues_[(self + step) % queues_.size()];
-        std::lock_guard<std::mutex> lock(q.mutex);
+        mc::MutexLock lock(q.mutex);
         if (q.jobs.empty())
             continue;
         job = q.jobs.back();
@@ -62,6 +62,14 @@ WorkStealingPool::stealFromVictim(size_t self, u64 &job)
         return true;
     }
     return false;
+}
+
+void
+WorkStealingPool::recordError()
+{
+    mc::MutexLock lock(mutex_);
+    if (!firstError_)
+        firstError_ = std::current_exception();
 }
 
 void
@@ -73,22 +81,22 @@ WorkStealingPool::drainEpoch(size_t self)
             // Re-read the batch body per job: a worker can straggle from
             // one batch into the next, and the previous std::function is
             // gone once its forEach returned.  Holding an unexecuted job
-            // keeps pending_ > 0, which keeps body_ valid.
+            // keeps pending_ > 0, which keeps body_ valid.  The copied
+            // pointer is invoked OUTSIDE the lock: job bodies are user
+            // callbacks and may run for seconds (lock-across-call).
             const std::function<void(u64)> *body = nullptr;
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                mc::MutexLock lock(mutex_);
                 body = body_;
             }
             try {
                 (*body)(job);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mutex_);
-                if (!firstError_)
-                    firstError_ = std::current_exception();
+                recordError();
             }
             if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-                std::lock_guard<std::mutex> lock(mutex_);
-                batchDone_.notify_all();
+                mc::MutexLock lock(mutex_);
+                batchDone_.notifyAll();
             }
         } else if (pending_.load(std::memory_order_acquire) == 0) {
             return; // batch fully executed
@@ -106,10 +114,9 @@ WorkStealingPool::workerLoop(size_t self)
     u64 seen_epoch = 0;
     for (;;) {
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workReady_.wait(lock, [&] {
-                return stopping_ || epoch_ != seen_epoch;
-            });
+            mc::MutexLock lock(mutex_);
+            while (!stopping_ && epoch_ == seen_epoch)
+                workReady_.wait(mutex_);
             if (stopping_)
                 return;
             seen_epoch = epoch_;
@@ -130,8 +137,8 @@ WorkStealingPool::forEach(u64 jobCount, const std::function<void(u64)> &body)
     }
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        MOLCACHE_EXPECT(pending_.load() == 0,
+        mc::MutexLock lock(mutex_);
+        MOLCACHE_EXPECT(pending_.load(std::memory_order_acquire) == 0,
                         "WorkStealingPool::forEach is not reentrant");
         body_ = &body;
         pending_.store(jobCount, std::memory_order_release);
@@ -141,25 +148,25 @@ WorkStealingPool::forEach(u64 jobCount, const std::function<void(u64)> &body)
         u64 next = 0;
         for (u32 w = 0; w < threadCount_; ++w) {
             const u64 take = per + (w < extra ? 1 : 0);
-            std::lock_guard<std::mutex> qlock(queues_[w]->mutex);
+            mc::MutexLock qlock(queues_[w]->mutex);
             for (u64 i = 0; i < take; ++i)
                 queues_[w]->jobs.push_back(next++);
         }
         ++epoch_;
     }
-    workReady_.notify_all();
+    workReady_.notifyAll();
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    batchDone_.wait(lock, [&] {
-        return pending_.load(std::memory_order_acquire) == 0;
-    });
-    body_ = nullptr;
-    if (firstError_) {
-        std::exception_ptr e = firstError_;
+    std::exception_ptr error;
+    {
+        mc::MutexLock lock(mutex_);
+        while (pending_.load(std::memory_order_acquire) != 0)
+            batchDone_.wait(mutex_);
+        body_ = nullptr;
+        error = firstError_;
         firstError_ = nullptr;
-        lock.unlock();
-        std::rethrow_exception(e);
     }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 } // namespace molcache

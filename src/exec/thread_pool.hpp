@@ -20,15 +20,14 @@
 #define MOLCACHE_EXEC_THREAD_POOL_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/sync.hpp"
 #include "util/types.hpp"
 
 namespace molcache {
@@ -65,27 +64,32 @@ class WorkStealingPool
   private:
     struct WorkerQueue
     {
-        std::mutex mutex;
-        std::deque<u64> jobs;
+        mc::Mutex mutex;
+        std::deque<u64> jobs MOLCACHE_GUARDED_BY(mutex);
     };
 
     void workerLoop(size_t self);
     bool popOwn(size_t self, u64 &job);
     bool stealFromVictim(size_t self, u64 &job);
     void drainEpoch(size_t self);
+    /** Record a job's exception (first one wins). */
+    void recordError() MOLCACHE_EXCLUDES(mutex_);
 
-    u32 threadCount_ = 1;
-    std::vector<std::unique_ptr<WorkerQueue>> queues_;
-    std::vector<std::thread> workers_;
+    // Set once in the constructor, immutable while workers run.
+    u32 threadCount_ = 1;                            // lint: unguarded(set in the constructor, read-only afterwards)
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;  // lint: unguarded(vector shape fixed in the constructor; element access goes through each WorkerQueue's own mutex)
+    std::vector<std::thread> workers_;               // lint: unguarded(joined only in the destructor, after stopping_)
 
-    std::mutex mutex_;
-    std::condition_variable workReady_;
-    std::condition_variable batchDone_;
-    const std::function<void(u64)> *body_ = nullptr; // valid while pending_ > 0
+    mc::Mutex mutex_;
+    mc::CondVar workReady_;
+    mc::CondVar batchDone_;
+    /** Valid while pending_ > 0 (the batch body outlives its jobs). */
+    const std::function<void(u64)> *body_ MOLCACHE_GUARDED_BY(mutex_) =
+        nullptr;
     std::atomic<u64> pending_{0};
-    u64 epoch_ = 0;
-    bool stopping_ = false;
-    std::exception_ptr firstError_; // guarded by mutex_
+    u64 epoch_ MOLCACHE_GUARDED_BY(mutex_) = 0;
+    bool stopping_ MOLCACHE_GUARDED_BY(mutex_) = false;
+    std::exception_ptr firstError_ MOLCACHE_GUARDED_BY(mutex_);
 };
 
 } // namespace molcache

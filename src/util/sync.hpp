@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The repo's only sanctioned mutex/condition-variable vocabulary.
+ *
+ * mc::Mutex, mc::MutexLock and mc::CondVar wrap the standard primitives
+ * with the Clang Thread Safety Analysis capability annotations
+ * (util/thread_annotations.hpp), so every guarded member can name the
+ * mutex that protects it and an access without the lock is a compile
+ * error under the clang presets.  Raw std::mutex /
+ * std::condition_variable / std::lock_guard / std::unique_lock outside
+ * this header are a molcache-lint `naked-mutex` finding: unannotated
+ * primitives are invisible to the analysis, so they would silently
+ * punch holes in the machine-checked discipline ROADMAP item 1's
+ * concurrent service depends on.
+ *
+ * Deliberately small surface:
+ *
+ *   - Mutex: exclusive-only (no shared/timed variants until a caller
+ *     needs them), non-recursive.
+ *   - MutexLock: scope-shaped RAII holder, no unlock()/release() —
+ *     early release hides the critical-section extent from both the
+ *     reader and the analysis; end the scope instead.
+ *   - CondVar: waits on the Mutex directly (condition_variable_any), so
+ *     waiting code stays in the annotated vocabulary.  Only the
+ *     while-loop form is supported: callers re-check their predicate
+ *     around wait(), which is also what keeps
+ *     bugprone-spuriously-wake-up-functions happy at call sites.
+ *
+ * docs/static_analysis.md ("Concurrency discipline") has the usage
+ * rules and escape hatches.
+ */
+
+#ifndef MOLCACHE_UTIL_SYNC_HPP
+#define MOLCACHE_UTIL_SYNC_HPP
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace molcache {
+namespace mc {
+
+/** An annotated exclusive mutex (a TSA "capability"). */
+class MOLCACHE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() MOLCACHE_ACQUIRE()
+    {
+        m_.lock();
+    }
+
+    void
+    unlock() MOLCACHE_RELEASE()
+    {
+        m_.unlock();
+    }
+
+    bool
+    try_lock() MOLCACHE_TRY_ACQUIRE(true)
+    {
+        return m_.try_lock();
+    }
+
+  private:
+    friend class CondVar;
+    std::mutex m_;
+};
+
+/**
+ * RAII holder: acquires in the constructor, releases in the destructor.
+ * The TSA scoped-capability annotation makes the held extent visible to
+ * the analysis, so guarded members are accessible exactly inside the
+ * lexical scope of the lock object.
+ */
+class MOLCACHE_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) MOLCACHE_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() MOLCACHE_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * A condition variable that waits on mc::Mutex directly.
+ *
+ * wait() must be called with the mutex held (TSA-enforced) and — like
+ * every condition variable — inside a while loop re-checking the
+ * condition, because wakeups may be spurious and the predicate usually
+ * reads guarded state the analysis wants to see under the caller's own
+ * lock scope:
+ *
+ *     mc::MutexLock lock(mutex_);
+ *     while (!condition())   // reads MOLCACHE_GUARDED_BY(mutex_) state
+ *         cv_.wait(mutex_);
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /**
+     * Atomically release @p mutex, sleep, and re-acquire before
+     * returning.  The enclosing while loop lives at the call site; the
+     * suppression below is the one place the "wait needs a loop" check
+     * cannot see the caller's loop.
+     */
+    void
+    wait(Mutex &mutex) MOLCACHE_REQUIRES(mutex)
+    {
+        // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions): the
+        // re-check loop is the documented caller contract (see above);
+        // this wrapper is the loop body, not the loop.
+        cv_.wait(mutex.m_);
+    }
+
+    void
+    notifyOne()
+    {
+        cv_.notify_one();
+    }
+
+    void
+    notifyAll()
+    {
+        cv_.notify_all();
+    }
+
+  private:
+    std::condition_variable_any cv_;
+};
+
+} // namespace mc
+} // namespace molcache
+
+#endif // MOLCACHE_UTIL_SYNC_HPP

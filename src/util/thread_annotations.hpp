@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Portable Clang Thread Safety Analysis (TSA) annotation macros.
+ *
+ * Under Clang with -Wthread-safety these expand to the capability
+ * attributes, turning lock discipline into a compile-time property: a
+ * read of a MOLCACHE_GUARDED_BY member without its mutex held, a
+ * function called without its MOLCACHE_REQUIRES capability, or a lock
+ * released on the wrong path is a build break (the clang presets and CI
+ * add -Werror=thread-safety).  Under every other compiler they expand
+ * to nothing, so the annotated code stays portable to the GCC-only
+ * tier-1 build.
+ *
+ * Annotate with the semantic vocabulary, not raw attributes:
+ *
+ *   - MOLCACHE_CAPABILITY("mutex")  on a lockable class (mc::Mutex);
+ *   - MOLCACHE_GUARDED_BY(m)        on data members the mutex protects;
+ *   - MOLCACHE_PT_GUARDED_BY(m)     on pointers whose *pointee* it protects;
+ *   - MOLCACHE_REQUIRES(m)          on functions that must be called with
+ *                                   m held (and do not change that);
+ *   - MOLCACHE_ACQUIRE(m)/MOLCACHE_RELEASE(m) on lock/unlock functions;
+ *   - MOLCACHE_EXCLUDES(m)          on functions that must NOT hold m
+ *                                   (deadlock documentation);
+ *   - MOLCACHE_SCOPED_CAPABILITY    on RAII lock holders (mc::MutexLock);
+ *   - MOLCACHE_NO_THREAD_SAFETY_ANALYSIS  the audited escape hatch —
+ *     always pair it with a comment saying why the analysis is wrong.
+ *
+ * docs/static_analysis.md ("Concurrency discipline") has the usage
+ * rules; tests/exec/tsa_probe.cpp pins that an unguarded access really
+ * fails to compile under the clang preset.
+ */
+
+#ifndef MOLCACHE_UTIL_THREAD_ANNOTATIONS_HPP
+#define MOLCACHE_UTIL_THREAD_ANNOTATIONS_HPP
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MOLCACHE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MOLCACHE_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+#define MOLCACHE_CAPABILITY(x) \
+    MOLCACHE_THREAD_ANNOTATION(capability(x))
+
+#define MOLCACHE_SCOPED_CAPABILITY \
+    MOLCACHE_THREAD_ANNOTATION(scoped_lockable)
+
+#define MOLCACHE_GUARDED_BY(x) \
+    MOLCACHE_THREAD_ANNOTATION(guarded_by(x))
+
+#define MOLCACHE_PT_GUARDED_BY(x) \
+    MOLCACHE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define MOLCACHE_ACQUIRED_BEFORE(...) \
+    MOLCACHE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define MOLCACHE_ACQUIRED_AFTER(...) \
+    MOLCACHE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define MOLCACHE_REQUIRES(...) \
+    MOLCACHE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define MOLCACHE_REQUIRES_SHARED(...) \
+    MOLCACHE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define MOLCACHE_ACQUIRE(...) \
+    MOLCACHE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define MOLCACHE_ACQUIRE_SHARED(...) \
+    MOLCACHE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define MOLCACHE_RELEASE(...) \
+    MOLCACHE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define MOLCACHE_RELEASE_SHARED(...) \
+    MOLCACHE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define MOLCACHE_TRY_ACQUIRE(...) \
+    MOLCACHE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define MOLCACHE_EXCLUDES(...) \
+    MOLCACHE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define MOLCACHE_ASSERT_CAPABILITY(x) \
+    MOLCACHE_THREAD_ANNOTATION(assert_capability(x))
+
+#define MOLCACHE_RETURN_CAPABILITY(x) \
+    MOLCACHE_THREAD_ANNOTATION(lock_returned(x))
+
+#define MOLCACHE_NO_THREAD_SAFETY_ANALYSIS \
+    MOLCACHE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // MOLCACHE_UTIL_THREAD_ANNOTATIONS_HPP

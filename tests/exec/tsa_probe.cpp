@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Compile-time probe for the Clang Thread Safety Analysis adoption.
+ *
+ * This TU compiles as part of exec_test on every compiler, proving the
+ * annotation macros stay portable.  Under Clang, the ctest
+ * `tsa_compile_probe` (cmake/tsa_probe_test.cmake) additionally
+ * recompiles it with -DMOLCACHE_TSA_PROBE_UNGUARDED and asserts that
+ * the deliberately unguarded access below is REJECTED by
+ * -Werror=thread-safety — pinning that the analysis is actually
+ * enforcing, not silently disabled.
+ */
+
+#include "util/sync.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+
+class TsaProbe
+{
+  public:
+    /** Guarded access through the scoped lock: always compiles. */
+    u64
+    bumpGuarded()
+    {
+        mc::MutexLock lock(mutex_);
+        return ++counter_;
+    }
+
+    /** Guarded access via a REQUIRES helper: always compiles. */
+    u64
+    bumpLocked()
+    {
+        mc::MutexLock lock(mutex_);
+        return bumpImpl();
+    }
+
+#ifdef MOLCACHE_TSA_PROBE_UNGUARDED
+    /**
+     * Deliberately unguarded: reading counter_ without mutex_ held.
+     * Under -Werror=thread-safety this function MUST fail to compile;
+     * the tsa_compile_probe ctest fails if it does not.
+     */
+    u64
+    bumpUnguarded()
+    {
+        return ++counter_;
+    }
+#endif
+
+  private:
+    u64 bumpImpl() MOLCACHE_REQUIRES(mutex_) { return ++counter_; }
+
+    mc::Mutex mutex_;
+    u64 counter_ MOLCACHE_GUARDED_BY(mutex_) = 0;
+};
+
+/** Referenced so the class is instantiated even under -fsyntax-only. */
+u64
+tsaProbeTouch()
+{
+    TsaProbe probe;
+    probe.bumpGuarded();
+    return probe.bumpLocked();
+}
+
+} // namespace molcache

@@ -1,0 +1,19 @@
+// Positive fixture for `atomic-order`: bare std::atomic operations
+// whose call sites do not spell out a std::memory_order.  Implicit
+// seq_cst hides both the intended synchronization contract and its
+// cost.
+#include <atomic>
+
+namespace molcache {
+
+std::atomic<unsigned long> g_bad_count{0};
+
+unsigned long
+bumpWithoutOrders()
+{
+    g_bad_count.store(1);     // finding: store without an order
+    g_bad_count.fetch_add(2); // finding: fetch_add without an order
+    return g_bad_count.load(); // finding: load without an order
+}
+
+} // namespace molcache

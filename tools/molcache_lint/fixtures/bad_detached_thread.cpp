@@ -1,0 +1,15 @@
+// Positive fixture for `detached-thread`: a raw std::thread spun up
+// outside the worker pool, then detached.  Detached threads outlive
+// every scope unjoinably and break the deterministic shutdown story.
+#include <thread>
+
+namespace molcache {
+
+void
+fireAndForget()
+{
+    std::thread worker([] {}); // finding: raw std::thread outside the pool
+    worker.detach();           // finding: .detach() is banned
+}
+
+} // namespace molcache

@@ -1,0 +1,19 @@
+// Positive fixture for `lock-across-call`: exec code invoking a user
+// callback while an mc::MutexLock is held.  The callback can run for
+// seconds or call back into the locked object; copy the state out and
+// invoke after the scope closes (or tag the documented exceptions).
+#include <functional>
+
+#include "util/sync.hpp"
+
+namespace molcache {
+
+void
+notifyUnderLock(mc::Mutex &mutex, unsigned long &count,
+                const std::function<void(unsigned long)> &callback)
+{
+    mc::MutexLock lock(mutex);
+    callback(++count); // finding: user code inside the critical section
+}
+
+} // namespace molcache

@@ -1,0 +1,20 @@
+// Positive fixture for `naked-mutex`: raw standard-library
+// synchronization primitives outside src/util/sync.hpp.  These are
+// invisible to Clang Thread Safety Analysis; the annotated mc::Mutex /
+// mc::MutexLock / mc::CondVar wrappers are the sanctioned vocabulary.
+#include <condition_variable>
+#include <mutex>
+
+namespace molcache {
+
+std::mutex g_bad_mutex;           // finding: raw std::mutex
+std::condition_variable g_bad_cv; // finding: raw std::condition_variable
+
+int
+badCriticalSection(int x)
+{
+    std::lock_guard<std::mutex> lock(g_bad_mutex); // finding: lock_guard
+    return x + 1;
+}
+
+} // namespace molcache

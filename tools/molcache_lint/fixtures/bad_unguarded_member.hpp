@@ -1,0 +1,26 @@
+// Positive fixture for `unguarded-member`: a class that declares an
+// mc::Mutex but leaves mutable trailing-underscore members without a
+// MOLCACHE_GUARDED_BY annotation and without the
+// `// lint: unguarded(<why>)` escape tag.
+#ifndef FIXTURE_BAD_UNGUARDED_MEMBER_HPP
+#define FIXTURE_BAD_UNGUARDED_MEMBER_HPP
+
+#include "util/sync.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+
+class BadCounters
+{
+  public:
+    void bump();
+
+  private:
+    mc::Mutex mutex_;
+    u64 hits_ = 0;      // finding: which mutex guards this?
+    double rate_ = 0.0; // finding: and this?
+};
+
+} // namespace molcache
+
+#endif // FIXTURE_BAD_UNGUARDED_MEMBER_HPP

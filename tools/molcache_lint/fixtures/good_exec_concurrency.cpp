@@ -1,0 +1,44 @@
+// Negative fixture for the concurrency rule family: the blessed idioms
+// that must NOT trigger findings — annotated wrappers instead of raw
+// primitives, explicit memory orders on every atomic op, callbacks
+// invoked outside the critical section (or inside with the documented
+// allow tag), and no raw/detached threads.
+#include <atomic>
+#include <functional>
+
+#include "util/sync.hpp"
+
+namespace molcache {
+
+struct GoodProgress
+{
+    mc::Mutex mutex;
+    unsigned long done = 0;
+};
+
+void
+goodNotify(GoodProgress &p, std::atomic<unsigned long> &pending,
+           const std::function<void(unsigned long)> &callback)
+{
+    unsigned long snapshot = 0;
+    {
+        mc::MutexLock lock(p.mutex);
+        snapshot = ++p.done;
+    }
+    callback(snapshot); // the lock scope closed above: no finding
+    pending.fetch_sub(1, std::memory_order_acq_rel);
+    pending.store(0, std::memory_order_release);
+    (void)pending.load(std::memory_order_acquire);
+}
+
+void
+goodSerializedNotify(GoodProgress &p,
+                     const std::function<void(unsigned long)> &callback)
+{
+    mc::MutexLock lock(p.mutex);
+    // lint: allow(lock-across-call): serialization is this helper's
+    // documented contract; the callback cannot re-enter.
+    callback(++p.done);
+}
+
+} // namespace molcache

@@ -1,0 +1,32 @@
+// Negative fixture for `unguarded-member`: a mutex-holding class whose
+// every member is either TSA-annotated, self-describing (atomic, const,
+// the sync primitives themselves), or explicitly tagged with the
+// `// lint: unguarded(<why>)` escape hatch.
+#ifndef FIXTURE_GOOD_UNGUARDED_MEMBER_HPP
+#define FIXTURE_GOOD_UNGUARDED_MEMBER_HPP
+
+#include <atomic>
+
+#include "util/sync.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+
+class GoodCounters
+{
+  public:
+    void bump();
+
+  private:
+    mc::Mutex mutex_;
+    mc::CondVar changed_;
+    u64 hits_ MOLCACHE_GUARDED_BY(mutex_) = 0;
+    std::atomic<u64> fastHits_{0};
+    // lint: unguarded(written once during construction, read-only after)
+    u64 capacity_ = 0;
+    const u64 limit_ = 8;
+};
+
+} // namespace molcache
+
+#endif // FIXTURE_GOOD_UNGUARDED_MEMBER_HPP

@@ -5,6 +5,13 @@
  * and fast: it strips comments and string literals, then applies one
  * regex-driven checker per rule.
  *
+ * Every rule lives in kRules[] — one registry row carrying the rule
+ * name, its checker, and the positive fixture that must trigger it.
+ * The production scan and the --self-test walk the SAME table, so a
+ * rule cannot be registered without a fixture (the self-test fails) and
+ * a fixture cannot drift away from its rule (the expectation is the
+ * registry row itself).
+ *
  * Rules (docs/static_analysis.md has the rationale for each):
  *
  *  - naked-rand:        rand()/srand()/rand_r() outside src/util/random --
@@ -37,17 +44,38 @@
  *                       above the declaration.
  *  - deprecated-run:    positional-argument calls to Simulator::run,
  *                       runWorkload or deriveGoalsFromSolo -- the
- *                       [[deprecated]] forwarders exist only for staged
- *                       migration; new code must pass RunOptions.  The
- *                       compiler enforces this wherever MOLCACHE_WERROR
- *                       is on; the lint catches it in one pass without a
- *                       build.
+ *                       positional overloads were removed; new code must
+ *                       pass RunOptions.
+ *  - naked-mutex:       raw std::mutex/condition_variable/lock_guard/
+ *                       unique_lock/scoped_lock in src/ outside
+ *                       src/util/sync.hpp -- unannotated primitives are
+ *                       invisible to Clang Thread Safety Analysis; use
+ *                       mc::Mutex/mc::MutexLock/mc::CondVar.
+ *  - unguarded-member:  a header class declaring an mc::Mutex whose
+ *                       trailing-underscore data members carry neither a
+ *                       MOLCACHE_GUARDED_BY annotation nor an explicit
+ *                       `// lint: unguarded(<why>)` tag.
+ *  - atomic-order:      bare std::atomic load/store/fetch/exchange calls
+ *                       without an explicit std::memory_order argument in
+ *                       src/ -- implicit seq_cst hides the intended
+ *                       ordering contract (and its cost) from review.
+ *  - detached-thread:   .detach() anywhere in src/, and raw std::thread
+ *                       construction outside the worker pool
+ *                       (src/exec/thread_pool.*) -- detached threads
+ *                       outlive scope unjoinably and break the
+ *                       deterministic shutdown story.
+ *  - lock-across-call:  holding an mc::MutexLock across a user-callback
+ *                       invocation in src/exec/ -- callbacks can run for
+ *                       seconds or re-enter the caller; opt out with
+ *                       `// lint: allow(lock-across-call): <why>` when
+ *                       serialization is the documented contract.
  *
  * Usage:
- *   molcache_lint --root <repo-root>              lint the tree
- *   molcache_lint --root <repo-root> --self-test  run against the bundled
- *                                                 fixtures and verify the
- *                                                 expected findings
+ *   molcache_lint --root <repo-root>               lint the tree
+ *   molcache_lint --root <repo-root> --sarif p.sarif  ... and write SARIF
+ *   molcache_lint --root <repo-root> --self-test   run against the bundled
+ *                                                  fixtures and verify the
+ *                                                  expected findings
  *
  * Exit status: 0 when clean (or the self-test expectations match), 1
  * otherwise.
@@ -193,6 +221,12 @@ struct SourceFile
     std::string codeStr; // comments blanked, string contents kept
 };
 
+/** Cross-rule inputs a checker may need (today: the config-key registry). */
+struct Context
+{
+    std::vector<std::string> registryKeys;
+};
+
 /* ------------------------------------------------------------------ */
 /* Config-key registry                                                 */
 
@@ -229,7 +263,7 @@ registryCovers(const std::vector<std::string> &keys, const std::string &key)
 }
 
 /* ------------------------------------------------------------------ */
-/* Rules                                                               */
+/* Shared helpers                                                      */
 
 bool
 startsWith(const std::string &s, const std::string &prefix)
@@ -237,74 +271,20 @@ startsWith(const std::string &s, const std::string &prefix)
     return s.compare(0, prefix.size(), prefix) == 0;
 }
 
-void
-checkNakedRand(const SourceFile &f)
-{
-    if (startsWith(f.rel, "src/util/random"))
-        return;
-    static const std::regex rx(R"((^|[^\w:.>])(std\s*::\s*)?(rand|srand|rand_r)\s*\()");
-    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
-         it != std::sregex_iterator(); ++it) {
-        report("naked-rand", f.rel, lineOf(f.code, static_cast<size_t>(it->position(3))),
-               "use util/random.hpp (seeded, reproducible) instead of " +
-                   (*it)[3].str() + "()");
-    }
-}
-
-void
-checkConfigKeys(const SourceFile &f, const std::vector<std::string> &keys)
-{
-    // Tests construct synthetic configs with throwaway keys; the registry
-    // governs production readers (src/, bench/, examples/) only.
-    if (startsWith(f.rel, "tests/"))
-        return;
-    static const std::regex rx(
-        R"rx(\b(?:cfg|config)\s*\.\s*(?:get(?:String|Int|Double|Bool|Size)|has)\s*\(\s*"([^"]+)")rx");
-    for (auto it =
-             std::sregex_iterator(f.codeStr.begin(), f.codeStr.end(), rx);
-         it != std::sregex_iterator(); ++it) {
-        const std::string key = (*it)[1].str();
-        if (!registryCovers(keys, key))
-            report("config-key", f.rel,
-                   lineOf(f.codeStr, static_cast<size_t>(it->position(1))),
-                   "config key \"" + key +
-                       "\" is not registered in src/util/config_keys.cpp");
-    }
-}
-
-void
-checkRawIdParams(const SourceFile &f)
-{
-    if (!startsWith(f.rel, "src/core/") || f.rel.find(".hpp") == std::string::npos)
-        return;
-    // A raw integral parameter whose name says it is an identifier.
-    static const std::regex rx(
-        R"(\b(u8|u16|u32|u64|int|unsigned|size_t|uint16_t|uint32_t|uint64_t)\s+(\w+)\s*[,)=])");
-    static const std::regex idName(
-        R"(^(asid|tile|cluster|molecule|mol|row|id)$|(Id|Asid)$)");
-    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
-         it != std::sregex_iterator(); ++it) {
-        const std::string name = (*it)[2].str();
-        if (std::regex_search(name, idName))
-            report("raw-id-param", f.rel,
-                   lineOf(f.code, static_cast<size_t>(it->position(2))),
-                   "parameter '" + name + "' is a raw " + (*it)[1].str() +
-                       "; use the strong id type");
-    }
-}
-
-/** True when any of raw lines [line-3, line] carries the allow tag. */
+/**
+ * True when any of raw lines [line-span, line] contains @p tag (the
+ * escape-hatch comments live in the raw text; code is stripped).
+ */
 bool
-hasAllowMapTag(const std::string &raw, int line)
+hasTagNear(const std::string &raw, int line, int span,
+           const std::string &tag)
 {
     int current = 1;
     size_t start = 0;
     for (size_t i = 0; i <= raw.size(); ++i) {
         if (i == raw.size() || raw[i] == '\n') {
-            if (current >= line - 3 && current <= line &&
-                raw.substr(start, i - start)
-                        .find("molcache-lint: allow-map") !=
-                    std::string::npos)
+            if (current >= line - span && current <= line &&
+                raw.substr(start, i - start).find(tag) != std::string::npos)
                 return true;
             if (current > line)
                 break;
@@ -313,60 +293,6 @@ hasAllowMapTag(const std::string &raw, int line)
         }
     }
     return false;
-}
-
-void
-checkHotPathMap(const SourceFile &f)
-{
-    if (!startsWith(f.rel, "src/core/") ||
-        f.rel.find(".hpp") == std::string::npos)
-        return;
-    // A node-based map data member (trailing-underscore naming) in a
-    // core header: every class here sits on or near the access hot
-    // path, where node maps cost a pointer chase per access
-    // (docs/perf.md).  Genuinely sparse state (e.g. the per-line
-    // coherence directory) opts out with the allow tag.
-    static const std::regex rx(
-        R"(\bstd\s*::\s*(unordered_)?map\s*<[^;{}()]*>\s+\w+_\s*(\{\s*\})?\s*;)");
-    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
-         it != std::sregex_iterator(); ++it) {
-        const int line =
-            lineOf(f.code, static_cast<size_t>(it->position(0)));
-        if (hasAllowMapTag(f.raw, line))
-            continue;
-        report("hot-path-map", f.rel, line,
-               "node-based map member in a hot-path class; use a "
-               "dense/flat structure (docs/perf.md) or annotate the "
-               "declaration with 'molcache-lint: allow-map'");
-    }
-}
-
-void
-checkTransposedIds(const SourceFile &f)
-{
-    // Every signature in this repo orders molecule before tile;
-    // the reversed adjacency is a transposed call.
-    static const std::regex rx(
-        R"(TileId\{[^{}]*\}\s*,\s*(\w+\s*::\s*)*MoleculeId\{)");
-    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
-         it != std::sregex_iterator(); ++it)
-        report("transposed-ids", f.rel,
-               lineOf(f.code, static_cast<size_t>(it->position(0))),
-               "(TileId, MoleculeId) argument pair is transposed; this "
-               "repo orders molecule before tile");
-}
-
-void
-checkNoAssert(const SourceFile &f)
-{
-    if (!startsWith(f.rel, "src/") || startsWith(f.rel, "src/contract/"))
-        return;
-    static const std::regex rx(R"((^|[^\w.:])assert\s*\()");
-    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
-         it != std::sregex_iterator(); ++it)
-        report("no-assert", f.rel,
-               lineOf(f.code, static_cast<size_t>(it->position(0)) + 1),
-               "use MOLCACHE_EXPECT/ENSURE/INVARIANT instead of assert()");
 }
 
 /**
@@ -414,8 +340,121 @@ looksNumeric(const std::string &arg)
     return std::regex_search(arg, rx);
 }
 
+/* ------------------------------------------------------------------ */
+/* Rules                                                               */
+
 void
-checkDeprecatedRun(const SourceFile &f)
+checkNakedRand(const SourceFile &f, const Context &)
+{
+    if (startsWith(f.rel, "src/util/random"))
+        return;
+    static const std::regex rx(R"((^|[^\w:.>])(std\s*::\s*)?(rand|srand|rand_r)\s*\()");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it) {
+        report("naked-rand", f.rel, lineOf(f.code, static_cast<size_t>(it->position(3))),
+               "use util/random.hpp (seeded, reproducible) instead of " +
+                   (*it)[3].str() + "()");
+    }
+}
+
+void
+checkConfigKeys(const SourceFile &f, const Context &ctx)
+{
+    // Tests construct synthetic configs with throwaway keys; the registry
+    // governs production readers (src/, bench/, examples/) only.
+    if (startsWith(f.rel, "tests/"))
+        return;
+    static const std::regex rx(
+        R"rx(\b(?:cfg|config)\s*\.\s*(?:get(?:String|Int|Double|Bool|Size)|has)\s*\(\s*"([^"]+)")rx");
+    for (auto it =
+             std::sregex_iterator(f.codeStr.begin(), f.codeStr.end(), rx);
+         it != std::sregex_iterator(); ++it) {
+        const std::string key = (*it)[1].str();
+        if (!registryCovers(ctx.registryKeys, key))
+            report("config-key", f.rel,
+                   lineOf(f.codeStr, static_cast<size_t>(it->position(1))),
+                   "config key \"" + key +
+                       "\" is not registered in src/util/config_keys.cpp");
+    }
+}
+
+void
+checkRawIdParams(const SourceFile &f, const Context &)
+{
+    if (!startsWith(f.rel, "src/core/") || f.rel.find(".hpp") == std::string::npos)
+        return;
+    // A raw integral parameter whose name says it is an identifier.
+    static const std::regex rx(
+        R"(\b(u8|u16|u32|u64|int|unsigned|size_t|uint16_t|uint32_t|uint64_t)\s+(\w+)\s*[,)=])");
+    static const std::regex idName(
+        R"(^(asid|tile|cluster|molecule|mol|row|id)$|(Id|Asid)$)");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[2].str();
+        if (std::regex_search(name, idName))
+            report("raw-id-param", f.rel,
+                   lineOf(f.code, static_cast<size_t>(it->position(2))),
+                   "parameter '" + name + "' is a raw " + (*it)[1].str() +
+                       "; use the strong id type");
+    }
+}
+
+void
+checkHotPathMap(const SourceFile &f, const Context &)
+{
+    if (!startsWith(f.rel, "src/core/") ||
+        f.rel.find(".hpp") == std::string::npos)
+        return;
+    // A node-based map data member (trailing-underscore naming) in a
+    // core header: every class here sits on or near the access hot
+    // path, where node maps cost a pointer chase per access
+    // (docs/perf.md).  Genuinely sparse state (e.g. the per-line
+    // coherence directory) opts out with the allow tag.
+    static const std::regex rx(
+        R"(\bstd\s*::\s*(unordered_)?map\s*<[^;{}()]*>\s+\w+_\s*(\{\s*\})?\s*;)");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it) {
+        const int line =
+            lineOf(f.code, static_cast<size_t>(it->position(0)));
+        if (hasTagNear(f.raw, line, 3, "molcache-lint: allow-map"))
+            continue;
+        report("hot-path-map", f.rel, line,
+               "node-based map member in a hot-path class; use a "
+               "dense/flat structure (docs/perf.md) or annotate the "
+               "declaration with 'molcache-lint: allow-map'");
+    }
+}
+
+void
+checkTransposedIds(const SourceFile &f, const Context &)
+{
+    // Every signature in this repo orders molecule before tile;
+    // the reversed adjacency is a transposed call.
+    static const std::regex rx(
+        R"(TileId\{[^{}]*\}\s*,\s*(\w+\s*::\s*)*MoleculeId\{)");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it)
+        report("transposed-ids", f.rel,
+               lineOf(f.code, static_cast<size_t>(it->position(0))),
+               "(TileId, MoleculeId) argument pair is transposed; this "
+               "repo orders molecule before tile");
+}
+
+void
+checkNoAssert(const SourceFile &f, const Context &)
+{
+    if (!startsWith(f.rel, "src/") || startsWith(f.rel, "src/contract/"))
+        return;
+    static const std::regex rx(R"((^|[^\w.:])assert\s*\()");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it)
+        report("no-assert", f.rel,
+               lineOf(f.code, static_cast<size_t>(it->position(0)) + 1),
+               "use MOLCACHE_EXPECT/ENSURE/INVARIANT instead of assert()");
+}
+
+void
+checkDeprecatedRun(const SourceFile &f, const Context &)
 {
     // The positional overloads were [[deprecated]] for one release and
     // then deleted; the rule now also covers src/sim/ so neither the
@@ -476,7 +515,7 @@ checkDeprecatedRun(const SourceFile &f)
 }
 
 void
-checkIncludeHygiene(const SourceFile &f)
+checkIncludeHygiene(const SourceFile &f, const Context &)
 {
     static const std::regex rx(R"rx(#\s*include\s*([<"])([^">]+)[">])rx");
     std::set<std::string> seen;
@@ -499,6 +538,296 @@ checkIncludeHygiene(const SourceFile &f)
             report("include-hygiene", f.rel, line,
                    "<" + header + "> in src/; contracts replace assert()");
     }
+}
+
+/* --------------------- concurrency rule family -------------------- */
+
+void
+checkNakedMutex(const SourceFile &f, const Context &)
+{
+    // The annotated wrappers are the only sanctioned vocabulary: a raw
+    // primitive is invisible to Clang Thread Safety Analysis, so it
+    // punches an unchecked hole in the lock discipline.  sync.hpp is
+    // the one place allowed to touch the std types.
+    if (!startsWith(f.rel, "src/") || f.rel == "src/util/sync.hpp")
+        return;
+    static const std::regex rx(
+        R"(\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|scoped_lock|shared_lock)\b)");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it)
+        report("naked-mutex", f.rel,
+               lineOf(f.code, static_cast<size_t>(it->position(0))),
+               "raw std::" + (*it)[1].str() +
+                   " outside src/util/sync.hpp; use the annotated "
+                   "mc::Mutex/mc::MutexLock/mc::CondVar wrappers");
+}
+
+void
+checkUnguardedMember(const SourceFile &f, const Context &)
+{
+    // Heuristic, header-granular: a header that declares an mc::Mutex
+    // member must say, for every trailing-underscore data member, which
+    // mutex guards it (MOLCACHE_GUARDED_BY/MOLCACHE_PT_GUARDED_BY) or
+    // why none does (`// lint: unguarded(<why>)` on or just above the
+    // declaration).  std::atomic, const/static and the sync primitives
+    // themselves are self-describing and exempt.
+    if (!startsWith(f.rel, "src/") || f.rel == "src/util/sync.hpp" ||
+        f.rel.find(".hpp") == std::string::npos)
+        return;
+    static const std::regex trigger(R"(\bmc\s*::\s*Mutex\s+\w+\s*;)");
+    if (!std::regex_search(f.code, trigger))
+        return;
+    // One data-member declaration: type tokens, the member_ name, an
+    // optional TSA annotation, an optional initializer, ';'.
+    static const std::regex member(
+        R"(\n\s*((?:[A-Za-z_][\w:]*\s*(?:<[^;{}]*>)?[\s*&]+)+)(\w+_)\s*((?:MOLCACHE_\w+\s*\([^()]*\)\s*)*)(=[^;{}]*|\{[^;{}]*\})?\s*;)");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), member);
+         it != std::sregex_iterator(); ++it) {
+        const std::string type = (*it)[1].str();
+        const std::string annotations = (*it)[3].str();
+        if (annotations.find("GUARDED_BY") != std::string::npos)
+            continue;
+        // `return member_;` and friends parse like a declaration whose
+        // "type" is the keyword; they are statements, not members.
+        static const std::regex stmtKeyword(
+            R"(^\s*(return|delete|throw|new|else|case|goto|co_return|co_yield|co_await)\b)");
+        if (std::regex_search(type, stmtKeyword))
+            continue;
+        if (type.find("Mutex") != std::string::npos ||
+            type.find("CondVar") != std::string::npos ||
+            type.find("atomic") != std::string::npos ||
+            type.find("const ") != std::string::npos ||
+            type.find("static ") != std::string::npos ||
+            type.find("using ") != std::string::npos ||
+            type.find("typedef ") != std::string::npos)
+            continue;
+        const int line =
+            lineOf(f.code, static_cast<size_t>(it->position(2)));
+        if (hasTagNear(f.raw, line, 2, "lint: unguarded("))
+            continue;
+        report("unguarded-member", f.rel, line,
+               "member '" + (*it)[2].str() +
+                   "' in a mutex-holding class has no "
+                   "MOLCACHE_GUARDED_BY; annotate it or tag the "
+                   "declaration '// lint: unguarded(<why>)'");
+    }
+}
+
+void
+checkAtomicOrder(const SourceFile &f, const Context &)
+{
+    // Implicit seq_cst is almost never the intended contract on the
+    // simulator's control planes; spelling the order out documents the
+    // required synchronization (and its cost) at every site.
+    if (!startsWith(f.rel, "src/"))
+        return;
+    static const std::regex rx(
+        R"(\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*(\())");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
+         it != std::sregex_iterator(); ++it) {
+        const size_t open = static_cast<size_t>(it->position(2));
+        bool ordered = false;
+        for (const std::string &arg : splitArgs(f.code, open))
+            if (arg.find("memory_order") != std::string::npos)
+                ordered = true;
+        if (!ordered)
+            report("atomic-order", f.rel,
+                   lineOf(f.code, static_cast<size_t>(it->position(1))),
+                   "atomic ." + (*it)[1].str() +
+                       "() without an explicit std::memory_order "
+                       "argument; spell the ordering out");
+    }
+}
+
+void
+checkDetachedThread(const SourceFile &f, const Context &)
+{
+    // Detached threads outlive every scope unjoinably; raw threads
+    // outside the pool dodge its shutdown/error discipline.  The only
+    // sanctioned spawn point is the worker pool itself.
+    if (!startsWith(f.rel, "src/"))
+        return;
+    static const std::regex detach(R"(\.\s*detach\s*\(\s*\))");
+    for (auto it =
+             std::sregex_iterator(f.code.begin(), f.code.end(), detach);
+         it != std::sregex_iterator(); ++it)
+        report("detached-thread", f.rel,
+               lineOf(f.code, static_cast<size_t>(it->position(0))),
+               ".detach() is banned; threads must stay joinable (pool "
+               "ownership, deterministic shutdown)");
+    if (startsWith(f.rel, "src/exec/thread_pool"))
+        return;
+    static const std::regex rawThread(R"(\bstd\s*::\s*j?thread\b)");
+    for (auto it =
+             std::sregex_iterator(f.code.begin(), f.code.end(), rawThread);
+         it != std::sregex_iterator(); ++it)
+        report("detached-thread", f.rel,
+               lineOf(f.code, static_cast<size_t>(it->position(0))),
+               "raw std::thread outside src/exec/thread_pool.*; run work "
+               "through WorkStealingPool");
+}
+
+void
+checkLockAcrossCall(const SourceFile &f, const Context &)
+{
+    // Exec code must not invoke a user callback (sweep bodies, progress
+    // hooks, inspectors) while holding a lock: the callback can run for
+    // seconds or call back into the locked object.  When serialization
+    // IS the documented contract, opt out with
+    // `// lint: allow(lock-across-call): <why>` on or just above the
+    // invocation.
+    if (!startsWith(f.rel, "src/exec/"))
+        return;
+    static const std::regex lockDecl(R"(\bMutexLock\s+\w+\s*\()");
+    static const std::regex call(
+        R"((\(\s*\*\s*\w+\s*\)\s*\()|(\b(body|progress|callback|inspect|hook|handler)\w*\s*\()|(\.\s*(progress|inspect|callback|hook|handler)\w*\s*\())");
+    for (auto it =
+             std::sregex_iterator(f.code.begin(), f.code.end(), lockDecl);
+         it != std::sregex_iterator(); ++it) {
+        // The lock is scope-shaped (MutexLock has no unlock()), so it is
+        // held from the declaration to the end of the enclosing block.
+        const size_t from = static_cast<size_t>(it->position(0));
+        size_t end = f.code.size();
+        int depth = 0;
+        for (size_t i = from; i < f.code.size(); ++i) {
+            if (f.code[i] == '{') {
+                ++depth;
+            } else if (f.code[i] == '}') {
+                if (--depth < 0) {
+                    end = i;
+                    break;
+                }
+            }
+        }
+        const std::string span = f.code.substr(from, end - from);
+        for (auto c = std::sregex_iterator(span.begin(), span.end(), call);
+             c != std::sregex_iterator(); ++c) {
+            const int line = lineOf(
+                f.code, from + static_cast<size_t>(c->position(0)));
+            if (hasTagNear(f.raw, line, 4, "lint: allow(lock-across-call)"))
+                continue;
+            report("lock-across-call", f.rel, line,
+                   "callback invoked while an mc::MutexLock is held; "
+                   "copy the state out and call after the scope closes, "
+                   "or tag '// lint: allow(lock-across-call): <why>'");
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Rule registry                                                       */
+
+/**
+ * One row per rule: the registry drives BOTH the production scan and
+ * the self-test, so there is exactly one list to extend and a new rule
+ * without a positive fixture fails --self-test by construction.
+ */
+struct Rule
+{
+    const char *name;
+    /** Fixture (tools/molcache_lint/fixtures/) that must trigger it. */
+    const char *fixture;
+    void (*check)(const SourceFile &, const Context &);
+};
+
+const Rule kRules[] = {
+    {"naked-rand", "bad_rand.cpp", checkNakedRand},
+    {"config-key", "bad_config_key.cpp", checkConfigKeys},
+    {"raw-id-param", "bad_core_api.hpp", checkRawIdParams},
+    {"hot-path-map", "bad_core_map.hpp", checkHotPathMap},
+    {"transposed-ids", "bad_transposed.cpp", checkTransposedIds},
+    {"no-assert", "bad_include.cpp", checkNoAssert},
+    {"deprecated-run", "bad_deprecated_run.cpp", checkDeprecatedRun},
+    {"include-hygiene", "bad_include.cpp", checkIncludeHygiene},
+    {"naked-mutex", "bad_naked_mutex.cpp", checkNakedMutex},
+    {"unguarded-member", "bad_unguarded_member.hpp", checkUnguardedMember},
+    {"atomic-order", "bad_atomic_order.cpp", checkAtomicOrder},
+    {"detached-thread", "bad_detached_thread.cpp", checkDetachedThread},
+    {"lock-across-call", "bad_exec_lock_across_call.cpp",
+     checkLockAcrossCall},
+};
+
+void
+runAllRules(const SourceFile &f, const Context &ctx)
+{
+    for (const Rule &rule : kRules)
+        rule.check(f, ctx);
+}
+
+/* ------------------------------------------------------------------ */
+/* SARIF                                                               */
+
+void
+sarifEscape(std::string &out, const std::string &s)
+{
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+/**
+ * Write the findings as a SARIF 2.1.0 document so the CI lint job can
+ * upload them to GitHub code scanning and findings annotate the PR diff.
+ */
+bool
+writeSarif(const fs::path &path, const std::vector<Finding> &findings)
+{
+    std::string doc;
+    doc += "{\n"
+           "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+           "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+           "  \"version\": \"2.1.0\",\n"
+           "  \"runs\": [{\n"
+           "    \"tool\": {\"driver\": {\n"
+           "      \"name\": \"molcache_lint\",\n"
+           "      \"informationUri\": "
+           "\"docs/static_analysis.md\",\n"
+           "      \"rules\": [";
+    bool first = true;
+    for (const Rule &rule : kRules) {
+        if (!first)
+            doc += ", ";
+        first = false;
+        doc += "{\"id\": \"";
+        doc += rule.name;
+        doc += "\"}";
+    }
+    doc += "]\n    }},\n    \"results\": [";
+    first = true;
+    for (const Finding &f : findings) {
+        if (!first)
+            doc += ",";
+        first = false;
+        doc += "\n      {\"ruleId\": \"";
+        sarifEscape(doc, f.rule);
+        doc += "\", \"level\": \"error\", \"message\": {\"text\": \"";
+        sarifEscape(doc, f.message);
+        doc += "\"}, \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \"";
+        sarifEscape(doc, f.file);
+        doc += "\"}, \"region\": {\"startLine\": ";
+        doc += std::to_string(f.line > 0 ? f.line : 1);
+        doc += "}}}]}";
+    }
+    doc += "\n    ]\n  }]\n}\n";
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << doc;
+    return out.good();
 }
 
 /* ------------------------------------------------------------------ */
@@ -527,31 +856,23 @@ collect(const fs::path &root, const std::vector<std::string> &subdirs)
     return files;
 }
 
-void
-lintFile(const fs::path &root, const fs::path &path,
-         const std::vector<std::string> &registry)
+SourceFile
+loadFile(const fs::path &path, const std::string &rel)
 {
     SourceFile f;
-    f.rel = fs::relative(path, root).generic_string();
+    f.rel = rel;
     f.raw = readFile(path);
     f.code = stripCommentsAndStrings(f.raw, false);
     f.codeStr = stripCommentsAndStrings(f.raw, true);
-    checkNakedRand(f);
-    checkConfigKeys(f, registry);
-    checkRawIdParams(f);
-    checkHotPathMap(f);
-    checkTransposedIds(f);
-    checkNoAssert(f);
-    checkDeprecatedRun(f);
-    checkIncludeHygiene(f);
+    return f;
 }
 
 int
-runTree(const fs::path &root)
+runTree(const fs::path &root, const fs::path &sarifPath)
 {
-    const std::vector<std::string> registry =
-        parseRegistry(root / "src/util/config_keys.cpp");
-    if (registry.empty()) {
+    Context ctx;
+    ctx.registryKeys = parseRegistry(root / "src/util/config_keys.cpp");
+    if (ctx.registryKeys.empty()) {
         std::fprintf(stderr,
                      "molcache_lint: failed to parse the config-key "
                      "registry at %s\n",
@@ -560,10 +881,16 @@ runTree(const fs::path &root)
     }
     for (const fs::path &p :
          collect(root, {"src", "tests", "bench", "examples"}))
-        lintFile(root, p, registry);
+        runAllRules(loadFile(p, fs::relative(p, root).generic_string()),
+                    ctx);
     for (const Finding &f : g_findings)
         std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
                      f.rule.c_str(), f.message.c_str());
+    if (!sarifPath.empty() && !writeSarif(sarifPath, g_findings)) {
+        std::fprintf(stderr, "molcache_lint: cannot write SARIF to %s\n",
+                     sarifPath.c_str());
+        return 1;
+    }
     if (g_findings.empty()) {
         std::printf("molcache_lint: clean\n");
         return 0;
@@ -574,20 +901,31 @@ runTree(const fs::path &root)
 }
 
 /**
- * Self-test: lint the bundled fixtures and compare against the expected
- * rule/file pairs.  The negative fixtures (transposed ids, unregistered
- * config key, naked rand, ...) MUST each produce their finding; the clean
- * fixture must produce none.
+ * Self-test: lint the bundled fixtures and verify the registry's
+ * expectations — every registered rule (a) ships its positive fixture
+ * and (b) fires on it, while no rule fires on any good_* fixture.
+ * Registering a rule without a fixture is therefore a self-test
+ * failure, not silent coverage drift.
  */
 int
 runSelfTest(const fs::path &root)
 {
     const fs::path fixtures = root / "tools/molcache_lint/fixtures";
-    const std::vector<std::string> registry =
-        parseRegistry(root / "src/util/config_keys.cpp");
-    if (registry.empty() || !fs::exists(fixtures)) {
+    Context ctx;
+    ctx.registryKeys = parseRegistry(root / "src/util/config_keys.cpp");
+    if (ctx.registryKeys.empty() || !fs::exists(fixtures)) {
         std::fprintf(stderr, "molcache_lint: self-test setup missing\n");
         return 1;
+    }
+    int failures = 0;
+    for (const Rule &rule : kRules) {
+        if (!fs::exists(fixtures / rule.fixture)) {
+            std::fprintf(stderr,
+                         "self-test: rule '%s' has no fixture %s — every "
+                         "registered rule ships one\n",
+                         rule.name, rule.fixture);
+            ++failures;
+        }
     }
     std::vector<fs::path> files;
     for (const auto &e : fs::recursive_directory_iterator(fixtures))
@@ -595,53 +933,34 @@ runSelfTest(const fs::path &root)
             files.push_back(e.path());
     std::sort(files.begin(), files.end());
     for (const fs::path &p : files) {
-        // Fixtures mimic tree files: bad_core_*.hpp fixtures play
-        // src/core headers, everything else a src/ translation unit.
-        SourceFile f;
+        // Fixtures mimic tree files: *core* fixtures play src/core
+        // headers, *exec* fixtures src/exec translation units,
+        // everything else a generic src/ file — so path-scoped rules
+        // see the paths they police.
         const std::string name = p.filename().string();
-        f.rel = (name.find("core") != std::string::npos
-                     ? "src/core/" + name
-                     : "src/fixture/" + name);
-        f.raw = readFile(p);
-        f.code = stripCommentsAndStrings(f.raw, false);
-        f.codeStr = stripCommentsAndStrings(f.raw, true);
-        checkNakedRand(f);
-        checkConfigKeys(f, registry);
-        checkRawIdParams(f);
-        checkHotPathMap(f);
-        checkTransposedIds(f);
-        checkNoAssert(f);
-        checkDeprecatedRun(f);
-        checkIncludeHygiene(f);
+        std::string rel = "src/fixture/" + name;
+        if (name.find("core") != std::string::npos)
+            rel = "src/core/" + name;
+        else if (name.find("exec") != std::string::npos)
+            rel = "src/exec/" + name;
+        runAllRules(loadFile(p, rel), ctx);
     }
 
-    // rule -> fixture file expected to trigger it.
-    const std::vector<std::pair<std::string, std::string>> expected = {
-        {"naked-rand", "bad_rand.cpp"},
-        {"config-key", "bad_config_key.cpp"},
-        {"raw-id-param", "bad_core_api.hpp"},
-        {"hot-path-map", "bad_core_map.hpp"},
-        {"transposed-ids", "bad_transposed.cpp"},
-        {"no-assert", "bad_include.cpp"},
-        {"deprecated-run", "bad_deprecated_run.cpp"},
-        {"include-hygiene", "bad_include.cpp"},
-    };
-    int failures = 0;
-    for (const auto &[rule, file] : expected) {
+    for (const Rule &rule : kRules) {
         const bool hit = std::any_of(
             g_findings.begin(), g_findings.end(), [&](const Finding &f) {
-                return f.rule == rule &&
-                       f.file.find(file) != std::string::npos;
+                return f.rule == rule.name &&
+                       f.file.find(rule.fixture) != std::string::npos;
             });
         if (!hit) {
             std::fprintf(stderr,
                          "self-test: rule '%s' did NOT fire on %s\n",
-                         rule.c_str(), file.c_str());
+                         rule.name, rule.fixture);
             ++failures;
         }
     }
     for (const Finding &f : g_findings) {
-        if (f.file.find("good_clean") != std::string::npos) {
+        if (f.file.find("good_") != std::string::npos) {
             std::fprintf(stderr,
                          "self-test: clean fixture flagged: %s:%d [%s]\n",
                          f.file.c_str(), f.line, f.rule.c_str());
@@ -649,9 +968,9 @@ runSelfTest(const fs::path &root)
         }
     }
     if (failures == 0) {
-        std::printf("molcache_lint self-test: %zu finding(s), all "
-                    "expectations met\n",
-                    g_findings.size());
+        std::printf("molcache_lint self-test: %zu finding(s) across %zu "
+                    "rules, all expectations met\n",
+                    g_findings.size(), std::size(kRules));
         return 0;
     }
     return 1;
@@ -663,15 +982,19 @@ int
 main(int argc, char **argv)
 {
     fs::path root = ".";
+    fs::path sarif;
     bool selfTest = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--root" && i + 1 < argc) {
             root = argv[++i];
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            sarif = argv[++i];
         } else if (arg == "--self-test") {
             selfTest = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: molcache_lint [--root DIR] [--self-test]\n");
+            std::printf("usage: molcache_lint [--root DIR] "
+                        "[--sarif PATH] [--self-test]\n");
             return 0;
         } else {
             std::fprintf(stderr, "molcache_lint: unknown option '%s'\n",
@@ -679,5 +1002,5 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    return selfTest ? runSelfTest(root) : runTree(root);
+    return selfTest ? runSelfTest(root) : runTree(root, sarif);
 }

@@ -43,6 +43,7 @@
 #include "cache/set_assoc.hpp"
 #include "cache/way_partitioned.hpp"
 #include "core/molecular_cache.hpp"
+#include "core/sim_access.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/invariant_checker.hpp"
 #include "sim/experiment.hpp"
@@ -172,7 +173,7 @@ buildModel(const Config &cfg, const GoalSet &goals, size_t apps, u64 refs)
             // cache warms before faults land and has time to recover.
             const FaultScheduleSpec spec =
                 faultSpecFromConfig(cfg, refs / 4, refs / 4 * 3 + 1);
-            cache->setFaultInjector(FaultInjector::fromSpec(
+            SimAccess{*cache}.setFaultInjector(FaultInjector::fromSpec(
                 spec, p.totalMolecules(), p.moleculesPerTile,
                 p.linesPerMolecule()));
         }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/molecular_cache.hpp"
+#include "core/sim_access.hpp"
 #include "fault/invariant_checker.hpp"
 #include "sim/simulator.hpp"
 #include "util/units.hpp"
@@ -78,7 +79,7 @@ main()
     //    catches it on the next probe of the slot and treats it as a
     //    miss; a corrupt dirty line is data loss, never written back.
     const MoleculeId victim = cache.region(Asid{0}).rows()[0][0];
-    cache.injectTransientFlip(victim, 3);
+    SimAccess{cache}.injectTransientFlip(victim, 3);
     drive(cache, *source, 50'000);
     std::printf("transient flip into molecule %u: %llu detected, "
                 "%llu dirty lines lost\n", victim,
@@ -91,10 +92,10 @@ main()
     // 3. Hard faults: the first detection only counts (threshold 2), the
     //    second fences the molecule — its ASID gate never matches again
     //    and the owning region notes the capacity loss.
-    cache.injectHardFault(victim);
+    SimAccess{cache}.injectHardFault(victim);
     std::printf("hard fault #1 on molecule %u: decommissioned=%s\n", victim,
                 cache.molecule(victim).decommissioned() ? "yes" : "no");
-    cache.injectHardFault(victim);
+    SimAccess{cache}.injectHardFault(victim);
     std::printf("hard fault #2 on molecule %u: decommissioned=%s, "
                 "region0 lost %llu molecule(s)\n", victim,
                 cache.molecule(victim).decommissioned() ? "yes" : "no",
@@ -105,7 +106,7 @@ main()
     // 4. Whole-tile outage on app 1's home tile.  Everything on the tile
     //    is fenced at once; the region rebuilds from the cluster's other
     //    tiles on the following resize epochs.
-    cache.injectTileOutage(TileId{1});
+    SimAccess{cache}.injectTileOutage(TileId{1});
     std::printf("tile 1 outage: %u molecules decommissioned, "
                 "region1=%u molecules\n",
                 cache.decommissionedMolecules(), cache.region(Asid{1}).size());

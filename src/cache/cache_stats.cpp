@@ -47,6 +47,32 @@ CacheStats::forAsid(Asid asid) const
     return it == perAsid_.end() ? kZero : it->second;
 }
 
+void
+CacheStats::retire(Asid asid)
+{
+    const u32 v = asid.value();
+    const auto it = perAsid_.find(asid);
+    if (it != perAsid_.end()) {
+        perAsid_.erase(it);
+        if (v < denseIndex_.size())
+            denseIndex_[v] = nullptr;
+    }
+    // Bump the generation even when the tenant never recorded an
+    // access: the tag marks the reuse boundary of the ASID value, not
+    // of the counters, so (asid, generation) stays unique across
+    // recycling of completely idle tenants too.
+    if (generation_.size() <= v)
+        generation_.resize(v + 1u, 0u);
+    ++generation_[v];
+}
+
+u32
+CacheStats::generationOf(Asid asid) const
+{
+    const u32 v = asid.value();
+    return v < generation_.size() ? generation_[v] : 0u;
+}
+
 std::map<Asid, double>
 CacheStats::missRates() const
 {
@@ -62,6 +88,7 @@ CacheStats::reset()
     global_ = AccessCounters{};
     perAsid_.clear();
     denseIndex_.clear();
+    generation_.clear();
 }
 
 } // namespace molcache

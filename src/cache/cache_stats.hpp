@@ -62,6 +62,32 @@ class CacheStats
     /** All per-ASID counters. */
     const std::map<Asid, AccessCounters> &perAsid() const { return perAsid_; }
 
+    /**
+     * Forget @p asid's counters so the slot can be recycled for a new
+     * application under the same ASID value.  Long-running multi-tenant
+     * churn (molcached attach/detach cycles) reuses ASIDs; without
+     * retirement the per-ASID map — and every consumer iterating it —
+     * would grow with lifetime tenant count instead of live tenant
+     * count.  Bumps the slot's generation tag so telemetry snapshots
+     * taken before the retire can be told apart from the successor
+     * tenant's counters.  Global counters are untouched (lifetime
+     * totals survive tenant departure).  A never-seen ASID still gets
+     * its generation bumped — the tag marks ASID reuse, and idle
+     * tenants recycle ASIDs too.
+     */
+    void retire(Asid asid);
+
+    /**
+     * Times @p asid's counter slot has been retired (0 = never).  The
+     * pair (asid, generation) uniquely names one tenant's statistics
+     * across ASID reuse.
+     */
+    u32 generationOf(Asid asid) const;
+
+    /** Live per-ASID slots (bounded by live tenants once departures
+     * retire their slots — the churn regression tests pin this). */
+    u64 trackedAsids() const { return static_cast<u64>(perAsid_.size()); }
+
     void reset();
 
   private:
@@ -74,6 +100,9 @@ class CacheStats
     // the dense index can point at them.  molcache-lint: allow-map
     std::map<Asid, AccessCounters> perAsid_;
     std::vector<AccessCounters *> denseIndex_; // by asid value
+    // Retire count per asid value; sized lazily by retire(), so the
+    // common no-churn simulators never allocate it.
+    std::vector<u32> generation_;
 };
 
 } // namespace molcache

@@ -193,6 +193,30 @@ MolecularCache::unregisterApplication(Asid asid)
 }
 
 void
+MolecularCache::retireApplicationStats(Asid asid)
+{
+    // Deliberately not folded into unregisterApplication: migration
+    // unregisters + re-registers the same tenant and its counters must
+    // survive that round trip.  Only a caller recycling the ASID for a
+    // *different* tenant (the molcached drain path) retires the slot.
+    if (hasApplication(asid))
+        fatal("cannot retire stats of live ASID ", asid,
+              "; unregister it first");
+    stats_.retire(asid);
+}
+
+void
+MolecularCache::setResizeGoal(Asid asid, double resizeGoal)
+{
+    const auto it = regions_.find(asid);
+    if (it == regions_.end())
+        fatal("ASID ", asid, " is not registered");
+    if (resizeGoal <= 0.0 || resizeGoal > 1.0)
+        fatal("resize goal ", resizeGoal, " outside (0, 1]");
+    it->second.resizeGoal = resizeGoal;
+}
+
+void
 MolecularCache::migrateApplication(Asid asid, ClusterId cluster,
                                    u32 tileInCluster)
 {

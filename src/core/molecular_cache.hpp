@@ -65,23 +65,26 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
 
     bool hasApplication(Asid asid) const;
 
-    /** Remove the partition and free its molecules. */
+    /** Remove the partition and free its molecules.  Statistics for the
+     * ASID survive (migration re-registers under the same ASID); callers
+     * recycling the ASID for a *new* application follow up with
+     * retireApplicationStats(). */
     void unregisterApplication(Asid asid);
 
     /**
-     * Move an application's entry point to another tile (the paper's
-     * non-static processor-tile mapping, changed on a context switch).
-     * Within the same cluster the region's molecules stay in place (they
-     * become remote probes served via Ulmo and are re-acquired by the
-     * new home tile through normal resizing).  Across clusters the
-     * partition is rebuilt at the destination — regions are confined to
-     * one tile cluster, Ulmo's search domain — so cached contents are
-     * dropped (dirty lines written back).
-     *
-     * @param cluster       destination cluster
-     * @param tileInCluster  destination tile, cluster-local index
+     * Retire @p asid's statistics slot after unregisterApplication, so
+     * the ASID value can be recycled for a future tenant without the
+     * per-ASID stats map growing with lifetime tenant count
+     * (CacheStats::retire).  Fatal if the ASID is still registered —
+     * live regions must keep their counters.
      */
-    void migrateApplication(Asid asid, ClusterId cluster, u32 tileInCluster);
+    void retireApplicationStats(Asid asid);
+
+    /** Re-aim Algorithm 1: replace @p asid's miss-rate goal.  The next
+     * resize epochs steer the region toward the new goal through the
+     * usual grant/withdraw machinery (and guardian admission when
+     * enabled).  This is the molcached setGoal verb. */
+    void setResizeGoal(Asid asid, double resizeGoal);
 
     // CacheModel interface -------------------------------------------------
     AccessResult access(const MemAccess &access) override;
@@ -125,10 +128,6 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     u32 freeMolecules() const;
     u32 freeMoleculesInCluster(ClusterId cluster) const;
 
-    /** Configure a molecule's shared bit (it is probed by every request
-     * entering its tile, regardless of ASID — paper figure 3). */
-    void setSharedMolecule(MoleculeId id, bool shared);
-
     /**
      * Per-region capacity floor in molecules (guardian fairness guard):
      * withdrawals never take the region below it and lost capacity is
@@ -154,7 +153,49 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     /** Resize activity. */
     u64 resizeCycles() const { return resizeCycles_; }
 
-    // Fault injection & graceful degradation (docs/fault_model.md) -------
+    // Fault injection & graceful degradation (docs/fault_model.md).  The
+    // mutators live behind SimAccess (core/sim_access.hpp): they assume a
+    // single-threaded quiescent cache, so service-path code must not be
+    // able to reach them.  Read-only reporting stays public.
+    const FaultStats &faultStats() const { return faultStats_; }
+
+    /** Molecules permanently out of service across the whole cache. */
+    u32 decommissionedMolecules() const;
+
+    /** All registered ASIDs, ascending (introspection / audits). */
+    std::vector<Asid> registeredAsids() const;
+
+    /** Signature of the debug audit hook SimAccess can install. */
+    using AuditHook = std::function<void(const MolecularCache &)>;
+
+  private:
+    // Simulator-only single-threaded mutators, reachable through the
+    // SimAccess facade (core/sim_access.hpp) and nothing else.  Every
+    // one of them either rewires the cache mid-run (fault injection,
+    // audit hooks, shared bits) or tears a region down and rebuilds it
+    // (migration) — correct under the trace-replay harness, undefined
+    // under concurrent access from service worker threads.
+    friend class SimAccess;
+
+    /**
+     * Move an application's entry point to another tile (the paper's
+     * non-static processor-tile mapping, changed on a context switch).
+     * Within the same cluster the region's molecules stay in place (they
+     * become remote probes served via Ulmo and are re-acquired by the
+     * new home tile through normal resizing).  Across clusters the
+     * partition is rebuilt at the destination — regions are confined to
+     * one tile cluster, Ulmo's search domain — so cached contents are
+     * dropped (dirty lines written back).
+     *
+     * @param cluster       destination cluster
+     * @param tileInCluster  destination tile, cluster-local index
+     */
+    void migrateApplication(Asid asid, ClusterId cluster, u32 tileInCluster);
+
+    /** Configure a molecule's shared bit (it is probed by every request
+     * entering its tile, regardless of ASID — paper figure 3). */
+    void setSharedMolecule(MoleculeId id, bool shared);
+
     /** Install a deterministic fault schedule, driven off the access
      * tick; replaces any previous schedule. */
     void setFaultInjector(FaultInjector injector);
@@ -181,23 +222,13 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     /** Decommission every molecule of @p tile at once. */
     void injectTileOutage(TileId tile);
 
-    const FaultStats &faultStats() const { return faultStats_; }
-
-    /** Molecules permanently out of service across the whole cache. */
-    u32 decommissionedMolecules() const;
-
-    /** All registered ASIDs, ascending (introspection / audits). */
-    std::vector<Asid> registeredAsids() const;
-
     /**
      * Debug audit hook, invoked every @p everyAccesses accesses with the
      * cache in a quiescent state (e.g. InvariantChecker::attach installs
      * a cross-layer consistency audit here).  0 disables.
      */
-    using AuditHook = std::function<void(const MolecularCache &)>;
     void setAuditHook(Tick everyAccesses, AuditHook hook);
 
-  private:
     // MoleculeBroker -------------------------------------------------------
     u32 grant(Region &region, u32 count) override;
     u32 withdraw(Region &region, u32 count) override;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <fstream>
 
+#include "core/sim_access.hpp"
 #include "exec/seed_stream.hpp"
 #include "exec/thread_pool.hpp"
 #include "sim/experiment.hpp"
@@ -206,7 +207,7 @@ buildJobModel(const SimJob &job)
                         spec.windowStart = refs / 4;
                         spec.windowEnd = refs / 4 * 3;
                     }
-                    cache->setFaultInjector(FaultInjector::fromSpec(
+                    SimAccess{*cache}.setFaultInjector(FaultInjector::fromSpec(
                         spec, p.totalMolecules(), p.moleculesPerTile,
                         p.linesPerMolecule()));
                 }

@@ -5,6 +5,7 @@
 
 #include "contract/contract.hpp"
 #include "core/molecular_cache.hpp"
+#include "core/sim_access.hpp"
 #include "util/logging.hpp"
 
 namespace molcache {
@@ -178,7 +179,7 @@ InvariantChecker::check(const MolecularCache &cache)
 void
 InvariantChecker::attach(MolecularCache &cache, u64 everyAccesses)
 {
-    cache.setAuditHook(
+    SimAccess{cache}.setAuditHook(
         everyAccesses,
         [last = contract::counters().total()](
             const MolecularCache &c) mutable {

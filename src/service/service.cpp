@@ -1,0 +1,370 @@
+#include "service/service.hpp"
+
+#include <utility>
+
+#include "exec/seed_stream.hpp"
+#include "fault/invariant_checker.hpp"
+#include "util/logging.hpp"
+
+namespace molcache {
+namespace mc {
+
+const char *
+attachErrorName(AttachError error)
+{
+    switch (error) {
+    case AttachError::None:
+        return "none";
+    case AttachError::TooManyTenants:
+        return "too-many-tenants";
+    case AttachError::NoAsid:
+        return "no-asid";
+    case AttachError::BadSpec:
+        return "bad-spec";
+    }
+    return "unknown";
+}
+
+bool
+Service::AsidPool::acquire(Asid *out)
+{
+    if (!freeList.empty()) {
+        *out = Asid{freeList.back()};
+        freeList.pop_back();
+        return true;
+    }
+    if (nextFresh >= kInvalidAsid.value())
+        return false;
+    *out = Asid{static_cast<u16>(nextFresh)};
+    ++nextFresh;
+    return true;
+}
+
+void
+Service::AsidPool::release(Asid asid)
+{
+    freeList.push_back(asid.value());
+}
+
+std::vector<std::unique_ptr<Service::Shard>>
+Service::buildShards(const ServiceOptions &options)
+{
+    options.validate();
+    std::vector<std::unique_ptr<Shard>> shards;
+    shards.reserve(options.shards);
+    for (u32 i = 0; i < options.shards; ++i) {
+        // Shards are independent caches; give each its own seed stream
+        // (the sweep engine's SplitMix64 derivation) so identical
+        // tenants on different shards don't mirror placement decisions.
+        MolecularCacheParams params = options.cache;
+        params.seed = deriveJobSeed(options.cache.seed, i);
+        auto shard = std::make_unique<Shard>();
+        shard->cache = std::make_unique<MolecularCache>(params);
+        shards.push_back(std::move(shard));
+    }
+    return shards;
+}
+
+Service::Service(const ServiceOptions &options)
+    : options_(options), shards_(buildShards(options_))
+{
+    {
+        MutexLock admin(adminMutex_);
+        asidPools_.resize(shards_.size());
+        liveByShard_.assign(shards_.size(), 0u);
+    }
+    if (options_.epochMillis != 0) {
+        // The control loop is open-ended (runs until ~Service), which
+        // doesn't fit the pool's bounded forEach jobs.
+        // lint: allow(raw-thread): joined in ~Service after the stop handshake
+        controlThread_ = std::thread([this] { controlLoop(); });
+    }
+}
+
+Service::~Service()
+{
+    if (controlThread_.joinable()) {
+        {
+            MutexLock lock(controlMutex_);
+            stopRequested_ = true;
+        }
+        controlCv_.notifyAll();
+        controlThread_.join();
+    }
+}
+
+void
+Service::controlLoop()
+{
+    for (;;) {
+        {
+            MutexLock lock(controlMutex_);
+            if (!stopRequested_)
+                controlCv_.waitFor(controlMutex_, options_.epochMillis);
+            if (stopRequested_)
+                return;
+        }
+        runEpochNow();
+    }
+}
+
+u32
+Service::pickShard(const TenantSpec &) const
+{
+    u32 best = 0;
+    for (u32 i = 1; i < liveByShard_.size(); ++i)
+        if (liveByShard_[i] < liveByShard_[best])
+            best = i;
+    return best;
+}
+
+TenantHandle
+Service::attach(const TenantSpec &spec, AttachError *error)
+{
+    const auto fail = [error](AttachError reason) {
+        if (error != nullptr)
+            *error = reason;
+        return TenantHandle{};
+    };
+
+    const double goal =
+        spec.missRateGoal == 0.0 ? options_.defaultGoal : spec.missRateGoal;
+    if (goal <= 0.0 || goal > 1.0 || spec.lineMultiple == 0)
+        return fail(AttachError::BadSpec);
+    if (spec.shard != TenantSpec::kAnyShard &&
+        spec.shard >= shards_.size())
+        return fail(AttachError::BadSpec);
+    const u32 floor = spec.floorMolecules == TenantSpec::kDefaultFloor
+                          ? options_.defaultFloor
+                          : spec.floorMolecules;
+
+    MutexLock admin(adminMutex_);
+    if (options_.maxTenants != 0) {
+        u32 live = 0;
+        for (const u32 count : liveByShard_)
+            live += count;
+        if (live >= options_.maxTenants)
+            return fail(AttachError::TooManyTenants);
+    }
+    const u32 shard_index =
+        spec.shard == TenantSpec::kAnyShard ? pickShard(spec) : spec.shard;
+
+    Asid asid{};
+    if (!asidPools_[shard_index].acquire(&asid))
+        return fail(AttachError::NoAsid);
+
+    Shard &sh = *shards_[shard_index];
+    u32 generation = 0;
+    {
+        MutexLock lock(sh.mutex);
+        const u32 tile = sh.nextTile;
+        sh.nextTile = (sh.nextTile + 1u) % options_.cache.tilesPerCluster;
+        sh.cache->registerApplication(asid, goal, ClusterId{0}, tile,
+                                      spec.lineMultiple);
+        if (floor != 0)
+            sh.cache->setRegionFloor(asid, floor);
+        // The stats slot's retire count at attach time: (asid,
+        // generation) stays unique across ASID recycling.
+        generation = sh.cache->stats().generationOf(asid);
+    }
+
+    auto state = std::make_shared<detail::TenantState>();
+    state->shard = shard_index;
+    state->asid = asid;
+    state->generation = generation;
+    state->name = spec.name.empty()
+                      ? molcache::detail::concat("tenant", asid.value())
+                      : spec.name;
+
+    TenantRecord record;
+    record.live = state;
+    record.name = state->name;
+    record.shard = shard_index;
+    record.asid = asid;
+    record.generation = generation;
+    record.goal = goal;
+    tenants_.push_back(std::move(record));
+    ++liveByShard_[shard_index];
+    ++tenantsAttached_;
+    if (error != nullptr)
+        *error = AttachError::None;
+    return TenantHandle{std::move(state)};
+}
+
+void
+Service::detach(const TenantHandle &handle)
+{
+    MOLCACHE_EXPECT(handle.valid(), "detach() on an empty TenantHandle");
+    if (!handle.valid())
+        return;
+    MutexLock admin(adminMutex_);
+    for (TenantRecord &record : tenants_) {
+        if (record.shard != handle.shard() || record.asid != handle.asid() ||
+            record.generation != handle.generation())
+            continue;
+        if (!record.departing) {
+            record.departing = true;
+            MOLCACHE_INVARIANT(liveByShard_[record.shard] > 0,
+                               "live-tenant count underflow");
+            --liveByShard_[record.shard];
+            ++tenantsDetached_;
+        }
+        return; // second detach of the same tenant is a no-op
+    }
+    // No record: the tenant already drained (detach after the epoch
+    // collected it) — idempotent by design.
+}
+
+AccessResult
+Service::access(const TenantHandle &handle, Addr addr, bool isWrite)
+{
+    MOLCACHE_EXPECT(handle.valid(), "access() through an empty TenantHandle");
+    if (!handle.valid())
+        return AccessResult{};
+    const detail::TenantState &state = *handle.state_;
+    Shard &sh = *shards_[state.shard];
+    MutexLock lock(sh.mutex);
+    return sh.cache->access(MemAccess{addr, state.asid,
+                                      isWrite ? AccessType::Write
+                                              : AccessType::Read});
+}
+
+void
+Service::setGoal(const TenantHandle &handle, double missRateGoal)
+{
+    MOLCACHE_EXPECT(handle.valid(), "setGoal() on an empty TenantHandle");
+    if (!handle.valid())
+        return;
+    const detail::TenantState &state = *handle.state_;
+    {
+        Shard &sh = *shards_[state.shard];
+        MutexLock lock(sh.mutex);
+        sh.cache->setResizeGoal(state.asid, missRateGoal); // validates
+    }
+    MutexLock admin(adminMutex_);
+    for (TenantRecord &record : tenants_) {
+        if (record.shard == state.shard && record.asid == state.asid &&
+            record.generation == state.generation) {
+            record.goal = missRateGoal;
+            return;
+        }
+    }
+}
+
+void
+Service::runEpochNow()
+{
+    MutexLock admin(adminMutex_);
+    runEpochLocked();
+}
+
+void
+Service::runEpochLocked()
+{
+    const u64 epoch = epochsRun_.load(std::memory_order_relaxed) + 1u;
+
+    // 1) Drain departures whose last handle reference has dropped.  The
+    // weak_ptr is the drain barrier: while any worker still holds the
+    // tenant, the region stays registered and servable.
+    for (auto it = tenants_.begin(); it != tenants_.end();) {
+        if (it->departing && it->live.expired()) {
+            Shard &sh = *shards_[it->shard];
+            {
+                MutexLock lock(sh.mutex);
+                sh.cache->unregisterApplication(it->asid);
+                sh.cache->retireApplicationStats(it->asid);
+            }
+            asidPools_[it->shard].release(it->asid);
+            ++tenantsDrained_;
+            it = tenants_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // 2) Audit + merge per-shard statistics into one snapshot.
+    const bool audit = options_.auditEpochs != 0 &&
+                       epoch % options_.auditEpochs == 0;
+    ServiceSummary snap;
+    snap.epoch = epoch;
+    snap.shards.reserve(shards_.size());
+    snap.tenants.reserve(tenants_.size());
+    for (u32 i = 0; i < shards_.size(); ++i) {
+        Shard &sh = *shards_[i];
+        MutexLock lock(sh.mutex);
+        if (audit) {
+            const InvariantChecker::Report report =
+                InvariantChecker::check(*sh.cache);
+            invariantChecksRun_ += report.checksRun;
+            invariantViolations_ +=
+                static_cast<u64>(report.violations.size());
+            for (const std::string &violation : report.violations)
+                warn("service epoch ", epoch, ", shard ", i,
+                     ": invariant violation: ", violation);
+        }
+        const AccessCounters &g = sh.cache->stats().global();
+        ServiceShardSummary shard_summary;
+        shard_summary.shard = i;
+        shard_summary.accesses = g.accesses;
+        shard_summary.hits = g.hits;
+        shard_summary.misses = g.misses;
+        shard_summary.writebacks = g.writebacks;
+        shard_summary.regions =
+            static_cast<u32>(sh.cache->registeredAsids().size());
+        shard_summary.freeMolecules = sh.cache->freeMolecules();
+        shard_summary.decommissionedMolecules =
+            sh.cache->decommissionedMolecules();
+        shard_summary.resizeCycles = sh.cache->resizeCycles();
+        snap.accesses += shard_summary.accesses;
+        snap.hits += shard_summary.hits;
+        snap.misses += shard_summary.misses;
+        snap.writebacks += shard_summary.writebacks;
+        snap.shards.push_back(std::move(shard_summary));
+
+        for (const TenantRecord &record : tenants_) {
+            if (record.shard != i)
+                continue;
+            const AccessCounters &c = sh.cache->stats().forAsid(record.asid);
+            ServiceTenantSummary tenant_summary;
+            tenant_summary.name = record.name;
+            tenant_summary.shard = i;
+            tenant_summary.asid = record.asid.value();
+            tenant_summary.generation = record.generation;
+            tenant_summary.goal = record.goal;
+            tenant_summary.departing = record.departing;
+            tenant_summary.accesses = c.accesses;
+            tenant_summary.hits = c.hits;
+            tenant_summary.misses = c.misses;
+            tenant_summary.missRate = c.missRate();
+            snap.tenants.push_back(std::move(tenant_summary));
+        }
+    }
+    u32 live = 0;
+    for (const u32 count : liveByShard_)
+        live += count;
+    snap.tenantsLive = live;
+    snap.tenantsAttached = tenantsAttached_;
+    snap.tenantsDetached = tenantsDetached_;
+    snap.tenantsDrained = tenantsDrained_;
+    snap.invariantChecksRun = invariantChecksRun_;
+    snap.invariantViolations = invariantViolations_;
+
+    // 3) Publish the snapshot, then the epoch number (release pairs
+    // with epochsCompleted()'s acquire: a reader that observes epoch N
+    // can read snapshot N through summary()).
+    {
+        MutexLock lock(summaryMutex_);
+        summary_ = std::move(snap);
+    }
+    epochsRun_.store(epoch, std::memory_order_release);
+}
+
+ServiceSummary
+Service::summary() const
+{
+    MutexLock lock(summaryMutex_);
+    return summary_;
+}
+
+} // namespace mc
+} // namespace molcache

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * mc::Service — "molcached", the embeddable concurrent multi-tenant
+ * facade over MolecularCache (ROADMAP item 1, docs/molcached.md).
+ *
+ * The simulator core is single-threaded by design; the service makes it
+ * serve concurrent callers with three structural moves:
+ *
+ *  1. SHARDING.  A shard is one tile cluster — the paper confines every
+ *     region to one cluster (Ulmo's search domain), so clusters share
+ *     nothing on the access path and each shard can own a whole
+ *     MolecularCache instance behind its own mc::Mutex.  A tenant lives
+ *     in exactly one shard; access() takes exactly one shard lock and
+ *     runs the unmodified allocation-free PR-4 hot path under it.
+ *
+ *  2. TENANT HANDLES.  attach() returns a refcounted TenantHandle
+ *     (service/tenant.hpp); detach() only marks departure, and the
+ *     control plane unregisters the region once every handle reference
+ *     has dropped — departure drains safely instead of racing workers.
+ *
+ *  3. EPOCHS.  All cross-shard work — draining departures, recycling
+ *     ASIDs (generation-tagged, CacheStats::retire), merging per-shard
+ *     statistics into one ServiceSummary snapshot, running the
+ *     InvariantChecker audit — happens in runEpochNow(), serialized by
+ *     the admin mutex: a single logical writer.  With epochMillis > 0 a
+ *     control-plane thread paces epochs; with 0 the embedder (or a
+ *     deterministic test) calls runEpochNow() itself.  Resizing itself
+ *     stays where the paper puts it — inside the access path, per
+ *     region, under the shard lock — so a shard's behaviour is
+ *     byte-identical to the single-threaded simulator fed the same
+ *     per-shard access sequence.
+ *
+ * Lock order (docs/molcached.md): controlMutex_ -> adminMutex_ ->
+ * {shard mutexes (ascending), summaryMutex_}; the two innermost are
+ * never held together.  access() takes only its shard mutex; summary()
+ * takes only summaryMutex_.
+ */
+
+#ifndef MOLCACHE_SERVICE_SERVICE_HPP
+#define MOLCACHE_SERVICE_SERVICE_HPP
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/molecular_cache.hpp"
+#include "service/service_options.hpp"
+#include "service/tenant.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace molcache {
+namespace mc {
+
+/** Why attach() returned an empty handle. */
+enum class AttachError : u8 {
+    None = 0,
+    /** ServiceOptions::maxTenants live tenants already. */
+    TooManyTenants,
+    /** The shard's 16-bit ASID space is exhausted (live tenants). */
+    NoAsid,
+    /** The spec itself is out of range (goal, shard index, ...). */
+    BadSpec,
+};
+
+const char *attachErrorName(AttachError error);
+
+/** Per-tenant slice of a summary snapshot. */
+struct ServiceTenantSummary
+{
+    std::string name;
+    u32 shard = 0;
+    u16 asid = 0;
+    u32 generation = 0;
+    double goal = 0.0;
+    bool departing = false;
+    u64 accesses = 0;
+    u64 hits = 0;
+    u64 misses = 0;
+    double missRate = 0.0;
+};
+
+/** Per-shard slice of a summary snapshot. */
+struct ServiceShardSummary
+{
+    u32 shard = 0;
+    u64 accesses = 0;
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 writebacks = 0;
+    u32 regions = 0;
+    u32 freeMolecules = 0;
+    u32 decommissionedMolecules = 0;
+    u64 resizeCycles = 0;
+};
+
+/**
+ * Snapshot telemetry, rebuilt by every epoch and returned by value from
+ * Service::summary() — readers never see a torn view and never contend
+ * with the access path.  Counters are lifetime totals (they survive
+ * tenant departure; per-tenant rows list live tenants only).
+ */
+struct ServiceSummary
+{
+    /** Epochs completed when this snapshot was taken (0 = none yet). */
+    u64 epoch = 0;
+    u64 accesses = 0;
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 writebacks = 0;
+    u32 tenantsLive = 0;
+    u64 tenantsAttached = 0;
+    u64 tenantsDetached = 0;
+    u64 tenantsDrained = 0;
+    u64 invariantChecksRun = 0;
+    u64 invariantViolations = 0;
+    /** Contract-macro violations observed by the embedder's threads.
+     * contract::counters() is thread-local, so the service cannot read
+     * worker deltas itself; harnesses (bench/service_churn) fold their
+     * workers' deltas in before serializing. */
+    u64 contractViolations = 0;
+    std::vector<ServiceShardSummary> shards;
+    std::vector<ServiceTenantSummary> tenants;
+
+    double
+    missRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses) /
+                         static_cast<double>(accesses);
+    }
+};
+
+class Service
+{
+  public:
+    /** Validates @p options (fatal with file:line context on builder
+     * violations) and starts the control-plane thread when
+     * options.epochMillis > 0. */
+    explicit Service(const ServiceOptions &options);
+    ~Service();
+
+    Service(const Service &) = delete;
+    Service &operator=(const Service &) = delete;
+
+    /**
+     * Admit a tenant: pick a shard (least loaded, unless the spec pins
+     * one), allocate a generation-tagged ASID, register the region and
+     * return its handle.  On rejection returns an empty handle and sets
+     * @p error (when non-null) to the reason.
+     */
+    TenantHandle attach(const TenantSpec &spec,
+                        AttachError *error = nullptr)
+        MOLCACHE_EXCLUDES(adminMutex_);
+
+    /**
+     * Begin departure: the tenant stops counting against admission and
+     * is unregistered by the first epoch that runs after every handle
+     * copy (including @p handle itself, which stays usable) is
+     * destroyed.  Idempotent.
+     */
+    void detach(const TenantHandle &handle) MOLCACHE_EXCLUDES(adminMutex_);
+
+    /**
+     * The hot path: one shard lock, then the unmodified simulator-core
+     * access (probe schedule, resizer, guardian).  Allocation-free in
+     * steady state — the perf suite gates this (docs/perf.md).
+     */
+    AccessResult access(const TenantHandle &handle, Addr addr,
+                        bool isWrite = false);
+
+    /** Replace the tenant's miss-rate goal; Algorithm 1 re-steers on
+     * its next resize epochs. */
+    void setGoal(const TenantHandle &handle, double missRateGoal)
+        MOLCACHE_EXCLUDES(adminMutex_);
+
+    /**
+     * Run one control-plane epoch on the caller's thread: drain
+     * departures, audit (per ServiceOptions::auditEpochs), rebuild the
+     * summary snapshot.  This is the only epoch entry point — the
+     * control thread calls it too — so embedders running with
+     * epochMillis == 0 get the identical control plane, just paced by
+     * themselves.
+     */
+    void runEpochNow() MOLCACHE_EXCLUDES(adminMutex_);
+
+    /** Last completed epoch's snapshot (copy; see ServiceSummary). */
+    ServiceSummary summary() const MOLCACHE_EXCLUDES(summaryMutex_);
+
+    /** Epochs completed so far. */
+    u64
+    epochsCompleted() const
+    {
+        return epochsRun_.load(std::memory_order_acquire);
+    }
+
+    u32
+    shardCount() const
+    {
+        return static_cast<u32>(shards_.size());
+    }
+
+    const ServiceOptions &
+    options() const
+    {
+        return options_;
+    }
+
+  private:
+    /** One tile cluster behind its own lock (see file comment). */
+    struct Shard
+    {
+        mc::Mutex mutex;
+        std::unique_ptr<MolecularCache> cache MOLCACHE_PT_GUARDED_BY(mutex);
+        /** Round-robin home-tile cursor for new regions. */
+        u32 nextTile MOLCACHE_GUARDED_BY(mutex) = 0;
+    };
+
+    /** 16-bit ASID allocator with recycling: departures push their ASID
+     * back, so dense per-ASID structures stay sized by peak concurrent
+     * tenants, not lifetime tenants.  One pool per shard (ASIDs are
+     * per-cache); objects live in asidPools_, which is guarded by
+     * adminMutex_. */
+    struct AsidPool
+    {
+        std::vector<u16> freeList;
+        u32 nextFresh = 0;
+
+        bool acquire(Asid *out);
+        void release(Asid asid);
+    };
+
+    /** Control-plane view of one tenant (weak: handles own the state). */
+    struct TenantRecord
+    {
+        std::weak_ptr<const detail::TenantState> live;
+        std::string name;
+        u32 shard = 0;
+        Asid asid{};
+        u32 generation = 0;
+        double goal = 0.0;
+        bool departing = false;
+    };
+
+    /** Validates @p options, then builds one seeded cache per shard. */
+    static std::vector<std::unique_ptr<Shard>> buildShards(
+        const ServiceOptions &options);
+
+    void controlLoop() MOLCACHE_EXCLUDES(controlMutex_, adminMutex_);
+    void runEpochLocked() MOLCACHE_REQUIRES(adminMutex_)
+        MOLCACHE_EXCLUDES(summaryMutex_);
+    u32 pickShard(const TenantSpec &spec) const
+        MOLCACHE_REQUIRES(adminMutex_);
+
+    const ServiceOptions options_;
+    // Shard array: immutable after construction (the vector and the
+    // Shard objects it points to are built once; all mutable state
+    // inside a Shard is guarded by its own mutex).
+    const std::vector<std::unique_ptr<Shard>> shards_;
+
+    mutable mc::Mutex adminMutex_;
+    std::vector<TenantRecord> tenants_ MOLCACHE_GUARDED_BY(adminMutex_);
+    std::vector<AsidPool> asidPools_ MOLCACHE_GUARDED_BY(adminMutex_);
+    std::vector<u32> liveByShard_ MOLCACHE_GUARDED_BY(adminMutex_);
+    u64 tenantsAttached_ MOLCACHE_GUARDED_BY(adminMutex_) = 0;
+    u64 tenantsDetached_ MOLCACHE_GUARDED_BY(adminMutex_) = 0;
+    u64 tenantsDrained_ MOLCACHE_GUARDED_BY(adminMutex_) = 0;
+    u64 invariantChecksRun_ MOLCACHE_GUARDED_BY(adminMutex_) = 0;
+    u64 invariantViolations_ MOLCACHE_GUARDED_BY(adminMutex_) = 0;
+
+    mutable mc::Mutex summaryMutex_;
+    ServiceSummary summary_ MOLCACHE_GUARDED_BY(summaryMutex_);
+
+    std::atomic<u64> epochsRun_{0};
+
+    mc::Mutex controlMutex_;
+    mc::CondVar controlCv_;
+    bool stopRequested_ MOLCACHE_GUARDED_BY(controlMutex_) = false;
+    // lint: allow(raw-thread): joined in ~Service after the stop handshake
+    // lint: unguarded(written by ctor/dtor only, never concurrently)
+    std::thread controlThread_;
+};
+
+} // namespace mc
+} // namespace molcache
+
+#endif // MOLCACHE_SERVICE_SERVICE_HPP

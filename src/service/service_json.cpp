@@ -1,0 +1,107 @@
+#include "service/service_json.hpp"
+
+namespace molcache {
+namespace mc {
+
+void
+writeServiceSummaryJson(JsonWriter &json, const ServiceSummary &summary)
+{
+    json.beginObject();
+    json.key("epoch");
+    json.value(summary.epoch);
+    json.key("accesses");
+    json.value(summary.accesses);
+    json.key("hits");
+    json.value(summary.hits);
+    json.key("misses");
+    json.value(summary.misses);
+    json.key("writebacks");
+    json.value(summary.writebacks);
+    json.key("miss_rate");
+    json.value(summary.missRate());
+    json.key("tenants_live");
+    json.value(static_cast<u64>(summary.tenantsLive));
+    json.key("tenants_attached");
+    json.value(summary.tenantsAttached);
+    json.key("tenants_detached");
+    json.value(summary.tenantsDetached);
+    json.key("tenants_drained");
+    json.value(summary.tenantsDrained);
+    json.key("invariant_checks_run");
+    json.value(summary.invariantChecksRun);
+    json.key("invariant_violations");
+    json.value(summary.invariantViolations);
+    json.key("contract_violations");
+    json.value(summary.contractViolations);
+
+    json.key("shards");
+    json.beginArray();
+    for (const ServiceShardSummary &shard : summary.shards) {
+        json.beginObject();
+        json.key("shard");
+        json.value(static_cast<u64>(shard.shard));
+        json.key("accesses");
+        json.value(shard.accesses);
+        json.key("hits");
+        json.value(shard.hits);
+        json.key("misses");
+        json.value(shard.misses);
+        json.key("writebacks");
+        json.value(shard.writebacks);
+        json.key("regions");
+        json.value(static_cast<u64>(shard.regions));
+        json.key("free_molecules");
+        json.value(static_cast<u64>(shard.freeMolecules));
+        json.key("decommissioned_molecules");
+        json.value(static_cast<u64>(shard.decommissionedMolecules));
+        json.key("resize_cycles");
+        json.value(shard.resizeCycles);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("tenants");
+    json.beginArray();
+    for (const ServiceTenantSummary &tenant : summary.tenants) {
+        json.beginObject();
+        json.key("name");
+        json.value(tenant.name);
+        json.key("shard");
+        json.value(static_cast<u64>(tenant.shard));
+        json.key("asid");
+        json.value(static_cast<u64>(tenant.asid));
+        json.key("generation");
+        json.value(static_cast<u64>(tenant.generation));
+        json.key("goal");
+        json.value(tenant.goal);
+        json.key("departing");
+        json.value(tenant.departing);
+        json.key("accesses");
+        json.value(tenant.accesses);
+        json.key("hits");
+        json.value(tenant.hits);
+        json.key("misses");
+        json.value(tenant.misses);
+        json.key("miss_rate");
+        json.value(tenant.missRate);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.endObject();
+}
+
+void
+writeServiceSummaryDocument(JsonWriter &json, const ServiceSummary &summary)
+{
+    json.beginObject();
+    writeSchemaVersion(json);
+    json.key("kind");
+    json.value("service_summary");
+    json.key("summary");
+    writeServiceSummaryJson(json, summary);
+    json.endObject();
+}
+
+} // namespace mc
+} // namespace molcache

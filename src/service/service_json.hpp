@@ -1,0 +1,28 @@
+/**
+ * @file
+ * ServiceSummary -> schema-versioned JSON (the molcached telemetry
+ * artifact: bench/service_churn --json, uploaded by the CI adversarial
+ * job and checked by its sanity gate).
+ */
+
+#ifndef MOLCACHE_SERVICE_SERVICE_JSON_HPP
+#define MOLCACHE_SERVICE_SERVICE_JSON_HPP
+
+#include "service/service.hpp"
+#include "stats/json.hpp"
+
+namespace molcache {
+namespace mc {
+
+/** The summary body (no envelope). */
+void writeServiceSummaryJson(JsonWriter &json, const ServiceSummary &summary);
+
+/** Standalone document: {schemaVersion, kind: "service_summary",
+ * summary: {...}} — same envelope contract as sim/sweep results. */
+void writeServiceSummaryDocument(JsonWriter &json,
+                                 const ServiceSummary &summary);
+
+} // namespace mc
+} // namespace molcache
+
+#endif // MOLCACHE_SERVICE_SERVICE_JSON_HPP

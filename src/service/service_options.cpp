@@ -1,0 +1,149 @@
+#include "service/service_options.hpp"
+
+#include "util/logging.hpp"
+
+namespace molcache {
+namespace mc {
+
+void
+ServiceOptions::note(const std::source_location &loc,
+                     const std::string &message)
+{
+    errors_.push_back(detail::concat(loc.file_name(), ":", loc.line(), ": ",
+                                     message));
+}
+
+ServiceOptions &
+ServiceOptions::withCacheParams(const MolecularCacheParams &params,
+                                std::source_location loc)
+{
+    if (params.clusters != 1)
+        note(loc, detail::concat(
+                      "per-shard cache geometry must have clusters == 1 "
+                      "(got ",
+                      params.clusters,
+                      "); scale out with service.shards instead"));
+    cache = params;
+    return *this;
+}
+
+ServiceOptions &
+ServiceOptions::withShards(u32 count, std::source_location loc)
+{
+    if (count == 0)
+        note(loc, "service.shards must be >= 1, got 0");
+    shards = count;
+    return *this;
+}
+
+ServiceOptions &
+ServiceOptions::withEpochMillis(u64 millis, std::source_location)
+{
+    epochMillis = millis;
+    return *this;
+}
+
+ServiceOptions &
+ServiceOptions::withAuditEpochs(u32 epochs, std::source_location)
+{
+    auditEpochs = epochs;
+    return *this;
+}
+
+ServiceOptions &
+ServiceOptions::withMaxTenants(u32 count, std::source_location)
+{
+    maxTenants = count;
+    return *this;
+}
+
+ServiceOptions &
+ServiceOptions::withDefaultGoal(double goal, std::source_location loc)
+{
+    if (goal <= 0.0 || goal > 1.0)
+        note(loc, detail::concat("service.default_goal must be in (0, 1], "
+                                 "got ",
+                                 goal));
+    defaultGoal = goal;
+    return *this;
+}
+
+ServiceOptions &
+ServiceOptions::withDefaultFloor(u32 molecules, std::source_location loc)
+{
+    const u32 per_shard = cache.moleculesPerTile * cache.tilesPerCluster;
+    if (molecules > per_shard)
+        note(loc, detail::concat("service.default_floor (", molecules,
+                                 ") exceeds a whole shard (", per_shard,
+                                 " molecules)"));
+    defaultFloor = molecules;
+    return *this;
+}
+
+ServiceOptions &
+ServiceOptions::withGuardian(bool enabled, std::source_location)
+{
+    cache.guardian.enabled = enabled;
+    return *this;
+}
+
+ServiceOptions
+ServiceOptions::fromConfig(const Config &cfg, std::source_location loc)
+{
+    ServiceOptions opts;
+    opts.withShards(
+        static_cast<u32>(cfg.getInt("service.shards",
+                                    static_cast<i64>(opts.shards))),
+        loc);
+    opts.withEpochMillis(
+        static_cast<u64>(cfg.getInt("service.epoch_ms",
+                                    static_cast<i64>(opts.epochMillis))),
+        loc);
+    opts.withAuditEpochs(
+        static_cast<u32>(cfg.getInt("service.audit_epochs",
+                                    static_cast<i64>(opts.auditEpochs))),
+        loc);
+    opts.withMaxTenants(
+        static_cast<u32>(cfg.getInt("service.max_tenants",
+                                    static_cast<i64>(opts.maxTenants))),
+        loc);
+    opts.withDefaultGoal(cfg.getDouble("service.default_goal",
+                                       opts.defaultGoal),
+                         loc);
+    opts.withDefaultFloor(
+        static_cast<u32>(cfg.getInt("service.default_floor",
+                                    static_cast<i64>(opts.defaultFloor))),
+        loc);
+    opts.withGuardian(cfg.getBool("service.guardian",
+                                  opts.cache.guardian.enabled),
+                      loc);
+    return opts;
+}
+
+void
+ServiceOptions::validate() const
+{
+    std::vector<std::string> all = errors_;
+    if (shards == 0)
+        all.push_back("service.shards must be >= 1");
+    if (cache.clusters != 1)
+        all.push_back(detail::concat(
+            "per-shard cache geometry must have clusters == 1, got ",
+            cache.clusters));
+    if (defaultGoal <= 0.0 || defaultGoal > 1.0)
+        all.push_back(detail::concat(
+            "service.default_goal must be in (0, 1], got ", defaultGoal));
+    if (!all.empty()) {
+        std::string joined;
+        for (const std::string &e : all) {
+            if (!joined.empty())
+                joined += "\n  ";
+            joined += e;
+        }
+        fatal("invalid ServiceOptions:\n  ", joined);
+    }
+    cache.validate();
+}
+
+} // namespace mc
+} // namespace molcache

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * ServiceOptions: the knob bundle for mc::Service (molcached).
+ *
+ * Mirrors the RunOptions pattern (src/sim/run_options.hpp): a plain
+ * copyable value with fluent with*() setters so construction sites read
+ * like keyword arguments.  Two molcached-specific twists:
+ *
+ *  - every setter range-checks its argument eagerly and records a
+ *    violation *with the caller's file:line* (std::source_location), so
+ *    validate() can report "bench/service_churn.cpp:87: service.shards
+ *    must be >= 1" instead of an anonymous failure deep inside the
+ *    service constructor — the same file:line contract PR 1 set for
+ *    config-file errors;
+ *  - fromConfig() builds the options from the registered `service.*`
+ *    config keys (src/util/config_keys.cpp), so a config file and the
+ *    fluent builder are interchangeable front ends.
+ *
+ * Shard geometry: `cache` describes ONE shard, and a shard is exactly
+ * one tile cluster — the cluster is Ulmo's search domain, regions never
+ * span it, so cluster boundaries are where the cache can be split into
+ * independently-locked instances without any cross-shard coherence.
+ * validate() therefore requires cache.clusters == 1 and `shards` scales
+ * the service out instead.
+ */
+
+#ifndef MOLCACHE_SERVICE_SERVICE_OPTIONS_HPP
+#define MOLCACHE_SERVICE_SERVICE_OPTIONS_HPP
+
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "util/config.hpp"
+
+namespace molcache {
+namespace mc {
+
+struct ServiceOptions
+{
+    /** Per-shard cache geometry; clusters must stay 1 (see above). */
+    MolecularCacheParams cache;
+
+    /** Independently-locked cache shards (tile clusters). */
+    u32 shards = 2;
+
+    /**
+     * Control-plane epoch period in milliseconds: the service's own
+     * thread drains departed tenants, merges shard statistics and runs
+     * the invariant audit this often.  0 disables the thread — the
+     * embedder paces epochs by calling Service::runEpochNow(), which is
+     * also what deterministic tests do.
+     */
+    u64 epochMillis = 20;
+
+    /** Run the InvariantChecker audit every N epochs (0 = never). */
+    u32 auditEpochs = 1;
+
+    /** Admission cap on live tenants (0 = unlimited). */
+    u32 maxTenants = 0;
+
+    /** Miss-rate goal for tenants whose spec leaves the goal at 0. */
+    double defaultGoal = 0.1;
+
+    /** Capacity floor (molecules) for tenants whose spec asks for the
+     * default (0 = no floor beyond the guardian's own). */
+    u32 defaultFloor = 0;
+
+    /** @{ Fluent setters; invalid arguments are recorded (with the call
+     * site) and reported by validate(). */
+    ServiceOptions &withCacheParams(
+        const MolecularCacheParams &params,
+        std::source_location loc = std::source_location::current());
+    ServiceOptions &withShards(
+        u32 count,
+        std::source_location loc = std::source_location::current());
+    ServiceOptions &withEpochMillis(
+        u64 millis,
+        std::source_location loc = std::source_location::current());
+    ServiceOptions &withAuditEpochs(
+        u32 epochs,
+        std::source_location loc = std::source_location::current());
+    ServiceOptions &withMaxTenants(
+        u32 count,
+        std::source_location loc = std::source_location::current());
+    ServiceOptions &withDefaultGoal(
+        double goal,
+        std::source_location loc = std::source_location::current());
+    ServiceOptions &withDefaultFloor(
+        u32 molecules,
+        std::source_location loc = std::source_location::current());
+    ServiceOptions &withGuardian(
+        bool enabled,
+        std::source_location loc = std::source_location::current());
+    /** @} */
+
+    /**
+     * Build options from the `service.*` config keys, starting from the
+     * defaults above (unknown keys in @p cfg are the caller's
+     * warnUnknownKeys problem, as everywhere).  Out-of-range values are
+     * recorded against @p loc — the config consumer's call site.
+     */
+    static ServiceOptions fromConfig(
+        const Config &cfg,
+        std::source_location loc = std::source_location::current());
+
+    /**
+     * Violations recorded so far, each "file:line: message".  Empty
+     * means every setter argument was in range; cross-field rules are
+     * only checked by validate().
+     */
+    const std::vector<std::string> &errors() const { return errors_; }
+
+    /**
+     * Fatal if any setter recorded a violation or a cross-field rule
+     * fails (shards >= 1, cache.clusters == 1, goal in (0,1]); also
+     * runs cache.validate().  Service's constructor calls this.
+     */
+    void validate() const;
+
+  private:
+    void note(const std::source_location &loc, const std::string &message);
+
+    std::vector<std::string> errors_;
+};
+
+} // namespace mc
+} // namespace molcache
+
+#endif // MOLCACHE_SERVICE_SERVICE_OPTIONS_HPP

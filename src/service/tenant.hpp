@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tenants as first-class handles.
+ *
+ * One tenant = one application = one ASID/region inside one shard of
+ * the service.  attach() hands the caller a TenantHandle; every later
+ * verb (access/setGoal/detach) takes the handle, so there is no stringy
+ * tenant lookup on the hot path — the handle carries the routing facts
+ * (shard, ASID) as immutable state.
+ *
+ * Lifetime ("departure drains safely"): the handle is a refcounted view
+ * of a TenantState that the Service tracks only weakly.  detach() marks
+ * the tenant departing but revokes nothing — outstanding handle copies
+ * on other worker threads keep accessing the still-registered region.
+ * Only when the last handle is destroyed does the control-plane epoch
+ * observe the weak reference expired and actually unregister the
+ * region, write back its dirty lines and retire + recycle the ASID.  A
+ * worker can therefore never race a region teardown: teardown waits for
+ * every reference to drop first.
+ *
+ * The (asid, generation) pair uniquely names a tenant across ASID reuse
+ * — generations come from CacheStats::generationOf, bumped each time a
+ * departed tenant's stats slot is retired.
+ */
+
+#ifndef MOLCACHE_SERVICE_TENANT_HPP
+#define MOLCACHE_SERVICE_TENANT_HPP
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "contract/contract.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+namespace mc {
+
+class Service;
+
+/** What a caller asks for when attaching a tenant. */
+struct TenantSpec
+{
+    /** Placement wildcard: the service picks the least-loaded shard. */
+    static constexpr u32 kAnyShard = std::numeric_limits<u32>::max();
+    /** Floor wildcard: use ServiceOptions::defaultFloor. */
+    static constexpr u32 kDefaultFloor = std::numeric_limits<u32>::max();
+
+    /** Display name (telemetry only; empty gets "asid<N>"). */
+    std::string name;
+    /** Miss-rate goal Algorithm 1 steers towards; 0 = the service
+     * default (ServiceOptions::defaultGoal). */
+    double missRateGoal = 0.0;
+    /** Capacity floor in molecules (guardian fairness guard). */
+    u32 floorMolecules = kDefaultFloor;
+    /** Region line-size multiple (1 => 64 B lines, 2 => 128 B, ...). */
+    u32 lineMultiple = 1;
+    /** Destination shard, or kAnyShard for service placement. */
+    u32 shard = kAnyShard;
+};
+
+namespace detail {
+
+/** Immutable routing facts shared by every copy of a handle; the
+ * Service keeps only a weak reference (see file comment). */
+struct TenantState
+{
+    u32 shard = 0;
+    Asid asid{};
+    u32 generation = 0;
+    std::string name;
+};
+
+} // namespace detail
+
+/**
+ * Refcounted tenant reference.  Copyable and cheap (one shared_ptr);
+ * copying or destroying a handle never takes a service lock.  An empty
+ * (default-constructed, or failed-attach) handle is falsy and must not
+ * be passed to the service verbs.
+ */
+class TenantHandle
+{
+  public:
+    TenantHandle() = default;
+
+    bool valid() const { return state_ != nullptr; }
+    explicit operator bool() const { return valid(); }
+
+    /** @{ Immutable tenant facts; handle must be valid(). */
+    Asid
+    asid() const
+    {
+        MOLCACHE_EXPECT(valid(), "asid() on an empty TenantHandle");
+        return state_->asid;
+    }
+
+    u32
+    shard() const
+    {
+        MOLCACHE_EXPECT(valid(), "shard() on an empty TenantHandle");
+        return state_->shard;
+    }
+
+    /** Stats-slot generation at attach: (asid, generation) names this
+     * tenant uniquely across ASID recycling. */
+    u32
+    generation() const
+    {
+        MOLCACHE_EXPECT(valid(), "generation() on an empty TenantHandle");
+        return state_->generation;
+    }
+
+    const std::string &
+    name() const
+    {
+        MOLCACHE_EXPECT(valid(), "name() on an empty TenantHandle");
+        return state_->name;
+    }
+    /** @} */
+
+    /** Drop this reference early (same as destroying the handle). */
+    void reset() { state_.reset(); }
+
+  private:
+    friend class Service;
+
+    explicit TenantHandle(std::shared_ptr<const detail::TenantState> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<const detail::TenantState> state_;
+};
+
+} // namespace mc
+} // namespace molcache
+
+#endif // MOLCACHE_SERVICE_TENANT_HPP

@@ -50,6 +50,13 @@ knownConfigKeys()
         {"replacement", "set-assoc replacement policy"},
         {"resize", "resize scheme: constant | global | perapp"},
         {"seed", "workload/model RNG seed"},
+        {"service.audit_epochs", "service audit period in epochs (0 = off)"},
+        {"service.default_floor", "service default tenant floor, molecules"},
+        {"service.default_goal", "service default tenant miss-rate goal"},
+        {"service.epoch_ms", "service control-plane epoch period (0 = manual)"},
+        {"service.guardian", "service QoS guardian on its shards (0/1)"},
+        {"service.max_tenants", "service admission cap (0 = unlimited)"},
+        {"service.shards", "independently-locked service cache shards"},
         {"size", "total cache capacity in bytes"},
         {"tiles", "tiles per cluster"},
         {"workload.hint.confidence", "confidence stamped on emitted hints"},

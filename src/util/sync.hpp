@@ -33,10 +33,12 @@
 #ifndef MOLCACHE_UTIL_SYNC_HPP
 #define MOLCACHE_UTIL_SYNC_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
 #include "util/thread_annotations.hpp"
+#include "util/types.hpp"
 
 namespace molcache {
 namespace mc {
@@ -129,6 +131,23 @@ class CondVar
         // re-check loop is the documented caller contract (see above);
         // this wrapper is the loop body, not the loop.
         cv_.wait(mutex.m_);
+    }
+
+    /**
+     * wait() with a deadline: returns after a notification, a spurious
+     * wakeup or @p millis milliseconds, whichever comes first — the
+     * caller's while loop re-checks the predicate either way, so the
+     * return value would only invite skipping that re-check and is
+     * deliberately void.  This is what periodic control threads (the
+     * molcached epoch thread) use to both pace their work and notice a
+     * stop request promptly.
+     */
+    void
+    waitFor(Mutex &mutex, u64 millis) MOLCACHE_REQUIRES(mutex)
+    {
+        // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions): as with
+        // wait(), the re-check loop is the documented caller contract.
+        cv_.wait_for(mutex.m_, std::chrono::milliseconds(millis));
     }
 
     void

@@ -1,0 +1,77 @@
+#include "workload/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "contract/contract.hpp"
+
+namespace molcache {
+
+ChurnProcess::ChurnProcess(const ChurnParams &params, u64 seed)
+    : params_(params), rng_(makeRandomSource(RngKind::Pcg32, seed))
+{
+    MOLCACHE_EXPECT(params.meanInterarrival > 0 && params.meanLifetime > 0,
+                    "churn means must be positive");
+    MOLCACHE_EXPECT(params.minFootprintBytes > 0 &&
+                        params.minFootprintBytes <= params.maxFootprintBytes,
+                    "churn footprint range is empty");
+    MOLCACHE_EXPECT(params.minGoal > 0.0 &&
+                        params.minGoal <= params.maxGoal &&
+                        params.maxGoal <= 1.0,
+                    "churn goal range outside (0, 1]");
+}
+
+u64
+ChurnProcess::exponential(u64 mean)
+{
+    // Inverse-CDF with the unit draw clamped away from 1.0 so log()
+    // stays finite; the floor keeps "simultaneous" events ordered.
+    const double u = std::min(rng_->unitReal(), 0.999999);
+    const double gap = -static_cast<double>(mean) * std::log(1.0 - u);
+    return std::max<u64>(1, static_cast<u64>(gap));
+}
+
+u64
+ChurnProcess::nextArrivalGap()
+{
+    return exponential(params_.meanInterarrival);
+}
+
+u64
+ChurnProcess::nextLifetime()
+{
+    return exponential(params_.meanLifetime);
+}
+
+ChurnTenantProfile
+ChurnProcess::makeProfile(u64 ordinal, u32 lineSize)
+{
+    MOLCACHE_EXPECT(lineSize > 0, "line size must be positive");
+    ChurnTenantProfile profile;
+    // Footprint and goal are log-uniform: tenant populations span
+    // orders of magnitude (Memshare's heterogeneous-tenant model), and
+    // a linear draw would make every tenant effectively large.
+    const double fspan =
+        static_cast<double>(params_.maxFootprintBytes) /
+        static_cast<double>(params_.minFootprintBytes);
+    const double footprint = static_cast<double>(params_.minFootprintBytes) *
+                             std::pow(fspan, rng_->unitReal());
+    const double gspan = params_.maxGoal / params_.minGoal;
+    profile.missRateGoal =
+        params_.minGoal * std::pow(gspan, rng_->unitReal());
+    profile.lineSize = lineSize;
+    profile.footprintLines = std::max<u64>(
+        1, static_cast<u64>(footprint) / lineSize);
+    profile.hotLines = std::max<u64>(
+        1, static_cast<u64>(static_cast<double>(profile.footprintLines) *
+                            params_.hotFraction));
+    profile.hotProbability = params_.hotProbability;
+    profile.writeFraction = params_.writeFraction;
+    // Disjoint 4 GiB windows per tenant ordinal: tenants never alias
+    // each other's lines, so the coherence directory sees real sharing
+    // only when a test sets it up on purpose.
+    profile.base = (ordinal + 1) << 32;
+    return profile;
+}
+
+} // namespace molcache

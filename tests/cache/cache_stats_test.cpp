@@ -61,6 +61,55 @@ TEST(CacheStats, Reset)
     EXPECT_TRUE(s.perAsid().empty());
 }
 
+TEST(CacheStats, RetireRecyclesTheDenseSlot)
+{
+    CacheStats s;
+    s.record(Asid{7}, false, false);
+    s.record(Asid{7}, true, false);
+    ASSERT_EQ(s.forAsid(Asid{7}).accesses, 2u);
+    EXPECT_EQ(s.generationOf(Asid{7}), 0u);
+
+    // Regression: the dense per-ASID index used to assume an ASID value
+    // is never reused, so a recycled ASID inherited its predecessor's
+    // counters.  retire() must clear the slot and tag the reuse.
+    s.retire(Asid{7});
+    EXPECT_EQ(s.forAsid(Asid{7}).accesses, 0u)
+        << "a recycled ASID must start from zeroed counters";
+    EXPECT_EQ(s.generationOf(Asid{7}), 1u);
+    EXPECT_TRUE(s.perAsid().find(Asid{7}) == s.perAsid().end())
+        << "retired slots must leave the per-ASID map";
+
+    // Lifetime totals survive the departure...
+    EXPECT_EQ(s.global().accesses, 2u);
+
+    // ...and the successor accumulates independently, under the next
+    // generation once it too retires.
+    s.record(Asid{7}, true, false);
+    EXPECT_EQ(s.forAsid(Asid{7}).accesses, 1u);
+    s.retire(Asid{7});
+    EXPECT_EQ(s.generationOf(Asid{7}), 2u);
+}
+
+TEST(CacheStats, RetireUnseenAsidStillMarksReuse)
+{
+    CacheStats s;
+    s.retire(Asid{3});
+    EXPECT_EQ(s.generationOf(Asid{3}), 1u)
+        << "even an unseen retire marks a reuse boundary";
+    s.record(Asid{3}, false, false);
+    EXPECT_EQ(s.forAsid(Asid{3}).accesses, 1u);
+}
+
+TEST(CacheStats, ResetClearsGenerations)
+{
+    CacheStats s;
+    s.record(Asid{1}, false, false);
+    s.retire(Asid{1});
+    ASSERT_EQ(s.generationOf(Asid{1}), 1u);
+    s.reset();
+    EXPECT_EQ(s.generationOf(Asid{1}), 0u);
+}
+
 TEST(CacheStats, HitRateComplementsMissRate)
 {
     CacheStats s;

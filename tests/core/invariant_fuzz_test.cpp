@@ -11,6 +11,7 @@
 #include <set>
 
 #include "core/molecular_cache.hpp"
+#include "core/sim_access.hpp"
 #include "fault/invariant_checker.hpp"
 #include "util/units.hpp"
 
@@ -137,13 +138,13 @@ TEST_P(MolecularFuzz, RandomOperationSequence)
                 auto it = registered.begin();
                 std::advance(it, rng.below(
                                  static_cast<u32>(registered.size())));
-                cache.migrateApplication(
+                SimAccess{cache}.migrateApplication(
                     *it, ClusterId{rng.below(cache.params().clusters)},
                     rng.below(cache.params().tilesPerCluster));
             }
         } else if (op < 96) {
             // Corrupt a random line (latent until the slot is probed).
-            cache.injectTransientFlip(
+            SimAccess{cache}.injectTransientFlip(
                 MoleculeId{rng.below(cache.params().totalMolecules())},
                 rng.below(cache.params().linesPerMolecule()));
         } else {
@@ -151,7 +152,7 @@ TEST_P(MolecularFuzz, RandomOperationSequence)
             // quarter of the cache so regions always have room to recover.
             if (cache.decommissionedMolecules() <
                 cache.params().totalMolecules() / 4) {
-                cache.decommissionMolecule(
+                SimAccess{cache}.decommissionMolecule(
                     MoleculeId{rng.below(cache.params().totalMolecules())});
             }
         }
@@ -192,7 +193,7 @@ TEST_P(PlacementFuzz, AccessStormKeepsInvariants)
                                        : AccessType::Read});
         if (i == 10000 || i == 20000) {
             // Mid-storm molecule losses; the audit keeps watching.
-            cache.decommissionMolecule(
+            SimAccess{cache}.decommissionMolecule(
                 MoleculeId{rng.below(p.totalMolecules())});
         }
     }

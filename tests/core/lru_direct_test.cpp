@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/molecular_cache.hpp"
+#include "core/sim_access.hpp"
 #include "util/units.hpp"
 
 namespace molcache {
@@ -113,7 +114,7 @@ TEST(LruDirect, PinnedVictimScenario)
     // Fence off a region molecule: its resident line is lost, the
     // region shrinks to 3 ways, and the LRU walk skips the fenced way.
     ASSERT_TRUE(cache.region(Asid{0}).contains(MoleculeId{1}));
-    ASSERT_TRUE(cache.decommissionMolecule(MoleculeId{1}));
+    ASSERT_TRUE(SimAccess{cache}.decommissionMolecule(MoleculeId{1}));
     run({0, 3, 2, 4, 0}, "MMHMM");
 }
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/molecular_cache.hpp"
+#include "core/sim_access.hpp"
 #include "util/units.hpp"
 
 namespace molcache {
@@ -41,7 +42,7 @@ TEST(Migration, SameClusterKeepsContents)
     cache.access(read(0x4000));
     EXPECT_TRUE(cache.access(read(0x4000)).hit);
 
-    cache.migrateApplication(Asid{0}, ClusterId{0}, 1); // tile 0 -> tile 1, same cluster
+    SimAccess{cache}.migrateApplication(Asid{0}, ClusterId{0}, 1); // tile 0 -> tile 1, same cluster
     EXPECT_EQ(cache.region(Asid{0}).homeTile(), TileId{1});
     EXPECT_EQ(cache.region(Asid{0}).homeCluster(), ClusterId{0});
 
@@ -60,7 +61,7 @@ TEST(Migration, CrossClusterRebuildsPartition)
     cache.access(read(0x4000));
     const u32 size_before = cache.region(Asid{0}).size();
 
-    cache.migrateApplication(Asid{0}, ClusterId{1}, 0);
+    SimAccess{cache}.migrateApplication(Asid{0}, ClusterId{1}, 0);
     EXPECT_EQ(cache.region(Asid{0}).homeCluster(), ClusterId{1});
     // Goal and line multiple survive the rebuild.
     EXPECT_DOUBLE_EQ(cache.region(Asid{0}).resizeGoal, 0.15);
@@ -78,14 +79,14 @@ TEST(Migration, CrossClusterWritesBackDirtyLines)
     MolecularCache cache(params());
     cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
     cache.access({0x4000, Asid{0}, AccessType::Write});
-    cache.migrateApplication(Asid{0}, ClusterId{1}, 1);
+    SimAccess{cache}.migrateApplication(Asid{0}, ClusterId{1}, 1);
     EXPECT_GE(cache.stats().forAsid(Asid{0}).writebacks, 1u);
 }
 
 TEST(MigrationDeath, UnknownAsid)
 {
     MolecularCache cache(params());
-    EXPECT_EXIT(cache.migrateApplication(Asid{9}, ClusterId{0}, 0),
+    EXPECT_EXIT(SimAccess{cache}.migrateApplication(Asid{9}, ClusterId{0}, 0),
                 ::testing::ExitedWithCode(1), "not registered");
 }
 
@@ -93,9 +94,9 @@ TEST(MigrationDeath, BadDestination)
 {
     MolecularCache cache(params());
     cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
-    EXPECT_EXIT(cache.migrateApplication(Asid{0}, ClusterId{7}, 0),
+    EXPECT_EXIT(SimAccess{cache}.migrateApplication(Asid{0}, ClusterId{7}, 0),
                 ::testing::ExitedWithCode(1), "cluster");
-    EXPECT_EXIT(cache.migrateApplication(Asid{0}, ClusterId{1}, 7),
+    EXPECT_EXIT(SimAccess{cache}.migrateApplication(Asid{0}, ClusterId{1}, 7),
                 ::testing::ExitedWithCode(1), "tile");
 }
 

@@ -1,4 +1,5 @@
 #include "core/molecular_cache.hpp"
+#include "core/sim_access.hpp"
 
 #include <gtest/gtest.h>
 
@@ -183,10 +184,10 @@ TEST(MolecularCache, SharedMoleculeServesAllAsids)
         return kInvalidMolecule;
     }();
     ASSERT_NE(holder, kInvalidMolecule);
-    cache.setSharedMolecule(holder, true);
+    SimAccess{cache}.setSharedMolecule(holder, true);
     // The shared hit services app 2 without filling its own region...
     EXPECT_TRUE(cache.access(read(0x2000, 2)).hit);
-    cache.setSharedMolecule(holder, false);
+    SimAccess{cache}.setSharedMolecule(holder, false);
     // ...so once unshared, app 2 no longer sees the line.
     EXPECT_FALSE(cache.access(read(0x2000, 2)).hit);
 }

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/molecular_cache.hpp"
+#include "core/sim_access.hpp"
 #include "fault/invariant_checker.hpp"
 #include "mem/interleave.hpp"
 #include "sim/simulator.hpp"
@@ -65,7 +66,7 @@ TEST(Decommission, FreeMoleculeLeavesPoolForever)
     const u32 total = cache.params().totalMolecules();
     ASSERT_EQ(cache.freeMolecules(), total);
 
-    EXPECT_TRUE(cache.decommissionMolecule(MoleculeId{0}));
+    EXPECT_TRUE(SimAccess{cache}.decommissionMolecule(MoleculeId{0}));
     EXPECT_EQ(cache.freeMolecules(), total - 1);
     EXPECT_EQ(cache.decommissionedMolecules(), 1u);
     EXPECT_EQ(cache.faultStats().moleculesDecommissioned, 1u);
@@ -82,8 +83,8 @@ TEST(Decommission, FreeMoleculeLeavesPoolForever)
 TEST(Decommission, SecondCallIsNoop)
 {
     MolecularCache cache(smallParams());
-    EXPECT_TRUE(cache.decommissionMolecule(MoleculeId{3}));
-    EXPECT_FALSE(cache.decommissionMolecule(MoleculeId{3}));
+    EXPECT_TRUE(SimAccess{cache}.decommissionMolecule(MoleculeId{3}));
+    EXPECT_FALSE(SimAccess{cache}.decommissionMolecule(MoleculeId{3}));
     EXPECT_EQ(cache.faultStats().moleculesDecommissioned, 1u);
 }
 
@@ -101,7 +102,7 @@ TEST(Decommission, OwnedMoleculeDrainsAndRegionRecovers)
     ASSERT_GT(before, 0u);
     const MoleculeId victim = region.rows()[0][0];
 
-    EXPECT_TRUE(cache.decommissionMolecule(victim));
+    EXPECT_TRUE(SimAccess{cache}.decommissionMolecule(victim));
     EXPECT_EQ(region.size(), before - 1);
     EXPECT_FALSE(region.contains(victim));
     EXPECT_TRUE(cache.molecule(victim).decommissioned());
@@ -124,18 +125,18 @@ TEST(Decommission, HardFaultsCountUpToThreshold)
     p.hardFaultThreshold = 3;
     MolecularCache cache(p);
 
-    cache.injectHardFault(MoleculeId{5});
-    cache.injectHardFault(MoleculeId{5});
+    SimAccess{cache}.injectHardFault(MoleculeId{5});
+    SimAccess{cache}.injectHardFault(MoleculeId{5});
     EXPECT_FALSE(cache.molecule(MoleculeId{5}).decommissioned());
     EXPECT_EQ(cache.molecule(MoleculeId{5}).hardFaults(), 2u);
 
-    cache.injectHardFault(MoleculeId{5});
+    SimAccess{cache}.injectHardFault(MoleculeId{5});
     EXPECT_TRUE(cache.molecule(MoleculeId{5}).decommissioned());
     EXPECT_EQ(cache.faultStats().hardFaultEvents, 3u);
     EXPECT_EQ(cache.faultStats().moleculesDecommissioned, 1u);
 
     // Further detections on a fenced molecule are counted but harmless.
-    cache.injectHardFault(MoleculeId{5});
+    SimAccess{cache}.injectHardFault(MoleculeId{5});
     EXPECT_EQ(cache.faultStats().hardFaultEvents, 4u);
     EXPECT_EQ(cache.faultStats().moleculesDecommissioned, 1u);
 }
@@ -154,7 +155,7 @@ TEST(TransientFlip, DetectedOnNextProbeAndReadAsMiss)
                       cache.params().linesPerMolecule();
     for (const auto &row : cache.region(Asid{0}).rows())
         for (const MoleculeId id : row)
-            cache.injectTransientFlip(id, index);
+            SimAccess{cache}.injectTransientFlip(id, index);
 
     const AccessResult r = cache.access({addr, Asid{0}, AccessType::Read});
     EXPECT_FALSE(r.hit); // parity caught the corruption: treated as a miss
@@ -173,7 +174,7 @@ TEST(TileOutage, FencesWholeTileAndRegionMigratesCapacity)
     warm(cache, Asid{0}, 2000, 1024);
     ASSERT_GT(cache.region(Asid{0}).size(), 0u);
 
-    cache.injectTileOutage(TileId{0});
+    SimAccess{cache}.injectTileOutage(TileId{0});
     EXPECT_EQ(cache.tile(TileId{0}).usableMolecules(), 0u);
     EXPECT_EQ(cache.decommissionedMolecules(),
               cache.params().moleculesPerTile);
@@ -195,7 +196,7 @@ TEST(FaultSchedule, EventsFireOnAccessTicks)
 
     FaultInjector inj;
     inj.schedule({3, FaultKind::HardFault, 14, 0});
-    cache.setFaultInjector(std::move(inj));
+    SimAccess{cache}.setFaultInjector(std::move(inj));
 
     cache.access({addrFor(Asid{0}, 0), Asid{0}, AccessType::Read});
     cache.access({addrFor(Asid{0}, 1), Asid{0}, AccessType::Read});
@@ -225,7 +226,7 @@ TEST(SimResultFaults, CountersSurfaceThroughSimulator)
     spec.hardFraction = 0.25;
     spec.windowStart = 100;
     spec.windowEnd = 2000;
-    cache.setFaultInjector(FaultInjector::fromSpec(
+    SimAccess{cache}.setFaultInjector(FaultInjector::fromSpec(
         spec, p.totalMolecules(), p.moleculesPerTile, p.linesPerMolecule()));
 
     std::vector<MemAccess> refs;

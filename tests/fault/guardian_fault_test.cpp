@@ -11,6 +11,7 @@
 
 #include "core/guardian.hpp"
 #include "core/molecular_cache.hpp"
+#include "core/sim_access.hpp"
 #include "util/units.hpp"
 
 namespace molcache {
@@ -68,7 +69,7 @@ TEST(GuardianFault, FloorRestoredAfterDecommissionUnderEmptyPool)
     // well below the floor — while the pool has nothing to re-grant.
     const Region &victim = cache.region(Asid{1});
     while (victim.size() > 1) {
-        ASSERT_TRUE(cache.decommissionMolecule(victim.rows()[0][0]));
+        ASSERT_TRUE(SimAccess{cache}.decommissionMolecule(victim.rows()[0][0]));
     }
     ASSERT_LT(victim.size(), floor);
     EXPECT_TRUE(victim.recovering);

@@ -10,6 +10,7 @@
 #include "cache/set_assoc.hpp"
 #include "cache/way_partitioned.hpp"
 #include "core/molecular_cache.hpp"
+#include "core/sim_access.hpp"
 #include "util/units.hpp"
 
 namespace molcache {
@@ -86,7 +87,7 @@ TEST(Latency, MolecularRemoteHitPaysUlmoHop)
     cache.registerApplication(Asid{0}, 0.1, ClusterId{0}, 0, 1);
     cache.access(read(0x4000)); // fill on tile 0
     // Move the entry point: the line is now remote.
-    cache.migrateApplication(Asid{0}, ClusterId{0}, 1);
+    SimAccess{cache}.migrateApplication(Asid{0}, ClusterId{0}, 1);
     const AccessResult r = cache.access(read(0x4000));
     ASSERT_TRUE(r.hit);
     ASSERT_EQ(r.level, 1u);

@@ -102,5 +102,39 @@ TEST(Sync, CondVarNotifyAllWakesEveryWaiter)
     EXPECT_EQ(woke, 3);
 }
 
+TEST(Sync, CondVarWaitForWakesOnNotify)
+{
+    mc::Mutex mutex;
+    mc::CondVar cv;
+    bool go = false;
+    bool woke = false;
+
+    // A generous timeout: the test passes because notify wakes the
+    // waiter, not because the clock ran out.
+    std::thread waiter([&] {
+        mc::MutexLock lock(mutex);
+        while (!go)
+            cv.waitFor(mutex, 60'000);
+        woke = true;
+    });
+    {
+        mc::MutexLock lock(mutex);
+        go = true;
+    }
+    cv.notifyAll();
+    waiter.join();
+    EXPECT_TRUE(woke);
+}
+
+TEST(Sync, CondVarWaitForReturnsOnTimeout)
+{
+    mc::Mutex mutex;
+    mc::CondVar cv;
+    // Nobody ever notifies: waitFor must come back by itself (this is
+    // the control thread's pacing primitive), with the mutex re-held.
+    mc::MutexLock lock(mutex);
+    cv.waitFor(mutex, 1);
+}
+
 } // namespace
 } // namespace molcache

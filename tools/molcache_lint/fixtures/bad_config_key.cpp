@@ -26,3 +26,11 @@ readHint(const molcache::Config &cfg)
     // a typo of it.
     return cfg.getDouble("workload.hint.dropout", 0.0); // config-key
 }
+
+molcache::i64
+readService(const molcache::Config &cfg)
+{
+    // "service.shards" is registered; the singular "service.shard" is
+    // a typo of it.
+    return cfg.getInt("service.shard", 2); // config-key
+}

@@ -1,0 +1,16 @@
+// Negative fixture: the concurrent service layer reaching for
+// SimAccess, the quiescent-cache friend facade over MolecularCache's
+// sim-only mutators.  The service can never guarantee quiescence, so
+// the rule bans the pairing outright (no hatch).
+#include "core/molecular_cache.hpp"
+#include "core/sim_access.hpp"
+
+namespace molcache::mc {
+
+void
+breakATile(MolecularCache &cache)
+{
+    SimAccess{cache}.injectTileOutage(TileId{0}); // sim-access-in-service
+}
+
+} // namespace molcache::mc

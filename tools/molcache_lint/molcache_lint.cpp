@@ -63,12 +63,21 @@
  *                       construction outside the worker pool
  *                       (src/exec/thread_pool.*) -- detached threads
  *                       outlive scope unjoinably and break the
- *                       deterministic shutdown story.
+ *                       deterministic shutdown story.  A long-lived
+ *                       owned thread (the molcached control plane) opts
+ *                       out of the raw-thread half only with
+ *                       `// lint: allow(raw-thread): <why>` on or just
+ *                       above the declaration; .detach() has no hatch.
  *  - lock-across-call:  holding an mc::MutexLock across a user-callback
  *                       invocation in src/exec/ -- callbacks can run for
  *                       seconds or re-enter the caller; opt out with
  *                       `// lint: allow(lock-across-call): <why>` when
  *                       serialization is the documented contract.
+ *  - sim-access-in-service: SimAccess (the quiescent-cache friend
+ *                       facade over MolecularCache's sim-only mutators)
+ *                       used under src/service/ -- the service serves
+ *                       concurrent callers, and SimAccess's contract is
+ *                       a quiescent cache; there is no hatch.
  *
  * Usage:
  *   molcache_lint --root <repo-root>               lint the tree
@@ -660,11 +669,40 @@ checkDetachedThread(const SourceFile &f, const Context &)
     static const std::regex rawThread(R"(\bstd\s*::\s*j?thread\b)");
     for (auto it =
              std::sregex_iterator(f.code.begin(), f.code.end(), rawThread);
-         it != std::sregex_iterator(); ++it)
-        report("detached-thread", f.rel,
-               lineOf(f.code, static_cast<size_t>(it->position(0))),
+         it != std::sregex_iterator(); ++it) {
+        const int line =
+            lineOf(f.code, static_cast<size_t>(it->position(0)));
+        // A long-lived thread the owner joins deterministically (the
+        // molcached control plane) may opt out — the tag forces the
+        // shutdown story to be written down where the thread lives.
+        if (hasTagNear(f.raw, line, 2, "lint: allow(raw-thread)"))
+            continue;
+        report("detached-thread", f.rel, line,
                "raw std::thread outside src/exec/thread_pool.*; run work "
-               "through WorkStealingPool");
+               "through WorkStealingPool or tag "
+               "'// lint: allow(raw-thread): <why>'");
+    }
+}
+
+void
+checkSimAccessInService(const SourceFile &f, const Context &)
+{
+    // SimAccess's contract is a QUIESCENT cache (no concurrent access
+    // anywhere); src/service/ exists to serve concurrent callers, so
+    // the two must never meet.  Deliberately no hatch: a service-side
+    // need for a sim-only mutator means the mutator needs a real,
+    // locked service verb instead.
+    if (!startsWith(f.rel, "src/service/"))
+        return;
+    static const std::regex simAccess(R"(\bSimAccess\b)");
+    for (auto it =
+             std::sregex_iterator(f.code.begin(), f.code.end(), simAccess);
+         it != std::sregex_iterator(); ++it)
+        report("sim-access-in-service", f.rel,
+               lineOf(f.code, static_cast<size_t>(it->position(0))),
+               "SimAccess inside src/service/: its contract is a "
+               "quiescent cache, which a concurrent service can never "
+               "guarantee; add a locked Service verb instead");
 }
 
 void
@@ -745,6 +783,8 @@ const Rule kRules[] = {
     {"detached-thread", "bad_detached_thread.cpp", checkDetachedThread},
     {"lock-across-call", "bad_exec_lock_across_call.cpp",
      checkLockAcrossCall},
+    {"sim-access-in-service", "bad_service_sim_access.cpp",
+     checkSimAccessInService},
 };
 
 void
@@ -935,14 +975,17 @@ runSelfTest(const fs::path &root)
     for (const fs::path &p : files) {
         // Fixtures mimic tree files: *core* fixtures play src/core
         // headers, *exec* fixtures src/exec translation units,
-        // everything else a generic src/ file — so path-scoped rules
-        // see the paths they police.
+        // *service* fixtures src/service files, everything else a
+        // generic src/ file — so path-scoped rules see the paths they
+        // police.
         const std::string name = p.filename().string();
         std::string rel = "src/fixture/" + name;
         if (name.find("core") != std::string::npos)
             rel = "src/core/" + name;
         else if (name.find("exec") != std::string::npos)
             rel = "src/exec/" + name;
+        else if (name.find("service") != std::string::npos)
+            rel = "src/service/" + name;
         runAllRules(loadFile(p, rel), ctx);
     }
 

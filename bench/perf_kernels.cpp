@@ -15,7 +15,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <span>
+#include <vector>
 
 #include "cache/set_assoc.hpp"
 #include "core/molecular_cache.hpp"
@@ -161,6 +163,48 @@ BENCHMARK(BM_HotpathMolecular)
     ->Arg(kHotRandyRowRestricted)
     ->Arg(kHotLruDirect);
 
+/**
+ * Batched access-path throughput: the same steady-state trace as
+ * BM_HotpathMolecular, fed through MolecularCache::accessBatch in
+ * 4096-record blocks.  Results are byte-identical to the scalar path
+ * (tests/core/batch_differential_test.cpp pins this); the kernel
+ * measures how much of the per-access fixed cost the batch plane
+ * amortizes away.  Gated against BENCH_hotpath.json like the scalar
+ * kernels.
+ */
+void
+BM_HotpathBatch(benchmark::State &state)
+{
+    MolecularCache cache(hotpathParams(static_cast<int>(state.range(0))));
+    for (u32 a = 0; a < 4; ++a)
+        cache.registerApplication(Asid{static_cast<u16>(a)}, 0.1,
+                                  ClusterId{0}, a, 1);
+    const auto trace = sampleTrace(100000);
+    std::vector<AccessResult> results(trace.size());
+    for (const MemAccess &a : trace)
+        cache.access(a); // warmup pass: populate regions + fills
+    constexpr size_t kBlock = 4096;
+    size_t off = 0;
+    i64 items = 0;
+    for (auto _ : state) {
+        const size_t n = std::min(kBlock, trace.size() - off);
+        cache.accessBatch(trace.subspan(off, n),
+                          std::span<AccessResult>{results.data() + off, n});
+        benchmark::DoNotOptimize(results[off].hit);
+        items += static_cast<i64>(n);
+        off = off + n == trace.size() ? 0 : off + n;
+    }
+    // One iteration = one block; items_per_second is what makes this
+    // kernel comparable with the scalar (one-access-per-iteration) ones,
+    // and it is what the perf-baseline gate reads.
+    state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_HotpathBatch)
+    ->Arg(kHotRandom)
+    ->Arg(kHotRandy)
+    ->Arg(kHotRandyRowRestricted)
+    ->Arg(kHotLruDirect);
+
 /** Traditional set-associative reference point for the same trace. */
 void
 BM_HotpathTraditional(benchmark::State &state)
@@ -206,4 +250,26 @@ BENCHMARK(BM_ZipfSample)->Arg(1024)->Arg(65536);
 
 } // namespace
 
-// main() comes from benchmark::benchmark_main.
+/**
+ * Hand-rolled main (instead of benchmark::benchmark_main) so every JSON
+ * capture carries the build type of *this* binary in its context block.
+ * The stock "library_build_type" key describes how the google-benchmark
+ * library was compiled — on distro packages that can say "debug" even
+ * for a -O3 molcache build — so the perf-baseline gate keys off
+ * "molcache_build_type" and refuses captures that were not Release.
+ */
+int
+main(int argc, char **argv)
+{
+#ifdef NDEBUG
+    benchmark::AddCustomContext("molcache_build_type", "release");
+#else
+    benchmark::AddCustomContext("molcache_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -20,6 +20,7 @@
  * artifact the adversarial job uploads and gates on.
  */
 
+#include <array>
 #include <fstream>
 #include <thread>
 #include <vector>
@@ -47,6 +48,9 @@ struct DrillConfig
     u64 epochMillis = 5;
     u32 maxTenants = 48;
     u32 initialTenants = 8;
+    /** Drive bursts through Service::accessBatch instead of per-ref
+     * access(); same addresses, same burst sizes. */
+    bool batch = false;
     ChurnParams churn;
 };
 
@@ -73,9 +77,11 @@ struct Board
 };
 
 void
-runWorker(mc::Service &service, Board &board, u64 seed)
+runWorker(mc::Service &service, Board &board, u64 seed, bool batch)
 {
     const auto rng = makeRandomSource(RngKind::Pcg32, seed);
+    std::array<mc::Service::TenantAccess, 64> refs;
+    std::array<AccessResult, 64> results;
     const u64 before = contract::counters().total();
     mc::TenantHandle handle;
     ChurnTenantProfile profile;
@@ -101,9 +107,18 @@ runWorker(mc::Service &service, Board &board, u64 seed)
             continue;
         }
         u64 burst = 0;
-        for (; burst < 64; ++burst)
-            service.access(handle, churnAddress(profile, *rng),
-                           churnIsWrite(profile, *rng));
+        if (batch) {
+            for (; burst < refs.size(); ++burst) {
+                refs[burst] = {churnAddress(profile, *rng),
+                               churnIsWrite(profile, *rng)};
+            }
+            service.accessBatch(handle, {refs.data(), refs.size()},
+                                {results.data(), results.size()});
+        } else {
+            for (; burst < 64; ++burst)
+                service.access(handle, churnAddress(profile, *rng),
+                               churnIsWrite(profile, *rng));
+        }
         board.accesses.fetch_add(burst, std::memory_order_relaxed);
     }
     board.contractViolations.fetch_add(contract::counters().total() - before,
@@ -200,6 +215,9 @@ main(int argc, char **argv)
     cli.addOption("json", "",
                   "write the service_summary telemetry document here");
     cli.addFlag("csv", "emit CSV instead of an aligned table");
+    cli.addFlag("batch",
+                "drive worker bursts through Service::accessBatch "
+                "(one shard lock per burst)");
     cli.addFlag("smoke",
                 "CI-sized run: same dynamics, ~10x shorter, exit "
                 "status is the sanity gate");
@@ -212,6 +230,7 @@ main(int argc, char **argv)
     cfg.shards = static_cast<u32>(cli.integer("shards"));
     cfg.epochMillis = static_cast<u64>(cli.integer("epoch-ms"));
     cfg.maxTenants = static_cast<u32>(cli.integer("max-tenants"));
+    cfg.batch = cli.flag("batch");
     if (cli.flag("smoke")) {
         cfg.totalRefs = std::min<u64>(cfg.totalRefs, 200'000);
         cfg.churn.meanInterarrival = 4'000;
@@ -230,11 +249,11 @@ main(int argc, char **argv)
 
     bench::banner("molcached service churn drill");
     std::printf("workers %u, shards %u, target %llu accesses, epoch %llu "
-                "ms, admission cap %u\n",
+                "ms, admission cap %u%s\n",
                 cfg.workers, cfg.shards,
                 static_cast<unsigned long long>(cfg.totalRefs),
                 static_cast<unsigned long long>(cfg.epochMillis),
-                cfg.maxTenants);
+                cfg.maxTenants, cfg.batch ? ", batched bursts" : "");
 
     Board board;
     {
@@ -246,7 +265,7 @@ main(int argc, char **argv)
                 runDriver(service, board, cfg);
             else
                 runWorker(service, board,
-                          deriveJobSeed(cfg.seed, 1000 + job));
+                          deriveJobSeed(cfg.seed, 1000 + job), cfg.batch);
         });
     }
 

@@ -1,0 +1,17 @@
+#include "cache/cache_model.hpp"
+
+#include "contract/contract.hpp"
+
+namespace molcache {
+
+void
+CacheModel::accessBatch(std::span<const MemAccess> in,
+                        std::span<AccessResult> out)
+{
+    MOLCACHE_EXPECT(in.size() == out.size(),
+                    "accessBatch span length mismatch");
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] = access(in[i]);
+}
+
+} // namespace molcache

@@ -11,6 +11,7 @@
 #ifndef MOLCACHE_CACHE_CACHE_MODEL_HPP
 #define MOLCACHE_CACHE_CACHE_MODEL_HPP
 
+#include <span>
 #include <string>
 
 #include "cache/cache_stats.hpp"
@@ -25,6 +26,17 @@ class CacheModel
 
     /** Present one reference; updates stats and returns the outcome. */
     virtual AccessResult access(const MemAccess &access) = 0;
+
+    /**
+     * Present a block of references; writes one outcome per reference.
+     * Semantically identical to calling access() in order — models
+     * override it purely to amortize per-reference overhead (the
+     * molecular cache's batch pipeline, docs/perf.md) and the
+     * differential suite pins byte-identical results against the scalar
+     * path.  @p in and @p out must be the same length.
+     */
+    virtual void accessBatch(std::span<const MemAccess> in,
+                             std::span<AccessResult> out);
 
     /** Aggregated statistics since construction / last resetStats(). */
     virtual const CacheStats &stats() const = 0;

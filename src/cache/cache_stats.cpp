@@ -33,6 +33,20 @@ CacheStats::record(Asid asid, bool hit, bool isWrite, Cycles latency)
 }
 
 void
+CacheStats::recordHitBatch(Asid asid, u64 count, u64 writes,
+                           Cycles latencyEach)
+{
+    auto bump = [&](AccessCounters &c) {
+        c.accesses += count;
+        c.hits += count;
+        c.writes += writes;
+        c.latencyCycles += Cycles{latencyEach.value() * count};
+    };
+    bump(global_);
+    bump(slot(asid));
+}
+
+void
 CacheStats::recordWriteback(Asid asid)
 {
     ++global_.writebacks;

@@ -48,6 +48,16 @@ class CacheStats
     void record(Asid asid, bool hit, bool isWrite,
                 Cycles latency = Cycles{0});
 
+    /**
+     * Batched equivalent of @p count hit records for @p asid, @p writes
+     * of them writes, each with latency @p latencyEach.  The batch access
+     * plane accumulates its uniform home-tile hits in lane-local counters
+     * and flushes them through here; every counter is an integer sum, so
+     * the result is identical to count record() calls.
+     */
+    void recordHitBatch(Asid asid, u64 count, u64 writes,
+                        Cycles latencyEach);
+
     /** Record a dirty-line eviction. */
     void recordWriteback(Asid asid);
 

@@ -8,13 +8,40 @@ namespace molcache {
 Molecule::Molecule(MoleculeId id, TileId tile, u32 numLines,
                    u32 lineSize)
     : id_(id), tile_(tile), numLines_(numLines), lineSize_(lineSize),
-      lines_(numLines)
+      ownTags_(numLines, 0), ownTouched_(numLines, 0),
+      ownFlags_(numLines, 0)
 {
     MOLCACHE_EXPECT(numLines > 0 && isPowerOfTwo(numLines),
                     "molecule lines must be a power of two");
     MOLCACHE_EXPECT(isPowerOfTwo(lineSize), "line size must be 2^k");
     lineShift_ = floorLog2(lineSize);
     tagShift_ = lineShift_ + floorLog2(numLines);
+    tags_ = ownTags_.data();
+    touched_ = ownTouched_.data();
+    flags_ = ownFlags_.data();
+}
+
+Molecule::Molecule(MoleculeId id, TileId tile, u32 numLines, u32 lineSize,
+                   Addr *tags, Tick *touched, u8 *flags)
+    : id_(id), tile_(tile), numLines_(numLines), lineSize_(lineSize),
+      tags_(tags), touched_(touched), flags_(flags)
+{
+    MOLCACHE_EXPECT(numLines > 0 && isPowerOfTwo(numLines),
+                    "molecule lines must be a power of two");
+    MOLCACHE_EXPECT(isPowerOfTwo(lineSize), "line size must be 2^k");
+    MOLCACHE_EXPECT(tags != nullptr && touched != nullptr &&
+                        flags != nullptr,
+                    "molecule line-view pointers must be non-null");
+    lineShift_ = floorLog2(lineSize);
+    tagShift_ = lineShift_ + floorLog2(numLines);
+}
+
+void
+Molecule::clearLine(u32 index)
+{
+    tags_[index] = 0;
+    touched_[index] = 0;
+    flags_[index] = 0;
 }
 
 void
@@ -24,8 +51,8 @@ Molecule::assignTo(Asid asid)
     MOLCACHE_EXPECT(!decommissioned_, "assigning a decommissioned molecule");
     // Reconfiguration invalidates contents: region data must not leak
     // between applications.
-    for (Line &l : lines_)
-        l = Line{};
+    for (u32 i = 0; i < numLines_; ++i)
+        clearLine(i);
     valid_ = 0;
     asid_ = asid;
     missCount_ = 0;
@@ -35,11 +62,13 @@ u32
 Molecule::release()
 {
     u32 dirty = 0;
-    for (Line &l : lines_) {
+    for (u32 i = 0; i < numLines_; ++i) {
         // Poisoned lines are corrupt: dropped, never written back.
-        if (l.valid && l.dirty && !l.poisoned)
+        const u8 f = flags_[i];
+        if ((f & (kLineValid | kLineDirty | kLinePoisoned)) ==
+            (kLineValid | kLineDirty))
             ++dirty;
-        l = Line{};
+        clearLine(i);
     }
     valid_ = 0;
     asid_ = kInvalidAsid;
@@ -51,57 +80,61 @@ Molecule::release()
 void
 Molecule::markDirty(Addr addr)
 {
-    Line &l = lines_[indexOf(addr)];
-    MOLCACHE_EXPECT(l.valid && l.tag == tagOf(addr),
+    const u32 i = indexOf(addr);
+    MOLCACHE_EXPECT((flags_[i] & kLineValid) != 0 &&
+                        tags_[i] == tagOf(addr),
                     "markDirty on non-resident line");
-    l.dirty = true;
+    flags_[i] |= kLineDirty;
 }
 
 std::optional<Eviction>
 Molecule::fill(Addr addr, bool dirty, Tick tick)
 {
-    Line &l = lines_[indexOf(addr)];
+    const u32 i = indexOf(addr);
+    const u8 f = flags_[i];
     std::optional<Eviction> evicted;
-    if (l.valid) {
-        if (l.tag == tagOf(addr)) {
+    if ((f & kLineValid) != 0) {
+        if (tags_[i] == tagOf(addr)) {
             // Refill of a resident line.  A poisoned copy is overwritten
             // by the fresh fill, which also clears the corruption — but
             // its dirty bit described lost data, so it must not merge.
-            l.dirty = l.poisoned ? dirty : (l.dirty || dirty);
-            l.poisoned = false;
-            l.touched = tick;
+            const bool merged = (f & kLinePoisoned) != 0
+                                    ? dirty
+                                    : ((f & kLineDirty) != 0 || dirty);
+            flags_[i] = kLineValid | (merged ? kLineDirty : 0);
+            touched_[i] = tick;
             return std::nullopt;
         }
         // Reconstruct the displaced address from tag+index.
-        const Addr old = (l.tag * numLines_ + indexOf(addr)) * lineSize_;
-        evicted = Eviction{old, l.dirty, l.poisoned};
+        const Addr old = (tags_[i] * numLines_ + i) * lineSize_;
+        evicted = Eviction{old, (f & kLineDirty) != 0,
+                           (f & kLinePoisoned) != 0};
     } else {
         ++valid_;
     }
-    l.valid = true;
-    l.tag = tagOf(addr);
-    l.dirty = dirty;
-    l.poisoned = false;
-    l.touched = tick;
+    tags_[i] = tagOf(addr);
+    flags_[i] = kLineValid | (dirty ? kLineDirty : 0);
+    touched_[i] = tick;
     return evicted;
 }
 
 void
 Molecule::noteTouch(Addr addr, Tick tick)
 {
-    Line &l = lines_[indexOf(addr)];
-    MOLCACHE_EXPECT(l.valid && l.tag == tagOf(addr),
+    const u32 i = indexOf(addr);
+    MOLCACHE_EXPECT((flags_[i] & kLineValid) != 0 &&
+                        tags_[i] == tagOf(addr),
                     "noteTouch on non-resident line");
-    l.touched = tick;
+    touched_[i] = tick;
 }
 
 std::optional<Tick>
 Molecule::slotTouchTick(Addr addr) const
 {
-    const Line &l = lines_[indexOf(addr)];
-    if (!l.valid)
+    const u32 i = indexOf(addr);
+    if ((flags_[i] & kLineValid) == 0)
         return std::nullopt;
-    return l.touched;
+    return touched_[i];
 }
 
 std::vector<Addr>
@@ -110,8 +143,8 @@ Molecule::residentLines() const
     std::vector<Addr> out;
     out.reserve(valid_);
     for (u32 i = 0; i < numLines_; ++i) {
-        if (lines_[i].valid)
-            out.push_back((lines_[i].tag * numLines_ + i) * lineSize_);
+        if ((flags_[i] & kLineValid) != 0)
+            out.push_back((tags_[i] * numLines_ + i) * lineSize_);
     }
     return out;
 }
@@ -119,11 +152,12 @@ Molecule::residentLines() const
 bool
 Molecule::invalidate(Addr addr)
 {
-    Line &l = lines_[indexOf(addr)];
-    if (!l.valid || l.tag != tagOf(addr))
+    const u32 i = indexOf(addr);
+    const u8 f = flags_[i];
+    if ((f & kLineValid) == 0 || tags_[i] != tagOf(addr))
         return false;
-    const bool was_dirty = l.dirty && !l.poisoned;
-    l = Line{};
+    const bool was_dirty = (f & (kLineDirty | kLinePoisoned)) == kLineDirty;
+    clearLine(i);
     --valid_;
     return was_dirty;
 }
@@ -132,25 +166,24 @@ bool
 Molecule::poisonLine(u32 index)
 {
     MOLCACHE_EXPECT(index < numLines_, "poisoned line index out of range");
-    Line &l = lines_[index];
-    if (!l.valid)
+    if ((flags_[index] & kLineValid) == 0)
         return false; // flip in an invalid slot: nothing to corrupt
-    l.poisoned = true;
+    flags_[index] |= kLinePoisoned;
     return true;
 }
 
 std::optional<Eviction>
 Molecule::scrubIfPoisoned(Addr addr)
 {
-    Line &l = lines_[indexOf(addr)];
-    if (!l.valid || !l.poisoned)
+    const u32 i = indexOf(addr);
+    const u8 f = flags_[i];
+    if ((f & kLineValid) == 0 || (f & kLinePoisoned) == 0)
         return std::nullopt;
     // Parity caught the corruption: drop the line whatever tag it holds
     // (the probe reads the whole slot), and report its identity.
-    const Addr resident =
-        (l.tag * numLines_ + indexOf(addr)) * lineSize_;
-    const Eviction dropped{resident, l.dirty, true};
-    l = Line{};
+    const Addr resident = (tags_[i] * numLines_ + i) * lineSize_;
+    const Eviction dropped{resident, (f & kLineDirty) != 0, true};
+    clearLine(i);
     --valid_;
     return dropped;
 }
@@ -159,8 +192,9 @@ u32
 Molecule::poisonedLines() const
 {
     u32 n = 0;
-    for (const Line &l : lines_)
-        if (l.valid && l.poisoned)
+    for (u32 i = 0; i < numLines_; ++i)
+        if ((flags_[i] & (kLineValid | kLinePoisoned)) ==
+            (kLineValid | kLinePoisoned))
             ++n;
     return n;
 }

@@ -29,16 +29,46 @@ struct Eviction
     bool poisoned = false;
 };
 
+/** @{ Per-line state bits of the struct-of-arrays tag view.  Line state
+ * is split into three parallel arrays (tags / recency stamps / flag
+ * bytes) so the batched access path can scan a tile's slots as
+ * contiguous memory with software prefetch (docs/perf.md). */
+inline constexpr u8 kLineValid = 1u << 0;
+inline constexpr u8 kLineDirty = 1u << 1;
+inline constexpr u8 kLinePoisoned = 1u << 2;
+/** @} */
+
 class Molecule
 {
   public:
     /**
+     * Standalone molecule owning its line storage (unit tests, ad-hoc
+     * construction).
+     *
      * @param id       global molecule id
      * @param tile     owning tile index
      * @param numLines capacity in lines
      * @param lineSize line size in bytes
      */
     Molecule(MoleculeId id, TileId tile, u32 numLines, u32 lineSize);
+
+    /**
+     * View onto tile-owned struct-of-arrays line storage: @p tags,
+     * @p touched and @p flags each point at @p numLines zero-initialized
+     * slots inside the tile's contiguous arrays.  The pointers must stay
+     * valid for the molecule's lifetime (vector heap buffers survive
+     * Tile moves, so they do).
+     */
+    Molecule(MoleculeId id, TileId tile, u32 numLines, u32 lineSize,
+             Addr *tags, Tick *touched, u8 *flags);
+
+    /* Line storage is referenced by raw pointers; copying would alias
+     * two molecules onto one owner's slots. Moves are fine: the owning
+     * vectors' heap buffers are stable across moves. */
+    Molecule(const Molecule &) = delete;
+    Molecule &operator=(const Molecule &) = delete;
+    Molecule(Molecule &&) = default;
+    Molecule &operator=(Molecule &&) = default;
 
     MoleculeId id() const { return id_; }
     TileId tile() const { return tile_; }
@@ -72,8 +102,8 @@ class Molecule
     bool
     lookup(Addr addr) const
     {
-        const Line &l = lines_[indexOf(addr)];
-        return l.valid && l.tag == tagOf(addr);
+        const u32 i = indexOf(addr);
+        return (flags_[i] & kLineValid) != 0 && tags_[i] == tagOf(addr);
     }
 
     /** Outcome of a single hot-path probe (see probe()). */
@@ -88,13 +118,14 @@ class Molecule
     ProbeOutcome
     probe(Addr addr) const
     {
-        const Line &l = lines_[indexOf(addr)];
-        if (!l.valid)
+        const u32 i = indexOf(addr);
+        const u8 f = flags_[i];
+        if ((f & kLineValid) == 0)
             return ProbeOutcome::Miss;
-        if (l.poisoned) [[unlikely]]
+        if ((f & kLinePoisoned) != 0) [[unlikely]]
             return ProbeOutcome::Poisoned;
-        return l.tag == tagOf(addr) ? ProbeOutcome::Hit
-                                    : ProbeOutcome::Miss;
+        return tags_[i] == tagOf(addr) ? ProbeOutcome::Hit
+                                       : ProbeOutcome::Miss;
     }
 
     /** Set the dirty bit of a resident line (write hit). */
@@ -167,16 +198,10 @@ class Molecule
     std::vector<Addr> residentLines() const;
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        u64 touched = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool poisoned = false;
-    };
-
     friend class Tile; // sole caller of markDecommissioned()
+
+    /** Reset one slot to the invalid state (`Line{}` of old). */
+    void clearLine(u32 index);
     void markDecommissioned() { decommissioned_ = true; }
 
     /** Slot index / tag of @p addr.  Line size and line count are
@@ -201,7 +226,16 @@ class Molecule
     u32 tagShift_ = 0;  ///< log2(lineSize_ * numLines_)
     Asid asid_ = kInvalidAsid;
     bool shared_ = false;
-    std::vector<Line> lines_;
+    /** @{ Struct-of-arrays line state.  Either views into the owning
+     * tile's contiguous per-tile arrays (hot configuration) or into the
+     * own* vectors below (standalone construction). */
+    Addr *tags_ = nullptr;
+    Tick *touched_ = nullptr;
+    u8 *flags_ = nullptr;
+    std::vector<Addr> ownTags_;
+    std::vector<Tick> ownTouched_;
+    std::vector<u8> ownFlags_;
+    /** @} */
     u64 missCount_ = 0;
     u32 valid_ = 0;
     u32 hardFaults_ = 0;

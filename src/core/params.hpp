@@ -228,6 +228,17 @@ struct MolecularCacheParams
      * paper's Algorithm 1 grows only while improving; see DESIGN.md). */
     bool growWhenNotImproving = false;
 
+    /**
+     * Way-memoization probe skipping (Ishihara & Fallah, PAPERS.md): a
+     * dense last-hit-molecule table per (ASID, row, slot), probed before
+     * the full schedule and invalidated by the same generation stamps as
+     * the memoized probe schedules.  A pure simulator fast path — every
+     * modeled counter (probes, energy, latency) is still charged as if
+     * the full home-tile schedule were searched, so results stay
+     * byte-identical with this off or on (docs/perf.md).
+     */
+    bool wayMemoization = true;
+
     /** QoS guardian around the resizer (admission control, hysteresis,
      * floors, watchdog); off by default. */
     GuardianParams guardian;

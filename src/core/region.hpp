@@ -194,6 +194,17 @@ class Region
     /** Per-access accounting (drives the resizer and HPM). */
     void noteAccess(bool hit);
 
+    /** Batched equivalent of @p n noteAccess(true) calls (the batch
+     * access plane flushes its per-lane hit accumulator through here;
+     * all counters are sums, so the result is identical). */
+    void
+    noteAccessHits(u64 n)
+    {
+        accesses_ += n;
+        intervalAccesses_ += n;
+        hits_ += n;
+    }
+
     /** @{ Interval statistics consumed by the resizer. */
     u64 intervalAccesses() const { return intervalAccesses_; }
     u64 intervalMisses() const { return intervalMisses_; }

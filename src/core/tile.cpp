@@ -7,12 +7,22 @@ namespace molcache {
 
 Tile::Tile(TileId id, ClusterId cluster, MoleculeId firstMolecule,
            u32 numMolecules, u32 linesPerMol, u32 lineSize)
-    : id_(id), cluster_(cluster), first_(firstMolecule), free_(numMolecules)
+    : id_(id), cluster_(cluster), first_(firstMolecule),
+      linesPerMol_(linesPerMol),
+      soaTags_(static_cast<size_t>(numMolecules) * linesPerMol, 0),
+      soaTouched_(static_cast<size_t>(numMolecules) * linesPerMol, 0),
+      soaFlags_(static_cast<size_t>(numMolecules) * linesPerMol, 0),
+      soaAsid_(numMolecules, kInvalidAsid), free_(numMolecules)
 {
     MOLCACHE_EXPECT(numMolecules > 0, "tile with no molecules");
     molecules_.reserve(numMolecules);
-    for (u32 i = 0; i < numMolecules; ++i)
-        molecules_.emplace_back(firstMolecule + i, id, linesPerMol, lineSize);
+    for (u32 i = 0; i < numMolecules; ++i) {
+        const size_t base = static_cast<size_t>(i) * linesPerMol;
+        molecules_.emplace_back(firstMolecule + i, id, linesPerMol,
+                                lineSize, soaTags_.data() + base,
+                                soaTouched_.data() + base,
+                                soaFlags_.data() + base);
+    }
 }
 
 MoleculeId
@@ -25,6 +35,7 @@ Tile::allocate(Asid asid)
         // out of the pool forever.
         if (m.isFree() && !m.decommissioned()) {
             m.assignTo(asid);
+            soaAsid_[m.id() - first_] = asid;
             --free_;
             return m.id();
         }
@@ -40,6 +51,7 @@ Tile::release(MoleculeId mol)
     MOLCACHE_EXPECT(!m.decommissioned(),
                     "releasing a decommissioned molecule");
     const u32 dirty = m.release();
+    soaAsid_[mol - first_] = kInvalidAsid;
     ++free_;
     return dirty;
 }
@@ -57,6 +69,7 @@ Tile::decommission(MoleculeId mol)
         dirty = m.release();
     }
     m.markDecommissioned();
+    soaAsid_[mol - first_] = kInvalidAsid;
     ++decommissioned_;
     return dirty;
 }

@@ -157,6 +157,14 @@ class FaultInjector
      */
     const FaultEvent *drainOne(Tick now);
 
+    /** Tick of the next undrained event (~0 when none remain), so hot
+     * loops can skip the drain call until it is actually due. */
+    Tick
+    nextDueTick() const
+    {
+        return cursor_ >= events_.size() ? ~Tick{0} : events_[cursor_].tick;
+    }
+
   private:
     std::vector<FaultEvent> events_;
     std::size_t cursor_ = 0;

@@ -147,6 +147,27 @@ Interleaver::next()
 }
 
 size_t
+Interleaver::nextBatch(MemAccess *out, size_t max)
+{
+    size_t n = 0;
+    while (n < max) {
+        if (limit_ != 0 && produced_ >= limit_)
+            break;
+        const int idx = pickSource();
+        if (idx < 0)
+            break;
+        Slot &slot = slots_[static_cast<size_t>(idx)];
+        if (auto a = slot.source->next()) {
+            ++produced_;
+            out[n++] = *a;
+        } else {
+            slot.live = false;
+        }
+    }
+    return n;
+}
+
+size_t
 Interleaver::drainHints(PhaseHint *out, size_t max)
 {
     size_t n = 0;

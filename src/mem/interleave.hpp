@@ -94,6 +94,12 @@ class Interleaver final : public AccessSource
 
     std::optional<MemAccess> next() override;
 
+    /** Bulk merge: identical sequence to repeated next() calls, but the
+     * per-reference virtual dispatch and optional boxing stay inside
+     * one call so the simulate loop's pull side is batched end to end
+     * (docs/perf.md). */
+    size_t nextBatch(MemAccess *out, size_t max) override;
+
     /** Collects whatever the per-application sources queued, in slot
      * order (exhausted sources included — a hint emitted with a source's
      * final references is still delivered). */

@@ -1,5 +1,7 @@
 #include "service/service.hpp"
 
+#include <algorithm>
+#include <array>
 #include <utility>
 
 #include "exec/seed_stream.hpp"
@@ -227,6 +229,39 @@ Service::access(const TenantHandle &handle, Addr addr, bool isWrite)
     return sh.cache->access(MemAccess{addr, state.asid,
                                       isWrite ? AccessType::Write
                                               : AccessType::Read});
+}
+
+void
+Service::accessBatch(const TenantHandle &handle,
+                     std::span<const TenantAccess> in,
+                     std::span<AccessResult> out)
+{
+    MOLCACHE_EXPECT(in.size() == out.size(),
+                    "accessBatch() span length mismatch");
+    MOLCACHE_EXPECT(handle.valid(),
+                    "accessBatch() through an empty TenantHandle");
+    if (!handle.valid()) {
+        std::fill(out.begin(), out.end(), AccessResult{});
+        return;
+    }
+    const detail::TenantState &state = *handle.state_;
+    Shard &sh = *shards_[state.shard];
+    // Stage through a stack chunk so the path stays allocation-free and
+    // one lock hold covers a whole chunk without starving other tenants
+    // of the shard for arbitrarily long blocks.
+    constexpr size_t kChunk = 256;
+    std::array<MemAccess, kChunk> staged;
+    for (size_t off = 0; off < in.size(); off += kChunk) {
+        const size_t n = std::min(kChunk, in.size() - off);
+        for (size_t i = 0; i < n; ++i) {
+            staged[i] = MemAccess{in[off + i].addr, state.asid,
+                                  in[off + i].write ? AccessType::Write
+                                                    : AccessType::Read};
+        }
+        MutexLock lock(sh.mutex);
+        sh.cache->accessBatch(std::span<const MemAccess>{staged.data(), n},
+                              out.subspan(off, n));
+    }
 }
 
 void

@@ -41,6 +41,7 @@
 
 #include <atomic>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -171,6 +172,26 @@ class Service
      */
     AccessResult access(const TenantHandle &handle, Addr addr,
                         bool isWrite = false);
+
+    /** One reference inside an accessBatch() block. */
+    struct TenantAccess
+    {
+        Addr addr = 0;
+        bool write = false;
+    };
+
+    /**
+     * Batched hot path: semantically identical to calling access() once
+     * per entry (same results in @p out, same cache state after), but
+     * the shard lock is taken once per fixed-size chunk instead of once
+     * per reference, and the chunk runs through the simulator core's
+     * batched data plane (MolecularCache::accessBatch, docs/perf.md).
+     * Allocation-free: references are staged through a stack buffer.
+     * @p in and @p out must have equal lengths.
+     */
+    void accessBatch(const TenantHandle &handle,
+                     std::span<const TenantAccess> in,
+                     std::span<AccessResult> out);
 
     /** Replace the tenant's miss-rate goal; Algorithm 1 re-steers on
      * its next resize epochs. */

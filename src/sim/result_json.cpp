@@ -49,6 +49,22 @@ writeSimResultJson(JsonWriter &json, const SimResult &result)
         json.value(static_cast<u64>(result.regionsStillRecovering));
         json.endObject();
     }
+    // Way-memoization telemetry: emitted only when the memo table saw
+    // traffic, so memo-free configurations (and non-molecular models)
+    // keep emitting byte-identical documents.
+    if (result.wayMemoHits + result.wayMemoMispredicts +
+            result.wayMemoInvalidations >
+        0) {
+        json.key("way_memo");
+        json.beginObject();
+        json.key("hits");
+        json.value(result.wayMemoHits);
+        json.key("mispredicts");
+        json.value(result.wayMemoMispredicts);
+        json.key("invalidations");
+        json.value(result.wayMemoInvalidations);
+        json.endObject();
+    }
     // Emitted only when the guardian ran: a disabled guardian leaves
     // the report byte-identical to pre-guardian builds (same contract
     // as the faults block above).

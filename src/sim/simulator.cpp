@@ -33,6 +33,7 @@ Simulator::run(AccessSource &source, CacheModel &model,
     // the std::function and warmup count on every access.
     const u32 batch = std::max<u32>(1, options.batchSize);
     std::vector<MemAccess> buffer(batch);
+    std::vector<AccessResult> results(batch);
     const u64 warmup_tick = options.warmup == 0 ? kNever : options.warmup;
     u64 progress_tick = options.progress ? kProgressStride : kNever;
 
@@ -60,24 +61,44 @@ Simulator::run(AccessSource &source, CacheModel &model,
                     break;
             }
         }
-        for (size_t i = 0; i < n; ++i) {
-            const AccessResult r = model.access(buffer[i]);
-            ++done;
+        // Feed the block through the model's batched entry point,
+        // splitting exactly at the warmup boundary so resetStats() lands
+        // between the same two accesses as the scalar loop would put it.
+        // Progress callbacks fire after the segment with the same done
+        // counts they would see scalar — they observe, never mutate, so
+        // results stay byte-identical.
+        size_t off = 0;
+        while (off < n) {
+            u64 seg = n - off;
+            if (done < warmup_tick)
+                seg = std::min<u64>(seg, warmup_tick - done);
+            model.accessBatch({buffer.data() + off, seg},
+                              {results.data() + off, seg});
+            done += seg;
+            u64 count_from = 0;
             if (done == warmup_tick) {
+                // The scalar loop resets counters before tallying the
+                // warmup-boundary access itself, so only the segment's
+                // last outcome survives into the measured window.
                 model.resetStats();
                 local_hits = 0;
                 remote_hits = 0;
+                count_from = seg - 1;
             }
-            if (r.hit) {
-                if (r.level == 0)
-                    ++local_hits;
-                else
-                    ++remote_hits;
+            for (u64 i = count_from; i < seg; ++i) {
+                const AccessResult &r = results[off + i];
+                if (r.hit) {
+                    if (r.level == 0)
+                        ++local_hits;
+                    else
+                        ++remote_hits;
+                }
             }
-            if (done == progress_tick) {
-                options.progress(done);
+            while (progress_tick <= done) {
+                options.progress(progress_tick);
                 progress_tick += kProgressStride;
             }
+            off += seg;
         }
     }
 
@@ -104,6 +125,9 @@ Simulator::run(AccessSource &source, CacheModel &model,
         out.moleculesDecommissioned = fs.moleculesDecommissioned;
         out.tileOutages = fs.tileOutages;
         out.recoveryGrants = mc->resizer().recoveryGrants();
+        out.wayMemoHits = mc->wayMemoHits();
+        out.wayMemoMispredicts = mc->wayMemoMispredicts();
+        out.wayMemoInvalidations = mc->wayMemoInvalidations();
         for (const Asid asid : mc->registeredAsids()) {
             const Region &region = mc->region(asid);
             out.maxReconvergenceEpochs = std::max(

@@ -46,6 +46,15 @@ struct SimResult
     u32 regionsStillRecovering = 0;
     /** @} */
 
+    /** @{ Way-memoization telemetry (docs/perf.md).  Populated only when
+     * the model is a MolecularCache; all-zero when memoization is
+     * disabled or fused off, in which case the JSON block is omitted so
+     * reports stay byte-identical to memo-free builds. */
+    u64 wayMemoHits = 0;
+    u64 wayMemoMispredicts = 0;
+    u64 wayMemoInvalidations = 0;
+    /** @} */
+
     /** QoS-guardian aggregate (guardian.enabled false unless the model
      * is a MolecularCache with params().guardian.enabled).  Per-region
      * telemetry rides on qos.apps[i].guardian. */

@@ -317,5 +317,52 @@ TEST(ServiceTest, SummaryJsonCarriesSchemaAndKind)
     EXPECT_NE(text.find("\"generation\""), std::string::npos);
 }
 
+/** accessBatch must be semantically identical to per-reference access:
+ * same results out, same summary counters after — on two services
+ * built from the same options and fed the same reference stream
+ * (blocks sized to cross the 256-reference staging chunk). */
+TEST(ServiceTest, AccessBatchMatchesScalarAccess)
+{
+    mc::Service scalarSvc(manualOptions());
+    mc::Service batchSvc(manualOptions());
+    mc::TenantSpec spec;
+    spec.shard = 0;
+    mc::TenantHandle scalarTenant = scalarSvc.attach(spec);
+    mc::TenantHandle batchTenant = batchSvc.attach(spec);
+    ASSERT_TRUE(scalarTenant);
+    ASSERT_TRUE(batchTenant);
+
+    std::vector<mc::Service::TenantAccess> refs;
+    u64 x = 12345;
+    for (u32 i = 0; i < 2000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        refs.push_back({(x >> 20) % 4096 * 64, (x & 7) == 0});
+    }
+    std::vector<AccessResult> batched(refs.size());
+    // Odd block size: blocks straddle the internal 256-entry chunks.
+    for (size_t off = 0; off < refs.size(); off += 301) {
+        const size_t n = std::min<size_t>(301, refs.size() - off);
+        batchSvc.accessBatch(batchTenant,
+                             {refs.data() + off, n},
+                             {batched.data() + off, n});
+    }
+    for (size_t i = 0; i < refs.size(); ++i) {
+        const AccessResult want =
+            scalarSvc.access(scalarTenant, refs[i].addr, refs[i].write);
+        EXPECT_EQ(want.hit, batched[i].hit) << i;
+        EXPECT_EQ(want.level, batched[i].level) << i;
+        EXPECT_EQ(want.latencyCycles, batched[i].latencyCycles) << i;
+        EXPECT_EQ(want.energyNj, batched[i].energyNj) << i;
+    }
+
+    scalarSvc.runEpochNow();
+    batchSvc.runEpochNow();
+    const mc::ServiceSummary s = scalarSvc.summary();
+    const mc::ServiceSummary b = batchSvc.summary();
+    EXPECT_EQ(s.accesses, b.accesses);
+    EXPECT_EQ(s.hits, b.hits);
+    EXPECT_EQ(s.misses, b.misses);
+}
+
 } // namespace
 } // namespace molcache

@@ -107,6 +107,33 @@ TEST(ResultJsonGuardian, PerAppTelemetryRidesOnAppEntries)
     EXPECT_NE(serialize(r).find("\"stuck\": true"), std::string::npos);
 }
 
+TEST(ResultJsonWayMemo, OmittedWhenMemoSawNoTraffic)
+{
+    // All-zero counters (memo disabled, fused off, or a non-molecular
+    // model) must leave the document byte-identical to memo-free builds.
+    const std::string doc = serialize(baseResult());
+    EXPECT_EQ(doc.find("way_memo"), std::string::npos);
+}
+
+TEST(ResultJsonWayMemo, EmitsCountersWhenPopulated)
+{
+    SimResult r = baseResult();
+    r.wayMemoHits = 1234;
+    r.wayMemoMispredicts = 56;
+    r.wayMemoInvalidations = 7;
+    const std::string doc = serialize(r);
+    EXPECT_NE(doc.find("\"way_memo\""), std::string::npos);
+    EXPECT_NE(doc.find("\"hits\": 1234"), std::string::npos);
+    EXPECT_NE(doc.find("\"mispredicts\": 56"), std::string::npos);
+    EXPECT_NE(doc.find("\"invalidations\": 7"), std::string::npos);
+
+    // Invalidations alone (e.g. a run fused off immediately after a
+    // table rebuild) still force the block out.
+    SimResult inv = baseResult();
+    inv.wayMemoInvalidations = 3;
+    EXPECT_NE(serialize(inv).find("\"way_memo\""), std::string::npos);
+}
+
 TEST(ResultJsonGuardian, DeterministicBytes)
 {
     SimResult r = baseResult();

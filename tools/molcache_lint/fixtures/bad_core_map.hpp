@@ -1,10 +1,12 @@
-// Negative fixture: a node-based map member in a (pretend) src/core
-// hot-path class.  The bare member must fire hot-path-map; the
-// annotated one is allowlisted and must not.
+// Negative fixture: node-based container members in a (pretend)
+// src/core hot-path class.  The bare members must fire hot-path-map;
+// the annotated ones are allowlisted and must not.
 #ifndef MOLCACHE_FIXTURE_BAD_CORE_MAP_HPP
 #define MOLCACHE_FIXTURE_BAD_CORE_MAP_HPP
 
+#include <list>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "util/types.hpp"
@@ -22,6 +24,18 @@ class BadCoreMap
 
     // Genuinely sparse, never walked per access.  molcache-lint: allow-map
     std::map<u64, u32> sparse_;
+
+    // Batch-plane lane structs use plain member names (no trailing
+    // underscore); the rule must hold them to the same dense-layout
+    // bar.
+    struct BadBatchLane
+    {
+        std::list<u64> pendingRefs;   // hot-path-map
+        std::set<u32> touchedTiles;   // hot-path-map
+
+        // Cold, rebuilt only on generation change.  molcache-lint: allow-map
+        std::map<u32, u32> rebuildScratch;
+    };
 };
 
 } // namespace molcache

@@ -36,10 +36,12 @@
  *  - include-hygiene:   no "../" includes (project includes are
  *                       repo-root-relative), no duplicate includes, and
  *                       no <cassert>/<assert.h> in src/.
- *  - hot-path-map:      std::map / std::unordered_map data members in
- *                       src/core headers -- the access hot path must use
- *                       dense/flat structures (docs/perf.md); genuinely
- *                       sparse state opts out with a
+ *  - hot-path-map:      node-based container data members (std::map,
+ *                       std::unordered_map, sets, std::list) in
+ *                       src/core headers -- the access hot path,
+ *                       including the batch plane's lane structs, must
+ *                       use dense/flat structures (docs/perf.md);
+ *                       genuinely sparse state opts out with a
  *                       `molcache-lint: allow-map` comment on or just
  *                       above the declaration.
  *  - deprecated-run:    positional-argument calls to Simulator::run,
@@ -414,13 +416,17 @@ checkHotPathMap(const SourceFile &f, const Context &)
     if (!startsWith(f.rel, "src/core/") ||
         f.rel.find(".hpp") == std::string::npos)
         return;
-    // A node-based map data member (trailing-underscore naming) in a
-    // core header: every class here sits on or near the access hot
-    // path, where node maps cost a pointer chase per access
-    // (docs/perf.md).  Genuinely sparse state (e.g. the per-line
-    // coherence directory) opts out with the allow tag.
+    // A node-based container data member in a core header: every class
+    // here sits on or near the access hot path, where node containers
+    // cost a pointer chase per access (docs/perf.md).  Covers maps,
+    // sets and lists, and members without the trailing underscore too,
+    // so the batch data plane's plain-named lane/scratch structs
+    // (MolecularCache::BatchLane and friends) are held to the same
+    // dense-layout bar as classic members.  Genuinely sparse state
+    // (e.g. the per-line coherence directory) opts out with the allow
+    // tag.
     static const std::regex rx(
-        R"(\bstd\s*::\s*(unordered_)?map\s*<[^;{}()]*>\s+\w+_\s*(\{\s*\})?\s*;)");
+        R"(\bstd\s*::\s*((unordered_)?(map|set|multimap|multiset)|list)\s*<[^;{}()]*>\s+\w+\s*(\{\s*\})?\s*;)");
     for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(), rx);
          it != std::sregex_iterator(); ++it) {
         const int line =

@@ -275,6 +275,17 @@ MolecularCache::region(Asid asid) const
     return it->second;
 }
 
+u32
+MolecularCache::residentLines(Asid asid) const
+{
+    const Region &r = region(asid);
+    u32 lines = 0;
+    for (const auto &[tile, mols] : r.byTile())
+        for (const MoleculeId id : mols)
+            lines += molecule(id).validLines();
+    return lines;
+}
+
 Molecule &
 MolecularCache::molecule(MoleculeId id)
 {
@@ -1248,6 +1259,16 @@ MolecularCache::injectTileOutage(TileId tile)
     const MoleculeId first = t.firstMolecule();
     for (MoleculeId id = first; id < first + t.numMolecules(); ++id)
         decommissionMolecule(id);
+}
+
+void
+MolecularCache::injectClusterOutage(ClusterId cluster)
+{
+    MOLCACHE_EXPECT(cluster.value() < params_.clusters,
+                    "cluster outage out of range");
+    const u32 first = cluster.value() * params_.tilesPerCluster;
+    for (u32 i = 0; i < params_.tilesPerCluster; ++i)
+        injectTileOutage(TileId{first + i});
 }
 
 bool

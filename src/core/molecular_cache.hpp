@@ -192,6 +192,11 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
     /** All registered ASIDs, ascending (introspection / audits). */
     std::vector<Asid> registeredAsids() const;
 
+    /** Valid lines currently resident across @p asid's region — what a
+     * forced migration or decommission would invalidate (service-level
+     * remap-churn accounting, docs/fault_model.md). */
+    u32 residentLines(Asid asid) const;
+
     /** Signature of the debug audit hook SimAccess can install. */
     using AuditHook = std::function<void(const MolecularCache &)>;
 
@@ -248,6 +253,11 @@ class MolecularCache final : public CacheModel, private MoleculeBroker
 
     /** Decommission every molecule of @p tile at once. */
     void injectTileOutage(TileId tile);
+
+    /** Decommission every molecule of every tile of @p cluster — the
+     * whole-shard outage of a service chaos storm (a service shard is
+     * exactly one tile cluster). */
+    void injectClusterOutage(ClusterId cluster);
 
     /**
      * Debug audit hook, invoked every @p everyAccesses accesses with the

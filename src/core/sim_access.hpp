@@ -88,6 +88,12 @@ class SimAccess
     }
 
     void
+    injectClusterOutage(ClusterId cluster)
+    {
+        cache_.injectClusterOutage(cluster);
+    }
+
+    void
     setAuditHook(Tick everyAccesses, MolecularCache::AuditHook hook)
     {
         cache_.setAuditHook(everyAccesses, std::move(hook));

@@ -1,0 +1,145 @@
+#include "service/chaos.hpp"
+
+#include <algorithm>
+
+#include "contract/contract.hpp"
+#include "core/sim_access.hpp"
+#include "util/random.hpp"
+
+namespace molcache {
+namespace mc {
+
+const char *
+chaosKindName(ChaosKind kind)
+{
+    switch (kind) {
+    case ChaosKind::TransientFlip:
+        return "transient-flip";
+    case ChaosKind::HardFault:
+        return "hard-fault";
+    case ChaosKind::ShardOutage:
+        return "shard-outage";
+    case ChaosKind::ShardStall:
+        return "shard-stall";
+    }
+    return "unknown";
+}
+
+ChaosSchedule
+ChaosSchedule::build(const ChaosSpec &spec, u32 shards,
+                     u32 moleculesPerShard, u32 linesPerMolecule)
+{
+    MOLCACHE_EXPECT(shards > 0, "chaos schedule for a shardless service");
+    MOLCACHE_EXPECT(moleculesPerShard > 0 && linesPerMolecule > 0,
+                    "chaos schedule for an empty shard geometry");
+    ChaosSchedule schedule;
+    if (!spec.any())
+        return schedule;
+
+    const auto rng = makeRandomSource(RngKind::Pcg32, spec.seed);
+    const u64 window_start = std::min(spec.windowStart, spec.windowEnd);
+    const u64 window = spec.windowEnd - window_start + 1;
+    const auto epochAt = [&] { return window_start + rng->next64() % window; };
+
+    // Outages hit distinct shards and never all of them: the remap
+    // ladder needs at least one healthy destination.
+    const u32 outages =
+        std::min(spec.shardOutages, shards > 1 ? shards - 1 : 0u);
+    std::vector<u32> victims(shards);
+    for (u32 i = 0; i < shards; ++i)
+        victims[i] = i;
+    for (u32 i = 0; i < outages; ++i) {
+        const u32 pick =
+            i + static_cast<u32>(rng->next64() % (shards - i));
+        std::swap(victims[i], victims[pick]);
+        ChaosEvent event;
+        event.epoch = epochAt();
+        event.kind = ChaosKind::ShardOutage;
+        event.shard = victims[i];
+        schedule.events_.push_back(event);
+    }
+
+    for (u32 i = 0; i < spec.transientFlips; ++i) {
+        ChaosEvent event;
+        event.epoch = epochAt();
+        event.kind = ChaosKind::TransientFlip;
+        event.shard = static_cast<u32>(rng->next64() % shards);
+        event.molecule = static_cast<u32>(rng->next64() % moleculesPerShard);
+        event.line = static_cast<u32>(rng->next64() % linesPerMolecule);
+        schedule.events_.push_back(event);
+    }
+
+    for (u32 i = 0; i < spec.hardFaults; ++i) {
+        ChaosEvent event;
+        event.epoch = epochAt();
+        event.kind = ChaosKind::HardFault;
+        event.shard = static_cast<u32>(rng->next64() % shards);
+        event.molecule = static_cast<u32>(rng->next64() % moleculesPerShard);
+        schedule.events_.push_back(event);
+    }
+
+    for (u32 i = 0; i < spec.shardStalls; ++i) {
+        ChaosEvent event;
+        event.epoch = epochAt();
+        event.kind = ChaosKind::ShardStall;
+        event.shard = static_cast<u32>(rng->next64() % shards);
+        event.stallEpochs = spec.stallEpochs == 0 ? 1 : spec.stallEpochs;
+        schedule.events_.push_back(event);
+    }
+
+    // One deterministic firing order: epoch, then severity (outages
+    // before point faults so a doomed shard quarantines in one epoch),
+    // then target, so equal-seed storms replay identically.
+    std::stable_sort(schedule.events_.begin(), schedule.events_.end(),
+                     [](const ChaosEvent &a, const ChaosEvent &b) {
+                         if (a.epoch != b.epoch)
+                             return a.epoch < b.epoch;
+                         if (a.kind != b.kind)
+                             return static_cast<u8>(a.kind) >
+                                    static_cast<u8>(b.kind);
+                         if (a.shard != b.shard)
+                             return a.shard < b.shard;
+                         return a.molecule < b.molecule;
+                     });
+    return schedule;
+}
+
+const ChaosEvent *
+ChaosSchedule::drainOne(u64 epoch)
+{
+    if (next_ >= events_.size() || events_[next_].epoch > epoch)
+        return nullptr;
+    return &events_[next_++];
+}
+
+void
+applyShardChaos(MolecularCache &cache, const ChaosEvent &event)
+{
+    // The control plane holds the target shard's mutex here, so the
+    // cache is as quiescent as the single-threaded harness the fault
+    // mutators were written for.
+    SimAccess sim(cache);
+    switch (event.kind) {
+    case ChaosKind::TransientFlip:
+        sim.injectTransientFlip(MoleculeId{event.molecule}, event.line);
+        return;
+    case ChaosKind::HardFault: {
+        // One chaos hard-fault event means "this array is failing":
+        // keep faulting the molecule until the threshold fences it.
+        const u32 threshold = cache.params().hardFaultThreshold;
+        for (u32 i = 0; i < threshold; ++i)
+            sim.injectHardFault(MoleculeId{event.molecule});
+        return;
+    }
+    case ChaosKind::ShardOutage:
+        // A shard is one tile cluster; fencing cluster 0 fences the
+        // whole shard.
+        sim.injectClusterOutage(ClusterId{0});
+        return;
+    case ChaosKind::ShardStall:
+        return; // service-side bookkeeping only
+    }
+}
+
+} // namespace mc
+} // namespace molcache

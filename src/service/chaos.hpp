@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Seeded service-level chaos schedules (docs/fault_model.md,
+ * "Service-level faults & the degradation ladder").
+ *
+ * PR 1's FaultInjector drives faults off the *access tick* of one
+ * single-threaded cache; a service shard serves interleaved tenants from
+ * many threads, so tick-based schedules stop being reproducible there.
+ * A ChaosSchedule is the control-plane analogue: events fire at
+ * *control-plane epochs* — the single-writer moments where the service
+ * already holds a shard quiescent under its lock — which keeps a fault
+ * storm deterministic per (spec, geometry) regardless of worker count.
+ *
+ * Four event kinds ladder up the blast radius:
+ *   TransientFlip — one poisoned line, scrubbed by the next probe;
+ *   HardFault     — repeated hard faults on one molecule until its
+ *                   failure counter decommissions it;
+ *   ShardOutage   — every molecule of one shard fenced at once (the
+ *                   whole tile cluster goes dark);
+ *   ShardStall    — no state damage, the shard just stops meeting its
+ *                   latency SLO for `stallEpochs` epochs; the service
+ *                   answers checked accesses with Overloaded +
+ *                   suggested-retry-after instead of serving them.
+ *
+ * The schedule itself is pure data: building and draining it touches no
+ * cache.  Applying a drained event to the target shard's cache is
+ * `applyShardChaos`, which lives in chaos.cpp behind the service's
+ * normal locking (the control plane applies events while holding the
+ * target shard's mutex, which is exactly the quiescence the simulator
+ * fault mutators need).
+ */
+
+#ifndef MOLCACHE_SERVICE_CHAOS_HPP
+#define MOLCACHE_SERVICE_CHAOS_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace molcache {
+
+class MolecularCache;
+
+namespace mc {
+
+/** What one chaos event does (see file comment for the ladder). */
+enum class ChaosKind : u8 {
+    TransientFlip = 0,
+    HardFault,
+    ShardOutage,
+    ShardStall,
+};
+
+const char *chaosKindName(ChaosKind kind);
+
+/** One scheduled fault, fired by the control-plane epoch it names. */
+struct ChaosEvent
+{
+    /** Epoch the event fires at (inclusive; due events fire in order). */
+    u64 epoch = 0;
+    ChaosKind kind = ChaosKind::TransientFlip;
+    /** Target shard index. */
+    u32 shard = 0;
+    /** Shard-local molecule index (TransientFlip / HardFault). */
+    u32 molecule = 0;
+    /** Line index within the molecule (TransientFlip). */
+    u32 line = 0;
+    /** Stall duration in epochs (ShardStall). */
+    u64 stallEpochs = 0;
+};
+
+/** Knob bundle for a seeded storm; all-zero counts = chaos off. */
+struct ChaosSpec
+{
+    u64 seed = 1;
+    /** First / last epoch events may fire (inclusive window). */
+    u64 windowStart = 2;
+    u64 windowEnd = 32;
+    u32 transientFlips = 0;
+    u32 hardFaults = 0;
+    /** Whole-shard outages; capped at shards-1 so at least one shard
+     * stays healthy to remap onto. */
+    u32 shardOutages = 0;
+    u32 shardStalls = 0;
+    /** Duration of each stall event. */
+    u64 stallEpochs = 3;
+
+    bool
+    any() const
+    {
+        return transientFlips != 0 || hardFaults != 0 ||
+               shardOutages != 0 || shardStalls != 0;
+    }
+};
+
+/**
+ * The seeded, epoch-keyed event queue.  Deterministic: the same spec and
+ * shard geometry always build the same storm, independent of worker
+ * count, epoch pacing or wall clock.  Drained with the FaultInjector
+ * cursor idiom: events sort by epoch once, drainOne() hands out due
+ * events in order without ever re-scanning.
+ */
+class ChaosSchedule
+{
+  public:
+    ChaosSchedule() = default;
+
+    /**
+     * Build the storm for a service of @p shards shards, each a
+     * single-cluster cache of @p moleculesPerShard molecules with
+     * @p linesPerMolecule lines each.  Outage targets are distinct
+     * shards (and capped at shards-1, see ChaosSpec::shardOutages).
+     */
+    static ChaosSchedule build(const ChaosSpec &spec, u32 shards,
+                               u32 moleculesPerShard, u32 linesPerMolecule);
+
+    /** Next event due at or before @p epoch, or nullptr when none is
+     * (yet).  Events fire once, in schedule order. */
+    const ChaosEvent *drainOne(u64 epoch);
+
+    /** Events not fired yet. */
+    size_t
+    pending() const
+    {
+        return events_.size() - next_;
+    }
+
+    /** The whole storm, sorted by epoch (introspection / tests). */
+    const std::vector<ChaosEvent> &
+    events() const
+    {
+        return events_;
+    }
+
+  private:
+    std::vector<ChaosEvent> events_;
+    size_t next_ = 0;
+};
+
+/**
+ * Apply one drained event to the target shard's cache.  The caller must
+ * hold that shard quiescent (the service control plane calls this under
+ * the shard's mutex).  ShardStall events are service-side bookkeeping
+ * and are a no-op here.
+ */
+void applyShardChaos(MolecularCache &cache, const ChaosEvent &event);
+
+} // namespace mc
+} // namespace molcache
+
+#endif // MOLCACHE_SERVICE_CHAOS_HPP

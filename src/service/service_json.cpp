@@ -3,9 +3,70 @@
 namespace molcache {
 namespace mc {
 
+namespace {
+
+/** The resilience block (docs/molcached.md, "Recovery-SLO telemetry").
+ * Only written when the resilience plane has engaged, so fault-free
+ * telemetry stays byte-identical to the pre-resilience schema. */
+void
+writeResilienceJson(JsonWriter &json, const ServiceResilienceSummary &res)
+{
+    json.beginObject();
+    json.key("chaos_enabled");
+    json.value(res.chaosEnabled);
+    json.key("chaos_transient_flips");
+    json.value(res.chaosTransientFlips);
+    json.key("chaos_hard_faults");
+    json.value(res.chaosHardFaults);
+    json.key("chaos_shard_outages");
+    json.value(res.chaosShardOutages);
+    json.key("chaos_shard_stalls");
+    json.value(res.chaosShardStalls);
+    json.key("chaos_pending");
+    json.value(res.chaosPending);
+    json.key("shards_quarantined");
+    json.value(res.shardsQuarantined);
+    json.key("shards_drained");
+    json.value(res.shardsDrained);
+    json.key("tenants_remapped");
+    json.value(res.tenantsRemapped);
+    json.key("remaps_pending");
+    json.value(res.remapsPending);
+    json.key("remap_invalidations");
+    json.value(res.remapInvalidations);
+    json.key("remap_forced_misses");
+    json.value(res.remapForcedMisses);
+    json.key("tenants_recovering");
+    json.value(res.tenantsRecovering);
+    json.key("accesses_shed");
+    json.value(res.accessesShed);
+    json.key("attach_rejects");
+    json.beginObject();
+    for (size_t i = 1; i < kAttachErrorCount; ++i) {
+        // Slot 0 is AttachError::None — a success, never a rejection.
+        json.key(attachErrorName(static_cast<AttachError>(i)));
+        json.value(res.attachRejects[i]);
+    }
+    json.endObject();
+    json.key("max_epochs_to_drain");
+    json.value(res.maxEpochsToDrain);
+    json.key("max_epochs_to_remap");
+    json.value(res.maxEpochsToRemap);
+    json.key("max_epochs_back_to_goal");
+    json.value(res.maxEpochsBackToGoal);
+    json.endObject();
+}
+
+} // namespace
+
 void
 writeServiceSummaryJson(JsonWriter &json, const ServiceSummary &summary)
 {
+    // The resilience plane's fields (the whole `resilience` block plus
+    // the per-shard health and per-tenant recovery keys) are additive
+    // and gated together: a run where the plane never engaged emits the
+    // exact pre-resilience document.
+    const bool resilient = summary.resilience.active();
     json.beginObject();
     json.key("epoch");
     json.value(summary.epoch);
@@ -33,6 +94,10 @@ writeServiceSummaryJson(JsonWriter &json, const ServiceSummary &summary)
     json.value(summary.invariantViolations);
     json.key("contract_violations");
     json.value(summary.contractViolations);
+    if (resilient) {
+        json.key("resilience");
+        writeResilienceJson(json, summary.resilience);
+    }
 
     json.key("shards");
     json.beginArray();
@@ -56,6 +121,14 @@ writeServiceSummaryJson(JsonWriter &json, const ServiceSummary &summary)
         json.value(static_cast<u64>(shard.decommissionedMolecules));
         json.key("resize_cycles");
         json.value(shard.resizeCycles);
+        if (resilient) {
+            json.key("healthy_molecules");
+            json.value(static_cast<u64>(shard.healthyMolecules));
+            json.key("quarantined");
+            json.value(shard.quarantined);
+            json.key("stalled_until_epoch");
+            json.value(shard.stalledUntilEpoch);
+        }
         json.endObject();
     }
     json.endArray();
@@ -74,6 +147,18 @@ writeServiceSummaryJson(JsonWriter &json, const ServiceSummary &summary)
         json.value(static_cast<u64>(tenant.generation));
         json.key("goal");
         json.value(tenant.goal);
+        if (resilient) {
+            json.key("effective_goal");
+            json.value(tenant.effectiveGoal);
+            json.key("degraded");
+            json.value(tenant.degraded);
+            json.key("remaps");
+            json.value(static_cast<u64>(tenant.remaps));
+            json.key("recovering");
+            json.value(tenant.recovering);
+            json.key("miss_ewma");
+            json.value(tenant.missEwma);
+        }
         json.key("departing");
         json.value(tenant.departing);
         json.key("accesses");

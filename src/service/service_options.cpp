@@ -87,6 +87,64 @@ ServiceOptions::withGuardian(bool enabled, std::source_location)
     return *this;
 }
 
+ServiceOptions &
+ServiceOptions::withChaos(const ChaosSpec &spec, std::source_location loc)
+{
+    if (spec.windowEnd < spec.windowStart)
+        note(loc, detail::concat("service.chaos window is empty (start ",
+                                 spec.windowStart, " > end ",
+                                 spec.windowEnd, ")"));
+    chaos = spec;
+    return *this;
+}
+
+ServiceOptions &
+ServiceOptions::withQuarantineThreshold(double fraction,
+                                        std::source_location loc)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        note(loc, detail::concat("service.quarantine_threshold must be in "
+                                 "(0, 1], got ",
+                                 fraction));
+    quarantineThreshold = fraction;
+    return *this;
+}
+
+ServiceOptions &
+ServiceOptions::withAdmitWatermarks(double high, double low,
+                                    std::source_location loc)
+{
+    if (high < 0.0)
+        note(loc, detail::concat("service.admit_high_water must be >= 0, "
+                                 "got ",
+                                 high));
+    if (low < 0.0 || (high > 0.0 && low > high))
+        note(loc, detail::concat("service.admit_low_water must be in "
+                                 "[0, admit_high_water], got ",
+                                 low));
+    admitHighWater = high;
+    admitLowWater = low;
+    return *this;
+}
+
+ServiceOptions &
+ServiceOptions::withDegradeGoals(bool enabled, std::source_location)
+{
+    degradeGoals = enabled;
+    return *this;
+}
+
+ServiceOptions &
+ServiceOptions::withRecoverySlack(double slack, std::source_location loc)
+{
+    if (slack < 0.0 || slack >= 1.0)
+        note(loc, detail::concat("service.recovery_slack must be in "
+                                 "[0, 1), got ",
+                                 slack));
+    recoverySlack = slack;
+    return *this;
+}
+
 ServiceOptions
 ServiceOptions::fromConfig(const Config &cfg, std::source_location loc)
 {
@@ -117,6 +175,44 @@ ServiceOptions::fromConfig(const Config &cfg, std::source_location loc)
     opts.withGuardian(cfg.getBool("service.guardian",
                                   opts.cache.guardian.enabled),
                       loc);
+    ChaosSpec chaos = opts.chaos;
+    chaos.seed = static_cast<u64>(
+        cfg.getInt("service.chaos.seed", static_cast<i64>(chaos.seed)));
+    chaos.windowStart = static_cast<u64>(
+        cfg.getInt("service.chaos.window_start",
+                   static_cast<i64>(chaos.windowStart)));
+    chaos.windowEnd = static_cast<u64>(
+        cfg.getInt("service.chaos.window_end",
+                   static_cast<i64>(chaos.windowEnd)));
+    chaos.transientFlips = static_cast<u32>(
+        cfg.getInt("service.chaos.transient_flips",
+                   static_cast<i64>(chaos.transientFlips)));
+    chaos.hardFaults = static_cast<u32>(
+        cfg.getInt("service.chaos.hard_faults",
+                   static_cast<i64>(chaos.hardFaults)));
+    chaos.shardOutages = static_cast<u32>(
+        cfg.getInt("service.chaos.shard_outages",
+                   static_cast<i64>(chaos.shardOutages)));
+    chaos.shardStalls = static_cast<u32>(
+        cfg.getInt("service.chaos.shard_stalls",
+                   static_cast<i64>(chaos.shardStalls)));
+    chaos.stallEpochs = static_cast<u64>(
+        cfg.getInt("service.chaos.stall_epochs",
+                   static_cast<i64>(chaos.stallEpochs)));
+    opts.withChaos(chaos, loc);
+    opts.withQuarantineThreshold(
+        cfg.getDouble("service.quarantine_threshold",
+                      opts.quarantineThreshold),
+        loc);
+    opts.withAdmitWatermarks(
+        cfg.getDouble("service.admit_high_water", opts.admitHighWater),
+        cfg.getDouble("service.admit_low_water", opts.admitLowWater), loc);
+    opts.withDegradeGoals(cfg.getBool("service.degrade_goals",
+                                      opts.degradeGoals),
+                          loc);
+    opts.withRecoverySlack(cfg.getDouble("service.recovery_slack",
+                                         opts.recoverySlack),
+                           loc);
     return opts;
 }
 
@@ -126,6 +222,23 @@ ServiceOptions::validate() const
     std::vector<std::string> all = errors_;
     if (shards == 0)
         all.push_back("service.shards must be >= 1");
+    if (shards > 0xffffu)
+        all.push_back(detail::concat(
+            "service.shards must fit the 16-bit routing field (<= 65535), "
+            "got ",
+            shards));
+    if (quarantineThreshold <= 0.0 || quarantineThreshold > 1.0)
+        all.push_back(detail::concat(
+            "service.quarantine_threshold must be in (0, 1], got ",
+            quarantineThreshold));
+    if (admitHighWater > 0.0 && admitLowWater > admitHighWater)
+        all.push_back(detail::concat(
+            "service.admit_low_water (", admitLowWater,
+            ") exceeds service.admit_high_water (", admitHighWater, ")"));
+    if (chaos.windowEnd < chaos.windowStart)
+        all.push_back(detail::concat("service.chaos window is empty (start ",
+                                     chaos.windowStart, " > end ",
+                                     chaos.windowEnd, ")"));
     if (cache.clusters != 1)
         all.push_back(detail::concat(
             "per-shard cache geometry must have clusters == 1, got ",

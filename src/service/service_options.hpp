@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/params.hpp"
+#include "service/chaos.hpp"
 #include "util/config.hpp"
 
 namespace molcache {
@@ -67,6 +68,38 @@ struct ServiceOptions
      * default (0 = no floor beyond the guardian's own). */
     u32 defaultFloor = 0;
 
+    /** Seeded chaos storm fired by the control-plane epochs; all-zero
+     * event counts (the default) leave chaos off and the service
+     * byte-identical to its pre-resilience behaviour. */
+    ChaosSpec chaos;
+
+    /** Quarantine a shard once this fraction of its molecules is
+     * decommissioned: admissions stop, its tenants remap to healthy
+     * shards, and it drains (docs/fault_model.md). */
+    double quarantineThreshold = 0.5;
+
+    /**
+     * Overload-protection watermarks over *healthy* capacity: attach()
+     * rejects with AttachError::Overloaded once the summed tenant
+     * demand (capacity floors, min 1 molecule each) exceeds
+     * admitHighWater x healthy molecules, and keeps rejecting until
+     * demand falls back below admitLowWater x healthy molecules — the
+     * hysteresis stops admission from flapping at the boundary.
+     * admitHighWater == 0 (the default) disables capacity admission.
+     */
+    double admitHighWater = 0.0;
+    double admitLowWater = 0.0;
+
+    /** Proportionally relax per-tenant miss-rate goals when healthy
+     * capacity shrinks (goal x total/healthy, capped at 1.0) so the
+     * guardian degrades tenants fairly instead of thrashing. */
+    bool degradeGoals = true;
+
+    /** A remapped tenant counts as re-converged once its per-epoch
+     * miss-rate EWMA is within this slack of its (degraded) goal or of
+     * its own pre-remap EWMA, whichever is easier. */
+    double recoverySlack = 0.05;
+
     /** @{ Fluent setters; invalid arguments are recorded (with the call
      * site) and reported by validate(). */
     ServiceOptions &withCacheParams(
@@ -92,6 +125,21 @@ struct ServiceOptions
         std::source_location loc = std::source_location::current());
     ServiceOptions &withGuardian(
         bool enabled,
+        std::source_location loc = std::source_location::current());
+    ServiceOptions &withChaos(
+        const ChaosSpec &spec,
+        std::source_location loc = std::source_location::current());
+    ServiceOptions &withQuarantineThreshold(
+        double fraction,
+        std::source_location loc = std::source_location::current());
+    ServiceOptions &withAdmitWatermarks(
+        double high, double low,
+        std::source_location loc = std::source_location::current());
+    ServiceOptions &withDegradeGoals(
+        bool enabled,
+        std::source_location loc = std::source_location::current());
+    ServiceOptions &withRecoverySlack(
+        double slack,
         std::source_location loc = std::source_location::current());
     /** @} */
 

@@ -6,7 +6,14 @@
  * the service.  attach() hands the caller a TenantHandle; every later
  * verb (access/setGoal/detach) takes the handle, so there is no stringy
  * tenant lookup on the hot path — the handle carries the routing facts
- * (shard, ASID) as immutable state.
+ * (shard, ASID, generation) packed into one atomic word.
+ *
+ * Routing is atomic, not immutable, because of the degradation ladder
+ * (docs/fault_model.md): when a shard is quarantined after capacity
+ * loss, the control plane re-homes its tenants onto healthy shards and
+ * republishes the routing word.  Readers snapshot the word lock-free,
+ * then re-check it once under the shard lock — see Service::access for
+ * the two-phase protocol that makes a remap invisible to workers.
  *
  * Lifetime ("departure drains safely"): the handle is a refcounted view
  * of a TenantState that the Service tracks only weakly.  detach() marks
@@ -18,14 +25,16 @@
  * worker can therefore never race a region teardown: teardown waits for
  * every reference to drop first.
  *
- * The (asid, generation) pair uniquely names a tenant across ASID reuse
- * — generations come from CacheStats::generationOf, bumped each time a
- * departed tenant's stats slot is retired.
+ * The (asid, generation) pair uniquely names a tenant *within its
+ * current shard* across ASID reuse — generations come from
+ * CacheStats::generationOf, bumped each time a departed (or remapped)
+ * tenant's stats slot is retired.
  */
 
 #ifndef MOLCACHE_SERVICE_TENANT_HPP
 #define MOLCACHE_SERVICE_TENANT_HPP
 
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <string>
@@ -46,7 +55,7 @@ struct TenantSpec
     /** Floor wildcard: use ServiceOptions::defaultFloor. */
     static constexpr u32 kDefaultFloor = std::numeric_limits<u32>::max();
 
-    /** Display name (telemetry only; empty gets "asid<N>"). */
+    /** Display name (telemetry only; empty gets "tenant<N>"). */
     std::string name;
     /** Miss-rate goal Algorithm 1 steers towards; 0 = the service
      * default (ServiceOptions::defaultGoal). */
@@ -61,13 +70,42 @@ struct TenantSpec
 
 namespace detail {
 
-/** Immutable routing facts shared by every copy of a handle; the
- * Service keeps only a weak reference (see file comment). */
+/** Routing facts shared by every copy of a handle; the Service keeps
+ * only a weak reference (see file comment).  The (shard, asid,
+ * generation) triple is packed into one word so workers snapshot it in
+ * a single atomic load and a remap republishes it in a single store —
+ * a reader can never see the new shard with the old ASID. */
 struct TenantState
 {
-    u32 shard = 0;
-    Asid asid{};
-    u32 generation = 0;
+    /** shard:16 | asid:16 | generation:32 (shard counts are validated
+     * against the 16-bit field by ServiceOptions). */
+    static constexpr u64
+    pack(u32 shard, u16 asid, u32 generation)
+    {
+        return (static_cast<u64>(shard) << 48) |
+               (static_cast<u64>(asid) << 32) |
+               static_cast<u64>(generation);
+    }
+
+    static constexpr u32
+    shardOf(u64 routing)
+    {
+        return static_cast<u32>(routing >> 48);
+    }
+
+    static constexpr u16
+    asidOf(u64 routing)
+    {
+        return static_cast<u16>((routing >> 32) & 0xffffu);
+    }
+
+    static constexpr u32
+    generationOf(u64 routing)
+    {
+        return static_cast<u32>(routing);
+    }
+
+    std::atomic<u64> routing{0};
     std::string name;
 };
 
@@ -87,29 +125,32 @@ class TenantHandle
     bool valid() const { return state_ != nullptr; }
     explicit operator bool() const { return valid(); }
 
-    /** @{ Immutable tenant facts; handle must be valid(). */
+    /** @{ Current routing facts; handle must be valid().  Instantaneous
+     * snapshots: a quarantine-driven remap may re-home the tenant
+     * between two calls (the service verbs re-check internally). */
     Asid
     asid() const
     {
         MOLCACHE_EXPECT(valid(), "asid() on an empty TenantHandle");
-        return state_->asid;
+        return Asid{detail::TenantState::asidOf(routing())};
     }
 
     u32
     shard() const
     {
         MOLCACHE_EXPECT(valid(), "shard() on an empty TenantHandle");
-        return state_->shard;
+        return detail::TenantState::shardOf(routing());
     }
 
-    /** Stats-slot generation at attach: (asid, generation) names this
-     * tenant uniquely across ASID recycling. */
+    /** Stats-slot generation at (re)registration: (asid, generation)
+     * names this tenant uniquely within its shard across recycling. */
     u32
     generation() const
     {
         MOLCACHE_EXPECT(valid(), "generation() on an empty TenantHandle");
-        return state_->generation;
+        return detail::TenantState::generationOf(routing());
     }
+    /** @} */
 
     const std::string &
     name() const
@@ -117,7 +158,6 @@ class TenantHandle
         MOLCACHE_EXPECT(valid(), "name() on an empty TenantHandle");
         return state_->name;
     }
-    /** @} */
 
     /** Drop this reference early (same as destroying the handle). */
     void reset() { state_.reset(); }
@@ -125,12 +165,18 @@ class TenantHandle
   private:
     friend class Service;
 
-    explicit TenantHandle(std::shared_ptr<const detail::TenantState> state)
+    explicit TenantHandle(std::shared_ptr<detail::TenantState> state)
         : state_(std::move(state))
     {
     }
 
-    std::shared_ptr<const detail::TenantState> state_;
+    u64
+    routing() const
+    {
+        return state_->routing.load(std::memory_order_acquire);
+    }
+
+    std::shared_ptr<detail::TenantState> state_;
 };
 
 } // namespace mc

@@ -50,12 +50,25 @@ knownConfigKeys()
         {"replacement", "set-assoc replacement policy"},
         {"resize", "resize scheme: constant | global | perapp"},
         {"seed", "workload/model RNG seed"},
+        {"service.admit_high_water", "demand/healthy capacity closing admission (0 = off)"},
+        {"service.admit_low_water", "demand/healthy capacity reopening admission"},
         {"service.audit_epochs", "service audit period in epochs (0 = off)"},
+        {"service.chaos.hard_faults", "chaos hard-fault decommission events"},
+        {"service.chaos.seed", "chaos schedule RNG seed"},
+        {"service.chaos.shard_outages", "chaos whole-shard outages (max shards-1)"},
+        {"service.chaos.shard_stalls", "chaos shard-stall events"},
+        {"service.chaos.stall_epochs", "epochs one stall event lasts"},
+        {"service.chaos.transient_flips", "chaos transient bit flips"},
+        {"service.chaos.window_end", "last epoch chaos events may fire"},
+        {"service.chaos.window_start", "first epoch chaos events may fire"},
         {"service.default_floor", "service default tenant floor, molecules"},
         {"service.default_goal", "service default tenant miss-rate goal"},
+        {"service.degrade_goals", "relax goals when healthy capacity shrinks (0/1)"},
         {"service.epoch_ms", "service control-plane epoch period (0 = manual)"},
         {"service.guardian", "service QoS guardian on its shards (0/1)"},
         {"service.max_tenants", "service admission cap (0 = unlimited)"},
+        {"service.quarantine_threshold", "decommissioned fraction quarantining a shard"},
+        {"service.recovery_slack", "miss-rate slack ending remap warm-up"},
         {"service.shards", "independently-locked service cache shards"},
         {"size", "total cache capacity in bytes"},
         {"tiles", "tiles per cluster"},

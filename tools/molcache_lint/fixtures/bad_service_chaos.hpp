@@ -1,0 +1,33 @@
+// Negative fixture for the src/service scope of `hot-path-map` and
+// `unguarded-member`: a (pretend) chaos-plane header that keeps its
+// event table in a node-based map and its counters unguarded next to a
+// shard mutex.  Both habits are exactly what the real service/chaos
+// sources must not pick up.
+#ifndef MOLCACHE_FIXTURE_BAD_SERVICE_CHAOS_HPP
+#define MOLCACHE_FIXTURE_BAD_SERVICE_CHAOS_HPP
+
+#include <map>
+
+#include "util/sync.hpp"
+#include "util/types.hpp"
+
+namespace molcache {
+namespace mc {
+
+class BadChaosPlane
+{
+  public:
+    void fire(u64 epoch);
+
+  private:
+    mc::Mutex mutex_;
+    // hot-path-map: the epoch table is drained every control epoch;
+    // keep it a sorted flat vector with a cursor instead.
+    std::map<u64, u32> eventsByEpoch_;
+    u64 eventsFired_ = 0; // unguarded-member: which mutex guards this?
+};
+
+} // namespace mc
+} // namespace molcache
+
+#endif // MOLCACHE_FIXTURE_BAD_SERVICE_CHAOS_HPP

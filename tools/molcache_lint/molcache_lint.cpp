@@ -38,9 +38,10 @@
  *                       no <cassert>/<assert.h> in src/.
  *  - hot-path-map:      node-based container data members (std::map,
  *                       std::unordered_map, sets, std::list) in
- *                       src/core headers -- the access hot path,
- *                       including the batch plane's lane structs, must
- *                       use dense/flat structures (docs/perf.md);
+ *                       src/core and src/service headers -- the access
+ *                       hot path, including the batch plane's lane
+ *                       structs and the service's shard/tenant tables,
+ *                       must use dense/flat structures (docs/perf.md);
  *                       genuinely sparse state opts out with a
  *                       `molcache-lint: allow-map` comment on or just
  *                       above the declaration.
@@ -79,7 +80,10 @@
  *                       facade over MolecularCache's sim-only mutators)
  *                       used under src/service/ -- the service serves
  *                       concurrent callers, and SimAccess's contract is
- *                       a quiescent cache; there is no hatch.
+ *                       a quiescent cache; there is no hatch.  Sole
+ *                       exact-path exemption: src/service/chaos.cpp,
+ *                       the chaos applier the control plane runs under
+ *                       the target shard's lock.
  *
  * Usage:
  *   molcache_lint --root <repo-root>               lint the tree
@@ -413,12 +417,15 @@ checkRawIdParams(const SourceFile &f, const Context &)
 void
 checkHotPathMap(const SourceFile &f, const Context &)
 {
-    if (!startsWith(f.rel, "src/core/") ||
+    if ((!startsWith(f.rel, "src/core/") &&
+         !startsWith(f.rel, "src/service/")) ||
         f.rel.find(".hpp") == std::string::npos)
         return;
-    // A node-based container data member in a core header: every class
-    // here sits on or near the access hot path, where node containers
-    // cost a pointer chase per access (docs/perf.md).  Covers maps,
+    // A node-based container data member in a core or service header:
+    // every class here sits on or near the access hot path, where node
+    // containers cost a pointer chase per access (docs/perf.md) — the
+    // service's shard/tenant tables ride the same path as the core's
+    // probe structures.  Covers maps,
     // sets and lists, and members without the trailing underscore too,
     // so the batch data plane's plain-named lane/scratch structs
     // (MolecularCache::BatchLane and friends) are held to the same
@@ -697,8 +704,14 @@ checkSimAccessInService(const SourceFile &f, const Context &)
     // anywhere); src/service/ exists to serve concurrent callers, so
     // the two must never meet.  Deliberately no hatch: a service-side
     // need for a sim-only mutator means the mutator needs a real,
-    // locked service verb instead.
+    // locked service verb instead.  The single exact-path exemption is
+    // the chaos applier, whose whole job is to drive the fault
+    // injectors and which the control plane only ever calls under the
+    // target shard's lock (quiescence for that shard) — the header it
+    // exports must still stay SimAccess-free.
     if (!startsWith(f.rel, "src/service/"))
+        return;
+    if (f.rel == "src/service/chaos.cpp")
         return;
     static const std::regex simAccess(R"(\bSimAccess\b)");
     for (auto it =
@@ -772,19 +785,24 @@ struct Rule
     /** Fixture (tools/molcache_lint/fixtures/) that must trigger it. */
     const char *fixture;
     void (*check)(const SourceFile &, const Context &);
+    /** Optional second positive fixture (path-scoped rules that police
+     * more than one subtree prove each scope separately). */
+    const char *fixture2 = nullptr;
 };
 
 const Rule kRules[] = {
     {"naked-rand", "bad_rand.cpp", checkNakedRand},
     {"config-key", "bad_config_key.cpp", checkConfigKeys},
     {"raw-id-param", "bad_core_api.hpp", checkRawIdParams},
-    {"hot-path-map", "bad_core_map.hpp", checkHotPathMap},
+    {"hot-path-map", "bad_core_map.hpp", checkHotPathMap,
+     "bad_service_chaos.hpp"},
     {"transposed-ids", "bad_transposed.cpp", checkTransposedIds},
     {"no-assert", "bad_include.cpp", checkNoAssert},
     {"deprecated-run", "bad_deprecated_run.cpp", checkDeprecatedRun},
     {"include-hygiene", "bad_include.cpp", checkIncludeHygiene},
     {"naked-mutex", "bad_naked_mutex.cpp", checkNakedMutex},
-    {"unguarded-member", "bad_unguarded_member.hpp", checkUnguardedMember},
+    {"unguarded-member", "bad_unguarded_member.hpp", checkUnguardedMember,
+     "bad_service_chaos.hpp"},
     {"atomic-order", "bad_atomic_order.cpp", checkAtomicOrder},
     {"detached-thread", "bad_detached_thread.cpp", checkDetachedThread},
     {"lock-across-call", "bad_exec_lock_across_call.cpp",
@@ -965,12 +983,14 @@ runSelfTest(const fs::path &root)
     }
     int failures = 0;
     for (const Rule &rule : kRules) {
-        if (!fs::exists(fixtures / rule.fixture)) {
-            std::fprintf(stderr,
-                         "self-test: rule '%s' has no fixture %s — every "
-                         "registered rule ships one\n",
-                         rule.name, rule.fixture);
-            ++failures;
+        for (const char *fixture : {rule.fixture, rule.fixture2}) {
+            if (fixture != nullptr && !fs::exists(fixtures / fixture)) {
+                std::fprintf(stderr,
+                             "self-test: rule '%s' has no fixture %s — "
+                             "every registered rule ships one\n",
+                             rule.name, fixture);
+                ++failures;
+            }
         }
     }
     std::vector<fs::path> files;
@@ -996,16 +1016,21 @@ runSelfTest(const fs::path &root)
     }
 
     for (const Rule &rule : kRules) {
-        const bool hit = std::any_of(
-            g_findings.begin(), g_findings.end(), [&](const Finding &f) {
-                return f.rule == rule.name &&
-                       f.file.find(rule.fixture) != std::string::npos;
-            });
-        if (!hit) {
-            std::fprintf(stderr,
-                         "self-test: rule '%s' did NOT fire on %s\n",
-                         rule.name, rule.fixture);
-            ++failures;
+        for (const char *fixture : {rule.fixture, rule.fixture2}) {
+            if (fixture == nullptr)
+                continue;
+            const bool hit = std::any_of(
+                g_findings.begin(), g_findings.end(),
+                [&](const Finding &f) {
+                    return f.rule == rule.name &&
+                           f.file.find(fixture) != std::string::npos;
+                });
+            if (!hit) {
+                std::fprintf(stderr,
+                             "self-test: rule '%s' did NOT fire on %s\n",
+                             rule.name, fixture);
+                ++failures;
+            }
         }
     }
     for (const Finding &f : g_findings) {
